@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks of the enumeration algorithms on small fixed
+//! workloads: sequential baselines, coarse-grained and fine-grained parallel
+//! versions, for both simple and temporal cycles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pce_bench::{run_algo, Algo};
+use pce_graph::generators::{self, RandomTemporalConfig};
+use pce_sched::ThreadPool;
+
+fn bench_simple_algorithms(c: &mut Criterion) {
+    let graph = generators::power_law_temporal(RandomTemporalConfig {
+        num_vertices: 800,
+        num_edges: 4_500,
+        time_span: 100_000,
+        seed: 42,
+    });
+    let delta = 700;
+    let pool = ThreadPool::new(4);
+    let mut group = c.benchmark_group("simple_cycles");
+    group.sample_size(10);
+    for algo in [
+        Algo::SeqJohnson,
+        Algo::SeqReadTarjan,
+        Algo::CoarseJohnson,
+        Algo::CoarseReadTarjan,
+        Algo::FineJohnson,
+        Algo::FineReadTarjan,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{algo:?}")), &algo, |b, &algo| {
+            b.iter(|| run_algo(algo, &graph, delta, &pool))
+        });
+    }
+    group.finish();
+}
+
+fn bench_temporal_algorithms(c: &mut Criterion) {
+    let graph = generators::power_law_temporal(RandomTemporalConfig {
+        num_vertices: 800,
+        num_edges: 4_500,
+        time_span: 100_000,
+        seed: 43,
+    });
+    let delta = 3_500;
+    let pool = ThreadPool::new(4);
+    let mut group = c.benchmark_group("temporal_cycles");
+    group.sample_size(10);
+    for algo in [
+        Algo::SeqTemporal,
+        Algo::TwoScent,
+        Algo::CoarseTemporal,
+        Algo::FineTemporalJohnson,
+        Algo::FineTemporalReadTarjan,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{algo:?}")), &algo, |b, &algo| {
+            b.iter(|| run_algo(algo, &graph, delta, &pool))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig4a_adversarial(c: &mut Criterion) {
+    // Table 1's scalability scenario: all cycles behind one root edge.
+    let graph = generators::fig4a_exponential_cycles(14);
+    let pool = ThreadPool::new(4);
+    let mut group = c.benchmark_group("fig4a_single_root");
+    group.sample_size(10);
+    for algo in [Algo::CoarseJohnson, Algo::FineJohnson, Algo::FineReadTarjan] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{algo:?}")), &algo, |b, &algo| {
+            b.iter(|| run_algo(algo, &graph, i64::MAX / 4, &pool))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simple_algorithms,
+    bench_temporal_algorithms,
+    bench_fig4a_adversarial
+);
+criterion_main!(benches);

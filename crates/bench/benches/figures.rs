@@ -1,0 +1,67 @@
+//! Criterion versions of the headline figure comparisons on a reduced-scale
+//! workload, so that `cargo bench` alone demonstrates the paper's main result
+//! (fine-grained ≫ coarse-grained) without running the full figure binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pce_bench::{build_scaled, run_algo, Algo};
+use pce_sched::ThreadPool;
+use pce_workloads::{dataset, DatasetId};
+
+fn bench_fig7a_subset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7a_subset_simple_cycles");
+    group.sample_size(10);
+    for id in [DatasetId::CO, DatasetId::BA] {
+        let spec = dataset(id);
+        let workload = build_scaled(&spec, 0.25);
+        let pool = ThreadPool::new(4);
+        for algo in [Algo::FineJohnson, Algo::FineReadTarjan, Algo::CoarseJohnson] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{algo:?}"), id.abbrev()),
+                &algo,
+                |b, &algo| b.iter(|| run_algo(algo, &workload.graph, spec.delta_simple, &pool)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig7b_subset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7b_subset_temporal_cycles");
+    group.sample_size(10);
+    for id in [DatasetId::CO, DatasetId::TR] {
+        let spec = dataset(id);
+        let workload = build_scaled(&spec, 0.25);
+        let pool = ThreadPool::new(4);
+        for algo in [
+            Algo::FineTemporalJohnson,
+            Algo::FineTemporalReadTarjan,
+            Algo::CoarseTemporal,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{algo:?}"), id.abbrev()),
+                &algo,
+                |b, &algo| b.iter(|| run_algo(algo, &workload.graph, spec.delta_temporal, &pool)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig9_thread_scaling(c: &mut Criterion) {
+    let spec = dataset(DatasetId::CO);
+    let workload = build_scaled(&spec, 0.25);
+    let mut group = c.benchmark_group("fig9_thread_scaling");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4] {
+        let pool = ThreadPool::new(threads);
+        group.bench_with_input(
+            BenchmarkId::new("fine_temporal_johnson", threads),
+            &threads,
+            |b, _| b.iter(|| run_algo(Algo::FineTemporalJohnson, &workload.graph, spec.delta_temporal, &pool)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7a_subset, bench_fig7b_subset, bench_fig9_thread_scaling);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion micro-benchmarks of the work-stealing scheduler substrate:
+//! task spawn/execute throughput, nested spawning and dynamic parallel-for.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pce_sched::{parallel_for_dynamic, ThreadPool};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bench_flat_tasks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_flat_tasks");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4] {
+        let pool = ThreadPool::new(threads);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    let counter = AtomicU64::new(0);
+                    pool.scope(|scope| {
+                        for _ in 0..2_000 {
+                            let counter = &counter;
+                            scope.spawn(move |_, _| {
+                                counter.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                    assert_eq!(counter.load(Ordering::Relaxed), 2_000);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_nested_tasks(c: &mut Criterion) {
+    let pool = ThreadPool::new(4);
+    let mut group = c.benchmark_group("scheduler_nested_tasks");
+    group.sample_size(10);
+    group.bench_function("fanout_64x32", |b| {
+        b.iter(|| {
+            let counter = AtomicU64::new(0);
+            pool.scope(|scope| {
+                for _ in 0..64 {
+                    let counter = &counter;
+                    scope.spawn(move |scope, ctx| {
+                        for _ in 0..32 {
+                            ctx.spawn(scope, move |_, _| {
+                                counter.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                }
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), 64 * 32);
+        })
+    });
+    group.finish();
+}
+
+fn bench_parallel_for(c: &mut Criterion) {
+    let pool = ThreadPool::new(4);
+    let mut group = c.benchmark_group("scheduler_parallel_for");
+    group.sample_size(10);
+    for &chunk in &[1usize, 16, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |b, &chunk| {
+            b.iter(|| {
+                let sum = AtomicU64::new(0);
+                parallel_for_dynamic(&pool, 100_000, chunk, |_, i| {
+                    sum.fetch_add(i as u64 & 0xff, Ordering::Relaxed);
+                });
+                sum.load(Ordering::Relaxed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flat_tasks, bench_nested_tasks, bench_parallel_for);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Figure 8 — speed-up of the fine-grained over the coarse-grained parallel
+//! Johnson algorithm for three time-window sizes per dataset (temporal
+//! cycles).
+//!
+//! The paper's observation: larger windows contain more cycles, the heaviest
+//! root searches grow disproportionately, and the gap between the fine- and
+//! the coarse-grained algorithms widens.
+//!
+//! Usage: `fig8_window_sweep [--threads N] [--scale X] [--json PATH]`
+
+use pce_bench::{build_scaled, resolve_threads, run_algo, Algo};
+use pce_sched::ThreadPool;
+use pce_workloads::{scaling_suite, ExperimentConfig, MeasuredRow, ResultTable};
+
+fn main() {
+    let cfg = ExperimentConfig::from_args(std::env::args().skip(1));
+    let threads = resolve_threads(cfg.threads);
+    let pool = ThreadPool::new(threads);
+    let mut table = ResultTable::new(format!(
+        "Figure 8 — fine/coarse Johnson speed-up vs time-window size ({threads} threads, temporal cycles)"
+    ));
+
+    for spec in scaling_suite() {
+        let workload = build_scaled(&spec, cfg.scale);
+        eprintln!("fig8: {} {}", spec.id.abbrev(), workload.stats());
+        // Three windows per dataset, like the paper: 2/3·δ_t, 5/6·δ_t, δ_t.
+        for (i, factor_num) in [4i64, 5, 6].iter().enumerate() {
+            let delta = spec.delta_temporal * factor_num / 6;
+            let fine = run_algo(Algo::FineTemporalJohnson, &workload.graph, delta, &pool);
+            let coarse = run_algo(Algo::CoarseTemporal, &workload.graph, delta, &pool);
+            assert_eq!(fine.cycles, coarse.cycles);
+            let mut row = MeasuredRow::new(format!("{} w{}", spec.id.abbrev(), i + 1));
+            row.push("delta", delta as f64);
+            row.push("cycles", fine.cycles as f64);
+            row.push("fine_s", fine.wall_secs);
+            row.push("coarse_s", coarse.wall_secs);
+            row.push("speedup", coarse.wall_secs / fine.wall_secs.max(1e-9));
+            table.push(row);
+        }
+    }
+
+    print!("{}", table.render());
+    if let Some(gm) = table.geomean("speedup") {
+        println!("geomean speed-up of fine over coarse: {gm:.2}x");
+    }
+    println!(
+        "\npaper reference (Figure 8): the speed-up grows with the window size, \
+         with geometric means around 6–12x across the window columns at 1024 threads."
+    );
+    table.maybe_write_json(&cfg.json_out).expect("write json");
+}

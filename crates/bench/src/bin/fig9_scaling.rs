@@ -1,0 +1,71 @@
+//! Figure 9 — strong scaling of temporal cycle enumeration: speed-up of the
+//! fine-grained Johnson, fine-grained Read-Tarjan and coarse-grained Johnson
+//! algorithms (plus the serial 2SCENT-style baseline) as the number of
+//! threads grows.
+//!
+//! Speed-ups are reported relative to the single-threaded execution of the
+//! fine-grained Johnson algorithm, matching the paper's normalisation.
+//!
+//! Usage: `fig9_scaling [--threads MAX] [--scale X] [--json PATH]`
+
+use pce_bench::{build_scaled, resolve_threads, run_algo, Algo};
+use pce_sched::ThreadPool;
+use pce_workloads::{scaling_suite, ExperimentConfig, MeasuredRow, ResultTable};
+
+fn main() {
+    let cfg = ExperimentConfig::from_args(std::env::args().skip(1));
+    let max_threads = resolve_threads(cfg.threads);
+    let mut thread_counts = vec![1usize, 2, 4, 8, 16, 32, 64];
+    thread_counts.retain(|&t| t <= max_threads);
+    if !thread_counts.contains(&max_threads) {
+        thread_counts.push(max_threads);
+    }
+
+    let mut table = ResultTable::new(format!(
+        "Figure 9 — strong scaling of temporal cycle enumeration (up to {max_threads} threads)"
+    ));
+
+    for spec in scaling_suite() {
+        let workload = build_scaled(&spec, cfg.scale);
+        eprintln!("fig9: {} {}", spec.id.abbrev(), workload.stats());
+        let delta = spec.delta_temporal;
+        let single = ThreadPool::new(1);
+        let baseline = run_algo(Algo::FineTemporalJohnson, &workload.graph, delta, &single);
+        let two_scent = run_algo(Algo::TwoScent, &workload.graph, delta, &single);
+        assert_eq!(baseline.cycles, two_scent.cycles);
+        {
+            let mut row = MeasuredRow::new(format!("{} 2scent", spec.id.abbrev()));
+            row.push("threads", 1.0);
+            row.push("speedup", baseline.wall_secs / two_scent.wall_secs.max(1e-9));
+            row.push("time_s", two_scent.wall_secs);
+            table.push(row);
+        }
+
+        for &threads in &thread_counts {
+            let pool = ThreadPool::new(threads);
+            for (name, algo) in [
+                ("fineJ", Algo::FineTemporalJohnson),
+                ("fineRT", Algo::FineTemporalReadTarjan),
+                ("coarseJ", Algo::CoarseTemporal),
+            ] {
+                let stats = run_algo(algo, &workload.graph, delta, &pool);
+                assert_eq!(stats.cycles, baseline.cycles);
+                let mut row =
+                    MeasuredRow::new(format!("{} {} t{}", spec.id.abbrev(), name, threads));
+                row.push("threads", threads as f64);
+                row.push("speedup", baseline.wall_secs / stats.wall_secs.max(1e-9));
+                row.push("time_s", stats.wall_secs);
+                table.push(row);
+            }
+        }
+    }
+
+    print!("{}", table.render());
+    println!(
+        "\npaper reference (Figure 9): the fine-grained algorithms scale nearly linearly \
+         up to the physical core count (200–435x at 256 cores / 1024 threads), the \
+         coarse-grained Johnson plateaus one order of magnitude lower, and the 2SCENT \
+         baseline sits at ≈ 1x."
+    );
+    table.maybe_write_json(&cfg.json_out).expect("write json");
+}

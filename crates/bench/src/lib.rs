@@ -1,0 +1,176 @@
+//! # pce-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation (§8) on the synthetic dataset suite of
+//! [`pce_workloads`]. Each figure has a dedicated binary (see `src/bin/`);
+//! the Criterion micro-benchmarks live under `benches/`.
+//!
+//! This library contains the shared measurement helpers: running one
+//! algorithm on one workload, collecting wall-clock time, per-thread busy
+//! time and edge-visit counts into [`pce_workloads::MeasuredRow`]s.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use pce_core::par::coarse::{coarse_johnson_simple, coarse_read_tarjan_simple, coarse_temporal};
+use pce_core::par::fine_johnson::fine_johnson_simple;
+use pce_core::par::fine_read_tarjan::fine_read_tarjan_simple;
+use pce_core::par::fine_temporal::{fine_temporal_johnson, fine_temporal_read_tarjan};
+use pce_core::seq::johnson::johnson_simple;
+use pce_core::seq::read_tarjan::read_tarjan_simple;
+use pce_core::seq::temporal::{temporal_simple, two_scent_baseline};
+use pce_core::{CountingSink, RunStats, SimpleCycleOptions, TemporalCycleOptions};
+use pce_graph::TemporalGraph;
+use pce_sched::ThreadPool;
+use pce_workloads::DatasetSpec;
+
+/// Every algorithm configuration the harness can measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Sequential Johnson.
+    SeqJohnson,
+    /// Sequential Read-Tarjan.
+    SeqReadTarjan,
+    /// Sequential temporal enumeration (scalable preprocessing).
+    SeqTemporal,
+    /// 2SCENT-style serial baseline (temporal).
+    TwoScent,
+    /// Coarse-grained parallel Johnson.
+    CoarseJohnson,
+    /// Coarse-grained parallel Read-Tarjan.
+    CoarseReadTarjan,
+    /// Coarse-grained parallel temporal enumeration.
+    CoarseTemporal,
+    /// Fine-grained parallel Johnson (copy-on-steal).
+    FineJohnson,
+    /// Fine-grained parallel Read-Tarjan.
+    FineReadTarjan,
+    /// Fine-grained parallel temporal, Johnson-style tasks.
+    FineTemporalJohnson,
+    /// Fine-grained parallel temporal, Read-Tarjan-style tasks.
+    FineTemporalReadTarjan,
+}
+
+impl Algo {
+    /// Short label used as a column name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algo::SeqJohnson => "seq_johnson",
+            Algo::SeqReadTarjan => "seq_read_tarjan",
+            Algo::SeqTemporal => "seq_temporal",
+            Algo::TwoScent => "2scent",
+            Algo::CoarseJohnson => "coarse_johnson",
+            Algo::CoarseReadTarjan => "coarse_rt",
+            Algo::CoarseTemporal => "coarse_temporal",
+            Algo::FineJohnson => "fine_johnson",
+            Algo::FineReadTarjan => "fine_rt",
+            Algo::FineTemporalJohnson => "fine_johnson",
+            Algo::FineTemporalReadTarjan => "fine_rt",
+        }
+    }
+
+    /// Does this configuration enumerate temporal (rather than simple)
+    /// cycles?
+    pub fn is_temporal(&self) -> bool {
+        matches!(
+            self,
+            Algo::SeqTemporal
+                | Algo::TwoScent
+                | Algo::CoarseTemporal
+                | Algo::FineTemporalJohnson
+                | Algo::FineTemporalReadTarjan
+        )
+    }
+}
+
+/// Runs one algorithm configuration on one graph and returns its statistics.
+/// `delta` is interpreted as the simple-cycle window for simple configurations
+/// and as the temporal window for temporal configurations.
+pub fn run_algo(
+    algo: Algo,
+    graph: &TemporalGraph,
+    delta: i64,
+    pool: &ThreadPool,
+) -> RunStats {
+    let sink = CountingSink::new();
+    let sopts = SimpleCycleOptions::with_window(delta);
+    let topts = TemporalCycleOptions::with_window(delta);
+    match algo {
+        Algo::SeqJohnson => johnson_simple(graph, &sopts, &sink),
+        Algo::SeqReadTarjan => read_tarjan_simple(graph, &sopts, &sink),
+        Algo::SeqTemporal => temporal_simple(graph, &topts, &sink),
+        Algo::TwoScent => two_scent_baseline(graph, &topts, &sink),
+        Algo::CoarseJohnson => coarse_johnson_simple(graph, &sopts, &sink, pool),
+        Algo::CoarseReadTarjan => coarse_read_tarjan_simple(graph, &sopts, &sink, pool),
+        Algo::CoarseTemporal => coarse_temporal(graph, &topts, &sink, pool),
+        Algo::FineJohnson => fine_johnson_simple(graph, &sopts, &sink, pool),
+        Algo::FineReadTarjan => fine_read_tarjan_simple(graph, &sopts, &sink, pool),
+        Algo::FineTemporalJohnson => fine_temporal_johnson(graph, &topts, &sink, pool),
+        Algo::FineTemporalReadTarjan => fine_temporal_read_tarjan(graph, &topts, &sink, pool),
+    }
+}
+
+/// Builds a workload graph, applying the experiment's scale factor to its
+/// edge count (used for quick smoke runs of the figure binaries).
+pub fn build_scaled(spec: &DatasetSpec, scale: f64) -> pce_workloads::WorkloadGraph {
+    if (scale - 1.0).abs() < f64::EPSILON {
+        spec.build()
+    } else {
+        let mut scaled = *spec;
+        scaled.num_edges = ((spec.num_edges as f64 * scale).round() as usize).max(100);
+        scaled.num_vertices = ((spec.num_vertices as f64 * scale.sqrt()).round() as usize).max(16);
+        scaled.build()
+    }
+}
+
+/// Resolves a thread-count request (0 = available parallelism).
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        pce_sched::available_parallelism()
+    } else {
+        requested
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pce_workloads::{dataset, DatasetId};
+
+    #[test]
+    fn labels_are_unique_per_problem_family() {
+        let simple = [
+            Algo::SeqJohnson,
+            Algo::SeqReadTarjan,
+            Algo::CoarseJohnson,
+            Algo::CoarseReadTarjan,
+            Algo::FineJohnson,
+            Algo::FineReadTarjan,
+        ];
+        let labels: std::collections::HashSet<_> = simple.iter().map(|a| a.label()).collect();
+        assert_eq!(labels.len(), simple.len());
+        assert!(Algo::FineTemporalJohnson.is_temporal());
+        assert!(!Algo::FineJohnson.is_temporal());
+    }
+
+    #[test]
+    fn run_algo_smoke_test_on_tiny_workload() {
+        let spec = dataset(DatasetId::CO);
+        let workload = build_scaled(&spec, 0.05);
+        let pool = ThreadPool::new(2);
+        let a = run_algo(Algo::SeqTemporal, &workload.graph, spec.delta_temporal, &pool);
+        let b = run_algo(
+            Algo::FineTemporalJohnson,
+            &workload.graph,
+            spec.delta_temporal,
+            &pool,
+        );
+        assert_eq!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn resolve_threads_defaults_to_available() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

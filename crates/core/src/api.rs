@@ -1,0 +1,367 @@
+//! High-level enumeration API: pick an algorithm, a parallelisation
+//! granularity, a thread count and the constraints, then run.
+//!
+//! ```
+//! use pce_core::{Algorithm, CycleEnumerator, Granularity};
+//! use pce_graph::generators::fig4a_exponential_cycles;
+//!
+//! let graph = fig4a_exponential_cycles(10);
+//! let result = CycleEnumerator::new()
+//!     .algorithm(Algorithm::ReadTarjan)
+//!     .granularity(Granularity::FineGrained)
+//!     .threads(4)
+//!     .collect_cycles(true)
+//!     .enumerate_simple(&graph);
+//! assert_eq!(result.stats.cycles, 256);
+//! assert_eq!(result.cycles.unwrap().len(), 256);
+//! ```
+
+use crate::cycle::{CollectingSink, CountingSink, Cycle, CycleSink};
+use crate::metrics::RunStats;
+use crate::options::{SimpleCycleOptions, TemporalCycleOptions};
+use crate::par::coarse::{
+    coarse_johnson_simple, coarse_read_tarjan_simple, coarse_temporal, coarse_tiernan_simple,
+};
+use crate::par::fine_johnson::fine_johnson_simple;
+use crate::par::fine_read_tarjan::fine_read_tarjan_simple;
+use crate::par::fine_temporal::{fine_temporal_johnson, fine_temporal_read_tarjan};
+use crate::par::make_pool;
+use crate::seq::johnson::johnson_simple;
+use crate::seq::read_tarjan::read_tarjan_simple;
+use crate::seq::temporal::temporal_simple;
+use crate::seq::tiernan::tiernan_simple;
+use pce_graph::{TemporalGraph, Timestamp};
+
+/// Which enumeration algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// The Johnson algorithm (default): fastest in most of the paper's
+    /// experiments, not work efficient in its fine-grained parallel form.
+    #[default]
+    Johnson,
+    /// The Read-Tarjan algorithm: work efficient and strongly scalable in its
+    /// fine-grained parallel form; slightly more edge visits.
+    ReadTarjan,
+    /// The brute-force Tiernan algorithm (baseline; sequential or
+    /// coarse-grained only).
+    Tiernan,
+}
+
+/// How the work is split across threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Granularity {
+    /// Single-threaded reference execution.
+    Sequential,
+    /// One task per starting edge (§4): work efficient, not scalable.
+    CoarseGrained,
+    /// The paper's fine-grained task decomposition (§5/§6): scalable.
+    #[default]
+    FineGrained,
+}
+
+/// Result of an enumeration run.
+#[derive(Debug)]
+pub struct EnumerationResult {
+    /// The discovered cycles, if [`CycleEnumerator::collect_cycles`] was
+    /// enabled (`None` otherwise — counting only).
+    pub cycles: Option<Vec<Cycle>>,
+    /// Timing and work statistics (the cycle count is `stats.cycles`).
+    pub stats: RunStats,
+}
+
+/// Builder-style front end over every enumerator in this crate.
+#[derive(Debug, Clone)]
+pub struct CycleEnumerator {
+    algorithm: Algorithm,
+    granularity: Granularity,
+    threads: usize,
+    window_delta: Option<Timestamp>,
+    max_len: Option<usize>,
+    include_self_loops: bool,
+    collect: bool,
+}
+
+impl Default for CycleEnumerator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CycleEnumerator {
+    /// Creates an enumerator with the defaults: fine-grained Johnson, one
+    /// thread per core, no constraints, counting only.
+    pub fn new() -> Self {
+        Self {
+            algorithm: Algorithm::Johnson,
+            granularity: Granularity::FineGrained,
+            threads: 0,
+            window_delta: None,
+            max_len: None,
+            include_self_loops: false,
+            collect: false,
+        }
+    }
+
+    /// Selects the algorithm.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Selects the parallelisation granularity.
+    pub fn granularity(mut self, granularity: Granularity) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
+    /// Sets the number of worker threads (0 = one per available core).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Constrains cycles to a time window of size `delta`.
+    pub fn window(mut self, delta: Timestamp) -> Self {
+        self.window_delta = Some(delta);
+        self
+    }
+
+    /// Constrains cycles to at most `len` edges.
+    pub fn max_len(mut self, len: usize) -> Self {
+        self.max_len = Some(len);
+        self
+    }
+
+    /// Also report length-1 cycles (self-loops) for simple-cycle enumeration.
+    pub fn include_self_loops(mut self, yes: bool) -> Self {
+        self.include_self_loops = yes;
+        self
+    }
+
+    /// Materialise the cycles in the result (`false` = only count them).
+    pub fn collect_cycles(mut self, yes: bool) -> Self {
+        self.collect = yes;
+        self
+    }
+
+    fn simple_options(&self) -> SimpleCycleOptions {
+        SimpleCycleOptions {
+            window_delta: self.window_delta,
+            max_len: self.max_len,
+            include_self_loops: self.include_self_loops,
+        }
+    }
+
+    fn temporal_options(&self, graph: &TemporalGraph) -> TemporalCycleOptions {
+        TemporalCycleOptions {
+            window_delta: self.window_delta.unwrap_or_else(|| graph.time_span().max(1)),
+            max_len: self.max_len,
+        }
+    }
+
+    /// Enumerates (window-constrained) simple cycles of `graph`.
+    pub fn enumerate_simple(&self, graph: &TemporalGraph) -> EnumerationResult {
+        let opts = self.simple_options();
+        self.run(|sink| self.dispatch_simple(graph, &opts, sink))
+    }
+
+    /// Enumerates temporal cycles of `graph`.
+    pub fn enumerate_temporal(&self, graph: &TemporalGraph) -> EnumerationResult {
+        let opts = self.temporal_options(graph);
+        self.run(|sink| self.dispatch_temporal(graph, &opts, sink))
+    }
+
+    /// Counts (window-constrained) simple cycles without materialising them.
+    pub fn count_simple(&self, graph: &TemporalGraph) -> u64 {
+        let opts = self.simple_options();
+        let sink = CountingSink::new();
+        self.dispatch_simple(graph, &opts, &sink);
+        sink.count()
+    }
+
+    /// Counts temporal cycles without materialising them.
+    pub fn count_temporal(&self, graph: &TemporalGraph) -> u64 {
+        let opts = self.temporal_options(graph);
+        let sink = CountingSink::new();
+        self.dispatch_temporal(graph, &opts, &sink);
+        sink.count()
+    }
+
+    fn run(&self, body: impl FnOnce(&dyn CycleSink) -> RunStats) -> EnumerationResult {
+        if self.collect {
+            let sink = CollectingSink::new();
+            let stats = body(&sink);
+            EnumerationResult {
+                cycles: Some(sink.into_cycles()),
+                stats,
+            }
+        } else {
+            let sink = CountingSink::new();
+            let stats = body(&sink);
+            EnumerationResult {
+                cycles: None,
+                stats,
+            }
+        }
+    }
+
+    fn dispatch_simple(
+        &self,
+        graph: &TemporalGraph,
+        opts: &SimpleCycleOptions,
+        sink: &dyn CycleSink,
+    ) -> RunStats {
+        match self.granularity {
+            Granularity::Sequential => match self.algorithm {
+                Algorithm::Johnson => johnson_simple(graph, opts, sink),
+                Algorithm::ReadTarjan => read_tarjan_simple(graph, opts, sink),
+                Algorithm::Tiernan => tiernan_simple(graph, opts, sink),
+            },
+            Granularity::CoarseGrained => {
+                let pool = make_pool(self.threads);
+                match self.algorithm {
+                    Algorithm::Johnson => coarse_johnson_simple(graph, opts, sink, &pool),
+                    Algorithm::ReadTarjan => coarse_read_tarjan_simple(graph, opts, sink, &pool),
+                    Algorithm::Tiernan => coarse_tiernan_simple(graph, opts, sink, &pool),
+                }
+            }
+            Granularity::FineGrained => {
+                let pool = make_pool(self.threads);
+                match self.algorithm {
+                    Algorithm::Johnson => fine_johnson_simple(graph, opts, sink, &pool),
+                    Algorithm::ReadTarjan => fine_read_tarjan_simple(graph, opts, sink, &pool),
+                    // Tiernan has no fine-grained decomposition in the paper;
+                    // the coarse-grained version is the closest equivalent.
+                    Algorithm::Tiernan => coarse_tiernan_simple(graph, opts, sink, &pool),
+                }
+            }
+        }
+    }
+
+    fn dispatch_temporal(
+        &self,
+        graph: &TemporalGraph,
+        opts: &TemporalCycleOptions,
+        sink: &dyn CycleSink,
+    ) -> RunStats {
+        match self.granularity {
+            Granularity::Sequential => temporal_simple(graph, opts, sink),
+            Granularity::CoarseGrained => {
+                let pool = make_pool(self.threads);
+                coarse_temporal(graph, opts, sink, &pool)
+            }
+            Granularity::FineGrained => {
+                let pool = make_pool(self.threads);
+                match self.algorithm {
+                    Algorithm::ReadTarjan => fine_temporal_read_tarjan(graph, opts, sink, &pool),
+                    _ => fine_temporal_johnson(graph, opts, sink, &pool),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pce_graph::generators::{self, RandomTemporalConfig};
+
+    #[test]
+    fn builder_defaults_and_setters() {
+        let e = CycleEnumerator::new()
+            .algorithm(Algorithm::ReadTarjan)
+            .granularity(Granularity::Sequential)
+            .threads(2)
+            .window(100)
+            .max_len(4)
+            .include_self_loops(true)
+            .collect_cycles(true);
+        assert_eq!(e.algorithm, Algorithm::ReadTarjan);
+        assert_eq!(e.granularity, Granularity::Sequential);
+        assert_eq!(e.threads, 2);
+        assert_eq!(e.window_delta, Some(100));
+        assert_eq!(e.max_len, Some(4));
+        assert!(e.include_self_loops);
+        assert!(e.collect);
+    }
+
+    #[test]
+    fn all_simple_configurations_agree() {
+        let g = generators::uniform_temporal(RandomTemporalConfig {
+            num_vertices: 15,
+            num_edges: 60,
+            time_span: 40,
+            seed: 2024,
+        });
+        let expected = CycleEnumerator::new()
+            .granularity(Granularity::Sequential)
+            .window(20)
+            .count_simple(&g);
+        for algorithm in [Algorithm::Johnson, Algorithm::ReadTarjan, Algorithm::Tiernan] {
+            for granularity in [
+                Granularity::Sequential,
+                Granularity::CoarseGrained,
+                Granularity::FineGrained,
+            ] {
+                let count = CycleEnumerator::new()
+                    .algorithm(algorithm)
+                    .granularity(granularity)
+                    .threads(3)
+                    .window(20)
+                    .count_simple(&g);
+                assert_eq!(count, expected, "{algorithm:?} {granularity:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_temporal_configurations_agree() {
+        let g = generators::power_law_temporal(RandomTemporalConfig {
+            num_vertices: 40,
+            num_edges: 200,
+            time_span: 100,
+            seed: 2025,
+        });
+        let expected = CycleEnumerator::new()
+            .granularity(Granularity::Sequential)
+            .window(50)
+            .count_temporal(&g);
+        for algorithm in [Algorithm::Johnson, Algorithm::ReadTarjan] {
+            for granularity in [
+                Granularity::Sequential,
+                Granularity::CoarseGrained,
+                Granularity::FineGrained,
+            ] {
+                let count = CycleEnumerator::new()
+                    .algorithm(algorithm)
+                    .granularity(granularity)
+                    .threads(4)
+                    .window(50)
+                    .count_temporal(&g);
+                assert_eq!(count, expected, "{algorithm:?} {granularity:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn collecting_returns_cycles() {
+        let g = generators::directed_cycle(4);
+        let result = CycleEnumerator::new()
+            .granularity(Granularity::Sequential)
+            .collect_cycles(true)
+            .enumerate_simple(&g);
+        let cycles = result.cycles.unwrap();
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].len(), 4);
+        assert_eq!(result.stats.cycles, 1);
+    }
+
+    #[test]
+    fn temporal_defaults_to_full_time_span() {
+        let g = generators::directed_cycle(5);
+        let count = CycleEnumerator::new()
+            .granularity(Granularity::Sequential)
+            .count_temporal(&g);
+        assert_eq!(count, 1);
+    }
+}

@@ -1,0 +1,314 @@
+//! Cycle representation, canonicalisation and result sinks.
+//!
+//! Throughout the workspace a cycle is a **sequence of edges**
+//! `e_1, e_2, …, e_k` such that consecutive edges share endpoints and the last
+//! edge returns to the first edge's source, visiting no vertex twice. Two
+//! cycles that traverse the same vertices through different parallel edges are
+//! therefore distinct — this is the natural definition for temporal graphs
+//! (it is the one used by 2SCENT) and it gives every cycle a unique *root*:
+//! its minimum edge in `(timestamp, edge-id)` order, which is how the
+//! window-constrained enumeration avoids duplicates.
+//!
+//! Enumerators do not return `Vec<Cycle>` directly; they push every discovered
+//! cycle into a [`CycleSink`]. Sinks are shared across worker threads, so they
+//! are required to be `Sync`; the two standard implementations are
+//! [`CountingSink`] (an atomic counter, no allocation per cycle) and
+//! [`CollectingSink`] (a mutex-protected vector, used by tests, examples and
+//! anything that needs the actual cycles).
+
+use crate::util::fx_set;
+use pce_graph::{EdgeId, TemporalGraph, Timestamp, VertexId};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A simple (or temporal) cycle, stored as the vertex sequence in traversal
+/// order plus the edge ids used between consecutive vertices (the last edge
+/// closes back to `vertices[0]`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Cycle {
+    /// Vertices in traversal order; `vertices[0]` is the cycle's root vertex
+    /// (the source of its minimum edge when produced by the rooted
+    /// enumerators).
+    pub vertices: Vec<VertexId>,
+    /// Edge ids in traversal order: `edges[i]` connects `vertices[i]` to
+    /// `vertices[i+1]` (wrapping around at the end). Always the same length as
+    /// `vertices`.
+    pub edges: Vec<EdgeId>,
+}
+
+impl Cycle {
+    /// Creates a cycle from parallel vertex/edge sequences.
+    ///
+    /// # Panics
+    /// Panics if the two sequences have different lengths or are empty.
+    pub fn new(vertices: Vec<VertexId>, edges: Vec<EdgeId>) -> Self {
+        assert_eq!(vertices.len(), edges.len(), "cycle arity mismatch");
+        assert!(!vertices.is_empty(), "empty cycle");
+        Self { vertices, edges }
+    }
+
+    /// Number of edges (equivalently, vertices) in the cycle.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` for a length-1 cycle (self-loop).
+    pub fn is_self_loop(&self) -> bool {
+        self.len() == 1
+    }
+
+    /// Returns `false`; cycles are never empty (the constructor forbids it).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Rotates the cycle so that its lexicographically smallest edge id comes
+    /// first. Two cycles are equal as cyclic edge sequences iff their
+    /// canonical forms are equal, which is how the cross-algorithm equivalence
+    /// tests compare results produced by different enumeration orders.
+    pub fn canonicalize(&self) -> Cycle {
+        let k = self.len();
+        let min_pos = (0..k).min_by_key(|&i| self.edges[i]).unwrap_or(0);
+        let vertices = (0..k).map(|i| self.vertices[(min_pos + i) % k]).collect();
+        let edges = (0..k).map(|i| self.edges[(min_pos + i) % k]).collect();
+        Cycle { vertices, edges }
+    }
+
+    /// Checks that this cycle is structurally valid in `graph`: every edge
+    /// exists, connects the right pair of consecutive vertices, and no vertex
+    /// repeats. Returns a description of the first violation, if any.
+    pub fn validate(&self, graph: &TemporalGraph) -> Result<(), String> {
+        let k = self.len();
+        let mut seen = fx_set();
+        for (i, &v) in self.vertices.iter().enumerate() {
+            if !seen.insert(v) {
+                return Err(format!("vertex {v} repeats in cycle at position {i}"));
+            }
+        }
+        for i in 0..k {
+            let e = self.edges[i];
+            if e as usize >= graph.num_edges() {
+                return Err(format!("edge id {e} out of bounds"));
+            }
+            let edge = graph.edge(e);
+            let src = self.vertices[i];
+            let dst = self.vertices[(i + 1) % k];
+            if edge.src != src || edge.dst != dst {
+                return Err(format!(
+                    "edge {e} connects {}→{} but cycle expects {src}→{dst}",
+                    edge.src, edge.dst
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks that the cycle's edge timestamps are strictly increasing in
+    /// traversal order (the temporal-cycle property).
+    pub fn is_temporal(&self, graph: &TemporalGraph) -> bool {
+        self.timestamps(graph).windows(2).all(|w| w[0] < w[1])
+    }
+
+    /// The timestamps of the cycle's edges in traversal order.
+    pub fn timestamps(&self, graph: &TemporalGraph) -> Vec<Timestamp> {
+        self.edges.iter().map(|&e| graph.edge(e).ts).collect()
+    }
+
+    /// The difference between the largest and smallest edge timestamp.
+    pub fn time_span(&self, graph: &TemporalGraph) -> Timestamp {
+        let ts = self.timestamps(graph);
+        match (ts.iter().min(), ts.iter().max()) {
+            (Some(lo), Some(hi)) => hi - lo,
+            _ => 0,
+        }
+    }
+}
+
+/// Destination for discovered cycles. Implementations must be cheap and
+/// thread-safe: the fine-grained enumerators call [`CycleSink::report`] from
+/// many worker threads concurrently.
+pub trait CycleSink: Sync {
+    /// Called once per discovered cycle with the vertex sequence and the edge
+    /// ids in traversal order (see [`Cycle`] for the exact convention).
+    fn report(&self, vertices: &[VertexId], edges: &[EdgeId]);
+
+    /// Number of cycles reported so far.
+    fn count(&self) -> u64;
+}
+
+/// A sink that only counts cycles (one atomic increment per cycle).
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    count: AtomicU64,
+}
+
+impl CountingSink {
+    /// Creates a sink with a zero count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CycleSink for CountingSink {
+    #[inline]
+    fn report(&self, _vertices: &[VertexId], _edges: &[EdgeId]) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+/// A sink that stores every cycle (mutex-protected vector).
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    cycles: Mutex<Vec<Cycle>>,
+}
+
+impl CollectingSink {
+    /// Creates an empty collecting sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the sink and returns the collected cycles (in nondeterministic
+    /// order when produced by a parallel enumerator).
+    pub fn into_cycles(self) -> Vec<Cycle> {
+        self.cycles.into_inner()
+    }
+
+    /// Returns the collected cycles in canonical form, sorted, which gives a
+    /// deterministic value suitable for equality comparison across algorithms
+    /// and thread counts.
+    pub fn canonical_cycles(&self) -> Vec<Cycle> {
+        let mut cycles: Vec<Cycle> = self.cycles.lock().iter().map(Cycle::canonicalize).collect();
+        cycles.sort_by(|a, b| a.edges.cmp(&b.edges));
+        cycles
+    }
+}
+
+impl CycleSink for CollectingSink {
+    fn report(&self, vertices: &[VertexId], edges: &[EdgeId]) {
+        let cycle = Cycle::new(vertices.to_vec(), edges.to_vec());
+        self.cycles.lock().push(cycle);
+    }
+
+    fn count(&self) -> u64 {
+        self.cycles.lock().len() as u64
+    }
+}
+
+/// A sink that keeps at most the first `limit` cycles (and counts the rest),
+/// useful when a graph contains far more cycles than can be materialised.
+#[derive(Debug)]
+pub struct BoundedSink {
+    limit: usize,
+    cycles: Mutex<Vec<Cycle>>,
+    count: AtomicU64,
+}
+
+impl BoundedSink {
+    /// Creates a sink that stores at most `limit` cycles.
+    pub fn new(limit: usize) -> Self {
+        Self {
+            limit,
+            cycles: Mutex::new(Vec::new()),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// The stored cycles (at most `limit` of them).
+    pub fn into_cycles(self) -> Vec<Cycle> {
+        self.cycles.into_inner()
+    }
+}
+
+impl CycleSink for BoundedSink {
+    fn report(&self, vertices: &[VertexId], edges: &[EdgeId]) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut guard = self.cycles.lock();
+        if guard.len() < self.limit {
+            guard.push(Cycle::new(vertices.to_vec(), edges.to_vec()));
+        }
+    }
+
+    fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pce_graph::generators::directed_cycle;
+
+    #[test]
+    fn cycle_basics() {
+        let c = Cycle::new(vec![0, 1, 2], vec![0, 1, 2]);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_self_loop());
+        assert!(!c.is_empty());
+        assert!(Cycle::new(vec![5], vec![9]).is_self_loop());
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle arity mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = Cycle::new(vec![0, 1], vec![0]);
+    }
+
+    #[test]
+    fn canonicalisation_is_rotation_invariant() {
+        let a = Cycle::new(vec![2, 0, 1], vec![7, 3, 5]);
+        let b = Cycle::new(vec![0, 1, 2], vec![3, 5, 7]);
+        assert_eq!(a.canonicalize(), b.canonicalize());
+        assert_eq!(a.canonicalize().edges[0], 3);
+    }
+
+    #[test]
+    fn validation_against_graph() {
+        let g = directed_cycle(3);
+        let ok = Cycle::new(vec![0, 1, 2], vec![0, 1, 2]);
+        assert!(ok.validate(&g).is_ok());
+        assert!(ok.is_temporal(&g));
+        assert_eq!(ok.time_span(&g), 2);
+
+        let wrong_edge = Cycle::new(vec![0, 1, 2], vec![0, 2, 1]);
+        assert!(wrong_edge.validate(&g).is_err());
+
+        let repeated = Cycle::new(vec![0, 1, 0], vec![0, 1, 2]);
+        assert!(repeated.validate(&g).is_err());
+    }
+
+    #[test]
+    fn counting_sink_counts() {
+        let sink = CountingSink::new();
+        sink.report(&[0, 1], &[0, 1]);
+        sink.report(&[0, 2], &[2, 3]);
+        assert_eq!(sink.count(), 2);
+    }
+
+    #[test]
+    fn collecting_sink_collects_and_canonicalises() {
+        let sink = CollectingSink::new();
+        sink.report(&[1, 2, 0], &[5, 7, 3]);
+        sink.report(&[0, 1], &[0, 1]);
+        assert_eq!(sink.count(), 2);
+        let canon = sink.canonical_cycles();
+        assert_eq!(canon.len(), 2);
+        assert!(canon[0].edges[0] <= canon[1].edges[0]);
+        assert_eq!(canon[1].edges, vec![3, 5, 7]);
+    }
+
+    #[test]
+    fn bounded_sink_truncates_but_counts_all() {
+        let sink = BoundedSink::new(2);
+        for i in 0..5u32 {
+            sink.report(&[i, i + 1], &[i, i + 1]);
+        }
+        assert_eq!(sink.count(), 5);
+        assert_eq!(sink.into_cycles().len(), 2);
+    }
+}

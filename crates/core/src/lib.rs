@@ -1,0 +1,54 @@
+//! # pce-core
+//!
+//! Simple- and temporal-cycle enumeration algorithms: the primary
+//! contribution of *"Scalable Fine-Grained Parallel Cycle Enumeration
+//! Algorithms"* (SPAA 2022) together with every baseline it is evaluated
+//! against.
+//!
+//! | Family | Sequential | Coarse-grained parallel | Fine-grained parallel |
+//! |---|---|---|---|
+//! | Tiernan (brute force) | [`seq::tiernan`] | — | — |
+//! | Johnson | [`seq::johnson`] | [`par::coarse`] | [`par::fine_johnson`] |
+//! | Read-Tarjan | [`seq::read_tarjan`] | [`par::coarse`] | [`par::fine_read_tarjan`] |
+//! | Temporal (2SCENT-style) | [`seq::temporal`] | [`par::coarse`] | [`par::fine_temporal`] |
+//!
+//! All enumerators share the same problem definitions (see [`cycle`]), report
+//! cycles through a [`CycleSink`] and record work into [`WorkMetrics`]. The
+//! high-level entry point for applications is [`CycleEnumerator`], a builder
+//! that selects the algorithm, granularity, thread count and constraints.
+//!
+//! ```
+//! use pce_core::{CycleEnumerator, Algorithm, Granularity};
+//! use pce_graph::generators::directed_cycle;
+//!
+//! let graph = directed_cycle(4);
+//! let result = CycleEnumerator::new()
+//!     .algorithm(Algorithm::Johnson)
+//!     .granularity(Granularity::FineGrained)
+//!     .threads(2)
+//!     .enumerate_simple(&graph);
+//! assert_eq!(result.stats.cycles, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod api;
+pub mod bundle;
+pub mod cycle;
+pub mod metrics;
+pub mod options;
+pub mod par;
+pub mod seq;
+pub(crate) mod union;
+pub mod util;
+
+pub use api::{Algorithm, CycleEnumerator, EnumerationResult, Granularity};
+pub use cycle::{BoundedSink, CollectingSink, CountingSink, Cycle, CycleSink};
+pub use metrics::{RunStats, WorkMetrics, WorkSnapshot, WorkerWork};
+pub use options::{SimpleCycleOptions, TemporalCycleOptions};
+
+// Re-export the substrate crates so downstream users can depend on `pce-core`
+// alone.
+pub use pce_graph as graph;
+pub use pce_sched as sched;

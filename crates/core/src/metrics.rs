@@ -1,0 +1,309 @@
+//! Work and load-balance instrumentation.
+//!
+//! §8 of the paper quantifies work as the number of edges visited during a
+//! run and load balance as per-thread execution time (Figure 1). Every
+//! enumerator in this crate takes a [`WorkMetrics`] handle and records edge
+//! visits, recursive calls / tasks, copy-on-steal events and unblock
+//! operations into per-worker, cache-line-padded atomic counters; the
+//! aggregate is returned alongside the cycle count in a [`RunStats`].
+
+use crossbeam_utils::CachePadded;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Per-worker counter block (cache-line padded so that workers do not false
+/// share).
+#[derive(Debug, Default)]
+struct WorkerBlock {
+    edge_visits: AtomicU64,
+    recursive_calls: AtomicU64,
+    copy_events: AtomicU64,
+    steal_events: AtomicU64,
+    unblock_ops: AtomicU64,
+    roots_processed: AtomicU64,
+    busy_nanos: AtomicU64,
+}
+
+/// Shared, thread-safe work counters for one enumeration run.
+///
+/// `worker_id` arguments index into per-worker slots; sequential enumerators
+/// pass `0`. Ids greater than the configured worker count are clamped to the
+/// last slot rather than panicking, so callers may size the metrics for the
+/// pool and still record from an external helper thread.
+#[derive(Debug)]
+pub struct WorkMetrics {
+    workers: Vec<CachePadded<WorkerBlock>>,
+}
+
+impl WorkMetrics {
+    /// Creates metrics with one slot per worker (at least one slot).
+    pub fn new(num_workers: usize) -> Self {
+        let n = num_workers.max(1);
+        Self {
+            workers: (0..n).map(|_| CachePadded::new(WorkerBlock::default())).collect(),
+        }
+    }
+
+    #[inline]
+    fn slot(&self, worker: usize) -> &WorkerBlock {
+        &self.workers[worker.min(self.workers.len() - 1)]
+    }
+
+    /// Records one edge visit (the paper's work metric).
+    #[inline]
+    pub fn edge_visit(&self, worker: usize) {
+        self.slot(worker).edge_visits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` edge visits at once.
+    #[inline]
+    pub fn edge_visits(&self, worker: usize, n: u64) {
+        self.slot(worker).edge_visits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one recursive call / task execution.
+    #[inline]
+    pub fn recursive_call(&self, worker: usize) {
+        self.slot(worker)
+            .recursive_calls
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one copy of the search state (copy-on-steal or task copy).
+    #[inline]
+    pub fn copy_event(&self, worker: usize) {
+        self.slot(worker).copy_events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one successful branch steal.
+    #[inline]
+    pub fn steal_event(&self, worker: usize) {
+        self.slot(worker).steal_events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one (recursive) unblock operation.
+    #[inline]
+    pub fn unblock_op(&self, worker: usize) {
+        self.slot(worker).unblock_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records that a worker finished processing one root edge.
+    #[inline]
+    pub fn root_processed(&self, worker: usize) {
+        self.slot(worker)
+            .roots_processed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds busy wall-clock time for a worker.
+    #[inline]
+    pub fn add_busy(&self, worker: usize, time: Duration) {
+        self.slot(worker)
+            .busy_nanos
+            .fetch_add(time.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Takes a plain-value snapshot of every worker's counters.
+    pub fn snapshot(&self) -> WorkSnapshot {
+        WorkSnapshot {
+            workers: self
+                .workers
+                .iter()
+                .map(|w| WorkerWork {
+                    edge_visits: w.edge_visits.load(Ordering::Relaxed),
+                    recursive_calls: w.recursive_calls.load(Ordering::Relaxed),
+                    copy_events: w.copy_events.load(Ordering::Relaxed),
+                    steal_events: w.steal_events.load(Ordering::Relaxed),
+                    unblock_ops: w.unblock_ops.load(Ordering::Relaxed),
+                    roots_processed: w.roots_processed.load(Ordering::Relaxed),
+                    busy_nanos: w.busy_nanos.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Snapshot of one worker's work counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerWork {
+    /// Edges visited.
+    pub edge_visits: u64,
+    /// Recursive calls / tasks executed.
+    pub recursive_calls: u64,
+    /// Search-state copies performed.
+    pub copy_events: u64,
+    /// Branches stolen from other workers.
+    pub steal_events: u64,
+    /// Unblock operations performed.
+    pub unblock_ops: u64,
+    /// Root edges processed.
+    pub roots_processed: u64,
+    /// Busy wall-clock nanoseconds.
+    pub busy_nanos: u64,
+}
+
+/// Snapshot of all workers' counters plus aggregate helpers.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WorkSnapshot {
+    /// Per-worker counters, indexed by worker id.
+    pub workers: Vec<WorkerWork>,
+}
+
+impl WorkSnapshot {
+    /// Total edges visited across all workers — the paper's work metric.
+    pub fn total_edge_visits(&self) -> u64 {
+        self.workers.iter().map(|w| w.edge_visits).sum()
+    }
+
+    /// Total recursive calls / tasks.
+    pub fn total_recursive_calls(&self) -> u64 {
+        self.workers.iter().map(|w| w.recursive_calls).sum()
+    }
+
+    /// Total search-state copies.
+    pub fn total_copies(&self) -> u64 {
+        self.workers.iter().map(|w| w.copy_events).sum()
+    }
+
+    /// Total successful branch steals.
+    pub fn total_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.steal_events).sum()
+    }
+
+    /// Total unblock operations.
+    pub fn total_unblocks(&self) -> u64 {
+        self.workers.iter().map(|w| w.unblock_ops).sum()
+    }
+
+    /// Total root edges processed.
+    pub fn total_roots(&self) -> u64 {
+        self.workers.iter().map(|w| w.roots_processed).sum()
+    }
+
+    /// Per-worker busy time in seconds (the series plotted in Figure 1).
+    pub fn busy_secs_per_worker(&self) -> Vec<f64> {
+        self.workers.iter().map(|w| w.busy_nanos as f64 / 1e9).collect()
+    }
+
+    /// Load-imbalance factor: max busy time / mean busy time (1.0 = perfect).
+    pub fn imbalance(&self) -> f64 {
+        let busy = self.busy_secs_per_worker();
+        if busy.is_empty() {
+            return 1.0;
+        }
+        let mean: f64 = busy.iter().sum::<f64>() / busy.len() as f64;
+        if mean <= f64::EPSILON {
+            1.0
+        } else {
+            busy.iter().cloned().fold(0.0, f64::max) / mean
+        }
+    }
+}
+
+/// The result summary returned by every enumerator: cycle count, wall-clock
+/// time and the work snapshot.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Number of cycles reported to the sink.
+    pub cycles: u64,
+    /// Wall-clock execution time in seconds.
+    pub wall_secs: f64,
+    /// Work counters.
+    pub work: WorkSnapshot,
+    /// Number of worker threads used (1 for sequential enumerators).
+    pub threads: usize,
+}
+
+impl RunStats {
+    /// Throughput in cycles per second (0 when the run took no measurable
+    /// time).
+    pub fn cycles_per_sec(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.wall_secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_worker() {
+        let m = WorkMetrics::new(3);
+        m.edge_visit(0);
+        m.edge_visits(1, 10);
+        m.edge_visit(2);
+        m.recursive_call(1);
+        m.copy_event(2);
+        m.steal_event(2);
+        m.unblock_op(0);
+        m.root_processed(0);
+        m.add_busy(1, Duration::from_millis(2));
+        let s = m.snapshot();
+        assert_eq!(s.total_edge_visits(), 12);
+        assert_eq!(s.total_recursive_calls(), 1);
+        assert_eq!(s.total_copies(), 1);
+        assert_eq!(s.total_steals(), 1);
+        assert_eq!(s.total_unblocks(), 1);
+        assert_eq!(s.total_roots(), 1);
+        assert_eq!(s.workers[1].edge_visits, 10);
+        assert!(s.busy_secs_per_worker()[1] > 0.0);
+    }
+
+    #[test]
+    fn out_of_range_worker_is_clamped() {
+        let m = WorkMetrics::new(2);
+        m.edge_visit(99);
+        assert_eq!(m.snapshot().workers[1].edge_visits, 1);
+    }
+
+    #[test]
+    fn zero_worker_request_clamps_to_one() {
+        let m = WorkMetrics::new(0);
+        m.edge_visit(0);
+        assert_eq!(m.snapshot().total_edge_visits(), 1);
+    }
+
+    #[test]
+    fn imbalance_of_even_and_skewed_loads() {
+        let even = WorkSnapshot {
+            workers: vec![
+                WorkerWork {
+                    busy_nanos: 1_000,
+                    ..Default::default()
+                };
+                4
+            ],
+        };
+        assert!((even.imbalance() - 1.0).abs() < 1e-9);
+        let skewed = WorkSnapshot {
+            workers: vec![
+                WorkerWork {
+                    busy_nanos: 4_000,
+                    ..Default::default()
+                },
+                WorkerWork::default(),
+                WorkerWork::default(),
+                WorkerWork::default(),
+            ],
+        };
+        assert!((skewed.imbalance() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_stats_throughput() {
+        let stats = RunStats {
+            cycles: 100,
+            wall_secs: 2.0,
+            work: WorkSnapshot::default(),
+            threads: 4,
+        };
+        assert!((stats.cycles_per_sec() - 50.0).abs() < 1e-9);
+        let zero = RunStats::default();
+        assert_eq!(zero.cycles_per_sec(), 0.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Enumeration options: the constraints of the paper's Table 2 (time windows,
+//! cycle-length bounds) and execution parameters shared by every enumerator.
+
+use pce_graph::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// Constraints for **simple cycle** enumeration (window-constrained or
+/// unconstrained).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimpleCycleOptions {
+    /// Time-window size δ: a cycle qualifies iff all of its edge timestamps
+    /// fit in a window of this size (the window is anchored at the cycle's
+    /// earliest edge). `None` disables the constraint (classic simple cycle
+    /// enumeration — beware, intractable on large cyclic graphs).
+    pub window_delta: Option<Timestamp>,
+    /// Maximum number of edges in a cycle. `None` means unbounded.
+    pub max_len: Option<usize>,
+    /// Whether length-1 cycles (self-loops) are reported. The paper's
+    /// evaluation (and most applications) ignores self-loops; defaults to
+    /// `false`.
+    pub include_self_loops: bool,
+}
+
+impl Default for SimpleCycleOptions {
+    fn default() -> Self {
+        Self {
+            window_delta: None,
+            max_len: None,
+            include_self_loops: false,
+        }
+    }
+}
+
+impl SimpleCycleOptions {
+    /// Unconstrained enumeration (no window, no length bound).
+    pub fn unconstrained() -> Self {
+        Self::default()
+    }
+
+    /// Window-constrained enumeration with window size `delta`.
+    pub fn with_window(delta: Timestamp) -> Self {
+        Self {
+            window_delta: Some(delta),
+            ..Self::default()
+        }
+    }
+
+    /// Sets the maximum cycle length (number of edges).
+    pub fn max_len(mut self, len: usize) -> Self {
+        self.max_len = Some(len);
+        self
+    }
+
+    /// Enables reporting of self-loops.
+    pub fn include_self_loops(mut self, yes: bool) -> Self {
+        self.include_self_loops = yes;
+        self
+    }
+
+    /// The effective window size: `i64::MAX` when unconstrained.
+    pub(crate) fn effective_delta(&self) -> Timestamp {
+        self.window_delta.unwrap_or(Timestamp::MAX)
+    }
+
+    /// Returns `true` if a cycle with `len` edges satisfies the length bound.
+    #[inline]
+    pub(crate) fn len_ok(&self, len: usize) -> bool {
+        self.max_len.map(|m| len <= m).unwrap_or(true)
+    }
+}
+
+/// Constraints for **temporal cycle** enumeration (edges strictly increasing
+/// in time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TemporalCycleOptions {
+    /// Time-window size δ: every edge of the cycle must have a timestamp in
+    /// `[t_first : t_first + δ]` where `t_first` is the first (smallest)
+    /// timestamp of the cycle.
+    pub window_delta: Timestamp,
+    /// Maximum number of edges in a cycle. `None` means unbounded.
+    pub max_len: Option<usize>,
+}
+
+impl TemporalCycleOptions {
+    /// Temporal enumeration with window size `delta` and no length bound.
+    pub fn with_window(delta: Timestamp) -> Self {
+        Self {
+            window_delta: delta,
+            max_len: None,
+        }
+    }
+
+    /// Sets the maximum cycle length (number of edges).
+    pub fn max_len(mut self, len: usize) -> Self {
+        self.max_len = Some(len);
+        self
+    }
+
+    /// Returns `true` if a cycle with `len` edges satisfies the length bound.
+    #[inline]
+    pub(crate) fn len_ok(&self, len: usize) -> bool {
+        self.max_len.map(|m| len <= m).unwrap_or(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_defaults() {
+        let o = SimpleCycleOptions::default();
+        assert_eq!(o.window_delta, None);
+        assert_eq!(o.max_len, None);
+        assert!(!o.include_self_loops);
+        assert_eq!(o.effective_delta(), Timestamp::MAX);
+        assert!(o.len_ok(1_000_000));
+    }
+
+    #[test]
+    fn simple_builders() {
+        let o = SimpleCycleOptions::with_window(100)
+            .max_len(5)
+            .include_self_loops(true);
+        assert_eq!(o.window_delta, Some(100));
+        assert_eq!(o.effective_delta(), 100);
+        assert!(o.len_ok(5));
+        assert!(!o.len_ok(6));
+        assert!(o.include_self_loops);
+    }
+
+    #[test]
+    fn temporal_builders() {
+        let o = TemporalCycleOptions::with_window(3600).max_len(4);
+        assert_eq!(o.window_delta, 3600);
+        assert!(o.len_ok(4));
+        assert!(!o.len_ok(5));
+    }
+}

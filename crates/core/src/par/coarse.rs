@@ -1,0 +1,277 @@
+//! Coarse-grained parallel enumeration (§4).
+//!
+//! The search rooted at every edge is an independent task; tasks are
+//! dynamically scheduled over the pool's workers (each worker repeatedly
+//! claims the next unprocessed root edge). This is work efficient — every root
+//! search performs exactly the work its sequential counterpart would — but not
+//! scalable: a single root edge can own almost all of the work (Figure 4a has
+//! `2^(n-2)` cycles behind one root edge), in which case adding workers cannot
+//! reduce the execution time (Theorem 4.2).
+
+use crate::cycle::CycleSink;
+use crate::metrics::{RunStats, WorkMetrics};
+use crate::options::{SimpleCycleOptions, TemporalCycleOptions};
+use crate::seq::johnson::johnson_root;
+use crate::seq::read_tarjan::read_tarjan_root;
+use crate::seq::temporal::temporal_root;
+use crate::seq::tiernan::tiernan_root;
+use crate::seq::RootScratch;
+use pce_graph::{EdgeId, TemporalGraph};
+use pce_sched::{DynamicCounter, ThreadPool};
+use std::time::Instant;
+
+/// Which per-root search the coarse-grained driver runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RootKind {
+    Johnson,
+    ReadTarjan,
+    Tiernan,
+}
+
+fn run_coarse_simple(
+    graph: &TemporalGraph,
+    opts: &SimpleCycleOptions,
+    sink: &dyn CycleSink,
+    pool: &ThreadPool,
+    kind: RootKind,
+) -> RunStats {
+    let threads = pool.num_threads();
+    let metrics = WorkMetrics::new(threads);
+    let start = Instant::now();
+    let counter = DynamicCounter::new(graph.num_edges(), 1);
+
+    pool.scope(|scope| {
+        for _ in 0..threads {
+            let counter = &counter;
+            let metrics = &metrics;
+            let opts = &*opts;
+            scope.spawn(move |_, ctx| {
+                let worker = ctx.worker_id();
+                let mut scratch = RootScratch::new(graph.num_vertices());
+                while let Some(root) = counter.next() {
+                    let root = root as EdgeId;
+                    let t0 = Instant::now();
+                    match kind {
+                        RootKind::Johnson => {
+                            johnson_root(graph, root, opts, &mut scratch, sink, metrics, worker)
+                        }
+                        RootKind::ReadTarjan => {
+                            read_tarjan_root(graph, root, opts, &mut scratch, sink, metrics, worker)
+                        }
+                        RootKind::Tiernan => {
+                            tiernan_root(graph, root, opts, sink, metrics, worker)
+                        }
+                    }
+                    metrics.add_busy(worker, t0.elapsed());
+                }
+            });
+        }
+    });
+
+    RunStats {
+        cycles: sink.count(),
+        wall_secs: start.elapsed().as_secs_f64(),
+        work: metrics.snapshot(),
+        threads,
+    }
+}
+
+/// Coarse-grained parallel Johnson: one dynamically scheduled task per root
+/// edge, each running the sequential Johnson search.
+pub fn coarse_johnson_simple(
+    graph: &TemporalGraph,
+    opts: &SimpleCycleOptions,
+    sink: &dyn CycleSink,
+    pool: &ThreadPool,
+) -> RunStats {
+    run_coarse_simple(graph, opts, sink, pool, RootKind::Johnson)
+}
+
+/// Coarse-grained parallel Read-Tarjan: one dynamically scheduled task per
+/// root edge, each running the sequential Read-Tarjan search.
+pub fn coarse_read_tarjan_simple(
+    graph: &TemporalGraph,
+    opts: &SimpleCycleOptions,
+    sink: &dyn CycleSink,
+    pool: &ThreadPool,
+) -> RunStats {
+    run_coarse_simple(graph, opts, sink, pool, RootKind::ReadTarjan)
+}
+
+/// Coarse-grained parallel Tiernan (included for completeness as the
+/// brute-force comparison point).
+pub fn coarse_tiernan_simple(
+    graph: &TemporalGraph,
+    opts: &SimpleCycleOptions,
+    sink: &dyn CycleSink,
+    pool: &ThreadPool,
+) -> RunStats {
+    run_coarse_simple(graph, opts, sink, pool, RootKind::Tiernan)
+}
+
+/// Coarse-grained parallel temporal-cycle enumeration: one dynamically
+/// scheduled task per root edge, each running the sequential temporal search
+/// with cycle-union and closing-time pruning.
+pub fn coarse_temporal(
+    graph: &TemporalGraph,
+    opts: &TemporalCycleOptions,
+    sink: &dyn CycleSink,
+    pool: &ThreadPool,
+) -> RunStats {
+    let threads = pool.num_threads();
+    let metrics = WorkMetrics::new(threads);
+    let start = Instant::now();
+    let counter = DynamicCounter::new(graph.num_edges(), 1);
+
+    pool.scope(|scope| {
+        for _ in 0..threads {
+            let counter = &counter;
+            let metrics = &metrics;
+            let opts = &*opts;
+            scope.spawn(move |_, ctx| {
+                let worker = ctx.worker_id();
+                let mut scratch = RootScratch::new(graph.num_vertices());
+                while let Some(root) = counter.next() {
+                    let t0 = Instant::now();
+                    temporal_root(graph, root as EdgeId, opts, &mut scratch, sink, metrics, worker);
+                    metrics.add_busy(worker, t0.elapsed());
+                }
+            });
+        }
+    });
+
+    RunStats {
+        cycles: sink.count(),
+        wall_secs: start.elapsed().as_secs_f64(),
+        work: metrics.snapshot(),
+        threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycle::{CollectingSink, CountingSink};
+    use crate::seq::johnson::johnson_simple;
+    use crate::seq::temporal::temporal_simple;
+    use pce_graph::generators::{self, RandomTemporalConfig};
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(4)
+    }
+
+    #[test]
+    fn coarse_johnson_matches_sequential() {
+        let g = generators::uniform_temporal(RandomTemporalConfig {
+            num_vertices: 20,
+            num_edges: 90,
+            time_span: 50,
+            seed: 1,
+        });
+        let opts = SimpleCycleOptions::with_window(15);
+        let seq = CollectingSink::new();
+        johnson_simple(&g, &opts, &seq);
+        let par = CollectingSink::new();
+        coarse_johnson_simple(&g, &opts, &par, &pool());
+        assert_eq!(seq.canonical_cycles(), par.canonical_cycles());
+    }
+
+    #[test]
+    fn coarse_read_tarjan_matches_sequential() {
+        let g = generators::uniform_temporal(RandomTemporalConfig {
+            num_vertices: 18,
+            num_edges: 80,
+            time_span: 60,
+            seed: 2,
+        });
+        let opts = SimpleCycleOptions::with_window(18);
+        let seq = CollectingSink::new();
+        johnson_simple(&g, &opts, &seq);
+        let par = CollectingSink::new();
+        coarse_read_tarjan_simple(&g, &opts, &par, &pool());
+        assert_eq!(seq.canonical_cycles(), par.canonical_cycles());
+    }
+
+    #[test]
+    fn coarse_tiernan_matches_sequential() {
+        let g = generators::uniform_temporal(RandomTemporalConfig {
+            num_vertices: 12,
+            num_edges: 40,
+            time_span: 30,
+            seed: 3,
+        });
+        let opts = SimpleCycleOptions::unconstrained();
+        let seq = CollectingSink::new();
+        johnson_simple(&g, &opts, &seq);
+        let par = CollectingSink::new();
+        coarse_tiernan_simple(&g, &opts, &par, &pool());
+        assert_eq!(seq.canonical_cycles(), par.canonical_cycles());
+    }
+
+    #[test]
+    fn coarse_temporal_matches_sequential() {
+        let g = generators::power_law_temporal(RandomTemporalConfig {
+            num_vertices: 50,
+            num_edges: 250,
+            time_span: 120,
+            seed: 4,
+        });
+        let opts = TemporalCycleOptions::with_window(60);
+        let seq = CollectingSink::new();
+        temporal_simple(&g, &opts, &seq);
+        let par = CollectingSink::new();
+        coarse_temporal(&g, &opts, &par, &pool());
+        assert_eq!(seq.canonical_cycles(), par.canonical_cycles());
+    }
+
+    #[test]
+    fn fig4a_single_root_counts_are_exact_for_any_thread_count() {
+        let g = generators::fig4a_exponential_cycles(10);
+        for threads in [1, 2, 8] {
+            let pool = ThreadPool::new(threads);
+            let sink = CountingSink::new();
+            let stats =
+                coarse_johnson_simple(&g, &SimpleCycleOptions::unconstrained(), &sink, &pool);
+            assert_eq!(sink.count(), generators::fig4a_cycle_count(10));
+            assert_eq!(stats.threads, threads);
+        }
+    }
+
+    #[test]
+    fn results_are_independent_of_thread_count() {
+        let g = generators::uniform_temporal(RandomTemporalConfig {
+            num_vertices: 16,
+            num_edges: 70,
+            time_span: 45,
+            seed: 5,
+        });
+        let opts = SimpleCycleOptions::with_window(20);
+        let reference = CollectingSink::new();
+        coarse_johnson_simple(&g, &opts, &reference, &ThreadPool::new(1));
+        for threads in [2, 3, 8] {
+            let sink = CollectingSink::new();
+            coarse_johnson_simple(&g, &opts, &sink, &ThreadPool::new(threads));
+            assert_eq!(
+                reference.canonical_cycles(),
+                sink.canonical_cycles(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn busy_time_is_recorded_per_worker() {
+        let g = generators::fig4a_exponential_cycles(12);
+        let sink = CountingSink::new();
+        let stats = coarse_johnson_simple(
+            &g,
+            &SimpleCycleOptions::unconstrained(),
+            &sink,
+            &ThreadPool::new(4),
+        );
+        // All of the work of fig4a hangs off a single root edge, so exactly
+        // one worker should carry essentially all the busy time — the load
+        // imbalance the paper's Figure 1a illustrates.
+        assert!(stats.work.imbalance() > 1.5);
+    }
+}

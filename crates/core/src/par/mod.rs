@@ -1,0 +1,32 @@
+//! Parallel enumeration algorithms.
+//!
+//! * [`coarse`] — the coarse-grained parallel versions of §4: one task per
+//!   starting (root) edge, dynamically scheduled. Work efficient but not
+//!   scalable (Theorem 4.2).
+//! * [`fine_johnson`] — the fine-grained parallel Johnson algorithm of §5:
+//!   unexplored branches of an active rooted search can be stolen by idle
+//!   workers via copy-on-steal with recursive unblocking. Scalable but not
+//!   work efficient (Theorems 5.1/5.2).
+//! * [`fine_read_tarjan`] — the fine-grained parallel Read-Tarjan algorithm of
+//!   §6: every recursive call is an independent task carrying copies of its
+//!   path and blocked set. Both scalable and work efficient (Theorems
+//!   6.1/6.2).
+//! * [`fine_temporal`] — the temporal-cycle versions of the fine-grained
+//!   algorithms (§7), built on the scalable cycle-union preprocessing.
+
+pub mod coarse;
+pub mod fine_johnson;
+pub mod fine_read_tarjan;
+pub mod fine_temporal;
+
+use pce_sched::ThreadPool;
+
+/// Creates a thread pool with `threads` workers, or one sized to the machine
+/// when `threads` is 0.
+pub(crate) fn make_pool(threads: usize) -> ThreadPool {
+    if threads == 0 {
+        ThreadPool::with_available_parallelism()
+    } else {
+        ThreadPool::new(threads)
+    }
+}

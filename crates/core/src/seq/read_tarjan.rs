@@ -1,0 +1,526 @@
+//! The Read-Tarjan algorithm (§3.4): simple-cycle enumeration driven by
+//! *path extensions*.
+//!
+//! A recursive call owns a current path `Π` (from `v0` to a frontier vertex)
+//! together with one already-discovered *path extension* `Π_E` — a simple path
+//! from the frontier back to `v0` that is vertex-disjoint from `Π`. The call
+//! is responsible for enumerating **every** cycle that has `Π` as a prefix.
+//! It walks along `Π_E`; before committing each extension vertex it probes,
+//! with a depth-first search, every other admissible edge leaving the current
+//! frontier:
+//!
+//! * a probe that reaches `v0` directly closes a cycle, which is reported
+//!   immediately;
+//! * a probe that finds a longer extension spawns a **child call** whose path
+//!   is the current path plus that first probe edge — the child becomes
+//!   responsible for every cycle with that longer prefix;
+//! * a probe that fails marks every vertex it visited as *blocked* for the
+//!   remainder of this call (none of them can reach `v0` while avoiding the
+//!   current path, and the path only grows).
+//!
+//! When the walk finally commits the last extension edge, `Π · Π_E` itself is
+//! reported. Partitioning responsibility by "first edge where the cycle
+//! deviates from the witness extension" makes every cycle reported exactly
+//! once, and because each call reports at least the cycle `Π · Π_E`, the
+//! number of calls is at most the number of cycles `c`. A call performs
+//! `O(n + e)` work (failed probes are amortised by the blocked set; each
+//! successful probe is charged to the child it spawns), giving the same
+//! `O((n+e)(c+1))` bound as Johnson.
+//!
+//! Crucially, and unlike Johnson, calls only pass information *down* (each
+//! child receives copies of `Π` and `Blk`), never back up — which is what
+//! makes the fine-grained parallelisation of §6 work efficient: child calls
+//! are completely independent tasks.
+
+use crate::cycle::CycleSink;
+use crate::metrics::{RunStats, WorkMetrics};
+use crate::options::SimpleCycleOptions;
+use crate::seq::{handle_self_loop_root, timed_run, RootScratch};
+use crate::union::UnionQuery;
+use crate::util::{fx_set, FxHashSet};
+use pce_graph::{AdjEntry, EdgeId, TemporalGraph, TimeWindow, VertexId};
+
+/// A path extension: a sequence of `(edge, target-vertex)` steps leading from
+/// the current frontier back to the root vertex `v0`. The final step always
+/// targets `v0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Extension {
+    /// `(edge, vertex)` steps in order; the last vertex is always `v0`.
+    pub steps: Vec<(EdgeId, VertexId)>,
+}
+
+/// The state a Read-Tarjan recursive call owns. Parallel drivers ship this
+/// across threads, so it is a plain owned value.
+#[derive(Debug, Clone)]
+pub(crate) struct RtCallState {
+    /// Current path vertices (starting with `v0`).
+    pub path: Vec<VertexId>,
+    /// Edges of the current path (one fewer than `path`... exactly
+    /// `path.len() - 1` entries, the root edge first).
+    pub path_edges: Vec<EdgeId>,
+    /// Membership set for `path`.
+    pub on_path: FxHashSet<VertexId>,
+    /// The witness extension to walk.
+    pub extension: Extension,
+    /// Vertices that provably cannot reach `v0` while avoiding the current
+    /// path; private to this call (copied, never merged back).
+    pub blocked: FxHashSet<VertexId>,
+}
+
+/// Immutable per-root context shared by all recursive calls of one rooted
+/// Read-Tarjan search.
+pub(crate) struct RtContext<'a> {
+    pub graph: &'a TemporalGraph,
+    pub sink: &'a dyn CycleSink,
+    pub metrics: &'a WorkMetrics,
+    pub opts: &'a SimpleCycleOptions,
+    pub union: &'a dyn UnionQuery,
+    pub root: EdgeId,
+    pub v0: VertexId,
+    pub window: TimeWindow,
+}
+
+impl RtContext<'_> {
+    /// Is `entry` an admissible edge for this rooted search?
+    #[inline]
+    pub(crate) fn admissible(&self, entry: &AdjEntry) -> bool {
+        entry.edge > self.root
+            && entry.ts <= self.window.end
+            && (entry.neighbor == self.v0 || self.union.in_union(entry.neighbor))
+    }
+
+    /// Depth-first search for a path extension that starts with the edge
+    /// `start_edge → start_vertex` (leaving the current frontier) and ends at
+    /// `v0`, avoiding `on_path` and `blocked`.
+    ///
+    /// `budget` bounds the number of edges the extension may use (`None` =
+    /// unbounded). On complete failure every vertex visited by the DFS is
+    /// added to `blocked`.
+    pub(crate) fn find_extension(
+        &self,
+        worker: usize,
+        start_edge: EdgeId,
+        start_vertex: VertexId,
+        on_path: &FxHashSet<VertexId>,
+        blocked: &mut FxHashSet<VertexId>,
+        budget: Option<usize>,
+    ) -> Option<Extension> {
+        if let Some(b) = budget {
+            if b == 0 {
+                return None;
+            }
+        }
+        self.metrics.edge_visit(worker);
+        if start_vertex == self.v0 {
+            return Some(Extension {
+                steps: vec![(start_edge, start_vertex)],
+            });
+        }
+        if on_path.contains(&start_vertex)
+            || blocked.contains(&start_vertex)
+            || !self.union.in_union(start_vertex)
+        {
+            return None;
+        }
+        if let Some(b) = budget {
+            if b < 2 {
+                return None;
+            }
+        }
+
+        // Iterative DFS; each stack frame records the vertex, the edge used to
+        // enter it and the index of the next outgoing edge to try.
+        let mut stack: Vec<(VertexId, EdgeId, usize)> = vec![(start_vertex, start_edge, 0)];
+        let mut visited: FxHashSet<VertexId> = fx_set();
+        visited.insert(start_vertex);
+
+        loop {
+            let Some(&(v, _, next_idx)) = stack.last() else {
+                break;
+            };
+            let out = self.graph.out_edges_in_window(v, self.window);
+            if next_idx >= out.len() {
+                stack.pop();
+                continue;
+            }
+            stack.last_mut().expect("frame just read").2 += 1;
+            let entry = out[next_idx];
+            if !self.admissible(&entry) {
+                continue;
+            }
+            self.metrics.edge_visit(worker);
+            let w = entry.neighbor;
+            if w == self.v0 {
+                if let Some(b) = budget {
+                    if stack.len() + 1 > b {
+                        continue;
+                    }
+                }
+                let mut steps: Vec<(EdgeId, VertexId)> =
+                    stack.iter().map(|&(sv, se, _)| (se, sv)).collect();
+                steps.push((entry.edge, self.v0));
+                return Some(Extension { steps });
+            }
+            if visited.contains(&w) || on_path.contains(&w) || blocked.contains(&w) {
+                continue;
+            }
+            if let Some(b) = budget {
+                if stack.len() + 2 > b {
+                    continue;
+                }
+            }
+            visited.insert(w);
+            stack.push((w, entry.edge, 0));
+        }
+
+        // Complete failure: nothing visited can reach v0 while avoiding the
+        // current path, now or later in this call (the avoided sets only
+        // grow), so block it all.
+        for v in visited {
+            blocked.insert(v);
+        }
+        None
+    }
+}
+
+/// One recursive Read-Tarjan call. Cycles are reported to the context's sink;
+/// every child call produced is handed to `spawn_child` (which the sequential
+/// driver executes by direct recursion and the fine-grained parallel driver
+/// turns into an independently scheduled task).
+pub(crate) fn rt_call(
+    ctx: &RtContext<'_>,
+    worker: usize,
+    mut state: RtCallState,
+    spawn_child: &mut impl FnMut(RtCallState),
+) {
+    ctx.metrics.recursive_call(worker);
+
+    for step_idx in 0..state.extension.steps.len() {
+        let (ext_edge, ext_vertex) = state.extension.steps[step_idx];
+        let frontier = *state.path.last().expect("path never empty");
+
+        // Probe every other admissible edge leaving the frontier: each one is
+        // the first edge of a prefix this call is responsible for but will not
+        // walk itself.
+        for &entry in ctx.graph.out_edges_in_window(frontier, ctx.window) {
+            if entry.edge == ext_edge || !ctx.admissible(&entry) {
+                continue;
+            }
+            ctx.metrics.edge_visit(worker);
+            let budget = ctx
+                .opts
+                .max_len
+                .map(|m| m.saturating_sub(state.path_edges.len()));
+            if budget == Some(0) {
+                break;
+            }
+            let Some(alt) = ctx.find_extension(
+                worker,
+                entry.edge,
+                entry.neighbor,
+                &state.on_path,
+                &mut state.blocked,
+                budget,
+            ) else {
+                continue;
+            };
+            if alt.steps.len() == 1 {
+                // The probe edge closes a cycle directly; no other cycle can
+                // have this exact prefix, so report it here.
+                if ctx.opts.len_ok(state.path_edges.len() + 1) {
+                    state.path_edges.push(entry.edge);
+                    ctx.sink.report(&state.path, &state.path_edges);
+                    state.path_edges.pop();
+                }
+            } else {
+                // Spawn a child responsible for every cycle whose prefix is
+                // the current path extended by this probe edge. The child
+                // receives copies of the path and of the blocked set.
+                ctx.metrics.copy_event(worker);
+                let (first_edge, first_vertex) = alt.steps[0];
+                let mut child_path = state.path.clone();
+                let mut child_edges = state.path_edges.clone();
+                let mut child_on_path = state.on_path.clone();
+                child_path.push(first_vertex);
+                child_edges.push(first_edge);
+                child_on_path.insert(first_vertex);
+                spawn_child(RtCallState {
+                    path: child_path,
+                    path_edges: child_edges,
+                    on_path: child_on_path,
+                    extension: Extension {
+                        steps: alt.steps[1..].to_vec(),
+                    },
+                    blocked: state.blocked.clone(),
+                });
+            }
+        }
+
+        // Commit the next step of the witness extension.
+        state.path_edges.push(ext_edge);
+        if ext_vertex == ctx.v0 {
+            debug_assert_eq!(step_idx, state.extension.steps.len() - 1);
+            if ctx.opts.len_ok(state.path_edges.len()) {
+                ctx.sink.report(&state.path, &state.path_edges);
+            }
+        } else {
+            state.path.push(ext_vertex);
+            state.on_path.insert(ext_vertex);
+        }
+    }
+}
+
+/// Builds the initial call state for the search rooted at `root`, or `None`
+/// when no cycle passes through the root edge. Shared by the sequential and
+/// parallel drivers.
+pub(crate) fn rt_initial_state(
+    ctx: &RtContext<'_>,
+    worker: usize,
+    root: EdgeId,
+) -> Option<RtCallState> {
+    let e0 = ctx.graph.edge(root);
+    let mut on_path = fx_set();
+    on_path.insert(e0.src);
+    on_path.insert(e0.dst);
+    let mut blocked = fx_set();
+    let mut first: Option<Extension> = None;
+    for &entry in ctx.graph.out_edges_in_window(e0.dst, ctx.window) {
+        if !ctx.admissible(&entry) {
+            continue;
+        }
+        ctx.metrics.edge_visit(worker);
+        let budget = ctx.opts.max_len.map(|m| m.saturating_sub(1));
+        if let Some(ext) = ctx.find_extension(
+            worker,
+            entry.edge,
+            entry.neighbor,
+            &on_path,
+            &mut blocked,
+            budget,
+        ) {
+            first = Some(ext);
+            break;
+        }
+    }
+    first.map(|extension| RtCallState {
+        path: vec![e0.src, e0.dst],
+        path_edges: vec![root],
+        on_path,
+        extension,
+        blocked,
+    })
+}
+
+/// Runs the Read-Tarjan search rooted at edge `root` sequentially (children
+/// are executed by direct recursion on the same thread).
+pub(crate) fn read_tarjan_root(
+    graph: &TemporalGraph,
+    root: EdgeId,
+    opts: &SimpleCycleOptions,
+    scratch: &mut RootScratch,
+    sink: &dyn CycleSink,
+    metrics: &WorkMetrics,
+    worker: usize,
+) {
+    if handle_self_loop_root(graph, root, opts, sink) {
+        return;
+    }
+    metrics.root_processed(worker);
+    let e0 = graph.edge(root);
+    let window = TimeWindow::from_start(e0.ts, opts.effective_delta());
+    if !scratch.union.compute_simple(graph, root, window) {
+        return;
+    }
+    let ctx = RtContext {
+        graph,
+        sink,
+        metrics,
+        opts,
+        union: &scratch.union,
+        root,
+        v0: e0.src,
+        window,
+    };
+    let Some(initial) = rt_initial_state(&ctx, worker, root) else {
+        return;
+    };
+    run_call_recursive(&ctx, worker, initial);
+}
+
+/// Executes an `rt_call` and every child it spawns by direct recursion (the
+/// sequential execution strategy).
+fn run_call_recursive(ctx: &RtContext<'_>, worker: usize, state: RtCallState) {
+    let mut pending: Vec<RtCallState> = vec![state];
+    // Children are executed depth-first from an explicit stack so that deeply
+    // nested spawn chains cannot overflow the call stack.
+    while let Some(next) = pending.pop() {
+        rt_call(ctx, worker, next, &mut |child| pending.push(child));
+    }
+}
+
+/// Sequential Read-Tarjan enumeration of all (window-constrained) simple
+/// cycles.
+pub fn read_tarjan_simple(
+    graph: &TemporalGraph,
+    opts: &SimpleCycleOptions,
+    sink: &dyn CycleSink,
+) -> RunStats {
+    let metrics = WorkMetrics::new(1);
+    timed_run(sink, &metrics, 1, || {
+        let mut scratch = RootScratch::new(graph.num_vertices());
+        for root in 0..graph.num_edges() as EdgeId {
+            read_tarjan_root(graph, root, opts, &mut scratch, sink, &metrics, 0);
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycle::{CollectingSink, CountingSink};
+    use crate::seq::johnson::johnson_simple;
+    use crate::seq::tiernan::tiernan_simple;
+    use pce_graph::generators::{self, RandomTemporalConfig};
+    use pce_graph::GraphBuilder;
+
+    #[test]
+    fn basic_shapes() {
+        let g = generators::directed_cycle(4);
+        let sink = CountingSink::new();
+        read_tarjan_simple(&g, &SimpleCycleOptions::unconstrained(), &sink);
+        assert_eq!(sink.count(), 1);
+
+        let p = generators::directed_path(5);
+        let sink = CountingSink::new();
+        read_tarjan_simple(&p, &SimpleCycleOptions::unconstrained(), &sink);
+        assert_eq!(sink.count(), 0);
+    }
+
+    #[test]
+    fn fig4a_counts_match_closed_form() {
+        for n in 2..=10 {
+            let g = generators::fig4a_exponential_cycles(n);
+            let sink = CountingSink::new();
+            read_tarjan_simple(&g, &SimpleCycleOptions::unconstrained(), &sink);
+            assert_eq!(
+                sink.count(),
+                generators::fig4a_cycle_count(n),
+                "fig4a n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig5a_and_fig3a_gadgets() {
+        let g = generators::fig5a_infeasible_regions(7);
+        let sink = CountingSink::new();
+        read_tarjan_simple(&g, &SimpleCycleOptions::unconstrained(), &sink);
+        assert_eq!(sink.count(), generators::FIG5A_CYCLE_COUNT);
+
+        let g = generators::fig3a_pruning_gadget(5, 6);
+        let sink = CountingSink::new();
+        read_tarjan_simple(&g, &SimpleCycleOptions::unconstrained(), &sink);
+        assert_eq!(sink.count(), 2);
+    }
+
+    #[test]
+    fn complete_digraphs_match_johnson() {
+        for n in 2..=5 {
+            let g = generators::complete_digraph(n);
+            let opts = SimpleCycleOptions::unconstrained();
+            let sink_rt = CollectingSink::new();
+            read_tarjan_simple(&g, &opts, &sink_rt);
+            let sink_j = CollectingSink::new();
+            johnson_simple(&g, &opts, &sink_j);
+            assert_eq!(
+                sink_rt.canonical_cycles(),
+                sink_j.canonical_cycles(),
+                "complete digraph n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_johnson_and_tiernan_on_random_graphs() {
+        for seed in 0..8 {
+            let g = generators::uniform_temporal(RandomTemporalConfig {
+                num_vertices: 12,
+                num_edges: 45,
+                time_span: 30,
+                seed: 100 + seed,
+            });
+            for delta in [8, 25, i64::MAX] {
+                let opts = if delta == i64::MAX {
+                    SimpleCycleOptions::unconstrained()
+                } else {
+                    SimpleCycleOptions::with_window(delta)
+                };
+                let rt = CollectingSink::new();
+                read_tarjan_simple(&g, &opts, &rt);
+                let j = CollectingSink::new();
+                johnson_simple(&g, &opts, &j);
+                let t = CollectingSink::new();
+                tiernan_simple(&g, &opts, &t);
+                let rt_c = rt.canonical_cycles();
+                assert_eq!(rt_c, j.canonical_cycles(), "seed {seed} delta {delta}");
+                assert_eq!(rt_c, t.canonical_cycles(), "seed {seed} delta {delta}");
+            }
+        }
+    }
+
+    #[test]
+    fn power_law_graph_agreement() {
+        let g = generators::power_law_temporal(RandomTemporalConfig {
+            num_vertices: 40,
+            num_edges: 150,
+            time_span: 100,
+            seed: 77,
+        });
+        let opts = SimpleCycleOptions::with_window(15);
+        let rt = CollectingSink::new();
+        read_tarjan_simple(&g, &opts, &rt);
+        let j = CollectingSink::new();
+        johnson_simple(&g, &opts, &j);
+        assert_eq!(rt.canonical_cycles(), j.canonical_cycles());
+    }
+
+    #[test]
+    fn max_len_constraint_matches_johnson() {
+        let g = generators::complete_digraph(5);
+        for max_len in 2..=5 {
+            let opts = SimpleCycleOptions::unconstrained().max_len(max_len);
+            let rt = CountingSink::new();
+            read_tarjan_simple(&g, &opts, &rt);
+            let j = CountingSink::new();
+            johnson_simple(&g, &opts, &j);
+            assert_eq!(rt.count(), j.count(), "max_len={max_len}");
+        }
+    }
+
+    #[test]
+    fn window_constraint_respected() {
+        let g = GraphBuilder::new()
+            .add_edge(0, 1, 0)
+            .add_edge(1, 2, 5)
+            .add_edge(2, 0, 9)
+            .add_edge(1, 0, 100)
+            .build();
+        let sink = CollectingSink::new();
+        read_tarjan_simple(&g, &SimpleCycleOptions::with_window(10), &sink);
+        let cycles = sink.canonical_cycles();
+        assert_eq!(cycles.len(), 1);
+        assert!(cycles[0].validate(&g).is_ok());
+    }
+
+    #[test]
+    fn recursive_call_count_is_bounded_by_cycle_count() {
+        // Work efficiency sanity check (Theorem 6.1): every call reports at
+        // least one cycle, so the number of calls never exceeds the number of
+        // cycles.
+        let g = generators::fig4a_exponential_cycles(9);
+        let sink = CountingSink::new();
+        let stats = read_tarjan_simple(&g, &SimpleCycleOptions::unconstrained(), &sink);
+        assert!(stats.work.total_recursive_calls() <= sink.count());
+        assert!(sink.count() > 0);
+    }
+}

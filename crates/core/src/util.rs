@@ -1,0 +1,128 @@
+//! Small utilities: a fast, non-cryptographic hasher for vertex keys and the
+//! hash-set/map aliases built on it.
+//!
+//! The enumeration algorithms do one or two hash lookups per visited edge
+//! (`on_path`, `blocked`), so the default SipHash hasher of the standard
+//! library would dominate the profile. We use the FxHash mixing function
+//! (the one rustc uses) re-implemented here in a few lines rather than adding
+//! an external dependency.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The FxHash mixing constant (64-bit).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A minimal FxHash-style hasher: word-at-a-time multiply-rotate mixing.
+/// Not HashDoS-resistant; the keys here are internal dense vertex ids.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// Creates an empty [`FxHashSet`].
+pub fn fx_set<T>() -> FxHashSet<T> {
+    FxHashSet::default()
+}
+
+/// Creates an empty [`FxHashMap`].
+pub fn fx_map<K, V>() -> FxHashMap<K, V> {
+    FxHashMap::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_map_behave_like_std() {
+        let mut set = fx_set();
+        for i in 0..1000u32 {
+            assert!(set.insert(i));
+        }
+        for i in 0..1000u32 {
+            assert!(set.contains(&i));
+            assert!(!set.insert(i));
+        }
+        assert_eq!(set.len(), 1000);
+
+        let mut map = fx_map();
+        for i in 0..100u32 {
+            map.insert(i, i * 2);
+        }
+        assert_eq!(map.get(&40), Some(&80));
+        assert_eq!(map.len(), 100);
+    }
+
+    #[test]
+    fn hasher_distributes_small_keys() {
+        // Sanity check: sequential u32 keys should not all collide in the low
+        // bits (which HashMap uses for bucketing).
+        use std::hash::BuildHasher;
+        let build = FxBuildHasher::default();
+        let mut low_bits = std::collections::HashSet::new();
+        for i in 0..64u32 {
+            let mut h = build.build_hasher();
+            h.write_u32(i);
+            low_bits.insert(h.finish() & 0x3f);
+        }
+        assert!(low_bits.len() > 16, "too many collisions: {}", low_bits.len());
+    }
+
+    #[test]
+    fn hasher_handles_arbitrary_bytes() {
+        let mut h = FxHasher::default();
+        h.write(b"hello world, this is more than eight bytes");
+        let a = h.finish();
+        let mut h2 = FxHasher::default();
+        h2.write(b"hello world, this is more than eight bytez");
+        assert_ne!(a, h2.finish());
+    }
+}

@@ -1,0 +1,469 @@
+//! Graph generators: the paper's adversarial gadget graphs and the random
+//! temporal-graph families used to stand in for the evaluation datasets.
+//!
+//! * [`fig3a_pruning_gadget`] — the graph of Figure 3a, on which Tiernan
+//!   revisits a dead-end path exponentially often while Johnson visits it
+//!   once.
+//! * [`fig4a_exponential_cycles`] — the graph of Figure 4a with `2^(n-2)`
+//!   simple cycles all rooted at a single edge; the worst case for
+//!   coarse-grained parallelism.
+//! * [`fig5a_infeasible_regions`] — the graph of Figure 5a with exactly four
+//!   cycles and `4·2^(m-1)` maximal simple paths; illustrates the work
+//!   inefficiency of the fine-grained parallel Johnson algorithm.
+//! * [`uniform_temporal`] — Erdős–Rényi-style random temporal multigraph.
+//! * [`power_law_temporal`] — preferential-attachment (power-law in/out
+//!   degree) temporal multigraph; this is the family that reproduces the load
+//!   imbalance of Figure 1.
+//! * [`transaction_rings`] — a "financial transaction" generator that plants
+//!   temporal cycles (money-laundering rings) into background traffic.
+//! * [`complete_digraph`], [`directed_path`], [`directed_cycle`] — small
+//!   structured helpers used throughout the tests.
+
+use crate::builder::GraphBuilder;
+use crate::temporal::TemporalGraph;
+use crate::types::{Timestamp, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The graph of the paper's Figure 3a.
+///
+/// Searching from `v0`, both subtrees of the recursion tree reach a chain of
+/// `k` vertices `b1 … bk` that never leads back to `v0`. Tiernan re-explores
+/// the chain `2m` times, Johnson only once, and Read-Tarjan exactly twice.
+/// Vertex layout: `0 = v0`, `1 = v1`, `2 = v2`, then `w1..wm`, `u1..um`,
+/// then `b1..bk`.
+///
+/// Edges: `v0→v1`, `v1→v2`, `v1→v0`, `v2→v0`, `v2→w1`, `w_i→w_{i+1}`,
+/// `w_i→b1` for every `i`, `v2→u1`, `u_i→u_{i+1}`, `u_i→b1` for every `i`,
+/// and the chain `b_1→…→b_k` (a dead end).
+pub fn fig3a_pruning_gadget(m: usize, k: usize) -> TemporalGraph {
+    assert!(m >= 1 && k >= 1);
+    let v0 = 0u32;
+    let v1 = 1u32;
+    let v2 = 2u32;
+    let w = |i: usize| (3 + i) as VertexId; // i in 0..m
+    let u = |i: usize| (3 + m + i) as VertexId; // i in 0..m
+    let b = |i: usize| (3 + 2 * m + i) as VertexId; // i in 0..k
+
+    let mut builder = GraphBuilder::new();
+    let mut t = 0;
+    let mut add = |b: &mut GraphBuilder, s: VertexId, d: VertexId| {
+        b.push_edge(s, d, t);
+        t += 1;
+    };
+    add(&mut builder, v0, v1);
+    add(&mut builder, v1, v0);
+    add(&mut builder, v1, v2);
+    add(&mut builder, v2, v0);
+    add(&mut builder, v2, w(0));
+    add(&mut builder, v2, u(0));
+    for i in 0..m {
+        if i + 1 < m {
+            add(&mut builder, w(i), w(i + 1));
+            add(&mut builder, u(i), u(i + 1));
+        }
+        add(&mut builder, w(i), b(0));
+        add(&mut builder, u(i), b(0));
+    }
+    for i in 0..k - 1 {
+        add(&mut builder, b(i), b(i + 1));
+    }
+    builder.build()
+}
+
+/// The graph of the paper's Figure 4a: vertex `v_i` (for `i ≥ 1`) has edges to
+/// `v0` and to every `v_j` with `j > i`, and `v0 → v1` is the only edge
+/// leaving `v0`. Every subset of `{v2, …, v_{n-1}}` defines a distinct simple
+/// cycle through `v0 → v1`, so the graph has exactly `2^(n-2)` simple cycles,
+/// all discovered by the search rooted at the single edge `v0 → v1`.
+pub fn fig4a_exponential_cycles(n: usize) -> TemporalGraph {
+    assert!(n >= 2);
+    let mut builder = GraphBuilder::new();
+    let mut t = 0;
+    builder.push_edge(0, 1, t);
+    for i in 1..n as VertexId {
+        t += 1;
+        builder.push_edge(i, 0, t);
+        for j in (i + 1)..n as VertexId {
+            t += 1;
+            builder.push_edge(i, j, t);
+        }
+    }
+    builder.build()
+}
+
+/// Closed form for the number of simple cycles of [`fig4a_exponential_cycles`]
+/// with `n` vertices: `2^(n-2)`.
+pub fn fig4a_cycle_count(n: usize) -> u64 {
+    assert!(n >= 2);
+    1u64 << (n - 2)
+}
+
+/// The graph of the paper's Figure 5a: four cycles
+/// `v0 → v1 → u_i → v2 → v0` (`i = 1..4`) plus an "infeasible region": a
+/// binary-ish dead-end structure of `m` vertices `b1 … bm` hanging off `v2`
+/// that every search must explore once per discovered cycle in the worst
+/// case. The graph has exactly 4 simple cycles and `4·2^(m-1)`-ish maximal
+/// simple paths (we reproduce the structure, not the exact path count, by
+/// attaching a chain with side branches).
+pub fn fig5a_infeasible_regions(m: usize) -> TemporalGraph {
+    assert!(m >= 2);
+    let v0 = 0u32;
+    let v1 = 1u32;
+    let v2 = 2u32;
+    let u = |i: usize| (3 + i) as VertexId; // i in 0..4
+    let b = |i: usize| (7 + i) as VertexId; // i in 0..m
+
+    let mut builder = GraphBuilder::new();
+    let mut t = 0;
+    let mut add = |bld: &mut GraphBuilder, s: VertexId, d: VertexId| {
+        bld.push_edge(s, d, t);
+        t += 1;
+    };
+    add(&mut builder, v0, v1);
+    for i in 0..4 {
+        add(&mut builder, v1, u(i));
+        add(&mut builder, u(i), v2);
+    }
+    add(&mut builder, v2, v0);
+    // Infeasible region reachable from v2: a ladder of side branches so that
+    // brute-force search explores exponentially many maximal simple paths.
+    add(&mut builder, v2, b(0));
+    for i in 0..m - 1 {
+        add(&mut builder, b(i), b(i + 1));
+        if i + 2 < m {
+            add(&mut builder, b(i), b(i + 2));
+        }
+    }
+    builder.build()
+}
+
+/// Number of simple cycles in [`fig5a_infeasible_regions`]: always 4.
+pub const FIG5A_CYCLE_COUNT: u64 = 4;
+
+/// A complete directed graph on `n` vertices (every ordered pair, no self
+/// loops), all timestamps distinct. Contains `sum_{k=2..n} n!/(k·(n-k)!)`
+/// simple cycles; used by tests against a brute-force reference.
+pub fn complete_digraph(n: usize) -> TemporalGraph {
+    let mut builder = GraphBuilder::new();
+    let mut t = 0;
+    for i in 0..n as VertexId {
+        for j in 0..n as VertexId {
+            if i != j {
+                builder.push_edge(i, j, t);
+                t += 1;
+            }
+        }
+    }
+    builder.build()
+}
+
+/// A directed path `0 → 1 → … → n-1` (acyclic).
+pub fn directed_path(n: usize) -> TemporalGraph {
+    let mut builder = GraphBuilder::with_vertices(n);
+    for i in 0..n.saturating_sub(1) {
+        builder.push_edge(i as VertexId, (i + 1) as VertexId, i as Timestamp);
+    }
+    builder.build()
+}
+
+/// A directed cycle `0 → 1 → … → n-1 → 0` with increasing timestamps (so it
+/// is also a temporal cycle).
+pub fn directed_cycle(n: usize) -> TemporalGraph {
+    assert!(n >= 1);
+    let mut builder = GraphBuilder::with_vertices(n);
+    for i in 0..n {
+        builder.push_edge(
+            i as VertexId,
+            ((i + 1) % n) as VertexId,
+            i as Timestamp,
+        );
+    }
+    builder.build()
+}
+
+/// Parameters for the random temporal graph generators.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomTemporalConfig {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of temporal edges to generate.
+    pub num_edges: usize,
+    /// Total time span: timestamps are drawn from `[0, time_span]`.
+    pub time_span: Timestamp,
+    /// RNG seed (generators are fully deterministic given the seed).
+    pub seed: u64,
+}
+
+/// Uniform random temporal multigraph: each edge picks its two endpoints and
+/// its timestamp independently and uniformly.
+pub fn uniform_temporal(cfg: RandomTemporalConfig) -> TemporalGraph {
+    assert!(cfg.num_vertices >= 2);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut builder = GraphBuilder::with_vertices(cfg.num_vertices);
+    for _ in 0..cfg.num_edges {
+        let src = rng.gen_range(0..cfg.num_vertices) as VertexId;
+        let mut dst = rng.gen_range(0..cfg.num_vertices) as VertexId;
+        while dst == src {
+            dst = rng.gen_range(0..cfg.num_vertices) as VertexId;
+        }
+        let ts = rng.gen_range(0..=cfg.time_span);
+        builder.push_edge(src, dst, ts);
+    }
+    builder.build()
+}
+
+/// Power-law (preferential attachment) temporal multigraph.
+///
+/// Endpoints are drawn from a repeated-vertex pool so that vertices that
+/// already have many edges attract more, producing the heavy-tailed degree
+/// distribution that real communication/transaction graphs exhibit and that
+/// causes the coarse-grained load imbalance of Figure 1. A fraction
+/// `hub_bias` of the edges is forced to touch one of the first
+/// `num_hubs` vertices, sharpening the skew.
+pub fn power_law_temporal(cfg: RandomTemporalConfig) -> TemporalGraph {
+    assert!(cfg.num_vertices >= 2);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut builder = GraphBuilder::with_vertices(cfg.num_vertices);
+    // The "repeated nodes" pool implements preferential attachment: every time
+    // an edge touches a vertex we push the vertex into the pool, so the
+    // probability of picking it again is proportional to its degree.
+    let mut pool: Vec<VertexId> = (0..cfg.num_vertices as VertexId).collect();
+    let num_hubs = (cfg.num_vertices / 100).max(1);
+    let hub_bias = 0.15f64;
+
+    for _ in 0..cfg.num_edges {
+        let pick = |rng: &mut StdRng, pool: &Vec<VertexId>| -> VertexId {
+            if rng.gen_bool(hub_bias) {
+                rng.gen_range(0..num_hubs) as VertexId
+            } else if rng.gen_bool(0.2) {
+                // Keep a uniform component so the graph stays connected-ish.
+                rng.gen_range(0..pool.len()).min(cfg.num_vertices - 1) as VertexId
+                    % cfg.num_vertices as VertexId
+            } else {
+                pool[rng.gen_range(0..pool.len())]
+            }
+        };
+        let src = pick(&mut rng, &pool);
+        let mut dst = pick(&mut rng, &pool);
+        let mut tries = 0;
+        while dst == src && tries < 8 {
+            dst = pick(&mut rng, &pool);
+            tries += 1;
+        }
+        if dst == src {
+            dst = (src + 1) % cfg.num_vertices as VertexId;
+        }
+        let ts = rng.gen_range(0..=cfg.time_span);
+        builder.push_edge(src, dst, ts);
+        pool.push(src);
+        pool.push(dst);
+    }
+    builder.build()
+}
+
+/// Configuration for [`transaction_rings`].
+#[derive(Debug, Clone, Copy)]
+pub struct TransactionRingConfig {
+    /// Number of accounts (vertices).
+    pub num_accounts: usize,
+    /// Number of background (noise) transactions.
+    pub background_edges: usize,
+    /// Number of planted temporal cycles ("laundering rings").
+    pub num_rings: usize,
+    /// Minimum and maximum ring length (number of hops).
+    pub ring_len: (usize, usize),
+    /// Total time span of the dataset.
+    pub time_span: Timestamp,
+    /// Maximum time span of a single planted ring (so rings fit in a window).
+    pub ring_span: Timestamp,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TransactionRingConfig {
+    fn default() -> Self {
+        Self {
+            num_accounts: 1_000,
+            background_edges: 10_000,
+            num_rings: 50,
+            ring_len: (3, 6),
+            time_span: 1_000_000,
+            ring_span: 10_000,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a synthetic financial transaction graph with planted temporal
+/// cycles.
+///
+/// Background transactions follow a power-law-ish endpoint distribution and
+/// random timestamps; each planted ring is a sequence of accounts
+/// `a_0 → a_1 → … → a_k → a_0` whose transaction timestamps are strictly
+/// increasing and fit within `ring_span`. Returns the graph and the number of
+/// planted rings (each of which is guaranteed to be a temporal cycle of the
+/// output, though background noise may create additional ones).
+pub fn transaction_rings(cfg: TransactionRingConfig) -> (TemporalGraph, usize) {
+    assert!(cfg.num_accounts >= cfg.ring_len.1.max(2) + 1);
+    assert!(cfg.ring_len.0 >= 2 && cfg.ring_len.0 <= cfg.ring_len.1);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut builder = GraphBuilder::with_vertices(cfg.num_accounts);
+
+    // Background traffic: mildly skewed endpoints.
+    for _ in 0..cfg.background_edges {
+        let src = skewed_vertex(&mut rng, cfg.num_accounts);
+        let mut dst = skewed_vertex(&mut rng, cfg.num_accounts);
+        while dst == src {
+            dst = skewed_vertex(&mut rng, cfg.num_accounts);
+        }
+        let ts = rng.gen_range(0..=cfg.time_span);
+        builder.push_edge(src, dst, ts);
+    }
+
+    // Planted rings.
+    for _ in 0..cfg.num_rings {
+        let len = rng.gen_range(cfg.ring_len.0..=cfg.ring_len.1);
+        let mut accounts: Vec<VertexId> = Vec::with_capacity(len);
+        while accounts.len() < len {
+            let a = rng.gen_range(0..cfg.num_accounts) as VertexId;
+            if !accounts.contains(&a) {
+                accounts.push(a);
+            }
+        }
+        let start = rng.gen_range(0..=(cfg.time_span - cfg.ring_span).max(1));
+        let mut ts = start;
+        let step = (cfg.ring_span / len as Timestamp).max(1);
+        for i in 0..len {
+            let src = accounts[i];
+            let dst = accounts[(i + 1) % len];
+            ts += rng.gen_range(1..=step);
+            builder.push_edge(src, dst, ts);
+        }
+    }
+
+    (builder.build(), cfg.num_rings)
+}
+
+fn skewed_vertex(rng: &mut StdRng, n: usize) -> VertexId {
+    // Squaring a uniform variate biases towards low ids, giving a few
+    // high-degree "hub" accounts.
+    let x: f64 = rng.gen::<f64>();
+    ((x * x * n as f64) as usize).min(n - 1) as VertexId
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4a_structure() {
+        let g = fig4a_exponential_cycles(6);
+        assert_eq!(g.num_vertices(), 6);
+        // v0 has exactly one outgoing edge, to v1.
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.out_edges(0)[0].neighbor, 1);
+        // Each v_i (i >= 1) points to v0 and to all larger vertices.
+        assert!(g.has_edge(3, 0));
+        assert!(g.has_edge(3, 4));
+        assert!(g.has_edge(3, 5));
+        assert!(!g.has_edge(3, 2));
+        assert_eq!(fig4a_cycle_count(6), 16);
+        assert_eq!(fig4a_cycle_count(2), 1);
+    }
+
+    #[test]
+    fn fig3a_has_dead_end_chain() {
+        let g = fig3a_pruning_gadget(3, 4);
+        // 3 + 2*3 + 4 = 13 vertices.
+        assert_eq!(g.num_vertices(), 13);
+        // The last b vertex is a sink.
+        assert_eq!(g.out_degree(12), 0);
+        // v1 -> v0 direct cycle edge exists.
+        assert!(g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn fig5a_has_four_u_vertices() {
+        let g = fig5a_infeasible_regions(5);
+        assert!(g.has_edge(1, 3));
+        assert!(g.has_edge(1, 4));
+        assert!(g.has_edge(1, 5));
+        assert!(g.has_edge(1, 6));
+        assert!(g.has_edge(2, 0));
+        assert_eq!(FIG5A_CYCLE_COUNT, 4);
+    }
+
+    #[test]
+    fn complete_digraph_edge_count() {
+        let g = complete_digraph(5);
+        assert_eq!(g.num_edges(), 20);
+        assert_eq!(g.num_vertices(), 5);
+    }
+
+    #[test]
+    fn path_and_cycle_shapes() {
+        let p = directed_path(4);
+        assert_eq!(p.num_edges(), 3);
+        assert_eq!(p.out_degree(3), 0);
+        let c = directed_cycle(4);
+        assert_eq!(c.num_edges(), 4);
+        assert!(c.has_edge(3, 0));
+    }
+
+    #[test]
+    fn uniform_generator_is_deterministic() {
+        let cfg = RandomTemporalConfig {
+            num_vertices: 50,
+            num_edges: 200,
+            time_span: 1000,
+            seed: 7,
+        };
+        let a = uniform_temporal(cfg);
+        let b = uniform_temporal(cfg);
+        assert_eq!(a.edges(), b.edges());
+        assert_eq!(a.num_edges(), 200);
+        assert!(a.edges().iter().all(|e| e.src != e.dst));
+        assert!(a.edges().iter().all(|e| e.ts >= 0 && e.ts <= 1000));
+    }
+
+    #[test]
+    fn power_law_generator_has_skewed_degrees() {
+        let cfg = RandomTemporalConfig {
+            num_vertices: 500,
+            num_edges: 5_000,
+            time_span: 10_000,
+            seed: 11,
+        };
+        let g = power_law_temporal(cfg);
+        assert_eq!(g.num_edges(), 5_000);
+        let mut degs: Vec<usize> = (0..g.num_vertices() as VertexId)
+            .map(|v| g.out_degree(v) + g.in_degree(v))
+            .collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: usize = degs.iter().take(10).sum();
+        let total: usize = degs.iter().sum();
+        // The hubs should carry a disproportionate share of the edges.
+        assert!(
+            top10 * 5 > total,
+            "expected heavy-tailed degrees, top10={top10} total={total}"
+        );
+    }
+
+    #[test]
+    fn transaction_rings_plants_temporal_cycles() {
+        let cfg = TransactionRingConfig {
+            num_accounts: 100,
+            background_edges: 200,
+            num_rings: 5,
+            ring_len: (3, 4),
+            time_span: 100_000,
+            ring_span: 1_000,
+            seed: 3,
+        };
+        let (g, planted) = transaction_rings(cfg);
+        assert_eq!(planted, 5);
+        assert!(g.num_edges() >= 200 + 5 * 3);
+        assert_eq!(g.num_vertices(), 100);
+    }
+}

@@ -1,0 +1,180 @@
+//! Plain-text temporal edge-list IO.
+//!
+//! The format is the one used by the SNAP temporal datasets the paper
+//! evaluates on: one edge per line, `src dst timestamp`, whitespace separated,
+//! `#`-prefixed comment lines ignored. Vertex ids are remapped to a dense
+//! `0..n` range in first-appearance order.
+
+use crate::builder::GraphBuilder;
+use crate::temporal::TemporalGraph;
+use crate::types::{Timestamp, VertexId};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors produced by the edge-list reader.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// A line could not be parsed; carries the 1-based line number and text.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The offending line's content.
+        content: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line, content } => {
+                write!(f, "parse error at line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Reads a temporal edge list from any reader. Lines are
+/// `src dst [timestamp]`; a missing timestamp defaults to `0`. Original vertex
+/// labels (arbitrary non-negative integers) are remapped to dense ids; the
+/// mapping is returned alongside the graph as `original_label_of[dense_id]`.
+pub fn read_edge_list_from<R: Read>(reader: R) -> Result<(TemporalGraph, Vec<u64>), IoError> {
+    let reader = BufReader::new(reader);
+    let mut remap: HashMap<u64, VertexId> = HashMap::new();
+    let mut labels: Vec<u64> = Vec::new();
+    let mut builder = GraphBuilder::new();
+
+    let dense = |label: u64, labels: &mut Vec<u64>, remap: &mut HashMap<u64, VertexId>| {
+        *remap.entry(label).or_insert_with(|| {
+            let id = labels.len() as VertexId;
+            labels.push(label);
+            id
+        })
+    };
+
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse_err = || IoError::Parse {
+            line: idx + 1,
+            content: trimmed.to_string(),
+        };
+        let src: u64 = parts
+            .next()
+            .ok_or_else(parse_err)?
+            .parse()
+            .map_err(|_| parse_err())?;
+        let dst: u64 = parts
+            .next()
+            .ok_or_else(parse_err)?
+            .parse()
+            .map_err(|_| parse_err())?;
+        let ts: Timestamp = match parts.next() {
+            Some(t) => t.parse().map_err(|_| parse_err())?,
+            None => 0,
+        };
+        let s = dense(src, &mut labels, &mut remap);
+        let d = dense(dst, &mut labels, &mut remap);
+        builder.push_edge(s, d, ts);
+    }
+    Ok((builder.build(), labels))
+}
+
+/// Reads a temporal edge list from a file path. See [`read_edge_list_from`].
+pub fn read_edge_list<P: AsRef<Path>>(path: P) -> Result<(TemporalGraph, Vec<u64>), IoError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list_from(file)
+}
+
+/// Writes a graph as a temporal edge list (`src dst ts` per line, dense ids).
+pub fn write_edge_list_to<W: Write>(graph: &TemporalGraph, mut writer: W) -> std::io::Result<()> {
+    for e in graph.edges() {
+        writeln!(writer, "{} {} {}", e.src, e.dst, e.ts)?;
+    }
+    Ok(())
+}
+
+/// Writes a graph as a temporal edge list to a file path.
+pub fn write_edge_list<P: AsRef<Path>>(graph: &TemporalGraph, path: P) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list_to(graph, std::io::BufWriter::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_edge_list() {
+        let text = "# a comment\n10 20 100\n20 30 200\n30 10 300\n";
+        let (g, labels) = read_edge_list_from(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(labels, vec![10, 20, 30]);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(2, 0));
+    }
+
+    #[test]
+    fn missing_timestamp_defaults_to_zero() {
+        let text = "1 2\n2 1\n";
+        let (g, _) = read_edge_list_from(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.edges().iter().all(|e| e.ts == 0));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let text = "1 2 3\nnot an edge\n";
+        let err = read_edge_list_from(text.as_bytes()).unwrap_err();
+        match err {
+            IoError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "% konect-style comment\n\n# snap-style comment\n1 2 5\n";
+        let (g, _) = read_edge_list_from(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let g = crate::generators::directed_cycle(5);
+        let mut buf = Vec::new();
+        write_edge_list_to(&g, &mut buf).unwrap();
+        let (g2, _) = read_edge_list_from(buf.as_slice()).unwrap();
+        assert_eq!(g2.num_vertices(), g.num_vertices());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(g2.edges(), g.edges());
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let g = crate::generators::complete_digraph(4);
+        let dir = std::env::temp_dir().join("pce_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("edges.txt");
+        write_edge_list(&g, &path).unwrap();
+        let (g2, _) = read_edge_list(&path).unwrap();
+        assert_eq!(g2.num_edges(), g.num_edges());
+        std::fs::remove_file(&path).ok();
+    }
+}

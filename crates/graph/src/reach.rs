@@ -1,0 +1,456 @@
+//! Per-root reachability preprocessing: the *cycle-union* of §7 of the paper
+//! and the static *closing time* (latest-departure) bound used to prune
+//! temporal searches.
+//!
+//! For every starting edge `v0 → v1` (timestamp `t0`, window `[t0 : t0 + δ]`)
+//! the paper computes the **cycle-union**: the set of vertices that lie on at
+//! least one cycle starting with that edge. It is the intersection of
+//!
+//! * the set of vertices reachable from `v1` using admissible edges, and
+//! * the set of vertices from which `v0` is reachable using admissible edges,
+//!
+//! where *admissible* means "inside the time window and after the root edge"
+//! for window-constrained simple cycles, and "strictly increasing timestamps
+//! inside the window" for temporal cycles.
+//!
+//! For temporal cycles the backward pass additionally yields, for every vertex
+//! `w`, the **latest departure time** `ld(w)`: the largest timestamp of the
+//! first edge of any temporal path `w → … → v0` inside the window. Arriving at
+//! `w` at time `t ≥ ld(w)` can never be completed into a temporal cycle, which
+//! is exactly the (static form of the) closing-time pruning of 2SCENT that the
+//! paper incorporates into its parallel algorithms.
+//!
+//! The computation reuses buffers across roots ([`CycleUnionWorkspace`]) and
+//! uses epoch-stamping instead of clearing, so the per-root cost is
+//! `O(vertices touched + edges touched)`.
+
+use crate::temporal::TemporalGraph;
+use crate::types::{EdgeId, Timestamp, VertexId};
+use crate::window::TimeWindow;
+
+/// Reusable workspace for per-root cycle-union computations.
+///
+/// A single workspace is owned by one worker thread and reused for every root
+/// edge that worker processes; it never needs clearing because vertex marks
+/// are stamped with the current epoch.
+#[derive(Debug, Clone)]
+pub struct CycleUnionWorkspace {
+    epoch: u32,
+    fwd_epoch: Vec<u32>,
+    bwd_epoch: Vec<u32>,
+    /// Earliest arrival time at each vertex (temporal forward pass).
+    earliest: Vec<Timestamp>,
+    /// Latest departure time from each vertex towards the root (temporal
+    /// backward pass).
+    latest_dep: Vec<Timestamp>,
+    queue: Vec<VertexId>,
+    /// Vertices of the current union (for cheap iteration / size queries).
+    union_members: Vec<VertexId>,
+}
+
+impl CycleUnionWorkspace {
+    /// Creates a workspace for graphs with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            epoch: 0,
+            fwd_epoch: vec![0; n],
+            bwd_epoch: vec![0; n],
+            earliest: vec![Timestamp::MAX; n],
+            latest_dep: vec![Timestamp::MIN; n],
+            queue: Vec::new(),
+            union_members: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn bump_epoch(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Extremely rare wrap-around: reset all stamps.
+            self.fwd_epoch.iter_mut().for_each(|x| *x = 0);
+            self.bwd_epoch.iter_mut().for_each(|x| *x = 0);
+            self.epoch = 1;
+        }
+        self.union_members.clear();
+    }
+
+    /// Is `v` in the cycle-union computed by the most recent `compute_*` call?
+    #[inline]
+    pub fn in_union(&self, v: VertexId) -> bool {
+        let v = v as usize;
+        self.fwd_epoch[v] == self.epoch && self.bwd_epoch[v] == self.epoch
+    }
+
+    /// Is `v` forward-reachable from the root's head (`v1`)?
+    #[inline]
+    pub fn forward_reachable(&self, v: VertexId) -> bool {
+        self.fwd_epoch[v as usize] == self.epoch
+    }
+
+    /// Can `v` reach the root's tail (`v0`)?
+    #[inline]
+    pub fn backward_reachable(&self, v: VertexId) -> bool {
+        self.bwd_epoch[v as usize] == self.epoch
+    }
+
+    /// Vertices of the current cycle-union (unordered).
+    #[inline]
+    pub fn union_members(&self) -> &[VertexId] {
+        &self.union_members
+    }
+
+    /// Size of the current cycle-union.
+    #[inline]
+    pub fn union_size(&self) -> usize {
+        self.union_members.len()
+    }
+
+    /// Latest departure time from `v` towards the root (`Timestamp::MIN` if
+    /// `v` cannot reach the root at all). Only meaningful after
+    /// [`Self::compute_temporal`].
+    #[inline]
+    pub fn latest_departure(&self, v: VertexId) -> Timestamp {
+        if self.bwd_epoch[v as usize] == self.epoch {
+            self.latest_dep[v as usize]
+        } else {
+            Timestamp::MIN
+        }
+    }
+
+    /// Earliest arrival time at `v` from the root head (`Timestamp::MAX` if
+    /// unreachable). Only meaningful after [`Self::compute_temporal`].
+    #[inline]
+    pub fn earliest_arrival(&self, v: VertexId) -> Timestamp {
+        if self.fwd_epoch[v as usize] == self.epoch {
+            self.earliest[v as usize]
+        } else {
+            Timestamp::MAX
+        }
+    }
+
+    /// Static closing-time check: can a temporal path leave `v` strictly after
+    /// time `t` and reach the root tail inside the window? Sound (never prunes
+    /// a real cycle) because it ignores the simple-path constraint.
+    #[inline]
+    pub fn can_close_after(&self, v: VertexId, t: Timestamp) -> bool {
+        self.latest_departure(v) > t
+    }
+
+    /// Computes the cycle-union for **window-constrained simple cycles**
+    /// rooted at `root`: admissible edges are those with id greater than the
+    /// root edge id and timestamp at most `window.end` (edge-id order refines
+    /// timestamp order, so `id > root` already implies `ts ≥ window.start`).
+    ///
+    /// Returns `true` if the union is non-empty in the sense that the head of
+    /// the root edge can reach its tail (i.e. at least one cycle through the
+    /// root edge may exist).
+    pub fn compute_simple(
+        &mut self,
+        graph: &TemporalGraph,
+        root: EdgeId,
+        window: TimeWindow,
+    ) -> bool {
+        self.bump_epoch();
+        let e = graph.edge(root);
+        let (v0, v1) = (e.src, e.dst);
+        let admissible =
+            |entry: &crate::temporal::AdjEntry| entry.edge > root && entry.ts <= window.end;
+
+        // Forward BFS from v1 over admissible out-edges.
+        self.queue.clear();
+        self.fwd_epoch[v1 as usize] = self.epoch;
+        self.queue.push(v1);
+        let mut head = 0;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            for entry in graph.out_edges_in_window(u, window) {
+                if !admissible(entry) {
+                    continue;
+                }
+                let w = entry.neighbor as usize;
+                if self.fwd_epoch[w] != self.epoch {
+                    self.fwd_epoch[w] = self.epoch;
+                    self.queue.push(entry.neighbor);
+                }
+            }
+        }
+
+        // Backward BFS from v0 over admissible in-edges.
+        self.queue.clear();
+        self.bwd_epoch[v0 as usize] = self.epoch;
+        self.queue.push(v0);
+        let mut head = 0;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            for entry in graph.in_edges_in_window(u, window) {
+                if !admissible(entry) {
+                    continue;
+                }
+                let w = entry.neighbor as usize;
+                if self.bwd_epoch[w] != self.epoch {
+                    self.bwd_epoch[w] = self.epoch;
+                    self.queue.push(entry.neighbor);
+                }
+            }
+        }
+
+        self.collect_union(graph.num_vertices());
+        // A cycle through the root edge requires v1 to reach v0 (v1 == v0
+        // would be a self-loop root, handled by the caller).
+        self.fwd_epoch[v0 as usize] == self.epoch && self.bwd_epoch[v1 as usize] == self.epoch
+    }
+
+    /// Computes the cycle-union, earliest arrival times and latest departure
+    /// times for **temporal cycles** rooted at `root` with window size
+    /// `delta`. Admissible paths have *strictly increasing* timestamps (the
+    /// standard temporal-cycle definition used by 2SCENT and by the paper):
+    /// the first edge after the root must have `ts > t0` and every timestamp
+    /// must be at most `t0 + delta`.
+    ///
+    /// Returns `true` if the root's head can reach its tail, i.e. at least one
+    /// temporal cycle through the root edge may exist.
+    pub fn compute_temporal(
+        &mut self,
+        graph: &TemporalGraph,
+        root: EdgeId,
+        delta: Timestamp,
+    ) -> bool {
+        self.bump_epoch();
+        let e0 = graph.edge(root);
+        let (v0, v1, t0) = (e0.src, e0.dst, e0.ts);
+        let window = TimeWindow::from_start(t0, delta);
+        let id_range = graph.edge_ids_in_window(window);
+        // Edges strictly after the root edge in (ts, id) order.
+        let lo = id_range.start.max(root + 1);
+        let hi = id_range.end;
+
+        // Forward pass: earliest arrival with strictly increasing timestamps.
+        // Scanning edge ids in ascending order scans timestamps in ascending
+        // order, so each edge sees the final earliest-arrival value of its
+        // source with respect to strictly smaller timestamps.
+        self.earliest[v1 as usize] = t0;
+        self.fwd_epoch[v1 as usize] = self.epoch;
+        for id in lo..hi {
+            let e = graph.edge(id);
+            let su = e.src as usize;
+            if self.fwd_epoch[su] == self.epoch && self.earliest[su] < e.ts {
+                let sd = e.dst as usize;
+                if self.fwd_epoch[sd] != self.epoch || self.earliest[sd] > e.ts {
+                    self.earliest[sd] = e.ts;
+                    self.fwd_epoch[sd] = self.epoch;
+                }
+            }
+        }
+
+        // Backward pass: latest departure towards v0, scanning descending.
+        self.latest_dep[v0 as usize] = Timestamp::MAX;
+        self.bwd_epoch[v0 as usize] = self.epoch;
+        for id in (lo..hi).rev() {
+            let e = graph.edge(id);
+            let sd = e.dst as usize;
+            if self.bwd_epoch[sd] == self.epoch && self.latest_dep[sd] > e.ts {
+                let su = e.src as usize;
+                if self.bwd_epoch[su] != self.epoch || self.latest_dep[su] < e.ts {
+                    self.latest_dep[su] = e.ts;
+                    self.bwd_epoch[su] = self.epoch;
+                }
+            }
+        }
+
+        self.collect_union(graph.num_vertices());
+        self.fwd_epoch[v0 as usize] == self.epoch && self.bwd_epoch[v1 as usize] == self.epoch
+    }
+
+    fn collect_union(&mut self, n: usize) {
+        self.union_members.clear();
+        for v in 0..n {
+            if self.fwd_epoch[v] == self.epoch && self.bwd_epoch[v] == self.epoch {
+                self.union_members.push(v as VertexId);
+            }
+        }
+    }
+}
+
+/// Convenience wrapper: the set of vertices reachable from `start` ignoring
+/// timestamps. Used by tests and by the vertex-rooted classic Johnson mode.
+pub fn reachable_from(graph: &TemporalGraph, start: VertexId) -> Vec<bool> {
+    let n = graph.num_vertices();
+    let mut seen = vec![false; n];
+    let mut queue = vec![start];
+    seen[start as usize] = true;
+    while let Some(u) = queue.pop() {
+        for entry in graph.out_edges(u) {
+            if !seen[entry.neighbor as usize] {
+                seen[entry.neighbor as usize] = true;
+                queue.push(entry.neighbor);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn simple_union_on_triangle() {
+        // Root edge 0->1 at t=1; triangle closes 1->2 (t=2), 2->0 (t=3).
+        let g = GraphBuilder::new()
+            .add_edge(0, 1, 1)
+            .add_edge(1, 2, 2)
+            .add_edge(2, 0, 3)
+            .build();
+        let mut ws = CycleUnionWorkspace::new(g.num_vertices());
+        let ok = ws.compute_simple(&g, 0, TimeWindow::from_start(1, 10));
+        assert!(ok);
+        assert!(ws.in_union(0));
+        assert!(ws.in_union(1));
+        assert!(ws.in_union(2));
+        assert_eq!(ws.union_size(), 3);
+    }
+
+    #[test]
+    fn simple_union_respects_window() {
+        // Same triangle but the closing edge is outside the window.
+        let g = GraphBuilder::new()
+            .add_edge(0, 1, 1)
+            .add_edge(1, 2, 2)
+            .add_edge(2, 0, 100)
+            .build();
+        let mut ws = CycleUnionWorkspace::new(g.num_vertices());
+        let ok = ws.compute_simple(&g, 0, TimeWindow::from_start(1, 10));
+        assert!(!ok);
+    }
+
+    #[test]
+    fn simple_union_excludes_dead_ends() {
+        // Triangle 0-1-2 plus a dangling path 1 -> 3 -> 4 that never returns.
+        let g = GraphBuilder::new()
+            .add_edge(0, 1, 1)
+            .add_edge(1, 2, 2)
+            .add_edge(1, 3, 2)
+            .add_edge(3, 4, 3)
+            .add_edge(2, 0, 4)
+            .build();
+        let mut ws = CycleUnionWorkspace::new(g.num_vertices());
+        let root = g
+            .edge_ids()
+            .find(|(_, e)| e.src == 0 && e.dst == 1)
+            .unwrap()
+            .0;
+        assert!(ws.compute_simple(&g, root, TimeWindow::from_start(1, 10)));
+        assert!(ws.in_union(2));
+        assert!(!ws.in_union(3));
+        assert!(!ws.in_union(4));
+    }
+
+    #[test]
+    fn earlier_edges_are_not_admissible_for_simple_union() {
+        // A cycle exists, but only through an edge that precedes the root in
+        // (ts, id) order, so the rooted union must be empty.
+        let g = GraphBuilder::new()
+            .add_edge(1, 0, 0) // earlier than the root edge
+            .add_edge(0, 1, 1) // root
+            .build();
+        let mut ws = CycleUnionWorkspace::new(g.num_vertices());
+        let root = g
+            .edge_ids()
+            .find(|(_, e)| e.src == 0 && e.dst == 1)
+            .unwrap()
+            .0;
+        assert!(!ws.compute_simple(&g, root, TimeWindow::from_start(1, 10)));
+    }
+
+    #[test]
+    fn temporal_union_requires_increasing_timestamps() {
+        // 0 ->(1) 1 ->(5) 2 ->(3) 0 : timestamps not increasing on the way
+        // back, so no temporal cycle even though a simple cycle exists.
+        let g = GraphBuilder::new()
+            .add_edge(0, 1, 1)
+            .add_edge(1, 2, 5)
+            .add_edge(2, 0, 3)
+            .build();
+        let mut ws = CycleUnionWorkspace::new(g.num_vertices());
+        let root = g
+            .edge_ids()
+            .find(|(_, e)| e.src == 0 && e.dst == 1)
+            .unwrap()
+            .0;
+        assert!(!ws.compute_temporal(&g, root, 100));
+
+        // Fix the ordering and it becomes reachable.
+        let g = GraphBuilder::new()
+            .add_edge(0, 1, 1)
+            .add_edge(1, 2, 3)
+            .add_edge(2, 0, 5)
+            .build();
+        let mut ws = CycleUnionWorkspace::new(g.num_vertices());
+        assert!(ws.compute_temporal(&g, 0, 100));
+        assert_eq!(ws.earliest_arrival(2), 3);
+        // From vertex 1 the only departure towards 0 is via the t=3 edge.
+        assert_eq!(ws.latest_departure(1), 3);
+        assert!(ws.can_close_after(1, 2));
+        assert!(!ws.can_close_after(1, 3));
+    }
+
+    #[test]
+    fn temporal_union_respects_delta() {
+        let g = GraphBuilder::new()
+            .add_edge(0, 1, 1)
+            .add_edge(1, 2, 3)
+            .add_edge(2, 0, 50)
+            .build();
+        let mut ws = CycleUnionWorkspace::new(g.num_vertices());
+        assert!(!ws.compute_temporal(&g, 0, 10));
+        assert!(ws.compute_temporal(&g, 0, 49));
+    }
+
+    #[test]
+    fn latest_departure_picks_the_best_alternative() {
+        // Two ways back to 0 from vertex 1: via t=4 or via t=9 (both valid).
+        let g = GraphBuilder::new()
+            .add_edge(0, 1, 1)
+            .add_edge(1, 0, 4)
+            .add_edge(1, 0, 9)
+            .build();
+        let mut ws = CycleUnionWorkspace::new(g.num_vertices());
+        assert!(ws.compute_temporal(&g, 0, 100));
+        assert_eq!(ws.latest_departure(1), 9);
+        assert!(ws.can_close_after(1, 8));
+        assert!(!ws.can_close_after(1, 9));
+    }
+
+    #[test]
+    fn workspace_reuse_across_roots() {
+        let g = GraphBuilder::new()
+            .add_edge(0, 1, 1)
+            .add_edge(1, 0, 2)
+            .add_edge(2, 3, 3)
+            .add_edge(3, 2, 4)
+            .build();
+        let mut ws = CycleUnionWorkspace::new(g.num_vertices());
+        let e01 = g.edge_ids().find(|(_, e)| e.src == 0).unwrap().0;
+        let e23 = g.edge_ids().find(|(_, e)| e.src == 2).unwrap().0;
+        assert!(ws.compute_simple(&g, e01, TimeWindow::from_start(1, 10)));
+        assert!(ws.in_union(0) && ws.in_union(1));
+        assert!(!ws.in_union(2) && !ws.in_union(3));
+        assert!(ws.compute_simple(&g, e23, TimeWindow::from_start(3, 10)));
+        assert!(ws.in_union(2) && ws.in_union(3));
+        assert!(!ws.in_union(0) && !ws.in_union(1));
+    }
+
+    #[test]
+    fn plain_reachability() {
+        let g = GraphBuilder::new()
+            .add_static_edge(0, 1)
+            .add_static_edge(1, 2)
+            .add_static_edge(3, 0)
+            .build();
+        let r = reachable_from(&g, 0);
+        assert_eq!(r, vec![true, true, true, false]);
+    }
+}

@@ -1,0 +1,243 @@
+//! Strongly connected components (Tarjan, iterative).
+//!
+//! The classic vertex-rooted Johnson algorithm restricts each rooted search to
+//! the strongly connected component of the root in the subgraph induced by
+//! vertices `≥ root`; this module provides the SCC decomposition it needs.
+//! The implementation is iterative (explicit stack) so that adversarial
+//! long-path graphs do not overflow the call stack.
+
+use crate::temporal::TemporalGraph;
+use crate::types::VertexId;
+
+/// The result of an SCC decomposition.
+#[derive(Debug, Clone)]
+pub struct SccDecomposition {
+    /// `component[v]` is the id of the SCC that contains `v`. Component ids
+    /// are dense (`0..num_components`) and assigned in reverse topological
+    /// order of the condensation (Tarjan's natural output order).
+    pub component: Vec<u32>,
+    /// Number of strongly connected components.
+    pub num_components: usize,
+}
+
+impl SccDecomposition {
+    /// Returns `true` if `u` and `v` belong to the same SCC.
+    #[inline]
+    pub fn same_component(&self, u: VertexId, v: VertexId) -> bool {
+        self.component[u as usize] == self.component[v as usize]
+    }
+
+    /// The size (number of vertices) of each component, indexed by component
+    /// id.
+    pub fn component_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_components];
+        for &c in &self.component {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+
+    /// The vertices of each component, indexed by component id.
+    pub fn members(&self) -> Vec<Vec<VertexId>> {
+        let mut members = vec![Vec::new(); self.num_components];
+        for (v, &c) in self.component.iter().enumerate() {
+            members[c as usize].push(v as VertexId);
+        }
+        members
+    }
+}
+
+/// Computes the strongly connected components of `graph` using an iterative
+/// version of Tarjan's algorithm, optionally restricted to the vertex set
+/// `allowed` (vertices with `allowed[v] == false` are treated as absent, each
+/// forming its own singleton component).
+pub fn tarjan_scc_restricted(graph: &TemporalGraph, allowed: Option<&[bool]>) -> SccDecomposition {
+    const UNVISITED: u32 = u32::MAX;
+    let n = graph.num_vertices();
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut component = vec![UNVISITED; n];
+    let mut stack: Vec<VertexId> = Vec::new();
+    let mut next_index = 0u32;
+    let mut num_components = 0usize;
+
+    let is_allowed = |v: usize| allowed.map(|a| a[v]).unwrap_or(true);
+
+    // Explicit DFS frame: (vertex, next out-edge position).
+    let mut call_stack: Vec<(VertexId, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNVISITED || !is_allowed(root) {
+            continue;
+        }
+        call_stack.push((root as VertexId, 0));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root as VertexId);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut pos)) = call_stack.last_mut() {
+            let out = graph.out_edges(v);
+            if *pos < out.len() {
+                let w = out[*pos].neighbor;
+                *pos += 1;
+                let wi = w as usize;
+                if !is_allowed(wi) {
+                    continue;
+                }
+                if index[wi] == UNVISITED {
+                    index[wi] = next_index;
+                    lowlink[wi] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[wi] = true;
+                    call_stack.push((w, 0));
+                } else if on_stack[wi] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[wi]);
+                }
+            } else {
+                // v is finished: pop the frame and propagate the lowlink.
+                call_stack.pop();
+                if let Some(&mut (parent, _)) = call_stack.last_mut() {
+                    lowlink[parent as usize] =
+                        lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    // v is the root of an SCC: pop the component.
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        component[w as usize] = num_components as u32;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    num_components += 1;
+                }
+            }
+        }
+    }
+
+    // Disallowed vertices become singleton components so every vertex has a
+    // valid component id.
+    for v in 0..n {
+        if component[v] == UNVISITED {
+            component[v] = num_components as u32;
+            num_components += 1;
+        }
+    }
+
+    SccDecomposition {
+        component,
+        num_components,
+    }
+}
+
+/// Computes the strongly connected components of the whole graph.
+pub fn tarjan_scc(graph: &TemporalGraph) -> SccDecomposition {
+    tarjan_scc_restricted(graph, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn single_cycle_is_one_component() {
+        let g = GraphBuilder::new()
+            .add_static_edge(0, 1)
+            .add_static_edge(1, 2)
+            .add_static_edge(2, 0)
+            .build();
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components, 1);
+        assert!(scc.same_component(0, 2));
+    }
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let g = GraphBuilder::new()
+            .add_static_edge(0, 1)
+            .add_static_edge(1, 2)
+            .add_static_edge(0, 2)
+            .build();
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components, 3);
+        assert!(!scc.same_component(0, 1));
+    }
+
+    #[test]
+    fn two_cycles_bridged_by_dag_edge() {
+        // cycle {0,1} -> bridge -> cycle {2,3}
+        let g = GraphBuilder::new()
+            .add_static_edge(0, 1)
+            .add_static_edge(1, 0)
+            .add_static_edge(1, 2)
+            .add_static_edge(2, 3)
+            .add_static_edge(3, 2)
+            .build();
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components, 2);
+        assert!(scc.same_component(0, 1));
+        assert!(scc.same_component(2, 3));
+        assert!(!scc.same_component(0, 2));
+        let mut sizes = scc.component_sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 2]);
+    }
+
+    #[test]
+    fn restriction_excludes_vertices() {
+        // 0 -> 1 -> 2 -> 0 is a cycle, but with vertex 2 disallowed the rest
+        // is acyclic.
+        let g = GraphBuilder::new()
+            .add_static_edge(0, 1)
+            .add_static_edge(1, 2)
+            .add_static_edge(2, 0)
+            .build();
+        let allowed = vec![true, true, false];
+        let scc = tarjan_scc_restricted(&g, Some(&allowed));
+        assert_eq!(scc.num_components, 3);
+        assert!(!scc.same_component(0, 1));
+    }
+
+    #[test]
+    fn members_cover_all_vertices() {
+        let g = GraphBuilder::new()
+            .add_static_edge(0, 1)
+            .add_static_edge(1, 0)
+            .add_static_edge(2, 3)
+            .build();
+        let scc = tarjan_scc(&g);
+        let members = scc.members();
+        let total: usize = members.iter().map(|m| m.len()).sum();
+        assert_eq!(total, g.num_vertices());
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow_stack() {
+        // A long path plus a back edge: one big SCC, recursion depth ~ n.
+        let n = 200_000u32;
+        let mut b = GraphBuilder::new();
+        for v in 0..n - 1 {
+            b.push_edge(v, v + 1, 0);
+        }
+        b.push_edge(n - 1, 0, 0);
+        let g = b.build();
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components, 1);
+    }
+
+    #[test]
+    fn self_loop_is_a_component() {
+        let g = GraphBuilder::new()
+            .add_static_edge(0, 0)
+            .add_static_edge(0, 1)
+            .build();
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components, 2);
+    }
+}

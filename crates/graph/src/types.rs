@@ -1,0 +1,95 @@
+//! Fundamental identifier and edge types shared by the whole workspace.
+//!
+//! Vertices and edges are identified by dense `u32` indices (the paper's
+//! graphs have at most tens of millions of vertices, and 32-bit indices keep
+//! the CSR arrays and the per-thread search state compact, following the
+//! "smaller integers" guidance for hot types).
+
+use serde::{Deserialize, Serialize};
+
+/// Dense vertex identifier. Vertices of a graph with `n` vertices are
+/// `0..n as VertexId`.
+pub type VertexId = u32;
+
+/// Dense edge identifier. Edge ids are assigned by [`crate::GraphBuilder`] in
+/// ascending `(timestamp, source, destination, insertion order)` order, so the
+/// total order on edge ids refines the total order on timestamps. The
+/// window-constrained enumeration problems exploit this: "strictly later than
+/// the root edge in `(timestamp, id)` order" is simply `id > root_id`.
+pub type EdgeId = u32;
+
+/// Edge timestamp. Plain signed integers (seconds, milliseconds, block
+/// heights, ... — the unit is up to the caller). Non-temporal graphs simply
+/// use timestamp `0` for every edge.
+pub type Timestamp = i64;
+
+/// A directed temporal edge `src → dst` annotated with a timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TemporalEdge {
+    /// Source vertex of the edge.
+    pub src: VertexId,
+    /// Destination vertex of the edge.
+    pub dst: VertexId,
+    /// Timestamp of the edge.
+    pub ts: Timestamp,
+}
+
+impl TemporalEdge {
+    /// Creates a new temporal edge.
+    #[inline]
+    pub fn new(src: VertexId, dst: VertexId, ts: Timestamp) -> Self {
+        Self { src, dst, ts }
+    }
+
+    /// Returns `true` if this edge is a self-loop (`src == dst`). Self-loops
+    /// are length-1 cycles; the enumeration algorithms treat them separately.
+    #[inline]
+    pub fn is_self_loop(&self) -> bool {
+        self.src == self.dst
+    }
+}
+
+impl From<(VertexId, VertexId, Timestamp)> for TemporalEdge {
+    fn from((src, dst, ts): (VertexId, VertexId, Timestamp)) -> Self {
+        Self { src, dst, ts }
+    }
+}
+
+impl From<(VertexId, VertexId)> for TemporalEdge {
+    fn from((src, dst): (VertexId, VertexId)) -> Self {
+        Self { src, dst, ts: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_construction_and_self_loop() {
+        let e = TemporalEdge::new(1, 2, 42);
+        assert_eq!(e.src, 1);
+        assert_eq!(e.dst, 2);
+        assert_eq!(e.ts, 42);
+        assert!(!e.is_self_loop());
+        assert!(TemporalEdge::new(3, 3, 0).is_self_loop());
+    }
+
+    #[test]
+    fn edge_from_tuples() {
+        let e: TemporalEdge = (1u32, 2u32, 7i64).into();
+        assert_eq!(e, TemporalEdge::new(1, 2, 7));
+        let e: TemporalEdge = (4u32, 5u32).into();
+        assert_eq!(e, TemporalEdge::new(4, 5, 0));
+    }
+
+    #[test]
+    fn edge_ordering_by_hash_and_eq() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(TemporalEdge::new(1, 2, 3));
+        set.insert(TemporalEdge::new(1, 2, 3));
+        set.insert(TemporalEdge::new(1, 2, 4));
+        assert_eq!(set.len(), 2);
+    }
+}

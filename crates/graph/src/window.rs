@@ -1,0 +1,141 @@
+//! Time-window types used by the window-constrained enumeration problems.
+//!
+//! A [`TimeWindow`] `[start : end]` is a closed interval of timestamps. The
+//! paper (§3.4) constrains searches that start from an edge with timestamp
+//! `t` to the window `[t : t + δ]`; [`TimeWindow::from_start`] builds exactly
+//! that window.
+
+use crate::types::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// A closed interval `[start : end]` of timestamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeWindow {
+    /// Inclusive lower bound.
+    pub start: Timestamp,
+    /// Inclusive upper bound.
+    pub end: Timestamp,
+}
+
+impl TimeWindow {
+    /// Creates the window `[start : end]`. `end < start` produces an empty
+    /// window (no timestamp is contained).
+    #[inline]
+    pub fn new(start: Timestamp, end: Timestamp) -> Self {
+        Self { start, end }
+    }
+
+    /// The window `[t : t + delta]` used for a search rooted at an edge with
+    /// timestamp `t` (paper §3.4: "these algorithms consider only the edges
+    /// with timestamps that belong to the time window `[t : t + δ]`").
+    /// Saturates instead of overflowing for very large `delta`.
+    #[inline]
+    pub fn from_start(t: Timestamp, delta: Timestamp) -> Self {
+        Self {
+            start: t,
+            end: t.saturating_add(delta),
+        }
+    }
+
+    /// The all-encompassing window (no time constraint).
+    #[inline]
+    pub fn unbounded() -> Self {
+        Self {
+            start: Timestamp::MIN,
+            end: Timestamp::MAX,
+        }
+    }
+
+    /// Returns `true` if `ts` lies inside the window.
+    #[inline]
+    pub fn contains(&self, ts: Timestamp) -> bool {
+        self.start <= ts && ts <= self.end
+    }
+
+    /// Returns `true` if the window contains no timestamps.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.end < self.start
+    }
+
+    /// The number of distinct integer timestamps covered (saturating).
+    #[inline]
+    pub fn width(&self) -> Timestamp {
+        if self.is_empty() {
+            0
+        } else {
+            self.end.saturating_sub(self.start)
+        }
+    }
+
+    /// Intersection of two windows (possibly empty).
+    #[inline]
+    pub fn intersect(&self, other: &TimeWindow) -> TimeWindow {
+        TimeWindow {
+            start: self.start.max(other.start),
+            end: self.end.min(other.end),
+        }
+    }
+}
+
+impl Default for TimeWindow {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_endpoints() {
+        let w = TimeWindow::new(10, 20);
+        assert!(w.contains(10));
+        assert!(w.contains(20));
+        assert!(w.contains(15));
+        assert!(!w.contains(9));
+        assert!(!w.contains(21));
+    }
+
+    #[test]
+    fn from_start_builds_delta_window() {
+        let w = TimeWindow::from_start(100, 50);
+        assert_eq!(w, TimeWindow::new(100, 150));
+        // saturation at the extremes instead of overflow
+        let w = TimeWindow::from_start(Timestamp::MAX - 1, 100);
+        assert_eq!(w.end, Timestamp::MAX);
+    }
+
+    #[test]
+    fn unbounded_contains_everything() {
+        let w = TimeWindow::unbounded();
+        assert!(w.contains(Timestamp::MIN));
+        assert!(w.contains(0));
+        assert!(w.contains(Timestamp::MAX));
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn empty_window() {
+        let w = TimeWindow::new(5, 3);
+        assert!(w.is_empty());
+        assert!(!w.contains(4));
+        assert_eq!(w.width(), 0);
+    }
+
+    #[test]
+    fn width_and_intersection() {
+        assert_eq!(TimeWindow::new(3, 10).width(), 7);
+        let a = TimeWindow::new(0, 10);
+        let b = TimeWindow::new(5, 20);
+        assert_eq!(a.intersect(&b), TimeWindow::new(5, 10));
+        let c = TimeWindow::new(15, 20);
+        assert!(a.intersect(&c).is_empty());
+    }
+
+    #[test]
+    fn default_is_unbounded() {
+        assert_eq!(TimeWindow::default(), TimeWindow::unbounded());
+    }
+}

@@ -1,0 +1,174 @@
+//! Per-worker execution metrics.
+//!
+//! The paper's Figure 1 plots the execution time of every one of the 256
+//! software threads to visualise load (im)balance; §8 additionally reports
+//! edge-visit counts as a machine-independent measure of work. The pool
+//! records wall-clock busy time and task/steal counts per worker; the
+//! algorithm layer adds its own edge-visit counters on top.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic per-worker counters, updated by the worker itself and read by
+/// whoever snapshots [`PoolMetrics`].
+#[derive(Debug, Default)]
+pub struct WorkerCounters {
+    /// Nanoseconds spent executing tasks.
+    pub busy_nanos: AtomicU64,
+    /// Number of tasks executed.
+    pub tasks_executed: AtomicU64,
+    /// Number of tasks obtained by stealing from another worker's deque or
+    /// from the global injector after the local deque was empty.
+    pub tasks_stolen: AtomicU64,
+}
+
+impl WorkerCounters {
+    /// Adds `nanos` of busy time.
+    #[inline]
+    pub fn add_busy(&self, nanos: u64) {
+        self.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Records one executed task, stolen or not.
+    #[inline]
+    pub fn record_task(&self, stolen: bool) {
+        self.tasks_executed.fetch_add(1, Ordering::Relaxed);
+        if stolen {
+            self.tasks_stolen.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.busy_nanos.store(0, Ordering::Relaxed);
+        self.tasks_executed.store(0, Ordering::Relaxed);
+        self.tasks_stolen.store(0, Ordering::Relaxed);
+    }
+
+    /// Takes a plain-value snapshot.
+    pub fn snapshot(&self) -> WorkerMetrics {
+        WorkerMetrics {
+            busy_nanos: self.busy_nanos.load(Ordering::Relaxed),
+            tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
+            tasks_stolen: self.tasks_stolen.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-value snapshot of one worker's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerMetrics {
+    /// Nanoseconds spent executing tasks.
+    pub busy_nanos: u64,
+    /// Number of tasks executed.
+    pub tasks_executed: u64,
+    /// Number of tasks that were stolen rather than popped locally.
+    pub tasks_stolen: u64,
+}
+
+impl WorkerMetrics {
+    /// Busy time in seconds.
+    pub fn busy_secs(&self) -> f64 {
+        self.busy_nanos as f64 / 1e9
+    }
+}
+
+/// Snapshot of the whole pool's metrics.
+#[derive(Debug, Clone, Default)]
+pub struct PoolMetrics {
+    /// One entry per worker, indexed by worker id.
+    pub workers: Vec<WorkerMetrics>,
+}
+
+impl PoolMetrics {
+    /// Total busy time across all workers, in seconds (the "work" `W_p` of
+    /// the paper's Definition 3.1, measured in wall-clock terms).
+    pub fn total_busy_secs(&self) -> f64 {
+        self.workers.iter().map(|w| w.busy_secs()).sum()
+    }
+
+    /// Maximum busy time of any single worker, in seconds. With perfect load
+    /// balance this approaches `total_busy_secs / p`.
+    pub fn max_busy_secs(&self) -> f64 {
+        self.workers
+            .iter()
+            .map(|w| w.busy_secs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Load-imbalance factor: `max_busy / mean_busy`. 1.0 means perfectly
+    /// balanced; the coarse-grained algorithms of Figure 1a exhibit values
+    /// close to the thread count.
+    pub fn imbalance(&self) -> f64 {
+        if self.workers.is_empty() {
+            return 1.0;
+        }
+        let mean = self.total_busy_secs() / self.workers.len() as f64;
+        if mean <= f64::EPSILON {
+            1.0
+        } else {
+            self.max_busy_secs() / mean
+        }
+    }
+
+    /// Total number of tasks executed.
+    pub fn total_tasks(&self) -> u64 {
+        self.workers.iter().map(|w| w.tasks_executed).sum()
+    }
+
+    /// Total number of stolen tasks.
+    pub fn total_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.tasks_stolen).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let c = WorkerCounters::default();
+        c.add_busy(500);
+        c.add_busy(1_500);
+        c.record_task(false);
+        c.record_task(true);
+        let s = c.snapshot();
+        assert_eq!(s.busy_nanos, 2_000);
+        assert_eq!(s.tasks_executed, 2);
+        assert_eq!(s.tasks_stolen, 1);
+        c.reset();
+        assert_eq!(c.snapshot(), WorkerMetrics::default());
+    }
+
+    #[test]
+    fn pool_metrics_aggregation() {
+        let m = PoolMetrics {
+            workers: vec![
+                WorkerMetrics {
+                    busy_nanos: 1_000_000_000,
+                    tasks_executed: 10,
+                    tasks_stolen: 2,
+                },
+                WorkerMetrics {
+                    busy_nanos: 3_000_000_000,
+                    tasks_executed: 30,
+                    tasks_stolen: 5,
+                },
+            ],
+        };
+        assert!((m.total_busy_secs() - 4.0).abs() < 1e-9);
+        assert!((m.max_busy_secs() - 3.0).abs() < 1e-9);
+        assert!((m.imbalance() - 1.5).abs() < 1e-9);
+        assert_eq!(m.total_tasks(), 40);
+        assert_eq!(m.total_steals(), 7);
+    }
+
+    #[test]
+    fn imbalance_of_empty_or_idle_pool_is_one() {
+        assert_eq!(PoolMetrics::default().imbalance(), 1.0);
+        let idle = PoolMetrics {
+            workers: vec![WorkerMetrics::default(); 4],
+        };
+        assert_eq!(idle.imbalance(), 1.0);
+    }
+}

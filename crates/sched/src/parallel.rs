@@ -1,0 +1,167 @@
+//! Dynamic parallel-for and the shared claim counter that drives it.
+//!
+//! The coarse-grained parallel algorithms of §4 of the paper are exactly a
+//! dynamically scheduled parallel loop over starting vertices or edges; the
+//! fine-grained algorithms also use the same counter to claim root edges
+//! before falling back to branch stealing. [`DynamicCounter`] is that shared
+//! claim counter, and [`parallel_for_dynamic`] is the convenience wrapper on
+//! top of it.
+
+use crate::pool::ThreadPool;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A chunked atomic claim counter over the index range `0..len`.
+///
+/// Workers call [`DynamicCounter::next_chunk`] (or [`DynamicCounter::next`])
+/// repeatedly until it returns `None`; every index is handed out exactly once.
+#[derive(Debug)]
+pub struct DynamicCounter {
+    next: AtomicUsize,
+    len: usize,
+    chunk: usize,
+}
+
+impl DynamicCounter {
+    /// Creates a counter over `0..len` handing out chunks of `chunk` indices
+    /// (clamped to at least 1).
+    pub fn new(len: usize, chunk: usize) -> Self {
+        Self {
+            next: AtomicUsize::new(0),
+            len,
+            chunk: chunk.max(1),
+        }
+    }
+
+    /// Claims the next chunk of indices, or `None` when the range is
+    /// exhausted.
+    pub fn next_chunk(&self) -> Option<Range<usize>> {
+        let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+        if start >= self.len {
+            None
+        } else {
+            Some(start..(start + self.chunk).min(self.len))
+        }
+    }
+
+    /// Claims a single index, or `None` when the range is exhausted. Only
+    /// meaningful for counters created with `chunk == 1`.
+    pub fn next(&self) -> Option<usize> {
+        self.next_chunk().map(|r| r.start)
+    }
+
+    /// Total number of indices.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the counter covers an empty range.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns `true` once every index has been handed out.
+    pub fn exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.len
+    }
+}
+
+/// Runs `body(worker_id, index)` for every index in `0..len`, dynamically
+/// load-balanced across the pool's workers in chunks of `chunk`.
+///
+/// This is the scheduling model of the coarse-grained parallel algorithms:
+/// each index is an independent task; a worker grabs the next available chunk
+/// whenever it finishes the previous one.
+pub fn parallel_for_dynamic<F>(pool: &ThreadPool, len: usize, chunk: usize, body: F)
+where
+    F: Fn(usize, usize) + Send + Sync,
+{
+    if len == 0 {
+        return;
+    }
+    let counter = DynamicCounter::new(len, chunk);
+    let body = &body;
+    let counter = &counter;
+    pool.scope(|scope| {
+        for _ in 0..pool.num_threads() {
+            scope.spawn(move |_, ctx| {
+                while let Some(range) = counter.next_chunk() {
+                    for index in range {
+                        body(ctx.worker_id(), index);
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn counter_hands_out_every_index_once() {
+        let c = DynamicCounter::new(100, 7);
+        let mut seen = vec![false; 100];
+        while let Some(range) = c.next_chunk() {
+            for i in range {
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+        assert!(c.exhausted());
+    }
+
+    #[test]
+    fn counter_single_index_mode() {
+        let c = DynamicCounter::new(5, 1);
+        let got: Vec<usize> = std::iter::from_fn(|| c.next()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert!(c.next().is_none());
+    }
+
+    #[test]
+    fn empty_counter() {
+        let c = DynamicCounter::new(0, 4);
+        assert!(c.is_empty());
+        assert!(c.next_chunk().is_none());
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn parallel_for_visits_every_index_exactly_once() {
+        let pool = ThreadPool::new(4);
+        let n = 10_000;
+        let marks: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        parallel_for_dynamic(&pool, n, 16, |_, i| {
+            marks[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(marks.iter().all(|m| m.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_uses_multiple_workers_for_skewed_items() {
+        let pool = ThreadPool::new(4);
+        let used: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
+        parallel_for_dynamic(&pool, 64, 1, |worker, i| {
+            used[worker].fetch_add(1, Ordering::Relaxed);
+            // Make some items much heavier than others.
+            if i % 16 == 0 {
+                std::hint::black_box((0..200_000u64).sum::<u64>());
+            }
+        });
+        let workers_used = used
+            .iter()
+            .filter(|u| u.load(Ordering::Relaxed) > 0)
+            .count();
+        assert!(workers_used >= 2, "expected dynamic distribution of work");
+    }
+
+    #[test]
+    fn parallel_for_with_zero_items_is_a_noop() {
+        let pool = ThreadPool::new(2);
+        parallel_for_dynamic(&pool, 0, 8, |_, _| panic!("must not be called"));
+    }
+}

@@ -1,0 +1,295 @@
+//! The synthetic dataset suite standing in for the paper's Table 4.
+//!
+//! Every [`DatasetId`] corresponds to one of the 15 temporal graphs the paper
+//! evaluates on. The descriptor keeps the original's *shape* — edge-to-vertex
+//! ratio, degree skew, time span — at roughly 1/100th to 1/1000th of the
+//! original size so that the whole figure-reproduction harness runs on a
+//! laptop. The time-window sizes `δ_s` (simple cycles, Figure 7a) and `δ_t`
+//! (temporal cycles, Figure 7b) are scaled along with the time span so that
+//! the relative difficulty ordering of the datasets is preserved.
+
+use pce_graph::generators::{
+    power_law_temporal, transaction_rings, uniform_temporal, RandomTemporalConfig,
+    TransactionRingConfig,
+};
+use pce_graph::{GraphStats, TemporalGraph, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// Identifiers of the paper's datasets (Table 4 abbreviations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(clippy::upper_case_acronyms)]
+pub enum DatasetId {
+    /// bitcoinalpha — bitcoin OTC-style trust network.
+    BA,
+    /// bitcoinotc — bitcoin trust network.
+    BO,
+    /// CollegeMsg — private message network.
+    CO,
+    /// email-Eu-core — e-mail exchanges, dense small community.
+    EM,
+    /// mathoverflow — question/answer/comment interactions.
+    MO,
+    /// transactions — financial transaction graph.
+    TR,
+    /// higgs-activity — Twitter activity burst (very short time span).
+    HG,
+    /// askubuntu — Q&A interactions.
+    AU,
+    /// superuser — Q&A interactions.
+    SU,
+    /// wiki-talk — Wikipedia talk-page edits (heavy hubs).
+    WT,
+    /// friends2008 — virtual-world friendship events.
+    FR,
+    /// wiki-dynamic (NL) — Wikipedia dynamic link graph.
+    NL,
+    /// messages — virtual-world message events.
+    MS,
+    /// AML-Data — synthetic anti-money-laundering transaction graph.
+    AML,
+    /// stackoverflow — Q&A interactions, the largest graph of the suite.
+    SO,
+}
+
+impl DatasetId {
+    /// All dataset ids in the order the paper lists them.
+    pub fn all() -> &'static [DatasetId] {
+        use DatasetId::*;
+        &[BA, BO, CO, EM, MO, TR, HG, AU, SU, WT, FR, NL, MS, AML, SO]
+    }
+
+    /// The Table 4 abbreviation.
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            DatasetId::BA => "BA",
+            DatasetId::BO => "BO",
+            DatasetId::CO => "CO",
+            DatasetId::EM => "EM",
+            DatasetId::MO => "MO",
+            DatasetId::TR => "TR",
+            DatasetId::HG => "HG",
+            DatasetId::AU => "AU",
+            DatasetId::SU => "SU",
+            DatasetId::WT => "WT",
+            DatasetId::FR => "FR",
+            DatasetId::NL => "NL",
+            DatasetId::MS => "MS",
+            DatasetId::AML => "AML",
+            DatasetId::SO => "SO",
+        }
+    }
+
+    /// The full dataset name as used in the paper.
+    pub fn full_name(&self) -> &'static str {
+        match self {
+            DatasetId::BA => "bitcoinalpha",
+            DatasetId::BO => "bitcoinotc",
+            DatasetId::CO => "CollegeMsg",
+            DatasetId::EM => "email-Eu-core",
+            DatasetId::MO => "mathoverflow",
+            DatasetId::TR => "transactions",
+            DatasetId::HG => "higgs-activity",
+            DatasetId::AU => "askubuntu",
+            DatasetId::SU => "superuser",
+            DatasetId::WT => "wiki-talk",
+            DatasetId::FR => "friends2008",
+            DatasetId::NL => "wiki-dynamic",
+            DatasetId::MS => "messages",
+            DatasetId::AML => "AML-Data",
+            DatasetId::SO => "stackoverflow",
+        }
+    }
+}
+
+/// The family of generator used to synthesise a dataset stand-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GeneratorKind {
+    /// Preferential-attachment temporal multigraph (heavy-tailed degrees).
+    PowerLaw,
+    /// Uniform random temporal multigraph.
+    Uniform,
+    /// Background traffic plus planted temporal transaction rings.
+    Transactions,
+}
+
+/// Descriptor of one synthetic dataset: enough to regenerate it exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Which of the paper's datasets this stands in for.
+    pub id: DatasetId,
+    /// Generator family.
+    pub kind: GeneratorKind,
+    /// Number of vertices of the synthetic graph.
+    pub num_vertices: usize,
+    /// Number of temporal edges of the synthetic graph.
+    pub num_edges: usize,
+    /// Synthetic time span (arbitrary units).
+    pub time_span: Timestamp,
+    /// Time-window size δ_s for simple-cycle experiments (Figure 7a).
+    pub delta_simple: Timestamp,
+    /// Time-window size δ_t for temporal-cycle experiments (Figure 7b).
+    pub delta_temporal: Timestamp,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// A generated workload: the graph together with its descriptor.
+#[derive(Debug)]
+pub struct WorkloadGraph {
+    /// The descriptor used to generate the graph.
+    pub spec: DatasetSpec,
+    /// The generated temporal graph.
+    pub graph: TemporalGraph,
+}
+
+impl WorkloadGraph {
+    /// Summary statistics of the generated graph.
+    pub fn stats(&self) -> GraphStats {
+        GraphStats::compute(&self.graph)
+    }
+}
+
+impl DatasetSpec {
+    /// Generates the synthetic graph described by this spec (deterministic).
+    pub fn build(&self) -> WorkloadGraph {
+        let cfg = RandomTemporalConfig {
+            num_vertices: self.num_vertices,
+            num_edges: self.num_edges,
+            time_span: self.time_span,
+            seed: self.seed,
+        };
+        let graph = match self.kind {
+            GeneratorKind::PowerLaw => power_law_temporal(cfg),
+            GeneratorKind::Uniform => uniform_temporal(cfg),
+            GeneratorKind::Transactions => {
+                let (graph, _) = transaction_rings(TransactionRingConfig {
+                    num_accounts: self.num_vertices,
+                    background_edges: self.num_edges * 4 / 5,
+                    num_rings: (self.num_edges / 100).max(4),
+                    ring_len: (3, 6),
+                    time_span: self.time_span,
+                    ring_span: self.delta_temporal,
+                    seed: self.seed,
+                });
+                graph
+            }
+        };
+        WorkloadGraph { spec: *self, graph }
+    }
+}
+
+/// Returns the descriptor of one dataset stand-in.
+pub fn dataset(id: DatasetId) -> DatasetSpec {
+    // num_vertices / num_edges are roughly 1/100–1/1000 of the originals,
+    // keeping each dataset's edge-to-vertex ratio; time spans are in abstract
+    // units with the simple window ≈ 1–3% and the temporal window ≈ 5–15% of
+    // the span, mirroring the relative window sizes of Table 4.
+    use DatasetId::*;
+    use GeneratorKind::*;
+    let (kind, n, e, span, ds, dt, seed) = match id {
+        BA => (PowerLaw, 350, 2_400, 190_000, 5_000, 22_000, 101),
+        BO => (PowerLaw, 480, 3_600, 190_000, 5_200, 18_000, 102),
+        CO => (PowerLaw, 270, 6_000, 19_000, 300, 2_200, 103),
+        EM => (PowerLaw, 200, 8_000, 80_000, 450, 3_500, 104),
+        MO => (PowerLaw, 1_600, 9_500, 235_000, 2_900, 7_000, 105),
+        TR => (Transactions, 4_000, 13_000, 180_000, 6_000, 16_000, 106),
+        HG => (PowerLaw, 7_000, 14_000, 600, 25, 120, 107),
+        AU => (PowerLaw, 5_000, 18_000, 260_000, 2_000, 8_000, 108),
+        SU => (PowerLaw, 6_000, 26_000, 277_000, 450, 3_500, 109),
+        WT => (PowerLaw, 6_500, 60_000, 228_000, 3_000, 3_200, 110),
+        FR => (PowerLaw, 12_000, 80_000, 180_000, 120, 1_000, 111),
+        NL => (PowerLaw, 25_000, 120_000, 360_000, 25, 900, 112),
+        MS => (Transactions, 8_000, 150_000, 188_000, 30, 350, 113),
+        AML => (Transactions, 50_000, 200_000, 30_000, 450, 5_500, 114),
+        SO => (PowerLaw, 40_000, 250_000, 277_000, 250, 1_500, 115),
+    };
+    DatasetSpec {
+        id,
+        kind,
+        num_vertices: n,
+        num_edges: e,
+        time_span: span,
+        delta_simple: ds,
+        delta_temporal: dt,
+        seed,
+    }
+}
+
+/// The full dataset suite in the paper's order (used by Figures 7a/7b/8).
+pub fn dataset_suite() -> Vec<DatasetSpec> {
+    DatasetId::all().iter().map(|&id| dataset(id)).collect()
+}
+
+/// A smaller representative subset used by the strong-scaling experiment
+/// (Figure 9) and by the ablation study: one small dense graph, one hub-heavy
+/// graph and one transaction graph.
+pub fn scaling_suite() -> Vec<DatasetSpec> {
+    vec![
+        dataset(DatasetId::CO),
+        dataset(DatasetId::WT),
+        dataset(DatasetId::TR),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_covers_all_fifteen_datasets() {
+        let suite = dataset_suite();
+        assert_eq!(suite.len(), 15);
+        let mut abbrevs: Vec<&str> = suite.iter().map(|s| s.id.abbrev()).collect();
+        abbrevs.dedup();
+        assert_eq!(abbrevs.len(), 15);
+    }
+
+    #[test]
+    fn specs_are_deterministic() {
+        let a = dataset(DatasetId::CO).build();
+        let b = dataset(DatasetId::CO).build();
+        assert_eq!(a.graph.edges(), b.graph.edges());
+    }
+
+    #[test]
+    fn built_graphs_match_spec_sizes() {
+        for id in [DatasetId::BA, DatasetId::CO, DatasetId::EM] {
+            let spec = dataset(id);
+            let wl = spec.build();
+            assert_eq!(wl.graph.num_vertices(), spec.num_vertices);
+            assert!(wl.graph.num_edges() >= spec.num_edges * 9 / 10);
+            let stats = wl.stats();
+            assert!(stats.time_span <= spec.time_span);
+            assert!(stats.num_edges > 0);
+        }
+    }
+
+    #[test]
+    fn power_law_datasets_are_skewed() {
+        let wl = dataset(DatasetId::WT).build();
+        let stats = wl.stats();
+        assert!(
+            stats.top1pct_degree_share > 0.1,
+            "wiki-talk stand-in must have hub-dominated degrees, got {}",
+            stats.top1pct_degree_share
+        );
+    }
+
+    #[test]
+    fn scaling_suite_is_a_subset_of_the_full_suite() {
+        let suite = dataset_suite();
+        for spec in scaling_suite() {
+            assert!(suite.iter().any(|s| s.id == spec.id));
+        }
+    }
+
+    #[test]
+    fn names_and_abbreviations_are_consistent() {
+        for &id in DatasetId::all() {
+            assert!(!id.abbrev().is_empty());
+            assert!(!id.full_name().is_empty());
+        }
+        assert_eq!(DatasetId::WT.full_name(), "wiki-talk");
+        assert_eq!(DatasetId::AML.abbrev(), "AML");
+    }
+}

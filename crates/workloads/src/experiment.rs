@@ -1,0 +1,268 @@
+//! Experiment configuration and result-table types shared by the
+//! figure-reproduction binaries in `pce-bench`.
+//!
+//! Every binary prints a human-readable table to stdout and, when asked,
+//! writes the same rows as JSON so that `EXPERIMENTS.md` can be regenerated
+//! mechanically.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Common knobs of a figure-reproduction run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Number of worker threads to use for the parallel algorithms
+    /// (0 = one per available core).
+    pub threads: usize,
+    /// Scale factor applied to every dataset's edge count (1.0 = the default
+    /// laptop-scale suite). Lower it for quick smoke runs.
+    pub scale: f64,
+    /// Optional path to write the result rows as JSON.
+    pub json_out: Option<String>,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            scale: 1.0,
+            json_out: None,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Parses a config from command-line arguments of the form
+    /// `--threads N --scale X --json PATH`. Unknown arguments are ignored so
+    /// that the binaries stay forgiving.
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut cfg = Self::default();
+        let mut args = args.into_iter().peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--threads" => {
+                    if let Some(v) = args.next() {
+                        cfg.threads = v.parse().unwrap_or(0);
+                    }
+                }
+                "--scale" => {
+                    if let Some(v) = args.next() {
+                        cfg.scale = v.parse().unwrap_or(1.0);
+                    }
+                }
+                "--json" => {
+                    cfg.json_out = args.next();
+                }
+                _ => {}
+            }
+        }
+        cfg
+    }
+}
+
+/// One measured row of a result table: a label (dataset or configuration) and
+/// a set of named measurements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MeasuredRow {
+    /// Row label (e.g. the dataset abbreviation).
+    pub label: String,
+    /// `(column name, value)` pairs in display order.
+    pub values: Vec<(String, f64)>,
+}
+
+impl MeasuredRow {
+    /// Creates a row with the given label and no values yet.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Appends a named value.
+    pub fn push(&mut self, name: impl Into<String>, value: f64) {
+        self.values.push((name.into(), value));
+    }
+
+    /// Looks a value up by column name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.values
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// A complete result table for one experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResultTable {
+    /// Experiment title (e.g. "Figure 7a — simple cycle enumeration").
+    pub title: String,
+    /// Measured rows.
+    pub rows: Vec<MeasuredRow>,
+}
+
+impl ResultTable {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: MeasuredRow) {
+        self.rows.push(row);
+    }
+
+    /// Renders the table as aligned plain text (what the binaries print).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        if self.rows.is_empty() {
+            let _ = writeln!(out, "(no rows)");
+            return out;
+        }
+        let columns: Vec<String> = self.rows[0]
+            .values
+            .iter()
+            .map(|(name, _)| name.clone())
+            .collect();
+        let label_width = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .max()
+            .unwrap_or(5)
+            .max(7);
+        let _ = write!(out, "{:<label_width$}", "dataset");
+        for c in &columns {
+            let _ = write!(out, "  {c:>14}");
+        }
+        let _ = writeln!(out);
+        for row in &self.rows {
+            let _ = write!(out, "{:<label_width$}", row.label);
+            for c in &columns {
+                match row.get(c) {
+                    Some(v) if v.abs() >= 1000.0 => {
+                        let _ = write!(out, "  {v:>14.0}");
+                    }
+                    Some(v) => {
+                        let _ = write!(out, "  {v:>14.3}");
+                    }
+                    None => {
+                        let _ = write!(out, "  {:>14}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Serialises the table as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("result tables are always serialisable")
+    }
+
+    /// Writes the table as JSON to `path` if it is `Some`.
+    pub fn maybe_write_json(&self, path: &Option<String>) -> std::io::Result<()> {
+        if let Some(path) = path {
+            std::fs::write(path, self.to_json())?;
+        }
+        Ok(())
+    }
+
+    /// Computes the geometric mean of a column across all rows that have it
+    /// (the aggregation the paper uses for its bar charts).
+    pub fn geomean(&self, column: &str) -> Option<f64> {
+        let values: Vec<f64> = self
+            .rows
+            .iter()
+            .filter_map(|r| r.get(column))
+            .filter(|v| *v > 0.0)
+            .collect();
+        if values.is_empty() {
+            None
+        } else {
+            let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+            Some((log_sum / values.len() as f64).exp())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_parsing() {
+        let cfg = ExperimentConfig::from_args(
+            ["--threads", "8", "--scale", "0.5", "--json", "out.json", "--bogus"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(cfg.threads, 8);
+        assert!((cfg.scale - 0.5).abs() < 1e-9);
+        assert_eq!(cfg.json_out.as_deref(), Some("out.json"));
+        let default = ExperimentConfig::from_args(Vec::<String>::new());
+        assert_eq!(default.threads, 0);
+    }
+
+    #[test]
+    fn rows_and_lookup() {
+        let mut row = MeasuredRow::new("WT");
+        row.push("fine_johnson_s", 1.25);
+        row.push("coarse_johnson_s", 12.0);
+        assert_eq!(row.get("fine_johnson_s"), Some(1.25));
+        assert_eq!(row.get("missing"), None);
+    }
+
+    #[test]
+    fn render_produces_one_line_per_row() {
+        let mut table = ResultTable::new("Figure X");
+        for label in ["AA", "BB"] {
+            let mut row = MeasuredRow::new(label);
+            row.push("time_s", 1.0);
+            row.push("speedup", 10.0);
+            table.push(row);
+        }
+        let text = table.render();
+        assert!(text.contains("Figure X"));
+        assert!(text.contains("AA"));
+        assert!(text.contains("speedup"));
+        assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        let mut table = ResultTable::new("t");
+        for (label, v) in [("a", 2.0), ("b", 8.0)] {
+            let mut row = MeasuredRow::new(label);
+            row.push("x", v);
+            table.push(row);
+        }
+        let gm = table.geomean("x").unwrap();
+        assert!((gm - 4.0).abs() < 1e-9);
+        assert!(table.geomean("missing").is_none());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut table = ResultTable::new("roundtrip");
+        let mut row = MeasuredRow::new("r");
+        row.push("v", 3.5);
+        table.push(row);
+        let json = table.to_json();
+        let back: ResultTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.title, "roundtrip");
+        assert_eq!(back.rows[0].get("v"), Some(3.5));
+    }
+
+    #[test]
+    fn empty_table_renders_placeholder() {
+        let table = ResultTable::new("empty");
+        assert!(table.render().contains("no rows"));
+    }
+}

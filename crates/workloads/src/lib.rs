@@ -1,0 +1,24 @@
+//! # pce-workloads
+//!
+//! The workload suite for the benchmark harness: seeded synthetic temporal
+//! graphs that stand in for the 15 public datasets of the paper's Table 4
+//! (SNAP / Konect / Harvard Dataverse collections), plus the adversarial
+//! gadget graphs of Figures 3a/4a/5a and the experiment configuration types
+//! shared by the figure-reproduction binaries.
+//!
+//! The real datasets range from thousands to tens of millions of edges and
+//! were evaluated on a 256-core cluster; the synthetic stand-ins keep each
+//! dataset's *shape* — the ratio of edges to vertices, the degree skew that
+//! causes the coarse-grained load imbalance, the time span, and a time-window
+//! size that produces a comparable cycle density — at a scale that runs on a
+//! laptop in seconds to minutes. Every generator is deterministic given the
+//! seed recorded in the descriptor, so benchmark numbers are reproducible.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod datasets;
+pub mod experiment;
+
+pub use datasets::{dataset, dataset_suite, scaling_suite, DatasetId, DatasetSpec, WorkloadGraph};
+pub use experiment::{ExperimentConfig, MeasuredRow, ResultTable};

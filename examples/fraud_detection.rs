@@ -1,0 +1,95 @@
+//! Fraud detection scenario: find money-laundering-style rings in a synthetic
+//! financial transaction graph.
+//!
+//! The generator plants a configurable number of temporal cycles ("rings") in
+//! a background of ordinary transactions; the example enumerates all temporal
+//! cycles inside a sliding time window sized to the typical laundering
+//! turnaround and reports the accounts involved — the workload the paper's
+//! introduction motivates (circular money flows as an indicator of money
+//! laundering and circular trading).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example fraud_detection -- [threads]
+//! ```
+
+use parallel_cycle_enumeration::prelude::*;
+use parallel_cycle_enumeration::graph::generators::{transaction_rings, TransactionRingConfig};
+use std::collections::BTreeMap;
+
+fn main() {
+    let threads: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+
+    let cfg = TransactionRingConfig {
+        num_accounts: 20_000,
+        background_edges: 120_000,
+        num_rings: 150,
+        ring_len: (3, 6),
+        time_span: 30 * 24 * 3600, // one month of seconds
+        ring_span: 48 * 3600,      // rings complete within 48 hours
+        seed: 7,
+    };
+    println!(
+        "generating transaction graph: {} accounts, ~{} transactions, {} planted rings",
+        cfg.num_accounts,
+        cfg.background_edges + cfg.num_rings * cfg.ring_len.1,
+        cfg.num_rings
+    );
+    let (graph, planted) = transaction_rings(cfg);
+    println!("graph: {}", GraphStats::compute(&graph));
+
+    // Enumerate temporal cycles within a 48-hour window.
+    let result = CycleEnumerator::new()
+        .algorithm(Algorithm::Johnson)
+        .granularity(Granularity::FineGrained)
+        .threads(threads)
+        .window(cfg.ring_span)
+        .collect_cycles(true)
+        .enumerate_temporal(&graph);
+
+    println!(
+        "\nfound {} temporal cycles in {:.2} s using {} threads \
+         ({} planted rings, the rest emerge from background traffic)",
+        result.stats.cycles,
+        result.stats.wall_secs,
+        result.stats.threads,
+        planted
+    );
+
+    // Rank accounts by how many rings they participate in — the analyst's
+    // shortlist.
+    let mut involvement: BTreeMap<u32, usize> = BTreeMap::new();
+    let cycles = result.cycles.unwrap_or_default();
+    for cycle in &cycles {
+        for &v in &cycle.vertices {
+            *involvement.entry(v).or_default() += 1;
+        }
+    }
+    let mut ranked: Vec<(u32, usize)> = involvement.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1));
+    println!("\ntop suspicious accounts (by ring participation):");
+    for (account, count) in ranked.iter().take(10) {
+        println!("  account {account:>6}  appears in {count} rings");
+    }
+
+    // Length distribution of the rings.
+    let mut by_len: BTreeMap<usize, usize> = BTreeMap::new();
+    for cycle in &cycles {
+        *by_len.entry(cycle.len()).or_default() += 1;
+    }
+    println!("\nring length distribution:");
+    for (len, count) in &by_len {
+        println!("  length {len}: {count}");
+    }
+
+    println!(
+        "\nwork: {} edge visits, {} tasks, {} steals, load imbalance {:.2}",
+        result.stats.work.total_edge_visits(),
+        result.stats.work.total_recursive_calls(),
+        result.stats.work.total_steals(),
+        result.stats.work.imbalance()
+    );
+}

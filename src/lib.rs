@@ -1,0 +1,61 @@
+//! # parallel-cycle-enumeration
+//!
+//! A Rust reproduction of *"Scalable Fine-Grained Parallel Cycle Enumeration
+//! Algorithms"* (Blanuša, Ienne, Atasu — SPAA 2022): fine-grained parallel
+//! versions of the Johnson and Read-Tarjan simple-cycle enumeration
+//! algorithms, their coarse-grained and sequential baselines, and the
+//! temporal-cycle extensions (cycle-union preprocessing, closing-time pruning,
+//! path bundling), all built on an in-repo work-stealing task scheduler.
+//!
+//! This crate is a thin façade that re-exports the public API of the
+//! workspace crates:
+//!
+//! * [`graph`] (`pce-graph`) — temporal graph substrate, generators, IO.
+//! * [`sched`] (`pce-sched`) — work-stealing thread pool and steal registry.
+//! * [`core`](mod@core) (`pce-core`) — the enumeration algorithms.
+//! * [`workloads`] (`pce-workloads`) — the synthetic dataset suite used by the
+//!   benchmark harness.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use parallel_cycle_enumeration::prelude::*;
+//!
+//! // A small financial-transaction-like graph with planted temporal cycles.
+//! let graph = GraphBuilder::new()
+//!     .add_edge(0, 1, 10)
+//!     .add_edge(1, 2, 20)
+//!     .add_edge(2, 0, 30)
+//!     .add_edge(2, 3, 40)
+//!     .build();
+//!
+//! let result = CycleEnumerator::new()
+//!     .algorithm(Algorithm::Johnson)
+//!     .granularity(Granularity::FineGrained)
+//!     .threads(2)
+//!     .collect_cycles(true)
+//!     .enumerate_temporal(&graph);
+//!
+//! assert_eq!(result.stats.cycles, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use pce_core as core;
+pub use pce_graph as graph;
+pub use pce_sched as sched;
+pub use pce_workloads as workloads;
+
+/// Convenience re-exports of the most commonly used types.
+pub mod prelude {
+    pub use pce_core::{
+        Algorithm, BoundedSink, CollectingSink, CountingSink, Cycle, CycleEnumerator, CycleSink,
+        EnumerationResult, Granularity, RunStats, SimpleCycleOptions, TemporalCycleOptions,
+        WorkMetrics,
+    };
+    pub use pce_graph::{
+        generators, GraphBuilder, GraphStats, TemporalEdge, TemporalGraph, TimeWindow,
+    };
+    pub use pce_sched::{ThreadPool, WorkerMetrics};
+    pub use pce_workloads::{dataset, dataset_suite, DatasetId};
+}

