@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pce_bench::{run_algo, Algo};
+use pce_core::Engine;
 use pce_graph::generators::{self, RandomTemporalConfig};
-use pce_sched::ThreadPool;
 
 fn bench_simple_algorithms(c: &mut Criterion) {
     let graph = generators::power_law_temporal(RandomTemporalConfig {
@@ -15,7 +15,7 @@ fn bench_simple_algorithms(c: &mut Criterion) {
         seed: 42,
     });
     let delta = 700;
-    let pool = ThreadPool::new(4);
+    let engine = Engine::with_threads(4);
     let mut group = c.benchmark_group("simple_cycles");
     group.sample_size(10);
     for algo in [
@@ -26,9 +26,11 @@ fn bench_simple_algorithms(c: &mut Criterion) {
         Algo::FineJohnson,
         Algo::FineReadTarjan,
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{algo:?}")), &algo, |b, &algo| {
-            b.iter(|| run_algo(algo, &graph, delta, &pool))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{algo:?}")),
+            &algo,
+            |b, &algo| b.iter(|| run_algo(algo, &graph, delta, &engine)),
+        );
     }
     group.finish();
 }
@@ -41,7 +43,7 @@ fn bench_temporal_algorithms(c: &mut Criterion) {
         seed: 43,
     });
     let delta = 3_500;
-    let pool = ThreadPool::new(4);
+    let engine = Engine::with_threads(4);
     let mut group = c.benchmark_group("temporal_cycles");
     group.sample_size(10);
     for algo in [
@@ -51,9 +53,11 @@ fn bench_temporal_algorithms(c: &mut Criterion) {
         Algo::FineTemporalJohnson,
         Algo::FineTemporalReadTarjan,
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{algo:?}")), &algo, |b, &algo| {
-            b.iter(|| run_algo(algo, &graph, delta, &pool))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{algo:?}")),
+            &algo,
+            |b, &algo| b.iter(|| run_algo(algo, &graph, delta, &engine)),
+        );
     }
     group.finish();
 }
@@ -61,13 +65,15 @@ fn bench_temporal_algorithms(c: &mut Criterion) {
 fn bench_fig4a_adversarial(c: &mut Criterion) {
     // Table 1's scalability scenario: all cycles behind one root edge.
     let graph = generators::fig4a_exponential_cycles(14);
-    let pool = ThreadPool::new(4);
+    let engine = Engine::with_threads(4);
     let mut group = c.benchmark_group("fig4a_single_root");
     group.sample_size(10);
     for algo in [Algo::CoarseJohnson, Algo::FineJohnson, Algo::FineReadTarjan] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{algo:?}")), &algo, |b, &algo| {
-            b.iter(|| run_algo(algo, &graph, i64::MAX / 4, &pool))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{algo:?}")),
+            &algo,
+            |b, &algo| b.iter(|| run_algo(algo, &graph, i64::MAX / 4, &engine)),
+        );
     }
     group.finish();
 }

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pce_bench::{build_scaled, run_algo, Algo};
-use pce_sched::ThreadPool;
+use pce_core::Engine;
 use pce_workloads::{dataset, DatasetId};
 
 fn bench_fig7a_subset(c: &mut Criterion) {
@@ -13,12 +13,12 @@ fn bench_fig7a_subset(c: &mut Criterion) {
     for id in [DatasetId::CO, DatasetId::BA] {
         let spec = dataset(id);
         let workload = build_scaled(&spec, 0.25);
-        let pool = ThreadPool::new(4);
+        let engine = Engine::with_threads(4);
         for algo in [Algo::FineJohnson, Algo::FineReadTarjan, Algo::CoarseJohnson] {
             group.bench_with_input(
                 BenchmarkId::new(format!("{algo:?}"), id.abbrev()),
                 &algo,
-                |b, &algo| b.iter(|| run_algo(algo, &workload.graph, spec.delta_simple, &pool)),
+                |b, &algo| b.iter(|| run_algo(algo, &workload.graph, spec.delta_simple, &engine)),
             );
         }
     }
@@ -31,7 +31,7 @@ fn bench_fig7b_subset(c: &mut Criterion) {
     for id in [DatasetId::CO, DatasetId::TR] {
         let spec = dataset(id);
         let workload = build_scaled(&spec, 0.25);
-        let pool = ThreadPool::new(4);
+        let engine = Engine::with_threads(4);
         for algo in [
             Algo::FineTemporalJohnson,
             Algo::FineTemporalReadTarjan,
@@ -40,7 +40,7 @@ fn bench_fig7b_subset(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(format!("{algo:?}"), id.abbrev()),
                 &algo,
-                |b, &algo| b.iter(|| run_algo(algo, &workload.graph, spec.delta_temporal, &pool)),
+                |b, &algo| b.iter(|| run_algo(algo, &workload.graph, spec.delta_temporal, &engine)),
             );
         }
     }
@@ -53,15 +53,29 @@ fn bench_fig9_thread_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9_thread_scaling");
     group.sample_size(10);
     for &threads in &[1usize, 2, 4] {
-        let pool = ThreadPool::new(threads);
+        let engine = Engine::with_threads(threads);
         group.bench_with_input(
             BenchmarkId::new("fine_temporal_johnson", threads),
             &threads,
-            |b, _| b.iter(|| run_algo(Algo::FineTemporalJohnson, &workload.graph, spec.delta_temporal, &pool)),
+            |b, _| {
+                b.iter(|| {
+                    run_algo(
+                        Algo::FineTemporalJohnson,
+                        &workload.graph,
+                        spec.delta_temporal,
+                        &engine,
+                    )
+                })
+            },
         );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_fig7a_subset, bench_fig7b_subset, bench_fig9_thread_scaling);
+criterion_group!(
+    benches,
+    bench_fig7a_subset,
+    bench_fig7b_subset,
+    bench_fig9_thread_scaling
+);
 criterion_main!(benches);

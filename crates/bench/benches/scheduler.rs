@@ -10,24 +10,20 @@ fn bench_flat_tasks(c: &mut Criterion) {
     group.sample_size(10);
     for &threads in &[1usize, 2, 4] {
         let pool = ThreadPool::new(threads);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &threads,
-            |b, _| {
-                b.iter(|| {
-                    let counter = AtomicU64::new(0);
-                    pool.scope(|scope| {
-                        for _ in 0..2_000 {
-                            let counter = &counter;
-                            scope.spawn(move |_, _| {
-                                counter.fetch_add(1, Ordering::Relaxed);
-                            });
-                        }
-                    });
-                    assert_eq!(counter.load(Ordering::Relaxed), 2_000);
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| {
+                let counter = AtomicU64::new(0);
+                pool.scope(|scope| {
+                    for _ in 0..2_000 {
+                        let counter = &counter;
+                        scope.spawn(move |_, _| {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+                assert_eq!(counter.load(Ordering::Relaxed), 2_000);
+            })
+        });
     }
     group.finish();
 }
@@ -75,5 +71,10 @@ fn bench_parallel_for(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_flat_tasks, bench_nested_tasks, bench_parallel_for);
+criterion_group!(
+    benches,
+    bench_flat_tasks,
+    bench_nested_tasks,
+    bench_parallel_for
+);
 criterion_main!(benches);

@@ -1,14 +1,23 @@
 use pce_bench::{run_algo, Algo};
+use pce_core::Engine;
 use pce_graph::generators::fig4a_exponential_cycles;
-use pce_sched::ThreadPool;
 fn main() {
     let g = fig4a_exponential_cycles(20);
-    let single = ThreadPool::new(1);
-    let pool = ThreadPool::new(4);
-    let seq = run_algo(Algo::SeqJohnson, &g, i64::MAX/4, &single);
+    let single = Engine::with_threads(1);
+    let engine = Engine::with_threads(4);
+    let seq = run_algo(Algo::SeqJohnson, &g, i64::MAX / 4, &single);
     println!("seq johnson: {:.3}s cycles={}", seq.wall_secs, seq.cycles);
-    for (n, a) in [("coarseJ", Algo::CoarseJohnson), ("fineJ", Algo::FineJohnson), ("fineRT", Algo::FineReadTarjan)] {
-        let s = run_algo(a, &g, i64::MAX/4, &pool);
-        println!("{n}: {:.3}s speedup {:.2}x steals={}", s.wall_secs, seq.wall_secs/s.wall_secs, s.work.total_steals());
+    for (n, a) in [
+        ("coarseJ", Algo::CoarseJohnson),
+        ("fineJ", Algo::FineJohnson),
+        ("fineRT", Algo::FineReadTarjan),
+    ] {
+        let s = run_algo(a, &g, i64::MAX / 4, &engine);
+        println!(
+            "{n}: {:.3}s speedup {:.2}x steals={}",
+            s.wall_secs,
+            seq.wall_secs / s.wall_secs,
+            s.work.total_steals()
+        );
     }
 }

@@ -13,9 +13,9 @@
 
 use pce_bench::{build_scaled, resolve_threads, run_algo, Algo};
 use pce_core::seq::temporal::temporal_simple;
+use pce_core::Engine;
 use pce_core::{CountingSink, CycleSink, TemporalCycleOptions};
 use pce_graph::TimeWindow;
-use pce_sched::ThreadPool;
 use pce_workloads::{dataset, DatasetId, ExperimentConfig, MeasuredRow, ResultTable};
 use std::time::Instant;
 
@@ -60,7 +60,7 @@ fn temporal_without_union(graph: &pce_graph::TemporalGraph, delta: i64) -> (u64,
 fn main() {
     let cfg = ExperimentConfig::from_args(std::env::args().skip(1));
     let threads = resolve_threads(cfg.threads);
-    let pool = ThreadPool::new(threads);
+    let engine = Engine::with_threads(threads);
     let spec = dataset(DatasetId::TR);
     let workload = build_scaled(&spec, cfg.scale);
     eprintln!("ablations: {} {}", spec.id.abbrev(), workload.stats());
@@ -77,7 +77,11 @@ fn main() {
     let sink = CountingSink::new();
     let with_union = temporal_simple(graph, &TemporalCycleOptions::with_window(delta), &sink);
     let (count_no_union, secs_no_union) = temporal_without_union(graph, delta);
-    assert_eq!(sink.count(), count_no_union, "preprocessing must not change results");
+    assert_eq!(
+        sink.count(),
+        count_no_union,
+        "preprocessing must not change results"
+    );
     let mut row = MeasuredRow::new("union_preprocessing");
     row.push("with_s", with_union.wall_secs);
     row.push("without_s", secs_no_union);
@@ -85,8 +89,8 @@ fn main() {
     table.push(row);
 
     // 2. Task granularity (temporal cycles, fixed thread count).
-    let coarse = run_algo(Algo::CoarseTemporal, graph, delta, &pool);
-    let fine = run_algo(Algo::FineTemporalJohnson, graph, delta, &pool);
+    let coarse = run_algo(Algo::CoarseTemporal, graph, delta, &engine);
+    let fine = run_algo(Algo::FineTemporalJohnson, graph, delta, &engine);
     assert_eq!(coarse.cycles, fine.cycles);
     let mut row = MeasuredRow::new("task_granularity");
     row.push("with_s", fine.wall_secs);
@@ -96,8 +100,8 @@ fn main() {
 
     // 3. Johnson-style vs Read-Tarjan-style fine-grained decomposition
     //    (simple cycles: pruning sharing vs task independence).
-    let fine_j = run_algo(Algo::FineJohnson, graph, spec.delta_simple, &pool);
-    let fine_rt = run_algo(Algo::FineReadTarjan, graph, spec.delta_simple, &pool);
+    let fine_j = run_algo(Algo::FineJohnson, graph, spec.delta_simple, &engine);
+    let fine_rt = run_algo(Algo::FineReadTarjan, graph, spec.delta_simple, &engine);
     assert_eq!(fine_j.cycles, fine_rt.cycles);
     let mut row = MeasuredRow::new("johnson_vs_read_tarjan");
     row.push("with_s", fine_j.wall_secs);

@@ -1,0 +1,74 @@
+//! Engine-reuse microbenchmark: per-call overhead of a long-lived [`Engine`]
+//! versus the seed's pool-per-call front end on a stream of small queries.
+//!
+//! A serving deployment answers many small queries against warm graphs; what
+//! matters there is the fixed cost per call. The seed's `CycleEnumerator`
+//! spawns and tears down a full `ThreadPool` (one OS thread per core) on
+//! every `count_simple` call, which dwarfs the actual enumeration on small
+//! graphs. The engine pays the pool cost once.
+//!
+//! Usage: `engine_reuse [--threads N] [--json PATH]`
+
+use pce_bench::resolve_threads;
+use pce_core::{CycleEnumerator, Engine, Granularity, Query};
+use pce_graph::generators::{self, RandomTemporalConfig};
+use pce_workloads::{ExperimentConfig, MeasuredRow, ResultTable};
+use std::time::Instant;
+
+const CALLS: usize = 200;
+
+fn main() {
+    let cfg = ExperimentConfig::from_args(std::env::args().skip(1));
+    let threads = resolve_threads(cfg.threads);
+    let graph = generators::uniform_temporal(RandomTemporalConfig {
+        num_vertices: 40,
+        num_edges: 160,
+        time_span: 60,
+        seed: 7,
+    });
+    let query = Query::simple()
+        .granularity(Granularity::FineGrained)
+        .window(20);
+
+    // Warm both paths once (page-in, lazy pool) before timing.
+    let engine = Engine::with_threads(threads);
+    let expected = engine.count(&query, &graph).expect("valid query");
+    let legacy = CycleEnumerator::new()
+        .granularity(Granularity::FineGrained)
+        .threads(threads)
+        .window(20);
+    assert_eq!(legacy.count_simple(&graph), expected);
+
+    // Reused engine: one pool across all calls.
+    let start = Instant::now();
+    for _ in 0..CALLS {
+        let count = engine.count(&query, &graph).expect("valid query");
+        assert_eq!(count, expected);
+    }
+    let engine_secs = start.elapsed().as_secs_f64();
+
+    // Seed path: CycleEnumerator spawns a fresh pool inside every call.
+    let start = Instant::now();
+    for _ in 0..CALLS {
+        assert_eq!(legacy.count_simple(&graph), expected);
+    }
+    let legacy_secs = start.elapsed().as_secs_f64();
+
+    let mut table = ResultTable::new(format!(
+        "Engine reuse — {CALLS} small-graph queries ({threads} threads, {expected} cycles each)"
+    ));
+    let mut row = MeasuredRow::new("reused_engine");
+    row.push("total_s", engine_secs);
+    row.push("per_call_us", engine_secs / CALLS as f64 * 1e6);
+    table.push(row);
+    let mut row = MeasuredRow::new("pool_per_call");
+    row.push("total_s", legacy_secs);
+    row.push("per_call_us", legacy_secs / CALLS as f64 * 1e6);
+    table.push(row);
+    print!("{}", table.render());
+    println!(
+        "\npool-per-call / reused-engine overhead ratio: {:.2}x",
+        legacy_secs / engine_secs.max(1e-12)
+    );
+    table.maybe_write_json(&cfg.json_out).expect("write json");
+}

@@ -9,7 +9,7 @@
 //! Usage: `fig1_load_balance [--threads N] [--scale X] [--json PATH]`
 
 use pce_bench::{build_scaled, resolve_threads, run_algo, Algo};
-use pce_sched::ThreadPool;
+use pce_core::Engine;
 use pce_workloads::{dataset, DatasetId, ExperimentConfig, MeasuredRow, ResultTable};
 
 fn main() {
@@ -25,11 +25,21 @@ fn main() {
     );
     let workload = build_scaled(&spec, cfg.scale);
     eprintln!("graph: {}", workload.stats());
-    let pool = ThreadPool::new(threads);
+    let engine = Engine::with_threads(threads);
 
     let mut table = ResultTable::new("Figure 1 — per-thread busy time [s], coarse vs fine Johnson");
-    let coarse = run_algo(Algo::CoarseJohnson, &workload.graph, spec.delta_simple, &pool);
-    let fine = run_algo(Algo::FineJohnson, &workload.graph, spec.delta_simple, &pool);
+    let coarse = run_algo(
+        Algo::CoarseJohnson,
+        &workload.graph,
+        spec.delta_simple,
+        &engine,
+    );
+    let fine = run_algo(
+        Algo::FineJohnson,
+        &workload.graph,
+        spec.delta_simple,
+        &engine,
+    );
     assert_eq!(coarse.cycles, fine.cycles, "result mismatch");
 
     let coarse_busy = coarse.work.busy_secs_per_worker();

@@ -11,13 +11,13 @@
 //! Usage: `fig7a_simple_cycles [--threads N] [--scale X] [--json PATH]`
 
 use pce_bench::{build_scaled, resolve_threads, run_algo, Algo};
-use pce_sched::ThreadPool;
+use pce_core::Engine;
 use pce_workloads::{dataset_suite, ExperimentConfig, MeasuredRow, ResultTable};
 
 fn main() {
     let cfg = ExperimentConfig::from_args(std::env::args().skip(1));
     let threads = resolve_threads(cfg.threads);
-    let pool = ThreadPool::new(threads);
+    let engine = Engine::with_threads(threads);
     let mut table = ResultTable::new(format!(
         "Figure 7a — simple cycle enumeration time [s] ({threads} threads)"
     ));
@@ -26,10 +26,10 @@ fn main() {
         let workload = build_scaled(&spec, cfg.scale);
         eprintln!("fig7a: {} {}", spec.id.abbrev(), workload.stats());
         let delta = spec.delta_simple;
-        let fine_j = run_algo(Algo::FineJohnson, &workload.graph, delta, &pool);
-        let fine_rt = run_algo(Algo::FineReadTarjan, &workload.graph, delta, &pool);
-        let coarse_j = run_algo(Algo::CoarseJohnson, &workload.graph, delta, &pool);
-        let coarse_rt = run_algo(Algo::CoarseReadTarjan, &workload.graph, delta, &pool);
+        let fine_j = run_algo(Algo::FineJohnson, &workload.graph, delta, &engine);
+        let fine_rt = run_algo(Algo::FineReadTarjan, &workload.graph, delta, &engine);
+        let coarse_j = run_algo(Algo::CoarseJohnson, &workload.graph, delta, &engine);
+        let coarse_rt = run_algo(Algo::CoarseReadTarjan, &workload.graph, delta, &engine);
         assert_eq!(fine_j.cycles, fine_rt.cycles);
         assert_eq!(fine_j.cycles, coarse_j.cycles);
         assert_eq!(fine_j.cycles, coarse_rt.cycles);

@@ -4,13 +4,13 @@
 //! Usage: `fig7b_temporal_cycles [--threads N] [--scale X] [--json PATH]`
 
 use pce_bench::{build_scaled, resolve_threads, run_algo, Algo};
-use pce_sched::ThreadPool;
+use pce_core::Engine;
 use pce_workloads::{dataset_suite, ExperimentConfig, MeasuredRow, ResultTable};
 
 fn main() {
     let cfg = ExperimentConfig::from_args(std::env::args().skip(1));
     let threads = resolve_threads(cfg.threads);
-    let pool = ThreadPool::new(threads);
+    let engine = Engine::with_threads(threads);
     let mut table = ResultTable::new(format!(
         "Figure 7b — temporal cycle enumeration time [s] ({threads} threads)"
     ));
@@ -19,9 +19,14 @@ fn main() {
         let workload = build_scaled(&spec, cfg.scale);
         eprintln!("fig7b: {} {}", spec.id.abbrev(), workload.stats());
         let delta = spec.delta_temporal;
-        let fine_j = run_algo(Algo::FineTemporalJohnson, &workload.graph, delta, &pool);
-        let fine_rt = run_algo(Algo::FineTemporalReadTarjan, &workload.graph, delta, &pool);
-        let coarse = run_algo(Algo::CoarseTemporal, &workload.graph, delta, &pool);
+        let fine_j = run_algo(Algo::FineTemporalJohnson, &workload.graph, delta, &engine);
+        let fine_rt = run_algo(
+            Algo::FineTemporalReadTarjan,
+            &workload.graph,
+            delta,
+            &engine,
+        );
+        let coarse = run_algo(Algo::CoarseTemporal, &workload.graph, delta, &engine);
         assert_eq!(fine_j.cycles, fine_rt.cycles);
         assert_eq!(fine_j.cycles, coarse.cycles);
 

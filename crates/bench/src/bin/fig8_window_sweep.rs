@@ -9,13 +9,13 @@
 //! Usage: `fig8_window_sweep [--threads N] [--scale X] [--json PATH]`
 
 use pce_bench::{build_scaled, resolve_threads, run_algo, Algo};
-use pce_sched::ThreadPool;
+use pce_core::Engine;
 use pce_workloads::{scaling_suite, ExperimentConfig, MeasuredRow, ResultTable};
 
 fn main() {
     let cfg = ExperimentConfig::from_args(std::env::args().skip(1));
     let threads = resolve_threads(cfg.threads);
-    let pool = ThreadPool::new(threads);
+    let engine = Engine::with_threads(threads);
     let mut table = ResultTable::new(format!(
         "Figure 8 — fine/coarse Johnson speed-up vs time-window size ({threads} threads, temporal cycles)"
     ));
@@ -26,8 +26,8 @@ fn main() {
         // Three windows per dataset, like the paper: 2/3·δ_t, 5/6·δ_t, δ_t.
         for (i, factor_num) in [4i64, 5, 6].iter().enumerate() {
             let delta = spec.delta_temporal * factor_num / 6;
-            let fine = run_algo(Algo::FineTemporalJohnson, &workload.graph, delta, &pool);
-            let coarse = run_algo(Algo::CoarseTemporal, &workload.graph, delta, &pool);
+            let fine = run_algo(Algo::FineTemporalJohnson, &workload.graph, delta, &engine);
+            let coarse = run_algo(Algo::CoarseTemporal, &workload.graph, delta, &engine);
             assert_eq!(fine.cycles, coarse.cycles);
             let mut row = MeasuredRow::new(format!("{} w{}", spec.id.abbrev(), i + 1));
             row.push("delta", delta as f64);

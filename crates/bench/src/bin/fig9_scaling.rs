@@ -9,7 +9,7 @@
 //! Usage: `fig9_scaling [--threads MAX] [--scale X] [--json PATH]`
 
 use pce_bench::{build_scaled, resolve_threads, run_algo, Algo};
-use pce_sched::ThreadPool;
+use pce_core::Engine;
 use pce_workloads::{scaling_suite, ExperimentConfig, MeasuredRow, ResultTable};
 
 fn main() {
@@ -29,26 +29,29 @@ fn main() {
         let workload = build_scaled(&spec, cfg.scale);
         eprintln!("fig9: {} {}", spec.id.abbrev(), workload.stats());
         let delta = spec.delta_temporal;
-        let single = ThreadPool::new(1);
+        let single = Engine::with_threads(1);
         let baseline = run_algo(Algo::FineTemporalJohnson, &workload.graph, delta, &single);
         let two_scent = run_algo(Algo::TwoScent, &workload.graph, delta, &single);
         assert_eq!(baseline.cycles, two_scent.cycles);
         {
             let mut row = MeasuredRow::new(format!("{} 2scent", spec.id.abbrev()));
             row.push("threads", 1.0);
-            row.push("speedup", baseline.wall_secs / two_scent.wall_secs.max(1e-9));
+            row.push(
+                "speedup",
+                baseline.wall_secs / two_scent.wall_secs.max(1e-9),
+            );
             row.push("time_s", two_scent.wall_secs);
             table.push(row);
         }
 
         for &threads in &thread_counts {
-            let pool = ThreadPool::new(threads);
+            let engine = Engine::with_threads(threads);
             for (name, algo) in [
                 ("fineJ", Algo::FineTemporalJohnson),
                 ("fineRT", Algo::FineTemporalReadTarjan),
                 ("coarseJ", Algo::CoarseTemporal),
             ] {
-                let stats = run_algo(algo, &workload.graph, delta, &pool);
+                let stats = run_algo(algo, &workload.graph, delta, &engine);
                 assert_eq!(stats.cycles, baseline.cycles);
                 let mut row =
                     MeasuredRow::new(format!("{} {} t{}", spec.id.abbrev(), name, threads));

@@ -14,55 +14,109 @@
 //! Usage: `table1_work_scalability [--threads N] [--json PATH]`
 
 use pce_bench::{resolve_threads, run_algo, Algo};
+use pce_core::Engine;
 use pce_graph::generators::fig4a_exponential_cycles;
-use pce_sched::ThreadPool;
 use pce_workloads::{dataset, DatasetId, ExperimentConfig, MeasuredRow, ResultTable};
 
 fn main() {
     let cfg = ExperimentConfig::from_args(std::env::args().skip(1));
     let threads = resolve_threads(cfg.threads);
-    let pool = ThreadPool::new(threads);
-    let single = ThreadPool::new(1);
+    let engine = Engine::with_threads(threads);
+    let single = Engine::with_threads(1);
 
     // Work efficiency on a realistic workload (CollegeMsg stand-in).
     let spec = dataset(DatasetId::CO);
     let workload = pce_bench::build_scaled(&spec, cfg.scale);
     eprintln!("table1: work measured on {}", workload.stats());
-    let seq_j = run_algo(Algo::SeqJohnson, &workload.graph, spec.delta_simple, &single);
-    let seq_rt = run_algo(Algo::SeqReadTarjan, &workload.graph, spec.delta_simple, &single);
-    let coarse_j = run_algo(Algo::CoarseJohnson, &workload.graph, spec.delta_simple, &pool);
-    let coarse_rt = run_algo(Algo::CoarseReadTarjan, &workload.graph, spec.delta_simple, &pool);
-    let fine_j = run_algo(Algo::FineJohnson, &workload.graph, spec.delta_simple, &pool);
-    let fine_rt = run_algo(Algo::FineReadTarjan, &workload.graph, spec.delta_simple, &pool);
+    let seq_j = run_algo(
+        Algo::SeqJohnson,
+        &workload.graph,
+        spec.delta_simple,
+        &single,
+    );
+    let seq_rt = run_algo(
+        Algo::SeqReadTarjan,
+        &workload.graph,
+        spec.delta_simple,
+        &single,
+    );
+    let coarse_j = run_algo(
+        Algo::CoarseJohnson,
+        &workload.graph,
+        spec.delta_simple,
+        &engine,
+    );
+    let coarse_rt = run_algo(
+        Algo::CoarseReadTarjan,
+        &workload.graph,
+        spec.delta_simple,
+        &engine,
+    );
+    let fine_j = run_algo(
+        Algo::FineJohnson,
+        &workload.graph,
+        spec.delta_simple,
+        &engine,
+    );
+    let fine_rt = run_algo(
+        Algo::FineReadTarjan,
+        &workload.graph,
+        spec.delta_simple,
+        &engine,
+    );
 
     // Scalability on the adversarial graph of Figure 4a (all cycles behind a
     // single root edge).
     let adversarial = fig4a_exponential_cycles(17);
     let seq_j_adv = run_algo(Algo::SeqJohnson, &adversarial, i64::MAX / 4, &single);
     let seq_rt_adv = run_algo(Algo::SeqReadTarjan, &adversarial, i64::MAX / 4, &single);
-    let coarse_j_adv = run_algo(Algo::CoarseJohnson, &adversarial, i64::MAX / 4, &pool);
-    let coarse_rt_adv = run_algo(Algo::CoarseReadTarjan, &adversarial, i64::MAX / 4, &pool);
-    let fine_j_adv = run_algo(Algo::FineJohnson, &adversarial, i64::MAX / 4, &pool);
-    let fine_rt_adv = run_algo(Algo::FineReadTarjan, &adversarial, i64::MAX / 4, &pool);
+    let coarse_j_adv = run_algo(Algo::CoarseJohnson, &adversarial, i64::MAX / 4, &engine);
+    let coarse_rt_adv = run_algo(Algo::CoarseReadTarjan, &adversarial, i64::MAX / 4, &engine);
+    let fine_j_adv = run_algo(Algo::FineJohnson, &adversarial, i64::MAX / 4, &engine);
+    let fine_rt_adv = run_algo(Algo::FineReadTarjan, &adversarial, i64::MAX / 4, &engine);
 
     let mut table = ResultTable::new(format!(
         "Table 1 — work ratio (vs sequential, dataset CO) and speedup on Fig. 4a graph ({threads} threads)"
     ));
     let rows = [
-        ("coarse_johnson", &coarse_j, &seq_j, &coarse_j_adv, &seq_j_adv),
-        ("coarse_read_tarjan", &coarse_rt, &seq_rt, &coarse_rt_adv, &seq_rt_adv),
+        (
+            "coarse_johnson",
+            &coarse_j,
+            &seq_j,
+            &coarse_j_adv,
+            &seq_j_adv,
+        ),
+        (
+            "coarse_read_tarjan",
+            &coarse_rt,
+            &seq_rt,
+            &coarse_rt_adv,
+            &seq_rt_adv,
+        ),
         ("fine_johnson", &fine_j, &seq_j, &fine_j_adv, &seq_j_adv),
-        ("fine_read_tarjan", &fine_rt, &seq_rt, &fine_rt_adv, &seq_rt_adv),
+        (
+            "fine_read_tarjan",
+            &fine_rt,
+            &seq_rt,
+            &fine_rt_adv,
+            &seq_rt_adv,
+        ),
     ];
     for (name, par, seq, par_adv, seq_adv) in rows {
         assert_eq!(par.cycles, seq.cycles, "{name}: cycle count mismatch");
-        assert_eq!(par_adv.cycles, seq_adv.cycles, "{name}: adversarial mismatch");
+        assert_eq!(
+            par_adv.cycles, seq_adv.cycles,
+            "{name}: adversarial mismatch"
+        );
         let mut row = MeasuredRow::new(name);
         row.push(
             "work_ratio",
             par.work.total_edge_visits() as f64 / seq.work.total_edge_visits().max(1) as f64,
         );
-        row.push("speedup_fig4a", seq_adv.wall_secs / par_adv.wall_secs.max(1e-9));
+        row.push(
+            "speedup_fig4a",
+            seq_adv.wall_secs / par_adv.wall_secs.max(1e-9),
+        );
         row.push("time_s", par.wall_secs);
         table.push(row);
     }

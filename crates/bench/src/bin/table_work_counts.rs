@@ -9,13 +9,13 @@
 //! Usage: `table_work_counts [--threads N] [--scale X] [--json PATH]`
 
 use pce_bench::{build_scaled, resolve_threads, run_algo, Algo};
-use pce_sched::ThreadPool;
+use pce_core::Engine;
 use pce_workloads::{dataset_suite, ExperimentConfig, MeasuredRow, ResultTable};
 
 fn main() {
     let cfg = ExperimentConfig::from_args(std::env::args().skip(1));
     let threads = resolve_threads(cfg.threads);
-    let pool = ThreadPool::new(threads);
+    let engine = Engine::with_threads(threads);
     let mut table = ResultTable::new(format!(
         "Work counts — edge visits relative to the work-efficient baselines ({threads} threads)"
     ));
@@ -25,11 +25,16 @@ fn main() {
         eprintln!("work: {} {}", spec.id.abbrev(), workload.stats());
         let graph = &workload.graph;
 
-        let coarse_j = run_algo(Algo::CoarseJohnson, graph, spec.delta_simple, &pool);
-        let fine_j = run_algo(Algo::FineJohnson, graph, spec.delta_simple, &pool);
-        let fine_rt = run_algo(Algo::FineReadTarjan, graph, spec.delta_simple, &pool);
-        let coarse_t = run_algo(Algo::CoarseTemporal, graph, spec.delta_temporal, &pool);
-        let fine_t = run_algo(Algo::FineTemporalJohnson, graph, spec.delta_temporal, &pool);
+        let coarse_j = run_algo(Algo::CoarseJohnson, graph, spec.delta_simple, &engine);
+        let fine_j = run_algo(Algo::FineJohnson, graph, spec.delta_simple, &engine);
+        let fine_rt = run_algo(Algo::FineReadTarjan, graph, spec.delta_simple, &engine);
+        let coarse_t = run_algo(Algo::CoarseTemporal, graph, spec.delta_temporal, &engine);
+        let fine_t = run_algo(
+            Algo::FineTemporalJohnson,
+            graph,
+            spec.delta_temporal,
+            &engine,
+        );
 
         let mut row = MeasuredRow::new(spec.id.abbrev());
         row.push(
@@ -39,8 +44,7 @@ fn main() {
         );
         row.push(
             "fineRT_vs_fineJ",
-            fine_rt.work.total_edge_visits() as f64
-                / fine_j.work.total_edge_visits().max(1) as f64,
+            fine_rt.work.total_edge_visits() as f64 / fine_j.work.total_edge_visits().max(1) as f64,
         );
         row.push(
             "temporal_fine_vs_coarse",
@@ -52,7 +56,11 @@ fn main() {
     }
 
     print!("{}", table.render());
-    for col in ["fineJ_vs_coarseJ", "fineRT_vs_fineJ", "temporal_fine_vs_coarse"] {
+    for col in [
+        "fineJ_vs_coarseJ",
+        "fineRT_vs_fineJ",
+        "temporal_fine_vs_coarse",
+    ] {
         if let Some(gm) = table.geomean(col) {
             println!("geomean {col}: {gm:.3}");
         }

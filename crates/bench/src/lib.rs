@@ -12,16 +12,11 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use pce_core::par::coarse::{coarse_johnson_simple, coarse_read_tarjan_simple, coarse_temporal};
-use pce_core::par::fine_johnson::fine_johnson_simple;
-use pce_core::par::fine_read_tarjan::fine_read_tarjan_simple;
-use pce_core::par::fine_temporal::{fine_temporal_johnson, fine_temporal_read_tarjan};
-use pce_core::seq::johnson::johnson_simple;
-use pce_core::seq::read_tarjan::read_tarjan_simple;
-use pce_core::seq::temporal::{temporal_simple, two_scent_baseline};
-use pce_core::{CountingSink, RunStats, SimpleCycleOptions, TemporalCycleOptions};
+use pce_core::seq::temporal::two_scent_baseline;
+use pce_core::{
+    Algorithm, CountingSink, Engine, Granularity, Query, RunStats, TemporalCycleOptions,
+};
 use pce_graph::TemporalGraph;
-use pce_sched::ThreadPool;
 use pce_workloads::DatasetSpec;
 
 /// Every algorithm configuration the harness can measure.
@@ -83,30 +78,58 @@ impl Algo {
     }
 }
 
+impl Algo {
+    /// The [`Query`] this configuration corresponds to, with `delta` as the
+    /// time window. `TwoScent` has no query form (it is a deliberately serial
+    /// driver, not a granularity) and returns `None`.
+    pub fn query(&self, delta: i64) -> Option<Query> {
+        let query = match self {
+            Algo::SeqJohnson => Query::simple()
+                .algorithm(Algorithm::Johnson)
+                .granularity(Granularity::Sequential),
+            Algo::SeqReadTarjan => Query::simple()
+                .algorithm(Algorithm::ReadTarjan)
+                .granularity(Granularity::Sequential),
+            Algo::SeqTemporal => Query::temporal().granularity(Granularity::Sequential),
+            Algo::TwoScent => return None,
+            Algo::CoarseJohnson => Query::simple()
+                .algorithm(Algorithm::Johnson)
+                .granularity(Granularity::CoarseGrained),
+            Algo::CoarseReadTarjan => Query::simple()
+                .algorithm(Algorithm::ReadTarjan)
+                .granularity(Granularity::CoarseGrained),
+            Algo::CoarseTemporal => Query::temporal().granularity(Granularity::CoarseGrained),
+            Algo::FineJohnson => Query::simple()
+                .algorithm(Algorithm::Johnson)
+                .granularity(Granularity::FineGrained),
+            Algo::FineReadTarjan => Query::simple()
+                .algorithm(Algorithm::ReadTarjan)
+                .granularity(Granularity::FineGrained),
+            Algo::FineTemporalJohnson => Query::temporal()
+                .algorithm(Algorithm::Johnson)
+                .granularity(Granularity::FineGrained),
+            Algo::FineTemporalReadTarjan => Query::temporal()
+                .algorithm(Algorithm::ReadTarjan)
+                .granularity(Granularity::FineGrained),
+        };
+        Some(query.window(delta))
+    }
+}
+
 /// Runs one algorithm configuration on one graph and returns its statistics.
 /// `delta` is interpreted as the simple-cycle window for simple configurations
-/// and as the temporal window for temporal configurations.
-pub fn run_algo(
-    algo: Algo,
-    graph: &TemporalGraph,
-    delta: i64,
-    pool: &ThreadPool,
-) -> RunStats {
+/// and as the temporal window for temporal configurations. Every query runs
+/// on `engine`'s shared pool — the figure binaries construct one engine per
+/// process (or per thread-count scale point) instead of a pool per call.
+pub fn run_algo(algo: Algo, graph: &TemporalGraph, delta: i64, engine: &Engine) -> RunStats {
     let sink = CountingSink::new();
-    let sopts = SimpleCycleOptions::with_window(delta);
-    let topts = TemporalCycleOptions::with_window(delta);
-    match algo {
-        Algo::SeqJohnson => johnson_simple(graph, &sopts, &sink),
-        Algo::SeqReadTarjan => read_tarjan_simple(graph, &sopts, &sink),
-        Algo::SeqTemporal => temporal_simple(graph, &topts, &sink),
-        Algo::TwoScent => two_scent_baseline(graph, &topts, &sink),
-        Algo::CoarseJohnson => coarse_johnson_simple(graph, &sopts, &sink, pool),
-        Algo::CoarseReadTarjan => coarse_read_tarjan_simple(graph, &sopts, &sink, pool),
-        Algo::CoarseTemporal => coarse_temporal(graph, &topts, &sink, pool),
-        Algo::FineJohnson => fine_johnson_simple(graph, &sopts, &sink, pool),
-        Algo::FineReadTarjan => fine_read_tarjan_simple(graph, &sopts, &sink, pool),
-        Algo::FineTemporalJohnson => fine_temporal_johnson(graph, &topts, &sink, pool),
-        Algo::FineTemporalReadTarjan => fine_temporal_read_tarjan(graph, &topts, &sink, pool),
+    match algo.query(delta) {
+        Some(query) => engine
+            .run_with_sink(&query, graph, &sink)
+            .expect("benchmark queries are valid"),
+        // The 2SCENT-style baseline bypasses the engine by design: it stands
+        // in for the serial competitor implementation.
+        None => two_scent_baseline(graph, &TemporalCycleOptions::with_window(delta), &sink),
     }
 }
 
@@ -157,15 +180,47 @@ mod tests {
     fn run_algo_smoke_test_on_tiny_workload() {
         let spec = dataset(DatasetId::CO);
         let workload = build_scaled(&spec, 0.05);
-        let pool = ThreadPool::new(2);
-        let a = run_algo(Algo::SeqTemporal, &workload.graph, spec.delta_temporal, &pool);
+        let engine = Engine::with_threads(2);
+        let a = run_algo(
+            Algo::SeqTemporal,
+            &workload.graph,
+            spec.delta_temporal,
+            &engine,
+        );
         let b = run_algo(
             Algo::FineTemporalJohnson,
             &workload.graph,
             spec.delta_temporal,
-            &pool,
+            &engine,
         );
         assert_eq!(a.cycles, b.cycles);
+        let baseline = run_algo(
+            Algo::TwoScent,
+            &workload.graph,
+            spec.delta_temporal,
+            &engine,
+        );
+        assert_eq!(a.cycles, baseline.cycles);
+    }
+
+    #[test]
+    fn every_engine_backed_algo_has_a_valid_query() {
+        for algo in [
+            Algo::SeqJohnson,
+            Algo::SeqReadTarjan,
+            Algo::SeqTemporal,
+            Algo::CoarseJohnson,
+            Algo::CoarseReadTarjan,
+            Algo::CoarseTemporal,
+            Algo::FineJohnson,
+            Algo::FineReadTarjan,
+            Algo::FineTemporalJohnson,
+            Algo::FineTemporalReadTarjan,
+        ] {
+            let query = algo.query(50).expect("engine-backed");
+            assert!(query.validate().is_ok(), "{algo:?}");
+        }
+        assert!(Algo::TwoScent.query(50).is_none());
     }
 
     #[test]

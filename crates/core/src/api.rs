@@ -1,5 +1,30 @@
-//! High-level enumeration API: pick an algorithm, a parallelisation
-//! granularity, a thread count and the constraints, then run.
+//! The legacy builder front end, kept as a thin compatibility wrapper over
+//! the [`Engine`](crate::engine::Engine) API.
+//!
+//! New code should construct one long-lived [`Engine`](crate::engine::Engine)
+//! per process and issue [`Query`]s against it — the engine reuses one thread
+//! pool across calls, validates queries instead of substituting fallbacks,
+//! and supports early termination and streaming:
+//!
+//! ```
+//! use pce_core::{Engine, Query, Algorithm, Granularity};
+//! use pce_graph::generators::fig4a_exponential_cycles;
+//!
+//! let engine = Engine::with_threads(4);
+//! let graph = fig4a_exponential_cycles(10);
+//! let query = Query::simple()
+//!     .algorithm(Algorithm::ReadTarjan)
+//!     .granularity(Granularity::FineGrained);
+//! let result = engine.run(&query, &graph).unwrap();
+//! assert_eq!(result.stats.cycles, 256);
+//! ```
+//!
+//! [`CycleEnumerator`] remains for existing callers and for one-shot use. It
+//! creates a fresh engine (and therefore a fresh pool) per call, and it keeps
+//! the seed API's lenient dispatch: requesting Tiernan at fine granularity
+//! runs the coarse-grained Tiernan instead, and requesting Tiernan on
+//! temporal cycles runs the Johnson-style temporal search — in both cases the
+//! substitution is visible in `RunStats::{algorithm, granularity}`.
 //!
 //! ```
 //! use pce_core::{Algorithm, CycleEnumerator, Granularity};
@@ -16,60 +41,16 @@
 //! assert_eq!(result.cycles.unwrap().len(), 256);
 //! ```
 
-use crate::cycle::{CollectingSink, CountingSink, Cycle, CycleSink};
-use crate::metrics::RunStats;
-use crate::options::{SimpleCycleOptions, TemporalCycleOptions};
-use crate::par::coarse::{
-    coarse_johnson_simple, coarse_read_tarjan_simple, coarse_temporal, coarse_tiernan_simple,
+use crate::engine::{
+    Algorithm, CollectMode, CycleKind, Engine, EnumerationResult, Granularity, Query,
 };
-use crate::par::fine_johnson::fine_johnson_simple;
-use crate::par::fine_read_tarjan::fine_read_tarjan_simple;
-use crate::par::fine_temporal::{fine_temporal_johnson, fine_temporal_read_tarjan};
-use crate::par::make_pool;
-use crate::seq::johnson::johnson_simple;
-use crate::seq::read_tarjan::read_tarjan_simple;
-use crate::seq::temporal::temporal_simple;
-use crate::seq::tiernan::tiernan_simple;
 use pce_graph::{TemporalGraph, Timestamp};
 
-/// Which enumeration algorithm to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Algorithm {
-    /// The Johnson algorithm (default): fastest in most of the paper's
-    /// experiments, not work efficient in its fine-grained parallel form.
-    #[default]
-    Johnson,
-    /// The Read-Tarjan algorithm: work efficient and strongly scalable in its
-    /// fine-grained parallel form; slightly more edge visits.
-    ReadTarjan,
-    /// The brute-force Tiernan algorithm (baseline; sequential or
-    /// coarse-grained only).
-    Tiernan,
-}
-
-/// How the work is split across threads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Granularity {
-    /// Single-threaded reference execution.
-    Sequential,
-    /// One task per starting edge (§4): work efficient, not scalable.
-    CoarseGrained,
-    /// The paper's fine-grained task decomposition (§5/§6): scalable.
-    #[default]
-    FineGrained,
-}
-
-/// Result of an enumeration run.
-#[derive(Debug)]
-pub struct EnumerationResult {
-    /// The discovered cycles, if [`CycleEnumerator::collect_cycles`] was
-    /// enabled (`None` otherwise — counting only).
-    pub cycles: Option<Vec<Cycle>>,
-    /// Timing and work statistics (the cycle count is `stats.cycles`).
-    pub stats: RunStats,
-}
-
-/// Builder-style front end over every enumerator in this crate.
+/// Builder-style front end over every enumerator in this crate (legacy).
+///
+/// Prefer [`Engine`] + [`Query`] for anything that issues more than one call:
+/// this wrapper spins up a fresh engine per call, which was the seed
+/// behaviour but wastes a pool spawn/teardown every time.
 #[derive(Debug, Clone)]
 pub struct CycleEnumerator {
     algorithm: Algorithm,
@@ -120,7 +101,10 @@ impl CycleEnumerator {
         self
     }
 
-    /// Constrains cycles to a time window of size `delta`.
+    /// Constrains cycles to a time window of size `delta`. Must be >= 1:
+    /// unlike the seed, a zero or negative window now makes the enumeration
+    /// calls panic (the engine rejects it as
+    /// [`EnumerationError::InvalidWindow`](crate::EnumerationError)).
     pub fn window(mut self, delta: Timestamp) -> Self {
         self.window_delta = Some(delta);
         self
@@ -144,120 +128,92 @@ impl CycleEnumerator {
         self
     }
 
-    fn simple_options(&self) -> SimpleCycleOptions {
-        SimpleCycleOptions {
-            window_delta: self.window_delta,
-            max_len: self.max_len,
-            include_self_loops: self.include_self_loops,
+    /// Builds the equivalent [`Query`], applying the legacy fallbacks the
+    /// seed API performed silently (fine-grained Tiernan → coarse-grained;
+    /// temporal Tiernan → Johnson).
+    fn query(&self, kind: CycleKind) -> Query {
+        let (algorithm, granularity) = match (kind, self.algorithm, self.granularity) {
+            // Tiernan has no fine-grained decomposition in the paper; the
+            // coarse-grained version is the closest equivalent.
+            (CycleKind::Simple, Algorithm::Tiernan, Granularity::FineGrained) => {
+                (Algorithm::Tiernan, Granularity::CoarseGrained)
+            }
+            // Tiernan has no temporal variant; the Johnson-style temporal
+            // search is what the seed dispatched to.
+            (CycleKind::Temporal, Algorithm::Tiernan, granularity) => {
+                (Algorithm::Johnson, granularity)
+            }
+            (_, algorithm, granularity) => (algorithm, granularity),
+        };
+        let mut query = match kind {
+            CycleKind::Simple => Query::simple(),
+            CycleKind::Temporal => Query::temporal(),
+        };
+        query = query
+            .algorithm(algorithm)
+            .granularity(granularity)
+            .include_self_loops(self.include_self_loops)
+            .collect(if self.collect {
+                CollectMode::Collect
+            } else {
+                CollectMode::Count
+            });
+        if let Some(delta) = self.window_delta {
+            query = query.window(delta);
         }
+        if let Some(len) = self.max_len {
+            query = query.max_len(len);
+        }
+        query
     }
 
-    fn temporal_options(&self, graph: &TemporalGraph) -> TemporalCycleOptions {
-        TemporalCycleOptions {
-            window_delta: self.window_delta.unwrap_or_else(|| graph.time_span().max(1)),
-            max_len: self.max_len,
-        }
+    /// The lazily-created per-call engine this wrapper runs on.
+    fn engine(&self) -> Engine {
+        Engine::with_threads(self.threads)
     }
 
     /// Enumerates (window-constrained) simple cycles of `graph`.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (e.g. a zero-size window); use
+    /// [`Engine::run`] for fallible execution.
     pub fn enumerate_simple(&self, graph: &TemporalGraph) -> EnumerationResult {
-        let opts = self.simple_options();
-        self.run(|sink| self.dispatch_simple(graph, &opts, sink))
+        self.engine()
+            .run(&self.query(CycleKind::Simple), graph)
+            .expect("invalid CycleEnumerator configuration")
     }
 
     /// Enumerates temporal cycles of `graph`.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (e.g. a zero-size window); use
+    /// [`Engine::run`] for fallible execution.
     pub fn enumerate_temporal(&self, graph: &TemporalGraph) -> EnumerationResult {
-        let opts = self.temporal_options(graph);
-        self.run(|sink| self.dispatch_temporal(graph, &opts, sink))
+        self.engine()
+            .run(&self.query(CycleKind::Temporal), graph)
+            .expect("invalid CycleEnumerator configuration")
     }
 
     /// Counts (window-constrained) simple cycles without materialising them.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid; use [`Engine::count`] for
+    /// fallible execution.
     pub fn count_simple(&self, graph: &TemporalGraph) -> u64 {
-        let opts = self.simple_options();
-        let sink = CountingSink::new();
-        self.dispatch_simple(graph, &opts, &sink);
-        sink.count()
+        self.engine()
+            .count(&self.query(CycleKind::Simple), graph)
+            .expect("invalid CycleEnumerator configuration")
     }
 
     /// Counts temporal cycles without materialising them.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid; use [`Engine::count`] for
+    /// fallible execution.
     pub fn count_temporal(&self, graph: &TemporalGraph) -> u64 {
-        let opts = self.temporal_options(graph);
-        let sink = CountingSink::new();
-        self.dispatch_temporal(graph, &opts, &sink);
-        sink.count()
-    }
-
-    fn run(&self, body: impl FnOnce(&dyn CycleSink) -> RunStats) -> EnumerationResult {
-        if self.collect {
-            let sink = CollectingSink::new();
-            let stats = body(&sink);
-            EnumerationResult {
-                cycles: Some(sink.into_cycles()),
-                stats,
-            }
-        } else {
-            let sink = CountingSink::new();
-            let stats = body(&sink);
-            EnumerationResult {
-                cycles: None,
-                stats,
-            }
-        }
-    }
-
-    fn dispatch_simple(
-        &self,
-        graph: &TemporalGraph,
-        opts: &SimpleCycleOptions,
-        sink: &dyn CycleSink,
-    ) -> RunStats {
-        match self.granularity {
-            Granularity::Sequential => match self.algorithm {
-                Algorithm::Johnson => johnson_simple(graph, opts, sink),
-                Algorithm::ReadTarjan => read_tarjan_simple(graph, opts, sink),
-                Algorithm::Tiernan => tiernan_simple(graph, opts, sink),
-            },
-            Granularity::CoarseGrained => {
-                let pool = make_pool(self.threads);
-                match self.algorithm {
-                    Algorithm::Johnson => coarse_johnson_simple(graph, opts, sink, &pool),
-                    Algorithm::ReadTarjan => coarse_read_tarjan_simple(graph, opts, sink, &pool),
-                    Algorithm::Tiernan => coarse_tiernan_simple(graph, opts, sink, &pool),
-                }
-            }
-            Granularity::FineGrained => {
-                let pool = make_pool(self.threads);
-                match self.algorithm {
-                    Algorithm::Johnson => fine_johnson_simple(graph, opts, sink, &pool),
-                    Algorithm::ReadTarjan => fine_read_tarjan_simple(graph, opts, sink, &pool),
-                    // Tiernan has no fine-grained decomposition in the paper;
-                    // the coarse-grained version is the closest equivalent.
-                    Algorithm::Tiernan => coarse_tiernan_simple(graph, opts, sink, &pool),
-                }
-            }
-        }
-    }
-
-    fn dispatch_temporal(
-        &self,
-        graph: &TemporalGraph,
-        opts: &TemporalCycleOptions,
-        sink: &dyn CycleSink,
-    ) -> RunStats {
-        match self.granularity {
-            Granularity::Sequential => temporal_simple(graph, opts, sink),
-            Granularity::CoarseGrained => {
-                let pool = make_pool(self.threads);
-                coarse_temporal(graph, opts, sink, &pool)
-            }
-            Granularity::FineGrained => {
-                let pool = make_pool(self.threads);
-                match self.algorithm {
-                    Algorithm::ReadTarjan => fine_temporal_read_tarjan(graph, opts, sink, &pool),
-                    _ => fine_temporal_johnson(graph, opts, sink, &pool),
-                }
-            }
-        }
+        self.engine()
+            .count(&self.query(CycleKind::Temporal), graph)
+            .expect("invalid CycleEnumerator configuration")
     }
 }
 
@@ -297,7 +253,11 @@ mod tests {
             .granularity(Granularity::Sequential)
             .window(20)
             .count_simple(&g);
-        for algorithm in [Algorithm::Johnson, Algorithm::ReadTarjan, Algorithm::Tiernan] {
+        for algorithm in [
+            Algorithm::Johnson,
+            Algorithm::ReadTarjan,
+            Algorithm::Tiernan,
+        ] {
             for granularity in [
                 Granularity::Sequential,
                 Granularity::CoarseGrained,
@@ -363,5 +323,24 @@ mod tests {
             .granularity(Granularity::Sequential)
             .count_temporal(&g);
         assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn legacy_fallbacks_are_recorded_in_stats() {
+        let g = generators::directed_cycle(4);
+        // Fine-grained Tiernan falls back to coarse-grained — and says so.
+        let result = CycleEnumerator::new()
+            .algorithm(Algorithm::Tiernan)
+            .granularity(Granularity::FineGrained)
+            .threads(2)
+            .enumerate_simple(&g);
+        assert_eq!(result.stats.algorithm, Some(Algorithm::Tiernan));
+        assert_eq!(result.stats.granularity, Some(Granularity::CoarseGrained));
+        // Temporal Tiernan falls back to the Johnson-style search.
+        let result = CycleEnumerator::new()
+            .algorithm(Algorithm::Tiernan)
+            .granularity(Granularity::Sequential)
+            .enumerate_temporal(&g);
+        assert_eq!(result.stats.algorithm, Some(Algorithm::Johnson));
     }
 }

@@ -90,10 +90,10 @@ impl BundledSearch<'_> {
                 continue;
             }
             let w = entry.neighbor;
-            if w == self.v0 || (self.union.in_union(w) && !self.on_path.contains(&w)) {
-                if !successors.contains(&w) {
-                    successors.push(w);
-                }
+            if (w == self.v0 || (self.union.in_union(w) && !self.on_path.contains(&w)))
+                && !successors.contains(&w)
+            {
+                successors.push(w);
             }
         }
         for w in successors {
@@ -134,14 +134,18 @@ pub fn bundled_temporal_count(
     let metrics = WorkMetrics::new(1);
     let total = AtomicU64::new(0);
     let sink = crate::cycle::CountingSink::new();
-    let stats = timed_run(&sink, &metrics, 1, || {
+    let halting = crate::cycle::HaltingSink::new(&sink);
+    let stats = timed_run(&halting, &metrics, 1, || {
         let mut scratch = RootScratch::new(graph.num_vertices());
         for root in 0..graph.num_edges() as EdgeId {
             let e0 = graph.edge(root);
             if e0.src == e0.dst {
                 continue;
             }
-            if !scratch.union.compute_temporal(graph, root, opts.window_delta) {
+            if !scratch
+                .union
+                .compute_temporal(graph, root, opts.window_delta)
+            {
                 continue;
             }
             metrics.root_processed(0);

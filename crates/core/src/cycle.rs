@@ -11,16 +11,27 @@
 //!
 //! Enumerators do not return `Vec<Cycle>` directly; they push every discovered
 //! cycle into a [`CycleSink`]. Sinks are shared across worker threads, so they
-//! are required to be `Sync`; the two standard implementations are
-//! [`CountingSink`] (an atomic counter, no allocation per cycle) and
-//! [`CollectingSink`] (a mutex-protected vector, used by tests, examples and
-//! anything that needs the actual cycles).
+//! are required to be `Sync`, and every enumerator is **generic over the sink
+//! type** — the per-cycle [`CycleSink::push`] is statically dispatched and
+//! inlinable, with no virtual call on the hot path. `push` returns a
+//! [`ControlFlow`] so a sink can terminate the enumeration early (see
+//! [`FirstKSink`] and the streaming [`ChannelSink`]); returning
+//! `ControlFlow::Break(())` makes every worker wind down promptly.
+//!
+//! The standard implementations are [`CountingSink`] (an atomic counter, no
+//! allocation per cycle), [`CollectingSink`] (a mutex-protected vector, used
+//! by tests, examples and anything that needs the actual cycles),
+//! [`BoundedSink`] (counts everything, keeps a sample), [`FirstKSink`] (stops
+//! the run after `k` cycles) and [`ChannelSink`] (streams cycles to a
+//! consumer, stopping when the consumer hangs up).
 
 use crate::util::fx_set;
-use pce_graph::{EdgeId, TemporalGraph, Timestamp, VertexId};
 use parking_lot::Mutex;
+use pce_graph::{EdgeId, TemporalGraph, Timestamp, VertexId};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::SyncSender;
 
 /// A simple (or temporal) cycle, stored as the vertex sequence in traversal
 /// order plus the edge ids used between consecutive vertices (the last edge
@@ -58,9 +69,11 @@ impl Cycle {
         self.len() == 1
     }
 
-    /// Returns `false`; cycles are never empty (the constructor forbids it).
+    /// Returns `true` when the cycle has no edges. The constructor forbids
+    /// empty cycles, so this is always `false` for constructed values; it
+    /// exists (and honestly inspects the storage) to pair with [`Cycle::len`].
     pub fn is_empty(&self) -> bool {
-        false
+        self.edges.is_empty()
     }
 
     /// Rotates the cycle so that its lexicographically smallest edge id comes
@@ -126,14 +139,23 @@ impl Cycle {
 }
 
 /// Destination for discovered cycles. Implementations must be cheap and
-/// thread-safe: the fine-grained enumerators call [`CycleSink::report`] from
+/// thread-safe: the fine-grained enumerators call [`CycleSink::push`] from
 /// many worker threads concurrently.
+///
+/// Enumerators take sinks as a generic `S: CycleSink` parameter, so `push` is
+/// statically dispatched on the per-cycle hot path.
 pub trait CycleSink: Sync {
     /// Called once per discovered cycle with the vertex sequence and the edge
     /// ids in traversal order (see [`Cycle`] for the exact convention).
-    fn report(&self, vertices: &[VertexId], edges: &[EdgeId]);
+    ///
+    /// Returning [`ControlFlow::Break`] asks the enumeration to terminate
+    /// early: no further cycles will be pushed once every worker has observed
+    /// the stop signal (a handful of in-flight cycles may still arrive from
+    /// concurrent workers — sinks that need an exact cutoff enforce it
+    /// themselves, as [`FirstKSink`] does).
+    fn push(&self, vertices: &[VertexId], edges: &[EdgeId]) -> ControlFlow<()>;
 
-    /// Number of cycles reported so far.
+    /// Number of cycles accepted so far.
     fn count(&self) -> u64;
 }
 
@@ -152,8 +174,9 @@ impl CountingSink {
 
 impl CycleSink for CountingSink {
     #[inline]
-    fn report(&self, _vertices: &[VertexId], _edges: &[EdgeId]) {
+    fn push(&self, _vertices: &[VertexId], _edges: &[EdgeId]) -> ControlFlow<()> {
         self.count.fetch_add(1, Ordering::Relaxed);
+        ControlFlow::Continue(())
     }
 
     fn count(&self) -> u64 {
@@ -190,9 +213,10 @@ impl CollectingSink {
 }
 
 impl CycleSink for CollectingSink {
-    fn report(&self, vertices: &[VertexId], edges: &[EdgeId]) {
+    fn push(&self, vertices: &[VertexId], edges: &[EdgeId]) -> ControlFlow<()> {
         let cycle = Cycle::new(vertices.to_vec(), edges.to_vec());
         self.cycles.lock().push(cycle);
+        ControlFlow::Continue(())
     }
 
     fn count(&self) -> u64 {
@@ -226,16 +250,142 @@ impl BoundedSink {
 }
 
 impl CycleSink for BoundedSink {
-    fn report(&self, vertices: &[VertexId], edges: &[EdgeId]) {
+    fn push(&self, vertices: &[VertexId], edges: &[EdgeId]) -> ControlFlow<()> {
         self.count.fetch_add(1, Ordering::Relaxed);
         let mut guard = self.cycles.lock();
         if guard.len() < self.limit {
             guard.push(Cycle::new(vertices.to_vec(), edges.to_vec()));
         }
+        ControlFlow::Continue(())
     }
 
     fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
+    }
+}
+
+/// A sink that accepts exactly the first `k` cycles and then stops the
+/// enumeration: the `k+1`-th push returns [`ControlFlow::Break`] and is *not*
+/// recorded, so the result holds exactly `min(k, total)` cycles regardless of
+/// how many workers race on the sink. Powers `Engine::first_k`.
+#[derive(Debug)]
+pub struct FirstKSink {
+    limit: usize,
+    cycles: Mutex<Vec<Cycle>>,
+}
+
+impl FirstKSink {
+    /// Creates a sink that accepts at most `k` cycles.
+    pub fn new(k: usize) -> Self {
+        Self {
+            limit: k,
+            cycles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The accepted cycles (at most `k` of them).
+    pub fn into_cycles(self) -> Vec<Cycle> {
+        self.cycles.into_inner()
+    }
+}
+
+impl CycleSink for FirstKSink {
+    fn push(&self, vertices: &[VertexId], edges: &[EdgeId]) -> ControlFlow<()> {
+        let mut guard = self.cycles.lock();
+        if guard.len() >= self.limit {
+            return ControlFlow::Break(());
+        }
+        guard.push(Cycle::new(vertices.to_vec(), edges.to_vec()));
+        if guard.len() >= self.limit {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    }
+
+    fn count(&self) -> u64 {
+        self.cycles.lock().len() as u64
+    }
+}
+
+/// A sink that forwards every cycle into a bounded channel, blocking when the
+/// consumer lags (backpressure) and returning [`ControlFlow::Break`] once the
+/// consumer hangs up. Powers `Engine::stream`.
+#[derive(Debug)]
+pub struct ChannelSink {
+    sender: SyncSender<Cycle>,
+    sent: AtomicU64,
+}
+
+impl ChannelSink {
+    /// Creates a sink feeding `sender`.
+    pub fn new(sender: SyncSender<Cycle>) -> Self {
+        Self {
+            sender,
+            sent: AtomicU64::new(0),
+        }
+    }
+}
+
+impl CycleSink for ChannelSink {
+    fn push(&self, vertices: &[VertexId], edges: &[EdgeId]) -> ControlFlow<()> {
+        let cycle = Cycle::new(vertices.to_vec(), edges.to_vec());
+        match self.sender.send(cycle) {
+            Ok(()) => {
+                self.sent.fetch_add(1, Ordering::Relaxed);
+                ControlFlow::Continue(())
+            }
+            // The receiving end was dropped: the consumer is done listening.
+            Err(_) => ControlFlow::Break(()),
+        }
+    }
+
+    fn count(&self) -> u64 {
+        self.sent.load(Ordering::Relaxed)
+    }
+}
+
+/// Crate-internal adaptor every enumerator wraps around the caller's sink: it
+/// forwards pushes and latches the first [`ControlFlow::Break`] into a flag
+/// that all workers poll to wind the run down. Keeping the latch here (rather
+/// than in each sink) means sinks stay stateless about termination and the
+/// poll is one relaxed atomic load.
+pub(crate) struct HaltingSink<'a, S> {
+    inner: &'a S,
+    stopped: AtomicBool,
+}
+
+impl<'a, S: CycleSink> HaltingSink<'a, S> {
+    /// Wraps `inner`.
+    pub(crate) fn new(inner: &'a S) -> Self {
+        Self {
+            inner,
+            stopped: AtomicBool::new(false),
+        }
+    }
+
+    /// Forwards one cycle to the wrapped sink unless the run is already
+    /// stopping; latches a `Break` response.
+    #[inline]
+    pub(crate) fn push(&self, vertices: &[VertexId], edges: &[EdgeId]) {
+        if self.stopped() {
+            return;
+        }
+        if self.inner.push(vertices, edges).is_break() {
+            self.stopped.store(true, Ordering::Release);
+        }
+    }
+
+    /// Whether a sink asked the enumeration to stop. Workers poll this at
+    /// every branch claim / task start and wind down when it flips.
+    #[inline]
+    pub(crate) fn stopped(&self) -> bool {
+        self.stopped.load(Ordering::Relaxed)
+    }
+
+    /// Number of cycles the wrapped sink accepted.
+    pub(crate) fn count(&self) -> u64 {
+        self.inner.count()
     }
 }
 
@@ -285,16 +435,16 @@ mod tests {
     #[test]
     fn counting_sink_counts() {
         let sink = CountingSink::new();
-        sink.report(&[0, 1], &[0, 1]);
-        sink.report(&[0, 2], &[2, 3]);
+        assert!(sink.push(&[0, 1], &[0, 1]).is_continue());
+        assert!(sink.push(&[0, 2], &[2, 3]).is_continue());
         assert_eq!(sink.count(), 2);
     }
 
     #[test]
     fn collecting_sink_collects_and_canonicalises() {
         let sink = CollectingSink::new();
-        sink.report(&[1, 2, 0], &[5, 7, 3]);
-        sink.report(&[0, 1], &[0, 1]);
+        assert!(sink.push(&[1, 2, 0], &[5, 7, 3]).is_continue());
+        assert!(sink.push(&[0, 1], &[0, 1]).is_continue());
         assert_eq!(sink.count(), 2);
         let canon = sink.canonical_cycles();
         assert_eq!(canon.len(), 2);
@@ -306,9 +456,53 @@ mod tests {
     fn bounded_sink_truncates_but_counts_all() {
         let sink = BoundedSink::new(2);
         for i in 0..5u32 {
-            sink.report(&[i, i + 1], &[i, i + 1]);
+            assert!(sink.push(&[i, i + 1], &[i, i + 1]).is_continue());
         }
         assert_eq!(sink.count(), 5);
         assert_eq!(sink.into_cycles().len(), 2);
+    }
+
+    #[test]
+    fn first_k_sink_stops_at_k_and_keeps_exactly_k() {
+        let sink = FirstKSink::new(3);
+        assert!(sink.push(&[0, 1], &[0, 1]).is_continue());
+        assert!(sink.push(&[1, 2], &[2, 3]).is_continue());
+        // The k-th push is accepted but already signals Break.
+        assert!(sink.push(&[2, 3], &[4, 5]).is_break());
+        // Further pushes are rejected outright.
+        assert!(sink.push(&[3, 4], &[6, 7]).is_break());
+        assert_eq!(sink.count(), 3);
+        assert_eq!(sink.into_cycles().len(), 3);
+    }
+
+    #[test]
+    fn first_k_sink_with_zero_limit_rejects_everything() {
+        let sink = FirstKSink::new(0);
+        assert!(sink.push(&[0, 1], &[0, 1]).is_break());
+        assert_eq!(sink.count(), 0);
+    }
+
+    #[test]
+    fn channel_sink_streams_and_detects_hangup() {
+        let (tx, rx) = std::sync::mpsc::sync_channel(4);
+        let sink = ChannelSink::new(tx);
+        assert!(sink.push(&[0, 1], &[0, 1]).is_continue());
+        assert_eq!(rx.recv().unwrap().len(), 2);
+        assert_eq!(sink.count(), 1);
+        drop(rx);
+        assert!(sink.push(&[1, 2], &[2, 3]).is_break());
+        assert_eq!(sink.count(), 1);
+    }
+
+    #[test]
+    fn halting_sink_latches_break_and_stops_forwarding() {
+        let inner = FirstKSink::new(1);
+        let halting = HaltingSink::new(&inner);
+        assert!(!halting.stopped());
+        halting.push(&[0, 1], &[0, 1]);
+        assert!(halting.stopped());
+        // Forwarding stops once halted; the inner sink sees nothing more.
+        halting.push(&[1, 2], &[2, 3]);
+        assert_eq!(halting.count(), 1);
     }
 }

@@ -13,22 +13,27 @@
 //! | Temporal (2SCENT-style) | [`seq::temporal`] | [`par::coarse`] | [`par::fine_temporal`] |
 //!
 //! All enumerators share the same problem definitions (see [`cycle`]), report
-//! cycles through a [`CycleSink`] and record work into [`WorkMetrics`]. The
-//! high-level entry point for applications is [`CycleEnumerator`], a builder
-//! that selects the algorithm, granularity, thread count and constraints.
+//! cycles through a statically-dispatched [`CycleSink`] and record work into
+//! [`WorkMetrics`]. The high-level entry point for applications is the
+//! long-lived [`Engine`]: it owns one thread pool for its lifetime and serves
+//! any number of [`Query`]s — counting, collecting, first-`k` with early
+//! termination, or streaming.
 //!
 //! ```
-//! use pce_core::{CycleEnumerator, Algorithm, Granularity};
+//! use pce_core::{Engine, Query, Algorithm, Granularity};
 //! use pce_graph::generators::directed_cycle;
 //!
+//! let engine = Engine::with_threads(2);
 //! let graph = directed_cycle(4);
-//! let result = CycleEnumerator::new()
+//! let query = Query::simple()
 //!     .algorithm(Algorithm::Johnson)
-//!     .granularity(Granularity::FineGrained)
-//!     .threads(2)
-//!     .enumerate_simple(&graph);
+//!     .granularity(Granularity::FineGrained);
+//! let result = engine.run(&query, &graph).unwrap();
 //! assert_eq!(result.stats.cycles, 1);
 //! ```
+//!
+//! The legacy [`CycleEnumerator`] builder remains as a thin compatibility
+//! wrapper over a per-call engine (see [`api`]).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -36,6 +41,7 @@
 pub mod api;
 pub mod bundle;
 pub mod cycle;
+pub mod engine;
 pub mod metrics;
 pub mod options;
 pub mod par;
@@ -43,8 +49,14 @@ pub mod seq;
 pub(crate) mod union;
 pub mod util;
 
-pub use api::{Algorithm, CycleEnumerator, EnumerationResult, Granularity};
-pub use cycle::{BoundedSink, CollectingSink, CountingSink, Cycle, CycleSink};
+pub use api::CycleEnumerator;
+pub use cycle::{
+    BoundedSink, ChannelSink, CollectingSink, CountingSink, Cycle, CycleSink, FirstKSink,
+};
+pub use engine::{
+    Algorithm, CollectMode, CycleKind, CycleStream, Engine, EnumerationError, EnumerationResult,
+    Granularity, Query,
+};
 pub use metrics::{RunStats, WorkMetrics, WorkSnapshot, WorkerWork};
 pub use options::{SimpleCycleOptions, TemporalCycleOptions};
 

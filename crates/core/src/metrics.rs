@@ -7,6 +7,7 @@
 //! operations into per-worker, cache-line-padded atomic counters; the
 //! aggregate is returned alongside the cycle count in a [`RunStats`].
 
+use crate::engine::{Algorithm, Granularity};
 use crossbeam_utils::CachePadded;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -41,7 +42,9 @@ impl WorkMetrics {
     pub fn new(num_workers: usize) -> Self {
         let n = num_workers.max(1);
         Self {
-            workers: (0..n).map(|_| CachePadded::new(WorkerBlock::default())).collect(),
+            workers: (0..n)
+                .map(|_| CachePadded::new(WorkerBlock::default()))
+                .collect(),
         }
     }
 
@@ -53,13 +56,17 @@ impl WorkMetrics {
     /// Records one edge visit (the paper's work metric).
     #[inline]
     pub fn edge_visit(&self, worker: usize) {
-        self.slot(worker).edge_visits.fetch_add(1, Ordering::Relaxed);
+        self.slot(worker)
+            .edge_visits
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records `n` edge visits at once.
     #[inline]
     pub fn edge_visits(&self, worker: usize, n: u64) {
-        self.slot(worker).edge_visits.fetch_add(n, Ordering::Relaxed);
+        self.slot(worker)
+            .edge_visits
+            .fetch_add(n, Ordering::Relaxed);
     }
 
     /// Records one recursive call / task execution.
@@ -73,19 +80,25 @@ impl WorkMetrics {
     /// Records one copy of the search state (copy-on-steal or task copy).
     #[inline]
     pub fn copy_event(&self, worker: usize) {
-        self.slot(worker).copy_events.fetch_add(1, Ordering::Relaxed);
+        self.slot(worker)
+            .copy_events
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one successful branch steal.
     #[inline]
     pub fn steal_event(&self, worker: usize) {
-        self.slot(worker).steal_events.fetch_add(1, Ordering::Relaxed);
+        self.slot(worker)
+            .steal_events
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one (recursive) unblock operation.
     #[inline]
     pub fn unblock_op(&self, worker: usize) {
-        self.slot(worker).unblock_ops.fetch_add(1, Ordering::Relaxed);
+        self.slot(worker)
+            .unblock_ops
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records that a worker finished processing one root edge.
@@ -183,7 +196,10 @@ impl WorkSnapshot {
 
     /// Per-worker busy time in seconds (the series plotted in Figure 1).
     pub fn busy_secs_per_worker(&self) -> Vec<f64> {
-        self.workers.iter().map(|w| w.busy_nanos as f64 / 1e9).collect()
+        self.workers
+            .iter()
+            .map(|w| w.busy_nanos as f64 / 1e9)
+            .collect()
     }
 
     /// Load-imbalance factor: max busy time / mean busy time (1.0 = perfect).
@@ -202,7 +218,7 @@ impl WorkSnapshot {
 }
 
 /// The result summary returned by every enumerator: cycle count, wall-clock
-/// time and the work snapshot.
+/// time and the work snapshot, tagged with what actually ran.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RunStats {
     /// Number of cycles reported to the sink.
@@ -213,9 +229,23 @@ pub struct RunStats {
     pub work: WorkSnapshot,
     /// Number of worker threads used (1 for sequential enumerators).
     pub threads: usize,
+    /// The algorithm that effectively executed. Set by every enumerator; a
+    /// compatibility fallback (e.g. the legacy Tiernan fine-grained → coarse
+    /// mapping of `CycleEnumerator`) is therefore visible here.
+    pub algorithm: Option<Algorithm>,
+    /// The granularity that effectively executed (see
+    /// [`RunStats::algorithm`]).
+    pub granularity: Option<Granularity>,
 }
 
 impl RunStats {
+    /// Tags the stats with the algorithm/granularity that produced them.
+    pub(crate) fn tagged(mut self, algorithm: Algorithm, granularity: Granularity) -> Self {
+        self.algorithm = Some(algorithm);
+        self.granularity = Some(granularity);
+        self
+    }
+
     /// Throughput in cycles per second (0 when the run took no measurable
     /// time).
     pub fn cycles_per_sec(&self) -> f64 {
@@ -301,6 +331,7 @@ mod tests {
             wall_secs: 2.0,
             work: WorkSnapshot::default(),
             threads: 4,
+            ..RunStats::default()
         };
         assert!((stats.cycles_per_sec() - 50.0).abs() < 1e-9);
         let zero = RunStats::default();

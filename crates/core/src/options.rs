@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 
 /// Constraints for **simple cycle** enumeration (window-constrained or
 /// unconstrained).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimpleCycleOptions {
     /// Time-window size δ: a cycle qualifies iff all of its edge timestamps
     /// fit in a window of this size (the window is anchored at the cycle's
@@ -19,16 +19,6 @@ pub struct SimpleCycleOptions {
     /// evaluation (and most applications) ignores self-loops; defaults to
     /// `false`.
     pub include_self_loops: bool,
-}
-
-impl Default for SimpleCycleOptions {
-    fn default() -> Self {
-        Self {
-            window_delta: None,
-            max_len: None,
-            include_self_loops: false,
-        }
-    }
 }
 
 impl SimpleCycleOptions {

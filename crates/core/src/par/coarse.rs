@@ -8,7 +8,7 @@
 //! `2^(n-2)` cycles behind one root edge), in which case adding workers cannot
 //! reduce the execution time (Theorem 4.2).
 
-use crate::cycle::CycleSink;
+use crate::cycle::{CycleSink, HaltingSink};
 use crate::metrics::{RunStats, WorkMetrics};
 use crate::options::{SimpleCycleOptions, TemporalCycleOptions};
 use crate::seq::johnson::johnson_root;
@@ -16,52 +16,47 @@ use crate::seq::read_tarjan::read_tarjan_root;
 use crate::seq::temporal::temporal_root;
 use crate::seq::tiernan::tiernan_root;
 use crate::seq::RootScratch;
+use crate::{Algorithm, Granularity};
 use pce_graph::{EdgeId, TemporalGraph};
 use pce_sched::{DynamicCounter, ThreadPool};
 use std::time::Instant;
 
-/// Which per-root search the coarse-grained driver runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum RootKind {
-    Johnson,
-    ReadTarjan,
-    Tiernan,
-}
-
-fn run_coarse_simple(
+/// The shared coarse-grained driver: workers claim root edges from a dynamic
+/// counter and run `per_root` on each, winding down early when the sink stops
+/// the run. Every coarse entry point (simple *and* temporal) is this loop
+/// with a different per-root search plugged in.
+fn run_coarse<S, F>(
     graph: &TemporalGraph,
-    opts: &SimpleCycleOptions,
-    sink: &dyn CycleSink,
+    sink: &S,
     pool: &ThreadPool,
-    kind: RootKind,
-) -> RunStats {
+    algorithm: Algorithm,
+    per_root: F,
+) -> RunStats
+where
+    S: CycleSink,
+    F: Fn(EdgeId, &mut RootScratch, &HaltingSink<'_, S>, &WorkMetrics, usize) + Sync,
+{
     let threads = pool.num_threads();
     let metrics = WorkMetrics::new(threads);
     let start = Instant::now();
     let counter = DynamicCounter::new(graph.num_edges(), 1);
+    let sink = HaltingSink::new(sink);
 
     pool.scope(|scope| {
         for _ in 0..threads {
             let counter = &counter;
             let metrics = &metrics;
-            let opts = &*opts;
+            let sink = &sink;
+            let per_root = &per_root;
             scope.spawn(move |_, ctx| {
                 let worker = ctx.worker_id();
                 let mut scratch = RootScratch::new(graph.num_vertices());
                 while let Some(root) = counter.next() {
-                    let root = root as EdgeId;
-                    let t0 = Instant::now();
-                    match kind {
-                        RootKind::Johnson => {
-                            johnson_root(graph, root, opts, &mut scratch, sink, metrics, worker)
-                        }
-                        RootKind::ReadTarjan => {
-                            read_tarjan_root(graph, root, opts, &mut scratch, sink, metrics, worker)
-                        }
-                        RootKind::Tiernan => {
-                            tiernan_root(graph, root, opts, sink, metrics, worker)
-                        }
+                    if sink.stopped() {
+                        break;
                     }
+                    let t0 = Instant::now();
+                    per_root(root as EdgeId, &mut scratch, sink, metrics, worker);
                     metrics.add_busy(worker, t0.elapsed());
                 }
             });
@@ -73,79 +68,86 @@ fn run_coarse_simple(
         wall_secs: start.elapsed().as_secs_f64(),
         work: metrics.snapshot(),
         threads,
+        ..RunStats::default()
     }
+    .tagged(algorithm, Granularity::CoarseGrained)
 }
 
 /// Coarse-grained parallel Johnson: one dynamically scheduled task per root
 /// edge, each running the sequential Johnson search.
-pub fn coarse_johnson_simple(
+pub fn coarse_johnson_simple<S: CycleSink>(
     graph: &TemporalGraph,
     opts: &SimpleCycleOptions,
-    sink: &dyn CycleSink,
+    sink: &S,
     pool: &ThreadPool,
 ) -> RunStats {
-    run_coarse_simple(graph, opts, sink, pool, RootKind::Johnson)
+    run_coarse(
+        graph,
+        sink,
+        pool,
+        Algorithm::Johnson,
+        |root, scratch, sink, metrics, worker| {
+            johnson_root(graph, root, opts, scratch, sink, metrics, worker)
+        },
+    )
 }
 
 /// Coarse-grained parallel Read-Tarjan: one dynamically scheduled task per
 /// root edge, each running the sequential Read-Tarjan search.
-pub fn coarse_read_tarjan_simple(
+pub fn coarse_read_tarjan_simple<S: CycleSink>(
     graph: &TemporalGraph,
     opts: &SimpleCycleOptions,
-    sink: &dyn CycleSink,
+    sink: &S,
     pool: &ThreadPool,
 ) -> RunStats {
-    run_coarse_simple(graph, opts, sink, pool, RootKind::ReadTarjan)
+    run_coarse(
+        graph,
+        sink,
+        pool,
+        Algorithm::ReadTarjan,
+        |root, scratch, sink, metrics, worker| {
+            read_tarjan_root(graph, root, opts, scratch, sink, metrics, worker)
+        },
+    )
 }
 
 /// Coarse-grained parallel Tiernan (included for completeness as the
 /// brute-force comparison point).
-pub fn coarse_tiernan_simple(
+pub fn coarse_tiernan_simple<S: CycleSink>(
     graph: &TemporalGraph,
     opts: &SimpleCycleOptions,
-    sink: &dyn CycleSink,
+    sink: &S,
     pool: &ThreadPool,
 ) -> RunStats {
-    run_coarse_simple(graph, opts, sink, pool, RootKind::Tiernan)
+    run_coarse(
+        graph,
+        sink,
+        pool,
+        Algorithm::Tiernan,
+        |root, _scratch, sink, metrics, worker| {
+            tiernan_root(graph, root, opts, sink, metrics, worker)
+        },
+    )
 }
 
 /// Coarse-grained parallel temporal-cycle enumeration: one dynamically
 /// scheduled task per root edge, each running the sequential temporal search
 /// with cycle-union and closing-time pruning.
-pub fn coarse_temporal(
+pub fn coarse_temporal<S: CycleSink>(
     graph: &TemporalGraph,
     opts: &TemporalCycleOptions,
-    sink: &dyn CycleSink,
+    sink: &S,
     pool: &ThreadPool,
 ) -> RunStats {
-    let threads = pool.num_threads();
-    let metrics = WorkMetrics::new(threads);
-    let start = Instant::now();
-    let counter = DynamicCounter::new(graph.num_edges(), 1);
-
-    pool.scope(|scope| {
-        for _ in 0..threads {
-            let counter = &counter;
-            let metrics = &metrics;
-            let opts = &*opts;
-            scope.spawn(move |_, ctx| {
-                let worker = ctx.worker_id();
-                let mut scratch = RootScratch::new(graph.num_vertices());
-                while let Some(root) = counter.next() {
-                    let t0 = Instant::now();
-                    temporal_root(graph, root as EdgeId, opts, &mut scratch, sink, metrics, worker);
-                    metrics.add_busy(worker, t0.elapsed());
-                }
-            });
-        }
-    });
-
-    RunStats {
-        cycles: sink.count(),
-        wall_secs: start.elapsed().as_secs_f64(),
-        work: metrics.snapshot(),
-        threads,
-    }
+    run_coarse(
+        graph,
+        sink,
+        pool,
+        Algorithm::Johnson,
+        |root, scratch, sink, metrics, worker| {
+            temporal_root(graph, root, opts, scratch, sink, metrics, worker)
+        },
+    )
 }
 
 #[cfg(test)]

@@ -33,12 +33,13 @@
 //! contention for graphs with very low cycle-to-vertex ratios (§8, the AML
 //! outlier), an effect the `ablations` benchmark reproduces.
 
-use crate::cycle::CycleSink;
+use crate::cycle::{CycleSink, HaltingSink};
 use crate::metrics::{RunStats, WorkMetrics};
 use crate::options::SimpleCycleOptions;
 use crate::seq::{handle_self_loop_root, RootScratch};
 use crate::union::{UnionQuery, UnionView};
 use crate::util::{fx_map, fx_set, FxHashMap, FxHashSet};
+use crate::{Algorithm, Granularity};
 use parking_lot::Mutex;
 use pce_graph::{EdgeId, TemporalGraph, TimeWindow, VertexId};
 use pce_sched::{DynamicCounter, StealRegistry, ThreadPool};
@@ -113,6 +114,7 @@ struct StolenBranch {
 /// Computes the admissible branches of `v` for the given rooted search and
 /// records one edge visit per admissible candidate (the same accounting as
 /// the sequential Johnson implementation).
+#[allow(clippy::too_many_arguments)]
 fn admissible_branches(
     graph: &TemporalGraph,
     v: VertexId,
@@ -292,17 +294,20 @@ impl SharedSearch {
 }
 
 /// Runs a search (rooted or stolen) to completion on the calling worker,
-/// exposing unclaimed branches to thieves throughout.
-#[allow(clippy::too_many_arguments)]
-fn run_search(
+/// exposing unclaimed branches to thieves throughout. Winds down early (with
+/// branches unexplored) once the sink stops the run.
+fn run_search<S: CycleSink>(
     graph: &TemporalGraph,
     opts: &SimpleCycleOptions,
-    sink: &dyn CycleSink,
+    sink: &HaltingSink<'_, S>,
     metrics: &WorkMetrics,
     worker: usize,
     shared: &SharedSearch,
 ) {
     loop {
+        if sink.stopped() {
+            break;
+        }
         let mut core = shared.core.lock();
         let Some(frame) = core.frames.last_mut() else {
             break;
@@ -316,7 +321,7 @@ fn run_search(
             if w == core.v0 {
                 if opts.len_ok(core.path_edges.len() + 1) {
                     core.path_edges.push(edge);
-                    sink.report(&core.path, &core.path_edges);
+                    sink.push(&core.path, &core.path_edges);
                     core.path_edges.pop();
                     core.frames.last_mut().expect("frame exists").found = true;
                 }
@@ -398,10 +403,10 @@ fn run_search(
 
 /// Fine-grained parallel Johnson enumeration of all (window-constrained)
 /// simple cycles.
-pub fn fine_johnson_simple(
+pub fn fine_johnson_simple<S: CycleSink>(
     graph: &TemporalGraph,
     opts: &SimpleCycleOptions,
-    sink: &dyn CycleSink,
+    sink: &S,
     pool: &ThreadPool,
 ) -> RunStats {
     let threads = pool.num_threads();
@@ -410,6 +415,7 @@ pub fn fine_johnson_simple(
     let counter = DynamicCounter::new(graph.num_edges(), 1);
     let registry: StealRegistry<SharedSearch> = StealRegistry::new();
     let active = AtomicUsize::new(0);
+    let sink = HaltingSink::new(sink);
 
     pool.scope(|scope| {
         for _ in 0..threads {
@@ -417,10 +423,14 @@ pub fn fine_johnson_simple(
             let registry = &registry;
             let active = &active;
             let metrics = &metrics;
+            let sink = &sink;
             scope.spawn(move |_, ctx| {
                 let worker = ctx.worker_id();
                 let mut scratch = RootScratch::new(graph.num_vertices());
                 loop {
+                    if sink.stopped() {
+                        break;
+                    }
                     if let Some(root) = counter.next() {
                         let root = root as EdgeId;
                         let prep = Instant::now();
@@ -471,7 +481,9 @@ pub fn fine_johnson_simple(
         wall_secs: start.elapsed().as_secs_f64(),
         work: metrics.snapshot(),
         threads,
+        ..RunStats::default()
     }
+    .tagged(Algorithm::Johnson, Granularity::FineGrained)
 }
 
 #[cfg(test)]

@@ -14,12 +14,13 @@
 //! the sequential one: it is *work efficient* (Theorem 6.1) as well as
 //! scalable (Theorem 6.2).
 
-use crate::cycle::CycleSink;
+use crate::cycle::{CycleSink, HaltingSink};
 use crate::metrics::{RunStats, WorkMetrics};
 use crate::options::SimpleCycleOptions;
 use crate::seq::read_tarjan::{rt_call, rt_initial_state, RtCallState, RtContext};
 use crate::seq::{handle_self_loop_root, RootScratch};
 use crate::union::UnionView;
+use crate::{Algorithm, Granularity};
 use pce_graph::{EdgeId, TemporalGraph, TimeWindow};
 use pce_sched::{DynamicCounter, Scope, ThreadPool, WorkerCtx};
 use std::sync::Arc;
@@ -27,9 +28,9 @@ use std::time::Instant;
 
 /// Everything a Read-Tarjan task needs besides its own call state; lives on
 /// the stack of the enumeration entry point for the duration of the scope.
-struct FineRtShared<'a> {
+struct FineRtShared<'a, S> {
     graph: &'a TemporalGraph,
-    sink: &'a dyn CycleSink,
+    sink: &'a HaltingSink<'a, S>,
     metrics: &'a WorkMetrics,
     opts: &'a SimpleCycleOptions,
 }
@@ -41,12 +42,17 @@ struct FineRtTask {
     state: RtCallState,
 }
 
-fn execute_task<'scope>(
-    shared: &'scope FineRtShared<'scope>,
+fn execute_task<'scope, S: CycleSink>(
+    shared: &'scope FineRtShared<'scope, S>,
     task: FineRtTask,
     scope: &Scope<'scope>,
     ctx: &WorkerCtx<'_>,
 ) {
+    // A task scheduled after the sink stopped the run returns immediately
+    // (and spawns nothing), so the scope drains quickly without deadlock.
+    if shared.sink.stopped() {
+        return;
+    }
     let worker = ctx.worker_id();
     let start = Instant::now();
     let e0 = shared.graph.edge(task.root);
@@ -80,19 +86,20 @@ fn execute_task<'scope>(
 
 /// Fine-grained parallel Read-Tarjan enumeration of all (window-constrained)
 /// simple cycles.
-pub fn fine_read_tarjan_simple(
+pub fn fine_read_tarjan_simple<S: CycleSink>(
     graph: &TemporalGraph,
     opts: &SimpleCycleOptions,
-    sink: &dyn CycleSink,
+    sink: &S,
     pool: &ThreadPool,
 ) -> RunStats {
     let threads = pool.num_threads();
     let metrics = WorkMetrics::new(threads);
     let start = Instant::now();
     let counter = DynamicCounter::new(graph.num_edges(), 1);
+    let sink = HaltingSink::new(sink);
     let shared = FineRtShared {
         graph,
-        sink,
+        sink: &sink,
         metrics: &metrics,
         opts,
     };
@@ -105,6 +112,9 @@ pub fn fine_read_tarjan_simple(
                 let worker = ctx.worker_id();
                 let mut scratch = RootScratch::new(shared.graph.num_vertices());
                 while let Some(root) = counter.next() {
+                    if shared.sink.stopped() {
+                        break;
+                    }
                     let root = root as EdgeId;
                     let prep = Instant::now();
                     if handle_self_loop_root(shared.graph, root, shared.opts, shared.sink) {
@@ -152,7 +162,9 @@ pub fn fine_read_tarjan_simple(
         wall_secs: start.elapsed().as_secs_f64(),
         work: metrics.snapshot(),
         threads,
+        ..RunStats::default()
     }
+    .tagged(Algorithm::ReadTarjan, Granularity::FineGrained)
 }
 
 #[cfg(test)]

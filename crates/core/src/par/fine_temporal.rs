@@ -19,12 +19,13 @@
 //!   Read-Tarjan family — but never schedules a task that cannot produce a
 //!   cycle.
 
-use crate::cycle::CycleSink;
+use crate::cycle::{CycleSink, HaltingSink};
 use crate::metrics::{RunStats, WorkMetrics};
 use crate::options::TemporalCycleOptions;
 use crate::seq::RootScratch;
 use crate::union::{UnionQuery, UnionView};
 use crate::util::{fx_set, FxHashSet};
+use crate::{Algorithm, Granularity};
 use pce_graph::{EdgeId, TemporalGraph, TimeWindow, Timestamp, VertexId};
 use pce_sched::{DynamicCounter, Scope, ThreadPool, WorkerCtx};
 use std::sync::Arc;
@@ -39,9 +40,9 @@ pub enum TemporalStyle {
     ReadTarjan,
 }
 
-struct FineTemporalShared<'a> {
+struct FineTemporalShared<'a, S> {
     graph: &'a TemporalGraph,
-    sink: &'a dyn CycleSink,
+    sink: &'a HaltingSink<'a, S>,
     metrics: &'a WorkMetrics,
     opts: &'a TemporalCycleOptions,
     style: TemporalStyle,
@@ -63,8 +64,9 @@ struct TemporalTask {
 /// `arrival`) back to `v0` exist that avoids `on_path`? Uses the static
 /// closing-time bound for pruning; visited dead ends are memoised in a local
 /// set for the duration of the probe.
-fn has_completion(
-    shared: &FineTemporalShared<'_>,
+#[allow(clippy::too_many_arguments)]
+fn has_completion<S: CycleSink>(
+    shared: &FineTemporalShared<'_, S>,
     worker: usize,
     union: &UnionView,
     v0: VertexId,
@@ -84,10 +86,7 @@ fn has_completion(
             if w == v0 {
                 return true;
             }
-            if on_path.contains(&w)
-                || !union.in_union(w)
-                || !union.can_close_after(w, entry.ts)
-            {
+            if on_path.contains(&w) || !union.in_union(w) || !union.can_close_after(w, entry.ts) {
                 continue;
             }
             if seen.insert((w, entry.ts)) {
@@ -98,25 +97,33 @@ fn has_completion(
     false
 }
 
-fn execute_task<'scope>(
-    shared: &'scope FineTemporalShared<'scope>,
+fn execute_task<'scope, S: CycleSink>(
+    shared: &'scope FineTemporalShared<'scope, S>,
     task: TemporalTask,
     scope: &Scope<'scope>,
     ctx: &WorkerCtx<'_>,
 ) {
+    // A task scheduled after the sink stopped the run returns immediately
+    // (and spawns nothing), so the scope drains quickly without deadlock.
+    if shared.sink.stopped() {
+        return;
+    }
     let worker = ctx.worker_id();
     let start = Instant::now();
     shared.metrics.recursive_call(worker);
     let v = *task.path.last().expect("path never empty");
     let window = TimeWindow::new(task.arrival.saturating_add(1), task.t_end);
     for &entry in shared.graph.out_edges_in_window(v, window) {
+        if shared.sink.stopped() {
+            break;
+        }
         shared.metrics.edge_visit(worker);
         let w = entry.neighbor;
         if w == task.v0 {
             if shared.opts.len_ok(task.path_edges.len() + 1) {
                 let mut edges = task.path_edges.clone();
                 edges.push(entry.edge);
-                shared.sink.report(&task.path, &edges);
+                shared.sink.push(&task.path, &edges);
             }
             continue;
         }
@@ -169,10 +176,10 @@ fn execute_task<'scope>(
     shared.metrics.add_busy(worker, start.elapsed());
 }
 
-fn run_fine_temporal(
+fn run_fine_temporal<S: CycleSink>(
     graph: &TemporalGraph,
     opts: &TemporalCycleOptions,
-    sink: &dyn CycleSink,
+    sink: &S,
     pool: &ThreadPool,
     style: TemporalStyle,
 ) -> RunStats {
@@ -180,9 +187,10 @@ fn run_fine_temporal(
     let metrics = WorkMetrics::new(threads);
     let start = Instant::now();
     let counter = DynamicCounter::new(graph.num_edges(), 1);
+    let sink = HaltingSink::new(sink);
     let shared = FineTemporalShared {
         graph,
-        sink,
+        sink: &sink,
         metrics: &metrics,
         opts,
         style,
@@ -196,6 +204,9 @@ fn run_fine_temporal(
                 let worker = ctx.worker_id();
                 let mut scratch = RootScratch::new(shared.graph.num_vertices());
                 while let Some(root) = counter.next() {
+                    if shared.sink.stopped() {
+                        break;
+                    }
                     let root = root as EdgeId;
                     let e0 = shared.graph.edge(root);
                     if e0.src == e0.dst {
@@ -231,20 +242,26 @@ fn run_fine_temporal(
         }
     });
 
+    let algorithm = match style {
+        TemporalStyle::Johnson => Algorithm::Johnson,
+        TemporalStyle::ReadTarjan => Algorithm::ReadTarjan,
+    };
     RunStats {
         cycles: sink.count(),
         wall_secs: start.elapsed().as_secs_f64(),
         work: metrics.snapshot(),
         threads,
+        ..RunStats::default()
     }
+    .tagged(algorithm, Granularity::FineGrained)
 }
 
 /// Fine-grained parallel temporal-cycle enumeration, Johnson-style task
 /// decomposition.
-pub fn fine_temporal_johnson(
+pub fn fine_temporal_johnson<S: CycleSink>(
     graph: &TemporalGraph,
     opts: &TemporalCycleOptions,
-    sink: &dyn CycleSink,
+    sink: &S,
     pool: &ThreadPool,
 ) -> RunStats {
     run_fine_temporal(graph, opts, sink, pool, TemporalStyle::Johnson)
@@ -252,10 +269,10 @@ pub fn fine_temporal_johnson(
 
 /// Fine-grained parallel temporal-cycle enumeration, Read-Tarjan-style task
 /// decomposition (probe before descending).
-pub fn fine_temporal_read_tarjan(
+pub fn fine_temporal_read_tarjan<S: CycleSink>(
     graph: &TemporalGraph,
     opts: &TemporalCycleOptions,
-    sink: &dyn CycleSink,
+    sink: &S,
     pool: &ThreadPool,
 ) -> RunStats {
     run_fine_temporal(graph, opts, sink, pool, TemporalStyle::ReadTarjan)

@@ -18,15 +18,3 @@ pub mod coarse;
 pub mod fine_johnson;
 pub mod fine_read_tarjan;
 pub mod fine_temporal;
-
-use pce_sched::ThreadPool;
-
-/// Creates a thread pool with `threads` workers, or one sized to the machine
-/// when `threads` is 0.
-pub(crate) fn make_pool(threads: usize) -> ThreadPool {
-    if threads == 0 {
-        ThreadPool::with_available_parallelism()
-    } else {
-        ThreadPool::new(threads)
-    }
-}

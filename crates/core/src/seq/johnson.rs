@@ -18,19 +18,20 @@
 //! too small), so the search transparently falls back to a pruned DFS that
 //! relies on the cycle-union and on-path checks only.
 
-use crate::cycle::CycleSink;
+use crate::cycle::{CycleSink, HaltingSink};
 use crate::metrics::{RunStats, WorkMetrics};
 use crate::options::SimpleCycleOptions;
 use crate::seq::{handle_self_loop_root, timed_run, RootScratch};
 use crate::union::UnionQuery;
 use crate::util::{fx_map, fx_set, FxHashMap, FxHashSet};
+use crate::{Algorithm, Granularity};
 use pce_graph::{EdgeId, TemporalGraph, TimeWindow, VertexId};
 
 /// The per-root Johnson search state. Exposed (crate-internally) because the
 /// coarse-grained driver reuses it directly.
-struct JohnsonSearch<'a> {
+struct JohnsonSearch<'a, S> {
     graph: &'a TemporalGraph,
-    sink: &'a dyn CycleSink,
+    sink: &'a HaltingSink<'a, S>,
     metrics: &'a WorkMetrics,
     worker: usize,
     opts: &'a SimpleCycleOptions,
@@ -47,7 +48,7 @@ struct JohnsonSearch<'a> {
     blist: FxHashMap<VertexId, FxHashSet<VertexId>>,
 }
 
-impl JohnsonSearch<'_> {
+impl<S: CycleSink> JohnsonSearch<'_, S> {
     /// The recursive `CIRCUIT(v)` procedure. Returns `true` if at least one
     /// cycle was found in the subtree rooted at `v`.
     fn circuit(&mut self, v: VertexId) -> bool {
@@ -55,6 +56,9 @@ impl JohnsonSearch<'_> {
         let mut found = false;
         let graph = self.graph;
         for &entry in graph.out_edges_in_window(v, self.window) {
+            if self.sink.stopped() {
+                return found;
+            }
             if entry.edge <= self.root {
                 continue;
             }
@@ -63,7 +67,7 @@ impl JohnsonSearch<'_> {
             if w == self.v0 {
                 if self.opts.len_ok(self.path_edges.len() + 1) {
                     self.path_edges.push(entry.edge);
-                    self.sink.report(&self.path, &self.path_edges);
+                    self.sink.push(&self.path, &self.path_edges);
                     self.path_edges.pop();
                     found = true;
                 }
@@ -125,12 +129,12 @@ impl JohnsonSearch<'_> {
 /// Runs the Johnson search rooted at edge `root`: enumerates every cycle whose
 /// minimum `(timestamp, id)` edge is `root` and whose edges all lie within the
 /// window `[ts(root) : ts(root) + δ]`.
-pub(crate) fn johnson_root(
+pub(crate) fn johnson_root<S: CycleSink>(
     graph: &TemporalGraph,
     root: EdgeId,
     opts: &SimpleCycleOptions,
     scratch: &mut RootScratch,
-    sink: &dyn CycleSink,
+    sink: &HaltingSink<'_, S>,
     metrics: &WorkMetrics,
     worker: usize,
 ) {
@@ -172,18 +176,23 @@ pub(crate) fn johnson_root(
 }
 
 /// Sequential Johnson enumeration of all (window-constrained) simple cycles.
-pub fn johnson_simple(
+pub fn johnson_simple<S: CycleSink>(
     graph: &TemporalGraph,
     opts: &SimpleCycleOptions,
-    sink: &dyn CycleSink,
+    sink: &S,
 ) -> RunStats {
     let metrics = WorkMetrics::new(1);
-    timed_run(sink, &metrics, 1, || {
+    let sink = HaltingSink::new(sink);
+    timed_run(&sink, &metrics, 1, || {
         let mut scratch = RootScratch::new(graph.num_vertices());
         for root in 0..graph.num_edges() as EdgeId {
-            johnson_root(graph, root, opts, &mut scratch, sink, &metrics, 0);
+            if sink.stopped() {
+                break;
+            }
+            johnson_root(graph, root, opts, &mut scratch, &sink, &metrics, 0);
         }
     })
+    .tagged(Algorithm::Johnson, Granularity::Sequential)
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@ pub mod read_tarjan;
 pub mod temporal;
 pub mod tiernan;
 
-use crate::cycle::CycleSink;
+use crate::cycle::{CycleSink, HaltingSink};
 use crate::metrics::{RunStats, WorkMetrics};
 use crate::options::SimpleCycleOptions;
 use pce_graph::{EdgeId, TemporalGraph};
@@ -40,26 +40,26 @@ impl RootScratch {
 
 /// Handles a self-loop root edge: reports it if the options allow self-loops.
 /// Returns `true` if the edge was a self-loop (and therefore fully handled).
-pub(crate) fn handle_self_loop_root(
+pub(crate) fn handle_self_loop_root<S: CycleSink>(
     graph: &TemporalGraph,
     root: EdgeId,
     opts: &SimpleCycleOptions,
-    sink: &dyn CycleSink,
+    sink: &HaltingSink<'_, S>,
 ) -> bool {
     let e = graph.edge(root);
     if e.src != e.dst {
         return false;
     }
     if opts.include_self_loops && opts.len_ok(1) {
-        sink.report(&[e.src], &[root]);
+        sink.push(&[e.src], &[root]);
     }
     true
 }
 
 /// Convenience used by the public entry points: time `body`, then assemble
 /// [`RunStats`] from the sink and metrics.
-pub(crate) fn timed_run(
-    sink: &dyn CycleSink,
+pub(crate) fn timed_run<S: CycleSink>(
+    sink: &HaltingSink<'_, S>,
     metrics: &WorkMetrics,
     threads: usize,
     body: impl FnOnce(),
@@ -71,5 +71,6 @@ pub(crate) fn timed_run(
         wall_secs: start.elapsed().as_secs_f64(),
         work: metrics.snapshot(),
         threads,
+        ..RunStats::default()
     }
 }

@@ -32,12 +32,13 @@
 //! makes the fine-grained parallelisation of §6 work efficient: child calls
 //! are completely independent tasks.
 
-use crate::cycle::CycleSink;
+use crate::cycle::{CycleSink, HaltingSink};
 use crate::metrics::{RunStats, WorkMetrics};
 use crate::options::SimpleCycleOptions;
 use crate::seq::{handle_self_loop_root, timed_run, RootScratch};
 use crate::union::UnionQuery;
 use crate::util::{fx_set, FxHashSet};
+use crate::{Algorithm, Granularity};
 use pce_graph::{AdjEntry, EdgeId, TemporalGraph, TimeWindow, VertexId};
 
 /// A path extension: a sequence of `(edge, target-vertex)` steps leading from
@@ -69,9 +70,9 @@ pub(crate) struct RtCallState {
 
 /// Immutable per-root context shared by all recursive calls of one rooted
 /// Read-Tarjan search.
-pub(crate) struct RtContext<'a> {
+pub(crate) struct RtContext<'a, S> {
     pub graph: &'a TemporalGraph,
-    pub sink: &'a dyn CycleSink,
+    pub sink: &'a HaltingSink<'a, S>,
     pub metrics: &'a WorkMetrics,
     pub opts: &'a SimpleCycleOptions,
     pub union: &'a dyn UnionQuery,
@@ -80,7 +81,7 @@ pub(crate) struct RtContext<'a> {
     pub window: TimeWindow,
 }
 
-impl RtContext<'_> {
+impl<S: CycleSink> RtContext<'_, S> {
     /// Is `entry` an admissible edge for this rooted search?
     #[inline]
     pub(crate) fn admissible(&self, entry: &AdjEntry) -> bool {
@@ -135,6 +136,9 @@ impl RtContext<'_> {
         visited.insert(start_vertex);
 
         loop {
+            if self.sink.stopped() {
+                break;
+            }
             let Some(&(v, _, next_idx)) = stack.last() else {
                 break;
             };
@@ -187,8 +191,8 @@ impl RtContext<'_> {
 /// every child call produced is handed to `spawn_child` (which the sequential
 /// driver executes by direct recursion and the fine-grained parallel driver
 /// turns into an independently scheduled task).
-pub(crate) fn rt_call(
-    ctx: &RtContext<'_>,
+pub(crate) fn rt_call<S: CycleSink>(
+    ctx: &RtContext<'_, S>,
     worker: usize,
     mut state: RtCallState,
     spawn_child: &mut impl FnMut(RtCallState),
@@ -196,6 +200,9 @@ pub(crate) fn rt_call(
     ctx.metrics.recursive_call(worker);
 
     for step_idx in 0..state.extension.steps.len() {
+        if ctx.sink.stopped() {
+            return;
+        }
         let (ext_edge, ext_vertex) = state.extension.steps[step_idx];
         let frontier = *state.path.last().expect("path never empty");
 
@@ -203,6 +210,9 @@ pub(crate) fn rt_call(
         // the first edge of a prefix this call is responsible for but will not
         // walk itself.
         for &entry in ctx.graph.out_edges_in_window(frontier, ctx.window) {
+            if ctx.sink.stopped() {
+                return;
+            }
             if entry.edge == ext_edge || !ctx.admissible(&entry) {
                 continue;
             }
@@ -229,7 +239,7 @@ pub(crate) fn rt_call(
                 // have this exact prefix, so report it here.
                 if ctx.opts.len_ok(state.path_edges.len() + 1) {
                     state.path_edges.push(entry.edge);
-                    ctx.sink.report(&state.path, &state.path_edges);
+                    ctx.sink.push(&state.path, &state.path_edges);
                     state.path_edges.pop();
                 }
             } else {
@@ -261,7 +271,7 @@ pub(crate) fn rt_call(
         if ext_vertex == ctx.v0 {
             debug_assert_eq!(step_idx, state.extension.steps.len() - 1);
             if ctx.opts.len_ok(state.path_edges.len()) {
-                ctx.sink.report(&state.path, &state.path_edges);
+                ctx.sink.push(&state.path, &state.path_edges);
             }
         } else {
             state.path.push(ext_vertex);
@@ -273,8 +283,8 @@ pub(crate) fn rt_call(
 /// Builds the initial call state for the search rooted at `root`, or `None`
 /// when no cycle passes through the root edge. Shared by the sequential and
 /// parallel drivers.
-pub(crate) fn rt_initial_state(
-    ctx: &RtContext<'_>,
+pub(crate) fn rt_initial_state<S: CycleSink>(
+    ctx: &RtContext<'_, S>,
     worker: usize,
     root: EdgeId,
 ) -> Option<RtCallState> {
@@ -313,12 +323,12 @@ pub(crate) fn rt_initial_state(
 
 /// Runs the Read-Tarjan search rooted at edge `root` sequentially (children
 /// are executed by direct recursion on the same thread).
-pub(crate) fn read_tarjan_root(
+pub(crate) fn read_tarjan_root<S: CycleSink>(
     graph: &TemporalGraph,
     root: EdgeId,
     opts: &SimpleCycleOptions,
     scratch: &mut RootScratch,
-    sink: &dyn CycleSink,
+    sink: &HaltingSink<'_, S>,
     metrics: &WorkMetrics,
     worker: usize,
 ) {
@@ -349,29 +359,37 @@ pub(crate) fn read_tarjan_root(
 
 /// Executes an `rt_call` and every child it spawns by direct recursion (the
 /// sequential execution strategy).
-fn run_call_recursive(ctx: &RtContext<'_>, worker: usize, state: RtCallState) {
+fn run_call_recursive<S: CycleSink>(ctx: &RtContext<'_, S>, worker: usize, state: RtCallState) {
     let mut pending: Vec<RtCallState> = vec![state];
     // Children are executed depth-first from an explicit stack so that deeply
     // nested spawn chains cannot overflow the call stack.
     while let Some(next) = pending.pop() {
+        if ctx.sink.stopped() {
+            return;
+        }
         rt_call(ctx, worker, next, &mut |child| pending.push(child));
     }
 }
 
 /// Sequential Read-Tarjan enumeration of all (window-constrained) simple
 /// cycles.
-pub fn read_tarjan_simple(
+pub fn read_tarjan_simple<S: CycleSink>(
     graph: &TemporalGraph,
     opts: &SimpleCycleOptions,
-    sink: &dyn CycleSink,
+    sink: &S,
 ) -> RunStats {
     let metrics = WorkMetrics::new(1);
-    timed_run(sink, &metrics, 1, || {
+    let sink = HaltingSink::new(sink);
+    timed_run(&sink, &metrics, 1, || {
         let mut scratch = RootScratch::new(graph.num_vertices());
         for root in 0..graph.num_edges() as EdgeId {
-            read_tarjan_root(graph, root, opts, &mut scratch, sink, &metrics, 0);
+            if sink.stopped() {
+                break;
+            }
+            read_tarjan_root(graph, root, opts, &mut scratch, &sink, &metrics, 0);
         }
     })
+    .tagged(Algorithm::ReadTarjan, Granularity::Sequential)
 }
 
 #[cfg(test)]

@@ -25,17 +25,18 @@
 //! sequential, timestamp-ordered driver and stands in for the serial 2SCENT
 //! implementation that Figure 9 of the paper compares against.
 
-use crate::cycle::CycleSink;
+use crate::cycle::{CycleSink, HaltingSink};
 use crate::metrics::{RunStats, WorkMetrics};
 use crate::options::TemporalCycleOptions;
 use crate::seq::{timed_run, RootScratch};
 use crate::union::UnionQuery;
 use crate::util::{fx_set, FxHashSet};
+use crate::{Algorithm, Granularity};
 use pce_graph::{EdgeId, TemporalGraph, TimeWindow, Timestamp, VertexId};
 
-struct TemporalSearch<'a> {
+struct TemporalSearch<'a, S> {
     graph: &'a TemporalGraph,
-    sink: &'a dyn CycleSink,
+    sink: &'a HaltingSink<'a, S>,
     metrics: &'a WorkMetrics,
     worker: usize,
     opts: &'a TemporalCycleOptions,
@@ -47,7 +48,7 @@ struct TemporalSearch<'a> {
     on_path: FxHashSet<VertexId>,
 }
 
-impl TemporalSearch<'_> {
+impl<S: CycleSink> TemporalSearch<'_, S> {
     /// Depth-first extension of the current temporal path; `arrival` is the
     /// timestamp of the last edge on the path, so the next edge must be
     /// strictly later.
@@ -56,12 +57,15 @@ impl TemporalSearch<'_> {
         let graph = self.graph;
         let window = TimeWindow::new(arrival.saturating_add(1), self.t_end);
         for &entry in graph.out_edges_in_window(v, window) {
+            if self.sink.stopped() {
+                return;
+            }
             self.metrics.edge_visit(self.worker);
             let w = entry.neighbor;
             if w == self.v0 {
                 if self.opts.len_ok(self.path_edges.len() + 1) {
                     self.path_edges.push(entry.edge);
-                    self.sink.report(&self.path, &self.path_edges);
+                    self.sink.push(&self.path, &self.path_edges);
                     self.path_edges.pop();
                 }
                 continue;
@@ -85,12 +89,12 @@ impl TemporalSearch<'_> {
 }
 
 /// Runs the temporal search rooted at edge `root`.
-pub(crate) fn temporal_root(
+pub(crate) fn temporal_root<S: CycleSink>(
     graph: &TemporalGraph,
     root: EdgeId,
     opts: &TemporalCycleOptions,
     scratch: &mut RootScratch,
-    sink: &dyn CycleSink,
+    sink: &HaltingSink<'_, S>,
     metrics: &WorkMetrics,
     worker: usize,
 ) {
@@ -101,7 +105,10 @@ pub(crate) fn temporal_root(
         return;
     }
     metrics.root_processed(worker);
-    if !scratch.union.compute_temporal(graph, root, opts.window_delta) {
+    if !scratch
+        .union
+        .compute_temporal(graph, root, opts.window_delta)
+    {
         return;
     }
     let mut on_path = fx_set();
@@ -125,18 +132,23 @@ pub(crate) fn temporal_root(
 
 /// Sequential temporal-cycle enumeration using the scalable per-root
 /// preprocessing of §7.
-pub fn temporal_simple(
+pub fn temporal_simple<S: CycleSink>(
     graph: &TemporalGraph,
     opts: &TemporalCycleOptions,
-    sink: &dyn CycleSink,
+    sink: &S,
 ) -> RunStats {
     let metrics = WorkMetrics::new(1);
-    timed_run(sink, &metrics, 1, || {
+    let sink = HaltingSink::new(sink);
+    timed_run(&sink, &metrics, 1, || {
         let mut scratch = RootScratch::new(graph.num_vertices());
         for root in 0..graph.num_edges() as EdgeId {
-            temporal_root(graph, root, opts, &mut scratch, sink, &metrics, 0);
+            if sink.stopped() {
+                break;
+            }
+            temporal_root(graph, root, opts, &mut scratch, &sink, &metrics, 0);
         }
     })
+    .tagged(Algorithm::Johnson, Granularity::Sequential)
 }
 
 /// The 2SCENT-style serial baseline of Kumar and Calders used as the
@@ -149,20 +161,25 @@ pub fn temporal_simple(
 /// finished — exactly the dependency structure that makes the original
 /// 2SCENT preprocessing impossible to parallelise and motivates the paper's
 /// replacement preprocessing.
-pub fn two_scent_baseline(
+pub fn two_scent_baseline<S: CycleSink>(
     graph: &TemporalGraph,
     opts: &TemporalCycleOptions,
-    sink: &dyn CycleSink,
+    sink: &S,
 ) -> RunStats {
     let metrics = WorkMetrics::new(1);
-    timed_run(sink, &metrics, 1, || {
+    let sink = HaltingSink::new(sink);
+    timed_run(&sink, &metrics, 1, || {
         let mut scratch = RootScratch::new(graph.num_vertices());
         // Root edges are already stored in ascending (timestamp, id) order, so
         // iterating ids ascending is the timestamp-ordered sweep of 2SCENT.
         for root in 0..graph.num_edges() as EdgeId {
-            temporal_root(graph, root, opts, &mut scratch, sink, &metrics, 0);
+            if sink.stopped() {
+                break;
+            }
+            temporal_root(graph, root, opts, &mut scratch, &sink, &metrics, 0);
         }
     })
+    .tagged(Algorithm::Johnson, Granularity::Sequential)
 }
 
 #[cfg(test)]
@@ -232,7 +249,10 @@ mod tests {
 
         // A 2-cycle with distinct timestamps, by contrast, can always be
         // rooted at its earlier edge and is therefore temporal.
-        let g = GraphBuilder::new().add_edge(0, 1, 5).add_edge(1, 0, 3).build();
+        let g = GraphBuilder::new()
+            .add_edge(0, 1, 5)
+            .add_edge(1, 0, 3)
+            .build();
         let sink = CountingSink::new();
         temporal_simple(&g, &TemporalCycleOptions::with_window(100), &sink);
         assert_eq!(sink.count(), 1);

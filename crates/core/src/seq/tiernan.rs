@@ -8,16 +8,17 @@
 //! discussion and because the naïve parallelisation of Johnson degenerates to
 //! it (§5, "the naïve approach").
 
-use crate::cycle::CycleSink;
+use crate::cycle::{CycleSink, HaltingSink};
 use crate::metrics::{RunStats, WorkMetrics};
 use crate::options::SimpleCycleOptions;
 use crate::seq::{handle_self_loop_root, timed_run};
 use crate::util::{fx_set, FxHashSet};
+use crate::{Algorithm, Granularity};
 use pce_graph::{EdgeId, TemporalGraph, TimeWindow, VertexId};
 
-struct TiernanSearch<'a> {
+struct TiernanSearch<'a, S> {
     graph: &'a TemporalGraph,
-    sink: &'a dyn CycleSink,
+    sink: &'a HaltingSink<'a, S>,
     metrics: &'a WorkMetrics,
     worker: usize,
     opts: &'a SimpleCycleOptions,
@@ -29,9 +30,12 @@ struct TiernanSearch<'a> {
     on_path: FxHashSet<VertexId>,
 }
 
-impl TiernanSearch<'_> {
+impl<S: CycleSink> TiernanSearch<'_, S> {
     fn extend(&mut self, v: VertexId) {
         for entry in self.graph.out_edges_in_window(v, self.window) {
+            if self.sink.stopped() {
+                return;
+            }
             if entry.edge <= self.root {
                 continue;
             }
@@ -40,7 +44,7 @@ impl TiernanSearch<'_> {
             if w == self.v0 {
                 if self.opts.len_ok(self.path_edges.len() + 1) {
                     self.path_edges.push(entry.edge);
-                    self.sink.report(&self.path, &self.path_edges);
+                    self.sink.push(&self.path, &self.path_edges);
                     self.path_edges.pop();
                 }
             } else if !self.on_path.contains(&w) && self.opts.len_ok(self.path_edges.len() + 2) {
@@ -59,11 +63,11 @@ impl TiernanSearch<'_> {
 /// Runs the Tiernan search rooted at edge `root`: enumerates every cycle whose
 /// minimum `(timestamp, id)` edge is `root` and whose edges all lie within the
 /// window `[ts(root) : ts(root) + δ]`.
-pub(crate) fn tiernan_root(
+pub(crate) fn tiernan_root<S: CycleSink>(
     graph: &TemporalGraph,
     root: EdgeId,
     opts: &SimpleCycleOptions,
-    sink: &dyn CycleSink,
+    sink: &HaltingSink<'_, S>,
     metrics: &WorkMetrics,
     worker: usize,
 ) {
@@ -94,17 +98,22 @@ pub(crate) fn tiernan_root(
 }
 
 /// Sequential Tiernan enumeration of all (window-constrained) simple cycles.
-pub fn tiernan_simple(
+pub fn tiernan_simple<S: CycleSink>(
     graph: &TemporalGraph,
     opts: &SimpleCycleOptions,
-    sink: &dyn CycleSink,
+    sink: &S,
 ) -> RunStats {
     let metrics = WorkMetrics::new(1);
-    timed_run(sink, &metrics, 1, || {
+    let sink = HaltingSink::new(sink);
+    timed_run(&sink, &metrics, 1, || {
         for root in 0..graph.num_edges() as EdgeId {
-            tiernan_root(graph, root, opts, sink, &metrics, 0);
+            if sink.stopped() {
+                break;
+            }
+            tiernan_root(graph, root, opts, &sink, &metrics, 0);
         }
     })
+    .tagged(Algorithm::Tiernan, Granularity::Sequential)
 }
 
 #[cfg(test)]
@@ -204,19 +213,11 @@ mod tests {
     fn max_len_constraint_filters_long_cycles() {
         let g = generators::complete_digraph(4);
         let sink = CountingSink::new();
-        tiernan_simple(
-            &g,
-            &SimpleCycleOptions::unconstrained().max_len(2),
-            &sink,
-        );
+        tiernan_simple(&g, &SimpleCycleOptions::unconstrained().max_len(2), &sink);
         // Only the 6 two-cycles qualify.
         assert_eq!(sink.count(), 6);
         let sink3 = CountingSink::new();
-        tiernan_simple(
-            &g,
-            &SimpleCycleOptions::unconstrained().max_len(3),
-            &sink3,
-        );
+        tiernan_simple(&g, &SimpleCycleOptions::unconstrained().max_len(3), &sink3);
         assert_eq!(sink3.count(), 14);
     }
 

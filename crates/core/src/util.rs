@@ -113,7 +113,11 @@ mod tests {
             h.write_u32(i);
             low_bits.insert(h.finish() & 0x3f);
         }
-        assert!(low_bits.len() > 16, "too many collisions: {}", low_bits.len());
+        assert!(
+            low_bits.len() > 16,
+            "too many collisions: {}",
+            low_bits.len()
+        );
     }
 
     #[test]

@@ -173,11 +173,7 @@ pub fn directed_cycle(n: usize) -> TemporalGraph {
     assert!(n >= 1);
     let mut builder = GraphBuilder::with_vertices(n);
     for i in 0..n {
-        builder.push_edge(
-            i as VertexId,
-            ((i + 1) % n) as VertexId,
-            i as Timestamp,
-        );
+        builder.push_edge(i as VertexId, ((i + 1) % n) as VertexId, i as Timestamp);
     }
     builder.build()
 }
@@ -305,7 +301,7 @@ impl Default for TransactionRingConfig {
 /// planted rings (each of which is guaranteed to be a temporal cycle of the
 /// output, though background noise may create additional ones).
 pub fn transaction_rings(cfg: TransactionRingConfig) -> (TemporalGraph, usize) {
-    assert!(cfg.num_accounts >= cfg.ring_len.1.max(2) + 1);
+    assert!(cfg.num_accounts > cfg.ring_len.1.max(2));
     assert!(cfg.ring_len.0 >= 2 && cfg.ring_len.0 <= cfg.ring_len.1);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut builder = GraphBuilder::with_vertices(cfg.num_accounts);

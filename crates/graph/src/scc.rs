@@ -101,8 +101,7 @@ pub fn tarjan_scc_restricted(graph: &TemporalGraph, allowed: Option<&[bool]>) ->
                 // v is finished: pop the frame and propagate the lowlink.
                 call_stack.pop();
                 if let Some(&mut (parent, _)) = call_stack.last_mut() {
-                    lowlink[parent as usize] =
-                        lowlink[parent as usize].min(lowlink[v as usize]);
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
                 }
                 if lowlink[v as usize] == index[v as usize] {
                     // v is the root of an SCC: pop the component.
@@ -122,9 +121,9 @@ pub fn tarjan_scc_restricted(graph: &TemporalGraph, allowed: Option<&[bool]>) ->
 
     // Disallowed vertices become singleton components so every vertex has a
     // valid component id.
-    for v in 0..n {
-        if component[v] == UNVISITED {
-            component[v] = num_components as u32;
+    for slot in component.iter_mut().take(n) {
+        if *slot == UNVISITED {
+            *slot = num_components as u32;
             num_components += 1;
         }
     }

@@ -101,7 +101,8 @@ impl TemporalGraph {
         // by (ts, edge). Assert it in debug builds.
         debug_assert!((0..num_vertices).all(|v| {
             let s = &out_adj[out_offsets[v] as usize..out_offsets[v + 1] as usize];
-            s.windows(2).all(|w| (w[0].ts, w[0].edge) <= (w[1].ts, w[1].edge))
+            s.windows(2)
+                .all(|w| (w[0].ts, w[0].edge) <= (w[1].ts, w[1].edge))
         }));
 
         Self {

@@ -103,7 +103,7 @@ mod tests {
     #[test]
     fn counter_hands_out_every_index_once() {
         let c = DynamicCounter::new(100, 7);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         while let Some(range) = c.next_chunk() {
             for i in range {
                 assert!(!seen[i]);

@@ -68,15 +68,46 @@ impl<'a> WorkerCtx<'a> {
     }
 }
 
+/// Completion state of one scope. Kept behind an `Arc` that every job clones:
+/// the final `complete_one` may still be touching this state *after* the
+/// waiting thread has observed `pending == 0` and freed the `Scope` itself,
+/// so it must not live in the scope's stack frame.
+struct Completion {
+    pending: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
+}
+
+impl Completion {
+    fn complete_one(&self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = self.done_lock.lock();
+            self.done_cv.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut guard = self.done_lock.lock();
+        while self.pending.load(Ordering::Acquire) != 0 {
+            self.done_cv.wait_for(&mut guard, Duration::from_millis(1));
+        }
+    }
+
+    fn record_panic(&self, payload: Box<dyn Any + Send + 'static>) {
+        let mut slot = self.panic.lock();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+}
+
 /// A scope for submitting tasks that may borrow data living at least as long
 /// as the scope. Created by [`ThreadPool::scope`]; the scope call returns only
 /// after every spawned task (including transitively spawned ones) completed.
 pub struct Scope<'scope> {
     shared: Arc<Shared>,
-    pending: AtomicUsize,
-    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
-    done_lock: Mutex<()>,
-    done_cv: Condvar,
+    completion: Arc<Completion>,
     _marker: std::marker::PhantomData<&'scope mut &'scope ()>,
 }
 
@@ -84,10 +115,12 @@ impl<'scope> Scope<'scope> {
     fn new(shared: Arc<Shared>) -> Self {
         Self {
             shared,
-            pending: AtomicUsize::new(0),
-            panic: Mutex::new(None),
-            done_lock: Mutex::new(()),
-            done_cv: Condvar::new(),
+            completion: Arc::new(Completion {
+                pending: AtomicUsize::new(0),
+                panic: Mutex::new(None),
+                done_lock: Mutex::new(()),
+                done_cv: Condvar::new(),
+            }),
             _marker: std::marker::PhantomData,
         }
     }
@@ -107,32 +140,31 @@ impl<'scope> Scope<'scope> {
     /// Number of spawned-but-not-finished tasks (approximate; for tests and
     /// diagnostics).
     pub fn pending(&self) -> usize {
-        self.pending.load(Ordering::Acquire)
+        self.completion.pending.load(Ordering::Acquire)
     }
 
     fn make_job<F>(&self, f: F) -> Job
     where
         F: FnOnce(&Scope<'scope>, &WorkerCtx<'_>) + Send + 'scope,
     {
-        self.pending.fetch_add(1, Ordering::AcqRel);
-        // SAFETY: `Scope::complete` is only signalled after the wrapped
-        // closure below has run and decremented `pending`; `ThreadPool::scope`
-        // blocks until `pending == 0` before returning, so `self` (which lives
-        // in that stack frame, inside an Arc-free struct) and every `'scope`
-        // borrow captured by `f` outlive the execution of the job. The
-        // transmute only erases the `'scope` lifetime to `'static` so the job
-        // can be stored in the deques.
+        let completion = Arc::clone(&self.completion);
+        completion.pending.fetch_add(1, Ordering::AcqRel);
+        // SAFETY: the scope pointer is only dereferenced while this job is
+        // still pending — `ThreadPool::scope` cannot return (and free the
+        // `Scope` stack frame) before `completion.complete_one()` below has
+        // run, so `self` and every `'scope` borrow captured by `f` outlive
+        // the dereference. Everything the job touches *after* decrementing
+        // `pending` lives in the `Arc<Completion>` it owns, never in the
+        // scope's frame. The transmute only erases the `'scope` lifetime to
+        // `'static` so the job can be stored in the deques.
         let scope_ptr = self as *const Scope<'scope> as usize;
         let wrapper = move |ctx: &WorkerCtx<'_>| {
             let scope: &Scope<'scope> = unsafe { &*(scope_ptr as *const Scope<'scope>) };
             let result = catch_unwind(AssertUnwindSafe(|| f(scope, ctx)));
             if let Err(payload) = result {
-                let mut slot = scope.panic.lock();
-                if slot.is_none() {
-                    *slot = Some(payload);
-                }
+                completion.record_panic(payload);
             }
-            scope.complete_one();
+            completion.complete_one();
         };
         let boxed: Box<dyn FnOnce(&WorkerCtx<'_>) + Send + 'scope> = Box::new(wrapper);
         // SAFETY: see above — the job cannot outlive the scope.
@@ -144,22 +176,12 @@ impl<'scope> Scope<'scope> {
         }
     }
 
-    fn complete_one(&self) {
-        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let _guard = self.done_lock.lock();
-            self.done_cv.notify_all();
-        }
-    }
-
     fn wait(&self) {
-        let mut guard = self.done_lock.lock();
-        while self.pending.load(Ordering::Acquire) != 0 {
-            self.done_cv.wait_for(&mut guard, Duration::from_millis(1));
-        }
+        self.completion.wait();
     }
 
     fn take_panic(&self) -> Option<Box<dyn Any + Send + 'static>> {
-        self.panic.lock().take()
+        self.completion.panic.lock().take()
     }
 }
 
@@ -193,8 +215,9 @@ impl ThreadPool {
         let num_threads = num_threads.max(1);
         let workers: Vec<Worker<Job>> = (0..num_threads).map(|_| Worker::new_lifo()).collect();
         let stealers: Vec<Stealer<Job>> = workers.iter().map(Worker::stealer).collect();
-        let counters: Vec<WorkerCounters> =
-            (0..num_threads).map(|_| WorkerCounters::default()).collect();
+        let counters: Vec<WorkerCounters> = (0..num_threads)
+            .map(|_| WorkerCounters::default())
+            .collect();
         let shared = Arc::new(Shared {
             injector: Injector::new(),
             stealers,

@@ -86,10 +86,7 @@ impl MeasuredRow {
 
     /// Looks a value up by column name.
     pub fn get(&self, name: &str) -> Option<f64> {
-        self.values
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| *v)
+        self.values.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 }
 
@@ -161,9 +158,70 @@ impl ResultTable {
         out
     }
 
-    /// Serialises the table as pretty JSON.
+    /// Serialises the table as pretty JSON. The writer is hand-rolled (the
+    /// offline build has no serde_json); the schema matches what a serde
+    /// derive would produce: `{"title": ..., "rows": [{"label": ...,
+    /// "values": [[name, value], ...]}, ...]}`.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("result tables are always serialisable")
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"title\": {},", json_string(&self.title));
+        out.push_str("  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            let _ = writeln!(out, "      \"label\": {},", json_string(&row.label));
+            out.push_str("      \"values\": [");
+            for (j, (name, value)) in row.values.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "[{}, {}]", json_string(name), json_number(*value));
+            }
+            out.push_str("]\n    }");
+        }
+        if !self.rows.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Parses a table previously written by [`ResultTable::to_json`].
+    /// Returns `None` when the input does not match that schema.
+    ///
+    /// Test-only for now: nothing in the bench pipeline reads tables back, so
+    /// the reader exists to round-trip-test the writer. Promote it to public
+    /// API (and harden the parser, e.g. surrogate-pair escapes) when a real
+    /// consumer appears.
+    #[cfg(test)]
+    pub(crate) fn from_json(input: &str) -> Option<Self> {
+        let value = json::parse(input)?;
+        let object = value.as_object()?;
+        let title = object.get("title")?.as_str()?.to_string();
+        let mut rows = Vec::new();
+        for row_value in object.get("rows")?.as_array()? {
+            let row_object = row_value.as_object()?;
+            let label = row_object.get("label")?.as_str()?.to_string();
+            let mut values = Vec::new();
+            for pair in row_object.get("values")?.as_array()? {
+                let pair = pair.as_array()?;
+                if pair.len() != 2 {
+                    return None;
+                }
+                // `to_json` writes non-finite measurements as null (JSON has
+                // no NaN/Inf); map them back to NaN so such a table still
+                // round-trips instead of failing to parse entirely.
+                let value = match &pair[1] {
+                    json::Value::Null => f64::NAN,
+                    other => other.as_number()?,
+                };
+                values.push((pair[0].as_str()?.to_string(), value));
+            }
+            rows.push(MeasuredRow { label, values });
+        }
+        Some(Self { title, rows })
     }
 
     /// Writes the table as JSON to `path` if it is `Some`.
@@ -192,6 +250,271 @@ impl ResultTable {
     }
 }
 
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as a JSON number (JSON has no NaN/Inf; they become null).
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A minimal JSON reader, just enough to round-trip [`ResultTable`]s in the
+/// tests of this module (see [`ResultTable::from_json`]).
+#[cfg(test)]
+mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any JSON number.
+        Number(f64),
+        /// A string.
+        String(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object, as insertion-ordered key/value pairs.
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// The string payload, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The numeric payload, if this is a number.
+        pub fn as_number(&self) -> Option<f64> {
+            match self {
+                Value::Number(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The elements, if this is an array.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// An object view supporting key lookup, if this is an object.
+        pub fn as_object(&self) -> Option<ObjectView<'_>> {
+            match self {
+                Value::Object(pairs) => Some(ObjectView { pairs }),
+                _ => None,
+            }
+        }
+    }
+
+    /// Key-lookup view over an object's pairs.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ObjectView<'a> {
+        pairs: &'a [(String, Value)],
+    }
+
+    impl<'a> ObjectView<'a> {
+        /// The value stored under `key`, if present.
+        pub fn get(&self, key: &str) -> Option<&'a Value> {
+            self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        }
+    }
+
+    /// Parses one JSON document. Returns `None` on any syntax error or
+    /// trailing garbage.
+    pub fn parse(input: &str) -> Option<Value> {
+        let mut parser = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_whitespace();
+        let value = parser.value()?;
+        parser.skip_whitespace();
+        if parser.pos == parser.bytes.len() {
+            Some(value)
+        } else {
+            None
+        }
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn skip_whitespace(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn eat(&mut self, byte: u8) -> Option<()> {
+            if self.peek() == Some(byte) {
+                self.pos += 1;
+                Some(())
+            } else {
+                None
+            }
+        }
+
+        fn eat_literal(&mut self, literal: &str) -> Option<()> {
+            if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+                self.pos += literal.len();
+                Some(())
+            } else {
+                None
+            }
+        }
+
+        fn value(&mut self) -> Option<Value> {
+            self.skip_whitespace();
+            match self.peek()? {
+                b'{' => self.object(),
+                b'[' => self.array(),
+                b'"' => self.string().map(Value::String),
+                b't' => self.eat_literal("true").map(|()| Value::Bool(true)),
+                b'f' => self.eat_literal("false").map(|()| Value::Bool(false)),
+                b'n' => self.eat_literal("null").map(|()| Value::Null),
+                _ => self.number(),
+            }
+        }
+
+        fn object(&mut self) -> Option<Value> {
+            self.eat(b'{')?;
+            let mut pairs = Vec::new();
+            self.skip_whitespace();
+            if self.eat(b'}').is_some() {
+                return Some(Value::Object(pairs));
+            }
+            loop {
+                self.skip_whitespace();
+                let key = self.string()?;
+                self.skip_whitespace();
+                self.eat(b':')?;
+                let value = self.value()?;
+                pairs.push((key, value));
+                self.skip_whitespace();
+                if self.eat(b',').is_some() {
+                    continue;
+                }
+                self.eat(b'}')?;
+                return Some(Value::Object(pairs));
+            }
+        }
+
+        fn array(&mut self) -> Option<Value> {
+            self.eat(b'[')?;
+            let mut items = Vec::new();
+            self.skip_whitespace();
+            if self.eat(b']').is_some() {
+                return Some(Value::Array(items));
+            }
+            loop {
+                items.push(self.value()?);
+                self.skip_whitespace();
+                if self.eat(b',').is_some() {
+                    continue;
+                }
+                self.eat(b']')?;
+                return Some(Value::Array(items));
+            }
+        }
+
+        fn string(&mut self) -> Option<String> {
+            self.eat(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek()? {
+                    b'"' => {
+                        self.pos += 1;
+                        return Some(out);
+                    }
+                    b'\\' => {
+                        self.pos += 1;
+                        match self.peek()? {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'b' => out.push('\u{8}'),
+                            b'f' => out.push('\u{c}'),
+                            b'u' => {
+                                let hex = self.bytes.get(self.pos + 1..self.pos + 5)?;
+                                let code =
+                                    u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                                out.push(char::from_u32(code)?);
+                                self.pos += 4;
+                            }
+                            _ => return None,
+                        }
+                        self.pos += 1;
+                    }
+                    _ => {
+                        // Consume one UTF-8 character (multi-byte safe).
+                        let rest = std::str::from_utf8(&self.bytes[self.pos..]).ok()?;
+                        let c = rest.chars().next()?;
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Option<Value> {
+            let start = self.pos;
+            while matches!(
+                self.peek(),
+                Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            ) {
+                self.pos += 1;
+            }
+            if self.pos == start {
+                return None;
+            }
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .ok()?
+                .parse()
+                .ok()
+                .map(Value::Number)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,9 +522,17 @@ mod tests {
     #[test]
     fn config_parsing() {
         let cfg = ExperimentConfig::from_args(
-            ["--threads", "8", "--scale", "0.5", "--json", "out.json", "--bogus"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--threads",
+                "8",
+                "--scale",
+                "0.5",
+                "--json",
+                "out.json",
+                "--bogus",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         );
         assert_eq!(cfg.threads, 8);
         assert!((cfg.scale - 0.5).abs() < 1e-9);
@@ -255,9 +586,44 @@ mod tests {
         row.push("v", 3.5);
         table.push(row);
         let json = table.to_json();
-        let back: ResultTable = serde_json::from_str(&json).unwrap();
+        let back = ResultTable::from_json(&json).unwrap();
         assert_eq!(back.title, "roundtrip");
         assert_eq!(back.rows[0].get("v"), Some(3.5));
+    }
+
+    #[test]
+    fn json_escaping_round_trips() {
+        let mut table = ResultTable::new("title with \"quotes\" and \\ and\nnewline");
+        let mut row = MeasuredRow::new("r\t1");
+        row.push("col", -0.125);
+        row.push("big", 12345.0);
+        table.push(row);
+        let back = ResultTable::from_json(&table.to_json()).unwrap();
+        assert_eq!(back.title, table.title);
+        assert_eq!(back.rows[0].label, "r\t1");
+        assert_eq!(back.rows[0].get("col"), Some(-0.125));
+        assert_eq!(back.rows[0].get("big"), Some(12345.0));
+    }
+
+    #[test]
+    fn non_finite_values_round_trip_as_nan() {
+        let mut table = ResultTable::new("nan");
+        let mut row = MeasuredRow::new("r");
+        row.push("bad", f64::INFINITY);
+        row.push("good", 2.0);
+        table.push(row);
+        assert!(table.to_json().contains("null"));
+        let back = ResultTable::from_json(&table.to_json()).unwrap();
+        assert!(back.rows[0].get("bad").unwrap().is_nan());
+        assert_eq!(back.rows[0].get("good"), Some(2.0));
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(ResultTable::from_json("").is_none());
+        assert!(ResultTable::from_json("{\"title\": 3, \"rows\": []}").is_none());
+        assert!(ResultTable::from_json("{\"title\": \"t\"}").is_none());
+        assert!(ResultTable::from_json("{\"title\": \"t\", \"rows\": []} trailing").is_none());
     }
 
     #[test]

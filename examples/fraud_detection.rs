@@ -13,8 +13,8 @@
 //! cargo run --release --example fraud_detection -- [threads]
 //! ```
 
-use parallel_cycle_enumeration::prelude::*;
 use parallel_cycle_enumeration::graph::generators::{transaction_rings, TransactionRingConfig};
+use parallel_cycle_enumeration::prelude::*;
 use std::collections::BTreeMap;
 
 fn main() {
@@ -22,6 +22,8 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0);
+    // One engine for the whole process; every query below reuses its pool.
+    let engine = Engine::with_threads(threads);
 
     let cfg = TransactionRingConfig {
         num_accounts: 20_000,
@@ -42,21 +44,17 @@ fn main() {
     println!("graph: {}", GraphStats::compute(&graph));
 
     // Enumerate temporal cycles within a 48-hour window.
-    let result = CycleEnumerator::new()
+    let query = Query::temporal()
         .algorithm(Algorithm::Johnson)
         .granularity(Granularity::FineGrained)
-        .threads(threads)
         .window(cfg.ring_span)
-        .collect_cycles(true)
-        .enumerate_temporal(&graph);
+        .collect(CollectMode::Collect);
+    let result = engine.run(&query, &graph).expect("valid query");
 
     println!(
         "\nfound {} temporal cycles in {:.2} s using {} threads \
          ({} planted rings, the rest emerge from background traffic)",
-        result.stats.cycles,
-        result.stats.wall_secs,
-        result.stats.threads,
-        planted
+        result.stats.cycles, result.stats.wall_secs, result.stats.threads, planted
     );
 
     // Rank accounts by how many rings they participate in — the analyst's
@@ -69,7 +67,7 @@ fn main() {
         }
     }
     let mut ranked: Vec<(u32, usize)> = involvement.into_iter().collect();
-    ranked.sort_by(|a, b| b.1.cmp(&a.1));
+    ranked.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
     println!("\ntop suspicious accounts (by ring participation):");
     for (account, count) in ranked.iter().take(10) {
         println!("  account {account:>6}  appears in {count} rings");
@@ -92,4 +90,16 @@ fn main() {
         result.stats.work.total_steals(),
         result.stats.work.imbalance()
     );
+
+    // Serving mode: stream rings to the consumer as they are discovered and
+    // cancel the rest of the enumeration once enough evidence is in hand.
+    let stream = engine.stream(&query, graph).expect("valid query");
+    let preview: Vec<Cycle> = stream.take(5).collect();
+    println!(
+        "\nstreamed preview (first {} rings, rest cancelled):",
+        preview.len()
+    );
+    for cycle in &preview {
+        println!("  accounts {:?}", cycle.vertices);
+    }
 }

@@ -13,9 +13,6 @@
 //! cargo run --release --example load_balance -- [threads]
 //! ```
 
-use parallel_cycle_enumeration::core::par::coarse::coarse_johnson_simple;
-use parallel_cycle_enumeration::core::par::fine_johnson::fine_johnson_simple;
-use parallel_cycle_enumeration::core::{CountingSink, RunStats, SimpleCycleOptions};
 use parallel_cycle_enumeration::prelude::*;
 
 fn bar(fraction: f64, width: usize) -> String {
@@ -57,17 +54,22 @@ fn main() {
     let workload = spec.build();
     let graph = &workload.graph;
     println!("graph: {}", workload.stats());
-    let opts = SimpleCycleOptions::with_window(spec.delta_simple);
 
-    let pool = ThreadPool::new(threads);
+    // One engine per process; both granularities run on its single pool.
+    let engine = Engine::with_threads(threads);
+    let base = Query::simple().window(spec.delta_simple);
 
-    let sink = CountingSink::new();
-    let coarse = coarse_johnson_simple(graph, &opts, &sink, &pool);
+    let coarse = engine
+        .run(&base.clone().granularity(Granularity::CoarseGrained), graph)
+        .expect("valid query")
+        .stats;
     let coarse_cycles = coarse.cycles;
     print_profile("coarse-grained parallel Johnson", &coarse);
 
-    let sink = CountingSink::new();
-    let fine = fine_johnson_simple(graph, &opts, &sink, &pool);
+    let fine = engine
+        .run(&base.granularity(Granularity::FineGrained), graph)
+        .expect("valid query")
+        .stats;
     print_profile("fine-grained parallel Johnson", &fine);
 
     assert_eq!(coarse_cycles, fine.cycles, "both must find the same cycles");

@@ -1,6 +1,6 @@
 //! Quickstart: build a small temporal graph, enumerate its simple and
-//! temporal cycles with the fine-grained parallel Johnson algorithm, and
-//! print what was found.
+//! temporal cycles through one long-lived [`Engine`], and print what was
+//! found.
 //!
 //! Run with:
 //! ```text
@@ -26,14 +26,16 @@ fn main() {
 
     println!("graph: {}", GraphStats::compute(&graph));
 
+    // One engine per process: it owns the thread pool and serves every query.
+    let engine = Engine::with_threads(2);
+
     // Simple cycles within a 60-tick window.
-    let simple = CycleEnumerator::new()
+    let simple_query = Query::simple()
         .algorithm(Algorithm::Johnson)
         .granularity(Granularity::FineGrained)
-        .threads(2)
         .window(60)
-        .collect_cycles(true)
-        .enumerate_simple(&graph);
+        .collect(CollectMode::Collect);
+    let simple = engine.run(&simple_query, &graph).expect("valid query");
     println!(
         "\nsimple cycles within a 60-tick window: {} (in {:.3} ms)",
         simple.stats.cycles,
@@ -50,13 +52,12 @@ fn main() {
     // Temporal cycles: the edges must additionally appear in increasing
     // timestamp order, which is what makes them interesting for fraud
     // detection — money that demonstrably flowed around a loop.
-    let temporal = CycleEnumerator::new()
+    let temporal_query = Query::temporal()
         .algorithm(Algorithm::Johnson)
         .granularity(Granularity::FineGrained)
-        .threads(2)
         .window(60)
-        .collect_cycles(true)
-        .enumerate_temporal(&graph);
+        .collect(CollectMode::Collect);
+    let temporal = engine.run(&temporal_query, &graph).expect("valid query");
     println!(
         "\ntemporal cycles within a 60-tick window: {}",
         temporal.stats.cycles
@@ -70,13 +71,28 @@ fn main() {
     }
 
     // The same queries answered by the work-efficient fine-grained
-    // Read-Tarjan algorithm must agree.
-    let rt_count = CycleEnumerator::new()
-        .algorithm(Algorithm::ReadTarjan)
-        .granularity(Granularity::FineGrained)
-        .threads(2)
-        .window(60)
-        .count_simple(&graph);
+    // Read-Tarjan algorithm must agree — same engine, same pool.
+    let rt_count = engine
+        .count(
+            &Query::simple()
+                .algorithm(Algorithm::ReadTarjan)
+                .granularity(Granularity::FineGrained)
+                .window(60),
+            &graph,
+        )
+        .expect("valid query");
     assert_eq!(rt_count, simple.stats.cycles);
     println!("\nread-tarjan agrees: {rt_count} simple cycles");
+
+    // Invalid queries are rejected up front instead of running something
+    // else: Tiernan has no fine-grained decomposition.
+    let err = engine
+        .count(
+            &Query::simple()
+                .algorithm(Algorithm::Tiernan)
+                .granularity(Granularity::FineGrained),
+            &graph,
+        )
+        .unwrap_err();
+    println!("invalid query rejected as expected: {err}");
 }

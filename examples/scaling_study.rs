@@ -8,12 +8,6 @@
 //! ```
 //! where `dataset-abbrev` is one of the Table 4 abbreviations (default `CO`).
 
-use parallel_cycle_enumeration::core::par::coarse::coarse_temporal;
-use parallel_cycle_enumeration::core::par::fine_temporal::{
-    fine_temporal_johnson, fine_temporal_read_tarjan,
-};
-use parallel_cycle_enumeration::core::seq::temporal::temporal_simple;
-use parallel_cycle_enumeration::core::{CountingSink, TemporalCycleOptions};
 use parallel_cycle_enumeration::prelude::*;
 
 fn main() {
@@ -30,11 +24,14 @@ fn main() {
     let workload = spec.build();
     let graph = &workload.graph;
     println!("graph: {}", workload.stats());
-    let opts = TemporalCycleOptions::with_window(spec.delta_temporal);
+    let base = Query::temporal().window(spec.delta_temporal);
 
-    // Serial reference.
-    let sink = CountingSink::new();
-    let serial = temporal_simple(graph, &opts, &sink);
+    // Serial reference (no pool is spawned for sequential queries).
+    let serial_engine = Engine::new();
+    let serial = serial_engine
+        .run(&base.clone().granularity(Granularity::Sequential), graph)
+        .expect("valid query")
+        .stats;
     println!(
         "\nserial temporal Johnson: {} cycles in {:.3} s",
         serial.cycles, serial.wall_secs
@@ -51,18 +48,38 @@ fn main() {
         "threads", "fine-Johnson", "fine-Read-Tarjan", "coarse-Johnson"
     );
     for &threads in &thread_counts {
-        let pool = ThreadPool::new(threads);
+        // One engine per thread count; its pool is shared by all three
+        // algorithm queries at this scale point.
+        let engine = Engine::with_threads(threads);
 
-        let sink = CountingSink::new();
-        let fj = fine_temporal_johnson(graph, &opts, &sink, &pool);
+        let fj = engine
+            .run(
+                &base
+                    .clone()
+                    .algorithm(Algorithm::Johnson)
+                    .granularity(Granularity::FineGrained),
+                graph,
+            )
+            .expect("valid query")
+            .stats;
         assert_eq!(fj.cycles, serial.cycles);
 
-        let sink = CountingSink::new();
-        let frt = fine_temporal_read_tarjan(graph, &opts, &sink, &pool);
+        let frt = engine
+            .run(
+                &base
+                    .clone()
+                    .algorithm(Algorithm::ReadTarjan)
+                    .granularity(Granularity::FineGrained),
+                graph,
+            )
+            .expect("valid query")
+            .stats;
         assert_eq!(frt.cycles, serial.cycles);
 
-        let sink = CountingSink::new();
-        let cj = coarse_temporal(graph, &opts, &sink, &pool);
+        let cj = engine
+            .run(&base.clone().granularity(Granularity::CoarseGrained), graph)
+            .expect("valid query")
+            .stats;
         assert_eq!(cj.cycles, serial.cycles);
 
         println!(

@@ -18,10 +18,14 @@
 //!
 //! ## Quick start
 //!
+//! Construct one [`Engine`](pce_core::Engine) per process — it owns one
+//! thread pool for its lifetime — and issue any number of
+//! [`Query`](pce_core::Query)s against it:
+//!
 //! ```
 //! use parallel_cycle_enumeration::prelude::*;
 //!
-//! // A small financial-transaction-like graph with planted temporal cycles.
+//! // A small financial-transaction-like graph with a planted temporal cycle.
 //! let graph = GraphBuilder::new()
 //!     .add_edge(0, 1, 10)
 //!     .add_edge(1, 2, 20)
@@ -29,14 +33,19 @@
 //!     .add_edge(2, 3, 40)
 //!     .build();
 //!
-//! let result = CycleEnumerator::new()
+//! let engine = Engine::with_threads(2);
+//! let query = Query::temporal()
 //!     .algorithm(Algorithm::Johnson)
 //!     .granularity(Granularity::FineGrained)
-//!     .threads(2)
-//!     .collect_cycles(true)
-//!     .enumerate_temporal(&graph);
+//!     .collect(CollectMode::Collect);
 //!
+//! let result = engine.run(&query, &graph).unwrap();
 //! assert_eq!(result.stats.cycles, 1);
+//!
+//! // The same engine serves the next query without pool churn, and can stop
+//! // early: take just the first cycle of a potentially huge enumeration.
+//! let first = engine.first_k(1, &Query::simple(), &graph).unwrap();
+//! assert_eq!(first.cycles.unwrap().len(), 1);
 //! ```
 
 #![warn(missing_docs)]
@@ -49,9 +58,10 @@ pub use pce_workloads as workloads;
 /// Convenience re-exports of the most commonly used types.
 pub mod prelude {
     pub use pce_core::{
-        Algorithm, BoundedSink, CollectingSink, CountingSink, Cycle, CycleEnumerator, CycleSink,
-        EnumerationResult, Granularity, RunStats, SimpleCycleOptions, TemporalCycleOptions,
-        WorkMetrics,
+        Algorithm, BoundedSink, ChannelSink, CollectMode, CollectingSink, CountingSink, Cycle,
+        CycleEnumerator, CycleKind, CycleSink, CycleStream, Engine, EnumerationError,
+        EnumerationResult, FirstKSink, Granularity, Query, RunStats, SimpleCycleOptions,
+        TemporalCycleOptions, WorkMetrics,
     };
     pub use pce_graph::{
         generators, GraphBuilder, GraphStats, TemporalEdge, TemporalGraph, TimeWindow,

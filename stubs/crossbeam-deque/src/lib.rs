@@ -1,0 +1,188 @@
+//! Offline stand-in for `crossbeam-deque`.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a mutex-based implementation of the worker/stealer/injector trio with the
+//! same scheduling discipline as the real crate: the owning worker pops from
+//! the back of its deque (LIFO, depth-first), thieves steal from the front
+//! (FIFO, the largest subtrees first), and the injector is a global FIFO
+//! queue. Lock-free performance is sacrificed; semantics are preserved.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Outcome of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// One item was stolen.
+    Success(T),
+    /// The operation lost a race and may be retried.
+    Retry,
+}
+
+fn locked<T>(queue: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    queue.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The owner's end of a work-stealing deque.
+#[derive(Debug)]
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Creates a deque whose owner pops in LIFO order.
+    pub fn new_lifo() -> Self {
+        Self {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Creates a [`Stealer`] handle for this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+
+    /// Pushes an item onto the owner's end.
+    pub fn push(&self, item: T) {
+        locked(&self.queue).push_back(item);
+    }
+
+    /// Pops an item from the owner's end (most recently pushed first).
+    pub fn pop(&self) -> Option<T> {
+        locked(&self.queue).pop_back()
+    }
+
+    /// Returns `true` if the deque is empty.
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+}
+
+/// A thief's handle onto another worker's deque.
+#[derive(Debug)]
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Stealer<T> {
+    /// Steals the oldest item from the deque.
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.queue).pop_front() {
+            Some(item) => Steal::Success(item),
+            None => Steal::Empty,
+        }
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Self {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+/// A global FIFO injection queue shared by every worker.
+#[derive(Debug)]
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Self {
+        Self {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Pushes an item onto the queue.
+    pub fn push(&self, item: T) {
+        locked(&self.queue).push_back(item);
+    }
+
+    /// Returns `true` if the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+
+    /// Steals a batch of items into `dest` and pops one of them.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut queue = locked(&self.queue);
+        let Some(first) = queue.pop_front() else {
+            return Steal::Empty;
+        };
+        // Move up to half of the remainder (capped) over to the destination
+        // worker, mirroring the real crate's batching behaviour.
+        let batch = (queue.len() / 2).min(16);
+        if batch > 0 {
+            let mut dest_queue = locked(&dest.queue);
+            for _ in 0..batch {
+                if let Some(item) = queue.pop_front() {
+                    dest_queue.push_back(item);
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_is_lifo_and_stealer_is_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(s.steal(), Steal::Empty);
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn injector_batch_pop_moves_work_to_worker() {
+        let injector = Injector::new();
+        for i in 0..10 {
+            injector.push(i);
+        }
+        let w = Worker::new_lifo();
+        assert_eq!(injector.steal_batch_and_pop(&w), Steal::Success(0));
+        assert!(!w.is_empty());
+        let mut drained = Vec::new();
+        while let Some(item) = w.pop() {
+            drained.push(item);
+        }
+        while let Steal::Success(item) = injector.steal_batch_and_pop(&w) {
+            drained.push(item);
+            while let Some(item) = w.pop() {
+                drained.push(item);
+            }
+        }
+        drained.sort_unstable();
+        assert_eq!(drained, (1..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_injector_reports_empty() {
+        let injector: Injector<u32> = Injector::new();
+        assert!(injector.is_empty());
+        let w = Worker::new_lifo();
+        assert_eq!(injector.steal_batch_and_pop(&w), Steal::Empty);
+    }
+}

@@ -1,0 +1,52 @@
+//! Offline stand-in for `crossbeam-utils`: only [`CachePadded`] is provided,
+//! which is the one item this workspace uses.
+
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to (at least) the size of a cache line so that
+/// adjacent values in an array never share one — the standard defence against
+/// false sharing between per-worker counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in cache-line padding.
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Unwraps the padded value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padded_values_are_aligned_and_transparent() {
+        let padded = CachePadded::new(7u64);
+        assert_eq!(*padded, 7);
+        assert_eq!(std::mem::align_of::<CachePadded<u64>>(), 128);
+        assert_eq!(padded.into_inner(), 7);
+    }
+}

@@ -1,0 +1,5 @@
+//! Offline stand-in for `serde`: re-exports the no-op derive macros so that
+//! `use serde::{Deserialize, Serialize};` plus `#[derive(...)]` annotations
+//! compile unchanged. See `stubs/serde_derive` for why the derives are inert.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Offline no-op stand-ins for `serde_derive`.
+//!
+//! The build environment has no access to crates.io. The workspace keeps its
+//! `#[derive(Serialize, Deserialize)]` annotations as declarations of intent
+//! (and so the real serde can be dropped in once a registry is available),
+//! but the derives expand to nothing: no code in this workspace performs
+//! serde-based serialisation — the one JSON producer hand-rolls its output.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -156,5 +156,8 @@ fn workload_datasets_enumerate_consistently_at_small_scale() {
         .window(spec.delta_temporal)
         .count_temporal(&workload.graph);
     assert_eq!(coarse, fine);
-    assert!(fine > 0, "the CollegeMsg stand-in should contain temporal cycles");
+    assert!(
+        fine > 0,
+        "the CollegeMsg stand-in should contain temporal cycles"
+    );
 }

@@ -1,5 +1,6 @@
 //! Cross-algorithm, cross-granularity equivalence tests through the public
-//! API, including property-based tests on randomly generated temporal graphs.
+//! API, including seeded randomised sweeps over generated temporal graphs
+//! (property-based tests with a deterministic, offline case source).
 //!
 //! The central invariant of the whole project: every algorithm (Tiernan,
 //! Johnson, Read-Tarjan), at every granularity (sequential, coarse-grained,
@@ -7,9 +8,10 @@
 //! cycles.
 
 use parallel_cycle_enumeration::prelude::*;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Builds a random temporal multigraph from a proptest-generated edge list.
+/// Builds a random temporal multigraph from a generated edge list.
 fn graph_from_edges(n: u32, edges: &[(u32, u32, i64)]) -> TemporalGraph {
     let mut builder = GraphBuilder::with_vertices(n as usize);
     for &(s, d, t) in edges {
@@ -18,7 +20,12 @@ fn graph_from_edges(n: u32, edges: &[(u32, u32, i64)]) -> TemporalGraph {
     builder.build()
 }
 
-fn canonical_simple(graph: &TemporalGraph, algo: Algorithm, gran: Granularity, delta: i64) -> Vec<Cycle> {
+fn canonical_simple(
+    graph: &TemporalGraph,
+    algo: Algorithm,
+    gran: Granularity,
+    delta: i64,
+) -> Vec<Cycle> {
     let result = CycleEnumerator::new()
         .algorithm(algo)
         .granularity(gran)
@@ -36,7 +43,12 @@ fn canonical_simple(graph: &TemporalGraph, algo: Algorithm, gran: Granularity, d
     cycles
 }
 
-fn canonical_temporal(graph: &TemporalGraph, algo: Algorithm, gran: Granularity, delta: i64) -> Vec<Cycle> {
+fn canonical_temporal(
+    graph: &TemporalGraph,
+    algo: Algorithm,
+    gran: Granularity,
+    delta: i64,
+) -> Vec<Cycle> {
     let result = CycleEnumerator::new()
         .algorithm(algo)
         .granularity(gran)
@@ -64,8 +76,17 @@ fn gadget_graphs_agree_across_every_configuration() {
         generators::directed_cycle(7),
     ];
     for graph in &graphs {
-        let reference = canonical_simple(graph, Algorithm::Johnson, Granularity::Sequential, i64::MAX / 4);
-        for algo in [Algorithm::Johnson, Algorithm::ReadTarjan, Algorithm::Tiernan] {
+        let reference = canonical_simple(
+            graph,
+            Algorithm::Johnson,
+            Granularity::Sequential,
+            i64::MAX / 4,
+        );
+        for algo in [
+            Algorithm::Johnson,
+            Algorithm::ReadTarjan,
+            Algorithm::Tiernan,
+        ] {
             for gran in [
                 Granularity::Sequential,
                 Granularity::CoarseGrained,
@@ -122,68 +143,95 @@ fn fine_grained_results_stable_across_repeated_runs() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// One deterministically generated random case: a sparse temporal multigraph
+/// plus a window size. `seed` fully determines the case.
+fn random_case(
+    seed: u64,
+    max_vertices: u32,
+    max_edges: usize,
+    time_span: i64,
+) -> (TemporalGraph, i64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(4..max_vertices);
+    let num_edges = rng.gen_range(1..max_edges);
+    let edges: Vec<(u32, u32, i64)> = (0..num_edges)
+        .map(|_| {
+            (
+                rng.gen_range(0..max_vertices),
+                rng.gen_range(0..max_vertices),
+                rng.gen_range(0..time_span),
+            )
+        })
+        .collect();
+    let delta = rng.gen_range(5..(time_span * 2 / 3).max(6));
+    (graph_from_edges(n, &edges), delta)
+}
 
-    /// All three algorithms agree with each other on random sparse temporal
-    /// multigraphs, for both simple and temporal cycles, sequentially and in
-    /// parallel.
-    #[test]
-    fn prop_all_algorithms_agree(
-        n in 4u32..14,
-        edges in proptest::collection::vec((0u32..14, 0u32..14, 0i64..60), 1..70),
-        delta in 5i64..40,
-    ) {
-        let graph = graph_from_edges(n, &edges);
-        let reference = canonical_simple(&graph, Algorithm::Johnson, Granularity::Sequential, delta);
+/// All three algorithms agree with each other on random sparse temporal
+/// multigraphs, for both simple and temporal cycles, sequentially and in
+/// parallel.
+#[test]
+fn prop_all_algorithms_agree() {
+    for seed in 0..24u64 {
+        let (graph, delta) = random_case(1_000 + seed, 14, 70, 60);
+        let reference =
+            canonical_simple(&graph, Algorithm::Johnson, Granularity::Sequential, delta);
         for algo in [Algorithm::ReadTarjan, Algorithm::Tiernan] {
             let got = canonical_simple(&graph, algo, Granularity::Sequential, delta);
-            prop_assert_eq!(&got, &reference);
+            assert_eq!(got, reference, "seed {seed} {algo:?}");
         }
         let fine = canonical_simple(&graph, Algorithm::Johnson, Granularity::FineGrained, delta);
-        prop_assert_eq!(&fine, &reference);
-        let fine_rt = canonical_simple(&graph, Algorithm::ReadTarjan, Granularity::FineGrained, delta);
-        prop_assert_eq!(&fine_rt, &reference);
+        assert_eq!(fine, reference, "seed {seed} fine Johnson");
+        let fine_rt = canonical_simple(
+            &graph,
+            Algorithm::ReadTarjan,
+            Granularity::FineGrained,
+            delta,
+        );
+        assert_eq!(fine_rt, reference, "seed {seed} fine Read-Tarjan");
     }
+}
 
-    /// Every reported simple cycle is structurally valid, vertex-disjoint and
-    /// fits in the requested window; every reported temporal cycle is
-    /// additionally strictly increasing in time.
-    #[test]
-    fn prop_reported_cycles_are_valid(
-        n in 4u32..14,
-        edges in proptest::collection::vec((0u32..14, 0u32..14, 0i64..60), 1..70),
-        delta in 5i64..40,
-    ) {
-        let graph = graph_from_edges(n, &edges);
+/// Every reported simple cycle is structurally valid, vertex-disjoint and
+/// fits in the requested window; every reported temporal cycle is
+/// additionally strictly increasing in time.
+#[test]
+fn prop_reported_cycles_are_valid() {
+    for seed in 0..24u64 {
+        let (graph, delta) = random_case(2_000 + seed, 14, 70, 60);
         let simple = canonical_simple(&graph, Algorithm::Johnson, Granularity::FineGrained, delta);
         for cycle in &simple {
-            prop_assert!(cycle.validate(&graph).is_ok(), "{:?}", cycle.validate(&graph));
-            prop_assert!(cycle.time_span(&graph) <= delta);
+            assert!(
+                cycle.validate(&graph).is_ok(),
+                "seed {seed}: {:?}",
+                cycle.validate(&graph)
+            );
+            assert!(cycle.time_span(&graph) <= delta, "seed {seed}");
         }
-        let temporal = canonical_temporal(&graph, Algorithm::Johnson, Granularity::FineGrained, delta);
+        let temporal =
+            canonical_temporal(&graph, Algorithm::Johnson, Granularity::FineGrained, delta);
         for cycle in &temporal {
-            prop_assert!(cycle.validate(&graph).is_ok());
-            prop_assert!(cycle.is_temporal(&graph));
-            prop_assert!(cycle.time_span(&graph) <= delta);
+            assert!(cycle.validate(&graph).is_ok(), "seed {seed}");
+            assert!(cycle.is_temporal(&graph), "seed {seed}");
+            assert!(cycle.time_span(&graph) <= delta, "seed {seed}");
         }
         // Temporal cycles are a subset of simple cycles under the same window.
-        prop_assert!(temporal.len() <= simple.len());
+        assert!(temporal.len() <= simple.len(), "seed {seed}");
     }
+}
 
-    /// The temporal count from the bundled (path-bundling) counter equals the
-    /// unbundled enumeration count.
-    #[test]
-    fn prop_bundled_count_matches_enumeration(
-        n in 3u32..10,
-        edges in proptest::collection::vec((0u32..10, 0u32..10, 0i64..30), 1..60),
-        delta in 5i64..30,
-    ) {
-        use parallel_cycle_enumeration::core::bundle::bundled_temporal_count;
-        use parallel_cycle_enumeration::core::TemporalCycleOptions;
-        let graph = graph_from_edges(n, &edges);
-        let (bundled, _) = bundled_temporal_count(&graph, &TemporalCycleOptions::with_window(delta));
-        let enumerated = canonical_temporal(&graph, Algorithm::Johnson, Granularity::Sequential, delta);
-        prop_assert_eq!(bundled, enumerated.len() as u64);
+/// The temporal count from the bundled (path-bundling) counter equals the
+/// unbundled enumeration count.
+#[test]
+fn prop_bundled_count_matches_enumeration() {
+    use parallel_cycle_enumeration::core::bundle::bundled_temporal_count;
+    use parallel_cycle_enumeration::core::TemporalCycleOptions;
+    for seed in 0..24u64 {
+        let (graph, delta) = random_case(3_000 + seed, 10, 60, 30);
+        let (bundled, _) =
+            bundled_temporal_count(&graph, &TemporalCycleOptions::with_window(delta));
+        let enumerated =
+            canonical_temporal(&graph, Algorithm::Johnson, Granularity::Sequential, delta);
+        assert_eq!(bundled, enumerated.len() as u64, "seed {seed}");
     }
 }
