@@ -1,0 +1,68 @@
+//! Streaming ingest benchmark: sustained edges/sec and per-batch enumeration
+//! latency of the incremental sliding-window subsystem at 1–8 threads.
+//!
+//! Replays the synthetic transaction stream of
+//! [`pce_workloads::streaming`] through a `StreamingEngine` and reports, per
+//! thread count: sustained ingest throughput (edges/second, end to end),
+//! mean / p50 / p95 / max per-batch latency, and the cycle total (which must
+//! be identical across thread counts — checked).
+//!
+//! ```text
+//! cargo run --release -p pce-bench --bin streaming_bench            # full run
+//! cargo run --release -p pce-bench --bin streaming_bench -- --smoke # CI smoke
+//! ```
+
+use pce_workloads::streaming::{run_stream_scenario, StreamScenarioConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let cfg = if smoke {
+        StreamScenarioConfig::smoke()
+    } else {
+        StreamScenarioConfig::default()
+    };
+    let thread_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+
+    println!(
+        "streaming fraud-detection bench ({}): {} accounts, ~{} transactions, \
+         batch {} edges, retention {}, delta {}",
+        if smoke { "smoke" } else { "full" },
+        cfg.ring.num_accounts,
+        cfg.ring.background_edges + cfg.ring.num_rings * cfg.ring.ring_len.1,
+        cfg.batch_edges,
+        cfg.retention,
+        cfg.window_delta,
+    );
+    println!(
+        "{:>7} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10} {:>9}",
+        "threads", "edges/sec", "batches", "mean ms", "p50 ms", "p95 ms", "max ms", "cycles"
+    );
+
+    let mut reference_cycles: Option<u64> = None;
+    for &threads in thread_counts {
+        let report = run_stream_scenario(&cfg, threads).expect("valid scenario config");
+        println!(
+            "{:>7} {:>12.0} {:>12} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>9}",
+            report.threads,
+            report.sustained_edges_per_sec(),
+            report.rows.len(),
+            report.mean_latency_secs() * 1e3,
+            report.latency_percentile_secs(0.50) * 1e3,
+            report.latency_percentile_secs(0.95) * 1e3,
+            report.max_latency_secs() * 1e3,
+            report.total_cycles,
+        );
+        // Results must not depend on the thread count.
+        match reference_cycles {
+            None => reference_cycles = Some(report.total_cycles),
+            Some(expected) => assert_eq!(
+                report.total_cycles, expected,
+                "cycle totals diverged across thread counts"
+            ),
+        }
+    }
+    if let Some(cycles) = reference_cycles {
+        println!("ok: {cycles} cycles at every thread count");
+    }
+}

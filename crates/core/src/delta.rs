@@ -1,0 +1,698 @@
+//! Incremental (delta) enumeration: cycles **closed** by newly arrived edges.
+//!
+//! The batch-rooted dual of the one-shot enumerators in [`crate::seq`] /
+//! [`crate::par`]. Those root every cycle at its *minimum* edge in
+//! `(timestamp, id)` order and sweep all edges; here a cycle is rooted at its
+//! *maximum* edge — the edge whose arrival completes it. Because the maximum
+//! edge of a cycle is unique and belongs to exactly one ingest batch,
+//! enumerating only the roots of the newest batch reports every cycle exactly
+//! once over the lifetime of a stream: no duplicates across batches, nothing
+//! missed.
+//!
+//! The search rooted at `e = u → w` (timestamp `t0`) therefore runs
+//! *backwards in stream order*: it enumerates simple paths `w → … → u` over
+//! edges strictly earlier than `e` in `(timestamp, id)` order, reusing the
+//! same per-root machinery as the forward enumerators —
+//! [`CycleUnionWorkspace`] pruning via the mirrored
+//! [`compute_simple_before`](CycleUnionWorkspace::compute_simple_before) /
+//! [`compute_temporal_before`](CycleUnionWorkspace::compute_temporal_before)
+//! passes (including the latest-departure closing-time bound for temporal
+//! cycles).
+//!
+//! Everything here is generic over [`GraphView`], so the same code serves the
+//! immutable [`TemporalGraph`](pce_graph::TemporalGraph) and the streaming
+//! [`SlidingWindowGraph`](pce_graph::stream::SlidingWindowGraph).
+//!
+//! # The `floor` parameter
+//!
+//! Every entry point takes a `floor` timestamp: roots below it are skipped
+//! and edges below it are never admissible. Pass `Timestamp::MIN` for no
+//! floor — what the streaming engine does, since its `delta <= retention`
+//! invariant already guarantees every edge a closing root can need is still
+//! stored (making reports independent of batch boundaries). A caller with
+//! weaker guarantees (say, retention shorter than its query window) can pass
+//! an explicit floor to keep results deterministic with respect to what has
+//! been physically dropped.
+
+use crate::cycle::{CycleSink, HaltingSink};
+use crate::metrics::{RunStats, WorkMetrics};
+use crate::options::{SimpleCycleOptions, TemporalCycleOptions};
+use crate::seq::{timed_run, RootScratch};
+use crate::util::{fx_set, FxHashSet};
+use crate::{Algorithm, Granularity};
+use pce_graph::reach::CycleUnionWorkspace;
+use pce_graph::{EdgeId, GraphView, TimeWindow, Timestamp, VertexId};
+use pce_sched::{DynamicCounter, ThreadPool};
+use std::ops::Range;
+use std::time::Instant;
+
+/// Shared state of one max-rooted backwards search.
+struct DeltaSearch<'a, G: ?Sized, S> {
+    graph: &'a G,
+    sink: &'a HaltingSink<'a, S>,
+    metrics: &'a WorkMetrics,
+    worker: usize,
+    union: &'a CycleUnionWorkspace,
+    /// The root (maximum) edge id; path edges must be strictly below it.
+    root: EdgeId,
+    /// The root's tail `u` — reaching it closes a cycle.
+    target: VertexId,
+    max_len: Option<usize>,
+    path: Vec<VertexId>,
+    path_edges: Vec<EdgeId>,
+    on_path: FxHashSet<VertexId>,
+}
+
+impl<G: GraphView + ?Sized, S: CycleSink> DeltaSearch<'_, G, S> {
+    #[inline]
+    fn len_ok(&self, len: usize) -> bool {
+        self.max_len.map(|m| len <= m).unwrap_or(true)
+    }
+
+    /// Emits the cycle `path ∪ {entry, root}` where `entry` steps onto the
+    /// target.
+    fn close(&mut self, entry_edge: EdgeId) {
+        self.path.push(self.target);
+        self.path_edges.push(entry_edge);
+        self.path_edges.push(self.root);
+        self.sink.push(&self.path, &self.path_edges);
+        self.path_edges.pop();
+        self.path_edges.pop();
+        self.path.pop();
+    }
+
+    /// Simple-cycle extension: every admissible earlier edge inside `window`
+    /// may continue the path.
+    fn extend_simple(&mut self, v: VertexId, window: TimeWindow) {
+        self.metrics.recursive_call(self.worker);
+        for &entry in self.graph.out_edges_in_window(v, window) {
+            if self.sink.stopped() {
+                return;
+            }
+            self.metrics.edge_visit(self.worker);
+            if entry.edge >= self.root {
+                continue;
+            }
+            let w = entry.neighbor;
+            if w == self.target {
+                if self.len_ok(self.path_edges.len() + 2) {
+                    self.close(entry.edge);
+                }
+                continue;
+            }
+            if self.on_path.contains(&w)
+                || !self.union.in_union(w)
+                || !self.len_ok(self.path_edges.len() + 3)
+            {
+                continue;
+            }
+            self.path.push(w);
+            self.path_edges.push(entry.edge);
+            self.on_path.insert(w);
+            self.extend_simple(w, window);
+            self.on_path.remove(&w);
+            self.path_edges.pop();
+            self.path.pop();
+        }
+    }
+
+    /// Temporal extension: timestamps strictly increase along the path and
+    /// stay strictly below the root's timestamp (`t_last` is `t0 - 1`).
+    fn extend_temporal(&mut self, v: VertexId, arrival: Timestamp, t_last: Timestamp) {
+        self.metrics.recursive_call(self.worker);
+        let window = TimeWindow::new(arrival.saturating_add(1), t_last);
+        for &entry in self.graph.out_edges_in_window(v, window) {
+            if self.sink.stopped() {
+                return;
+            }
+            self.metrics.edge_visit(self.worker);
+            let w = entry.neighbor;
+            if w == self.target {
+                if self.len_ok(self.path_edges.len() + 2) {
+                    self.close(entry.edge);
+                }
+                continue;
+            }
+            if self.on_path.contains(&w)
+                || !self.union.in_union(w)
+                || !self.union.can_close_after(w, entry.ts)
+                || !self.len_ok(self.path_edges.len() + 3)
+            {
+                continue;
+            }
+            self.path.push(w);
+            self.path_edges.push(entry.edge);
+            self.on_path.insert(w);
+            self.extend_temporal(w, entry.ts, t_last);
+            self.on_path.remove(&w);
+            self.path_edges.pop();
+            self.path.pop();
+        }
+    }
+}
+
+/// Runs the simple-cycle delta search rooted at `root` (the cycle's maximum
+/// edge). See the [module docs](self) for `floor`.
+#[allow(clippy::too_many_arguments)] // the per-root driver signature + floor
+pub(crate) fn delta_simple_root<G: GraphView + ?Sized, S: CycleSink>(
+    graph: &G,
+    root: EdgeId,
+    floor: Timestamp,
+    opts: &SimpleCycleOptions,
+    scratch: &mut RootScratch,
+    sink: &HaltingSink<'_, S>,
+    metrics: &WorkMetrics,
+    worker: usize,
+) {
+    let e = graph.edge(root);
+    if e.ts < floor {
+        // A batch that straddles the retention span can contain edges that
+        // expired the moment they arrived; they close nothing.
+        return;
+    }
+    if e.src == e.dst {
+        if opts.include_self_loops && opts.len_ok(1) {
+            sink.push(&[e.src], &[root]);
+        }
+        return;
+    }
+    metrics.root_processed(worker);
+    // A cycle whose maximum edge has timestamp t0 fits in a δ-window iff all
+    // of its edges have ts >= t0 - δ; clamp at the stream floor.
+    let start = e.ts.saturating_sub(opts.effective_delta()).max(floor);
+    let window = TimeWindow::new(start, e.ts);
+    if !scratch.union.compute_simple_before(graph, root, window) {
+        return;
+    }
+    let mut on_path = fx_set();
+    on_path.insert(e.src);
+    on_path.insert(e.dst);
+    let mut search = DeltaSearch {
+        graph,
+        sink,
+        metrics,
+        worker,
+        union: &scratch.union,
+        root,
+        target: e.src,
+        max_len: opts.max_len,
+        path: vec![e.dst],
+        path_edges: Vec::new(),
+        on_path,
+    };
+    search.extend_simple(e.dst, window);
+}
+
+/// Runs the temporal-cycle delta search rooted at `root` (the cycle's last —
+/// and strictly largest — edge). See the [module docs](self) for `floor`.
+#[allow(clippy::too_many_arguments)] // the per-root driver signature + floor
+pub(crate) fn delta_temporal_root<G: GraphView + ?Sized, S: CycleSink>(
+    graph: &G,
+    root: EdgeId,
+    floor: Timestamp,
+    opts: &TemporalCycleOptions,
+    scratch: &mut RootScratch,
+    sink: &HaltingSink<'_, S>,
+    metrics: &WorkMetrics,
+    worker: usize,
+) {
+    let e = graph.edge(root);
+    if e.ts < floor || e.src == e.dst {
+        return;
+    }
+    metrics.root_processed(worker);
+    // The cycle's first edge anchors its window: first_ts >= t0 - δ.
+    let start = e.ts.saturating_sub(opts.window_delta).max(floor);
+    let window = TimeWindow::new(start, e.ts);
+    if !scratch.union.compute_temporal_before(graph, root, window) {
+        return;
+    }
+    let mut on_path = fx_set();
+    on_path.insert(e.src);
+    on_path.insert(e.dst);
+    let mut search = DeltaSearch {
+        graph,
+        sink,
+        metrics,
+        worker,
+        union: &scratch.union,
+        root,
+        target: e.src,
+        max_len: opts.max_len,
+        path: vec![e.dst],
+        path_edges: Vec::new(),
+        on_path,
+    };
+    // Seeding the arrival one below the window start admits exactly first
+    // hops with ts >= start; path timestamps stay strictly below t0.
+    search.extend_temporal(e.dst, start.saturating_sub(1), e.ts.saturating_sub(1));
+}
+
+/// Sequential simple-cycle delta enumeration over the root range `roots`
+/// (typically the id range of the newest ingest batch). Allocates fresh
+/// scratch; high-frequency callers should use
+/// [`delta_simple_with_scratch`] to reuse one scratch across runs.
+pub fn delta_simple<G: GraphView + ?Sized, S: CycleSink>(
+    graph: &G,
+    roots: Range<EdgeId>,
+    floor: Timestamp,
+    opts: &SimpleCycleOptions,
+    sink: &S,
+) -> RunStats {
+    let mut scratch = RootScratch::new(graph.num_vertices());
+    delta_simple_with_scratch(graph, roots, floor, opts, sink, &mut scratch)
+}
+
+/// [`delta_simple`] with caller-owned scratch: the streaming engine's
+/// per-batch hot path, paying no per-run allocation (the scratch's
+/// epoch-stamping makes reuse free). The scratch must cover
+/// `graph.num_vertices()` (see [`RootScratch::ensure_vertices`]).
+pub fn delta_simple_with_scratch<G: GraphView + ?Sized, S: CycleSink>(
+    graph: &G,
+    roots: Range<EdgeId>,
+    floor: Timestamp,
+    opts: &SimpleCycleOptions,
+    sink: &S,
+    scratch: &mut RootScratch,
+) -> RunStats {
+    let metrics = WorkMetrics::new(1);
+    let sink = HaltingSink::new(sink);
+    timed_run(&sink, &metrics, 1, || {
+        for root in roots {
+            if sink.stopped() {
+                break;
+            }
+            delta_simple_root(graph, root, floor, opts, scratch, &sink, &metrics, 0);
+        }
+    })
+    .tagged(Algorithm::Johnson, Granularity::Sequential)
+}
+
+/// Sequential temporal-cycle delta enumeration over the root range `roots`.
+/// Allocates fresh scratch; high-frequency callers should use
+/// [`delta_temporal_with_scratch`] to reuse one scratch across runs.
+pub fn delta_temporal<G: GraphView + ?Sized, S: CycleSink>(
+    graph: &G,
+    roots: Range<EdgeId>,
+    floor: Timestamp,
+    opts: &TemporalCycleOptions,
+    sink: &S,
+) -> RunStats {
+    let mut scratch = RootScratch::new(graph.num_vertices());
+    delta_temporal_with_scratch(graph, roots, floor, opts, sink, &mut scratch)
+}
+
+/// [`delta_temporal`] with caller-owned scratch (see
+/// [`delta_simple_with_scratch`]).
+pub fn delta_temporal_with_scratch<G: GraphView + ?Sized, S: CycleSink>(
+    graph: &G,
+    roots: Range<EdgeId>,
+    floor: Timestamp,
+    opts: &TemporalCycleOptions,
+    sink: &S,
+    scratch: &mut RootScratch,
+) -> RunStats {
+    let metrics = WorkMetrics::new(1);
+    let sink = HaltingSink::new(sink);
+    timed_run(&sink, &metrics, 1, || {
+        for root in roots {
+            if sink.stopped() {
+                break;
+            }
+            delta_temporal_root(graph, root, floor, opts, scratch, &sink, &metrics, 0);
+        }
+    })
+    .tagged(Algorithm::Johnson, Granularity::Sequential)
+}
+
+/// The shared parallel delta driver: workers claim roots from the batch
+/// range via a dynamic counter, exactly like the coarse-grained one-shot
+/// driver (one task per root edge, §4 of the paper). One caller-owned
+/// scratch per spawned worker; each scratch must cover
+/// `graph.num_vertices()`.
+fn run_delta_parallel<S, F>(
+    roots: Range<EdgeId>,
+    sink: &S,
+    pool: &ThreadPool,
+    scratches: &mut [RootScratch],
+    per_root: F,
+) -> RunStats
+where
+    S: CycleSink,
+    F: Fn(EdgeId, &mut RootScratch, &HaltingSink<'_, S>, &WorkMetrics, usize) + Sync,
+{
+    let threads = pool.num_threads();
+    assert!(
+        scratches.len() >= threads,
+        "need one scratch per pool worker"
+    );
+    let metrics = WorkMetrics::new(threads);
+    let start = Instant::now();
+    let base = roots.start;
+    let counter = DynamicCounter::new(roots.len(), 1);
+    let sink = HaltingSink::new(sink);
+
+    pool.scope(|scope| {
+        for scratch in scratches[..threads].iter_mut() {
+            let counter = &counter;
+            let metrics = &metrics;
+            let sink = &sink;
+            let per_root = &per_root;
+            scope.spawn(move |_, ctx| {
+                let worker = ctx.worker_id();
+                while let Some(i) = counter.next() {
+                    if sink.stopped() {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    per_root(base + i as EdgeId, scratch, sink, metrics, worker);
+                    metrics.add_busy(worker, t0.elapsed());
+                }
+            });
+        }
+    });
+
+    RunStats {
+        cycles: sink.count(),
+        wall_secs: start.elapsed().as_secs_f64(),
+        work: metrics.snapshot(),
+        threads,
+        ..RunStats::default()
+    }
+    .tagged(Algorithm::Johnson, Granularity::CoarseGrained)
+}
+
+/// Allocates one fresh scratch per pool worker (the convenience path; the
+/// streaming engine reuses persistent scratches instead).
+fn fresh_scratches<G: GraphView + ?Sized>(graph: &G, pool: &ThreadPool) -> Vec<RootScratch> {
+    (0..pool.num_threads())
+        .map(|_| RootScratch::new(graph.num_vertices()))
+        .collect()
+}
+
+/// Parallel simple-cycle delta enumeration: one dynamically scheduled task
+/// per root in `roots`. Allocates fresh per-worker scratch; high-frequency
+/// callers should use [`delta_simple_parallel_with_scratch`].
+pub fn delta_simple_parallel<G: GraphView + ?Sized, S: CycleSink>(
+    graph: &G,
+    roots: Range<EdgeId>,
+    floor: Timestamp,
+    opts: &SimpleCycleOptions,
+    sink: &S,
+    pool: &ThreadPool,
+) -> RunStats {
+    let mut scratches = fresh_scratches(graph, pool);
+    delta_simple_parallel_with_scratch(graph, roots, floor, opts, sink, pool, &mut scratches)
+}
+
+/// [`delta_simple_parallel`] with caller-owned per-worker scratches (at
+/// least `pool.num_threads()` of them, each covering
+/// `graph.num_vertices()`): no allocation on the per-batch hot path.
+#[allow(clippy::too_many_arguments)] // the parallel driver signature + scratches
+pub fn delta_simple_parallel_with_scratch<G: GraphView + ?Sized, S: CycleSink>(
+    graph: &G,
+    roots: Range<EdgeId>,
+    floor: Timestamp,
+    opts: &SimpleCycleOptions,
+    sink: &S,
+    pool: &ThreadPool,
+    scratches: &mut [RootScratch],
+) -> RunStats {
+    run_delta_parallel(
+        roots,
+        sink,
+        pool,
+        scratches,
+        |root, scratch, sink, metrics, worker| {
+            delta_simple_root(graph, root, floor, opts, scratch, sink, metrics, worker)
+        },
+    )
+}
+
+/// Parallel temporal-cycle delta enumeration: one dynamically scheduled task
+/// per root in `roots`. Allocates fresh per-worker scratch; high-frequency
+/// callers should use [`delta_temporal_parallel_with_scratch`].
+pub fn delta_temporal_parallel<G: GraphView + ?Sized, S: CycleSink>(
+    graph: &G,
+    roots: Range<EdgeId>,
+    floor: Timestamp,
+    opts: &TemporalCycleOptions,
+    sink: &S,
+    pool: &ThreadPool,
+) -> RunStats {
+    let mut scratches = fresh_scratches(graph, pool);
+    delta_temporal_parallel_with_scratch(graph, roots, floor, opts, sink, pool, &mut scratches)
+}
+
+/// [`delta_temporal_parallel`] with caller-owned per-worker scratches (see
+/// [`delta_simple_parallel_with_scratch`]).
+#[allow(clippy::too_many_arguments)] // the parallel driver signature + scratches
+pub fn delta_temporal_parallel_with_scratch<G: GraphView + ?Sized, S: CycleSink>(
+    graph: &G,
+    roots: Range<EdgeId>,
+    floor: Timestamp,
+    opts: &TemporalCycleOptions,
+    sink: &S,
+    pool: &ThreadPool,
+    scratches: &mut [RootScratch],
+) -> RunStats {
+    run_delta_parallel(
+        roots,
+        sink,
+        pool,
+        scratches,
+        |root, scratch, sink, metrics, worker| {
+            delta_temporal_root(graph, root, floor, opts, scratch, sink, metrics, worker)
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycle::{CollectingSink, CountingSink};
+    use crate::seq::johnson::johnson_simple;
+    use crate::seq::temporal::temporal_simple;
+    use pce_graph::generators::{self, RandomTemporalConfig};
+    use pce_graph::{GraphBuilder, TemporalGraph};
+
+    fn all_roots(g: &TemporalGraph) -> Range<EdgeId> {
+        0..g.num_edges() as EdgeId
+    }
+
+    /// Rooting every edge as the *maximum* must enumerate exactly the same
+    /// cycle set as rooting every edge as the *minimum* (the one-shot path).
+    #[test]
+    fn max_rooted_matches_min_rooted_simple() {
+        for seed in 0..6 {
+            let g = generators::uniform_temporal(RandomTemporalConfig {
+                num_vertices: 14,
+                num_edges: 70,
+                time_span: 50,
+                seed: 900 + seed,
+            });
+            for delta in [12, 30, 100] {
+                let opts = SimpleCycleOptions::with_window(delta);
+                let fwd = CollectingSink::new();
+                johnson_simple(&g, &opts, &fwd);
+                let bwd = CollectingSink::new();
+                delta_simple(&g, all_roots(&g), Timestamp::MIN, &opts, &bwd);
+                assert_eq!(
+                    fwd.canonical_cycles(),
+                    bwd.canonical_cycles(),
+                    "seed {seed} delta {delta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_rooted_matches_min_rooted_temporal() {
+        for seed in 0..6 {
+            let g = generators::power_law_temporal(RandomTemporalConfig {
+                num_vertices: 20,
+                num_edges: 110,
+                time_span: 70,
+                seed: 1_300 + seed,
+            });
+            for delta in [15, 40, 100] {
+                let opts = TemporalCycleOptions::with_window(delta);
+                let fwd = CollectingSink::new();
+                temporal_simple(&g, &opts, &fwd);
+                let bwd = CollectingSink::new();
+                delta_temporal(&g, all_roots(&g), Timestamp::MIN, &opts, &bwd);
+                assert_eq!(
+                    fwd.canonical_cycles(),
+                    bwd.canonical_cycles(),
+                    "seed {seed} delta {delta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unconstrained_and_bounded_options_are_respected() {
+        let g = GraphBuilder::new()
+            .add_edge(0, 1, 1)
+            .add_edge(1, 0, 2)
+            .add_edge(1, 2, 3)
+            .add_edge(2, 0, 4)
+            .build();
+        let all = CollectingSink::new();
+        delta_simple(
+            &g,
+            all_roots(&g),
+            Timestamp::MIN,
+            &SimpleCycleOptions::unconstrained(),
+            &all,
+        );
+        assert_eq!(all.count(), 2);
+        for c in all.canonical_cycles() {
+            c.validate(&g).expect("structurally valid");
+        }
+        let short = CountingSink::new();
+        delta_simple(
+            &g,
+            all_roots(&g),
+            Timestamp::MIN,
+            &SimpleCycleOptions::unconstrained().max_len(2),
+            &short,
+        );
+        assert_eq!(short.count(), 1);
+    }
+
+    #[test]
+    fn self_loops_only_when_requested() {
+        let g = GraphBuilder::new()
+            .add_edge(0, 0, 1)
+            .add_edge(0, 1, 2)
+            .add_edge(1, 0, 3)
+            .build();
+        let without = CountingSink::new();
+        delta_simple(
+            &g,
+            all_roots(&g),
+            Timestamp::MIN,
+            &SimpleCycleOptions::unconstrained(),
+            &without,
+        );
+        assert_eq!(without.count(), 1);
+        let with = CountingSink::new();
+        delta_simple(
+            &g,
+            all_roots(&g),
+            Timestamp::MIN,
+            &SimpleCycleOptions::unconstrained().include_self_loops(true),
+            &with,
+        );
+        assert_eq!(with.count(), 2);
+    }
+
+    #[test]
+    fn floor_excludes_expired_content() {
+        // Triangle closed by the t=10 edge, but the t=1 edge is below floor.
+        let g = GraphBuilder::new()
+            .add_edge(0, 1, 1)
+            .add_edge(1, 2, 5)
+            .add_edge(2, 0, 10)
+            .build();
+        let open = CountingSink::new();
+        delta_simple(
+            &g,
+            all_roots(&g),
+            Timestamp::MIN,
+            &SimpleCycleOptions::unconstrained(),
+            &open,
+        );
+        assert_eq!(open.count(), 1);
+        let floored = CountingSink::new();
+        delta_simple(
+            &g,
+            all_roots(&g),
+            3,
+            &SimpleCycleOptions::unconstrained(),
+            &floored,
+        );
+        assert_eq!(floored.count(), 0, "expired first hop breaks the cycle");
+        // Roots themselves below the floor are skipped outright.
+        let t = CountingSink::new();
+        delta_temporal(
+            &g,
+            all_roots(&g),
+            11,
+            &TemporalCycleOptions::with_window(100),
+            &t,
+        );
+        assert_eq!(t.count(), 0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = generators::uniform_temporal(RandomTemporalConfig {
+            num_vertices: 18,
+            num_edges: 90,
+            time_span: 60,
+            seed: 77,
+        });
+        let pool = ThreadPool::new(4);
+        let simple_opts = SimpleCycleOptions::with_window(20);
+        let seq = CollectingSink::new();
+        delta_simple(&g, all_roots(&g), Timestamp::MIN, &simple_opts, &seq);
+        let par = CollectingSink::new();
+        let stats =
+            delta_simple_parallel(&g, all_roots(&g), Timestamp::MIN, &simple_opts, &par, &pool);
+        assert_eq!(seq.canonical_cycles(), par.canonical_cycles());
+        assert_eq!(stats.threads, 4);
+
+        let temporal_opts = TemporalCycleOptions::with_window(25);
+        let seq = CollectingSink::new();
+        delta_temporal(&g, all_roots(&g), Timestamp::MIN, &temporal_opts, &seq);
+        let par = CollectingSink::new();
+        delta_temporal_parallel(
+            &g,
+            all_roots(&g),
+            Timestamp::MIN,
+            &temporal_opts,
+            &par,
+            &pool,
+        );
+        assert_eq!(seq.canonical_cycles(), par.canonical_cycles());
+    }
+
+    #[test]
+    fn partial_root_ranges_report_only_their_cycles() {
+        // Two vertex-disjoint 2-cycles; each closes at its own later edge.
+        let g = GraphBuilder::new()
+            .add_edge(0, 1, 1)
+            .add_edge(2, 3, 2)
+            .add_edge(1, 0, 3)
+            .add_edge(3, 2, 4)
+            .build();
+        // Roots {2} (the 1→0 edge) close exactly the 0/1 cycle.
+        let sink = CollectingSink::new();
+        delta_simple(
+            &g,
+            2..3,
+            Timestamp::MIN,
+            &SimpleCycleOptions::unconstrained(),
+            &sink,
+        );
+        let cycles = sink.into_cycles();
+        assert_eq!(cycles.len(), 1);
+        assert!(cycles[0].vertices.contains(&0) && cycles[0].vertices.contains(&1));
+    }
+
+    #[test]
+    fn early_termination_stops_the_delta_run() {
+        let g = generators::fig4a_exponential_cycles(12);
+        let sink = crate::cycle::FirstKSink::new(3);
+        delta_simple(
+            &g,
+            all_roots(&g),
+            Timestamp::MIN,
+            &SimpleCycleOptions::unconstrained(),
+            &sink,
+        );
+        assert_eq!(sink.into_cycles().len(), 3);
+    }
+}

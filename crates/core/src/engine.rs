@@ -125,6 +125,14 @@ pub enum EnumerationError {
         /// Requested cycle kind.
         kind: CycleKind,
     },
+    /// The operating system refused to spawn a thread the run needs (e.g.
+    /// the [`Engine::stream`] coordinator) — typically resource exhaustion.
+    /// The seed `expect`-panicked here; the engine surfaces it instead so a
+    /// serving process can shed load and keep answering other queries.
+    SpawnFailed {
+        /// The OS error message.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for EnumerationError {
@@ -144,6 +152,9 @@ impl std::fmt::Display for EnumerationError {
                 f,
                 "no implementation for {algorithm:?} with {granularity:?} on {kind:?} cycles"
             ),
+            EnumerationError::SpawnFailed { reason } => {
+                write!(f, "failed to spawn enumeration thread: {reason}")
+            }
         }
     }
 }
@@ -479,7 +490,11 @@ impl Engine {
                     .run_with_sink(&query, &graph, &sink)
                     .expect("query was validated before spawning")
             })
-            .expect("failed to spawn stream coordinator thread");
+            // Spawning can genuinely fail under resource exhaustion; surface
+            // it as a typed error instead of panicking inside a serving call.
+            .map_err(|e| EnumerationError::SpawnFailed {
+                reason: e.to_string(),
+            })?;
         Ok(CycleStream {
             receiver: Some(rx),
             feeder: Some(feeder),
@@ -645,6 +660,12 @@ mod tests {
         .to_string();
         assert!(message.contains("Tiernan"));
         assert!(message.contains("FineGrained"));
+        let message = EnumerationError::SpawnFailed {
+            reason: "resource temporarily unavailable".to_string(),
+        }
+        .to_string();
+        assert!(message.contains("spawn"));
+        assert!(message.contains("resource temporarily unavailable"));
     }
 
     #[test]

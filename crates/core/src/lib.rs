@@ -19,6 +19,11 @@
 //! any number of [`Query`]s — counting, collecting, first-`k` with early
 //! termination, or streaming.
 //!
+//! For *continuously arriving* edges there is an incremental layer on top:
+//! [`StreamingEngine`] ingests timestamp-ordered batches into a sliding
+//! window and enumerates only the cycles each batch closes (the [`delta`]
+//! enumerators, rooted at a cycle's maximum edge instead of its minimum).
+//!
 //! ```
 //! use pce_core::{Engine, Query, Algorithm, Granularity};
 //! use pce_graph::generators::directed_cycle;
@@ -41,11 +46,13 @@
 pub mod api;
 pub mod bundle;
 pub mod cycle;
+pub mod delta;
 pub mod engine;
 pub mod metrics;
 pub mod options;
 pub mod par;
 pub mod seq;
+pub mod streaming;
 pub(crate) mod union;
 pub mod util;
 
@@ -59,6 +66,7 @@ pub use engine::{
 };
 pub use metrics::{RunStats, WorkMetrics, WorkSnapshot, WorkerWork};
 pub use options::{SimpleCycleOptions, TemporalCycleOptions};
+pub use streaming::{BatchReport, StreamCycle, StreamingEngine, StreamingError, StreamingQuery};
 
 // Re-export the substrate crates so downstream users can depend on `pce-core`
 // alone.

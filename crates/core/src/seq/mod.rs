@@ -36,6 +36,14 @@ impl RootScratch {
             union: pce_graph::reach::CycleUnionWorkspace::new(n),
         }
     }
+
+    /// Grows the scratch to cover `n` vertices (no-op when already large
+    /// enough). Lets long-lived owners — the streaming engine keeps one
+    /// scratch across every ingest — track a growing vertex set without
+    /// reallocating per run.
+    pub fn ensure_vertices(&mut self, n: usize) {
+        self.union.ensure_vertices(n);
+    }
 }
 
 /// Handles a self-loop root edge: reports it if the options allow self-loops.

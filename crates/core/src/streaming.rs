@@ -1,0 +1,697 @@
+//! The incremental sliding-window enumeration subsystem: continuous cycle
+//! detection over a stream of temporal edge batches.
+//!
+//! [`StreamingEngine`] glues the three streaming pieces together:
+//!
+//! 1. **Ingest** — each [`StreamingEngine::ingest`] call appends one batch to
+//!    an incrementally-maintained
+//!    [`SlidingWindowGraph`](pce_graph::stream::SlidingWindowGraph) (`O(batch)`
+//!    amortised, no rebuild) and slides the retention window forward,
+//!    expiring edges older than `watermark - retention`.
+//! 2. **Delta query** — only cycles *closed by the new batch* are enumerated:
+//!    every cycle is rooted at its maximum `(timestamp, id)` edge, which lies
+//!    in exactly one batch (see [`crate::delta`]). The batch's roots are
+//!    processed sequentially or as one dynamically-scheduled task per root on
+//!    the engine's reusable thread pool.
+//! 3. **Resolution** — discovered cycles are resolved to concrete
+//!    [`TemporalEdge`] sequences ([`StreamCycle`]) before returning, because
+//!    dense edge ids are re-based when the window compacts.
+//!
+//! # The equivalence guarantee
+//!
+//! Over any replayed stream, each cycle is reported exactly once — at the
+//! batch whose arrival completes it — and the reports are **independent of
+//! how the stream is chopped into batches**: `window_delta <= retention`
+//! (enforced at construction) guarantees that every edge a closing root can
+//! need is still stored when it arrives, so a cycle spanning at most δ is
+//! announced with its closing edge no matter the batch boundaries.
+//! Consequently:
+//!
+//! * every cycle that lies fully inside the **final** window has been
+//!   reported by some batch, and
+//! * the union of per-batch delta results, restricted to cycles whose edges
+//!   all survive in the final window, equals a one-shot enumeration of
+//!   [`StreamingEngine::snapshot`]. With no expiry (retention spanning the
+//!   whole stream) the union is exactly the one-shot result.
+//!
+//! `tests/streaming.rs` asserts this equivalence across seeds, batch sizes
+//! (including batches that straddle window expiry), algorithms and thread
+//! counts.
+//!
+//! # Relation to [`Engine::stream`]
+//!
+//! [`Engine::stream`] pushes the results of **one** query to a consumer with
+//! backpressure; `StreamingEngine` answers **many** incremental queries as
+//! the *graph* changes. They compose: each batch's resolved cycles are
+//! returned synchronously precisely so that a serving layer can forward them
+//! into any transport — including a backpressured channel — without the
+//! enumeration pipeline ever blocking on a slow consumer.
+
+use crate::cycle::{CollectingSink, CountingSink};
+use crate::delta::{
+    delta_simple_parallel_with_scratch, delta_simple_with_scratch,
+    delta_temporal_parallel_with_scratch, delta_temporal_with_scratch,
+};
+use crate::engine::{CollectMode, CycleKind, Engine, EnumerationError};
+use crate::metrics::RunStats;
+use crate::options::{SimpleCycleOptions, TemporalCycleOptions};
+use crate::seq::RootScratch;
+use pce_graph::stream::{SlidingWindowGraph, StreamError};
+use pce_graph::{GraphView, TemporalEdge, TemporalGraph, TimeWindow, Timestamp, VertexId};
+use std::time::Instant;
+
+/// Errors produced by the streaming subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamingError {
+    /// The ingest path rejected a batch (e.g. out-of-order timestamps); the
+    /// graph is unchanged and the stream can continue with a corrected batch.
+    Stream(StreamError),
+    /// The streaming query failed validation (zero window, zero max length).
+    Query(EnumerationError),
+    /// The query's time window is wider than the graph's retention span, so
+    /// cycles could silently vanish before their closing edge arrives. Grow
+    /// the retention or shrink the window.
+    RetentionTooSmall {
+        /// The requested enumeration window size δ.
+        delta: Timestamp,
+        /// The configured retention span.
+        retention: Timestamp,
+    },
+}
+
+impl std::fmt::Display for StreamingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamingError::Stream(e) => write!(f, "stream ingest error: {e}"),
+            StreamingError::Query(e) => write!(f, "invalid streaming query: {e}"),
+            StreamingError::RetentionTooSmall { delta, retention } => write!(
+                f,
+                "window delta {delta} exceeds retention {retention}: cycles would expire \
+                 before their closing edge arrives"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StreamingError {}
+
+impl From<StreamError> for StreamingError {
+    fn from(e: StreamError) -> Self {
+        StreamingError::Stream(e)
+    }
+}
+
+impl From<EnumerationError> for StreamingError {
+    fn from(e: EnumerationError) -> Self {
+        StreamingError::Query(e)
+    }
+}
+
+/// The standing query a [`StreamingEngine`] evaluates against every batch:
+/// cycle kind, window size and constraints. Plain data, like
+/// [`Query`](crate::Query).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamingQuery {
+    kind: CycleKind,
+    window_delta: Timestamp,
+    max_len: Option<usize>,
+    include_self_loops: bool,
+    collect: CollectMode,
+}
+
+impl StreamingQuery {
+    /// A window-constrained simple-cycle query: report cycles whose edge
+    /// timestamps span at most `delta`, as they are closed by new batches.
+    pub fn simple(delta: Timestamp) -> Self {
+        Self {
+            kind: CycleKind::Simple,
+            window_delta: delta,
+            max_len: None,
+            include_self_loops: false,
+            collect: CollectMode::Collect,
+        }
+    }
+
+    /// A temporal-cycle query (strictly increasing timestamps) with window
+    /// size `delta`.
+    pub fn temporal(delta: Timestamp) -> Self {
+        Self {
+            kind: CycleKind::Temporal,
+            ..Self::simple(delta)
+        }
+    }
+
+    /// Constrains cycles to at most `len` edges (must be >= 1; validated when
+    /// the engine is built).
+    pub fn max_len(mut self, len: usize) -> Self {
+        self.max_len = Some(len);
+        self
+    }
+
+    /// Also report length-1 cycles (self-loops) for simple-cycle queries.
+    pub fn include_self_loops(mut self, yes: bool) -> Self {
+        self.include_self_loops = yes;
+        self
+    }
+
+    /// Selects whether per-batch cycles are materialised
+    /// ([`CollectMode::Collect`], the default — streaming callers usually
+    /// want the alerts) or only counted ([`CollectMode::Count`]).
+    pub fn collect(mut self, mode: CollectMode) -> Self {
+        self.collect = mode;
+        self
+    }
+
+    /// The cycle kind this query asks about.
+    pub fn kind(&self) -> CycleKind {
+        self.kind
+    }
+
+    /// The enumeration window size δ.
+    pub fn window_delta(&self) -> Timestamp {
+        self.window_delta
+    }
+
+    /// Checks the query for values that can never return anything, mirroring
+    /// [`Query::validate`](crate::Query::validate).
+    pub fn validate(&self) -> Result<(), EnumerationError> {
+        if self.window_delta < 1 {
+            return Err(EnumerationError::InvalidWindow {
+                delta: self.window_delta,
+            });
+        }
+        if self.max_len == Some(0) {
+            return Err(EnumerationError::InvalidMaxLen);
+        }
+        Ok(())
+    }
+}
+
+/// A cycle reported by the streaming engine, resolved to concrete temporal
+/// edges (dense ids are re-based when the sliding window compacts, so they
+/// are not stable across batches — the edges themselves are).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StreamCycle {
+    /// Vertices in traversal order (same convention as
+    /// [`Cycle`](crate::Cycle)).
+    pub vertices: Vec<VertexId>,
+    /// The traversed edges: `edges[i]` connects `vertices[i]` to
+    /// `vertices[i + 1]`, wrapping at the end.
+    pub edges: Vec<TemporalEdge>,
+}
+
+impl StreamCycle {
+    /// Number of edges (equivalently, vertices) in the cycle.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` when the cycle has no edges (never the case for cycles
+    /// produced by the engine; paired with [`StreamCycle::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Rotates the cycle so that its lexicographically smallest
+    /// `(ts, src, dst)` edge comes first. Two reports are the same cyclic
+    /// edge sequence iff their canonical forms are equal — this is how the
+    /// streaming-equivalence tests compare per-batch results (found under
+    /// different edge ids) against one-shot results.
+    pub fn canonicalize(&self) -> StreamCycle {
+        let k = self.len();
+        let key = |e: &TemporalEdge| (e.ts, e.src, e.dst);
+        let min_pos = (0..k).min_by_key(|&i| key(&self.edges[i])).unwrap_or(0);
+        StreamCycle {
+            vertices: (0..k).map(|i| self.vertices[(min_pos + i) % k]).collect(),
+            edges: (0..k).map(|i| self.edges[(min_pos + i) % k]).collect(),
+        }
+    }
+}
+
+/// What one [`StreamingEngine::ingest`] call produced.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// 0-based index of this batch in the stream.
+    pub batch: u64,
+    /// Edges appended by this batch.
+    pub appended: usize,
+    /// Edges that expired out of the window during this ingest.
+    pub expired: usize,
+    /// Edges inside the window after the ingest.
+    pub live_edges: usize,
+    /// The live window after the ingest.
+    pub window: TimeWindow,
+    /// Cycles closed by this batch (count; equals `cycles.len()` when the
+    /// query materialises them).
+    pub cycles_found: u64,
+    /// The closed cycles, resolved to temporal edges (empty in
+    /// [`CollectMode::Count`]).
+    pub cycles: Vec<StreamCycle>,
+    /// Wall-clock seconds spent appending + expiring.
+    pub ingest_secs: f64,
+    /// Wall-clock seconds spent in the delta enumeration.
+    pub enumerate_secs: f64,
+    /// Work statistics of the delta enumeration.
+    pub stats: RunStats,
+}
+
+/// A long-lived incremental enumeration engine: owns the sliding-window graph
+/// and one [`Engine`] (and therefore one reusable thread pool) and evaluates
+/// its standing [`StreamingQuery`] against every ingested batch.
+///
+/// # Example
+/// ```
+/// use pce_core::streaming::{StreamingEngine, StreamingQuery};
+/// use pce_core::graph::TemporalEdge;
+///
+/// let mut engine =
+///     StreamingEngine::with_threads(1_000, StreamingQuery::temporal(100), 1).unwrap();
+///
+/// // The first two transfers open a path, the third closes the ring.
+/// let quiet = engine
+///     .ingest(&[TemporalEdge::new(0, 1, 10), TemporalEdge::new(1, 2, 20)])
+///     .unwrap();
+/// assert_eq!(quiet.cycles_found, 0);
+///
+/// let alert = engine.ingest(&[TemporalEdge::new(2, 0, 30)]).unwrap();
+/// assert_eq!(alert.cycles_found, 1);
+/// assert_eq!(alert.cycles[0].vertices.len(), 3);
+/// ```
+#[derive(Debug)]
+pub struct StreamingEngine {
+    engine: Engine,
+    graph: SlidingWindowGraph,
+    query: StreamingQuery,
+    /// Reused across every delta run (epoch-stamped, grown as the vertex set
+    /// grows) so ingests pay no per-batch allocation: one scratch for
+    /// sequential runs, one per pool worker for parallel runs.
+    scratches: Vec<RootScratch>,
+    batches: u64,
+    total_cycles: u64,
+}
+
+impl StreamingEngine {
+    /// Creates a streaming engine sized to the machine. `retention` is the
+    /// sliding-window span: edges expire once their timestamp drops below
+    /// `watermark - retention`.
+    pub fn new(retention: Timestamp, query: StreamingQuery) -> Result<Self, StreamingError> {
+        Self::with_threads(retention, query, 0)
+    }
+
+    /// Creates a streaming engine with `threads` workers (0 = one per
+    /// available core; 1 = strictly sequential delta queries, no pool).
+    pub fn with_threads(
+        retention: Timestamp,
+        query: StreamingQuery,
+        threads: usize,
+    ) -> Result<Self, StreamingError> {
+        query.validate()?;
+        if query.window_delta > retention {
+            return Err(StreamingError::RetentionTooSmall {
+                delta: query.window_delta,
+                retention,
+            });
+        }
+        Ok(Self {
+            engine: Engine::with_threads(threads),
+            graph: SlidingWindowGraph::new(retention),
+            query,
+            scratches: Vec::new(),
+            batches: 0,
+            total_cycles: 0,
+        })
+    }
+
+    /// Ingests one batch of edges (non-decreasing timestamps across batches;
+    /// any order within a batch) and returns the cycles it closed.
+    ///
+    /// A rejected batch ([`StreamingError::Stream`]) leaves the graph — and
+    /// the stream — fully intact.
+    pub fn ingest(&mut self, batch: &[TemporalEdge]) -> Result<BatchReport, StreamingError> {
+        let t0 = Instant::now();
+        let delta = self.graph.append_batch(batch)?;
+        let ingest_secs = t0.elapsed().as_secs_f64();
+
+        // No floor: `window_delta <= retention` (enforced at construction)
+        // guarantees that every edge a root's search can need — timestamps
+        // in `[root_ts - δ : root_ts]` — is still physically stored when the
+        // root arrives, because compaction only removes edges below the
+        // *previous* batch's window start and `root_ts >= watermark` held at
+        // append time. Reports are therefore independent of batch
+        // boundaries: a cycle is announced exactly when its closing edge
+        // arrives, no matter how the stream is chopped.
+        let floor = Timestamp::MIN;
+        let parallel = self.engine.threads() > 1 && delta.roots.len() > 1;
+        let want = if parallel { self.engine.threads() } else { 1 };
+        if self.scratches.len() < want {
+            self.scratches.resize_with(want, || RootScratch::new(0));
+        }
+        for scratch in &mut self.scratches {
+            scratch.ensure_vertices(self.graph.num_vertices());
+        }
+        let t1 = Instant::now();
+        let (cycles, stats) = match self.query.collect {
+            CollectMode::Collect => {
+                let sink = CollectingSink::new();
+                let stats = run_delta(
+                    &self.query,
+                    &self.engine,
+                    &self.graph,
+                    &mut self.scratches,
+                    &sink,
+                    delta.roots.clone(),
+                    floor,
+                    parallel,
+                );
+                let resolved = sink
+                    .into_cycles()
+                    .into_iter()
+                    .map(|c| StreamCycle {
+                        edges: c
+                            .edges
+                            .iter()
+                            .map(|&id| GraphView::edge(&self.graph, id))
+                            .collect(),
+                        vertices: c.vertices,
+                    })
+                    .collect();
+                (resolved, stats)
+            }
+            CollectMode::Count => {
+                let sink = CountingSink::new();
+                let stats = run_delta(
+                    &self.query,
+                    &self.engine,
+                    &self.graph,
+                    &mut self.scratches,
+                    &sink,
+                    delta.roots.clone(),
+                    floor,
+                    parallel,
+                );
+                (Vec::new(), stats)
+            }
+        };
+        let enumerate_secs = t1.elapsed().as_secs_f64();
+
+        let report = BatchReport {
+            batch: self.batches,
+            appended: delta.appended,
+            expired: delta.expired,
+            live_edges: self.graph.live_edges().len(),
+            window: delta.window,
+            cycles_found: stats.cycles,
+            cycles,
+            ingest_secs,
+            enumerate_secs,
+            stats,
+        };
+        self.batches += 1;
+        self.total_cycles += report.cycles_found;
+        Ok(report)
+    }
+
+    /// The sliding-window graph (for inspection: window, watermark, live
+    /// edges, ingest totals).
+    pub fn graph(&self) -> &SlidingWindowGraph {
+        &self.graph
+    }
+
+    /// The standing query.
+    pub fn query(&self) -> &StreamingQuery {
+        &self.query
+    }
+
+    /// The inner [`Engine`] (and its reusable pool), e.g. to issue one-shot
+    /// queries against a [`StreamingEngine::snapshot`] on the same pool.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Number of batches ingested so far.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Total cycles reported across all batches.
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Materialises the current window as an immutable [`TemporalGraph`] —
+    /// the reference for the one-shot side of the equivalence guarantee (see
+    /// the [module docs](self)).
+    pub fn snapshot(&self) -> TemporalGraph {
+        self.graph.snapshot()
+    }
+}
+
+/// Dispatches one delta run (free function so the engine can lend out its
+/// graph immutably and its scratches mutably at the same time). Sequential
+/// runs reuse `scratches[0]`; parallel runs hand each pool worker its own
+/// persistent scratch — no allocation either way.
+#[allow(clippy::too_many_arguments)] // private dispatcher over engine fields
+fn run_delta<S: crate::cycle::CycleSink>(
+    query: &StreamingQuery,
+    engine: &Engine,
+    graph: &SlidingWindowGraph,
+    scratches: &mut [RootScratch],
+    sink: &S,
+    roots: std::ops::Range<pce_graph::EdgeId>,
+    floor: Timestamp,
+    parallel: bool,
+) -> RunStats {
+    match query.kind {
+        CycleKind::Simple => {
+            let opts = SimpleCycleOptions {
+                window_delta: Some(query.window_delta),
+                max_len: query.max_len,
+                include_self_loops: query.include_self_loops,
+            };
+            if parallel {
+                delta_simple_parallel_with_scratch(
+                    graph,
+                    roots,
+                    floor,
+                    &opts,
+                    sink,
+                    engine.pool(),
+                    scratches,
+                )
+            } else {
+                delta_simple_with_scratch(graph, roots, floor, &opts, sink, &mut scratches[0])
+            }
+        }
+        CycleKind::Temporal => {
+            let opts = TemporalCycleOptions {
+                window_delta: query.window_delta,
+                max_len: query.max_len,
+            };
+            if parallel {
+                delta_temporal_parallel_with_scratch(
+                    graph,
+                    roots,
+                    floor,
+                    &opts,
+                    sink,
+                    engine.pool(),
+                    scratches,
+                )
+            } else {
+                delta_temporal_with_scratch(graph, roots, floor, &opts, sink, &mut scratches[0])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pce_graph::GraphBuilder;
+
+    fn e(src: VertexId, dst: VertexId, ts: Timestamp) -> TemporalEdge {
+        TemporalEdge::new(src, dst, ts)
+    }
+
+    #[test]
+    fn construction_validates_query_and_retention() {
+        assert!(matches!(
+            StreamingEngine::new(100, StreamingQuery::simple(0)),
+            Err(StreamingError::Query(EnumerationError::InvalidWindow {
+                delta: 0
+            }))
+        ));
+        assert!(matches!(
+            StreamingEngine::new(100, StreamingQuery::temporal(10).max_len(0)),
+            Err(StreamingError::Query(EnumerationError::InvalidMaxLen))
+        ));
+        assert!(matches!(
+            StreamingEngine::new(10, StreamingQuery::temporal(50)),
+            Err(StreamingError::RetentionTooSmall {
+                delta: 50,
+                retention: 10
+            })
+        ));
+        assert!(StreamingEngine::new(50, StreamingQuery::temporal(50)).is_ok());
+    }
+
+    #[test]
+    fn cycles_are_reported_at_the_closing_batch_only() {
+        let mut eng =
+            StreamingEngine::with_threads(1_000, StreamingQuery::simple(1_000), 1).unwrap();
+        let r = eng.ingest(&[e(0, 1, 1), e(1, 2, 2)]).unwrap();
+        assert_eq!(r.cycles_found, 0);
+        let r = eng.ingest(&[e(2, 0, 3), e(3, 4, 3)]).unwrap();
+        assert_eq!(r.cycles_found, 1);
+        assert_eq!(r.cycles.len(), 1);
+        let c = &r.cycles[0].canonicalize();
+        assert_eq!(c.edges[0], e(0, 1, 1));
+        assert_eq!(c.vertices.len(), 3);
+        // Re-ingesting unrelated edges does not re-report the triangle.
+        let r = eng.ingest(&[e(4, 3, 4)]).unwrap();
+        assert_eq!(r.cycles_found, 1, "only the new 3↔4 cycle");
+        assert_eq!(eng.total_cycles(), 2);
+        assert_eq!(eng.batches(), 3);
+    }
+
+    #[test]
+    fn reports_do_not_depend_on_batch_boundaries() {
+        // Regression: the closing edge (2→0, t=100) used to be skipped when
+        // a much newer edge in the *same* batch advanced the watermark (and
+        // therefore the window floor) past it. With delta <= retention every
+        // edge the root needs is still stored, so the ring must be reported
+        // whether or not the batch also carries the newer edge.
+        let one_batch = {
+            let mut eng =
+                StreamingEngine::with_threads(100, StreamingQuery::temporal(100), 1).unwrap();
+            eng.ingest(&[e(0, 1, 1), e(1, 2, 50)]).unwrap();
+            eng.ingest(&[e(2, 0, 100), e(8, 9, 250)])
+                .unwrap()
+                .cycles_found
+        };
+        let split = {
+            let mut eng =
+                StreamingEngine::with_threads(100, StreamingQuery::temporal(100), 1).unwrap();
+            eng.ingest(&[e(0, 1, 1), e(1, 2, 50)]).unwrap();
+            let n = eng.ingest(&[e(2, 0, 100)]).unwrap().cycles_found;
+            n + eng.ingest(&[e(8, 9, 250)]).unwrap().cycles_found
+        };
+        assert_eq!(
+            one_batch, 1,
+            "ring closes even when its batch spans far ahead"
+        );
+        assert_eq!(one_batch, split);
+    }
+
+    #[test]
+    fn expired_edges_no_longer_close_cycles() {
+        let mut eng = StreamingEngine::with_threads(10, StreamingQuery::simple(10), 1).unwrap();
+        eng.ingest(&[e(0, 1, 0)]).unwrap();
+        // The closing edge arrives after 0→1 fell out of the window.
+        let r = eng.ingest(&[e(1, 0, 50)]).unwrap();
+        assert_eq!(r.expired, 1);
+        assert_eq!(r.cycles_found, 0);
+        // A fresh pair inside one window closes normally.
+        let r = eng.ingest(&[e(0, 1, 55)]).unwrap();
+        assert_eq!(r.cycles_found, 1);
+    }
+
+    #[test]
+    fn out_of_order_batches_propagate_and_preserve_state() {
+        let mut eng = StreamingEngine::with_threads(100, StreamingQuery::simple(100), 1).unwrap();
+        eng.ingest(&[e(0, 1, 10)]).unwrap();
+        let err = eng.ingest(&[e(1, 0, 5)]).unwrap_err();
+        assert!(matches!(
+            err,
+            StreamingError::Stream(StreamError::OutOfOrder { .. })
+        ));
+        // The stream keeps going; the corrected batch closes the cycle.
+        let r = eng.ingest(&[e(1, 0, 15)]).unwrap();
+        assert_eq!(r.cycles_found, 1);
+    }
+
+    #[test]
+    fn count_mode_skips_materialisation() {
+        let mut eng = StreamingEngine::with_threads(
+            1_000,
+            StreamingQuery::temporal(100).collect(CollectMode::Count),
+            1,
+        )
+        .unwrap();
+        eng.ingest(&[e(0, 1, 1), e(1, 2, 2)]).unwrap();
+        let r = eng.ingest(&[e(2, 0, 3)]).unwrap();
+        assert_eq!(r.cycles_found, 1);
+        assert!(r.cycles.is_empty());
+    }
+
+    #[test]
+    fn union_of_batches_matches_one_shot_on_final_window() {
+        // A small deterministic stream with no expiry: the union of per-batch
+        // cycles must equal a one-shot run over the final snapshot. (The full
+        // seeded sweep with expiry lives in tests/streaming.rs.)
+        let edges = [
+            e(0, 1, 1),
+            e(1, 2, 2),
+            e(2, 0, 3),
+            e(2, 3, 4),
+            e(3, 2, 5),
+            e(0, 2, 6),
+            e(2, 1, 7),
+            e(1, 0, 8),
+        ];
+        for batch_size in [1, 3, 8] {
+            let mut eng =
+                StreamingEngine::with_threads(1_000, StreamingQuery::temporal(1_000), 1).unwrap();
+            let mut union: Vec<StreamCycle> = Vec::new();
+            for chunk in edges.chunks(batch_size) {
+                union.extend(eng.ingest(chunk).unwrap().cycles);
+            }
+            let snapshot = eng.snapshot();
+            let one_shot = crate::Engine::with_threads(1)
+                .run(
+                    &crate::Query::temporal()
+                        .window(1_000)
+                        .collect(CollectMode::Collect),
+                    &snapshot,
+                )
+                .unwrap();
+            let mut union: Vec<StreamCycle> = union.iter().map(StreamCycle::canonicalize).collect();
+            union.sort_by(|a, b| a.edges.cmp(&b.edges));
+            let mut reference: Vec<StreamCycle> = one_shot
+                .cycles
+                .unwrap()
+                .iter()
+                .map(|c| {
+                    StreamCycle {
+                        vertices: c.vertices.clone(),
+                        edges: c.edges.iter().map(|&id| snapshot.edge(id)).collect(),
+                    }
+                    .canonicalize()
+                })
+                .collect();
+            reference.sort_by(|a, b| a.edges.cmp(&b.edges));
+            assert_eq!(union, reference, "batch_size {batch_size}");
+            assert!(!reference.is_empty());
+        }
+    }
+
+    #[test]
+    fn stream_cycle_canonicalisation_is_rotation_invariant() {
+        let g = GraphBuilder::new()
+            .add_edge(0, 1, 1)
+            .add_edge(1, 2, 2)
+            .add_edge(2, 0, 3)
+            .build();
+        let a = StreamCycle {
+            vertices: vec![1, 2, 0],
+            edges: vec![g.edge(1), g.edge(2), g.edge(0)],
+        };
+        let b = StreamCycle {
+            vertices: vec![0, 1, 2],
+            edges: vec![g.edge(0), g.edge(1), g.edge(2)],
+        };
+        assert_eq!(a.canonicalize(), b.canonicalize());
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+    }
+}

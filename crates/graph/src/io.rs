@@ -1,9 +1,13 @@
 //! Plain-text temporal edge-list IO.
 //!
 //! The format is the one used by the SNAP temporal datasets the paper
-//! evaluates on: one edge per line, `src dst timestamp`, whitespace separated,
-//! `#`-prefixed comment lines ignored. Vertex ids are remapped to a dense
-//! `0..n` range in first-appearance order.
+//! evaluates on: one edge per line, `src dst timestamp`, whitespace separated.
+//! Comment lines starting with `#` (SNAP convention) or `%` (Konect
+//! convention) are ignored, as are blank lines. Lines with fewer than two or
+//! more than three fields are rejected with [`IoError::Parse`] — a trailing
+//! extra token almost always means the file is in a different schema (e.g.
+//! weighted edges), and silently dropping it would load wrong data. Vertex ids
+//! are remapped to a dense `0..n` range in first-appearance order.
 
 use crate::builder::GraphBuilder;
 use crate::temporal::TemporalGraph;
@@ -46,9 +50,12 @@ impl From<std::io::Error> for IoError {
 }
 
 /// Reads a temporal edge list from any reader. Lines are
-/// `src dst [timestamp]`; a missing timestamp defaults to `0`. Original vertex
-/// labels (arbitrary non-negative integers) are remapped to dense ids; the
-/// mapping is returned alongside the graph as `original_label_of[dense_id]`.
+/// `src dst [timestamp]`; a missing timestamp defaults to `0`, and any field
+/// beyond the third is rejected with [`IoError::Parse`] (see the [module
+/// docs](self) for the full format, including the `#`/`%` comment prefixes).
+/// Original vertex labels (arbitrary non-negative integers) are remapped to
+/// dense ids; the mapping is returned alongside the graph as
+/// `original_label_of[dense_id]`.
 pub fn read_edge_list_from<R: Read>(reader: R) -> Result<(TemporalGraph, Vec<u64>), IoError> {
     let reader = BufReader::new(reader);
     let mut remap: HashMap<u64, VertexId> = HashMap::new();
@@ -88,6 +95,12 @@ pub fn read_edge_list_from<R: Read>(reader: R) -> Result<(TemporalGraph, Vec<u64
             Some(t) => t.parse().map_err(|_| parse_err())?,
             None => 0,
         };
+        // Extra fields mean the line is not `src dst [timestamp]` — reject
+        // instead of silently dropping data (the file is probably in a
+        // different schema, e.g. weighted or labelled edges).
+        if parts.next().is_some() {
+            return Err(parse_err());
+        }
         let s = dense(src, &mut labels, &mut remap);
         let d = dense(dst, &mut labels, &mut remap);
         builder.push_edge(s, d, ts);
@@ -146,6 +159,23 @@ mod tests {
             IoError::Parse { line, .. } => assert_eq!(line, 2),
             other => panic!("expected parse error, got {other}"),
         }
+    }
+
+    #[test]
+    fn rejects_lines_with_extra_fields() {
+        // Regression: `1 2 3 4` used to silently drop the trailing `4`.
+        let text = "1 2 3\n1 2 3 4\n";
+        let err = read_edge_list_from(text.as_bytes()).unwrap_err();
+        match err {
+            IoError::Parse { line, content } => {
+                assert_eq!(line, 2);
+                assert_eq!(content, "1 2 3 4");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+        // Weighted-style files are rejected on their first edge line.
+        let weighted = "# weighted\n5 7 100 0.25\n";
+        assert!(read_edge_list_from(weighted.as_bytes()).is_err());
     }
 
     #[test]

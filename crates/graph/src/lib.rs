@@ -21,6 +21,9 @@
 //!   3a, 4a and 5a, plus random temporal graph generators (uniform, power-law,
 //!   transaction-like) that stand in for the paper's dataset suite.
 //! * [`io`] — plain-text temporal edge-list reading/writing.
+//! * [`view`] — the [`GraphView`] access trait shared by static and streaming
+//!   graphs; [`stream`] — the incrementally-maintained [`SlidingWindowGraph`]
+//!   behind the streaming enumeration subsystem.
 //!
 //! The crate is deliberately free of any parallelism: it is a passive data
 //! substrate that is shared read-only (`&TemporalGraph` is `Sync`) across the
@@ -35,12 +38,16 @@ pub mod io;
 pub mod reach;
 pub mod scc;
 pub mod stats;
+pub mod stream;
 pub mod temporal;
 pub mod types;
+pub mod view;
 pub mod window;
 
 pub use builder::GraphBuilder;
 pub use stats::GraphStats;
+pub use stream::{DeltaBatch, SlidingWindowGraph, StreamError};
 pub use temporal::{AdjEntry, TemporalGraph};
 pub use types::{EdgeId, TemporalEdge, Timestamp, VertexId};
+pub use view::GraphView;
 pub use window::TimeWindow;

@@ -26,6 +26,7 @@
 
 use crate::temporal::TemporalGraph;
 use crate::types::{EdgeId, Timestamp, VertexId};
+use crate::view::GraphView;
 use crate::window::TimeWindow;
 
 /// Reusable workspace for per-root cycle-union computations.
@@ -106,8 +107,10 @@ impl CycleUnionWorkspace {
     }
 
     /// Latest departure time from `v` towards the root (`Timestamp::MIN` if
-    /// `v` cannot reach the root at all). Only meaningful after
-    /// [`Self::compute_temporal`].
+    /// `v` cannot reach the root at all). Only meaningful after a temporal
+    /// pass: towards the root's *tail* `v0` after
+    /// [`Self::compute_temporal`], or — mirrored — towards the root's tail
+    /// `u` after [`Self::compute_temporal_before`].
     #[inline]
     pub fn latest_departure(&self, v: VertexId) -> Timestamp {
         if self.bwd_epoch[v as usize] == self.epoch {
@@ -118,7 +121,9 @@ impl CycleUnionWorkspace {
     }
 
     /// Earliest arrival time at `v` from the root head (`Timestamp::MAX` if
-    /// unreachable). Only meaningful after [`Self::compute_temporal`].
+    /// unreachable). Only meaningful after [`Self::compute_temporal`] or
+    /// [`Self::compute_temporal_before`] (both walk forward from the root's
+    /// head).
     #[inline]
     pub fn earliest_arrival(&self, v: VertexId) -> Timestamp {
         if self.fwd_epoch[v as usize] == self.epoch {
@@ -130,7 +135,10 @@ impl CycleUnionWorkspace {
 
     /// Static closing-time check: can a temporal path leave `v` strictly after
     /// time `t` and reach the root tail inside the window? Sound (never prunes
-    /// a real cycle) because it ignores the simple-path constraint.
+    /// a real cycle) because it ignores the simple-path constraint. Works for
+    /// both temporal passes — min-rooted ([`Self::compute_temporal`]) and
+    /// max-rooted ([`Self::compute_temporal_before`]) — since each stores the
+    /// latest departure towards its own root tail.
     #[inline]
     pub fn can_close_after(&self, v: VertexId, t: Timestamp) -> bool {
         self.latest_departure(v) > t
@@ -144,57 +152,43 @@ impl CycleUnionWorkspace {
     /// Returns `true` if the union is non-empty in the sense that the head of
     /// the root edge can reach its tail (i.e. at least one cycle through the
     /// root edge may exist).
-    pub fn compute_simple(
+    ///
+    /// Generic over [`GraphView`], so it runs on both the static
+    /// [`TemporalGraph`] and the streaming
+    /// [`SlidingWindowGraph`](crate::stream::SlidingWindowGraph).
+    pub fn compute_simple<G: GraphView + ?Sized>(
         &mut self,
-        graph: &TemporalGraph,
+        graph: &G,
         root: EdgeId,
         window: TimeWindow,
     ) -> bool {
         self.bump_epoch();
         let e = graph.edge(root);
         let (v0, v1) = (e.src, e.dst);
-        let admissible =
-            |entry: &crate::temporal::AdjEntry| entry.edge > root && entry.ts <= window.end;
 
-        // Forward BFS from v1 over admissible out-edges.
-        self.queue.clear();
-        self.fwd_epoch[v1 as usize] = self.epoch;
-        self.queue.push(v1);
-        let mut head = 0;
-        while head < self.queue.len() {
-            let u = self.queue[head];
-            head += 1;
-            for entry in graph.out_edges_in_window(u, window) {
-                if !admissible(entry) {
-                    continue;
-                }
-                let w = entry.neighbor as usize;
-                if self.fwd_epoch[w] != self.epoch {
-                    self.fwd_epoch[w] = self.epoch;
-                    self.queue.push(entry.neighbor);
-                }
-            }
-        }
-
-        // Backward BFS from v0 over admissible in-edges.
-        self.queue.clear();
-        self.bwd_epoch[v0 as usize] = self.epoch;
-        self.queue.push(v0);
-        let mut head = 0;
-        while head < self.queue.len() {
-            let u = self.queue[head];
-            head += 1;
-            for entry in graph.in_edges_in_window(u, window) {
-                if !admissible(entry) {
-                    continue;
-                }
-                let w = entry.neighbor as usize;
-                if self.bwd_epoch[w] != self.epoch {
-                    self.bwd_epoch[w] = self.epoch;
-                    self.queue.push(entry.neighbor);
-                }
-            }
-        }
+        // Forward BFS from v1 over admissible out-edges, backward BFS from v0
+        // over admissible in-edges. The windowed accessors enforce the
+        // timestamp bounds; "after the root in (ts, id) order" is the id test.
+        epoch_bfs(
+            graph,
+            window,
+            v1,
+            self.epoch,
+            &mut self.fwd_epoch,
+            &mut self.queue,
+            Direction::Forward,
+            |entry| entry.edge > root,
+        );
+        epoch_bfs(
+            graph,
+            window,
+            v0,
+            self.epoch,
+            &mut self.bwd_epoch,
+            &mut self.queue,
+            Direction::Backward,
+            |entry| entry.edge > root,
+        );
 
         self.collect_union(graph.num_vertices());
         // A cycle through the root edge requires v1 to reach v0 (v1 == v0
@@ -211,9 +205,9 @@ impl CycleUnionWorkspace {
     ///
     /// Returns `true` if the root's head can reach its tail, i.e. at least one
     /// temporal cycle through the root edge may exist.
-    pub fn compute_temporal(
+    pub fn compute_temporal<G: GraphView + ?Sized>(
         &mut self,
-        graph: &TemporalGraph,
+        graph: &G,
         root: EdgeId,
         delta: Timestamp,
     ) -> bool {
@@ -263,11 +257,197 @@ impl CycleUnionWorkspace {
         self.fwd_epoch[v0 as usize] == self.epoch && self.bwd_epoch[v1 as usize] == self.epoch
     }
 
+    /// Mirror of [`Self::compute_simple`] for **incremental (delta)
+    /// enumeration**, where the root is the cycle's *maximum* edge in
+    /// `(timestamp, id)` order — the edge whose arrival closes the cycle.
+    ///
+    /// For root `u → w` (timestamp `t0`), admissible edges have id *less*
+    /// than the root and timestamp at least `window.start` (callers pass
+    /// `[max(t0 - δ, floor) : t0]`, where `floor` is the sliding-window start
+    /// — edges below it have expired and must not be matched). The union is
+    /// the set of vertices on at least one path `w → … → u` over admissible
+    /// edges; returns `true` if any such path (and therefore possibly a
+    /// cycle closed by the root) exists.
+    ///
+    /// Unlike [`Self::compute_simple`], this does **not** populate
+    /// [`Self::union_members`] (the list is left empty): the delta searchers
+    /// query membership through [`Self::in_union`] only, and skipping the
+    /// collection keeps the per-root cost `O(vertices + edges touched)`
+    /// instead of `O(num_vertices)` — the difference dominates on streams
+    /// with many small-union roots per batch.
+    pub fn compute_simple_before<G: GraphView + ?Sized>(
+        &mut self,
+        graph: &G,
+        root: EdgeId,
+        window: TimeWindow,
+    ) -> bool {
+        self.bump_epoch();
+        let e = graph.edge(root);
+        let (u, w) = (e.src, e.dst);
+
+        // The windowed accessors enforce the timestamp bounds, so the only
+        // extra admissibility condition is "before the root" on ids.
+        epoch_bfs(
+            graph,
+            window,
+            w,
+            self.epoch,
+            &mut self.fwd_epoch,
+            &mut self.queue,
+            Direction::Forward,
+            |entry| entry.edge < root,
+        );
+        epoch_bfs(
+            graph,
+            window,
+            u,
+            self.epoch,
+            &mut self.bwd_epoch,
+            &mut self.queue,
+            Direction::Backward,
+            |entry| entry.edge < root,
+        );
+
+        // A cycle closed by the root edge requires a path w → … → u.
+        self.fwd_epoch[u as usize] == self.epoch && self.bwd_epoch[w as usize] == self.epoch
+    }
+
+    /// Mirror of [`Self::compute_temporal`] for **incremental (delta)
+    /// enumeration**, where the root `u → w` (timestamp `t0`) is the cycle's
+    /// *last* — and therefore strictly largest — edge.
+    ///
+    /// Admissible paths `w → … → u` have strictly increasing timestamps, all
+    /// strictly below `t0` and at least `window.start` (callers pass
+    /// `[max(t0 - δ, floor) : t0]`; the first edge's timestamp bounds the
+    /// cycle's window anchor, so `first_ts ≥ t0 - δ` is exactly the temporal
+    /// window constraint). The forward pass computes earliest arrivals from
+    /// `w`; the backward pass computes, for every vertex `x`, the **latest
+    /// departure time** towards `u` — [`Self::can_close_after`] then works
+    /// unchanged for the mirrored search. Returns `true` if `w` can reach `u`.
+    ///
+    /// Like [`Self::compute_simple_before`], this does **not** populate
+    /// [`Self::union_members`]; the delta searchers query membership through
+    /// [`Self::in_union`] only.
+    pub fn compute_temporal_before<G: GraphView + ?Sized>(
+        &mut self,
+        graph: &G,
+        root: EdgeId,
+        window: TimeWindow,
+    ) -> bool {
+        self.bump_epoch();
+        let e0 = graph.edge(root);
+        let (u, w, t0) = (e0.src, e0.dst, e0.ts);
+        // Path edges live in [window.start : t0 - 1]; this also keeps every
+        // scanned id strictly below the root (ids refine timestamp order).
+        let scan = TimeWindow::new(window.start, t0.saturating_sub(1));
+        let ids = graph.edge_ids_in_window(scan);
+
+        // Forward pass: earliest strictly-increasing arrival from w. Seeding
+        // one below the window start admits exactly first edges with
+        // ts >= window.start.
+        self.earliest[w as usize] = window.start.saturating_sub(1);
+        self.fwd_epoch[w as usize] = self.epoch;
+        for id in ids.clone() {
+            let e = graph.edge(id);
+            let su = e.src as usize;
+            if self.fwd_epoch[su] == self.epoch && self.earliest[su] < e.ts {
+                let sd = e.dst as usize;
+                if self.fwd_epoch[sd] != self.epoch || self.earliest[sd] > e.ts {
+                    self.earliest[sd] = e.ts;
+                    self.fwd_epoch[sd] = self.epoch;
+                }
+            }
+        }
+
+        // Backward pass: latest departure towards u. Seeding u with t0 admits
+        // exactly closing edges with ts < t0.
+        self.latest_dep[u as usize] = t0;
+        self.bwd_epoch[u as usize] = self.epoch;
+        for id in ids.rev() {
+            let e = graph.edge(id);
+            let sd = e.dst as usize;
+            if self.bwd_epoch[sd] == self.epoch && self.latest_dep[sd] > e.ts {
+                let su = e.src as usize;
+                if self.bwd_epoch[su] != self.epoch || self.latest_dep[su] < e.ts {
+                    self.latest_dep[su] = e.ts;
+                    self.bwd_epoch[su] = self.epoch;
+                }
+            }
+        }
+
+        self.fwd_epoch[u as usize] == self.epoch && self.bwd_epoch[w as usize] == self.epoch
+    }
+
+    /// Grows the workspace to cover `n` vertices (no-op when already large
+    /// enough). Streaming graphs only ever grow their vertex set, so a
+    /// long-lived workspace can be resized in place instead of reallocated
+    /// per batch; new slots carry epoch stamp 0, which is never current.
+    pub fn ensure_vertices(&mut self, n: usize) {
+        if self.fwd_epoch.len() >= n {
+            return;
+        }
+        self.fwd_epoch.resize(n, 0);
+        self.bwd_epoch.resize(n, 0);
+        self.earliest.resize(n, Timestamp::MAX);
+        self.latest_dep.resize(n, Timestamp::MIN);
+    }
+
     fn collect_union(&mut self, n: usize) {
         self.union_members.clear();
         for v in 0..n {
             if self.fwd_epoch[v] == self.epoch && self.bwd_epoch[v] == self.epoch {
                 self.union_members.push(v as VertexId);
+            }
+        }
+    }
+}
+
+/// Which adjacency an [`epoch_bfs`] traverses.
+#[derive(Clone, Copy)]
+enum Direction {
+    /// Follow out-edges (reachability *from* the seed).
+    Forward,
+    /// Follow in-edges (reachability *to* the seed).
+    Backward,
+}
+
+/// The one epoch-stamped BFS behind every simple cycle-union pass: marks
+/// every vertex reachable from `seed` over `window`-sliced adjacency entries
+/// accepted by `admissible`, stamping `marks` with `epoch`. Shared by the
+/// forward/backward passes of both the min-rooted
+/// ([`CycleUnionWorkspace::compute_simple`]) and max-rooted
+/// ([`CycleUnionWorkspace::compute_simple_before`]) computations so the
+/// traversal logic exists exactly once.
+#[allow(clippy::too_many_arguments)] // private helper; the args are the BFS
+fn epoch_bfs<G: GraphView + ?Sized>(
+    graph: &G,
+    window: TimeWindow,
+    seed: VertexId,
+    epoch: u32,
+    marks: &mut [u32],
+    queue: &mut Vec<VertexId>,
+    direction: Direction,
+    admissible: impl Fn(&crate::temporal::AdjEntry) -> bool,
+) {
+    queue.clear();
+    marks[seed as usize] = epoch;
+    queue.push(seed);
+    let mut head = 0;
+    while head < queue.len() {
+        let x = queue[head];
+        head += 1;
+        let adjacency = match direction {
+            Direction::Forward => graph.out_edges_in_window(x, window),
+            Direction::Backward => graph.in_edges_in_window(x, window),
+        };
+        for entry in adjacency {
+            if !admissible(entry) {
+                continue;
+            }
+            let y = entry.neighbor as usize;
+            if marks[y] != epoch {
+                marks[y] = epoch;
+                queue.push(entry.neighbor);
             }
         }
     }
@@ -441,6 +621,88 @@ mod tests {
         assert!(ws.compute_simple(&g, e23, TimeWindow::from_start(3, 10)));
         assert!(ws.in_union(2) && ws.in_union(3));
         assert!(!ws.in_union(0) && !ws.in_union(1));
+    }
+
+    #[test]
+    fn simple_before_union_on_triangle() {
+        // Triangle 0 →(1) 1 →(2) 2 →(3) 0; root the *closing* edge 2→0 and
+        // look backwards: the union must contain the whole triangle.
+        let g = GraphBuilder::new()
+            .add_edge(0, 1, 1)
+            .add_edge(1, 2, 2)
+            .add_edge(2, 0, 3)
+            .build();
+        let mut ws = CycleUnionWorkspace::new(g.num_vertices());
+        let root = 2; // the t=3 edge 2→0
+        assert!(ws.compute_simple_before(&g, root, TimeWindow::new(0, 3)));
+        assert!(ws.in_union(0) && ws.in_union(1) && ws.in_union(2));
+        // The *_before passes answer membership only; the members list is
+        // deliberately not collected (it would cost O(n) per root).
+        assert_eq!(ws.union_size(), 0);
+        // A window floor above the earlier edges empties the union.
+        assert!(!ws.compute_simple_before(&g, root, TimeWindow::new(2, 3)));
+    }
+
+    #[test]
+    fn later_edges_are_not_admissible_for_before_union() {
+        // The only way back from 1 to 0 comes *after* the root in (ts, id)
+        // order, so the max-rooted union must be empty.
+        let g = GraphBuilder::new()
+            .add_edge(0, 1, 1) // root candidate (max edge of nothing)
+            .add_edge(1, 0, 5)
+            .build();
+        let mut ws = CycleUnionWorkspace::new(g.num_vertices());
+        assert!(!ws.compute_simple_before(&g, 0, TimeWindow::new(0, 1)));
+        // Rooting the later edge instead finds the 2-cycle.
+        assert!(ws.compute_simple_before(&g, 1, TimeWindow::new(0, 5)));
+    }
+
+    #[test]
+    fn temporal_before_union_mirrors_closing_times() {
+        // 0 →(1) 1 →(3) 2 →(5) 0, rooted at the closing t=5 edge: the path
+        // 0 → 1 → 2 must be found with strictly increasing timestamps.
+        let g = GraphBuilder::new()
+            .add_edge(0, 1, 1)
+            .add_edge(1, 2, 3)
+            .add_edge(2, 0, 5)
+            .build();
+        let mut ws = CycleUnionWorkspace::new(g.num_vertices());
+        let root = 2; // 2→0 at t=5
+        assert!(ws.compute_temporal_before(&g, root, TimeWindow::new(0, 5)));
+        assert!(ws.in_union(0) && ws.in_union(1) && ws.in_union(2));
+        // Latest departure towards the root tail (vertex 2): from 1 only the
+        // t=3 edge leads on; from 0 only the t=1 edge.
+        assert_eq!(ws.latest_departure(1), 3);
+        assert!(ws.can_close_after(1, 2));
+        assert!(!ws.can_close_after(1, 3));
+        // A floor above t=1 removes the only first hop.
+        assert!(!ws.compute_temporal_before(&g, root, TimeWindow::new(2, 5)));
+    }
+
+    #[test]
+    fn temporal_before_rejects_non_increasing_paths() {
+        // 0 →(4) 1 →(2) 2 →(5) 0: rooted at t=5, the way back 0 → 1 → 2 has
+        // timestamps 4, 2 — not increasing, so no temporal cycle closes.
+        let g = GraphBuilder::new()
+            .add_edge(0, 1, 4)
+            .add_edge(1, 2, 2)
+            .add_edge(2, 0, 5)
+            .build();
+        let mut ws = CycleUnionWorkspace::new(g.num_vertices());
+        let root = g
+            .edge_ids()
+            .find(|(_, e)| e.src == 2 && e.dst == 0)
+            .unwrap()
+            .0;
+        assert!(!ws.compute_temporal_before(&g, root, TimeWindow::new(0, 5)));
+        // Equal timestamps do not chain either: an edge at exactly t0 cannot
+        // be part of the path below a t0 root.
+        let g = GraphBuilder::new()
+            .add_edge(0, 1, 5)
+            .add_edge(1, 0, 5)
+            .build();
+        let mut ws = CycleUnionWorkspace::new(g.num_vertices());
+        assert!(!ws.compute_temporal_before(&g, 1, TimeWindow::new(0, 5)));
     }
 
     #[test]

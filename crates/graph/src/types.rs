@@ -61,6 +61,23 @@ impl From<(VertexId, VertexId)> for TemporalEdge {
     }
 }
 
+/// Edges order by `(ts, src, dst)` — the same order in which
+/// [`crate::GraphBuilder`] assigns dense edge ids, so sorting a slice of
+/// edges reproduces a builder-built graph's id order. (A streaming
+/// [`SlidingWindowGraph`](crate::stream::SlidingWindowGraph) orders
+/// equal-timestamp edges across batches by arrival instead.)
+impl Ord for TemporalEdge {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.ts, self.src, self.dst).cmp(&(other.ts, other.src, other.dst))
+    }
+}
+
+impl PartialOrd for TemporalEdge {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,110 @@
+//! The read-only graph access surface shared by static and streaming graphs.
+//!
+//! The enumeration algorithms only ever need a handful of read operations:
+//! resolve an edge id, slice a vertex's adjacency to a time window, and find
+//! the id range of a time window. [`GraphView`] captures exactly that surface
+//! so that code written against it runs unchanged on the immutable CSR
+//! [`TemporalGraph`] *and* on the incrementally-maintained
+//! [`SlidingWindowGraph`](crate::stream::SlidingWindowGraph) — the
+//! delta-enumeration path of the streaming subsystem is generic over this
+//! trait, with every call statically dispatched.
+//!
+//! # Contract
+//!
+//! Implementations must uphold the same ordering guarantees as
+//! [`TemporalGraph`]:
+//!
+//! * edge ids ascend with timestamps (`a.ts < b.ts` implies `a_id < b_id`),
+//!   so "strictly earlier/later in `(timestamp, id)` order" is a plain id
+//!   comparison;
+//! * adjacency slices are sorted by `(ts, edge)` ascending;
+//! * [`GraphView::edge_ids_in_window`] returns the contiguous id range of the
+//!   window.
+
+use crate::temporal::{AdjEntry, TemporalGraph};
+use crate::types::{EdgeId, TemporalEdge, VertexId};
+use crate::window::TimeWindow;
+use std::ops::Range;
+
+/// Read-only, time-indexed access to a directed temporal multigraph.
+///
+/// See the [module docs](self) for the ordering contract. The trait requires
+/// `Sync` because views are shared across enumeration worker threads.
+pub trait GraphView: Sync {
+    /// Number of vertices `n`; valid vertex ids are `0..n`.
+    fn num_vertices(&self) -> usize;
+
+    /// The edge with the given dense id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of bounds.
+    fn edge(&self, id: EdgeId) -> TemporalEdge;
+
+    /// Outgoing edges of `v` with timestamps inside `window` (inclusive on
+    /// both ends), sorted by `(ts, edge)` ascending.
+    fn out_edges_in_window(&self, v: VertexId, window: TimeWindow) -> &[AdjEntry];
+
+    /// Incoming edges of `v` with timestamps inside `window` (inclusive on
+    /// both ends), sorted by `(ts, edge)` ascending.
+    fn in_edges_in_window(&self, v: VertexId, window: TimeWindow) -> &[AdjEntry];
+
+    /// The contiguous range of edge ids whose timestamps lie in `window`.
+    fn edge_ids_in_window(&self, window: TimeWindow) -> Range<EdgeId>;
+}
+
+impl GraphView for TemporalGraph {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        TemporalGraph::num_vertices(self)
+    }
+
+    #[inline]
+    fn edge(&self, id: EdgeId) -> TemporalEdge {
+        TemporalGraph::edge(self, id)
+    }
+
+    #[inline]
+    fn out_edges_in_window(&self, v: VertexId, window: TimeWindow) -> &[AdjEntry] {
+        TemporalGraph::out_edges_in_window(self, v, window)
+    }
+
+    #[inline]
+    fn in_edges_in_window(&self, v: VertexId, window: TimeWindow) -> &[AdjEntry] {
+        TemporalGraph::in_edges_in_window(self, v, window)
+    }
+
+    #[inline]
+    fn edge_ids_in_window(&self, window: TimeWindow) -> Range<EdgeId> {
+        TemporalGraph::edge_ids_in_window(self, window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn windowed_out<G: GraphView>(g: &G, v: VertexId, window: TimeWindow) -> Vec<EdgeId> {
+        g.out_edges_in_window(v, window)
+            .iter()
+            .map(|a| a.edge)
+            .collect()
+    }
+
+    #[test]
+    fn temporal_graph_implements_the_view() {
+        let g = GraphBuilder::new()
+            .add_edge(0, 1, 1)
+            .add_edge(0, 2, 3)
+            .add_edge(2, 0, 5)
+            .build();
+        // Called through the trait (generic fn), not the inherent methods.
+        assert_eq!(GraphView::num_vertices(&g), 3);
+        assert_eq!(GraphView::edge(&g, 1), TemporalEdge::new(0, 2, 3));
+        assert_eq!(windowed_out(&g, 0, TimeWindow::new(2, 10)), vec![1]);
+        assert_eq!(
+            GraphView::edge_ids_in_window(&g, TimeWindow::new(3, 5)),
+            1..3
+        );
+    }
+}

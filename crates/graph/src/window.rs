@@ -59,12 +59,18 @@ impl TimeWindow {
     }
 
     /// The number of distinct integer timestamps covered (saturating).
+    ///
+    /// The window is a *closed* interval, so `[3 : 10]` covers the 8
+    /// timestamps `3, 4, …, 10` and `width` returns `end - start + 1`. A
+    /// degenerate single-instant window `[t : t]` has width 1; an empty
+    /// window has width 0. Saturates at `Timestamp::MAX` for enormous
+    /// windows (e.g. [`TimeWindow::unbounded`]).
     #[inline]
     pub fn width(&self) -> Timestamp {
         if self.is_empty() {
             0
         } else {
-            self.end.saturating_sub(self.start)
+            self.end.saturating_sub(self.start).saturating_add(1)
         }
     }
 
@@ -126,12 +132,29 @@ mod tests {
 
     #[test]
     fn width_and_intersection() {
-        assert_eq!(TimeWindow::new(3, 10).width(), 7);
+        // Closed interval: [3 : 10] covers the 8 timestamps 3..=10.
+        assert_eq!(TimeWindow::new(3, 10).width(), 8);
         let a = TimeWindow::new(0, 10);
         let b = TimeWindow::new(5, 20);
         assert_eq!(a.intersect(&b), TimeWindow::new(5, 10));
         let c = TimeWindow::new(15, 20);
         assert!(a.intersect(&c).is_empty());
+    }
+
+    #[test]
+    fn width_counts_distinct_timestamps_of_a_closed_interval() {
+        // Regression: width used to return `end - start`, under-counting a
+        // closed interval by one.
+        assert_eq!(TimeWindow::new(0, 0).width(), 1, "single instant");
+        assert_eq!(TimeWindow::new(-2, 2).width(), 5);
+        assert_eq!(
+            TimeWindow::from_start(100, 50).width(),
+            51,
+            "[t : t + delta] covers delta + 1 timestamps"
+        );
+        // Saturation instead of overflow at the extremes.
+        assert_eq!(TimeWindow::unbounded().width(), Timestamp::MAX);
+        assert_eq!(TimeWindow::new(0, Timestamp::MAX).width(), Timestamp::MAX);
     }
 
     #[test]

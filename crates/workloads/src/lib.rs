@@ -13,12 +13,21 @@
 //! size that produces a comparable cycle density — at a scale that runs on a
 //! laptop in seconds to minutes. Every generator is deterministic given the
 //! seed recorded in the descriptor, so benchmark numbers are reproducible.
+//!
+//! The [`streaming`] module adds the suite's first continuous-traffic
+//! scenario: a transaction stream replayed as timed batches through the
+//! incremental [`StreamingEngine`](pce_core::StreamingEngine), measuring
+//! sustained ingest throughput and per-batch detection latency.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod datasets;
 pub mod experiment;
+pub mod streaming;
 
 pub use datasets::{dataset, dataset_suite, scaling_suite, DatasetId, DatasetSpec, WorkloadGraph};
 pub use experiment::{ExperimentConfig, MeasuredRow, ResultTable};
+pub use streaming::{
+    replay_batches, run_stream_scenario, StreamBatchRow, StreamScenarioConfig, StreamingReport,
+};

@@ -1,0 +1,281 @@
+//! The streaming fraud-detection scenario: replay a transaction dataset as
+//! timed batches through a [`StreamingEngine`] and measure sustained ingest
+//! throughput and per-batch enumeration latency.
+//!
+//! This is the first *continuous-traffic* workload of the suite: where the
+//! one-shot scenarios ask "how fast can we enumerate this graph once", this
+//! one asks "how many transactions per second can we absorb while reporting
+//! every laundering ring the moment its closing transfer arrives". The
+//! replayed dataset is the planted-ring transaction generator
+//! ([`transaction_rings`]) the one-shot fraud example uses, cut into
+//! timestamp-ordered batches of a configurable size.
+//!
+//! The scenario is deterministic given the config's seed, so benchmark
+//! numbers are reproducible; [`StreamScenarioConfig::smoke`] provides a
+//! seconds-scale configuration for CI smoke runs.
+
+use pce_core::{CollectMode, StreamingEngine, StreamingError, StreamingQuery};
+use pce_graph::generators::{transaction_rings, TransactionRingConfig};
+use pce_graph::{TemporalEdge, TemporalGraph, Timestamp};
+
+/// Configuration of one streaming fraud-detection run.
+#[derive(Debug, Clone)]
+pub struct StreamScenarioConfig {
+    /// The synthetic transaction dataset to replay (planted temporal rings
+    /// over background traffic).
+    pub ring: TransactionRingConfig,
+    /// Number of edges per ingest batch.
+    pub batch_edges: usize,
+    /// Sliding-window retention span handed to the [`StreamingEngine`].
+    /// Must be at least `window_delta` (the engine enforces this); beyond
+    /// that it only trades memory for how far back the window reaches —
+    /// detection is independent of batch boundaries.
+    pub retention: Timestamp,
+    /// Enumeration window size δ (cycles span at most this much time).
+    pub window_delta: Timestamp,
+    /// Optional bound on cycle length (hop count).
+    pub max_len: Option<usize>,
+    /// `true` enumerates temporal cycles (strictly increasing timestamps —
+    /// the fraud-ring definition); `false` window-constrained simple cycles.
+    pub temporal: bool,
+    /// Whether per-batch cycles are materialised (alerts) or only counted
+    /// (pure throughput measurement).
+    pub collect: CollectMode,
+}
+
+impl Default for StreamScenarioConfig {
+    fn default() -> Self {
+        Self {
+            ring: TransactionRingConfig {
+                num_accounts: 5_000,
+                background_edges: 60_000,
+                num_rings: 120,
+                ring_len: (3, 6),
+                time_span: 1_000_000,
+                ring_span: 5_000,
+                seed: 77,
+            },
+            batch_edges: 2_000,
+            retention: 60_000,
+            window_delta: 5_000,
+            max_len: Some(8),
+            temporal: true,
+            collect: CollectMode::Count,
+        }
+    }
+}
+
+impl StreamScenarioConfig {
+    /// A tiny configuration that completes in well under a second — used by
+    /// the CI smoke invocation of the streaming benchmark binary.
+    pub fn smoke() -> Self {
+        Self {
+            ring: TransactionRingConfig {
+                num_accounts: 300,
+                background_edges: 2_000,
+                num_rings: 15,
+                ring_len: (3, 5),
+                time_span: 50_000,
+                ring_span: 1_000,
+                seed: 7,
+            },
+            batch_edges: 250,
+            retention: 12_000,
+            window_delta: 1_000,
+            max_len: Some(6),
+            temporal: true,
+            collect: CollectMode::Count,
+        }
+    }
+
+    /// The streaming query this configuration stands for.
+    pub fn query(&self) -> StreamingQuery {
+        let q = if self.temporal {
+            StreamingQuery::temporal(self.window_delta)
+        } else {
+            StreamingQuery::simple(self.window_delta)
+        };
+        let q = match self.max_len {
+            Some(len) => q.max_len(len),
+            None => q,
+        };
+        q.collect(self.collect)
+    }
+}
+
+/// Per-batch measurements of a streaming run.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamBatchRow {
+    /// 0-based batch index.
+    pub batch: u64,
+    /// Edges appended by the batch.
+    pub appended: usize,
+    /// Edges expired out of the window during the batch.
+    pub expired: usize,
+    /// Live window size (edges) after the batch.
+    pub live_edges: usize,
+    /// Cycles closed by the batch.
+    pub cycles: u64,
+    /// Seconds spent in ingest (append + expiry).
+    pub ingest_secs: f64,
+    /// Seconds spent in the delta enumeration.
+    pub enumerate_secs: f64,
+}
+
+impl StreamBatchRow {
+    /// Total per-batch latency: ingest plus enumeration.
+    pub fn latency_secs(&self) -> f64 {
+        self.ingest_secs + self.enumerate_secs
+    }
+}
+
+/// The result of one streaming scenario run.
+#[derive(Debug, Clone)]
+pub struct StreamingReport {
+    /// Worker threads the delta queries used.
+    pub threads: usize,
+    /// Per-batch rows in stream order.
+    pub rows: Vec<StreamBatchRow>,
+    /// Total edges ingested.
+    pub total_edges: u64,
+    /// Total cycles reported across all batches.
+    pub total_cycles: u64,
+    /// End-to-end wall-clock seconds for the whole replay.
+    pub wall_secs: f64,
+}
+
+impl StreamingReport {
+    /// Sustained ingest throughput over the whole replay, in edges/second
+    /// (including enumeration time — the number a capacity planner wants).
+    pub fn sustained_edges_per_sec(&self) -> f64 {
+        if self.wall_secs <= f64::EPSILON {
+            0.0
+        } else {
+            self.total_edges as f64 / self.wall_secs
+        }
+    }
+
+    /// Mean per-batch latency in seconds.
+    pub fn mean_latency_secs(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows
+            .iter()
+            .map(StreamBatchRow::latency_secs)
+            .sum::<f64>()
+            / self.rows.len() as f64
+    }
+
+    /// Per-batch latency percentile (`p` in `0.0..=1.0`), in seconds.
+    pub fn latency_percentile_secs(&self, p: f64) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        let mut latencies: Vec<f64> = self.rows.iter().map(StreamBatchRow::latency_secs).collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let idx = ((latencies.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
+        latencies[idx]
+    }
+
+    /// Worst per-batch latency in seconds.
+    pub fn max_latency_secs(&self) -> f64 {
+        self.latency_percentile_secs(1.0)
+    }
+}
+
+/// Cuts a timestamp-sorted graph's edge list into ingest batches of
+/// `batch_edges` edges (the last batch may be shorter). Edges of a
+/// [`TemporalGraph`] are already in ascending `(ts, src, dst)` order, so the
+/// chunks replay the dataset in stream order.
+pub fn replay_batches(graph: &TemporalGraph, batch_edges: usize) -> Vec<Vec<TemporalEdge>> {
+    assert!(batch_edges > 0, "batches must be non-empty");
+    graph
+        .edges()
+        .chunks(batch_edges)
+        .map(<[TemporalEdge]>::to_vec)
+        .collect()
+}
+
+/// Runs the streaming fraud-detection scenario at the given thread count:
+/// generates the dataset, replays it batch by batch through a
+/// [`StreamingEngine`], and collects per-batch and aggregate measurements.
+pub fn run_stream_scenario(
+    cfg: &StreamScenarioConfig,
+    threads: usize,
+) -> Result<StreamingReport, StreamingError> {
+    let (graph, _planted) = transaction_rings(cfg.ring);
+    let batches = replay_batches(&graph, cfg.batch_edges);
+    let mut engine = StreamingEngine::with_threads(cfg.retention, cfg.query(), threads)?;
+
+    let start = std::time::Instant::now();
+    let mut rows = Vec::with_capacity(batches.len());
+    for batch in &batches {
+        let report = engine.ingest(batch)?;
+        rows.push(StreamBatchRow {
+            batch: report.batch,
+            appended: report.appended,
+            expired: report.expired,
+            live_edges: report.live_edges,
+            cycles: report.cycles_found,
+            ingest_secs: report.ingest_secs,
+            enumerate_secs: report.enumerate_secs,
+        });
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    Ok(StreamingReport {
+        threads,
+        rows,
+        total_edges: engine.graph().total_ingested(),
+        total_cycles: engine.total_cycles(),
+        wall_secs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_preserves_every_edge_in_order() {
+        let (graph, _) = transaction_rings(StreamScenarioConfig::smoke().ring);
+        let batches = replay_batches(&graph, 300);
+        let replayed: Vec<TemporalEdge> = batches.iter().flatten().copied().collect();
+        assert_eq!(replayed, graph.edges());
+        assert!(batches[..batches.len() - 1].iter().all(|b| b.len() == 300));
+    }
+
+    #[test]
+    fn smoke_scenario_finds_the_planted_rings() {
+        let cfg = StreamScenarioConfig::smoke();
+        let report = run_stream_scenario(&cfg, 1).expect("valid scenario");
+        assert_eq!(report.total_edges as usize, {
+            let (g, _) = transaction_rings(cfg.ring);
+            g.num_edges()
+        });
+        // Ring spans fit inside the window, so at least the planted rings
+        // must be reported across the stream.
+        assert!(
+            report.total_cycles >= cfg.ring.num_rings as u64,
+            "found {} cycles, planted {}",
+            report.total_cycles,
+            cfg.ring.num_rings
+        );
+        assert!(report.sustained_edges_per_sec() > 0.0);
+        assert!(report.max_latency_secs() >= report.latency_percentile_secs(0.5));
+    }
+
+    #[test]
+    fn thread_counts_agree_on_the_cycle_total() {
+        let cfg = StreamScenarioConfig::smoke();
+        let seq = run_stream_scenario(&cfg, 1).unwrap();
+        let par = run_stream_scenario(&cfg, 4).unwrap();
+        assert_eq!(seq.total_cycles, par.total_cycles);
+        assert_eq!(seq.rows.len(), par.rows.len());
+        for (a, b) in seq.rows.iter().zip(&par.rows) {
+            assert_eq!(a.cycles, b.cycles, "batch {}", a.batch);
+            assert_eq!(a.live_edges, b.live_edges);
+        }
+    }
+}

@@ -58,13 +58,15 @@ pub use pce_workloads as workloads;
 /// Convenience re-exports of the most commonly used types.
 pub mod prelude {
     pub use pce_core::{
-        Algorithm, BoundedSink, ChannelSink, CollectMode, CollectingSink, CountingSink, Cycle,
-        CycleEnumerator, CycleKind, CycleSink, CycleStream, Engine, EnumerationError,
-        EnumerationResult, FirstKSink, Granularity, Query, RunStats, SimpleCycleOptions,
+        Algorithm, BatchReport, BoundedSink, ChannelSink, CollectMode, CollectingSink,
+        CountingSink, Cycle, CycleEnumerator, CycleKind, CycleSink, CycleStream, Engine,
+        EnumerationError, EnumerationResult, FirstKSink, Granularity, Query, RunStats,
+        SimpleCycleOptions, StreamCycle, StreamingEngine, StreamingError, StreamingQuery,
         TemporalCycleOptions, WorkMetrics,
     };
     pub use pce_graph::{
-        generators, GraphBuilder, GraphStats, TemporalEdge, TemporalGraph, TimeWindow,
+        generators, DeltaBatch, GraphBuilder, GraphStats, GraphView, SlidingWindowGraph,
+        StreamError, TemporalEdge, TemporalGraph, TimeWindow,
     };
     pub use pce_sched::{ThreadPool, WorkerMetrics};
     pub use pce_workloads::{dataset, dataset_suite, DatasetId};

@@ -1,0 +1,257 @@
+//! Streaming-equivalence integration tests: the union of per-batch delta
+//! results over a replayed stream must equal a one-shot enumeration of the
+//! final window — for simple and temporal cycles, across seeds, batch sizes
+//! (including batches that straddle window expiry), one-shot
+//! algorithm/granularity combinations and streaming thread counts.
+
+use parallel_cycle_enumeration::graph::generators::{
+    power_law_temporal, uniform_temporal, RandomTemporalConfig,
+};
+use parallel_cycle_enumeration::prelude::*;
+
+/// Replays `graph`'s edges (already in stream order) through a streaming
+/// engine in batches of `batch_edges`, returning the canonicalised union of
+/// all per-batch results plus the engine (for its final window/snapshot).
+fn replay(
+    graph: &TemporalGraph,
+    query: StreamingQuery,
+    retention: i64,
+    batch_edges: usize,
+    threads: usize,
+) -> (Vec<StreamCycle>, StreamingEngine) {
+    let mut engine =
+        StreamingEngine::with_threads(retention, query, threads).expect("valid streaming config");
+    let mut union: Vec<StreamCycle> = Vec::new();
+    for batch in graph.edges().chunks(batch_edges) {
+        let report = engine.ingest(batch).expect("in-order replay");
+        union.extend(report.cycles);
+    }
+    let mut union: Vec<StreamCycle> = union.iter().map(StreamCycle::canonicalize).collect();
+    union.sort_by(|a, b| a.edges.cmp(&b.edges));
+    (union, engine)
+}
+
+/// One-shot enumeration over `graph`, resolved to edge triples and
+/// canonicalised the same way as the streaming results.
+fn one_shot(
+    graph: &TemporalGraph,
+    query: &Query,
+    algorithm: Algorithm,
+    granularity: Granularity,
+) -> Vec<StreamCycle> {
+    let engine = Engine::with_threads(2);
+    let result = engine
+        .run(
+            &query
+                .clone()
+                .algorithm(algorithm)
+                .granularity(granularity)
+                .collect(CollectMode::Collect),
+            graph,
+        )
+        .expect("valid one-shot query");
+    let mut cycles: Vec<StreamCycle> = result
+        .cycles
+        .expect("collected")
+        .iter()
+        .map(|c| {
+            StreamCycle {
+                vertices: c.vertices.clone(),
+                edges: c.edges.iter().map(|&id| graph.edge(id)).collect(),
+            }
+            .canonicalize()
+        })
+        .collect();
+    cycles.sort_by(|a, b| a.edges.cmp(&b.edges));
+    cycles
+}
+
+// Note on duplicates: a multigraph can hold parallel edges with identical
+// `(src, dst, ts)` triples, so two *distinct* cycles (different edge ids)
+// may resolve to equal `StreamCycle`s. Comparing sorted vectors therefore
+// checks exact multiset equality — each cycle reported exactly once is
+// implied by multiplicities matching the one-shot reference.
+
+/// With a retention spanning the whole stream (no expiry), the union of
+/// per-batch results equals a one-shot run over the full graph — for every
+/// batch size, thread count and one-shot algorithm/granularity.
+#[test]
+fn delta_union_matches_one_shot_without_expiry() {
+    for seed in 0..4 {
+        let graph = uniform_temporal(RandomTemporalConfig {
+            num_vertices: 16,
+            num_edges: 80,
+            time_span: 60,
+            seed: 3_000 + seed,
+        });
+        for delta in [15, 40] {
+            for (label, streaming_query, query) in [
+                (
+                    "simple",
+                    StreamingQuery::simple(delta),
+                    Query::simple().window(delta),
+                ),
+                (
+                    "temporal",
+                    StreamingQuery::temporal(delta),
+                    Query::temporal().window(delta),
+                ),
+            ] {
+                let reference =
+                    one_shot(&graph, &query, Algorithm::Johnson, Granularity::FineGrained);
+                // Every one-shot configuration agrees with itself first.
+                for (algorithm, granularity) in [
+                    (Algorithm::Johnson, Granularity::Sequential),
+                    (Algorithm::ReadTarjan, Granularity::Sequential),
+                    (Algorithm::ReadTarjan, Granularity::CoarseGrained),
+                ] {
+                    assert_eq!(
+                        one_shot(&graph, &query, algorithm, granularity),
+                        reference,
+                        "seed {seed} delta {delta} {label} {algorithm:?}/{granularity:?}"
+                    );
+                }
+                for batch_edges in [1, 7, 80] {
+                    for threads in [1, 4] {
+                        let (union, engine) = replay(
+                            &graph,
+                            streaming_query.clone(),
+                            10_000,
+                            batch_edges,
+                            threads,
+                        );
+                        assert_eq!(engine.graph().total_expired(), 0, "no expiry in this sweep");
+                        assert_eq!(
+                            union, reference,
+                            "seed {seed} delta {delta} {label} batch {batch_edges} \
+                             threads {threads}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// With a retention shorter than the stream (edges expire mid-stream,
+/// including batches that straddle the window edge), the union restricted to
+/// cycles that survive in the final window equals a one-shot run over the
+/// final snapshot.
+#[test]
+fn delta_union_matches_one_shot_on_final_window_with_expiry() {
+    for seed in 0..4 {
+        let graph = power_law_temporal(RandomTemporalConfig {
+            num_vertices: 20,
+            num_edges: 110,
+            time_span: 100,
+            seed: 4_000 + seed,
+        });
+        let delta = 20;
+        let retention = 35; // well below the 100-step span: plenty of expiry
+        for (label, streaming_query, query) in [
+            (
+                "simple",
+                StreamingQuery::simple(delta),
+                Query::simple().window(delta),
+            ),
+            (
+                "temporal",
+                StreamingQuery::temporal(delta),
+                Query::temporal().window(delta),
+            ),
+        ] {
+            // Batch sizes chosen so that some batches straddle the window:
+            // 110 edges over ~100 time steps means a 45-edge batch spans more
+            // than the retention of 35.
+            for batch_edges in [3, 16, 45] {
+                for threads in [1, 4] {
+                    let (union, engine) = replay(
+                        &graph,
+                        streaming_query.clone(),
+                        retention,
+                        batch_edges,
+                        threads,
+                    );
+                    assert!(
+                        engine.graph().total_expired() > 0,
+                        "seed {seed}: the sweep must actually exercise expiry"
+                    );
+                    let window = engine.graph().window();
+                    let snapshot = engine.snapshot();
+                    let reference = one_shot(
+                        &snapshot,
+                        &query,
+                        Algorithm::Johnson,
+                        Granularity::Sequential,
+                    );
+                    let survivors: Vec<StreamCycle> = union
+                        .iter()
+                        .filter(|c| c.edges.iter().all(|e| window.contains(e.ts)))
+                        .cloned()
+                        .collect();
+                    assert_eq!(
+                        survivors, reference,
+                        "seed {seed} {label} batch {batch_edges} threads {threads}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Length-bounded queries stream identically to their one-shot counterparts.
+#[test]
+fn max_len_constraint_is_preserved_by_streaming() {
+    let graph = uniform_temporal(RandomTemporalConfig {
+        num_vertices: 14,
+        num_edges: 70,
+        time_span: 50,
+        seed: 99,
+    });
+    let delta = 30;
+    for max_len in [2, 3] {
+        let (union, _) = replay(
+            &graph,
+            StreamingQuery::temporal(delta).max_len(max_len),
+            10_000,
+            5,
+            1,
+        );
+        let reference = one_shot(
+            &graph,
+            &Query::temporal().window(delta).max_len(max_len),
+            Algorithm::Johnson,
+            Granularity::Sequential,
+        );
+        assert_eq!(union, reference, "max_len {max_len}");
+        assert!(union.iter().all(|c| c.len() <= max_len));
+    }
+}
+
+/// The batching itself must not matter: any two batch sizes produce the same
+/// union when nothing expires, and every reported cycle is structurally
+/// valid.
+#[test]
+fn union_is_independent_of_batching() {
+    let graph = uniform_temporal(RandomTemporalConfig {
+        num_vertices: 15,
+        num_edges: 75,
+        time_span: 55,
+        seed: 500,
+    });
+    let query = StreamingQuery::simple(25);
+    let (fine, _) = replay(&graph, query.clone(), 10_000, 1, 1);
+    let (coarse, _) = replay(&graph, query, 10_000, 75, 4);
+    assert_eq!(fine, coarse);
+    for cycle in &fine {
+        assert_eq!(cycle.vertices.len(), cycle.edges.len());
+        for (i, e) in cycle.edges.iter().enumerate() {
+            assert_eq!(e.src, cycle.vertices[i], "edge {i} source");
+            assert_eq!(
+                e.dst,
+                cycle.vertices[(i + 1) % cycle.vertices.len()],
+                "edge {i} destination"
+            );
+        }
+    }
+}
