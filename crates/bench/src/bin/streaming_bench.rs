@@ -1,22 +1,54 @@
 //! Streaming ingest benchmark: sustained edges/sec and per-batch enumeration
-//! latency of the incremental sliding-window subsystem at 1–8 threads.
+//! latency of the incremental sliding-window subsystem at 1–8 threads, across
+//! delta-enumeration granularities, plus the adversarial **hub-burst**
+//! scenario where a single closing edge completes every cycle of a batch.
 //!
 //! Replays the synthetic transaction stream of
 //! [`pce_workloads::streaming`] through a `StreamingEngine` and reports, per
-//! thread count: sustained ingest throughput (edges/second, end to end),
-//! mean / p50 / p95 / max per-batch latency, and the cycle total (which must
-//! be identical across thread counts — checked).
+//! (granularity, thread count): sustained ingest throughput (edges/second,
+//! end to end), mean / p50 / p95 / max per-batch latency, and the cycle total
+//! (which must be identical across every configuration — checked). The
+//! hub-burst section then shows the coarse driver pinning a skewed burst to
+//! one worker while the fine-grained driver spreads it via steals.
 //!
 //! ```text
-//! cargo run --release -p pce-bench --bin streaming_bench            # full run
-//! cargo run --release -p pce-bench --bin streaming_bench -- --smoke # CI smoke
+//! cargo run --release -p pce-bench --bin streaming_bench                      # full run
+//! cargo run --release -p pce-bench --bin streaming_bench -- --smoke          # CI smoke
+//! cargo run --release -p pce-bench --bin streaming_bench -- --smoke \
+//!     --granularity fine                                                     # one granularity
 //! ```
 
-use pce_workloads::streaming::{run_stream_scenario, StreamScenarioConfig};
+use pce_core::Granularity;
+use pce_workloads::streaming::{
+    run_hub_burst, run_stream_scenario, HubBurstConfig, StreamScenarioConfig,
+};
+
+fn granularity_name(g: Granularity) -> &'static str {
+    match g {
+        Granularity::Sequential => "seq",
+        Granularity::CoarseGrained => "coarse",
+        Granularity::FineGrained => "fine",
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let granularities: Vec<Granularity> = match args
+        .iter()
+        .position(|a| a == "--granularity")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        Some("seq") | Some("sequential") => vec![Granularity::Sequential],
+        Some("coarse") => vec![Granularity::CoarseGrained],
+        Some("fine") => vec![Granularity::FineGrained],
+        Some(other) => {
+            eprintln!("unknown --granularity {other:?}; use seq, coarse or fine");
+            std::process::exit(2);
+        }
+        None => vec![Granularity::CoarseGrained, Granularity::FineGrained],
+    };
     let cfg = if smoke {
         StreamScenarioConfig::smoke()
     } else {
@@ -35,34 +67,89 @@ fn main() {
         cfg.window_delta,
     );
     println!(
-        "{:>7} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10} {:>9}",
-        "threads", "edges/sec", "batches", "mean ms", "p50 ms", "p95 ms", "max ms", "cycles"
+        "{:>7} {:>8} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>9}",
+        "threads",
+        "gran",
+        "edges/sec",
+        "batches",
+        "mean ms",
+        "p50 ms",
+        "p95 ms",
+        "max ms",
+        "cycles"
     );
 
     let mut reference_cycles: Option<u64> = None;
-    for &threads in thread_counts {
-        let report = run_stream_scenario(&cfg, threads).expect("valid scenario config");
-        println!(
-            "{:>7} {:>12.0} {:>12} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>9}",
-            report.threads,
-            report.sustained_edges_per_sec(),
-            report.rows.len(),
-            report.mean_latency_secs() * 1e3,
-            report.latency_percentile_secs(0.50) * 1e3,
-            report.latency_percentile_secs(0.95) * 1e3,
-            report.max_latency_secs() * 1e3,
-            report.total_cycles,
-        );
-        // Results must not depend on the thread count.
-        match reference_cycles {
-            None => reference_cycles = Some(report.total_cycles),
-            Some(expected) => assert_eq!(
-                report.total_cycles, expected,
-                "cycle totals diverged across thread counts"
-            ),
+    for &granularity in &granularities {
+        for &threads in thread_counts {
+            let cfg = cfg.clone().with_granularity(granularity);
+            let report = run_stream_scenario(&cfg, threads).expect("valid scenario config");
+            println!(
+                "{:>7} {:>8} {:>12.0} {:>10} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>9}",
+                report.threads,
+                granularity_name(granularity),
+                report.sustained_edges_per_sec(),
+                report.rows.len(),
+                report.mean_latency_secs() * 1e3,
+                report.latency_percentile_secs(0.50) * 1e3,
+                report.latency_percentile_secs(0.95) * 1e3,
+                report.max_latency_secs() * 1e3,
+                report.total_cycles,
+            );
+            // Results must depend on neither the thread count nor the
+            // granularity.
+            match reference_cycles {
+                None => reference_cycles = Some(report.total_cycles),
+                Some(expected) => assert_eq!(
+                    report.total_cycles, expected,
+                    "cycle totals diverged across configurations"
+                ),
+            }
         }
     }
     if let Some(cycles) = reference_cycles {
-        println!("ok: {cycles} cycles at every thread count");
+        println!("ok: {cycles} cycles at every granularity and thread count");
     }
+
+    // The skewed case: one closing edge completes every cycle of the batch.
+    let hub = if smoke {
+        HubBurstConfig::smoke()
+    } else {
+        HubBurstConfig::default()
+    };
+    let hub_threads = *thread_counts.last().expect("non-empty thread counts");
+    println!(
+        "\nhub burst (width {}, depth {}: {} cycles through one closing edge, {} threads)",
+        hub.width,
+        hub.depth,
+        hub.expected_cycles(),
+        hub_threads,
+    );
+    println!(
+        "{:>8} {:>10} {:>12} {:>8} {:>12}",
+        "gran", "burst ms", "busy wrk", "steals", "cycles"
+    );
+    let mut hub_cycles: Option<u64> = None;
+    for &granularity in &granularities {
+        let report = run_hub_burst(&hub, hub_threads, granularity).expect("valid hub-burst config");
+        println!(
+            "{:>8} {:>10.3} {:>12} {:>8} {:>12}",
+            granularity_name(granularity),
+            report.burst_secs * 1e3,
+            report.busy_workers(),
+            report.burst_stats.work.total_steals(),
+            report.cycles,
+        );
+        if granularity == Granularity::FineGrained && hub_threads > 1 {
+            assert!(
+                report.busy_workers() > 1 && report.burst_stats.work.total_steals() > 0,
+                "fine-grained delta must spread a single-root burst across workers"
+            );
+        }
+        match hub_cycles {
+            None => hub_cycles = Some(report.cycles),
+            Some(expected) => assert_eq!(report.cycles, expected, "hub-burst totals diverged"),
+        }
+    }
+    println!("ok: hub burst agrees across granularities");
 }

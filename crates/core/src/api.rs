@@ -130,7 +130,9 @@ impl CycleEnumerator {
 
     /// Builds the equivalent [`Query`], applying the legacy fallbacks the
     /// seed API performed silently (fine-grained Tiernan → coarse-grained;
-    /// temporal Tiernan → Johnson).
+    /// temporal Tiernan → Johnson; self-loops dropped for temporal cycles,
+    /// which cannot contain them — the new `Query` API rejects that
+    /// combination instead).
     fn query(&self, kind: CycleKind) -> Query {
         let (algorithm, granularity) = match (kind, self.algorithm, self.granularity) {
             // Tiernan has no fine-grained decomposition in the paper; the
@@ -152,7 +154,7 @@ impl CycleEnumerator {
         query = query
             .algorithm(algorithm)
             .granularity(granularity)
-            .include_self_loops(self.include_self_loops)
+            .include_self_loops(self.include_self_loops && kind == CycleKind::Simple)
             .collect(if self.collect {
                 CollectMode::Collect
             } else {
@@ -239,6 +241,20 @@ mod tests {
         assert_eq!(e.max_len, Some(4));
         assert!(e.include_self_loops);
         assert!(e.collect);
+    }
+
+    #[test]
+    fn temporal_enumeration_drops_the_self_loop_flag_like_the_seed() {
+        // The seed API silently ignored include_self_loops for temporal
+        // cycles; the compat wrapper must keep doing so (the new Query API
+        // rejects the combination as SelfLoopsUnsupported instead).
+        let g = generators::directed_cycle(3);
+        let count = CycleEnumerator::new()
+            .include_self_loops(true)
+            .granularity(Granularity::Sequential)
+            .window(100)
+            .count_temporal(&g);
+        assert_eq!(count, 1);
     }
 
     #[test]

@@ -19,6 +19,21 @@
 //! passes (including the latest-departure closing-time bound for temporal
 //! cycles).
 //!
+//! Three drivers are provided per cycle kind, mirroring the one-shot
+//! granularities:
+//!
+//! * **sequential** ([`delta_simple`] / [`delta_temporal`]) — one thread
+//!   sweeps the batch's roots;
+//! * **coarse-grained** ([`delta_simple_parallel`] /
+//!   [`delta_temporal_parallel`]) — one dynamically scheduled task per root
+//!   (§4): work efficient, but a batch whose cycles all hang off one hot root
+//!   collapses to a single worker;
+//! * **fine-grained** ([`delta_simple_fine`] / [`delta_temporal_fine`]) —
+//!   every recursion level of a rooted search is a copyable task on the
+//!   pool's work-stealing deques (§5/§7 applied to the backward search), so
+//!   even a single-root burst engages all workers. The per-root pruning state
+//!   is snapshot into a shared [`UnionView`] once and read-only thereafter.
+//!
 //! Everything here is generic over [`GraphView`], so the same code serves the
 //! immutable [`TemporalGraph`](pce_graph::TemporalGraph) and the streaming
 //! [`SlidingWindowGraph`](pce_graph::stream::SlidingWindowGraph).
@@ -38,12 +53,14 @@ use crate::cycle::{CycleSink, HaltingSink};
 use crate::metrics::{RunStats, WorkMetrics};
 use crate::options::{SimpleCycleOptions, TemporalCycleOptions};
 use crate::seq::{timed_run, RootScratch};
+use crate::union::{UnionQuery, UnionView};
 use crate::util::{fx_set, FxHashSet};
 use crate::{Algorithm, Granularity};
 use pce_graph::reach::CycleUnionWorkspace;
 use pce_graph::{EdgeId, GraphView, TimeWindow, Timestamp, VertexId};
-use pce_sched::{DynamicCounter, ThreadPool};
+use pce_sched::{DynamicCounter, Scope, ThreadPool, WorkerCtx};
 use std::ops::Range;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Shared state of one max-rooted backwards search.
@@ -467,6 +484,364 @@ pub fn delta_temporal_parallel_with_scratch<G: GraphView + ?Sized, S: CycleSink>
     )
 }
 
+/// The constraint set of one fine-grained delta run: which cycle definition
+/// the copyable tasks enforce while extending a path.
+#[derive(Clone, Copy)]
+enum FineDeltaMode<'a> {
+    Simple(&'a SimpleCycleOptions),
+    Temporal(&'a TemporalCycleOptions),
+}
+
+impl FineDeltaMode<'_> {
+    #[inline]
+    fn len_ok(&self, len: usize) -> bool {
+        match self {
+            FineDeltaMode::Simple(o) => o.len_ok(len),
+            FineDeltaMode::Temporal(o) => o.len_ok(len),
+        }
+    }
+}
+
+/// Immutable state shared by every task of one fine-grained delta run.
+struct FineDeltaShared<'a, G: ?Sized, S> {
+    graph: &'a G,
+    sink: &'a HaltingSink<'a, S>,
+    metrics: &'a WorkMetrics,
+    mode: FineDeltaMode<'a>,
+}
+
+/// One copyable recursion level of a fine-grained delta search: extend the
+/// path from its tip. The per-root pruning state ([`UnionView`], the mirrored
+/// closing-time bounds) is read-only, so a task only needs private copies of
+/// the path buffers — the same property that makes the one-shot temporal
+/// searches decomposable in [`crate::par::fine_temporal`], applied to the
+/// backward, max-edge-rooted search.
+struct FineDeltaTask {
+    /// The root (maximum) edge; simple-mode path edges must stay below it.
+    root: EdgeId,
+    /// The root's tail `u` — reaching it closes a cycle.
+    target: VertexId,
+    /// Admissible window for simple extensions (fixed per root).
+    window: TimeWindow,
+    /// Temporal: upper timestamp bound for path edges (`t0 - 1`).
+    t_last: Timestamp,
+    /// Temporal: arrival time at the tip (the next edge must be later).
+    arrival: Timestamp,
+    union: Arc<UnionView>,
+    path: Vec<VertexId>,
+    path_edges: Vec<EdgeId>,
+    on_path: FxHashSet<VertexId>,
+    /// Worker that spawned this task; executing it elsewhere is a steal.
+    spawned_by: usize,
+}
+
+/// Runs one task: scans the admissible out-edges of the path tip, reports the
+/// cycles it closes and spawns a child task per continuable branch. Children
+/// go onto the executing worker's LIFO deque, so a lone busy worker keeps the
+/// sequential depth-first order while idle workers steal the shallowest —
+/// largest — subtrees.
+fn execute_fine_delta<'scope, G: GraphView + ?Sized, S: CycleSink>(
+    shared: &'scope FineDeltaShared<'scope, G, S>,
+    mut task: FineDeltaTask,
+    scope: &Scope<'scope>,
+    ctx: &WorkerCtx<'_>,
+) {
+    // A task scheduled after the sink stopped the run returns immediately
+    // (and spawns nothing), so the scope drains quickly.
+    if shared.sink.stopped() {
+        return;
+    }
+    let worker = ctx.worker_id();
+    if worker != task.spawned_by {
+        // The pool's deques did the actual theft; record it here, where the
+        // migrated task starts executing.
+        shared.metrics.steal_event(worker);
+    }
+    let start = Instant::now();
+    shared.metrics.recursive_call(worker);
+    let v = *task.path.last().expect("path never empty");
+    let (window, temporal) = match shared.mode {
+        FineDeltaMode::Simple(_) => (task.window, false),
+        FineDeltaMode::Temporal(_) => (
+            TimeWindow::new(task.arrival.saturating_add(1), task.t_last),
+            true,
+        ),
+    };
+    for &entry in shared.graph.out_edges_in_window(v, window) {
+        if shared.sink.stopped() {
+            break;
+        }
+        shared.metrics.edge_visit(worker);
+        if !temporal && entry.edge >= task.root {
+            // Temporal admissibility is already timestamp-bounded by
+            // `t_last < t0` (ids refine timestamp order).
+            continue;
+        }
+        let w = entry.neighbor;
+        if w == task.target {
+            if shared.mode.len_ok(task.path_edges.len() + 2) {
+                // Close on the owned buffers (push/pop, no allocation per
+                // cycle), mirroring the sequential DeltaSearch::close.
+                task.path.push(task.target);
+                task.path_edges.push(entry.edge);
+                task.path_edges.push(task.root);
+                shared.sink.push(&task.path, &task.path_edges);
+                task.path_edges.pop();
+                task.path_edges.pop();
+                task.path.pop();
+            }
+            continue;
+        }
+        if task.on_path.contains(&w)
+            || !task.union.in_union(w)
+            || !task.union.can_close_after(w, entry.ts)
+            || !shared.mode.len_ok(task.path_edges.len() + 3)
+        {
+            continue;
+        }
+        // Spawn the child call as an independent task with its own copies.
+        shared.metrics.copy_event(worker);
+        let mut child_path = task.path.clone();
+        let mut child_edges = task.path_edges.clone();
+        let mut child_on_path = task.on_path.clone();
+        child_path.push(w);
+        child_edges.push(entry.edge);
+        child_on_path.insert(w);
+        let child = FineDeltaTask {
+            root: task.root,
+            target: task.target,
+            window: task.window,
+            t_last: task.t_last,
+            arrival: entry.ts,
+            union: Arc::clone(&task.union),
+            path: child_path,
+            path_edges: child_edges,
+            on_path: child_on_path,
+            spawned_by: worker,
+        };
+        ctx.spawn(scope, move |scope, ctx| {
+            execute_fine_delta(shared, child, scope, ctx);
+        });
+    }
+    shared.metrics.add_busy(worker, start.elapsed());
+}
+
+/// Per-root preamble of the fine-grained drivers: floor / self-loop handling,
+/// the mirrored union pass into the worker's scratch, and the snapshot the
+/// root's tasks will share. Returns `None` when the root closes nothing.
+fn prepare_fine_root<G: GraphView + ?Sized, S: CycleSink>(
+    shared: &FineDeltaShared<'_, G, S>,
+    root: EdgeId,
+    floor: Timestamp,
+    scratch: &mut RootScratch,
+    worker: usize,
+) -> Option<FineDeltaTask> {
+    let e = shared.graph.edge(root);
+    if e.ts < floor {
+        return None;
+    }
+    let (window, t_last, arrival, union) = match shared.mode {
+        FineDeltaMode::Simple(opts) => {
+            if e.src == e.dst {
+                if opts.include_self_loops && opts.len_ok(1) {
+                    shared.sink.push(&[e.src], &[root]);
+                }
+                return None;
+            }
+            shared.metrics.root_processed(worker);
+            let start = e.ts.saturating_sub(opts.effective_delta()).max(floor);
+            let window = TimeWindow::new(start, e.ts);
+            if !scratch
+                .union
+                .compute_simple_before(shared.graph, root, window)
+            {
+                return None;
+            }
+            let union = Arc::new(UnionView::from_simple(&scratch.union));
+            (window, Timestamp::MIN, Timestamp::MIN, union)
+        }
+        FineDeltaMode::Temporal(opts) => {
+            if e.src == e.dst {
+                return None;
+            }
+            shared.metrics.root_processed(worker);
+            let start = e.ts.saturating_sub(opts.window_delta).max(floor);
+            let window = TimeWindow::new(start, e.ts);
+            if !scratch
+                .union
+                .compute_temporal_before(shared.graph, root, window)
+            {
+                return None;
+            }
+            let union = Arc::new(UnionView::from_temporal(&scratch.union));
+            // Seeding the arrival one below the window start admits exactly
+            // first hops with ts >= start (same as the sequential driver).
+            (
+                window,
+                e.ts.saturating_sub(1),
+                window.start.saturating_sub(1),
+                union,
+            )
+        }
+    };
+    let mut on_path = fx_set();
+    on_path.insert(e.src);
+    on_path.insert(e.dst);
+    Some(FineDeltaTask {
+        root,
+        target: e.src,
+        window,
+        t_last,
+        arrival,
+        union,
+        path: vec![e.dst],
+        path_edges: Vec::new(),
+        on_path,
+        spawned_by: worker,
+    })
+}
+
+/// The shared fine-grained delta driver: workers claim roots from the batch
+/// range via a dynamic counter (like the coarse driver), but every recursion
+/// level of a claimed root's search is spawned as a copyable task on the
+/// pool's work-stealing deques — a batch whose cycles all hang off one hot
+/// root still engages every worker (§5/§7 of the paper, applied to the
+/// max-edge-rooted backward search).
+fn run_delta_fine<G: GraphView + ?Sized, S: CycleSink>(
+    graph: &G,
+    roots: Range<EdgeId>,
+    floor: Timestamp,
+    mode: FineDeltaMode<'_>,
+    sink: &S,
+    pool: &ThreadPool,
+    scratches: &mut [RootScratch],
+) -> RunStats {
+    let threads = pool.num_threads();
+    assert!(
+        scratches.len() >= threads,
+        "need one scratch per pool worker"
+    );
+    let metrics = WorkMetrics::new(threads);
+    let start = Instant::now();
+    let base = roots.start;
+    let counter = DynamicCounter::new(roots.len(), 1);
+    let sink = HaltingSink::new(sink);
+    let shared = FineDeltaShared {
+        graph,
+        sink: &sink,
+        metrics: &metrics,
+        mode,
+    };
+
+    pool.scope(|scope| {
+        for scratch in scratches[..threads].iter_mut() {
+            let counter = &counter;
+            let shared = &shared;
+            scope.spawn(move |scope, ctx| {
+                let worker = ctx.worker_id();
+                while let Some(i) = counter.next() {
+                    if shared.sink.stopped() {
+                        break;
+                    }
+                    let prep = Instant::now();
+                    let task =
+                        prepare_fine_root(shared, base + i as EdgeId, floor, scratch, worker);
+                    shared.metrics.add_busy(worker, prep.elapsed());
+                    if let Some(task) = task {
+                        execute_fine_delta(shared, task, scope, ctx);
+                    }
+                }
+            });
+        }
+    });
+
+    RunStats {
+        cycles: sink.count(),
+        wall_secs: start.elapsed().as_secs_f64(),
+        work: metrics.snapshot(),
+        threads,
+        ..RunStats::default()
+    }
+    .tagged(Algorithm::Johnson, Granularity::FineGrained)
+}
+
+/// Fine-grained parallel simple-cycle delta enumeration: recursion-level
+/// tasks stolen mid-search (the paper's signature decomposition applied to
+/// the backward, max-edge-rooted search). Allocates fresh per-worker scratch;
+/// high-frequency callers should use [`delta_simple_fine_with_scratch`].
+pub fn delta_simple_fine<G: GraphView + ?Sized, S: CycleSink>(
+    graph: &G,
+    roots: Range<EdgeId>,
+    floor: Timestamp,
+    opts: &SimpleCycleOptions,
+    sink: &S,
+    pool: &ThreadPool,
+) -> RunStats {
+    let mut scratches = fresh_scratches(graph, pool);
+    delta_simple_fine_with_scratch(graph, roots, floor, opts, sink, pool, &mut scratches)
+}
+
+/// [`delta_simple_fine`] with caller-owned per-worker scratches (at least
+/// `pool.num_threads()` of them, each covering `graph.num_vertices()`).
+#[allow(clippy::too_many_arguments)] // the parallel driver signature + scratches
+pub fn delta_simple_fine_with_scratch<G: GraphView + ?Sized, S: CycleSink>(
+    graph: &G,
+    roots: Range<EdgeId>,
+    floor: Timestamp,
+    opts: &SimpleCycleOptions,
+    sink: &S,
+    pool: &ThreadPool,
+    scratches: &mut [RootScratch],
+) -> RunStats {
+    run_delta_fine(
+        graph,
+        roots,
+        floor,
+        FineDeltaMode::Simple(opts),
+        sink,
+        pool,
+        scratches,
+    )
+}
+
+/// Fine-grained parallel temporal-cycle delta enumeration (see
+/// [`delta_simple_fine`]). Allocates fresh per-worker scratch; high-frequency
+/// callers should use [`delta_temporal_fine_with_scratch`].
+pub fn delta_temporal_fine<G: GraphView + ?Sized, S: CycleSink>(
+    graph: &G,
+    roots: Range<EdgeId>,
+    floor: Timestamp,
+    opts: &TemporalCycleOptions,
+    sink: &S,
+    pool: &ThreadPool,
+) -> RunStats {
+    let mut scratches = fresh_scratches(graph, pool);
+    delta_temporal_fine_with_scratch(graph, roots, floor, opts, sink, pool, &mut scratches)
+}
+
+/// [`delta_temporal_fine`] with caller-owned per-worker scratches (see
+/// [`delta_simple_fine_with_scratch`]).
+#[allow(clippy::too_many_arguments)] // the parallel driver signature + scratches
+pub fn delta_temporal_fine_with_scratch<G: GraphView + ?Sized, S: CycleSink>(
+    graph: &G,
+    roots: Range<EdgeId>,
+    floor: Timestamp,
+    opts: &TemporalCycleOptions,
+    sink: &S,
+    pool: &ThreadPool,
+    scratches: &mut [RootScratch],
+) -> RunStats {
+    run_delta_fine(
+        graph,
+        roots,
+        floor,
+        FineDeltaMode::Temporal(opts),
+        sink,
+        pool,
+        scratches,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -481,7 +856,8 @@ mod tests {
     }
 
     /// Rooting every edge as the *maximum* must enumerate exactly the same
-    /// cycle set as rooting every edge as the *minimum* (the one-shot path).
+    /// cycle set as rooting every edge as the *minimum* (the one-shot path)
+    /// — and both must match the shared brute-force oracle.
     #[test]
     fn max_rooted_matches_min_rooted_simple() {
         for seed in 0..6 {
@@ -493,15 +869,13 @@ mod tests {
             });
             for delta in [12, 30, 100] {
                 let opts = SimpleCycleOptions::with_window(delta);
+                let oracle = crate::testing::oracle_simple(&g, &opts);
                 let fwd = CollectingSink::new();
                 johnson_simple(&g, &opts, &fwd);
+                assert_eq!(fwd.canonical_cycles(), oracle, "seed {seed} delta {delta}");
                 let bwd = CollectingSink::new();
                 delta_simple(&g, all_roots(&g), Timestamp::MIN, &opts, &bwd);
-                assert_eq!(
-                    fwd.canonical_cycles(),
-                    bwd.canonical_cycles(),
-                    "seed {seed} delta {delta}"
-                );
+                assert_eq!(bwd.canonical_cycles(), oracle, "seed {seed} delta {delta}");
             }
         }
     }
@@ -517,15 +891,13 @@ mod tests {
             });
             for delta in [15, 40, 100] {
                 let opts = TemporalCycleOptions::with_window(delta);
+                let oracle = crate::testing::oracle_temporal(&g, delta);
                 let fwd = CollectingSink::new();
                 temporal_simple(&g, &opts, &fwd);
+                assert_eq!(fwd.canonical_cycles(), oracle, "seed {seed} delta {delta}");
                 let bwd = CollectingSink::new();
                 delta_temporal(&g, all_roots(&g), Timestamp::MIN, &opts, &bwd);
-                assert_eq!(
-                    fwd.canonical_cycles(),
-                    bwd.canonical_cycles(),
-                    "seed {seed} delta {delta}"
-                );
+                assert_eq!(bwd.canonical_cycles(), oracle, "seed {seed} delta {delta}");
             }
         }
     }
@@ -657,6 +1029,165 @@ mod tests {
             &pool,
         );
         assert_eq!(seq.canonical_cycles(), par.canonical_cycles());
+    }
+
+    #[test]
+    fn fine_matches_sequential() {
+        let g = generators::uniform_temporal(RandomTemporalConfig {
+            num_vertices: 18,
+            num_edges: 90,
+            time_span: 60,
+            seed: 78,
+        });
+        let pool = ThreadPool::new(4);
+        let simple_opts = SimpleCycleOptions::with_window(20);
+        let seq = CollectingSink::new();
+        delta_simple(&g, all_roots(&g), Timestamp::MIN, &simple_opts, &seq);
+        let fine = CollectingSink::new();
+        let stats = delta_simple_fine(
+            &g,
+            all_roots(&g),
+            Timestamp::MIN,
+            &simple_opts,
+            &fine,
+            &pool,
+        );
+        assert_eq!(seq.canonical_cycles(), fine.canonical_cycles());
+        assert_eq!(stats.threads, 4);
+        assert_eq!(stats.granularity, Some(Granularity::FineGrained));
+
+        let temporal_opts = TemporalCycleOptions::with_window(25).max_len(4);
+        let seq = CollectingSink::new();
+        delta_temporal(&g, all_roots(&g), Timestamp::MIN, &temporal_opts, &seq);
+        let fine = CollectingSink::new();
+        delta_temporal_fine(
+            &g,
+            all_roots(&g),
+            Timestamp::MIN,
+            &temporal_opts,
+            &fine,
+            &pool,
+        );
+        assert_eq!(seq.canonical_cycles(), fine.canonical_cycles());
+    }
+
+    #[test]
+    fn fine_results_independent_of_thread_count_and_floor() {
+        let g = generators::power_law_temporal(RandomTemporalConfig {
+            num_vertices: 20,
+            num_edges: 110,
+            time_span: 70,
+            seed: 1_301,
+        });
+        let opts = TemporalCycleOptions::with_window(30);
+        for floor in [Timestamp::MIN, 20] {
+            let reference = CollectingSink::new();
+            delta_temporal(&g, all_roots(&g), floor, &opts, &reference);
+            for threads in [1, 2, 4] {
+                let sink = CollectingSink::new();
+                delta_temporal_fine(
+                    &g,
+                    all_roots(&g),
+                    floor,
+                    &opts,
+                    &sink,
+                    &ThreadPool::new(threads),
+                );
+                assert_eq!(
+                    reference.canonical_cycles(),
+                    sink.canonical_cycles(),
+                    "threads {threads} floor {floor}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fine_self_loops_and_early_termination() {
+        let g = GraphBuilder::new()
+            .add_edge(0, 0, 1)
+            .add_edge(0, 1, 2)
+            .add_edge(1, 0, 3)
+            .build();
+        let pool = ThreadPool::new(2);
+        let with = CountingSink::new();
+        delta_simple_fine(
+            &g,
+            all_roots(&g),
+            Timestamp::MIN,
+            &SimpleCycleOptions::unconstrained().include_self_loops(true),
+            &with,
+            &pool,
+        );
+        assert_eq!(with.count(), 2);
+
+        let g = generators::fig4a_exponential_cycles(12);
+        let sink = crate::cycle::FirstKSink::new(3);
+        delta_simple_fine(
+            &g,
+            all_roots(&g),
+            Timestamp::MIN,
+            &SimpleCycleOptions::unconstrained(),
+            &sink,
+            &pool,
+        );
+        assert_eq!(sink.into_cycles().len(), 3);
+    }
+
+    /// The delta mirror of `fine_johnson::fig4a_work_is_spread_across_workers`:
+    /// every cycle of the hub-burst gadget is closed by one root edge, so the
+    /// coarse driver pins to a single worker while the fine driver must spread
+    /// the search across workers via task steals.
+    #[test]
+    fn hub_burst_work_is_spread_across_workers() {
+        let g = generators::hub_burst(2, 13);
+        let expected = generators::hub_burst_cycle_count(2, 13);
+        let opts = SimpleCycleOptions::unconstrained();
+        let sink = CountingSink::new();
+        let stats = delta_simple_fine(
+            &g,
+            all_roots(&g),
+            Timestamp::MIN,
+            &opts,
+            &sink,
+            &ThreadPool::new(4),
+        );
+        assert_eq!(sink.count(), expected);
+        eprintln!(
+            "hub_burst steals={} copies={} per-worker calls={:?}",
+            stats.work.total_steals(),
+            stats.work.total_copies(),
+            stats
+                .work
+                .workers
+                .iter()
+                .map(|w| w.recursive_calls)
+                .collect::<Vec<_>>()
+        );
+        assert!(stats.work.total_steals() > 0, "steals should have happened");
+        let active_workers = stats
+            .work
+            .workers
+            .iter()
+            .filter(|w| w.recursive_calls > 0)
+            .count();
+        assert!(
+            active_workers > 1,
+            "fine-grained delta should use several workers on a hub burst"
+        );
+
+        // The temporal variant agrees on the count (every hub-burst cycle is
+        // temporal by construction).
+        let sink = CountingSink::new();
+        delta_temporal_fine(
+            &g,
+            all_roots(&g),
+            Timestamp::MIN,
+            &TemporalCycleOptions::with_window(1_000),
+            &sink,
+            &ThreadPool::new(4),
+        );
+        assert_eq!(sink.count(), expected);
     }
 
     #[test]

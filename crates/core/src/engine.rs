@@ -125,6 +125,11 @@ pub enum EnumerationError {
         /// Requested cycle kind.
         kind: CycleKind,
     },
+    /// Self-loop reporting was requested for a temporal-cycle query. A
+    /// temporal cycle has strictly increasing timestamps, so a length-1
+    /// cycle cannot exist; the flag used to be silently ignored, which hid
+    /// caller mistakes — now the combination is refused up front.
+    SelfLoopsUnsupported,
     /// The operating system refused to spawn a thread the run needs (e.g.
     /// the [`Engine::stream`] coordinator) — typically resource exhaustion.
     /// The seed `expect`-panicked here; the engine surfaces it instead so a
@@ -151,6 +156,11 @@ impl std::fmt::Display for EnumerationError {
             } => write!(
                 f,
                 "no implementation for {algorithm:?} with {granularity:?} on {kind:?} cycles"
+            ),
+            EnumerationError::SelfLoopsUnsupported => write!(
+                f,
+                "temporal cycles have strictly increasing timestamps, so self-loops \
+                 cannot exist; drop include_self_loops or query simple cycles"
             ),
             EnumerationError::SpawnFailed { reason } => {
                 write!(f, "failed to spawn enumeration thread: {reason}")
@@ -242,7 +252,10 @@ impl Query {
         self
     }
 
-    /// Also report length-1 cycles (self-loops) for simple-cycle queries.
+    /// Also report length-1 cycles (self-loops). Simple-cycle queries only:
+    /// temporal cycles cannot contain self-loops, and requesting the
+    /// combination is rejected by [`Query::validate`] instead of silently
+    /// ignored.
     pub fn include_self_loops(mut self, yes: bool) -> Self {
         self.include_self_loops = yes;
         self
@@ -269,6 +282,11 @@ impl Query {
         }
         if self.max_len == Some(0) {
             return Err(EnumerationError::InvalidMaxLen);
+        }
+        if self.kind == CycleKind::Temporal && self.include_self_loops {
+            // Mirrors StreamingQuery::validate: the flag used to be silently
+            // dropped by the temporal dispatch.
+            return Err(EnumerationError::SelfLoopsUnsupported);
         }
         let unsupported = match (self.kind, self.algorithm, self.granularity) {
             // Tiernan has no fine-grained decomposition in the paper (§5

@@ -11,6 +11,7 @@
 //! | Johnson | [`seq::johnson`] | [`par::coarse`] | [`par::fine_johnson`] |
 //! | Read-Tarjan | [`seq::read_tarjan`] | [`par::coarse`] | [`par::fine_read_tarjan`] |
 //! | Temporal (2SCENT-style) | [`seq::temporal`] | [`par::coarse`] | [`par::fine_temporal`] |
+//! | Delta (max-edge-rooted, streaming) | [`delta::delta_simple`] / [`delta::delta_temporal`] | [`delta::delta_simple_parallel`] / [`delta::delta_temporal_parallel`] | [`delta::delta_simple_fine`] / [`delta::delta_temporal_fine`] |
 //!
 //! All enumerators share the same problem definitions (see [`cycle`]), report
 //! cycles through a statically-dispatched [`CycleSink`] and record work into
@@ -22,7 +23,14 @@
 //! For *continuously arriving* edges there is an incremental layer on top:
 //! [`StreamingEngine`] ingests timestamp-ordered batches into a sliding
 //! window and enumerates only the cycles each batch closes (the [`delta`]
-//! enumerators, rooted at a cycle's maximum edge instead of its minimum).
+//! enumerators, rooted at a cycle's maximum edge instead of its minimum) —
+//! sequentially, coarse-grained, or with the paper's fine-grained stealable
+//! task decomposition ([`StreamingQuery::granularity`]).
+//!
+//! Cross-implementation correctness is checked everywhere against the shared
+//! brute-force oracles in the `testing` module (unit tests see it always;
+//! external differential harnesses enable the `testing` cargo feature —
+//! production builds exclude it).
 //!
 //! ```
 //! use pce_core::{Engine, Query, Algorithm, Granularity};
@@ -53,6 +61,8 @@ pub mod options;
 pub mod par;
 pub mod seq;
 pub mod streaming;
+#[cfg(any(test, feature = "testing"))]
+pub mod testing;
 pub(crate) mod union;
 pub mod util;
 

@@ -189,41 +189,9 @@ mod tests {
     use pce_graph::generators::{self, RandomTemporalConfig, TransactionRingConfig};
     use pce_graph::GraphBuilder;
 
-    /// Brute-force temporal cycle enumeration used as the test oracle:
-    /// extends paths edge by edge requiring strictly increasing timestamps.
-    fn brute_force_temporal(graph: &TemporalGraph, delta: Timestamp) -> Vec<crate::Cycle> {
-        use crate::cycle::Cycle;
-        let mut result = Vec::new();
-        for (root, e0) in graph.edge_ids() {
-            if e0.src == e0.dst {
-                continue;
-            }
-            let t_end = e0.ts.saturating_add(delta);
-            let mut stack = vec![(vec![e0.src, e0.dst], vec![root], e0.ts)];
-            while let Some((path, edges, arrival)) = stack.pop() {
-                let last = *path.last().unwrap();
-                for &entry in graph.out_edges(last) {
-                    if entry.ts <= arrival || entry.ts > t_end {
-                        continue;
-                    }
-                    if entry.neighbor == e0.src {
-                        let mut cedges = edges.clone();
-                        cedges.push(entry.edge);
-                        result.push(Cycle::new(path.clone(), cedges));
-                    } else if !path.contains(&entry.neighbor) {
-                        let mut npath = path.clone();
-                        let mut nedges = edges.clone();
-                        npath.push(entry.neighbor);
-                        nedges.push(entry.edge);
-                        stack.push((npath, nedges, entry.ts));
-                    }
-                }
-            }
-        }
-        let mut canon: Vec<crate::Cycle> = result.iter().map(|c| c.canonicalize()).collect();
-        canon.sort_by(|a, b| a.edges.cmp(&b.edges));
-        canon
-    }
+    // The brute-force oracle that used to live here moved to the shared
+    // differential-test module; see `crate::testing::oracle_temporal`.
+    use crate::testing::oracle_temporal;
 
     #[test]
     fn directed_cycle_is_a_temporal_cycle() {
@@ -297,7 +265,7 @@ mod tests {
             for delta in [10, 25, 60] {
                 let sink = CollectingSink::new();
                 temporal_simple(&g, &TemporalCycleOptions::with_window(delta), &sink);
-                let expected = brute_force_temporal(&g, delta);
+                let expected = oracle_temporal(&g, delta);
                 assert_eq!(
                     sink.canonical_cycles(),
                     expected,

@@ -11,8 +11,11 @@
 //! 2. **Delta query** — only cycles *closed by the new batch* are enumerated:
 //!    every cycle is rooted at its maximum `(timestamp, id)` edge, which lies
 //!    in exactly one batch (see [`crate::delta`]). The batch's roots are
-//!    processed sequentially or as one dynamically-scheduled task per root on
-//!    the engine's reusable thread pool.
+//!    processed at the standing query's [`Granularity`] on the engine's
+//!    reusable thread pool: sequentially, as one dynamically-scheduled task
+//!    per root (coarse), or as copyable recursion-level tasks stolen
+//!    mid-search (fine — the right choice for skewed batches whose cycles
+//!    hang off one hot root).
 //! 3. **Resolution** — discovered cycles are resolved to concrete
 //!    [`TemporalEdge`] sequences ([`StreamCycle`]) before returning, because
 //!    dense edge ids are re-based when the window compacts.
@@ -35,8 +38,9 @@
 //!   whole stream) the union is exactly the one-shot result.
 //!
 //! `tests/streaming.rs` asserts this equivalence across seeds, batch sizes
-//! (including batches that straddle window expiry), algorithms and thread
-//! counts.
+//! (including batches that straddle window expiry), algorithms, delta
+//! granularities and thread counts — byte-identical results for every
+//! configuration.
 //!
 //! # Relation to [`Engine::stream`]
 //!
@@ -49,10 +53,11 @@
 
 use crate::cycle::{CollectingSink, CountingSink};
 use crate::delta::{
-    delta_simple_parallel_with_scratch, delta_simple_with_scratch,
-    delta_temporal_parallel_with_scratch, delta_temporal_with_scratch,
+    delta_simple_fine_with_scratch, delta_simple_parallel_with_scratch, delta_simple_with_scratch,
+    delta_temporal_fine_with_scratch, delta_temporal_parallel_with_scratch,
+    delta_temporal_with_scratch,
 };
-use crate::engine::{CollectMode, CycleKind, Engine, EnumerationError};
+use crate::engine::{CollectMode, CycleKind, Engine, EnumerationError, Granularity};
 use crate::metrics::RunStats;
 use crate::options::{SimpleCycleOptions, TemporalCycleOptions};
 use crate::seq::RootScratch;
@@ -66,7 +71,8 @@ pub enum StreamingError {
     /// The ingest path rejected a batch (e.g. out-of-order timestamps); the
     /// graph is unchanged and the stream can continue with a corrected batch.
     Stream(StreamError),
-    /// The streaming query failed validation (zero window, zero max length).
+    /// The streaming query failed validation (zero window, zero max length,
+    /// or a combination with no implementation such as temporal self-loops).
     Query(EnumerationError),
     /// The query's time window is wider than the graph's retention span, so
     /// cycles could silently vanish before their closing edge arrives. Grow
@@ -113,6 +119,7 @@ impl From<EnumerationError> for StreamingError {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StreamingQuery {
     kind: CycleKind,
+    granularity: Granularity,
     window_delta: Timestamp,
     max_len: Option<usize>,
     include_self_loops: bool,
@@ -122,9 +129,13 @@ pub struct StreamingQuery {
 impl StreamingQuery {
     /// A window-constrained simple-cycle query: report cycles whose edge
     /// timestamps span at most `delta`, as they are closed by new batches.
+    ///
+    /// Defaults to [`Granularity::CoarseGrained`] parallelism — see
+    /// [`StreamingQuery::granularity`] for when to pick fine-grained instead.
     pub fn simple(delta: Timestamp) -> Self {
         Self {
             kind: CycleKind::Simple,
+            granularity: Granularity::CoarseGrained,
             window_delta: delta,
             max_len: None,
             include_self_loops: false,
@@ -141,14 +152,40 @@ impl StreamingQuery {
         }
     }
 
+    /// Selects how each batch's delta enumeration is split across the
+    /// engine's workers, mirroring [`Query::granularity`](crate::Query):
+    ///
+    /// * [`Granularity::Sequential`] — one thread sweeps the batch's roots.
+    /// * [`Granularity::CoarseGrained`] (the default) — one dynamically
+    ///   scheduled task per closing root: the cheapest dispatch, ideal when a
+    ///   batch closes many small, independent searches.
+    /// * [`Granularity::FineGrained`] — every recursion level of a rooted
+    ///   search is a stealable task: pick this when batches are *skewed* (a
+    ///   hub vertex closes most of a batch's cycles through few roots), where
+    ///   the coarse driver collapses to a single worker.
+    ///
+    /// With a single-threaded engine every granularity runs sequentially; the
+    /// per-batch [`RunStats`] record what effectively executed.
+    pub fn granularity(mut self, granularity: Granularity) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
     /// Constrains cycles to at most `len` edges (must be >= 1; validated when
-    /// the engine is built).
+    /// the engine is built). This is also the per-batch work cap: every
+    /// driver — including the fine-grained one, which checks the bound before
+    /// spawning a task — prunes extensions that can no longer close within
+    /// `len` edges.
     pub fn max_len(mut self, len: usize) -> Self {
         self.max_len = Some(len);
         self
     }
 
-    /// Also report length-1 cycles (self-loops) for simple-cycle queries.
+    /// Also report length-1 cycles (self-loops). Only meaningful for
+    /// simple-cycle queries: temporal cycles have strictly increasing
+    /// timestamps, so a length-1 temporal cycle cannot exist and requesting
+    /// the combination is rejected by [`StreamingQuery::validate`] (the seed
+    /// API silently ignored the flag instead).
     pub fn include_self_loops(mut self, yes: bool) -> Self {
         self.include_self_loops = yes;
         self
@@ -167,13 +204,22 @@ impl StreamingQuery {
         self.kind
     }
 
+    /// The requested parallelisation granularity (what actually executes per
+    /// batch may degrade to sequential — see [`StreamingQuery::granularity`]).
+    pub fn requested_granularity(&self) -> Granularity {
+        self.granularity
+    }
+
     /// The enumeration window size δ.
     pub fn window_delta(&self) -> Timestamp {
         self.window_delta
     }
 
-    /// Checks the query for values that can never return anything, mirroring
-    /// [`Query::validate`](crate::Query::validate).
+    /// Checks the query for values that can never return anything and for
+    /// combinations that have no implementation, mirroring
+    /// [`Query::validate`](crate::Query::validate). Called when the
+    /// [`StreamingEngine`] is built, so an engine never holds an invalid
+    /// standing query.
     pub fn validate(&self) -> Result<(), EnumerationError> {
         if self.window_delta < 1 {
             return Err(EnumerationError::InvalidWindow {
@@ -182,6 +228,11 @@ impl StreamingQuery {
         }
         if self.max_len == Some(0) {
             return Err(EnumerationError::InvalidMaxLen);
+        }
+        if self.kind == CycleKind::Temporal && self.include_self_loops {
+            // Strictly increasing timestamps leave no room for a length-1
+            // cycle; refuse instead of silently dropping the flag.
+            return Err(EnumerationError::SelfLoopsUnsupported);
         }
         Ok(())
     }
@@ -341,8 +392,12 @@ impl StreamingEngine {
         // boundaries: a cycle is announced exactly when its closing edge
         // arrives, no matter how the stream is chopped.
         let floor = Timestamp::MIN;
-        let parallel = self.engine.threads() > 1 && delta.roots.len() > 1;
-        let want = if parallel { self.engine.threads() } else { 1 };
+        let granularity = self.effective_granularity(delta.roots.len());
+        let want = if granularity == Granularity::Sequential {
+            1
+        } else {
+            self.engine.threads()
+        };
         if self.scratches.len() < want {
             self.scratches.resize_with(want, || RootScratch::new(0));
         }
@@ -361,7 +416,7 @@ impl StreamingEngine {
                     &sink,
                     delta.roots.clone(),
                     floor,
-                    parallel,
+                    granularity,
                 );
                 let resolved = sink
                     .into_cycles()
@@ -387,7 +442,7 @@ impl StreamingEngine {
                     &sink,
                     delta.roots.clone(),
                     floor,
-                    parallel,
+                    granularity,
                 );
                 (Vec::new(), stats)
             }
@@ -444,12 +499,29 @@ impl StreamingEngine {
     pub fn snapshot(&self) -> TemporalGraph {
         self.graph.snapshot()
     }
+
+    /// The granularity one batch's delta run effectively executes at: the
+    /// query's requested granularity, degraded to sequential when there is
+    /// nothing to parallelise over. Coarse-grained degrades on single-root
+    /// batches (one task per root cannot occupy a second worker); the
+    /// fine-grained driver splits *within* a root, so a single hot root is
+    /// exactly where it must stay parallel.
+    fn effective_granularity(&self, batch_roots: usize) -> Granularity {
+        if self.engine.threads() <= 1 || batch_roots == 0 {
+            return Granularity::Sequential;
+        }
+        match self.query.granularity {
+            Granularity::CoarseGrained if batch_roots <= 1 => Granularity::Sequential,
+            requested => requested,
+        }
+    }
 }
 
 /// Dispatches one delta run (free function so the engine can lend out its
 /// graph immutably and its scratches mutably at the same time). Sequential
-/// runs reuse `scratches[0]`; parallel runs hand each pool worker its own
-/// persistent scratch — no allocation either way.
+/// runs reuse `scratches[0]`; parallel runs — coarse (one task per root) or
+/// fine (stealable recursion-level tasks) — hand each pool worker its own
+/// persistent scratch. No allocation on the hot path either way.
 #[allow(clippy::too_many_arguments)] // private dispatcher over engine fields
 fn run_delta<S: crate::cycle::CycleSink>(
     query: &StreamingQuery,
@@ -459,7 +531,7 @@ fn run_delta<S: crate::cycle::CycleSink>(
     sink: &S,
     roots: std::ops::Range<pce_graph::EdgeId>,
     floor: Timestamp,
-    parallel: bool,
+    granularity: Granularity,
 ) -> RunStats {
     match query.kind {
         CycleKind::Simple => {
@@ -468,8 +540,11 @@ fn run_delta<S: crate::cycle::CycleSink>(
                 max_len: query.max_len,
                 include_self_loops: query.include_self_loops,
             };
-            if parallel {
-                delta_simple_parallel_with_scratch(
+            match granularity {
+                Granularity::Sequential => {
+                    delta_simple_with_scratch(graph, roots, floor, &opts, sink, &mut scratches[0])
+                }
+                Granularity::CoarseGrained => delta_simple_parallel_with_scratch(
                     graph,
                     roots,
                     floor,
@@ -477,9 +552,16 @@ fn run_delta<S: crate::cycle::CycleSink>(
                     sink,
                     engine.pool(),
                     scratches,
-                )
-            } else {
-                delta_simple_with_scratch(graph, roots, floor, &opts, sink, &mut scratches[0])
+                ),
+                Granularity::FineGrained => delta_simple_fine_with_scratch(
+                    graph,
+                    roots,
+                    floor,
+                    &opts,
+                    sink,
+                    engine.pool(),
+                    scratches,
+                ),
             }
         }
         CycleKind::Temporal => {
@@ -487,8 +569,11 @@ fn run_delta<S: crate::cycle::CycleSink>(
                 window_delta: query.window_delta,
                 max_len: query.max_len,
             };
-            if parallel {
-                delta_temporal_parallel_with_scratch(
+            match granularity {
+                Granularity::Sequential => {
+                    delta_temporal_with_scratch(graph, roots, floor, &opts, sink, &mut scratches[0])
+                }
+                Granularity::CoarseGrained => delta_temporal_parallel_with_scratch(
                     graph,
                     roots,
                     floor,
@@ -496,9 +581,16 @@ fn run_delta<S: crate::cycle::CycleSink>(
                     sink,
                     engine.pool(),
                     scratches,
-                )
-            } else {
-                delta_temporal_with_scratch(graph, roots, floor, &opts, sink, &mut scratches[0])
+                ),
+                Granularity::FineGrained => delta_temporal_fine_with_scratch(
+                    graph,
+                    roots,
+                    floor,
+                    &opts,
+                    sink,
+                    engine.pool(),
+                    scratches,
+                ),
             }
         }
     }
@@ -533,6 +625,17 @@ mod tests {
             })
         ));
         assert!(StreamingEngine::new(50, StreamingQuery::temporal(50)).is_ok());
+        // Temporal self-loops have no implementation; the combination is a
+        // typed error instead of a silently ignored flag.
+        assert!(matches!(
+            StreamingEngine::new(100, StreamingQuery::temporal(10).include_self_loops(true)),
+            Err(StreamingError::Query(
+                EnumerationError::SelfLoopsUnsupported
+            ))
+        ));
+        assert!(
+            StreamingEngine::new(100, StreamingQuery::simple(10).include_self_loops(true)).is_ok()
+        );
     }
 
     #[test]
@@ -673,6 +776,67 @@ mod tests {
             assert_eq!(union, reference, "batch_size {batch_size}");
             assert!(!reference.is_empty());
         }
+    }
+
+    #[test]
+    fn granularities_agree_and_are_recorded() {
+        // Deterministic stream with a couple of overlapping rings; every
+        // granularity must report the same cycles at the same batches.
+        let edges = [
+            e(0, 1, 1),
+            e(1, 2, 2),
+            e(2, 0, 3),
+            e(2, 3, 4),
+            e(3, 2, 5),
+            e(0, 2, 6),
+            e(2, 1, 7),
+            e(1, 0, 8),
+        ];
+        let mut reference: Option<Vec<u64>> = None;
+        for granularity in [
+            Granularity::Sequential,
+            Granularity::CoarseGrained,
+            Granularity::FineGrained,
+        ] {
+            let mut eng = StreamingEngine::with_threads(
+                1_000,
+                StreamingQuery::temporal(1_000).granularity(granularity),
+                4,
+            )
+            .unwrap();
+            assert_eq!(eng.query().requested_granularity(), granularity);
+            let mut per_batch = Vec::new();
+            for chunk in edges.chunks(3) {
+                let report = eng.ingest(chunk).unwrap();
+                per_batch.push(report.cycles_found);
+                if granularity == Granularity::FineGrained && !chunk.is_empty() {
+                    assert_eq!(
+                        report.stats.granularity,
+                        Some(Granularity::FineGrained),
+                        "fine runs must be tagged as such"
+                    );
+                }
+            }
+            match &reference {
+                None => reference = Some(per_batch),
+                Some(expected) => assert_eq!(&per_batch, expected, "{granularity:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn single_threaded_engine_degrades_every_granularity_to_sequential() {
+        let mut eng = StreamingEngine::with_threads(
+            1_000,
+            StreamingQuery::simple(1_000).granularity(Granularity::FineGrained),
+            1,
+        )
+        .unwrap();
+        eng.ingest(&[e(0, 1, 1)]).unwrap();
+        let report = eng.ingest(&[e(1, 0, 2)]).unwrap();
+        assert_eq!(report.cycles_found, 1);
+        assert_eq!(report.stats.granularity, Some(Granularity::Sequential));
+        assert_eq!(report.stats.threads, 1);
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Shared differential-test support: the brute-force oracles and seeded-case
+//! generators every correctness test in the workspace compares against.
+//!
+//! The repo's central invariant is that *every* enumerator — any algorithm,
+//! any granularity, any thread count, one-shot or delta — reports exactly the
+//! same cycle set. Before this module existed, each test site carried its own
+//! private brute-force oracle (a DFS in `seq::temporal`'s tests, the
+//! Tiernan-as-baseline idiom in the equivalence suite, hand-rolled seeded
+//! case generators in `tests/`). Now there is **one oracle per cycle kind**,
+//! used everywhere:
+//!
+//! * [`oracle_simple`] — Tiernan's brute-force search through the production
+//!   entry point (itself validated against an independent path-extension
+//!   search in this module's tests);
+//! * [`oracle_temporal`] — an independent, pruning-free path-extension DFS
+//!   that shares no code with the enumerators under test.
+//!
+//! Both return **canonicalised, sorted** cycle vectors ([`canonicalized`]),
+//! so two result sets are equal iff they are byte-identical as `Vec<Cycle>`.
+//!
+//! This module is visible to the crate's own unit tests unconditionally
+//! (`cfg(test)`) and to integration tests / downstream differential
+//! harnesses through the `testing` cargo feature; production builds exclude
+//! it (and its `rand` dependency) entirely.
+
+use crate::cycle::{CollectingSink, Cycle};
+use crate::options::SimpleCycleOptions;
+use crate::seq::tiernan::tiernan_simple;
+use pce_graph::{GraphBuilder, TemporalGraph, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Canonicalises and sorts a cycle collection: the deterministic form every
+/// differential comparison in the workspace uses (equal iff byte-identical).
+pub fn canonicalized(cycles: impl IntoIterator<Item = Cycle>) -> Vec<Cycle> {
+    let mut canon: Vec<Cycle> = cycles.into_iter().map(|c| c.canonicalize()).collect();
+    canon.sort_by(|a, b| a.edges.cmp(&b.edges));
+    canon
+}
+
+/// The simple-cycle oracle: Tiernan's brute-force enumeration (no blocking,
+/// no pruning beyond the window), canonicalised. This is the
+/// Tiernan-as-baseline idiom the equivalence tests always used, packaged as
+/// the one shared reference.
+pub fn oracle_simple(graph: &TemporalGraph, opts: &SimpleCycleOptions) -> Vec<Cycle> {
+    let sink = CollectingSink::new();
+    tiernan_simple(graph, opts, &sink);
+    sink.canonical_cycles()
+}
+
+/// The temporal-cycle oracle: a pruning-free path-extension DFS (strictly
+/// increasing timestamps, window anchored at each root edge) that shares no
+/// code with the enumerators under test. Canonicalised.
+pub fn oracle_temporal(graph: &TemporalGraph, delta: Timestamp) -> Vec<Cycle> {
+    let mut result = Vec::new();
+    for (root, e0) in graph.edge_ids() {
+        if e0.src == e0.dst {
+            continue;
+        }
+        let t_end = e0.ts.saturating_add(delta);
+        let mut stack = vec![(vec![e0.src, e0.dst], vec![root], e0.ts)];
+        while let Some((path, edges, arrival)) = stack.pop() {
+            let last = *path.last().expect("paths are never empty");
+            for &entry in graph.out_edges(last) {
+                if entry.ts <= arrival || entry.ts > t_end {
+                    continue;
+                }
+                if entry.neighbor == e0.src {
+                    let mut cedges = edges.clone();
+                    cedges.push(entry.edge);
+                    result.push(Cycle::new(path.clone(), cedges));
+                } else if !path.contains(&entry.neighbor) {
+                    let mut npath = path.clone();
+                    let mut nedges = edges.clone();
+                    npath.push(entry.neighbor);
+                    nedges.push(entry.edge);
+                    stack.push((npath, nedges, entry.ts));
+                }
+            }
+        }
+    }
+    canonicalized(result)
+}
+
+/// Builds a temporal multigraph from raw `(src, dst, ts)` triples, wrapping
+/// endpoints into `0..n`. The shape every seeded sweep uses to construct its
+/// cases.
+pub fn graph_from_edges(n: u32, edges: &[(u32, u32, i64)]) -> TemporalGraph {
+    let mut builder = GraphBuilder::with_vertices(n as usize);
+    for &(s, d, t) in edges {
+        builder.push_edge(s % n, d % n, t);
+    }
+    builder.build()
+}
+
+/// One deterministically generated random differential-test case: a sparse
+/// temporal multigraph plus a window size that exercises it. `seed` fully
+/// determines the case, so a failing seed printed in an assertion message (or
+/// a CI log) reproduces the exact graph.
+pub fn random_case(
+    seed: u64,
+    max_vertices: u32,
+    max_edges: usize,
+    time_span: i64,
+) -> (TemporalGraph, Timestamp) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(4..max_vertices);
+    let num_edges = rng.gen_range(1..max_edges);
+    let edges: Vec<(u32, u32, i64)> = (0..num_edges)
+        .map(|_| {
+            (
+                rng.gen_range(0..max_vertices),
+                rng.gen_range(0..max_vertices),
+                rng.gen_range(0..time_span),
+            )
+        })
+        .collect();
+    let delta = rng.gen_range(5..(time_span * 2 / 3).max(6));
+    (graph_from_edges(n, &edges), delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::johnson::johnson_simple;
+
+    /// Independent path-extension search for simple cycles, used to validate
+    /// the Tiernan-backed [`oracle_simple`] itself (rooted at each minimum
+    /// edge, window anchored there, no blocking).
+    fn path_extension_simple(graph: &TemporalGraph, delta: Timestamp) -> Vec<Cycle> {
+        let mut result = Vec::new();
+        for (root, e0) in graph.edge_ids() {
+            if e0.src == e0.dst {
+                continue;
+            }
+            let t_end = e0.ts.saturating_add(delta);
+            let mut stack = vec![(vec![e0.src, e0.dst], vec![root])];
+            while let Some((path, edges)) = stack.pop() {
+                let last = *path.last().expect("non-empty");
+                for &entry in graph.out_edges(last) {
+                    if entry.edge <= root || entry.ts > t_end {
+                        continue;
+                    }
+                    if entry.neighbor == e0.src {
+                        let mut cedges = edges.clone();
+                        cedges.push(entry.edge);
+                        result.push(Cycle::new(path.clone(), cedges));
+                    } else if !path.contains(&entry.neighbor) {
+                        let mut npath = path.clone();
+                        let mut nedges = edges.clone();
+                        npath.push(entry.neighbor);
+                        nedges.push(entry.edge);
+                        stack.push((npath, nedges));
+                    }
+                }
+            }
+        }
+        canonicalized(result)
+    }
+
+    #[test]
+    fn simple_oracle_matches_independent_search_and_johnson() {
+        for seed in 0..6 {
+            let (graph, delta) = random_case(10_000 + seed, 12, 60, 40);
+            let opts = SimpleCycleOptions::with_window(delta);
+            let oracle = oracle_simple(&graph, &opts);
+            assert_eq!(
+                oracle,
+                path_extension_simple(&graph, delta),
+                "seed {seed} (oracle vs independent search)"
+            );
+            let sink = CollectingSink::new();
+            johnson_simple(&graph, &opts, &sink);
+            assert_eq!(oracle, sink.canonical_cycles(), "seed {seed} (vs Johnson)");
+        }
+    }
+
+    #[test]
+    fn temporal_oracle_finds_known_cycles() {
+        let g = GraphBuilder::new()
+            .add_edge(0, 1, 1)
+            .add_edge(1, 2, 3)
+            .add_edge(2, 0, 5)
+            .add_edge(2, 0, 2) // non-increasing return: not temporal
+            .build();
+        let cycles = oracle_temporal(&g, 100);
+        assert_eq!(cycles.len(), 1);
+        assert!(cycles[0].is_temporal(&g));
+        // The window constraint is honoured.
+        assert!(oracle_temporal(&g, 3).is_empty());
+    }
+
+    #[test]
+    fn random_cases_are_deterministic_per_seed() {
+        let (a, da) = random_case(77, 14, 70, 60);
+        let (b, db) = random_case(77, 14, 70, 60);
+        assert_eq!(a.edges(), b.edges());
+        assert_eq!(da, db);
+        let (c, _) = random_case(78, 14, 70, 60);
+        assert!(a.edges() != c.edges() || a.num_vertices() != c.num_vertices());
+    }
+
+    #[test]
+    fn canonicalized_is_order_invariant() {
+        let g = GraphBuilder::new()
+            .add_edge(0, 1, 1)
+            .add_edge(1, 0, 2)
+            .build();
+        let a = Cycle::new(vec![0, 1], vec![0, 1]);
+        let b = Cycle::new(vec![1, 0], vec![1, 0]);
+        assert_eq!(canonicalized([a.clone(), b.clone()]), canonicalized([b, a]));
+        let _ = g;
+    }
+}

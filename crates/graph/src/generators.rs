@@ -10,6 +10,9 @@
 //! * [`fig5a_infeasible_regions`] — the graph of Figure 5a with exactly four
 //!   cycles and `4·2^(m-1)` maximal simple paths; illustrates the work
 //!   inefficiency of the fine-grained parallel Johnson algorithm.
+//! * [`hub_burst`] — the delta-enumeration mirror of Figure 4a: `width^depth`
+//!   cycles all closed by one final edge; the worst case for coarse-grained
+//!   parallel *delta* enumeration.
 //! * [`uniform_temporal`] — Erdős–Rényi-style random temporal multigraph.
 //! * [`power_law_temporal`] — preferential-attachment (power-law in/out
 //!   degree) temporal multigraph; this is the family that reproduces the load
@@ -97,6 +100,49 @@ pub fn fig4a_exponential_cycles(n: usize) -> TemporalGraph {
 pub fn fig4a_cycle_count(n: usize) -> u64 {
     assert!(n >= 2);
     1u64 << (n - 2)
+}
+
+/// The **hub-burst** gadget: the delta-enumeration mirror of
+/// [`fig4a_exponential_cycles`]. `width^depth` cycles all pass through one
+/// hub pair and are all **closed by the single final edge** — the worst case
+/// for coarse-grained (one-task-per-root) parallel delta enumeration, which
+/// collapses to a single worker on it, and the showcase for the fine-grained
+/// decomposition.
+///
+/// Layout: hub tail `u = 0`, hub head `w = 1`, then `depth` layers of `width`
+/// vertices. `w` fans out to layer 0 (timestamp 1), consecutive layers are
+/// completely bipartite (timestamp `layer + 2`), the last layer converges on
+/// `u` (timestamp `depth + 1`), and the closing edge `u → w` arrives last at
+/// timestamp `depth + 2` — strictly the maximum `(ts, id)` edge, so every
+/// cycle is rooted at it. Every cycle is simple *and* temporal (timestamps
+/// strictly increase along it).
+pub fn hub_burst(width: usize, depth: usize) -> TemporalGraph {
+    assert!(width >= 1 && depth >= 1);
+    let u = 0u32;
+    let w = 1u32;
+    let layer = |l: usize, j: usize| (2 + l * width + j) as VertexId;
+    let mut builder = GraphBuilder::new();
+    for j in 0..width {
+        builder.push_edge(w, layer(0, j), 1);
+    }
+    for l in 0..depth - 1 {
+        for a in 0..width {
+            for b in 0..width {
+                builder.push_edge(layer(l, a), layer(l + 1, b), (l + 2) as Timestamp);
+            }
+        }
+    }
+    for j in 0..width {
+        builder.push_edge(layer(depth - 1, j), u, (depth + 1) as Timestamp);
+    }
+    builder.push_edge(u, w, (depth + 2) as Timestamp);
+    builder.build()
+}
+
+/// Closed form for the number of (simple = temporal) cycles of
+/// [`hub_burst`]: `width^depth`, one per path through the layers.
+pub fn hub_burst_cycle_count(width: usize, depth: usize) -> u64 {
+    (width as u64).pow(depth as u32)
 }
 
 /// The graph of the paper's Figure 5a: four cycles
@@ -366,6 +412,23 @@ mod tests {
         assert!(!g.has_edge(3, 2));
         assert_eq!(fig4a_cycle_count(6), 16);
         assert_eq!(fig4a_cycle_count(2), 1);
+    }
+
+    #[test]
+    fn hub_burst_structure() {
+        let g = hub_burst(3, 2);
+        // u(0), w(1), two layers of three: 8 vertices.
+        assert_eq!(g.num_vertices(), 8);
+        // 3 fan-out + 9 bipartite + 3 fan-in + 1 closing edge.
+        assert_eq!(g.num_edges(), 16);
+        // The closing edge is strictly the maximum (ts, id) edge.
+        let closing = g.edge(g.num_edges() as u32 - 1);
+        assert_eq!((closing.src, closing.dst), (0, 1));
+        assert!(g.edges()[..g.num_edges() - 1]
+            .iter()
+            .all(|e| e.ts < closing.ts));
+        assert_eq!(hub_burst_cycle_count(3, 2), 9);
+        assert_eq!(hub_burst_cycle_count(2, 13), 8192);
     }
 
     #[test]

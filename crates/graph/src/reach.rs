@@ -269,12 +269,14 @@ impl CycleUnionWorkspace {
     /// edges; returns `true` if any such path (and therefore possibly a
     /// cycle closed by the root) exists.
     ///
-    /// Unlike [`Self::compute_simple`], this does **not** populate
-    /// [`Self::union_members`] (the list is left empty): the delta searchers
-    /// query membership through [`Self::in_union`] only, and skipping the
-    /// collection keeps the per-root cost `O(vertices + edges touched)`
-    /// instead of `O(num_vertices)` — the difference dominates on streams
-    /// with many small-union roots per batch.
+    /// Unlike [`Self::compute_simple`], whose collection pass scans all
+    /// vertices, [`Self::union_members`] is gathered here *during* the
+    /// traversal: the forward BFS queue is exactly the forward-reachable set,
+    /// and filtering it by the backward stamp costs `O(vertices touched)` —
+    /// so the per-root cost stays `O(vertices + edges touched)` rather than
+    /// `O(num_vertices)`, which matters on streams with many small-union
+    /// roots per batch. The fine-grained delta drivers consume the members
+    /// list to snapshot a [`UnionView`](`Self::union_members`) per root.
     pub fn compute_simple_before<G: GraphView + ?Sized>(
         &mut self,
         graph: &G,
@@ -297,6 +299,10 @@ impl CycleUnionWorkspace {
             Direction::Forward,
             |entry| entry.edge < root,
         );
+        // The queue now holds exactly the forward-reachable vertices; keep
+        // them as union candidates before the backward BFS reuses the buffer.
+        self.union_members.clear();
+        self.union_members.extend_from_slice(&self.queue);
         epoch_bfs(
             graph,
             window,
@@ -307,6 +313,7 @@ impl CycleUnionWorkspace {
             Direction::Backward,
             |entry| entry.edge < root,
         );
+        self.retain_backward_reachable_members();
 
         // A cycle closed by the root edge requires a path w → … → u.
         self.fwd_epoch[u as usize] == self.epoch && self.bwd_epoch[w as usize] == self.epoch
@@ -325,9 +332,10 @@ impl CycleUnionWorkspace {
     /// departure time** towards `u` — [`Self::can_close_after`] then works
     /// unchanged for the mirrored search. Returns `true` if `w` can reach `u`.
     ///
-    /// Like [`Self::compute_simple_before`], this does **not** populate
-    /// [`Self::union_members`]; the delta searchers query membership through
-    /// [`Self::in_union`] only.
+    /// Like [`Self::compute_simple_before`], [`Self::union_members`] is
+    /// gathered during the traversal (each vertex is recorded when its
+    /// forward stamp is first set, then filtered by the backward stamp), so
+    /// the per-root cost stays proportional to what the passes touch.
     pub fn compute_temporal_before<G: GraphView + ?Sized>(
         &mut self,
         graph: &G,
@@ -347,12 +355,16 @@ impl CycleUnionWorkspace {
         // ts >= window.start.
         self.earliest[w as usize] = window.start.saturating_sub(1);
         self.fwd_epoch[w as usize] = self.epoch;
+        self.union_members.push(w);
         for id in ids.clone() {
             let e = graph.edge(id);
             let su = e.src as usize;
             if self.fwd_epoch[su] == self.epoch && self.earliest[su] < e.ts {
                 let sd = e.dst as usize;
                 if self.fwd_epoch[sd] != self.epoch || self.earliest[sd] > e.ts {
+                    if self.fwd_epoch[sd] != self.epoch {
+                        self.union_members.push(e.dst);
+                    }
                     self.earliest[sd] = e.ts;
                     self.fwd_epoch[sd] = self.epoch;
                 }
@@ -375,7 +387,17 @@ impl CycleUnionWorkspace {
             }
         }
 
+        self.retain_backward_reachable_members();
         self.fwd_epoch[u as usize] == self.epoch && self.bwd_epoch[w as usize] == self.epoch
+    }
+
+    /// Filters the forward-reachable candidates recorded by a `_before` pass
+    /// down to the union (candidates that also carry the current backward
+    /// stamp). `O(candidates)`.
+    fn retain_backward_reachable_members(&mut self) {
+        let mut members = std::mem::take(&mut self.union_members);
+        members.retain(|&v| self.bwd_epoch[v as usize] == self.epoch);
+        self.union_members = members;
     }
 
     /// Grows the workspace to cover `n` vertices (no-op when already large
@@ -636,11 +658,14 @@ mod tests {
         let root = 2; // the t=3 edge 2→0
         assert!(ws.compute_simple_before(&g, root, TimeWindow::new(0, 3)));
         assert!(ws.in_union(0) && ws.in_union(1) && ws.in_union(2));
-        // The *_before passes answer membership only; the members list is
-        // deliberately not collected (it would cost O(n) per root).
-        assert_eq!(ws.union_size(), 0);
+        // The members list is gathered during the pass itself (O(touched),
+        // not O(num_vertices)), so snapshots cost nothing extra.
+        let mut members = ws.union_members().to_vec();
+        members.sort_unstable();
+        assert_eq!(members, vec![0, 1, 2]);
         // A window floor above the earlier edges empties the union.
         assert!(!ws.compute_simple_before(&g, root, TimeWindow::new(2, 3)));
+        assert_eq!(ws.union_size(), 0);
     }
 
     #[test]
@@ -670,6 +695,10 @@ mod tests {
         let root = 2; // 2→0 at t=5
         assert!(ws.compute_temporal_before(&g, root, TimeWindow::new(0, 5)));
         assert!(ws.in_union(0) && ws.in_union(1) && ws.in_union(2));
+        // Members are gathered during the pass, mirroring the simple case.
+        let mut members = ws.union_members().to_vec();
+        members.sort_unstable();
+        assert_eq!(members, vec![0, 1, 2]);
         // Latest departure towards the root tail (vertex 2): from 1 only the
         // t=3 edge leads on; from 0 only the t=1 edge.
         assert_eq!(ws.latest_departure(1), 3);

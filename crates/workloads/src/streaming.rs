@@ -14,8 +14,10 @@
 //! numbers are reproducible; [`StreamScenarioConfig::smoke`] provides a
 //! seconds-scale configuration for CI smoke runs.
 
-use pce_core::{CollectMode, StreamingEngine, StreamingError, StreamingQuery};
-use pce_graph::generators::{transaction_rings, TransactionRingConfig};
+use pce_core::{
+    CollectMode, Granularity, RunStats, StreamingEngine, StreamingError, StreamingQuery,
+};
+use pce_graph::generators::{self, transaction_rings, TransactionRingConfig};
 use pce_graph::{TemporalEdge, TemporalGraph, Timestamp};
 
 /// Configuration of one streaming fraud-detection run.
@@ -41,6 +43,10 @@ pub struct StreamScenarioConfig {
     /// Whether per-batch cycles are materialised (alerts) or only counted
     /// (pure throughput measurement).
     pub collect: CollectMode,
+    /// How each batch's delta enumeration is split across workers
+    /// (coarse-grained — one task per closing root — by default; fine-grained
+    /// steals recursion levels mid-search and wins on skewed batches).
+    pub granularity: Granularity,
 }
 
 impl Default for StreamScenarioConfig {
@@ -61,6 +67,7 @@ impl Default for StreamScenarioConfig {
             max_len: Some(8),
             temporal: true,
             collect: CollectMode::Count,
+            granularity: Granularity::CoarseGrained,
         }
     }
 }
@@ -85,7 +92,14 @@ impl StreamScenarioConfig {
             max_len: Some(6),
             temporal: true,
             collect: CollectMode::Count,
+            granularity: Granularity::CoarseGrained,
         }
+    }
+
+    /// The same scenario at a different delta-enumeration granularity.
+    pub fn with_granularity(mut self, granularity: Granularity) -> Self {
+        self.granularity = granularity;
+        self
     }
 
     /// The streaming query this configuration stands for.
@@ -99,7 +113,7 @@ impl StreamScenarioConfig {
             Some(len) => q.max_len(len),
             None => q,
         };
-        q.collect(self.collect)
+        q.granularity(self.granularity).collect(self.collect)
     }
 }
 
@@ -233,6 +247,122 @@ pub fn run_stream_scenario(
     })
 }
 
+/// Configuration of the **hub-burst** scenario: the adversarially skewed
+/// stream where fine-grained delta enumeration earns its keep. The lead-in
+/// batches lay down [`generators::hub_burst`]'s layered lattice (no cycles
+/// yet); the final one-edge burst batch closes all `width^depth` cycles at
+/// once through a single root — the fraud-ring shape where one hub account
+/// suddenly completes every ring.
+#[derive(Debug, Clone, Copy)]
+pub struct HubBurstConfig {
+    /// Vertices per lattice layer.
+    pub width: usize,
+    /// Number of lattice layers (cycle count is `width^depth`).
+    pub depth: usize,
+    /// Edges per lead-in batch.
+    pub batch_edges: usize,
+    /// `true` runs the temporal query, `false` the simple one (the gadget's
+    /// cycle set is identical either way).
+    pub temporal: bool,
+}
+
+impl Default for HubBurstConfig {
+    fn default() -> Self {
+        Self {
+            width: 2,
+            depth: 16,
+            batch_edges: 16,
+            temporal: true,
+        }
+    }
+}
+
+impl HubBurstConfig {
+    /// A seconds-scale configuration for CI smoke runs.
+    pub fn smoke() -> Self {
+        Self {
+            depth: 12,
+            ..Self::default()
+        }
+    }
+
+    /// The number of cycles the burst batch must report.
+    pub fn expected_cycles(&self) -> u64 {
+        generators::hub_burst_cycle_count(self.width, self.depth)
+    }
+}
+
+/// The measurements of one hub-burst run; the interesting part is the burst
+/// batch's [`RunStats`], which show whether the work spread across workers
+/// (fine granularity: steals > 0, several busy workers) or pinned to one
+/// (coarse: a single-root batch has a single task).
+#[derive(Debug, Clone)]
+pub struct HubBurstReport {
+    /// Worker threads the engine was built with.
+    pub threads: usize,
+    /// The granularity the standing query requested.
+    pub granularity: Granularity,
+    /// Cycles the burst batch reported (must equal
+    /// [`HubBurstConfig::expected_cycles`] — asserted by the runner).
+    pub cycles: u64,
+    /// Seconds the burst batch spent in delta enumeration.
+    pub burst_secs: f64,
+    /// Work statistics of the burst batch's delta enumeration.
+    pub burst_stats: RunStats,
+}
+
+impl HubBurstReport {
+    /// Number of workers that executed at least one recursive call during the
+    /// burst.
+    pub fn busy_workers(&self) -> usize {
+        self.burst_stats
+            .work
+            .workers
+            .iter()
+            .filter(|w| w.recursive_calls > 0)
+            .count()
+    }
+}
+
+/// Runs the hub-burst scenario: replays the lattice as lead-in batches, then
+/// ingests the single closing edge and reports how the burst's work was
+/// distributed.
+pub fn run_hub_burst(
+    cfg: &HubBurstConfig,
+    threads: usize,
+    granularity: Granularity,
+) -> Result<HubBurstReport, StreamingError> {
+    let graph = generators::hub_burst(cfg.width, cfg.depth);
+    let edges = graph.edges();
+    let (lead_in, burst) = edges.split_at(edges.len() - 1);
+    // A window (and retention) covering the whole gadget: every lattice edge
+    // is still live when the closing edge arrives.
+    let delta = graph.time_span().max(1);
+    let query = if cfg.temporal {
+        StreamingQuery::temporal(delta)
+    } else {
+        StreamingQuery::simple(delta)
+    };
+    let mut engine = StreamingEngine::with_threads(delta, query.granularity(granularity), threads)?;
+    for batch in lead_in.chunks(cfg.batch_edges.max(1)) {
+        let quiet = engine.ingest(batch)?;
+        debug_assert_eq!(quiet.cycles_found, 0, "the lattice alone closes nothing");
+    }
+    let report = engine.ingest(burst)?;
+    assert_eq!(
+        report.cycles_found,
+        cfg.expected_cycles(),
+        "hub burst must close exactly width^depth cycles"
+    );
+    Ok(HubBurstReport {
+        threads,
+        granularity,
+        cycles: report.cycles_found,
+        burst_secs: report.enumerate_secs,
+        burst_stats: report.stats,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,5 +407,34 @@ mod tests {
             assert_eq!(a.cycles, b.cycles, "batch {}", a.batch);
             assert_eq!(a.live_edges, b.live_edges);
         }
+    }
+
+    #[test]
+    fn granularities_agree_on_the_smoke_scenario() {
+        let coarse = run_stream_scenario(&StreamScenarioConfig::smoke(), 4).unwrap();
+        let fine = run_stream_scenario(
+            &StreamScenarioConfig::smoke().with_granularity(Granularity::FineGrained),
+            4,
+        )
+        .unwrap();
+        assert_eq!(coarse.total_cycles, fine.total_cycles);
+        for (a, b) in coarse.rows.iter().zip(&fine.rows) {
+            assert_eq!(a.cycles, b.cycles, "batch {}", a.batch);
+        }
+    }
+
+    #[test]
+    fn hub_burst_fine_engages_extra_workers_where_coarse_cannot() {
+        let cfg = HubBurstConfig::smoke();
+        let coarse = run_hub_burst(&cfg, 4, Granularity::CoarseGrained).unwrap();
+        let fine = run_hub_burst(&cfg, 4, Granularity::FineGrained).unwrap();
+        assert_eq!(coarse.cycles, fine.cycles);
+        assert_eq!(fine.cycles, cfg.expected_cycles());
+        // The burst batch has one root: coarse degrades to a single worker.
+        assert_eq!(coarse.busy_workers(), 1, "coarse pins to one worker");
+        assert_eq!(coarse.burst_stats.work.total_steals(), 0);
+        // Fine splits the rooted search itself.
+        assert!(fine.busy_workers() > 1, "fine must spread the burst");
+        assert!(fine.burst_stats.work.total_steals() > 0);
     }
 }

@@ -9,8 +9,13 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run --release --example streaming_fraud -- [threads]
+//! cargo run --release --example streaming_fraud -- [threads] [seq|coarse|fine]
 //! ```
+//!
+//! The optional second argument picks the delta-enumeration granularity:
+//! `coarse` (the default) schedules one task per ring-closing transaction,
+//! `fine` lets idle workers steal partial ring searches mid-flight — the
+//! right choice when one hub account closes most of a batch's rings.
 
 use parallel_cycle_enumeration::core::streaming::{StreamingEngine, StreamingQuery};
 use parallel_cycle_enumeration::graph::generators::{transaction_rings, TransactionRingConfig};
@@ -21,6 +26,15 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0);
+    let granularity = match std::env::args().nth(2).as_deref() {
+        Some("seq") | Some("sequential") => Granularity::Sequential,
+        Some("fine") => Granularity::FineGrained,
+        Some("coarse") | None => Granularity::CoarseGrained,
+        Some(other) => {
+            eprintln!("unknown granularity {other:?}; use seq, coarse or fine");
+            std::process::exit(2);
+        }
+    };
 
     // One month of synthetic transactions with planted laundering rings.
     let cfg = TransactionRingConfig {
@@ -43,9 +57,12 @@ fn main() {
     // Keep one week of transactions in the window; flag rings that complete
     // within 24 hours and involve at most 8 accounts.
     let retention = 7 * 24 * 3600;
-    let query = StreamingQuery::temporal(cfg.ring_span).max_len(8);
+    let query = StreamingQuery::temporal(cfg.ring_span)
+        .max_len(8)
+        .granularity(granularity);
     let mut engine =
         StreamingEngine::with_threads(retention, query, threads).expect("valid streaming config");
+    println!("delta enumeration granularity: {granularity:?}");
 
     // Replay the history in hourly batches (edges are already time-sorted).
     let batch_edges = (history.num_edges() / (30 * 24)).max(1);

@@ -5,20 +5,11 @@
 //! The central invariant of the whole project: every algorithm (Tiernan,
 //! Johnson, Read-Tarjan), at every granularity (sequential, coarse-grained,
 //! fine-grained) and any thread count, enumerates exactly the same set of
-//! cycles.
+//! cycles. The reference side of every comparison is the shared oracle
+//! module `pce_core::testing` — one oracle, used everywhere.
 
+use parallel_cycle_enumeration::core::testing;
 use parallel_cycle_enumeration::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-/// Builds a random temporal multigraph from a generated edge list.
-fn graph_from_edges(n: u32, edges: &[(u32, u32, i64)]) -> TemporalGraph {
-    let mut builder = GraphBuilder::with_vertices(n as usize);
-    for &(s, d, t) in edges {
-        builder.push_edge(s % n, d % n, t);
-    }
-    builder.build()
-}
 
 fn canonical_simple(
     graph: &TemporalGraph,
@@ -143,40 +134,18 @@ fn fine_grained_results_stable_across_repeated_runs() {
     }
 }
 
-/// One deterministically generated random case: a sparse temporal multigraph
-/// plus a window size. `seed` fully determines the case.
-fn random_case(
-    seed: u64,
-    max_vertices: u32,
-    max_edges: usize,
-    time_span: i64,
-) -> (TemporalGraph, i64) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let n = rng.gen_range(4..max_vertices);
-    let num_edges = rng.gen_range(1..max_edges);
-    let edges: Vec<(u32, u32, i64)> = (0..num_edges)
-        .map(|_| {
-            (
-                rng.gen_range(0..max_vertices),
-                rng.gen_range(0..max_vertices),
-                rng.gen_range(0..time_span),
-            )
-        })
-        .collect();
-    let delta = rng.gen_range(5..(time_span * 2 / 3).max(6));
-    (graph_from_edges(n, &edges), delta)
-}
-
-/// All three algorithms agree with each other on random sparse temporal
-/// multigraphs, for both simple and temporal cycles, sequentially and in
-/// parallel.
+/// All three algorithms agree with the shared brute-force oracle on random
+/// sparse temporal multigraphs, sequentially and in parallel.
 #[test]
 fn prop_all_algorithms_agree() {
     for seed in 0..24u64 {
-        let (graph, delta) = random_case(1_000 + seed, 14, 70, 60);
-        let reference =
-            canonical_simple(&graph, Algorithm::Johnson, Granularity::Sequential, delta);
-        for algo in [Algorithm::ReadTarjan, Algorithm::Tiernan] {
+        let (graph, delta) = testing::random_case(1_000 + seed, 14, 70, 60);
+        let reference = testing::oracle_simple(&graph, &SimpleCycleOptions::with_window(delta));
+        for algo in [
+            Algorithm::Johnson,
+            Algorithm::ReadTarjan,
+            Algorithm::Tiernan,
+        ] {
             let got = canonical_simple(&graph, algo, Granularity::Sequential, delta);
             assert_eq!(got, reference, "seed {seed} {algo:?}");
         }
@@ -189,6 +158,14 @@ fn prop_all_algorithms_agree() {
             delta,
         );
         assert_eq!(fine_rt, reference, "seed {seed} fine Read-Tarjan");
+        // The temporal enumeration agrees with its own independent oracle.
+        let temporal =
+            canonical_temporal(&graph, Algorithm::Johnson, Granularity::FineGrained, delta);
+        assert_eq!(
+            temporal,
+            testing::oracle_temporal(&graph, delta),
+            "seed {seed} temporal"
+        );
     }
 }
 
@@ -198,7 +175,7 @@ fn prop_all_algorithms_agree() {
 #[test]
 fn prop_reported_cycles_are_valid() {
     for seed in 0..24u64 {
-        let (graph, delta) = random_case(2_000 + seed, 14, 70, 60);
+        let (graph, delta) = testing::random_case(2_000 + seed, 14, 70, 60);
         let simple = canonical_simple(&graph, Algorithm::Johnson, Granularity::FineGrained, delta);
         for cycle in &simple {
             assert!(
@@ -227,7 +204,7 @@ fn prop_bundled_count_matches_enumeration() {
     use parallel_cycle_enumeration::core::bundle::bundled_temporal_count;
     use parallel_cycle_enumeration::core::TemporalCycleOptions;
     for seed in 0..24u64 {
-        let (graph, delta) = random_case(3_000 + seed, 10, 60, 30);
+        let (graph, delta) = testing::random_case(3_000 + seed, 10, 60, 30);
         let (bundled, _) =
             bundled_temporal_count(&graph, &TemporalCycleOptions::with_window(delta));
         let enumerated =

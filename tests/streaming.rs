@@ -2,10 +2,16 @@
 //! results over a replayed stream must equal a one-shot enumeration of the
 //! final window — for simple and temporal cycles, across seeds, batch sizes
 //! (including batches that straddle window expiry), one-shot
-//! algorithm/granularity combinations and streaming thread counts.
+//! algorithm/granularity combinations, streaming delta granularities and
+//! streaming thread counts.
+//!
+//! The seeded sweep takes its base seed from the `PCE_SWEEP_SEED` environment
+//! variable (CI passes one per run and echoes it), so a failure in a CI log
+//! is reproducible locally with the same value; every assertion message
+//! carries the seed.
 
 use parallel_cycle_enumeration::graph::generators::{
-    power_law_temporal, uniform_temporal, RandomTemporalConfig,
+    hub_burst, hub_burst_cycle_count, power_law_temporal, uniform_temporal, RandomTemporalConfig,
 };
 use parallel_cycle_enumeration::prelude::*;
 
@@ -226,6 +232,148 @@ fn max_len_constraint_is_preserved_by_streaming() {
         assert_eq!(union, reference, "max_len {max_len}");
         assert!(union.iter().all(|c| c.len() <= max_len));
     }
+}
+
+/// Base seed of the granularity sweep: `PCE_SWEEP_SEED` when set (CI passes a
+/// fresh one per run so the sweep keeps exploring cases; the value is in the
+/// CI log), a fixed default otherwise.
+fn sweep_seed() -> u64 {
+    std::env::var("PCE_SWEEP_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5_000)
+}
+
+/// The differential sweep for the streaming granularities: seeded batches ×
+/// granularity {sequential, coarse, fine} × threads {1, 4} × batch sizes
+/// (including expiry-straddling ones) must produce **byte-identical** cycle
+/// sets — equal to a one-shot enumeration over the final snapshot once
+/// restricted to cycles that survive in the final window, and equal to each
+/// other batch by batch.
+#[test]
+fn granularity_sweep_is_byte_identical_to_one_shot() {
+    let base = sweep_seed();
+    for seed in base..base + 2 {
+        let graph = power_law_temporal(RandomTemporalConfig {
+            num_vertices: 18,
+            num_edges: 100,
+            time_span: 90,
+            seed,
+        });
+        let delta = 25;
+        // One retention without expiry, one that forces it mid-stream.
+        for retention in [10_000, 40] {
+            for (label, streaming_query, query) in [
+                (
+                    "simple",
+                    StreamingQuery::simple(delta).max_len(5),
+                    Query::simple().window(delta).max_len(5),
+                ),
+                (
+                    "temporal",
+                    StreamingQuery::temporal(delta),
+                    Query::temporal().window(delta),
+                ),
+            ] {
+                // 100 edges over ~90 time steps: a 45-edge batch spans more
+                // than the retention of 40 (expiry-straddling).
+                for batch_edges in [1, 9, 45] {
+                    let mut reference_union: Option<Vec<StreamCycle>> = None;
+                    for granularity in [
+                        Granularity::Sequential,
+                        Granularity::CoarseGrained,
+                        Granularity::FineGrained,
+                    ] {
+                        for threads in [1, 4] {
+                            let (union, engine) = replay(
+                                &graph,
+                                streaming_query.clone().granularity(granularity),
+                                retention,
+                                batch_edges,
+                                threads,
+                            );
+                            // Every configuration reports the same union …
+                            match &reference_union {
+                                None => reference_union = Some(union.clone()),
+                                Some(expected) => assert_eq!(
+                                    &union, expected,
+                                    "seed {seed} {label} retention {retention} batch \
+                                     {batch_edges} {granularity:?} threads {threads}"
+                                ),
+                            }
+                            // … and the survivors match the one-shot run over
+                            // the final snapshot byte for byte.
+                            let window = engine.graph().window();
+                            let snapshot = engine.snapshot();
+                            let one_shot = one_shot(
+                                &snapshot,
+                                &query,
+                                Algorithm::Johnson,
+                                Granularity::Sequential,
+                            );
+                            let survivors: Vec<StreamCycle> = union
+                                .iter()
+                                .filter(|c| c.edges.iter().all(|e| window.contains(e.ts)))
+                                .cloned()
+                                .collect();
+                            assert_eq!(
+                                survivors, one_shot,
+                                "seed {seed} {label} retention {retention} batch \
+                                 {batch_edges} {granularity:?} threads {threads}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The regression mirror of `fine_johnson`'s multi-worker assertion, at the
+/// streaming level: a batch whose cycles all hang off one hot root must
+/// engage more than one worker under fine granularity — with the steal
+/// activity recorded in the batch's `RunStats`/`WorkMetrics` — where the
+/// coarse driver necessarily pins to a single worker.
+#[test]
+fn single_hot_root_batch_engages_multiple_workers_under_fine() {
+    let graph = hub_burst(2, 13);
+    let expected = hub_burst_cycle_count(2, 13);
+    let delta = graph.time_span().max(1);
+    let edges = graph.edges();
+    let (lead_in, burst) = edges.split_at(edges.len() - 1);
+
+    let burst_report = |granularity: Granularity| {
+        let mut engine = StreamingEngine::with_threads(
+            delta,
+            StreamingQuery::temporal(delta).granularity(granularity),
+            4,
+        )
+        .expect("valid streaming config");
+        engine.ingest(lead_in).expect("in-order lead-in");
+        engine.ingest(burst).expect("in-order burst")
+    };
+
+    let fine = burst_report(Granularity::FineGrained);
+    assert_eq!(fine.cycles_found, expected);
+    assert_eq!(fine.stats.granularity, Some(Granularity::FineGrained));
+    assert!(
+        fine.stats.work.total_steals() > 0,
+        "steals must be recorded in the batch WorkMetrics"
+    );
+    let busy = fine
+        .stats
+        .work
+        .workers
+        .iter()
+        .filter(|w| w.recursive_calls > 0)
+        .count();
+    assert!(busy > 1, "fine granularity must engage several workers");
+
+    // Identical results from the coarse driver, which cannot spread a
+    // single-root batch.
+    let coarse = burst_report(Granularity::CoarseGrained);
+    assert_eq!(coarse.cycles_found, expected);
+    assert_eq!(coarse.stats.work.total_steals(), 0);
 }
 
 /// The batching itself must not matter: any two batch sizes produce the same
