@@ -38,6 +38,18 @@
 //! immutable [`TemporalGraph`](pce_graph::TemporalGraph) and the streaming
 //! [`SlidingWindowGraph`](pce_graph::stream::SlidingWindowGraph).
 //!
+//! # One pass, many queries
+//!
+//! Because the search rooted at an edge enumerates a *superset* of every
+//! narrower query's results — a cycle that fits a window δ′ ≤ δ, a length
+//! bound L′ ≤ L, or the temporal definition is also found by the simple
+//! search at (δ, L) rooted at the same maximum edge — a single delta pass at
+//! the loosest constraints can serve many standing queries at once, with
+//! per-cycle re-checking instead of per-query re-searching. That is exactly
+//! what [`MultiStreamingEngine`](crate::streaming::MultiStreamingEngine)
+//! does: one union/pruning pass and one search per root at the widest
+//! subscribed window, fanned out through per-query filters.
+//!
 //! # The `floor` parameter
 //!
 //! Every entry point takes a `floor` timestamp: roots below it are skipped

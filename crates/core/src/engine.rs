@@ -66,7 +66,7 @@ pub enum Algorithm {
 }
 
 /// How the work is split across threads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum Granularity {
     /// Single-threaded reference execution.
     Sequential,
@@ -78,7 +78,7 @@ pub enum Granularity {
 }
 
 /// Which cycle definition a query asks about.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum CycleKind {
     /// (Window-constrained) simple cycles: no vertex repeats.
     #[default]
@@ -342,6 +342,13 @@ pub struct EnumerationResult {
 /// only ever answers [`Granularity::Sequential`] queries never spawns a
 /// thread) and shut down when the engine drops. See the [module
 /// docs](self) for a usage example.
+///
+/// This is the *one-shot* front end (each query sweeps a static graph). For
+/// continuously arriving edges use
+/// [`StreamingEngine`](crate::streaming::StreamingEngine), and for many
+/// concurrent standing queries over one stream
+/// [`MultiStreamingEngine`](crate::streaming::MultiStreamingEngine) — both
+/// embed an `Engine` for its reusable pool.
 pub struct Engine {
     threads: usize,
     pool: OnceLock<Arc<ThreadPool>>,

@@ -12,6 +12,7 @@
 //! | Read-Tarjan | [`seq::read_tarjan`] | [`par::coarse`] | [`par::fine_read_tarjan`] |
 //! | Temporal (2SCENT-style) | [`seq::temporal`] | [`par::coarse`] | [`par::fine_temporal`] |
 //! | Delta (max-edge-rooted, streaming) | [`delta::delta_simple`] / [`delta::delta_temporal`] | [`delta::delta_simple_parallel`] / [`delta::delta_temporal_parallel`] | [`delta::delta_simple_fine`] / [`delta::delta_temporal_fine`] |
+//! | Multi-query subscriptions (one shared delta pass, per-query fan-out) | [`MultiStreamingEngine`] at [`Granularity::Sequential`] | … at [`Granularity::CoarseGrained`] (default) | … at [`Granularity::FineGrained`] (via [`MultiStreamingEngine::with_granularity`]) |
 //!
 //! All enumerators share the same problem definitions (see [`cycle`]), report
 //! cycles through a statically-dispatched [`CycleSink`] and record work into
@@ -25,7 +26,11 @@
 //! window and enumerates only the cycles each batch closes (the [`delta`]
 //! enumerators, rooted at a cycle's maximum edge instead of its minimum) —
 //! sequentially, coarse-grained, or with the paper's fine-grained stealable
-//! task decomposition ([`StreamingQuery::granularity`]).
+//! task decomposition ([`StreamingQuery::granularity`]). For *many*
+//! concurrent standing queries over one stream, [`MultiStreamingEngine`]
+//! shares the ingest, the delta root scan and the per-root pruning pass
+//! across all subscriptions and fans per-query results out by [`QueryId`] —
+//! N subscriptions cost far less than N engines.
 //!
 //! Cross-implementation correctness is checked everywhere against the shared
 //! brute-force oracles in the `testing` module (unit tests see it always;
@@ -74,9 +79,12 @@ pub use engine::{
     Algorithm, CollectMode, CycleKind, CycleStream, Engine, EnumerationError, EnumerationResult,
     Granularity, Query,
 };
-pub use metrics::{RunStats, WorkMetrics, WorkSnapshot, WorkerWork};
+pub use metrics::{LatencyStats, RunStats, WorkMetrics, WorkSnapshot, WorkerWork};
 pub use options::{SimpleCycleOptions, TemporalCycleOptions};
-pub use streaming::{BatchReport, StreamCycle, StreamingEngine, StreamingError, StreamingQuery};
+pub use streaming::{
+    BatchReport, MultiBatchReport, MultiStreamingEngine, QueryId, StreamCycle, StreamingEngine,
+    StreamingError, StreamingQuery,
+};
 
 // Re-export the substrate crates so downstream users can depend on `pce-core`
 // alone.

@@ -217,6 +217,65 @@ impl WorkSnapshot {
     }
 }
 
+/// Per-query latency accumulator for multi-tenant streaming: records one
+/// sample per ingested batch (seconds) and answers the percentile questions a
+/// capacity planner asks per subscription — p50/p95/max — without the caller
+/// re-sorting raw rows.
+///
+/// Used by [`MultiStreamingEngine`](crate::streaming::MultiStreamingEngine)
+/// to attribute per-batch latency to each [`QueryId`](crate::streaming::QueryId)
+/// over the subscription's lifetime (a query subscribed mid-stream only
+/// accumulates samples from its first batch on).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Raw per-batch latency samples in seconds, in arrival order.
+    samples: Vec<f64>,
+}
+
+impl LatencyStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one per-batch latency sample (seconds).
+    pub fn record(&mut self, secs: f64) {
+        self.samples.push(secs);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Mean latency in seconds (0 with no samples).
+    pub fn mean_secs(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Latency percentile (`p` clamped to `0.0..=1.0`) in seconds, by
+    /// nearest-rank over the sorted samples (0 with no samples). Sorts a copy
+    /// of the samples per call — a reporting-time operation, not one for the
+    /// per-batch hot path.
+    pub fn percentile_secs(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let idx = ((sorted.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
+        sorted[idx]
+    }
+
+    /// Worst recorded latency in seconds (one linear scan, no sort).
+    pub fn max_secs(&self) -> f64 {
+        self.samples.iter().fold(0.0, |acc, &s| f64::max(acc, s))
+    }
+}
+
 /// The result summary returned by every enumerator: cycle count, wall-clock
 /// time and the work snapshot, tagged with what actually ran.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -322,6 +381,25 @@ mod tests {
             ],
         };
         assert!((skewed.imbalance() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_stats_percentiles() {
+        let mut l = LatencyStats::new();
+        assert_eq!(l.count(), 0);
+        assert_eq!(l.mean_secs(), 0.0);
+        assert_eq!(l.percentile_secs(0.5), 0.0);
+        // Record out of order: percentiles must sort, not trust arrival order.
+        for secs in [0.5, 0.1, 0.4, 0.2, 0.3] {
+            l.record(secs);
+        }
+        assert_eq!(l.count(), 5);
+        assert!((l.mean_secs() - 0.3).abs() < 1e-12);
+        assert!((l.percentile_secs(0.5) - 0.3).abs() < 1e-12);
+        assert!((l.percentile_secs(0.0) - 0.1).abs() < 1e-12);
+        assert!((l.max_secs() - 0.5).abs() < 1e-12);
+        // Out-of-range percentiles clamp instead of panicking.
+        assert_eq!(l.percentile_secs(7.0), l.max_secs());
     }
 
     #[test]

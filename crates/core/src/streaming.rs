@@ -42,6 +42,21 @@
 //! granularities and thread counts — byte-identical results for every
 //! configuration.
 //!
+//! # Serving many queries from one stream
+//!
+//! A [`StreamingEngine`] owns its graph, so N standing queries over the same
+//! stream would cost N ingest/expiry passes and N delta scans per batch.
+//! [`MultiStreamingEngine`] is the multi-tenant front end:
+//! [`subscribe`](MultiStreamingEngine::subscribe) any number of
+//! [`StreamingQuery`]s (each gets a stable [`QueryId`]), and every
+//! [`ingest`](MultiStreamingEngine::ingest) pays **one** append/expiry pass,
+//! **one** delta root scan and **one** per-root backward union/pruning pass —
+//! at the widest subscribed window — then re-checks each candidate cycle
+//! against every query's own constraints before fanning results out to
+//! per-query [`BatchReport`]s. The per-query outputs are byte-identical to
+//! dedicated engines (proven by the differential harness in
+//! `tests/streaming.rs`).
+//!
 //! # Relation to [`Engine::stream`]
 //!
 //! [`Engine::stream`] pushes the results of **one** query to a consumer with
@@ -51,18 +66,21 @@
 //! into any transport — including a backpressured channel — without the
 //! enumeration pipeline ever blocking on a slow consumer.
 
-use crate::cycle::{CollectingSink, CountingSink};
+use crate::cycle::{CollectingSink, CountingSink, Cycle, CycleSink};
 use crate::delta::{
     delta_simple_fine_with_scratch, delta_simple_parallel_with_scratch, delta_simple_with_scratch,
     delta_temporal_fine_with_scratch, delta_temporal_parallel_with_scratch,
     delta_temporal_with_scratch,
 };
 use crate::engine::{CollectMode, CycleKind, Engine, EnumerationError, Granularity};
-use crate::metrics::RunStats;
+use crate::metrics::{LatencyStats, RunStats};
 use crate::options::{SimpleCycleOptions, TemporalCycleOptions};
 use crate::seq::RootScratch;
+use parking_lot::Mutex;
 use pce_graph::stream::{SlidingWindowGraph, StreamError};
-use pce_graph::{GraphView, TemporalEdge, TemporalGraph, TimeWindow, Timestamp, VertexId};
+use pce_graph::{EdgeId, GraphView, TemporalEdge, TemporalGraph, TimeWindow, Timestamp, VertexId};
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Errors produced by the streaming subsystem.
@@ -215,6 +233,21 @@ impl StreamingQuery {
         self.window_delta
     }
 
+    /// The cycle-length bound, if any.
+    pub fn max_len_bound(&self) -> Option<usize> {
+        self.max_len
+    }
+
+    /// Whether length-1 cycles (self-loops) are reported.
+    pub fn includes_self_loops(&self) -> bool {
+        self.include_self_loops
+    }
+
+    /// Whether per-batch cycles are materialised or only counted.
+    pub fn collect_mode(&self) -> CollectMode {
+        self.collect
+    }
+
     /// Checks the query for values that can never return anything and for
     /// combinations that have no implementation, mirroring
     /// [`Query::validate`](crate::Query::validate). Called when the
@@ -279,9 +312,42 @@ impl StreamCycle {
     }
 }
 
+/// Stable identifier of one standing query.
+///
+/// A [`MultiStreamingEngine`] assigns a fresh id to every
+/// [`subscribe`](MultiStreamingEngine::subscribe) call and never reuses one —
+/// not even after [`unsubscribe`](MultiStreamingEngine::unsubscribe) — so
+/// multi-tenant callers can attribute per-batch results to the right consumer
+/// for the whole lifetime of the stream. A single-query [`StreamingEngine`]
+/// stamps its reports with [`QueryId::SOLO`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(u64);
+
+impl QueryId {
+    /// The id a single-query [`StreamingEngine`] stamps on its reports.
+    /// [`MultiStreamingEngine`] subscription ids start above it.
+    pub const SOLO: QueryId = QueryId(0);
+
+    /// The raw id value (stable, monotonically assigned).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
 /// What one [`StreamingEngine::ingest`] call produced.
 #[derive(Debug)]
 pub struct BatchReport {
+    /// The standing query these results belong to: [`QueryId::SOLO`] from a
+    /// [`StreamingEngine`], the subscription's id from a
+    /// [`MultiStreamingEngine`] — so multi-tenant callers can attribute
+    /// per-query cycle counts without re-sorting.
+    pub query: QueryId,
     /// 0-based index of this batch in the stream.
     pub batch: u64,
     /// Edges appended by this batch.
@@ -450,6 +516,7 @@ impl StreamingEngine {
         let enumerate_secs = t1.elapsed().as_secs_f64();
 
         let report = BatchReport {
+            query: QueryId::SOLO,
             batch: self.batches,
             appended: delta.appended,
             expired: delta.expired,
@@ -592,6 +659,518 @@ fn run_delta<S: crate::cycle::CycleSink>(
                     scratches,
                 ),
             }
+        }
+    }
+}
+
+/// One active subscription of a [`MultiStreamingEngine`].
+#[derive(Debug)]
+struct Subscription {
+    id: QueryId,
+    query: StreamingQuery,
+    total_cycles: u64,
+    latency: LatencyStats,
+}
+
+/// The parameters of the **one** shared enumeration pass a batch runs for all
+/// subscriptions: the loosest constraint on every axis, so each query's
+/// result set is a filterable subset of what the pass discovers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SharedPass {
+    /// [`CycleKind::Simple`] as soon as any subscription asks for simple
+    /// cycles (every temporal cycle is also a vertex-simple cycle rooted at
+    /// the same maximum edge, so one simple pass serves both kinds);
+    /// [`CycleKind::Temporal`] only for an all-temporal portfolio, where the
+    /// strictly-increasing constraint prunes the search far harder.
+    kind: CycleKind,
+    /// The widest subscribed window: the per-root backward union/pruning pass
+    /// runs once at this δ, and narrower queries filter by time span.
+    delta: Timestamp,
+    /// The loosest length bound (`None` as soon as any query is unbounded).
+    max_len: Option<usize>,
+    /// Whether any simple subscription wants self-loops reported.
+    include_self_loops: bool,
+}
+
+impl SharedPass {
+    /// Computes the loosest-constraint pass covering `subs`, or `None` when
+    /// there is nothing subscribed (the batch is ingested but not enumerated).
+    fn covering(subs: &[Subscription]) -> Option<SharedPass> {
+        let first = subs.first()?;
+        let mut pass = SharedPass {
+            kind: CycleKind::Temporal,
+            delta: first.query.window_delta,
+            max_len: first.query.max_len,
+            include_self_loops: false,
+        };
+        for sub in subs {
+            let q = &sub.query;
+            if q.kind == CycleKind::Simple {
+                pass.kind = CycleKind::Simple;
+                pass.include_self_loops |= q.include_self_loops;
+            }
+            pass.delta = pass.delta.max(q.window_delta);
+            pass.max_len = match (pass.max_len, q.max_len) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            };
+        }
+        Some(pass)
+    }
+
+    /// The pass as a standing query, for the shared [`run_delta`] dispatcher.
+    fn as_query(&self, granularity: Granularity) -> StreamingQuery {
+        StreamingQuery {
+            kind: self.kind,
+            granularity,
+            window_delta: self.delta,
+            max_len: self.max_len,
+            include_self_loops: self.include_self_loops,
+            collect: CollectMode::Collect,
+        }
+    }
+}
+
+/// Per-subscription accumulator of one batch's fan-out (see
+/// [`FanOutSink`]).
+#[derive(Debug, Default)]
+struct SubAccum {
+    count: AtomicU64,
+    cycles: Mutex<Vec<Cycle>>,
+}
+
+/// The fan-out sink of the shared enumeration pass: every candidate cycle the
+/// pass discovers is re-checked against each subscription's own constraints —
+/// narrower window δ (time span), `max_len`, cycle kind (strictly increasing
+/// timestamps for temporal queries), self-loops — and accepted into the
+/// per-query accumulators it satisfies. Workers push concurrently, so counts
+/// are atomic and collected cycles go through a mutex, exactly like
+/// [`CollectingSink`].
+struct FanOutSink<'a> {
+    graph: &'a SlidingWindowGraph,
+    subs: &'a [Subscription],
+    accums: Vec<SubAccum>,
+    /// Candidate cycles the shared pass discovered (before per-query
+    /// filtering) — what [`CycleSink::count`] reports, and therefore what the
+    /// shared [`RunStats::cycles`] means for a multi-query batch.
+    candidates: AtomicU64,
+}
+
+impl<'a> FanOutSink<'a> {
+    fn new(graph: &'a SlidingWindowGraph, subs: &'a [Subscription]) -> Self {
+        Self {
+            graph,
+            subs,
+            accums: subs.iter().map(|_| SubAccum::default()).collect(),
+            candidates: AtomicU64::new(0),
+        }
+    }
+}
+
+impl CycleSink for FanOutSink<'_> {
+    fn push(&self, vertices: &[VertexId], edges: &[EdgeId]) -> ControlFlow<()> {
+        self.candidates.fetch_add(1, Ordering::Relaxed);
+        // The delta searches report path edges in traversal order with the
+        // root (maximum) edge last; derive the per-query predicates once.
+        let root_ts = self
+            .graph
+            .edge(*edges.last().expect("cycles have edges"))
+            .ts;
+        let mut min_ts = root_ts;
+        let mut strictly_increasing = true;
+        let mut prev: Option<Timestamp> = None;
+        for &e in edges {
+            let ts = GraphView::edge(self.graph, e).ts;
+            min_ts = min_ts.min(ts);
+            if let Some(p) = prev {
+                strictly_increasing &= p < ts;
+            }
+            prev = Some(ts);
+        }
+        let span = root_ts.saturating_sub(min_ts);
+        let len = edges.len();
+        for (sub, accum) in self.subs.iter().zip(&self.accums) {
+            let q = &sub.query;
+            if len == 1 && !(q.kind == CycleKind::Simple && q.include_self_loops) {
+                continue;
+            }
+            if q.kind == CycleKind::Temporal && !strictly_increasing {
+                continue;
+            }
+            if span > q.window_delta {
+                continue;
+            }
+            if let Some(m) = q.max_len {
+                if len > m {
+                    continue;
+                }
+            }
+            accum.count.fetch_add(1, Ordering::Relaxed);
+            if q.collect == CollectMode::Collect {
+                accum
+                    .cycles
+                    .lock()
+                    .push(Cycle::new(vertices.to_vec(), edges.to_vec()));
+            }
+        }
+        ControlFlow::Continue(())
+    }
+
+    fn count(&self) -> u64 {
+        self.candidates.load(Ordering::Relaxed)
+    }
+}
+
+/// What one [`MultiStreamingEngine::ingest`] call produced: the **shared**
+/// ingest/enumeration measurements (paid once, no matter how many queries are
+/// subscribed) plus one per-subscription [`BatchReport`] attributing cycles
+/// to each [`QueryId`].
+#[derive(Debug)]
+pub struct MultiBatchReport {
+    /// 0-based index of this batch in the stream.
+    pub batch: u64,
+    /// Edges appended by this batch.
+    pub appended: usize,
+    /// Edges that expired out of the window during this ingest.
+    pub expired: usize,
+    /// Edges inside the window after the ingest.
+    pub live_edges: usize,
+    /// The live window after the ingest.
+    pub window: TimeWindow,
+    /// Wall-clock seconds of the one shared append/expiry pass.
+    pub ingest_secs: f64,
+    /// Wall-clock seconds of the one shared delta enumeration + fan-out.
+    pub enumerate_secs: f64,
+    /// Candidate cycles the shared pass discovered before per-query
+    /// filtering (each candidate is checked against every subscription).
+    pub candidates: u64,
+    /// Work statistics of the shared pass. `stats.cycles` counts the
+    /// candidates, not any single query's results.
+    pub stats: RunStats,
+    /// One report per active subscription, in subscription order. Each
+    /// carries its [`BatchReport::query`] id, its own `cycles_found` /
+    /// `cycles`, and the shared ingest/window figures.
+    pub reports: Vec<BatchReport>,
+}
+
+impl MultiBatchReport {
+    /// The per-query report for `id`, if that query is subscribed.
+    pub fn report(&self, id: QueryId) -> Option<&BatchReport> {
+        self.reports.iter().find(|r| r.query == id)
+    }
+
+    /// Total cycles reported across all subscriptions this batch (a cycle
+    /// matched by several queries counts once per query).
+    pub fn total_cycles(&self) -> u64 {
+        self.reports.iter().map(|r| r.cycles_found).sum()
+    }
+}
+
+/// A multi-query streaming engine: **one** ingest pass serving many
+/// concurrent cycle subscriptions over the same edge stream.
+///
+/// Where N independent [`StreamingEngine`]s over the same stream pay N
+/// append/expiry passes, N delta root scans and N per-root backward
+/// union/pruning passes per batch, a `MultiStreamingEngine` pays each of
+/// those **once**:
+///
+/// 1. one [`SlidingWindowGraph`] append + expiry per batch;
+/// 2. one delta root scan (the batch's id range);
+/// 3. one backward union/pruning pass per root, at the **widest** subscribed
+///    window (and loosest length/kind constraints — see the cost model below);
+/// 4. one shared search per root, whose candidate cycles are re-checked
+///    against each subscription (narrower δ as a time-span test, `max_len`,
+///    temporal strictness, self-loops) and fanned out to per-query results.
+///
+/// The per-query results are **byte-identical** (after canonicalisation) to
+/// what each query's own dedicated [`StreamingEngine`] would have reported —
+/// the differential harness in `tests/streaming.rs` proves this across
+/// granularities, thread counts and batch sizes.
+///
+/// # Cost model
+///
+/// The shared pass runs at the *union* of the subscribed constraints: the
+/// maximum window δ, the loosest `max_len` (unbounded as soon as one query is
+/// unbounded), and the simple-cycle search as soon as one query asks for
+/// simple cycles (temporal-only portfolios keep the far stronger temporal
+/// pruning). Adding a subscription whose constraints are inside the current
+/// union is therefore almost free — one extra per-candidate check — while a
+/// single much-looser query widens the shared search for everyone. Portfolios
+/// of similar windows are the sweet spot; `streaming_bench`'s `multi_query`
+/// section measures the sublinear scaling.
+///
+/// # Example
+/// ```
+/// use pce_core::streaming::{MultiStreamingEngine, StreamingQuery};
+/// use pce_core::graph::TemporalEdge;
+///
+/// let mut engine = MultiStreamingEngine::with_threads(1_000, 1).unwrap();
+/// let fast = engine.subscribe(StreamingQuery::temporal(15)).unwrap();
+/// let slow = engine.subscribe(StreamingQuery::temporal(500)).unwrap();
+///
+/// engine
+///     .ingest(&[TemporalEdge::new(0, 1, 10), TemporalEdge::new(1, 2, 20)])
+///     .unwrap();
+/// let report = engine.ingest(&[TemporalEdge::new(2, 0, 30)]).unwrap();
+/// // The ring spans 20 ticks: inside `slow`'s window, outside `fast`'s.
+/// assert_eq!(report.report(fast).unwrap().cycles_found, 0);
+/// assert_eq!(report.report(slow).unwrap().cycles_found, 1);
+/// ```
+#[derive(Debug)]
+pub struct MultiStreamingEngine {
+    engine: Engine,
+    graph: SlidingWindowGraph,
+    retention: Timestamp,
+    granularity: Granularity,
+    subs: Vec<Subscription>,
+    next_id: u64,
+    scratches: Vec<RootScratch>,
+    batches: u64,
+}
+
+impl MultiStreamingEngine {
+    /// Creates a multi-query engine sized to the machine. `retention` is the
+    /// sliding-window span shared by every subscription; a query's window δ
+    /// must fit inside it ([`subscribe`](Self::subscribe) enforces this), so
+    /// retention is always at least the maximum subscribed δ.
+    pub fn new(retention: Timestamp) -> Result<Self, StreamingError> {
+        Self::with_threads(retention, 0)
+    }
+
+    /// Creates a multi-query engine with `threads` workers (0 = one per
+    /// available core; 1 = strictly sequential delta passes, no pool).
+    pub fn with_threads(retention: Timestamp, threads: usize) -> Result<Self, StreamingError> {
+        if retention < 0 {
+            return Err(StreamingError::RetentionTooSmall {
+                delta: 1,
+                retention,
+            });
+        }
+        Ok(Self {
+            engine: Engine::with_threads(threads),
+            graph: SlidingWindowGraph::new(retention),
+            retention,
+            granularity: Granularity::CoarseGrained,
+            subs: Vec::new(),
+            next_id: QueryId::SOLO.0 + 1,
+            scratches: Vec::new(),
+            batches: 0,
+        })
+    }
+
+    /// Selects how the shared delta pass is split across workers (the same
+    /// knob as [`StreamingQuery::granularity`], but engine-wide: the pass is
+    /// shared, so its schedule is too). Defaults to
+    /// [`Granularity::CoarseGrained`].
+    pub fn with_granularity(mut self, granularity: Granularity) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
+    /// Registers a standing query against the shared stream and returns its
+    /// stable [`QueryId`]. The query only observes cycles **closed** by
+    /// batches ingested *after* this call, but those cycles may reach back
+    /// through the window's retained history — the semantics of a dedicated
+    /// engine that had been ingesting the same stream all along and starts
+    /// *reporting* now (the right behaviour for alerting: a ring completed
+    /// after you subscribe is a ring, even when its older transfers predate
+    /// the subscription). A subscriber that must ignore pre-subscription
+    /// edges entirely should filter reported cycles by edge timestamp.
+    ///
+    /// Fails with [`StreamingError::Query`] on an invalid query and
+    /// [`StreamingError::RetentionTooSmall`] when the query's window δ
+    /// exceeds the engine's retention.
+    pub fn subscribe(&mut self, query: StreamingQuery) -> Result<QueryId, StreamingError> {
+        query.validate()?;
+        if query.window_delta > self.retention {
+            return Err(StreamingError::RetentionTooSmall {
+                delta: query.window_delta,
+                retention: self.retention,
+            });
+        }
+        let id = QueryId(self.next_id);
+        self.next_id += 1;
+        self.subs.push(Subscription {
+            id,
+            query,
+            total_cycles: 0,
+            latency: LatencyStats::new(),
+        });
+        Ok(id)
+    }
+
+    /// Removes a subscription; later batches stop reporting for it. Returns
+    /// `false` when `id` was not subscribed. Ids are never reused.
+    pub fn unsubscribe(&mut self, id: QueryId) -> bool {
+        let before = self.subs.len();
+        self.subs.retain(|s| s.id != id);
+        self.subs.len() != before
+    }
+
+    /// The active subscriptions, in subscription order.
+    pub fn subscriptions(&self) -> impl Iterator<Item = (QueryId, &StreamingQuery)> {
+        self.subs.iter().map(|s| (s.id, &s.query))
+    }
+
+    /// Number of active subscriptions.
+    pub fn num_subscriptions(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Per-batch latency percentiles observed by subscription `id` since it
+    /// subscribed (each batch's shared ingest + enumeration time counts once
+    /// per query — that is the latency its consumer experiences).
+    pub fn latency(&self, id: QueryId) -> Option<&LatencyStats> {
+        self.subs.iter().find(|s| s.id == id).map(|s| &s.latency)
+    }
+
+    /// Total cycles reported to subscription `id` since it subscribed.
+    pub fn total_cycles(&self, id: QueryId) -> Option<u64> {
+        self.subs
+            .iter()
+            .find(|s| s.id == id)
+            .map(|s| s.total_cycles)
+    }
+
+    /// The shared sliding-window graph.
+    pub fn graph(&self) -> &SlidingWindowGraph {
+        &self.graph
+    }
+
+    /// The inner [`Engine`] (and its reusable pool).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Number of batches ingested so far.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Materialises the current window as an immutable [`TemporalGraph`].
+    pub fn snapshot(&self) -> TemporalGraph {
+        self.graph.snapshot()
+    }
+
+    /// Ingests one batch of edges — **one** append/expiry pass and **one**
+    /// shared delta enumeration, fanned out to every subscription — and
+    /// returns the per-query reports.
+    ///
+    /// A rejected batch ([`StreamingError::Stream`]) leaves the graph, the
+    /// stream and every subscription fully intact. A batch ingested with no
+    /// subscriptions still advances the window: the retained history is
+    /// shared state, available to any later subscriber (see
+    /// [`subscribe`](Self::subscribe) for the exact semantics).
+    pub fn ingest(&mut self, batch: &[TemporalEdge]) -> Result<MultiBatchReport, StreamingError> {
+        let t0 = Instant::now();
+        let delta = self.graph.append_batch(batch)?;
+        let ingest_secs = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let (per_query, candidates, stats) = match SharedPass::covering(&self.subs) {
+            None => (Vec::new(), 0, RunStats::default()),
+            Some(pass) => {
+                let granularity = self.effective_granularity(delta.roots.len());
+                let want = if granularity == Granularity::Sequential {
+                    1
+                } else {
+                    self.engine.threads()
+                };
+                if self.scratches.len() < want {
+                    self.scratches.resize_with(want, || RootScratch::new(0));
+                }
+                for scratch in &mut self.scratches {
+                    scratch.ensure_vertices(self.graph.num_vertices());
+                }
+                let pass_query = pass.as_query(granularity);
+                let sink = FanOutSink::new(&self.graph, &self.subs);
+                let stats = run_delta(
+                    &pass_query,
+                    &self.engine,
+                    &self.graph,
+                    &mut self.scratches,
+                    &sink,
+                    delta.roots.clone(),
+                    Timestamp::MIN,
+                    granularity,
+                );
+                let candidates = sink.candidates.load(Ordering::Relaxed);
+                // Resolve ids to concrete edges *now*: dense ids are re-based
+                // when the window compacts, so nothing may outlive the batch.
+                let per_query: Vec<(u64, Vec<StreamCycle>)> = sink
+                    .accums
+                    .iter()
+                    .map(|accum| {
+                        let resolved = std::mem::take(&mut *accum.cycles.lock())
+                            .into_iter()
+                            .map(|c| StreamCycle {
+                                edges: c
+                                    .edges
+                                    .iter()
+                                    .map(|&id| GraphView::edge(&self.graph, id))
+                                    .collect(),
+                                vertices: c.vertices,
+                            })
+                            .collect();
+                        (accum.count.load(Ordering::Relaxed), resolved)
+                    })
+                    .collect();
+                (per_query, candidates, stats)
+            }
+        };
+        let enumerate_secs = t1.elapsed().as_secs_f64();
+        let latency_secs = ingest_secs + enumerate_secs;
+        let live_edges = self.graph.live_edges().len();
+
+        // The accumulators were built parallel to `subs` (None pass only when
+        // `subs` is empty), so the zip below is index-aligned by construction.
+        debug_assert_eq!(per_query.len(), self.subs.len());
+        let mut reports = Vec::with_capacity(self.subs.len());
+        for (sub, (cycles_found, cycles)) in self.subs.iter_mut().zip(per_query) {
+            sub.total_cycles += cycles_found;
+            sub.latency.record(latency_secs);
+            let mut query_stats = stats.clone();
+            query_stats.cycles = cycles_found;
+            reports.push(BatchReport {
+                query: sub.id,
+                batch: self.batches,
+                appended: delta.appended,
+                expired: delta.expired,
+                live_edges,
+                window: delta.window,
+                cycles_found,
+                cycles,
+                ingest_secs,
+                enumerate_secs,
+                stats: query_stats,
+            });
+        }
+
+        let report = MultiBatchReport {
+            batch: self.batches,
+            appended: delta.appended,
+            expired: delta.expired,
+            live_edges,
+            window: delta.window,
+            ingest_secs,
+            enumerate_secs,
+            candidates,
+            stats,
+            reports,
+        };
+        self.batches += 1;
+        Ok(report)
+    }
+
+    /// Mirrors [`StreamingEngine::effective_granularity`] for the shared
+    /// pass.
+    fn effective_granularity(&self, batch_roots: usize) -> Granularity {
+        if self.engine.threads() <= 1 || batch_roots == 0 {
+            return Granularity::Sequential;
+        }
+        match self.granularity {
+            Granularity::CoarseGrained if batch_roots <= 1 => Granularity::Sequential,
+            requested => requested,
         }
     }
 }
@@ -857,5 +1436,317 @@ mod tests {
         assert_eq!(a.canonicalize(), b.canonicalize());
         assert_eq!(a.len(), 3);
         assert!(!a.is_empty());
+    }
+
+    /// Replays `batches` through one dedicated [`StreamingEngine`] and
+    /// returns its canonicalised per-batch cycle unions.
+    fn dedicated_per_batch(
+        batches: &[Vec<TemporalEdge>],
+        retention: Timestamp,
+        query: StreamingQuery,
+        threads: usize,
+    ) -> Vec<Vec<StreamCycle>> {
+        let mut engine = StreamingEngine::with_threads(retention, query, threads).unwrap();
+        batches
+            .iter()
+            .map(|b| {
+                let mut cycles: Vec<StreamCycle> = engine
+                    .ingest(b)
+                    .unwrap()
+                    .cycles
+                    .iter()
+                    .map(StreamCycle::canonicalize)
+                    .collect();
+                cycles.sort_by(|a, b| a.edges.cmp(&b.edges));
+                cycles
+            })
+            .collect()
+    }
+
+    #[test]
+    fn multi_engine_construction_and_subscribe_validation() {
+        assert!(matches!(
+            MultiStreamingEngine::with_threads(-1, 1),
+            Err(StreamingError::RetentionTooSmall { .. })
+        ));
+        let mut engine = MultiStreamingEngine::with_threads(100, 1).unwrap();
+        assert!(matches!(
+            engine.subscribe(StreamingQuery::simple(0)),
+            Err(StreamingError::Query(EnumerationError::InvalidWindow {
+                delta: 0
+            }))
+        ));
+        assert!(matches!(
+            engine.subscribe(StreamingQuery::temporal(10).include_self_loops(true)),
+            Err(StreamingError::Query(
+                EnumerationError::SelfLoopsUnsupported
+            ))
+        ));
+        assert!(matches!(
+            engine.subscribe(StreamingQuery::temporal(500)),
+            Err(StreamingError::RetentionTooSmall {
+                delta: 500,
+                retention: 100
+            })
+        ));
+        assert_eq!(engine.num_subscriptions(), 0);
+        let id = engine.subscribe(StreamingQuery::temporal(100)).unwrap();
+        assert_eq!(engine.num_subscriptions(), 1);
+        assert_eq!(engine.subscriptions().next().unwrap().0, id);
+        assert_ne!(id, QueryId::SOLO, "subscription ids start above SOLO");
+    }
+
+    #[test]
+    fn multi_engine_matches_dedicated_engines_per_batch() {
+        // A stream with overlapping rings of several spans and lengths, cut
+        // into batches; every subscription must report, batch by batch,
+        // exactly what its own dedicated engine reports.
+        let edges = [
+            e(0, 1, 1),
+            e(1, 2, 2),
+            e(2, 0, 3),
+            e(2, 3, 4),
+            e(3, 2, 5),
+            e(0, 2, 6),
+            e(2, 1, 7),
+            e(1, 0, 8),
+            e(3, 3, 9),
+            e(1, 3, 10),
+            e(3, 0, 11),
+            e(0, 1, 12),
+        ];
+        let batches: Vec<Vec<TemporalEdge>> = edges.chunks(3).map(<[_]>::to_vec).collect();
+        let retention = 1_000;
+        let portfolio = [
+            StreamingQuery::temporal(1_000),
+            StreamingQuery::temporal(4),
+            StreamingQuery::simple(1_000).include_self_loops(true),
+            StreamingQuery::simple(6).max_len(2),
+        ];
+        for threads in [1, 4] {
+            let mut multi = MultiStreamingEngine::with_threads(retention, threads).unwrap();
+            let ids: Vec<QueryId> = portfolio
+                .iter()
+                .map(|q| multi.subscribe(q.clone()).unwrap())
+                .collect();
+            let mut per_query: Vec<Vec<Vec<StreamCycle>>> =
+                portfolio.iter().map(|_| Vec::new()).collect();
+            for batch in &batches {
+                let report = multi.ingest(batch).unwrap();
+                assert_eq!(report.reports.len(), portfolio.len());
+                for (slot, id) in per_query.iter_mut().zip(&ids) {
+                    let r = report.report(*id).unwrap();
+                    assert_eq!(r.query, *id);
+                    assert_eq!(r.cycles_found, r.cycles.len() as u64);
+                    let mut cycles: Vec<StreamCycle> =
+                        r.cycles.iter().map(StreamCycle::canonicalize).collect();
+                    cycles.sort_by(|a, b| a.edges.cmp(&b.edges));
+                    slot.push(cycles);
+                }
+            }
+            for ((query, id), observed) in portfolio.iter().zip(&ids).zip(&per_query) {
+                let expected = dedicated_per_batch(&batches, retention, query.clone(), threads);
+                assert_eq!(observed, &expected, "query {id} threads {threads}");
+                let total: u64 = expected.iter().map(|b| b.len() as u64).sum();
+                assert_eq!(multi.total_cycles(*id), Some(total));
+            }
+        }
+    }
+
+    #[test]
+    fn shared_pass_covers_the_loosest_constraints() {
+        let subs = |queries: &[StreamingQuery]| -> Vec<Subscription> {
+            queries
+                .iter()
+                .enumerate()
+                .map(|(i, q)| Subscription {
+                    id: QueryId(i as u64 + 1),
+                    query: q.clone(),
+                    total_cycles: 0,
+                    latency: LatencyStats::new(),
+                })
+                .collect()
+        };
+        assert_eq!(SharedPass::covering(&[]), None);
+        // All-temporal portfolio keeps the temporal pruning.
+        let pass = SharedPass::covering(&subs(&[
+            StreamingQuery::temporal(10).max_len(3),
+            StreamingQuery::temporal(40).max_len(5),
+        ]))
+        .unwrap();
+        assert_eq!(pass.kind, CycleKind::Temporal);
+        assert_eq!(pass.delta, 40);
+        assert_eq!(pass.max_len, Some(5));
+        assert!(!pass.include_self_loops);
+        // One simple query switches the pass to the simple search; one
+        // unbounded query drops the length bound.
+        let pass = SharedPass::covering(&subs(&[
+            StreamingQuery::temporal(50).max_len(4),
+            StreamingQuery::simple(20).include_self_loops(true),
+        ]))
+        .unwrap();
+        assert_eq!(pass.kind, CycleKind::Simple);
+        assert_eq!(pass.delta, 50);
+        assert_eq!(pass.max_len, None);
+        assert!(pass.include_self_loops);
+    }
+
+    #[test]
+    fn mid_stream_subscribe_and_unsubscribe() {
+        let mut engine = MultiStreamingEngine::with_threads(1_000, 1).unwrap();
+        let early = engine.subscribe(StreamingQuery::simple(1_000)).unwrap();
+        // First ring closes while only `early` is subscribed.
+        engine.ingest(&[e(0, 1, 1), e(1, 2, 2)]).unwrap();
+        let r = engine.ingest(&[e(2, 0, 3)]).unwrap();
+        assert_eq!(r.report(early).unwrap().cycles_found, 1);
+
+        // A late subscriber misses the already-closed ring but sees the next.
+        let late = engine.subscribe(StreamingQuery::simple(1_000)).unwrap();
+        assert_ne!(late, early, "ids are unique");
+        let r = engine.ingest(&[e(3, 4, 4), e(4, 3, 5)]).unwrap();
+        assert_eq!(r.report(early).unwrap().cycles_found, 1);
+        assert_eq!(r.report(late).unwrap().cycles_found, 1);
+        assert_eq!(engine.total_cycles(early), Some(2));
+        assert_eq!(engine.total_cycles(late), Some(1));
+        assert_eq!(engine.latency(late).unwrap().count(), 1);
+        assert_eq!(engine.latency(early).unwrap().count(), 3);
+
+        // Unsubscribing stops the reports (and the id is gone for good).
+        assert!(engine.unsubscribe(early));
+        assert!(!engine.unsubscribe(early));
+        let r = engine.ingest(&[e(5, 6, 6), e(6, 5, 7)]).unwrap();
+        assert!(r.report(early).is_none());
+        assert_eq!(r.report(late).unwrap().cycles_found, 1);
+        assert_eq!(engine.total_cycles(early), None);
+        assert_eq!(engine.latency(early), None);
+    }
+
+    #[test]
+    fn ingest_without_subscriptions_still_advances_the_window() {
+        let mut engine = MultiStreamingEngine::with_threads(10, 1).unwrap();
+        let r = engine.ingest(&[e(0, 1, 0)]).unwrap();
+        assert!(r.reports.is_empty());
+        assert_eq!(r.candidates, 0);
+        assert_eq!(r.total_cycles(), 0);
+        // The un-subscribed batch slid the window; a subscriber added now
+        // queries against the shared retained history.
+        let id = engine.subscribe(StreamingQuery::simple(10)).unwrap();
+        let r = engine.ingest(&[e(1, 0, 50)]).unwrap();
+        assert_eq!(r.expired, 1, "the t=0 edge aged out");
+        assert_eq!(r.report(id).unwrap().cycles_found, 0);
+        assert_eq!(engine.batches(), 2);
+    }
+
+    /// Pins the documented late-subscription semantics: a new subscriber
+    /// reports cycles *closed* after it subscribed even when their older
+    /// edges predate the subscription (the shared window's retained history
+    /// is visible to everyone) — it is a dedicated engine that starts
+    /// *reporting* now, not one that starts *ingesting* now.
+    #[test]
+    fn late_subscriber_sees_cycles_closing_through_retained_history() {
+        let mut engine = MultiStreamingEngine::with_threads(1_000, 1).unwrap();
+        engine.ingest(&[e(0, 1, 1)]).unwrap();
+        let late = engine.subscribe(StreamingQuery::simple(1_000)).unwrap();
+        let r = engine.ingest(&[e(1, 0, 2)]).unwrap();
+        assert_eq!(
+            r.report(late).unwrap().cycles_found,
+            1,
+            "the closing batch arrived after the subscription, so the ring \
+             is reported even though its first edge predates it"
+        );
+    }
+
+    #[test]
+    fn self_loops_fan_out_only_to_requesting_queries() {
+        let mut engine = MultiStreamingEngine::with_threads(1_000, 1).unwrap();
+        let with = engine
+            .subscribe(StreamingQuery::simple(1_000).include_self_loops(true))
+            .unwrap();
+        let without = engine.subscribe(StreamingQuery::simple(1_000)).unwrap();
+        let temporal = engine.subscribe(StreamingQuery::temporal(1_000)).unwrap();
+        let r = engine.ingest(&[e(7, 7, 1)]).unwrap();
+        assert_eq!(r.report(with).unwrap().cycles_found, 1);
+        assert_eq!(r.report(without).unwrap().cycles_found, 0);
+        assert_eq!(r.report(temporal).unwrap().cycles_found, 0);
+    }
+
+    /// Subscription churn must not disturb compaction, and compaction timing
+    /// must not disturb reports: the same stream replayed with and without
+    /// mid-stream churn yields identical per-query results.
+    #[test]
+    fn reports_are_unaffected_by_compaction_and_subscription_churn() {
+        // Retention 10 over a 0..~120 stream: plenty of expiry and several
+        // compactions (dead prefix outweighs live edges repeatedly).
+        let query = StreamingQuery::simple(10);
+        let batches: Vec<Vec<TemporalEdge>> = (0..40)
+            .map(|i| {
+                let t = i as Timestamp * 3;
+                vec![e(i % 5, (i + 1) % 5, t), e((i + 1) % 5, i % 5, t + 1)]
+            })
+            .collect();
+
+        let mut churn = MultiStreamingEngine::with_threads(10, 1).unwrap();
+        let keeper = churn.subscribe(query.clone()).unwrap();
+        let mut keeper_union: Vec<Vec<StreamCycle>> = Vec::new();
+        for (i, batch) in batches.iter().enumerate() {
+            // Churn an unrelated subscription every third batch.
+            if i % 3 == 0 {
+                let transient = churn.subscribe(StreamingQuery::temporal(5)).unwrap();
+                assert!(churn.unsubscribe(transient));
+            }
+            let report = churn.ingest(batch).unwrap();
+            let mut cycles: Vec<StreamCycle> = report
+                .report(keeper)
+                .unwrap()
+                .cycles
+                .iter()
+                .map(StreamCycle::canonicalize)
+                .collect();
+            cycles.sort_by(|a, b| a.edges.cmp(&b.edges));
+            keeper_union.push(cycles);
+        }
+        assert!(
+            churn.graph().total_expired() > 0,
+            "the stream must exercise expiry"
+        );
+        let quiet = dedicated_per_batch(&batches, 10, query, 1);
+        assert_eq!(keeper_union, quiet, "churn must not change reports");
+    }
+
+    #[test]
+    fn multi_granularities_agree_with_recorded_stats() {
+        let edges = [
+            e(0, 1, 1),
+            e(1, 2, 2),
+            e(2, 0, 3),
+            e(2, 3, 4),
+            e(3, 2, 5),
+            e(0, 2, 6),
+            e(2, 1, 7),
+            e(1, 0, 8),
+        ];
+        let mut reference: Option<Vec<u64>> = None;
+        for granularity in [
+            Granularity::Sequential,
+            Granularity::CoarseGrained,
+            Granularity::FineGrained,
+        ] {
+            let mut engine = MultiStreamingEngine::with_threads(1_000, 4)
+                .unwrap()
+                .with_granularity(granularity);
+            let a = engine.subscribe(StreamingQuery::temporal(1_000)).unwrap();
+            let b = engine.subscribe(StreamingQuery::simple(1_000)).unwrap();
+            let mut per_batch = Vec::new();
+            for chunk in edges.chunks(3) {
+                let report = engine.ingest(chunk).unwrap();
+                per_batch.push(report.report(a).unwrap().cycles_found);
+                per_batch.push(report.report(b).unwrap().cycles_found);
+                assert!(report.candidates >= report.report(a).unwrap().cycles_found);
+            }
+            match &reference {
+                None => reference = Some(per_batch),
+                Some(expected) => assert_eq!(&per_batch, expected, "{granularity:?}"),
+            }
+        }
     }
 }

@@ -26,7 +26,7 @@
 use crate::cycle::{CollectingSink, Cycle};
 use crate::options::SimpleCycleOptions;
 use crate::seq::tiernan::tiernan_simple;
-use pce_graph::{GraphBuilder, TemporalGraph, Timestamp};
+use pce_graph::{GraphBuilder, TemporalEdge, TemporalGraph, Timestamp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -119,6 +119,82 @@ pub fn random_case(
     (graph_from_edges(n, &edges), delta)
 }
 
+/// Shape of one seeded random temporal edge stream (see
+/// [`random_temporal_stream`]): knobs for the stream pathologies the
+/// streaming harness must stay correct under.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamSpec {
+    /// Endpoints are drawn from `0..num_vertices`.
+    pub num_vertices: u32,
+    /// Total edges across all batches.
+    pub num_edges: usize,
+    /// Edges per batch (the last batch may be shorter). Must be >= 1.
+    pub batch_edges: usize,
+    /// Probability that an edge reuses the previous edge's timestamp
+    /// (duplicate timestamps, within and across batches).
+    pub duplicate_ts: f64,
+    /// Probability that the timestamp takes a large jump (`10×` the normal
+    /// step) instead of a small one — bursts of activity separated by quiet
+    /// gaps, which is what makes batches straddle window expiry.
+    pub burstiness: f64,
+    /// Shuffle each batch's edges out of timestamp order before returning
+    /// it (the ingest API allows any order *within* a batch; streams stay
+    /// non-decreasing *across* batches by construction).
+    pub out_of_order: bool,
+}
+
+impl Default for StreamSpec {
+    fn default() -> Self {
+        Self {
+            num_vertices: 18,
+            num_edges: 100,
+            batch_edges: 9,
+            duplicate_ts: 0.15,
+            burstiness: 0.1,
+            out_of_order: true,
+        }
+    }
+}
+
+/// Generates a deterministic random temporal edge stream, already cut into
+/// ingest batches: timestamps are non-decreasing across batches (the stream
+/// contract), with controllable duplicate timestamps, burstiness (large time
+/// jumps) and within-batch out-of-orderness. `seed` fully determines the
+/// stream, so a failing seed printed in an assertion message (or echoed by
+/// CI) reproduces the exact batches.
+pub fn random_temporal_stream(seed: u64, spec: &StreamSpec) -> Vec<Vec<TemporalEdge>> {
+    assert!(spec.batch_edges >= 1, "batches must be non-empty");
+    assert!(spec.num_vertices >= 2, "need at least two endpoints");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ts: Timestamp = 0;
+    let mut edges = Vec::with_capacity(spec.num_edges);
+    for _ in 0..spec.num_edges {
+        if !edges.is_empty() && !rng.gen_bool(spec.duplicate_ts) {
+            let step = if rng.gen_bool(spec.burstiness) { 10 } else { 1 };
+            ts += rng.gen_range(1..=3i64) * step;
+        }
+        edges.push(TemporalEdge::new(
+            rng.gen_range(0..spec.num_vertices),
+            rng.gen_range(0..spec.num_vertices),
+            ts,
+        ));
+    }
+    edges
+        .chunks(spec.batch_edges)
+        .map(|batch| {
+            let mut batch = batch.to_vec();
+            if spec.out_of_order {
+                // Fisher-Yates with the seeded generator: the batch arrives
+                // in arbitrary order, as the ingest API permits.
+                for i in (1..batch.len()).rev() {
+                    batch.swap(i, rng.gen_range(0..=i));
+                }
+            }
+            batch
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,6 +274,51 @@ mod tests {
         assert_eq!(da, db);
         let (c, _) = random_case(78, 14, 70, 60);
         assert!(a.edges() != c.edges() || a.num_vertices() != c.num_vertices());
+    }
+
+    #[test]
+    fn random_temporal_stream_is_deterministic_and_in_stream_order() {
+        let spec = StreamSpec::default();
+        let a = random_temporal_stream(42, &spec);
+        let b = random_temporal_stream(42, &spec);
+        assert_eq!(a, b, "equal seeds give equal streams");
+        assert!(random_temporal_stream(43, &spec) != a, "seeds diverge");
+        assert_eq!(a.iter().map(Vec::len).sum::<usize>(), spec.num_edges);
+        assert!(a[..a.len() - 1].iter().all(|b| b.len() == spec.batch_edges));
+        // Non-decreasing across batches: every batch's minimum timestamp is
+        // at or above the previous batch's maximum (the ingest contract).
+        let mut watermark = Timestamp::MIN;
+        for batch in &a {
+            let lo = batch.iter().map(|e| e.ts).min().unwrap();
+            let hi = batch.iter().map(|e| e.ts).max().unwrap();
+            assert!(lo >= watermark, "stream order violated");
+            watermark = watermark.max(hi);
+        }
+        // The knobs do what they say: duplicates exist, and at least one
+        // batch is internally out of timestamp order.
+        let flat: Vec<Timestamp> = a.iter().flatten().map(|e| e.ts).collect();
+        assert!(
+            flat.windows(2).any(|w| w[0] == w[1]),
+            "duplicate timestamps"
+        );
+        assert!(
+            a.iter().any(|b| b.windows(2).any(|w| w[0].ts > w[1].ts)),
+            "within-batch out-of-orderness"
+        );
+        // Bursts leave large gaps somewhere in the stream.
+        assert!(flat.windows(2).any(|w| w[1] - w[0] >= 10), "bursty jumps");
+
+        // The in-order variant keeps every batch sorted.
+        let ordered = random_temporal_stream(
+            42,
+            &StreamSpec {
+                out_of_order: false,
+                ..spec
+            },
+        );
+        assert!(ordered
+            .iter()
+            .all(|b| b.windows(2).all(|w| w[0].ts <= w[1].ts)));
     }
 
     #[test]

@@ -541,6 +541,90 @@ mod tests {
     }
 
     #[test]
+    fn edges_exactly_at_the_window_boundary_stay_live() {
+        // The window is closed on both ends: an edge with ts == watermark -
+        // retention is the oldest live edge; one tick older expires.
+        let mut g = SlidingWindowGraph::new(10);
+        g.append_batch(&edges(&[(0, 1, 39), (1, 2, 40)])).unwrap();
+        let b = g.append_batch(&edges(&[(2, 0, 50)])).unwrap();
+        assert_eq!(b.window, TimeWindow::new(40, 50));
+        assert_eq!(b.expired, 1, "ts=39 is exactly one tick below the boundary");
+        assert_eq!(g.live_edges(), &edges(&[(1, 2, 40), (2, 0, 50)])[..]);
+        // A new batch at exactly the boundary timestamp is accepted and live.
+        let mut g = SlidingWindowGraph::new(10);
+        g.append_batch(&edges(&[(0, 1, 50)])).unwrap();
+        let b = g.append_batch(&edges(&[(1, 0, 40)])).unwrap_err();
+        assert!(matches!(b, StreamError::OutOfOrder { ts: 40, .. }));
+        // ...while an edge *arriving* at the watermark lands on the boundary
+        // of a later window and expires exactly when the window passes it.
+        g.append_batch(&edges(&[(1, 0, 50)])).unwrap();
+        let b = g.append_batch(&edges(&[(2, 3, 60)])).unwrap();
+        assert_eq!(b.expired, 0, "ts=50 edges sit exactly at window start 50");
+        let b = g.append_batch(&edges(&[(3, 4, 61)])).unwrap();
+        assert_eq!(b.expired, 2, "one tick later both boundary edges age out");
+    }
+
+    #[test]
+    fn empty_batch_can_trigger_compaction_and_stays_consistent() {
+        // Build a dead prefix that outweighs the live edges, then append an
+        // empty batch: `append_batch` compacts before assigning ids, so even
+        // a no-op batch must return a root range based on the re-based ids.
+        let mut g = SlidingWindowGraph::new(5);
+        g.append_batch(&edges(&[(0, 1, 0), (1, 2, 1), (2, 0, 2)]))
+            .unwrap();
+        g.append_batch(&edges(&[(0, 2, 100)])).unwrap();
+        assert_eq!(g.first_live_id(), 3, "dead prefix not yet compacted");
+        let b = g.append_batch(&[]).unwrap();
+        assert_eq!(b.appended, 0);
+        assert_eq!(b.expired, 0);
+        assert_eq!(b.roots, 1..1, "ids re-based by the compaction");
+        assert_eq!(g.first_live_id(), 0);
+        assert_eq!(g.live_edges(), &edges(&[(0, 2, 100)])[..]);
+        assert_eq!(g.window(), TimeWindow::new(95, 100), "window unchanged");
+    }
+
+    #[test]
+    fn observable_state_is_independent_of_compaction_timing() {
+        // The same stream chopped into different batch sizes compacts at
+        // different moments; every observable — window, watermark, live
+        // edges, windowed adjacency, snapshot — must be identical after any
+        // common prefix of the stream.
+        let all: Vec<TemporalEdge> = (0..60)
+            .map(|i| TemporalEdge::new(i % 4, (i + 1) % 4, i as Timestamp * 2))
+            .collect();
+        let mut fine = SlidingWindowGraph::new(15);
+        let mut coarse = SlidingWindowGraph::new(15);
+        for (i, e) in all.iter().enumerate() {
+            fine.append_batch(std::slice::from_ref(e)).unwrap();
+            if (i + 1) % 20 == 0 {
+                coarse.append_batch(&all[i + 1 - 20..=i]).unwrap();
+                assert_eq!(fine.window(), coarse.window());
+                assert_eq!(fine.watermark(), coarse.watermark());
+                assert_eq!(fine.live_edges(), coarse.live_edges());
+                assert_eq!(fine.total_expired(), coarse.total_expired());
+                let w = fine.window();
+                for v in 0..fine.num_vertices() as VertexId {
+                    let ts = |adj: &[AdjEntry]| -> Vec<(VertexId, Timestamp)> {
+                        adj.iter().map(|a| (a.neighbor, a.ts)).collect()
+                    };
+                    assert_eq!(
+                        ts(fine.out_edges_in_window(v, w)),
+                        ts(coarse.out_edges_in_window(v, w)),
+                        "vertex {v} after edge {i}"
+                    );
+                    assert_eq!(
+                        ts(fine.in_edges_in_window(v, w)),
+                        ts(coarse.in_edges_in_window(v, w)),
+                    );
+                }
+                assert_eq!(fine.snapshot().edges(), coarse.snapshot().edges());
+            }
+        }
+        // The one-edge-per-batch replay compacted more often; both end equal.
+        assert_eq!(fine.live_edges(), coarse.live_edges());
+    }
+
+    #[test]
     fn long_stream_keeps_storage_bounded() {
         let mut g = SlidingWindowGraph::new(50);
         for i in 0..2_000i64 {

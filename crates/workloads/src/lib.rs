@@ -29,5 +29,7 @@ pub mod streaming;
 pub use datasets::{dataset, dataset_suite, scaling_suite, DatasetId, DatasetSpec, WorkloadGraph};
 pub use experiment::{ExperimentConfig, MeasuredRow, ResultTable};
 pub use streaming::{
-    replay_batches, run_stream_scenario, StreamBatchRow, StreamScenarioConfig, StreamingReport,
+    mixed_portfolio, replay_batches, run_independent_portfolio, run_multi_tenant,
+    run_stream_scenario, MultiTenantConfig, MultiTenantReport, StreamBatchRow,
+    StreamScenarioConfig, StreamingReport, TenantRow,
 };

@@ -15,7 +15,8 @@
 //! seconds-scale configuration for CI smoke runs.
 
 use pce_core::{
-    CollectMode, Granularity, RunStats, StreamingEngine, StreamingError, StreamingQuery,
+    CollectMode, Granularity, LatencyStats, MultiStreamingEngine, QueryId, RunStats,
+    StreamingEngine, StreamingError, StreamingQuery,
 };
 use pce_graph::generators::{self, transaction_rings, TransactionRingConfig};
 use pce_graph::{TemporalEdge, TemporalGraph, Timestamp};
@@ -363,6 +364,214 @@ pub fn run_hub_burst(
     })
 }
 
+/// A heterogeneous standing-query portfolio for multi-tenant scenarios:
+/// `k` queries cycling through different kinds, window sizes and length
+/// bounds around the scenario's base window `delta` — the "many analysts,
+/// one stream" shape. Deterministic, so shared-vs-independent comparisons
+/// run the exact same portfolio.
+pub fn mixed_portfolio(k: usize, delta: Timestamp) -> Vec<StreamingQuery> {
+    (0..k)
+        .map(|i| match i % 4 {
+            // The compliance team: every ring in the full window.
+            0 => StreamingQuery::temporal(delta).max_len(8),
+            // The real-time desk: short rings that complete quickly.
+            1 => StreamingQuery::temporal((delta / 4).max(1)).max_len(4),
+            // The graph-analytics tenant: simple cycles, medium window.
+            2 => StreamingQuery::simple((delta / 2).max(1)).max_len(5),
+            // A second compliance profile with a tighter hop bound.
+            _ => StreamingQuery::temporal(delta).max_len(6),
+        })
+        .map(|q| q.collect(CollectMode::Count))
+        .collect()
+}
+
+/// Configuration of the **multi-tenant** fraud-detection scenario: one
+/// transaction stream serving a portfolio of concurrent standing queries
+/// through a single [`MultiStreamingEngine`] ingest pass.
+#[derive(Debug, Clone)]
+pub struct MultiTenantConfig {
+    /// The synthetic transaction dataset replayed for every tenant.
+    pub ring: TransactionRingConfig,
+    /// Number of edges per ingest batch.
+    pub batch_edges: usize,
+    /// Sliding-window retention span (must cover the widest query window).
+    pub retention: Timestamp,
+    /// Base enumeration window δ the portfolio is built around.
+    pub window_delta: Timestamp,
+    /// Number of subscriptions ([`mixed_portfolio`] of this size).
+    pub subscriptions: usize,
+    /// How the shared delta pass is split across workers.
+    pub granularity: Granularity,
+}
+
+impl Default for MultiTenantConfig {
+    fn default() -> Self {
+        let base = StreamScenarioConfig::default();
+        Self {
+            ring: base.ring,
+            batch_edges: base.batch_edges,
+            retention: base.retention,
+            window_delta: base.window_delta,
+            subscriptions: 4,
+            granularity: Granularity::CoarseGrained,
+        }
+    }
+}
+
+impl MultiTenantConfig {
+    /// A seconds-scale configuration for CI smoke runs.
+    pub fn smoke() -> Self {
+        let base = StreamScenarioConfig::smoke();
+        Self {
+            ring: base.ring,
+            batch_edges: base.batch_edges,
+            retention: base.retention,
+            window_delta: base.window_delta,
+            subscriptions: 4,
+            granularity: Granularity::CoarseGrained,
+        }
+    }
+
+    /// The same scenario with a different portfolio size.
+    pub fn with_subscriptions(mut self, k: usize) -> Self {
+        self.subscriptions = k;
+        self
+    }
+
+    /// The portfolio this configuration subscribes.
+    pub fn portfolio(&self) -> Vec<StreamingQuery> {
+        mixed_portfolio(self.subscriptions, self.window_delta)
+    }
+}
+
+/// Per-subscription measurements of one multi-tenant run.
+#[derive(Debug, Clone)]
+pub struct TenantRow {
+    /// The subscription's stable id.
+    pub query: QueryId,
+    /// The standing query itself.
+    pub spec: StreamingQuery,
+    /// Total cycles attributed to this subscription across the replay.
+    pub cycles: u64,
+    /// Per-batch latency percentiles observed by this subscription.
+    pub latency: LatencyStats,
+}
+
+/// The result of one multi-tenant scenario run: shared-cost aggregates plus
+/// one [`TenantRow`] per subscription.
+#[derive(Debug, Clone)]
+pub struct MultiTenantReport {
+    /// Worker threads the shared delta pass used.
+    pub threads: usize,
+    /// Per-subscription rows, in subscription order.
+    pub tenants: Vec<TenantRow>,
+    /// Total edges ingested (once, no matter how many tenants).
+    pub total_edges: u64,
+    /// Candidate cycles the shared passes discovered before per-query
+    /// filtering, summed over all batches.
+    pub candidates: u64,
+    /// End-to-end wall-clock seconds for the whole replay.
+    pub wall_secs: f64,
+}
+
+impl MultiTenantReport {
+    /// Total cycles across all tenants (a cycle matched by several queries
+    /// counts once per query).
+    pub fn total_cycles(&self) -> u64 {
+        self.tenants.iter().map(|t| t.cycles).sum()
+    }
+
+    /// Sustained shared-ingest throughput in edges/second.
+    pub fn sustained_edges_per_sec(&self) -> f64 {
+        if self.wall_secs <= f64::EPSILON {
+            0.0
+        } else {
+            self.total_edges as f64 / self.wall_secs
+        }
+    }
+}
+
+/// Runs the multi-tenant fraud scenario: subscribes the mixed portfolio,
+/// replays the transaction stream through **one** [`MultiStreamingEngine`]
+/// and reports per-tenant attributions plus the shared cost.
+pub fn run_multi_tenant(
+    cfg: &MultiTenantConfig,
+    threads: usize,
+) -> Result<MultiTenantReport, StreamingError> {
+    let (graph, _planted) = transaction_rings(cfg.ring);
+    let batches = replay_batches(&graph, cfg.batch_edges);
+    let mut engine = MultiStreamingEngine::with_threads(cfg.retention, threads)?
+        .with_granularity(cfg.granularity);
+    let ids: Vec<QueryId> = cfg
+        .portfolio()
+        .into_iter()
+        .map(|q| engine.subscribe(q))
+        .collect::<Result<_, _>>()?;
+
+    let start = std::time::Instant::now();
+    let mut candidates = 0u64;
+    for batch in &batches {
+        candidates += engine.ingest(batch)?.candidates;
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    let tenants = ids
+        .iter()
+        .map(|&id| TenantRow {
+            query: id,
+            spec: engine
+                .subscriptions()
+                .find(|(q, _)| *q == id)
+                .expect("subscribed")
+                .1
+                .clone(),
+            cycles: engine.total_cycles(id).expect("subscribed"),
+            latency: engine.latency(id).expect("subscribed").clone(),
+        })
+        .collect();
+
+    Ok(MultiTenantReport {
+        threads,
+        tenants,
+        total_edges: engine.graph().total_ingested(),
+        candidates,
+        wall_secs,
+    })
+}
+
+/// The independent-engines baseline for [`run_multi_tenant`]: the same
+/// portfolio over the same stream, but through one dedicated
+/// [`StreamingEngine`] per query — N ingest passes, N delta scans, N pruning
+/// passes. Returns the end-to-end wall time and per-query cycle totals (which
+/// [`run_multi_tenant`] must match exactly; the differential harness and the
+/// `multi_query` bench section both assert this).
+pub fn run_independent_portfolio(
+    cfg: &MultiTenantConfig,
+    threads: usize,
+) -> Result<(f64, Vec<u64>), StreamingError> {
+    let (graph, _planted) = transaction_rings(cfg.ring);
+    let batches = replay_batches(&graph, cfg.batch_edges);
+    let mut engines = cfg
+        .portfolio()
+        .into_iter()
+        .map(|q| {
+            StreamingEngine::with_threads(cfg.retention, q.granularity(cfg.granularity), threads)
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let start = std::time::Instant::now();
+    for batch in &batches {
+        for engine in &mut engines {
+            engine.ingest(batch)?;
+        }
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+    Ok((
+        wall_secs,
+        engines.iter().map(|e| e.total_cycles()).collect(),
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -421,6 +630,54 @@ mod tests {
         for (a, b) in coarse.rows.iter().zip(&fine.rows) {
             assert_eq!(a.cycles, b.cycles, "batch {}", a.batch);
         }
+    }
+
+    #[test]
+    fn mixed_portfolio_is_heterogeneous_and_fits_the_retention() {
+        let cfg = MultiTenantConfig::smoke();
+        let portfolio = cfg.portfolio();
+        assert_eq!(portfolio.len(), 4);
+        let kinds: std::collections::HashSet<_> = portfolio.iter().map(|q| q.kind()).collect();
+        assert!(kinds.len() > 1, "kinds must vary across the portfolio");
+        let deltas: std::collections::HashSet<_> =
+            portfolio.iter().map(|q| q.window_delta()).collect();
+        assert!(deltas.len() > 1, "windows must vary across the portfolio");
+        assert!(portfolio.iter().all(|q| q.window_delta() <= cfg.retention));
+    }
+
+    #[test]
+    fn multi_tenant_matches_independent_engines() {
+        let cfg = MultiTenantConfig::smoke();
+        let shared = run_multi_tenant(&cfg, 2).expect("valid multi-tenant config");
+        let (_, independent) = run_independent_portfolio(&cfg, 2).expect("valid baseline");
+        assert_eq!(shared.tenants.len(), independent.len());
+        for (tenant, expected) in shared.tenants.iter().zip(&independent) {
+            assert_eq!(
+                tenant.cycles, *expected,
+                "query {} diverged from its dedicated engine",
+                tenant.query
+            );
+        }
+        // The compliance tenant (widest temporal window) must see at least
+        // the planted rings.
+        assert!(shared.tenants[0].cycles >= cfg.ring.num_rings as u64);
+        // Every tenant observed every batch.
+        let batches = shared.tenants[0].latency.count();
+        assert!(batches > 0);
+        assert!(shared.tenants.iter().all(|t| t.latency.count() == batches));
+        assert!(shared.candidates >= shared.tenants.iter().map(|t| t.cycles).max().unwrap());
+        assert!(shared.sustained_edges_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn multi_tenant_thread_counts_agree() {
+        let cfg = MultiTenantConfig::smoke().with_subscriptions(3);
+        let seq = run_multi_tenant(&cfg, 1).unwrap();
+        let par = run_multi_tenant(&cfg, 4).unwrap();
+        for (a, b) in seq.tenants.iter().zip(&par.tenants) {
+            assert_eq!(a.cycles, b.cycles, "query {}", a.query);
+        }
+        assert_eq!(seq.total_cycles(), par.total_cycles());
     }
 
     #[test]

@@ -60,9 +60,10 @@ pub mod prelude {
     pub use pce_core::{
         Algorithm, BatchReport, BoundedSink, ChannelSink, CollectMode, CollectingSink,
         CountingSink, Cycle, CycleEnumerator, CycleKind, CycleSink, CycleStream, Engine,
-        EnumerationError, EnumerationResult, FirstKSink, Granularity, Query, RunStats,
-        SimpleCycleOptions, StreamCycle, StreamingEngine, StreamingError, StreamingQuery,
-        TemporalCycleOptions, WorkMetrics,
+        EnumerationError, EnumerationResult, FirstKSink, Granularity, LatencyStats,
+        MultiBatchReport, MultiStreamingEngine, Query, QueryId, RunStats, SimpleCycleOptions,
+        StreamCycle, StreamingEngine, StreamingError, StreamingQuery, TemporalCycleOptions,
+        WorkMetrics,
     };
     pub use pce_graph::{
         generators, DeltaBatch, GraphBuilder, GraphStats, GraphView, SlidingWindowGraph,

@@ -10,14 +10,34 @@
 //! is reproducible locally with the same value; every assertion message
 //! carries the seed.
 
+use parallel_cycle_enumeration::core::testing::{random_temporal_stream, StreamSpec};
 use parallel_cycle_enumeration::graph::generators::{
     hub_burst, hub_burst_cycle_count, power_law_temporal, uniform_temporal, RandomTemporalConfig,
 };
 use parallel_cycle_enumeration::prelude::*;
 
-/// Replays `graph`'s edges (already in stream order) through a streaming
-/// engine in batches of `batch_edges`, returning the canonicalised union of
-/// all per-batch results plus the engine (for its final window/snapshot).
+/// Replays prepared ingest batches through a streaming engine, returning the
+/// canonicalised union of all per-batch results plus the engine (for its
+/// final window/snapshot).
+fn replay_stream(
+    batches: &[Vec<TemporalEdge>],
+    query: StreamingQuery,
+    retention: i64,
+    threads: usize,
+) -> (Vec<StreamCycle>, StreamingEngine) {
+    let mut engine =
+        StreamingEngine::with_threads(retention, query, threads).expect("valid streaming config");
+    let mut union: Vec<StreamCycle> = Vec::new();
+    for batch in batches {
+        let report = engine.ingest(batch).expect("in-order replay");
+        union.extend(report.cycles);
+    }
+    (sort_canonical(&union), engine)
+}
+
+/// Replays `graph`'s edges (already in stream order) in batches of
+/// `batch_edges` — the graph-backed wrapper over [`replay_stream`] for sweeps
+/// whose one-shot reference needs the full graph.
 fn replay(
     graph: &TemporalGraph,
     query: StreamingQuery,
@@ -25,16 +45,20 @@ fn replay(
     batch_edges: usize,
     threads: usize,
 ) -> (Vec<StreamCycle>, StreamingEngine) {
-    let mut engine =
-        StreamingEngine::with_threads(retention, query, threads).expect("valid streaming config");
-    let mut union: Vec<StreamCycle> = Vec::new();
-    for batch in graph.edges().chunks(batch_edges) {
-        let report = engine.ingest(batch).expect("in-order replay");
-        union.extend(report.cycles);
-    }
-    let mut union: Vec<StreamCycle> = union.iter().map(StreamCycle::canonicalize).collect();
-    union.sort_by(|a, b| a.edges.cmp(&b.edges));
-    (union, engine)
+    let batches: Vec<Vec<TemporalEdge>> = graph
+        .edges()
+        .chunks(batch_edges)
+        .map(<[_]>::to_vec)
+        .collect();
+    replay_stream(&batches, query, retention, threads)
+}
+
+/// The deterministic comparison form used throughout: canonicalise every
+/// cycle, then sort. Two result sets are equal iff these are byte-identical.
+fn sort_canonical(cycles: &[StreamCycle]) -> Vec<StreamCycle> {
+    let mut canon: Vec<StreamCycle> = cycles.iter().map(StreamCycle::canonicalize).collect();
+    canon.sort_by(|a, b| a.edges.cmp(&b.edges));
+    canon
 }
 
 /// One-shot enumeration over `graph`, resolved to edge triples and
@@ -244,6 +268,26 @@ fn sweep_seed() -> u64 {
         .unwrap_or(5_000)
 }
 
+/// The seeded stream shape shared by the granularity and multi-query sweeps:
+/// duplicate timestamps, bursty jumps and shuffled batches over ~100 edges.
+/// The generated edge *sequence* depends only on the seed (batch size only
+/// changes the chopping and within-batch order), so different batch sizes
+/// replay the same stream — exactly what the batching-invariance assertions
+/// need.
+fn sweep_stream(seed: u64, batch_edges: usize) -> Vec<Vec<TemporalEdge>> {
+    random_temporal_stream(
+        seed,
+        &StreamSpec {
+            num_vertices: 18,
+            num_edges: 100,
+            batch_edges,
+            duplicate_ts: 0.15,
+            burstiness: 0.1,
+            out_of_order: true,
+        },
+    )
+}
+
 /// The differential sweep for the streaming granularities: seeded batches ×
 /// granularity {sequential, coarse, fine} × threads {1, 4} × batch sizes
 /// (including expiry-straddling ones) must produce **byte-identical** cycle
@@ -253,13 +297,8 @@ fn sweep_seed() -> u64 {
 #[test]
 fn granularity_sweep_is_byte_identical_to_one_shot() {
     let base = sweep_seed();
+    let mut cycles_seen = 0usize;
     for seed in base..base + 2 {
-        let graph = power_law_temporal(RandomTemporalConfig {
-            num_vertices: 18,
-            num_edges: 100,
-            time_span: 90,
-            seed,
-        });
         let delta = 25;
         // One retention without expiry, one that forces it mid-stream.
         for retention in [10_000, 40] {
@@ -275,9 +314,10 @@ fn granularity_sweep_is_byte_identical_to_one_shot() {
                     Query::temporal().window(delta),
                 ),
             ] {
-                // 100 edges over ~90 time steps: a 45-edge batch spans more
-                // than the retention of 40 (expiry-straddling).
+                // The bursty stream spans well beyond the retention of 40,
+                // so large batches straddle window expiry.
                 for batch_edges in [1, 9, 45] {
+                    let batches = sweep_stream(seed, batch_edges);
                     let mut reference_union: Option<Vec<StreamCycle>> = None;
                     for granularity in [
                         Granularity::Sequential,
@@ -285,11 +325,10 @@ fn granularity_sweep_is_byte_identical_to_one_shot() {
                         Granularity::FineGrained,
                     ] {
                         for threads in [1, 4] {
-                            let (union, engine) = replay(
-                                &graph,
+                            let (union, engine) = replay_stream(
+                                &batches,
                                 streaming_query.clone().granularity(granularity),
                                 retention,
-                                batch_edges,
                                 threads,
                             );
                             // Every configuration reports the same union …
@@ -321,12 +360,104 @@ fn granularity_sweep_is_byte_identical_to_one_shot() {
                                 "seed {seed} {label} retention {retention} batch \
                                  {batch_edges} {granularity:?} threads {threads}"
                             );
+                            cycles_seen += union.len();
                         }
                     }
                 }
             }
         }
     }
+    assert!(cycles_seen > 0, "the sweep must actually exercise cycles");
+}
+
+/// The multi-query differential sweep (the tentpole's harness): one
+/// [`MultiStreamingEngine`] with K ∈ {2, 4} heterogeneous subscriptions —
+/// different kinds, windows, length bounds and self-loop flags — must report,
+/// **per query and per batch**, byte-identical canonicalised cycles to K
+/// independent [`StreamingEngine`]s replaying the same seeded stream, across
+/// granularities {sequential, coarse, fine}, threads {1, 4} and batch sizes
+/// including expiry-straddling ones. Base seed from `PCE_SWEEP_SEED` (echoed
+/// by CI; every assertion message carries the seed).
+#[test]
+fn multi_query_sweep_matches_independent_engines() {
+    let base = sweep_seed();
+    let portfolio = [
+        StreamingQuery::temporal(25),
+        StreamingQuery::simple(12).max_len(4),
+        StreamingQuery::temporal(8).max_len(3),
+        StreamingQuery::simple(30).include_self_loops(true),
+    ];
+    let mut cycles_seen = 0usize;
+    for seed in base..base + 2 {
+        for k in [2usize, 4] {
+            let queries = &portfolio[..k];
+            // One retention without expiry, one that forces it mid-stream.
+            for retention in [10_000i64, 40] {
+                for batch_edges in [1usize, 9, 45] {
+                    let batches = sweep_stream(seed, batch_edges);
+                    for granularity in [
+                        Granularity::Sequential,
+                        Granularity::CoarseGrained,
+                        Granularity::FineGrained,
+                    ] {
+                        for threads in [1usize, 4] {
+                            let label = format!(
+                                "seed {seed} k {k} retention {retention} batch {batch_edges} \
+                                 {granularity:?} threads {threads}"
+                            );
+                            // The shared engine: K subscriptions, one ingest
+                            // pass per batch.
+                            let mut multi = MultiStreamingEngine::with_threads(retention, threads)
+                                .expect("valid retention")
+                                .with_granularity(granularity);
+                            let ids: Vec<QueryId> = queries
+                                .iter()
+                                .map(|q| multi.subscribe(q.clone()).expect("valid subscription"))
+                                .collect();
+                            // The baseline: one dedicated engine per query.
+                            let mut dedicated: Vec<StreamingEngine> = queries
+                                .iter()
+                                .map(|q| {
+                                    StreamingEngine::with_threads(
+                                        retention,
+                                        q.clone().granularity(granularity),
+                                        threads,
+                                    )
+                                    .expect("valid streaming config")
+                                })
+                                .collect();
+                            for (b, batch) in batches.iter().enumerate() {
+                                let shared = multi.ingest(batch).expect("in-order replay");
+                                for (id, engine) in ids.iter().zip(&mut dedicated) {
+                                    let own = engine.ingest(batch).expect("in-order replay");
+                                    let fanned = shared.report(*id).expect("subscribed");
+                                    assert_eq!(
+                                        sort_canonical(&fanned.cycles),
+                                        sort_canonical(&own.cycles),
+                                        "{label} query {id} batch index {b}"
+                                    );
+                                    assert_eq!(
+                                        fanned.cycles_found, own.cycles_found,
+                                        "{label} query {id} batch index {b}"
+                                    );
+                                    cycles_seen += own.cycles.len();
+                                }
+                            }
+                            // Lifetime totals agree too (stable attribution).
+                            for (id, engine) in ids.iter().zip(&dedicated) {
+                                assert_eq!(
+                                    multi.total_cycles(*id),
+                                    Some(engine.total_cycles()),
+                                    "{label} query {id}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert!(cycles_seen > 0, "the sweep must actually exercise cycles");
 }
 
 /// The regression mirror of `fine_johnson`'s multi-worker assertion, at the
