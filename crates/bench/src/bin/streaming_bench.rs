@@ -12,10 +12,19 @@
 //! one worker while the fine-grained driver spreads it via steals.
 //!
 //! The **multi_query** section measures the shared-ingest win of
-//! [`MultiStreamingEngine`]: one engine serving 1/2/4/8 mixed-portfolio
+//! [`pce_core::MultiStreamingEngine`]: one engine serving 1/2/4/8 mixed-portfolio
 //! subscriptions versus one dedicated engine per query, asserting per-query
 //! cycle totals match exactly and that the shared cost grows sublinearly
 //! (4 subscriptions must cost well under 4× a single-query engine).
+//!
+//! The **fan_out** section measures the subscription-scale dispatch layer: a
+//! 64/256/1024-subscription portfolio drawn from a fixed 16-profile pool,
+//! served once with the naive per-candidate loop and once with the
+//! constraint-indexed `SubscriptionIndex`. It asserts (deterministically, on
+//! constraint-check counts rather than wall time) that indexed dispatch is
+//! strictly cheaper than the naive loop on the same portfolio, and that its
+//! per-batch cost does not grow with the subscriber count while the naive
+//! loop's grows linearly.
 //!
 //! ```text
 //! cargo run --release -p pce-bench --bin streaming_bench                      # full run
@@ -24,12 +33,19 @@
 //!     --granularity fine                                                     # one granularity
 //! cargo run --release -p pce-bench --bin streaming_bench -- multi_query \
 //!     --smoke                                                                # one section
+//! cargo run --release -p pce-bench --bin streaming_bench -- fan_out \
+//!     --smoke --json BENCH_streaming.json                                    # machine-readable
 //! ```
+//!
+//! With `--json <path>`, every section that ran also appends its rows to a
+//! machine-readable JSON document (`{"smoke": …, "sections": {…}}`), so the
+//! perf trajectory can be tracked across PRs without scraping stdout.
 
-use pce_core::Granularity;
+use pce_core::{FanOutStrategy, Granularity};
 use pce_workloads::streaming::{
-    run_hub_burst, run_independent_portfolio, run_multi_tenant, run_stream_scenario,
-    HubBurstConfig, MultiTenantConfig, StreamScenarioConfig,
+    run_fan_out_scale, run_hub_burst, run_independent_portfolio, run_multi_tenant,
+    run_stream_scenario, FanOutScaleConfig, HubBurstConfig, MultiTenantConfig,
+    StreamScenarioConfig,
 };
 
 fn granularity_name(g: Granularity) -> &'static str {
@@ -40,9 +56,250 @@ fn granularity_name(g: Granularity) -> &'static str {
     }
 }
 
+/// One JSON scalar of the `--json` report (hand-rolled: the build is fully
+/// offline and the in-workspace `serde` stand-in is a no-op).
+enum JsonValue {
+    U64(u64),
+    F64(f64),
+    Str(&'static str),
+    Bool(bool),
+}
+
+impl JsonValue {
+    fn render(&self) -> String {
+        match self {
+            JsonValue::U64(v) => v.to_string(),
+            JsonValue::F64(v) if v.is_finite() => format!("{v}"),
+            JsonValue::F64(_) => "null".to_string(),
+            JsonValue::Str(s) => format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+            JsonValue::Bool(b) => b.to_string(),
+        }
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::U64(v)
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::U64(v as u64)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::F64(v)
+    }
+}
+impl From<&'static str> for JsonValue {
+    fn from(v: &'static str) -> Self {
+        JsonValue::Str(v)
+    }
+}
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+
+/// Collects per-section result rows for the `--json` report.
+#[derive(Default)]
+struct JsonLog {
+    rows: Vec<(&'static str, Vec<(&'static str, JsonValue)>)>,
+}
+
+impl JsonLog {
+    fn push(&mut self, section: &'static str, fields: Vec<(&'static str, JsonValue)>) {
+        self.rows.push((section, fields));
+    }
+
+    /// Renders `{"smoke": …, "sections": {"<name>": [{…}, …], …}}` with
+    /// sections in first-appearance order.
+    fn render(&self, smoke: bool) -> String {
+        let mut sections: Vec<&'static str> = Vec::new();
+        for (section, _) in &self.rows {
+            if !sections.contains(section) {
+                sections.push(section);
+            }
+        }
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"smoke\": {smoke},\n"));
+        out.push_str("  \"sections\": {\n");
+        for (si, section) in sections.iter().enumerate() {
+            out.push_str(&format!("    \"{section}\": [\n"));
+            let rows: Vec<_> = self.rows.iter().filter(|(s, _)| s == section).collect();
+            for (ri, (_, fields)) in rows.iter().enumerate() {
+                let body: Vec<String> = fields
+                    .iter()
+                    .map(|(k, v)| format!("\"{k}\": {}", v.render()))
+                    .collect();
+                let comma = if ri + 1 < rows.len() { "," } else { "" };
+                out.push_str(&format!("      {{{}}}{comma}\n", body.join(", ")));
+            }
+            let comma = if si + 1 < sections.len() { "," } else { "" };
+            out.push_str(&format!("    ]{comma}\n"));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+/// The streaming throughput/latency section (granularity × thread count).
+fn streaming_section(
+    smoke: bool,
+    granularities: &[Granularity],
+    thread_counts: &[usize],
+    log: &mut JsonLog,
+) {
+    let cfg = if smoke {
+        StreamScenarioConfig::smoke()
+    } else {
+        StreamScenarioConfig::default()
+    };
+    println!(
+        "streaming fraud-detection bench ({}): {} accounts, ~{} transactions, \
+         batch {} edges, retention {}, delta {}",
+        if smoke { "smoke" } else { "full" },
+        cfg.ring.num_accounts,
+        cfg.ring.background_edges + cfg.ring.num_rings * cfg.ring.ring_len.1,
+        cfg.batch_edges,
+        cfg.retention,
+        cfg.window_delta,
+    );
+    println!(
+        "{:>7} {:>8} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>9}",
+        "threads",
+        "gran",
+        "edges/sec",
+        "batches",
+        "mean ms",
+        "p50 ms",
+        "p95 ms",
+        "max ms",
+        "cycles"
+    );
+
+    let mut reference_cycles: Option<u64> = None;
+    for &granularity in granularities {
+        for &threads in thread_counts {
+            let cfg = cfg.clone().with_granularity(granularity);
+            let report = run_stream_scenario(&cfg, threads).expect("valid scenario config");
+            println!(
+                "{:>7} {:>8} {:>12.0} {:>10} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>9}",
+                report.threads,
+                granularity_name(granularity),
+                report.sustained_edges_per_sec(),
+                report.rows.len(),
+                report.mean_latency_secs() * 1e3,
+                report.latency_percentile_secs(0.50) * 1e3,
+                report.latency_percentile_secs(0.95) * 1e3,
+                report.max_latency_secs() * 1e3,
+                report.total_cycles,
+            );
+            log.push(
+                "streaming",
+                vec![
+                    ("threads", threads.into()),
+                    ("granularity", granularity_name(granularity).into()),
+                    ("edges_per_sec", report.sustained_edges_per_sec().into()),
+                    ("batches", report.rows.len().into()),
+                    ("mean_ms", (report.mean_latency_secs() * 1e3).into()),
+                    (
+                        "p50_ms",
+                        (report.latency_percentile_secs(0.50) * 1e3).into(),
+                    ),
+                    (
+                        "p95_ms",
+                        (report.latency_percentile_secs(0.95) * 1e3).into(),
+                    ),
+                    ("max_ms", (report.max_latency_secs() * 1e3).into()),
+                    ("cycles", report.total_cycles.into()),
+                ],
+            );
+            // Results must depend on neither the thread count nor the
+            // granularity.
+            match reference_cycles {
+                None => reference_cycles = Some(report.total_cycles),
+                Some(expected) => assert_eq!(
+                    report.total_cycles, expected,
+                    "cycle totals diverged across configurations"
+                ),
+            }
+        }
+    }
+    if let Some(cycles) = reference_cycles {
+        println!("ok: {cycles} cycles at every granularity and thread count");
+    }
+}
+
+/// The skewed case: one closing edge completes every cycle of the batch.
+fn hub_burst_section(
+    smoke: bool,
+    granularities: &[Granularity],
+    hub_threads: usize,
+    log: &mut JsonLog,
+) {
+    let hub = if smoke {
+        HubBurstConfig::smoke()
+    } else {
+        HubBurstConfig::default()
+    };
+    println!(
+        "\nhub burst (width {}, depth {}: {} cycles through one closing edge, {} threads)",
+        hub.width,
+        hub.depth,
+        hub.expected_cycles(),
+        hub_threads,
+    );
+    println!(
+        "{:>8} {:>10} {:>12} {:>8} {:>12}",
+        "gran", "burst ms", "busy wrk", "steals", "cycles"
+    );
+    let mut hub_cycles: Option<u64> = None;
+    for &granularity in granularities {
+        let report = run_hub_burst(&hub, hub_threads, granularity).expect("valid hub-burst config");
+        println!(
+            "{:>8} {:>10.3} {:>12} {:>8} {:>12}",
+            granularity_name(granularity),
+            report.burst_secs * 1e3,
+            report.busy_workers(),
+            report.burst_stats.work.total_steals(),
+            report.cycles,
+        );
+        log.push(
+            "hub_burst",
+            vec![
+                ("threads", hub_threads.into()),
+                ("granularity", granularity_name(granularity).into()),
+                ("burst_ms", (report.burst_secs * 1e3).into()),
+                ("busy_workers", report.busy_workers().into()),
+                ("steals", report.burst_stats.work.total_steals().into()),
+                ("cycles", report.cycles.into()),
+            ],
+        );
+        if granularity == Granularity::FineGrained && hub_threads > 1 {
+            assert!(
+                report.busy_workers() > 1 && report.burst_stats.work.total_steals() > 0,
+                "fine-grained delta must spread a single-root burst across workers"
+            );
+        }
+        match hub_cycles {
+            None => hub_cycles = Some(report.cycles),
+            Some(expected) => assert_eq!(report.cycles, expected, "hub-burst totals diverged"),
+        }
+    }
+    println!("ok: hub burst agrees across granularities");
+}
+
 /// The multi-query subscription section: shared engine vs one engine per
 /// query, over the mixed portfolio, at 1/2/4/8 subscriptions.
-fn multi_query_section(smoke: bool, granularity: Granularity, thread_counts: &[usize]) {
+fn multi_query_section(
+    smoke: bool,
+    granularity: Granularity,
+    thread_counts: &[usize],
+    log: &mut JsonLog,
+) {
     let base = if smoke {
         MultiTenantConfig::smoke()
     } else {
@@ -107,6 +364,18 @@ fn multi_query_section(smoke: bool, granularity: Granularity, thread_counts: &[u
                 shared.sustained_edges_per_sec(),
                 shared.total_cycles(),
             );
+            log.push(
+                "multi_query",
+                vec![
+                    ("threads", threads.into()),
+                    ("granularity", granularity_name(granularity).into()),
+                    ("subs", subs.into()),
+                    ("shared_ms", (shared.wall_secs * 1e3).into()),
+                    ("independent_ms", (indep_secs * 1e3).into()),
+                    ("edges_per_sec", shared.sustained_edges_per_sec().into()),
+                    ("cycles", shared.total_cycles().into()),
+                ],
+            );
             if subs == 4 {
                 let single = single_query_secs.expect("subs=1 ran first");
                 assert!(
@@ -122,13 +391,139 @@ fn multi_query_section(smoke: bool, granularity: Granularity, thread_counts: &[u
     println!("ok: per-query totals match dedicated engines; shared ingest scales sublinearly");
 }
 
+/// The subscription-scale fan-out section: the constraint-indexed dispatcher
+/// vs the naive per-candidate loop at 64/256/1024 subscriptions drawn from a
+/// fixed 16-profile pool. Assertions are on deterministic constraint-check
+/// counts, so the CI gate cannot flake on timing noise.
+fn fan_out_section(smoke: bool, threads: usize, log: &mut JsonLog) {
+    let base = if smoke {
+        FanOutScaleConfig::smoke()
+    } else {
+        FanOutScaleConfig::default()
+    };
+    println!(
+        "\nfan-out scaling ({}, {} threads): constraint-indexed SubscriptionIndex vs \
+         naive per-candidate loop, 16-profile portfolio",
+        if smoke { "smoke" } else { "full" },
+        threads,
+    );
+    println!(
+        "{:>6} {:>7} {:>10} {:>10} {:>14} {:>12} {:>7} {:>9} {:>10}",
+        "subs",
+        "groups",
+        "naive ms",
+        "idx ms",
+        "naive checks",
+        "idx checks",
+        "ratio",
+        "par.bat",
+        "cycles"
+    );
+    let mut checks_at: Vec<(usize, u64, u64)> = Vec::new(); // (subs, naive, indexed)
+    for subs in [64usize, 256, 1024] {
+        let cfg = base.clone().with_subscriptions(subs);
+        let naive =
+            run_fan_out_scale(&cfg, threads, FanOutStrategy::Naive).expect("valid fan-out config");
+        let indexed = run_fan_out_scale(&cfg, threads, FanOutStrategy::Indexed)
+            .expect("valid fan-out config");
+        // Correctness first: both strategies must attribute identical
+        // lifetime totals to every subscription.
+        assert_eq!(
+            naive.per_query_cycles, indexed.per_query_cycles,
+            "fan-out strategies diverged at {subs} subscriptions"
+        );
+        assert_eq!(
+            naive.candidates, indexed.candidates,
+            "the shared pass must not depend on the fan-out strategy"
+        );
+        // The tentpole gate: indexed dispatch is strictly cheaper than the
+        // naive loop on the same portfolio — measured in constraint checks,
+        // which are deterministic.
+        assert!(
+            indexed.fan_out_checks < naive.fan_out_checks,
+            "indexed fan-out must beat the naive loop at {subs} subscriptions \
+             ({} vs {} checks)",
+            indexed.fan_out_checks,
+            naive.fan_out_checks,
+        );
+        println!(
+            "{:>6} {:>7} {:>10.3} {:>10.3} {:>14} {:>12} {:>7.1} {:>9} {:>10}",
+            subs,
+            indexed.groups,
+            naive.wall_secs * 1e3,
+            indexed.wall_secs * 1e3,
+            naive.fan_out_checks,
+            indexed.fan_out_checks,
+            naive.fan_out_checks as f64 / indexed.fan_out_checks.max(1) as f64,
+            indexed.parallel_batches,
+            indexed.per_query_cycles.iter().sum::<u64>(),
+        );
+        log.push(
+            "fan_out",
+            vec![
+                ("threads", threads.into()),
+                ("subs", subs.into()),
+                ("groups", indexed.groups.into()),
+                ("naive_ms", (naive.wall_secs * 1e3).into()),
+                ("indexed_ms", (indexed.wall_secs * 1e3).into()),
+                ("naive_checks", naive.fan_out_checks.into()),
+                ("indexed_checks", indexed.fan_out_checks.into()),
+                ("candidates", indexed.candidates.into()),
+                ("parallel_batches", indexed.parallel_batches.into()),
+                (
+                    "cycles",
+                    indexed.per_query_cycles.iter().sum::<u64>().into(),
+                ),
+            ],
+        );
+        checks_at.push((subs, naive.fan_out_checks, indexed.fan_out_checks));
+    }
+    // Sublinearity: from 64 to 1024 subscriptions the naive loop pays exactly
+    // 16x the checks (same candidates, 16x the subscriptions), while the
+    // index keeps dispatching against the same 16 constraint groups — its
+    // per-batch cost does not grow with the subscriber count at all.
+    let (_, naive_64, indexed_64) = checks_at[0];
+    let (_, naive_1024, indexed_1024) = checks_at[2];
+    assert_eq!(
+        naive_1024,
+        naive_64 * 16,
+        "the naive loop's dispatch cost is linear in the portfolio size"
+    );
+    assert!(
+        indexed_1024 <= indexed_64,
+        "indexed dispatch cost must not grow with subscriber count when \
+         profiles repeat ({indexed_1024} at 1024 subs vs {indexed_64} at 64)"
+    );
+    println!(
+        "ok: identical per-query totals; indexed dispatch flat from 64 to 1024 subscriptions \
+         where the naive loop grows 16x"
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let only_multi = args.iter().any(|a| a == "multi_query");
-    let granularities: Vec<Granularity> = match args
-        .iter()
-        .position(|a| a == "--granularity")
+    // Indices of tokens consumed as flag *values*, so the positional-section
+    // scan below does not re-interpret them.
+    let mut value_indices: Vec<usize> = Vec::new();
+    let json_path = match args.iter().position(|a| a == "--json") {
+        None => None,
+        Some(i) => match args.get(i + 1) {
+            Some(path) if !path.starts_with("--") => {
+                value_indices.push(i + 1);
+                Some(path.clone())
+            }
+            _ => {
+                eprintln!("--json requires a path argument");
+                std::process::exit(2);
+            }
+        },
+    };
+    let granularity_pos = args.iter().position(|a| a == "--granularity");
+    if let Some(i) = granularity_pos {
+        value_indices.push(i + 1);
+    }
+    let granularities: Vec<Granularity> = match granularity_pos
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
     {
@@ -141,118 +536,47 @@ fn main() {
         }
         None => vec![Granularity::CoarseGrained, Granularity::FineGrained],
     };
-    let cfg = if smoke {
-        StreamScenarioConfig::smoke()
-    } else {
-        StreamScenarioConfig::default()
-    };
     let thread_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let max_threads = *thread_counts.last().expect("non-empty thread counts");
 
-    if only_multi {
-        for &granularity in &granularities {
-            multi_query_section(smoke, granularity, thread_counts);
+    // Section selectors: with none given, every section runs; naming any
+    // subset (`streaming`, `hub_burst`, `multi_query`, `fan_out`) runs only
+    // those. Unknown positional tokens are an error, not a silent run-all —
+    // a typoed section name in CI must fail fast, not change the gate.
+    const SECTIONS: [&str; 4] = ["streaming", "hub_burst", "multi_query", "fan_out"];
+    let mut selected: Vec<&str> = Vec::new();
+    for (i, arg) in args.iter().enumerate() {
+        if arg.starts_with("--") || value_indices.contains(&i) {
+            continue;
         }
-        return;
-    }
-
-    println!(
-        "streaming fraud-detection bench ({}): {} accounts, ~{} transactions, \
-         batch {} edges, retention {}, delta {}",
-        if smoke { "smoke" } else { "full" },
-        cfg.ring.num_accounts,
-        cfg.ring.background_edges + cfg.ring.num_rings * cfg.ring.ring_len.1,
-        cfg.batch_edges,
-        cfg.retention,
-        cfg.window_delta,
-    );
-    println!(
-        "{:>7} {:>8} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>9}",
-        "threads",
-        "gran",
-        "edges/sec",
-        "batches",
-        "mean ms",
-        "p50 ms",
-        "p95 ms",
-        "max ms",
-        "cycles"
-    );
-
-    let mut reference_cycles: Option<u64> = None;
-    for &granularity in &granularities {
-        for &threads in thread_counts {
-            let cfg = cfg.clone().with_granularity(granularity);
-            let report = run_stream_scenario(&cfg, threads).expect("valid scenario config");
-            println!(
-                "{:>7} {:>8} {:>12.0} {:>10} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>9}",
-                report.threads,
-                granularity_name(granularity),
-                report.sustained_edges_per_sec(),
-                report.rows.len(),
-                report.mean_latency_secs() * 1e3,
-                report.latency_percentile_secs(0.50) * 1e3,
-                report.latency_percentile_secs(0.95) * 1e3,
-                report.max_latency_secs() * 1e3,
-                report.total_cycles,
-            );
-            // Results must depend on neither the thread count nor the
-            // granularity.
-            match reference_cycles {
-                None => reference_cycles = Some(report.total_cycles),
-                Some(expected) => assert_eq!(
-                    report.total_cycles, expected,
-                    "cycle totals diverged across configurations"
-                ),
+        match SECTIONS.iter().find(|s| *s == arg) {
+            Some(section) => selected.push(section),
+            None => {
+                eprintln!("unknown section {arg:?}; use one of {SECTIONS:?}");
+                std::process::exit(2);
             }
         }
     }
-    if let Some(cycles) = reference_cycles {
-        println!("ok: {cycles} cycles at every granularity and thread count");
-    }
+    let runs = |name: &str| selected.is_empty() || selected.contains(&name);
 
-    // The skewed case: one closing edge completes every cycle of the batch.
-    let hub = if smoke {
-        HubBurstConfig::smoke()
-    } else {
-        HubBurstConfig::default()
-    };
-    let hub_threads = *thread_counts.last().expect("non-empty thread counts");
-    println!(
-        "\nhub burst (width {}, depth {}: {} cycles through one closing edge, {} threads)",
-        hub.width,
-        hub.depth,
-        hub.expected_cycles(),
-        hub_threads,
-    );
-    println!(
-        "{:>8} {:>10} {:>12} {:>8} {:>12}",
-        "gran", "burst ms", "busy wrk", "steals", "cycles"
-    );
-    let mut hub_cycles: Option<u64> = None;
-    for &granularity in &granularities {
-        let report = run_hub_burst(&hub, hub_threads, granularity).expect("valid hub-burst config");
-        println!(
-            "{:>8} {:>10.3} {:>12} {:>8} {:>12}",
-            granularity_name(granularity),
-            report.burst_secs * 1e3,
-            report.busy_workers(),
-            report.burst_stats.work.total_steals(),
-            report.cycles,
-        );
-        if granularity == Granularity::FineGrained && hub_threads > 1 {
-            assert!(
-                report.busy_workers() > 1 && report.burst_stats.work.total_steals() > 0,
-                "fine-grained delta must spread a single-root burst across workers"
-            );
-        }
-        match hub_cycles {
-            None => hub_cycles = Some(report.cycles),
-            Some(expected) => assert_eq!(report.cycles, expected, "hub-burst totals diverged"),
+    let mut log = JsonLog::default();
+    if runs("streaming") {
+        streaming_section(smoke, &granularities, thread_counts, &mut log);
+    }
+    if runs("hub_burst") {
+        hub_burst_section(smoke, &granularities, max_threads, &mut log);
+    }
+    if runs("multi_query") {
+        for &granularity in &granularities {
+            multi_query_section(smoke, granularity, thread_counts, &mut log);
         }
     }
-    println!("ok: hub burst agrees across granularities");
+    if runs("fan_out") {
+        fan_out_section(smoke, max_threads, &mut log);
+    }
 
-    for &granularity in &granularities {
-        multi_query_section(smoke, granularity, thread_counts);
+    if let Some(path) = json_path {
+        std::fs::write(&path, log.render(smoke)).expect("write --json report");
+        println!("\nwrote machine-readable results to {path}");
     }
 }

@@ -1,7 +1,7 @@
 //! The legacy builder front end, kept as a thin compatibility wrapper over
-//! the [`Engine`](crate::engine::Engine) API.
+//! the [`Engine`] API.
 //!
-//! New code should construct one long-lived [`Engine`](crate::engine::Engine)
+//! New code should construct one long-lived [`Engine`]
 //! per process and issue [`Query`]s against it — the engine reuses one thread
 //! pool across calls, validates queries instead of substituting fallbacks,
 //! and supports early termination and streaming:

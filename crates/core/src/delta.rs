@@ -32,7 +32,7 @@
 //!   every recursion level of a rooted search is a copyable task on the
 //!   pool's work-stealing deques (§5/§7 applied to the backward search), so
 //!   even a single-root burst engages all workers. The per-root pruning state
-//!   is snapshot into a shared [`UnionView`] once and read-only thereafter.
+//!   is snapshot into a shared `UnionView` once and read-only thereafter.
 //!
 //! Everything here is generic over [`GraphView`], so the same code serves the
 //! immutable [`TemporalGraph`](pce_graph::TemporalGraph) and the streaming
@@ -48,7 +48,13 @@
 //! per-cycle re-checking instead of per-query re-searching. That is exactly
 //! what [`MultiStreamingEngine`](crate::streaming::MultiStreamingEngine)
 //! does: one union/pruning pass and one search per root at the widest
-//! subscribed window, fanned out through per-query filters.
+//! subscribed window, fanned out through per-query filters. The fan-out
+//! itself is constraint-indexed (see
+//! [`SubscriptionIndex`](crate::streaming::SubscriptionIndex)): because
+//! acceptance is *monotone* in the window and length constraints, the
+//! subscriptions sort into a frontier each candidate's time-span can
+//! binary-search, so the per-cycle re-check costs `O(distinct constraint
+//! profiles)` rather than `O(subscriptions)`.
 //!
 //! # The `floor` parameter
 //!

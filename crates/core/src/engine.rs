@@ -349,6 +349,23 @@ pub struct EnumerationResult {
 /// concurrent standing queries over one stream
 /// [`MultiStreamingEngine`](crate::streaming::MultiStreamingEngine) — both
 /// embed an `Engine` for its reusable pool.
+///
+/// # Example
+/// ```
+/// use pce_core::{Engine, Query};
+/// use pce_core::graph::GraphBuilder;
+///
+/// let graph = GraphBuilder::new()
+///     .add_edge(0, 1, 10)
+///     .add_edge(1, 2, 20)
+///     .add_edge(2, 0, 30)
+///     .build();
+///
+/// // One engine per process; any number of queries against it.
+/// let engine = Engine::with_threads(2);
+/// assert_eq!(engine.count(&Query::simple(), &graph).unwrap(), 1);
+/// assert_eq!(engine.count(&Query::temporal().window(60), &graph).unwrap(), 1);
+/// ```
 pub struct Engine {
     threads: usize,
     pool: OnceLock<Arc<ThreadPool>>,

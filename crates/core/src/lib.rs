@@ -29,8 +29,11 @@
 //! task decomposition ([`StreamingQuery::granularity`]). For *many*
 //! concurrent standing queries over one stream, [`MultiStreamingEngine`]
 //! shares the ingest, the delta root scan and the per-root pruning pass
-//! across all subscriptions and fans per-query results out by [`QueryId`] —
-//! N subscriptions cost far less than N engines.
+//! across all subscriptions and fans per-query results out by [`QueryId`]
+//! through a constraint-indexed dispatcher ([`SubscriptionIndex`]) whose
+//! cost scales with *distinct constraint profiles*, not subscribers — N
+//! subscriptions cost far less than N engines, and portfolios that repeat a
+//! handful of alert profiles dispatch in near-constant time per candidate.
 //!
 //! Cross-implementation correctness is checked everywhere against the shared
 //! brute-force oracles in the `testing` module (unit tests see it always;
@@ -82,8 +85,9 @@ pub use engine::{
 pub use metrics::{LatencyStats, RunStats, WorkMetrics, WorkSnapshot, WorkerWork};
 pub use options::{SimpleCycleOptions, TemporalCycleOptions};
 pub use streaming::{
-    BatchReport, MultiBatchReport, MultiStreamingEngine, QueryId, StreamCycle, StreamingEngine,
-    StreamingError, StreamingQuery,
+    BatchReport, CohortBatchStats, CohortKey, FanOutReport, FanOutStrategy, MultiBatchReport,
+    MultiStreamingEngine, QueryId, StreamCycle, StreamingEngine, StreamingError, StreamingQuery,
+    SubscriptionIndex,
 };
 
 // Re-export the substrate crates so downstream users can depend on `pce-core`

@@ -225,7 +225,10 @@ impl WorkSnapshot {
 /// Used by [`MultiStreamingEngine`](crate::streaming::MultiStreamingEngine)
 /// to attribute per-batch latency to each [`QueryId`](crate::streaming::QueryId)
 /// over the subscription's lifetime (a query subscribed mid-stream only
-/// accumulates samples from its first batch on).
+/// accumulates samples from its first batch on), and to attribute fan-out
+/// dispatch time to each subscription cohort
+/// ([`MultiStreamingEngine::cohort_latency`](crate::streaming::MultiStreamingEngine::cohort_latency))
+/// whenever a batch's dispatch runs as deferred parallel tasks.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct LatencyStats {
     /// Raw per-batch latency samples in seconds, in arrival order.
@@ -273,6 +276,13 @@ impl LatencyStats {
     /// Worst recorded latency in seconds (one linear scan, no sort).
     pub fn max_secs(&self) -> f64 {
         self.samples.iter().fold(0.0, |acc, &s| f64::max(acc, s))
+    }
+
+    /// Sum of every recorded sample in seconds — the aggregate a capacity
+    /// planner divides budgets by (e.g. total dispatch seconds a cohort cost
+    /// over a replay).
+    pub fn total_secs(&self) -> f64 {
+        self.samples.iter().sum()
     }
 }
 
@@ -398,6 +408,7 @@ mod tests {
         assert!((l.percentile_secs(0.5) - 0.3).abs() < 1e-12);
         assert!((l.percentile_secs(0.0) - 0.1).abs() < 1e-12);
         assert!((l.max_secs() - 0.5).abs() < 1e-12);
+        assert!((l.total_secs() - 1.5).abs() < 1e-12);
         // Out-of-range percentiles clamp instead of panicking.
         assert_eq!(l.percentile_secs(7.0), l.max_secs());
     }

@@ -8,7 +8,7 @@
 //! cycle to `O(n+e)` and gives the overall `O((n+e)(c+1))` complexity.
 //!
 //! This module contains the sequential implementation; the coarse-grained
-//! parallel version simply runs [`johnson_root`] for different root edges on
+//! parallel version simply runs `johnson_root` for different root edges on
 //! different workers, and the fine-grained version (in
 //! [`crate::par::fine_johnson`]) re-implements the same recursion with
 //! explicit frames so that unexplored branches can be stolen.

@@ -5,7 +5,7 @@
 //!
 //! 1. **Ingest** — each [`StreamingEngine::ingest`] call appends one batch to
 //!    an incrementally-maintained
-//!    [`SlidingWindowGraph`](pce_graph::stream::SlidingWindowGraph) (`O(batch)`
+//!    [`SlidingWindowGraph`] (`O(batch)`
 //!    amortised, no rebuild) and slides the retention window forward,
 //!    expiring edges older than `watermark - retention`.
 //! 2. **Delta query** — only cycles *closed by the new batch* are enumerated:
@@ -51,11 +51,17 @@
 //! [`StreamingQuery`]s (each gets a stable [`QueryId`]), and every
 //! [`ingest`](MultiStreamingEngine::ingest) pays **one** append/expiry pass,
 //! **one** delta root scan and **one** per-root backward union/pruning pass —
-//! at the widest subscribed window — then re-checks each candidate cycle
-//! against every query's own constraints before fanning results out to
-//! per-query [`BatchReport`]s. The per-query outputs are byte-identical to
-//! dedicated engines (proven by the differential harness in
-//! `tests/streaming.rs`).
+//! at the widest subscribed window — then routes each candidate cycle to the
+//! subscriptions that accept it before fanning results out to per-query
+//! [`BatchReport`]s. Routing uses a constraint-indexed [`SubscriptionIndex`]
+//! by default ([`FanOutStrategy::Indexed`]): subscriptions are bucketed into
+//! `(kind, self-loops)` cohorts and deduplicated into `(δ, max_len)`
+//! constraint groups, so per-candidate dispatch cost scales with *distinct
+//! constraint profiles* rather than with the subscriber count, and large
+//! portfolios dispatch as parallel tasks on the engine's pool. The per-query
+//! outputs are byte-identical to dedicated engines — and to the naive
+//! per-candidate loop ([`FanOutStrategy::Naive`]) — proven by the
+//! differential harnesses in `tests/streaming.rs`.
 //!
 //! # Relation to [`Engine::stream`]
 //!
@@ -76,6 +82,7 @@ use crate::engine::{CollectMode, CycleKind, Engine, EnumerationError, Granularit
 use crate::metrics::{LatencyStats, RunStats};
 use crate::options::{SimpleCycleOptions, TemporalCycleOptions};
 use crate::seq::RootScratch;
+use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
 use pce_graph::stream::{SlidingWindowGraph, StreamError};
 use pce_graph::{EdgeId, GraphView, TemporalEdge, TemporalGraph, TimeWindow, Timestamp, VertexId};
@@ -277,7 +284,7 @@ impl StreamingQuery {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct StreamCycle {
     /// Vertices in traversal order (same convention as
-    /// [`Cycle`](crate::Cycle)).
+    /// [`Cycle`]).
     pub vertices: Vec<VertexId>,
     /// The traversed edges: `edges[i]` connects `vertices[i]` to
     /// `vertices[i + 1]`, wrapping at the end.
@@ -487,14 +494,7 @@ impl StreamingEngine {
                 let resolved = sink
                     .into_cycles()
                     .into_iter()
-                    .map(|c| StreamCycle {
-                        edges: c
-                            .edges
-                            .iter()
-                            .map(|&id| GraphView::edge(&self.graph, id))
-                            .collect(),
-                        vertices: c.vertices,
-                    })
+                    .map(|c| resolve_cycle(&self.graph, c))
                     .collect();
                 (resolved, stats)
             }
@@ -663,6 +663,20 @@ fn run_delta<S: crate::cycle::CycleSink>(
     }
 }
 
+/// Resolves a raw cycle (dense edge ids) to concrete temporal edges against
+/// the current window — dense ids are re-based when the window compacts, so
+/// nothing id-based may outlive the batch that produced it.
+fn resolve_cycle(graph: &SlidingWindowGraph, c: Cycle) -> StreamCycle {
+    StreamCycle {
+        edges: c
+            .edges
+            .iter()
+            .map(|&id| GraphView::edge(graph, id))
+            .collect(),
+        vertices: c.vertices,
+    }
+}
+
 /// One active subscription of a [`MultiStreamingEngine`].
 #[derive(Debug)]
 struct Subscription {
@@ -731,7 +745,406 @@ impl SharedPass {
     }
 }
 
-/// Per-subscription accumulator of one batch's fan-out (see
+/// Selects how a [`MultiStreamingEngine`] routes each candidate cycle of the
+/// shared enumeration pass to the subscriptions that accept it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FanOutStrategy {
+    /// The reference dispatcher: every candidate is re-checked against every
+    /// subscription — `O(candidates × subscriptions)`. Kept as the oracle the
+    /// indexed strategy is differentially tested (and benchmarked) against.
+    Naive,
+    /// Constraint-indexed dispatch via a [`SubscriptionIndex`] (the default):
+    /// subscriptions are bucketed into *cohorts* keyed by
+    /// `(CycleKind, include_self_loops)` and, within a cohort, deduplicated
+    /// into constraint *groups* ordered by `(delta, max_len)`, so a
+    /// candidate's time-span binary-searches the acceptance frontier and each
+    /// candidate only visits the groups that can possibly accept it. Large
+    /// portfolios additionally run cohort dispatch as parallel tasks on the
+    /// engine's thread pool.
+    #[default]
+    Indexed,
+}
+
+/// Portfolio size from which the indexed strategy defers dispatch and runs it
+/// as parallel `(cohort, candidate-chunk)` tasks on the engine's pool. Below
+/// it, per-candidate inline dispatch is cheaper than buffering candidates.
+const PARALLEL_FAN_OUT_SUBS: usize = 64;
+
+/// Candidates per parallel dispatch task: the copyable unit of fan-out work,
+/// sized so a task amortises its scheduling cost but a skewed batch still
+/// splits across workers.
+const FAN_OUT_CHUNK: usize = 128;
+
+/// The `max_len` stand-in for unbounded queries inside the index (every
+/// candidate length compares `<=` against it).
+const LEN_UNBOUNDED: usize = usize::MAX;
+
+/// The cohort key of the [`SubscriptionIndex`]: subscriptions that share the
+/// same *kind-level* acceptance semantics. Within a cohort, acceptance of a
+/// candidate is monotone in the remaining two constraints (window δ and
+/// `max_len`), which is what makes the sorted-frontier dispatch sound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CohortKey {
+    /// Cycle kind every subscription in the cohort asks for.
+    pub kind: CycleKind,
+    /// Whether the cohort's subscriptions report length-1 cycles.
+    pub include_self_loops: bool,
+}
+
+impl CohortKey {
+    fn of(query: &StreamingQuery) -> Self {
+        Self {
+            kind: query.kind,
+            include_self_loops: query.include_self_loops,
+        }
+    }
+
+    /// Whether a candidate of this shape can be accepted by *any* member of
+    /// the cohort — the kind-level gate the per-subscription loop of the
+    /// naive dispatcher evaluates per subscription, evaluated once per
+    /// cohort here.
+    fn admits(&self, len: usize, strictly_increasing: bool) -> bool {
+        if len == 1 {
+            // Temporal queries never report self-loops (strictly increasing
+            // timestamps leave no room for one) and simple queries only when
+            // asked — both exactly as the naive per-subscription checks.
+            return self.kind == CycleKind::Simple && self.include_self_loops;
+        }
+        match self.kind {
+            CycleKind::Temporal => strictly_increasing,
+            CycleKind::Simple => true,
+        }
+    }
+}
+
+impl std::fmt::Display for CohortKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self.kind {
+            CycleKind::Simple => "simple",
+            CycleKind::Temporal => "temporal",
+        };
+        if self.include_self_loops {
+            write!(f, "{kind}+self-loops")
+        } else {
+            write!(f, "{kind}")
+        }
+    }
+}
+
+/// One subscription's slot inside a constraint group.
+#[derive(Debug, Clone)]
+struct GroupMember {
+    id: QueryId,
+    /// Whether this member materialises cycles ([`CollectMode::Collect`]).
+    collect: bool,
+}
+
+/// One *distinct* constraint profile `(delta, max_len)` within a cohort,
+/// carrying every subscription that shares it. Dispatch work scales with the
+/// number of groups, not the number of subscriptions: a candidate accepted by
+/// a group is counted (and, if any member collects, stored) **once**, and
+/// members receive the group's result at report time.
+#[derive(Debug, Clone)]
+struct ConstraintGroup {
+    delta: Timestamp,
+    /// [`LEN_UNBOUNDED`] when the profile has no length bound.
+    max_len: usize,
+    /// Cached `members.iter().any(|m| m.collect)`, kept in sync by the
+    /// index's insert/remove paths (checked on the per-candidate hot path).
+    collects: bool,
+    members: Vec<GroupMember>,
+}
+
+impl ConstraintGroup {
+    fn refresh_collects(&mut self) {
+        self.collects = self.members.iter().any(|m| m.collect);
+    }
+}
+
+/// One cohort of the index: the constraint groups sharing a [`CohortKey`],
+/// sorted by `(delta, max_len)` so a candidate's time-span binary-searches
+/// the acceptance frontier.
+#[derive(Debug, Clone)]
+struct Cohort {
+    key: CohortKey,
+    /// Sorted ascending by `(delta, max_len)`; a candidate with span `s` can
+    /// only be accepted by the suffix starting at the first group with
+    /// `delta >= s`.
+    groups: Vec<ConstraintGroup>,
+    /// `suffix_max_len[i] = max(groups[i..].max_len)` — lets dispatch skip a
+    /// whole suffix when no remaining group can accept the candidate's
+    /// length.
+    suffix_max_len: Vec<usize>,
+}
+
+impl Cohort {
+    fn rebuild_suffix(&mut self) {
+        self.suffix_max_len.clear();
+        self.suffix_max_len.resize(self.groups.len(), 0);
+        let mut max = 0usize;
+        for i in (0..self.groups.len()).rev() {
+            max = max.max(self.groups[i].max_len);
+            self.suffix_max_len[i] = max;
+        }
+    }
+
+    fn subscriptions(&self) -> usize {
+        self.groups.iter().map(|g| g.members.len()).sum()
+    }
+}
+
+/// The constraint index behind [`FanOutStrategy::Indexed`]: buckets a
+/// [`MultiStreamingEngine`]'s subscriptions into [`CohortKey`] cohorts and
+/// deduplicates them into `(delta, max_len)` constraint groups, so each
+/// candidate cycle of the shared pass is dispatched only to the groups that
+/// can possibly accept it:
+///
+/// 1. the cohort gate (kind, strict timestamp increase, self-loops) runs
+///    **once per cohort** instead of once per subscription;
+/// 2. the candidate's time-span **binary-searches** the cohort's
+///    `(delta, max_len)`-sorted groups for the acceptance frontier — groups
+///    with a narrower window are never visited;
+/// 3. a precomputed suffix maximum of `max_len` skips the whole remainder
+///    when no surviving group can accept the candidate's length;
+/// 4. subscriptions sharing a constraint profile cost **one** check (and one
+///    stored cycle) per candidate, not one each — the index's work scales
+///    with *distinct profiles*, not subscribers.
+///
+/// The index is maintained incrementally by
+/// [`subscribe`](MultiStreamingEngine::subscribe) /
+/// [`unsubscribe`](MultiStreamingEngine::unsubscribe) — `O(cohort)` per
+/// update, never rebuilt per batch.
+#[derive(Debug, Clone, Default)]
+pub struct SubscriptionIndex {
+    cohorts: Vec<Cohort>,
+}
+
+impl SubscriptionIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cohorts (distinct `(kind, include_self_loops)` keys).
+    pub fn num_cohorts(&self) -> usize {
+        self.cohorts.len()
+    }
+
+    /// Number of constraint groups (distinct full constraint profiles)
+    /// across all cohorts. Dispatch work per candidate is bounded by this,
+    /// not by [`SubscriptionIndex::num_subscriptions`].
+    pub fn num_groups(&self) -> usize {
+        self.cohorts.iter().map(|c| c.groups.len()).sum()
+    }
+
+    /// Number of indexed subscriptions.
+    pub fn num_subscriptions(&self) -> usize {
+        self.cohorts.iter().map(Cohort::subscriptions).sum()
+    }
+
+    /// Per-cohort summary rows `(key, groups, subscriptions)`, in index
+    /// order — the shape a capacity dashboard wants.
+    pub fn summaries(&self) -> Vec<(CohortKey, usize, usize)> {
+        self.cohorts
+            .iter()
+            .map(|c| (c.key, c.groups.len(), c.subscriptions()))
+            .collect()
+    }
+
+    fn insert(&mut self, id: QueryId, query: &StreamingQuery) {
+        let key = CohortKey::of(query);
+        let max_len = query.max_len.unwrap_or(LEN_UNBOUNDED);
+        let cohort = match self.cohorts.iter().position(|c| c.key == key) {
+            Some(i) => &mut self.cohorts[i],
+            None => {
+                self.cohorts.push(Cohort {
+                    key,
+                    groups: Vec::new(),
+                    suffix_max_len: Vec::new(),
+                });
+                self.cohorts.last_mut().expect("just pushed")
+            }
+        };
+        let member = GroupMember {
+            id,
+            collect: query.collect == CollectMode::Collect,
+        };
+        match cohort
+            .groups
+            .binary_search_by_key(&(query.window_delta, max_len), |g| (g.delta, g.max_len))
+        {
+            Ok(pos) => {
+                cohort.groups[pos].members.push(member);
+                cohort.groups[pos].refresh_collects();
+            }
+            Err(pos) => {
+                let collects = member.collect;
+                cohort.groups.insert(
+                    pos,
+                    ConstraintGroup {
+                        delta: query.window_delta,
+                        max_len,
+                        collects,
+                        members: vec![member],
+                    },
+                );
+            }
+        }
+        cohort.rebuild_suffix();
+    }
+
+    fn remove(&mut self, id: QueryId) -> bool {
+        for ci in 0..self.cohorts.len() {
+            let cohort = &mut self.cohorts[ci];
+            for gi in 0..cohort.groups.len() {
+                if let Some(mi) = cohort.groups[gi].members.iter().position(|m| m.id == id) {
+                    cohort.groups[gi].members.remove(mi);
+                    if cohort.groups[gi].members.is_empty() {
+                        cohort.groups.remove(gi);
+                    } else {
+                        cohort.groups[gi].refresh_collects();
+                    }
+                    cohort.rebuild_suffix();
+                    if cohort.groups.is_empty() {
+                        self.cohorts.remove(ci);
+                    }
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Fresh per-batch group accumulators, parallel to `cohorts[*].groups`.
+    fn make_accums(&self) -> Vec<Vec<GroupAccum>> {
+        self.cohorts
+            .iter()
+            .map(|c| c.groups.iter().map(|_| GroupAccum::new()).collect())
+            .collect()
+    }
+
+    /// Fresh per-batch cohort counters, parallel to `cohorts`.
+    fn make_counters(&self) -> Vec<CohortCounters> {
+        self.cohorts.iter().map(|_| CohortCounters::new()).collect()
+    }
+}
+
+/// Per-batch, per-group accumulator of the indexed fan-out: one atomic count
+/// and (only if some member collects) the accepted cycles, stored **once per
+/// group** no matter how many subscriptions share the profile.
+#[derive(Debug)]
+struct GroupAccum {
+    count: AtomicU64,
+    cycles: Mutex<Vec<Cycle>>,
+}
+
+impl GroupAccum {
+    fn new() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            cycles: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// Per-batch, per-cohort dispatch accounting (threaded into
+/// [`CohortBatchStats`] and the engine's per-cohort [`LatencyStats`]).
+#[derive(Debug)]
+struct CohortCounters {
+    /// Candidates that passed the cohort gate (kind/strictness/self-loops).
+    offered: AtomicU64,
+    /// Constraint groups examined past the binary-searched frontier.
+    checks: AtomicU64,
+    /// Subscription-level acceptances (each accepted group counts once per
+    /// member — the deliveries the naive loop would have performed).
+    accepted: AtomicU64,
+    /// Busy nanoseconds of this cohort's parallel dispatch tasks (0 when
+    /// dispatch ran inline inside the shared pass).
+    busy_nanos: AtomicU64,
+}
+
+impl CohortCounters {
+    fn new() -> Self {
+        Self {
+            offered: AtomicU64::new(0),
+            checks: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            busy_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Derives the per-candidate predicates every dispatcher needs, once: the
+/// candidate's time-span (root timestamp minus minimum timestamp — the delta
+/// searches report path edges in traversal order with the root, maximum,
+/// edge last), its length, and whether its timestamps strictly increase.
+fn candidate_shape(graph: &SlidingWindowGraph, edges: &[EdgeId]) -> (Timestamp, usize, bool) {
+    let root_ts = GraphView::edge(graph, *edges.last().expect("cycles have edges")).ts;
+    let mut min_ts = root_ts;
+    let mut strictly_increasing = true;
+    let mut prev: Option<Timestamp> = None;
+    for &e in edges {
+        let ts = GraphView::edge(graph, e).ts;
+        min_ts = min_ts.min(ts);
+        if let Some(p) = prev {
+            strictly_increasing &= p < ts;
+        }
+        prev = Some(ts);
+    }
+    (
+        root_ts.saturating_sub(min_ts),
+        edges.len(),
+        strictly_increasing,
+    )
+}
+
+/// Dispatches one candidate into one cohort: gate once, binary-search the
+/// `(delta, max_len)` frontier, then visit only the surviving groups. The
+/// shared helper of the inline sink and the parallel dispatch tasks.
+#[allow(clippy::too_many_arguments)] // private hot-path helper over one candidate
+#[inline]
+fn dispatch_into_cohort(
+    cohort: &Cohort,
+    accums: &[GroupAccum],
+    counters: &CohortCounters,
+    span: Timestamp,
+    len: usize,
+    strict: bool,
+    vertices: &[VertexId],
+    edges: &[EdgeId],
+) {
+    if !cohort.key.admits(len, strict) {
+        return;
+    }
+    counters.offered.fetch_add(1, Ordering::Relaxed);
+    // Acceptance on the window axis is monotone: exactly the groups with
+    // `delta >= span` remain, and they form the sorted suffix starting here.
+    let start = cohort.groups.partition_point(|g| g.delta < span);
+    if start == cohort.groups.len() || cohort.suffix_max_len[start] < len {
+        return;
+    }
+    let mut checks = 0u64;
+    for (offset, group) in cohort.groups[start..].iter().enumerate() {
+        checks += 1;
+        if group.max_len < len {
+            continue;
+        }
+        let accum = &accums[start + offset];
+        accum.count.fetch_add(1, Ordering::Relaxed);
+        counters
+            .accepted
+            .fetch_add(group.members.len() as u64, Ordering::Relaxed);
+        if group.collects {
+            accum
+                .cycles
+                .lock()
+                .push(Cycle::new(vertices.to_vec(), edges.to_vec()));
+        }
+    }
+    counters.checks.fetch_add(checks, Ordering::Relaxed);
+}
+
+/// Per-subscription accumulator of one batch's naive fan-out (see
 /// [`FanOutSink`]).
 #[derive(Debug, Default)]
 struct SubAccum {
@@ -739,13 +1152,15 @@ struct SubAccum {
     cycles: Mutex<Vec<Cycle>>,
 }
 
-/// The fan-out sink of the shared enumeration pass: every candidate cycle the
-/// pass discovers is re-checked against each subscription's own constraints —
-/// narrower window δ (time span), `max_len`, cycle kind (strictly increasing
-/// timestamps for temporal queries), self-loops — and accepted into the
-/// per-query accumulators it satisfies. Workers push concurrently, so counts
-/// are atomic and collected cycles go through a mutex, exactly like
-/// [`CollectingSink`].
+/// The naive fan-out sink of the shared enumeration pass: every candidate
+/// cycle the pass discovers is re-checked against each subscription's own
+/// constraints — narrower window δ (time span), `max_len`, cycle kind
+/// (strictly increasing timestamps for temporal queries), self-loops — and
+/// accepted into the per-query accumulators it satisfies. Workers push
+/// concurrently, so counts are atomic and collected cycles go through a
+/// mutex, exactly like [`CollectingSink`]. This is the
+/// [`FanOutStrategy::Naive`] reference the [`SubscriptionIndex`] dispatcher
+/// is differentially tested against.
 struct FanOutSink<'a> {
     graph: &'a SlidingWindowGraph,
     subs: &'a [Subscription],
@@ -754,6 +1169,9 @@ struct FanOutSink<'a> {
     /// filtering) — what [`CycleSink::count`] reports, and therefore what the
     /// shared [`RunStats::cycles`] means for a multi-query batch.
     candidates: AtomicU64,
+    /// Subscription constraint checks performed (`subscriptions` per
+    /// candidate — the linear cost the index avoids).
+    checks: AtomicU64,
 }
 
 impl<'a> FanOutSink<'a> {
@@ -763,6 +1181,7 @@ impl<'a> FanOutSink<'a> {
             subs,
             accums: subs.iter().map(|_| SubAccum::default()).collect(),
             candidates: AtomicU64::new(0),
+            checks: AtomicU64::new(0),
         }
     }
 }
@@ -770,25 +1189,9 @@ impl<'a> FanOutSink<'a> {
 impl CycleSink for FanOutSink<'_> {
     fn push(&self, vertices: &[VertexId], edges: &[EdgeId]) -> ControlFlow<()> {
         self.candidates.fetch_add(1, Ordering::Relaxed);
-        // The delta searches report path edges in traversal order with the
-        // root (maximum) edge last; derive the per-query predicates once.
-        let root_ts = self
-            .graph
-            .edge(*edges.last().expect("cycles have edges"))
-            .ts;
-        let mut min_ts = root_ts;
-        let mut strictly_increasing = true;
-        let mut prev: Option<Timestamp> = None;
-        for &e in edges {
-            let ts = GraphView::edge(self.graph, e).ts;
-            min_ts = min_ts.min(ts);
-            if let Some(p) = prev {
-                strictly_increasing &= p < ts;
-            }
-            prev = Some(ts);
-        }
-        let span = root_ts.saturating_sub(min_ts);
-        let len = edges.len();
+        self.checks
+            .fetch_add(self.subs.len() as u64, Ordering::Relaxed);
+        let (span, len, strictly_increasing) = candidate_shape(self.graph, edges);
         for (sub, accum) in self.subs.iter().zip(&self.accums) {
             let q = &sub.query;
             if len == 1 && !(q.kind == CycleKind::Simple && q.include_self_loops) {
@@ -821,6 +1224,228 @@ impl CycleSink for FanOutSink<'_> {
     }
 }
 
+/// The inline indexed fan-out sink: dispatches each candidate through the
+/// [`SubscriptionIndex`] as it is discovered, inside the shared pass itself
+/// (the pass's workers already push concurrently, so dispatch parallelises
+/// with the search). Used below the [`PARALLEL_FAN_OUT_SUBS`] threshold.
+struct IndexedFanOutSink<'a> {
+    graph: &'a SlidingWindowGraph,
+    index: &'a SubscriptionIndex,
+    accums: &'a [Vec<GroupAccum>],
+    counters: &'a [CohortCounters],
+    candidates: AtomicU64,
+}
+
+impl CycleSink for IndexedFanOutSink<'_> {
+    fn push(&self, vertices: &[VertexId], edges: &[EdgeId]) -> ControlFlow<()> {
+        self.candidates.fetch_add(1, Ordering::Relaxed);
+        let (span, len, strict) = candidate_shape(self.graph, edges);
+        for (ci, cohort) in self.index.cohorts.iter().enumerate() {
+            dispatch_into_cohort(
+                cohort,
+                &self.accums[ci],
+                &self.counters[ci],
+                span,
+                len,
+                strict,
+                vertices,
+                edges,
+            );
+        }
+        ControlFlow::Continue(())
+    }
+
+    fn count(&self) -> u64 {
+        self.candidates.load(Ordering::Relaxed)
+    }
+}
+
+/// One buffered candidate of the deferred (parallel) dispatch path: the
+/// resolved shape plus the raw cycle, captured during the shared pass and
+/// fanned out afterwards by `(cohort, chunk)` tasks.
+#[derive(Debug)]
+struct BufferedCandidate {
+    vertices: Vec<VertexId>,
+    edges: Vec<EdgeId>,
+    span: Timestamp,
+    len: usize,
+    strict: bool,
+}
+
+/// Returns a stable per-thread shard index in `0..n`: each thread that ever
+/// calls this is assigned the next slot of a process-wide counter once, so
+/// the shared pass's workers land on distinct shards (modulo `n`) without
+/// the sink needing a worker id in the [`CycleSink`] signature.
+fn thread_shard(n: usize) -> usize {
+    static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static THREAD_SLOT: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+    }
+    THREAD_SLOT.with(|slot| (*slot % n.max(1) as u64) as usize)
+}
+
+/// The buffering sink of the deferred dispatch path: the shared pass only
+/// records each candidate's shape; dispatch happens afterwards, in parallel,
+/// over the whole candidate set (see [`dispatch_deferred`]). The buffer is
+/// sharded per pushing thread (cache-line padded, like the per-worker
+/// [`WorkMetrics`](crate::WorkMetrics) blocks) so the pass's workers do not
+/// serialize on one mutex on exactly the multi-threaded path this sink is
+/// chosen for.
+struct BufferingFanOutSink<'a> {
+    graph: &'a SlidingWindowGraph,
+    shards: Vec<CachePadded<Mutex<Vec<BufferedCandidate>>>>,
+}
+
+impl<'a> BufferingFanOutSink<'a> {
+    fn new(graph: &'a SlidingWindowGraph, threads: usize) -> Self {
+        Self {
+            graph,
+            shards: (0..threads.max(1))
+                .map(|_| CachePadded::new(Mutex::new(Vec::new())))
+                .collect(),
+        }
+    }
+
+    /// Drains every shard into one candidate list (order is arbitrary, like
+    /// any concurrent sink's; dispatch is order-independent).
+    fn into_candidates(self) -> Vec<BufferedCandidate> {
+        let mut all = Vec::with_capacity(
+            self.shards
+                .iter()
+                .map(|shard| shard.lock().len())
+                .sum::<usize>(),
+        );
+        for shard in self.shards {
+            all.append(&mut CachePadded::into_inner(shard).into_inner());
+        }
+        all
+    }
+}
+
+impl CycleSink for BufferingFanOutSink<'_> {
+    fn push(&self, vertices: &[VertexId], edges: &[EdgeId]) -> ControlFlow<()> {
+        let (span, len, strict) = candidate_shape(self.graph, edges);
+        self.shards[thread_shard(self.shards.len())]
+            .lock()
+            .push(BufferedCandidate {
+                vertices: vertices.to_vec(),
+                edges: edges.to_vec(),
+                span,
+                len,
+                strict,
+            });
+        ControlFlow::Continue(())
+    }
+
+    fn count(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|shard| shard.lock().len() as u64)
+            .sum()
+    }
+}
+
+/// Runs the deferred fan-out as parallel tasks on the engine's pool: one
+/// dynamically-scheduled task per `(cohort, candidate chunk)` pair — the same
+/// fine-grained copyable-unit discipline the delta drivers use, applied to
+/// dispatch. Tasks of one cohort share that cohort's group accumulators
+/// (atomic counts, mutex-guarded cycle lists), and each task adds its busy
+/// time to its cohort's counters so per-cohort dispatch cost stays visible.
+fn dispatch_deferred(
+    pool: &pce_sched::ThreadPool,
+    index: &SubscriptionIndex,
+    candidates: &[BufferedCandidate],
+    accums: &[Vec<GroupAccum>],
+    counters: &[CohortCounters],
+) {
+    let chunks = candidates.len().div_ceil(FAN_OUT_CHUNK);
+    let cohorts = index.cohorts.len();
+    if chunks == 0 || cohorts == 0 {
+        return;
+    }
+    pce_sched::parallel_for_dynamic(pool, chunks * cohorts, 1, |_worker, task| {
+        let ci = task / chunks;
+        let chunk_idx = task % chunks;
+        let start = chunk_idx * FAN_OUT_CHUNK;
+        let end = (start + FAN_OUT_CHUNK).min(candidates.len());
+        let t0 = Instant::now();
+        let cohort = &index.cohorts[ci];
+        for cand in &candidates[start..end] {
+            dispatch_into_cohort(
+                cohort,
+                &accums[ci],
+                &counters[ci],
+                cand.span,
+                cand.len,
+                cand.strict,
+                &cand.vertices,
+                &cand.edges,
+            );
+        }
+        counters[ci]
+            .busy_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    });
+}
+
+/// Per-cohort accounting of one batch's fan-out (indexed strategy only — the
+/// naive loop has no cohorts to attribute to).
+#[derive(Debug, Clone)]
+pub struct CohortBatchStats {
+    /// The cohort's key.
+    pub key: CohortKey,
+    /// Subscriptions in the cohort when the batch ran.
+    pub subscriptions: usize,
+    /// Distinct constraint groups in the cohort.
+    pub groups: usize,
+    /// Candidates that passed the cohort's kind-level gate.
+    pub offered: u64,
+    /// Constraint groups examined past the binary-searched window frontier.
+    pub checks: u64,
+    /// Subscription-level acceptances (one per member of each accepted
+    /// group — the deliveries the naive loop performs individually).
+    pub accepted: u64,
+    /// Summed busy seconds of this cohort's parallel dispatch *tasks* (CPU
+    /// time, not wall clock — across cohorts it can exceed the phase's
+    /// [`FanOutReport::fan_out_secs`] on a multi-worker batch; 0 when the
+    /// batch dispatched inline inside the shared pass).
+    pub busy_secs: f64,
+}
+
+/// How one batch's fan-out executed, and what it cost (see
+/// [`MultiBatchReport::fan_out`]).
+#[derive(Debug, Clone)]
+pub struct FanOutReport {
+    /// The strategy that dispatched this batch.
+    pub strategy: FanOutStrategy,
+    /// Whether dispatch ran as deferred parallel `(cohort, chunk)` tasks on
+    /// the pool (large portfolios) instead of inline inside the shared pass.
+    pub parallel: bool,
+    /// Subscription-constraint checks performed: `subscriptions × candidates`
+    /// for the naive loop; examined constraint *groups* for the index. The
+    /// deterministic cost measure `streaming_bench`'s `fan_out` section
+    /// compares across strategies and portfolio sizes.
+    pub checks: u64,
+    /// Wall-clock seconds of the deferred dispatch phase (0 when dispatch
+    /// ran inline; inline dispatch is part of
+    /// [`MultiBatchReport::enumerate_secs`] either way).
+    pub fan_out_secs: f64,
+    /// Per-cohort accounting rows (empty for the naive strategy).
+    pub cohorts: Vec<CohortBatchStats>,
+}
+
+impl FanOutReport {
+    fn empty(strategy: FanOutStrategy) -> Self {
+        Self {
+            strategy,
+            parallel: false,
+            checks: 0,
+            fan_out_secs: 0.0,
+            cohorts: Vec::new(),
+        }
+    }
+}
+
 /// What one [`MultiStreamingEngine::ingest`] call produced: the **shared**
 /// ingest/enumeration measurements (paid once, no matter how many queries are
 /// subscribed) plus one per-subscription [`BatchReport`] attributing cycles
@@ -847,6 +1472,9 @@ pub struct MultiBatchReport {
     /// Work statistics of the shared pass. `stats.cycles` counts the
     /// candidates, not any single query's results.
     pub stats: RunStats,
+    /// How the batch's fan-out executed and what it cost: strategy, checks,
+    /// parallel-dispatch engagement and per-cohort accounting.
+    pub fan_out: FanOutReport,
     /// One report per active subscription, in subscription order. Each
     /// carries its [`BatchReport::query`] id, its own `cycles_found` /
     /// `cycles`, and the shared ingest/window figures.
@@ -922,7 +1550,16 @@ pub struct MultiStreamingEngine {
     graph: SlidingWindowGraph,
     retention: Timestamp,
     granularity: Granularity,
+    strategy: FanOutStrategy,
     subs: Vec<Subscription>,
+    /// The constraint index over `subs`, maintained incrementally by
+    /// subscribe/unsubscribe (used by [`FanOutStrategy::Indexed`]; kept in
+    /// sync regardless of the active strategy so switching costs nothing).
+    index: SubscriptionIndex,
+    /// Per-cohort dispatch-latency accumulators, recorded for every batch
+    /// whose fan-out ran as deferred parallel tasks (inline dispatch is not
+    /// separable from the shared pass, so it records nothing here).
+    cohort_latency: Vec<(CohortKey, LatencyStats)>,
     next_id: u64,
     scratches: Vec<RootScratch>,
     batches: u64,
@@ -951,7 +1588,10 @@ impl MultiStreamingEngine {
             graph: SlidingWindowGraph::new(retention),
             retention,
             granularity: Granularity::CoarseGrained,
+            strategy: FanOutStrategy::default(),
             subs: Vec::new(),
+            index: SubscriptionIndex::new(),
+            cohort_latency: Vec::new(),
             next_id: QueryId::SOLO.0 + 1,
             scratches: Vec::new(),
             batches: 0,
@@ -965,6 +1605,38 @@ impl MultiStreamingEngine {
     pub fn with_granularity(mut self, granularity: Granularity) -> Self {
         self.granularity = granularity;
         self
+    }
+
+    /// Selects how candidates of the shared pass are routed to subscriptions
+    /// (defaults to [`FanOutStrategy::Indexed`]). [`FanOutStrategy::Naive`]
+    /// is the linear reference dispatcher, kept for differential testing and
+    /// benchmarking; both produce byte-identical per-query reports.
+    pub fn with_fan_out(mut self, strategy: FanOutStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The active fan-out strategy.
+    pub fn fan_out_strategy(&self) -> FanOutStrategy {
+        self.strategy
+    }
+
+    /// The constraint index over the current subscriptions (read-only — the
+    /// engine maintains it incrementally across subscribe/unsubscribe).
+    pub fn subscription_index(&self) -> &SubscriptionIndex {
+        &self.index
+    }
+
+    /// Per-batch dispatch latency attributed to the cohort `key`, accumulated
+    /// over every batch whose fan-out ran as deferred parallel tasks (see
+    /// [`FanOutReport::parallel`]; inline dispatch is folded into the shared
+    /// pass and records nothing here). `None` when no such batch has run for
+    /// that cohort.
+    pub fn cohort_latency(&self, key: CohortKey) -> Option<&LatencyStats> {
+        self.cohort_latency
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, l)| l)
     }
 
     /// Registers a standing query against the shared stream and returns its
@@ -990,6 +1662,7 @@ impl MultiStreamingEngine {
         }
         let id = QueryId(self.next_id);
         self.next_id += 1;
+        self.index.insert(id, &query);
         self.subs.push(Subscription {
             id,
             query,
@@ -1004,7 +1677,12 @@ impl MultiStreamingEngine {
     pub fn unsubscribe(&mut self, id: QueryId) -> bool {
         let before = self.subs.len();
         self.subs.retain(|s| s.id != id);
-        self.subs.len() != before
+        let removed = self.subs.len() != before;
+        if removed {
+            let indexed = self.index.remove(id);
+            debug_assert!(indexed, "index tracks every subscription");
+        }
+        removed
     }
 
     /// The active subscriptions, in subscription order.
@@ -1067,8 +1745,13 @@ impl MultiStreamingEngine {
         let ingest_secs = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
-        let (per_query, candidates, stats) = match SharedPass::covering(&self.subs) {
-            None => (Vec::new(), 0, RunStats::default()),
+        let (per_query, candidates, stats, fan_out) = match SharedPass::covering(&self.subs) {
+            None => (
+                Vec::new(),
+                0,
+                RunStats::default(),
+                FanOutReport::empty(self.strategy),
+            ),
             Some(pass) => {
                 let granularity = self.effective_granularity(delta.roots.len());
                 let want = if granularity == Granularity::Sequential {
@@ -1083,42 +1766,171 @@ impl MultiStreamingEngine {
                     scratch.ensure_vertices(self.graph.num_vertices());
                 }
                 let pass_query = pass.as_query(granularity);
-                let sink = FanOutSink::new(&self.graph, &self.subs);
-                let stats = run_delta(
-                    &pass_query,
-                    &self.engine,
-                    &self.graph,
-                    &mut self.scratches,
-                    &sink,
-                    delta.roots.clone(),
-                    Timestamp::MIN,
-                    granularity,
-                );
-                let candidates = sink.candidates.load(Ordering::Relaxed);
-                // Resolve ids to concrete edges *now*: dense ids are re-based
-                // when the window compacts, so nothing may outlive the batch.
-                let per_query: Vec<(u64, Vec<StreamCycle>)> = sink
-                    .accums
-                    .iter()
-                    .map(|accum| {
-                        let resolved = std::mem::take(&mut *accum.cycles.lock())
-                            .into_iter()
-                            .map(|c| StreamCycle {
-                                edges: c
-                                    .edges
-                                    .iter()
-                                    .map(|&id| GraphView::edge(&self.graph, id))
-                                    .collect(),
-                                vertices: c.vertices,
+                match self.strategy {
+                    FanOutStrategy::Naive => {
+                        let sink = FanOutSink::new(&self.graph, &self.subs);
+                        let stats = run_delta(
+                            &pass_query,
+                            &self.engine,
+                            &self.graph,
+                            &mut self.scratches,
+                            &sink,
+                            delta.roots.clone(),
+                            Timestamp::MIN,
+                            granularity,
+                        );
+                        let candidates = sink.candidates.load(Ordering::Relaxed);
+                        // Resolve ids to concrete edges *now*: dense ids are
+                        // re-based when the window compacts, so nothing may
+                        // outlive the batch.
+                        let per_query: Vec<(u64, Vec<StreamCycle>)> = sink
+                            .accums
+                            .iter()
+                            .map(|accum| {
+                                let resolved = std::mem::take(&mut *accum.cycles.lock())
+                                    .into_iter()
+                                    .map(|c| resolve_cycle(&self.graph, c))
+                                    .collect();
+                                (accum.count.load(Ordering::Relaxed), resolved)
                             })
                             .collect();
-                        (accum.count.load(Ordering::Relaxed), resolved)
-                    })
-                    .collect();
-                (per_query, candidates, stats)
+                        let fan_out = FanOutReport {
+                            strategy: FanOutStrategy::Naive,
+                            parallel: false,
+                            checks: sink.checks.load(Ordering::Relaxed),
+                            fan_out_secs: 0.0,
+                            cohorts: Vec::new(),
+                        };
+                        (per_query, candidates, stats, fan_out)
+                    }
+                    FanOutStrategy::Indexed => {
+                        let accums = self.index.make_accums();
+                        let counters = self.index.make_counters();
+                        // Large portfolios defer dispatch and fan out as
+                        // parallel (cohort, chunk) tasks after the pass;
+                        // below the threshold, inline dispatch inside the
+                        // pass avoids buffering the candidates.
+                        let deferred =
+                            self.engine.threads() > 1 && self.subs.len() >= PARALLEL_FAN_OUT_SUBS;
+                        let (stats, candidates, fan_out_secs, parallel) = if deferred {
+                            let sink = BufferingFanOutSink::new(&self.graph, self.engine.threads());
+                            let stats = run_delta(
+                                &pass_query,
+                                &self.engine,
+                                &self.graph,
+                                &mut self.scratches,
+                                &sink,
+                                delta.roots.clone(),
+                                Timestamp::MIN,
+                                granularity,
+                            );
+                            let buffered = sink.into_candidates();
+                            let t_fan = Instant::now();
+                            dispatch_deferred(
+                                self.engine.pool(),
+                                &self.index,
+                                &buffered,
+                                &accums,
+                                &counters,
+                            );
+                            (
+                                stats,
+                                buffered.len() as u64,
+                                t_fan.elapsed().as_secs_f64(),
+                                !buffered.is_empty(),
+                            )
+                        } else {
+                            let sink = IndexedFanOutSink {
+                                graph: &self.graph,
+                                index: &self.index,
+                                accums: &accums,
+                                counters: &counters,
+                                candidates: AtomicU64::new(0),
+                            };
+                            let stats = run_delta(
+                                &pass_query,
+                                &self.engine,
+                                &self.graph,
+                                &mut self.scratches,
+                                &sink,
+                                delta.roots.clone(),
+                                Timestamp::MIN,
+                                granularity,
+                            );
+                            let candidates = sink.candidates.load(Ordering::Relaxed);
+                            (stats, candidates, 0.0, false)
+                        };
+                        // Distribute group results to members: one resolution
+                        // per group, cloned only into collecting members.
+                        let mut per_query: Vec<(u64, Vec<StreamCycle>)> =
+                            self.subs.iter().map(|_| (0u64, Vec::new())).collect();
+                        for (ci, cohort) in self.index.cohorts.iter().enumerate() {
+                            for (gi, group) in cohort.groups.iter().enumerate() {
+                                let accum = &accums[ci][gi];
+                                let count = accum.count.load(Ordering::Relaxed);
+                                let resolved: Vec<StreamCycle> =
+                                    std::mem::take(&mut *accum.cycles.lock())
+                                        .into_iter()
+                                        .map(|c| resolve_cycle(&self.graph, c))
+                                        .collect();
+                                for member in &group.members {
+                                    // Subscription ids are assigned
+                                    // monotonically and `subs` keeps
+                                    // subscription order, so it is sorted by
+                                    // id.
+                                    let slot = self
+                                        .subs
+                                        .binary_search_by_key(&member.id, |s| s.id)
+                                        .expect("index tracks every subscription");
+                                    per_query[slot].0 = count;
+                                    if member.collect {
+                                        per_query[slot].1 = resolved.clone();
+                                    }
+                                }
+                            }
+                        }
+                        let cohorts: Vec<CohortBatchStats> = self
+                            .index
+                            .cohorts
+                            .iter()
+                            .zip(&counters)
+                            .map(|(c, k)| CohortBatchStats {
+                                key: c.key,
+                                subscriptions: c.subscriptions(),
+                                groups: c.groups.len(),
+                                offered: k.offered.load(Ordering::Relaxed),
+                                checks: k.checks.load(Ordering::Relaxed),
+                                accepted: k.accepted.load(Ordering::Relaxed),
+                                busy_secs: k.busy_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+                            })
+                            .collect();
+                        let fan_out = FanOutReport {
+                            strategy: FanOutStrategy::Indexed,
+                            parallel,
+                            checks: cohorts.iter().map(|c| c.checks).sum(),
+                            fan_out_secs,
+                            cohorts,
+                        };
+                        (per_query, candidates, stats, fan_out)
+                    }
+                }
             }
         };
         let enumerate_secs = t1.elapsed().as_secs_f64();
+        if fan_out.parallel {
+            // Per-cohort dispatch latency is only separable when the batch
+            // ran the deferred parallel dispatcher.
+            for c in &fan_out.cohorts {
+                match self.cohort_latency.iter_mut().find(|(k, _)| *k == c.key) {
+                    Some((_, latency)) => latency.record(c.busy_secs),
+                    None => {
+                        let mut latency = LatencyStats::new();
+                        latency.record(c.busy_secs);
+                        self.cohort_latency.push((c.key, latency));
+                    }
+                }
+            }
+        }
         let latency_secs = ingest_secs + enumerate_secs;
         let live_edges = self.graph.live_edges().len();
 
@@ -1156,6 +1968,7 @@ impl MultiStreamingEngine {
             enumerate_secs,
             candidates,
             stats,
+            fan_out,
             reports,
         };
         self.batches += 1;
@@ -1711,6 +2524,224 @@ mod tests {
         );
         let quiet = dedicated_per_batch(&batches, 10, query, 1);
         assert_eq!(keeper_union, quiet, "churn must not change reports");
+    }
+
+    #[test]
+    fn subscription_index_buckets_cohorts_and_deduplicates_groups() {
+        let mut engine = MultiStreamingEngine::with_threads(1_000, 1).unwrap();
+        assert_eq!(engine.subscription_index().num_cohorts(), 0);
+        // Two identical temporal profiles share one constraint group …
+        let a = engine
+            .subscribe(StreamingQuery::temporal(100).max_len(4))
+            .unwrap();
+        let b = engine
+            .subscribe(StreamingQuery::temporal(100).max_len(4))
+            .unwrap();
+        // … a different bound opens a second group in the same cohort …
+        let c = engine
+            .subscribe(StreamingQuery::temporal(100).max_len(6))
+            .unwrap();
+        // … and simple / self-loop queries land in their own cohorts.
+        let d = engine.subscribe(StreamingQuery::simple(50)).unwrap();
+        let e = engine
+            .subscribe(StreamingQuery::simple(50).include_self_loops(true))
+            .unwrap();
+        let index = engine.subscription_index();
+        assert_eq!(index.num_cohorts(), 3);
+        assert_eq!(index.num_groups(), 4);
+        assert_eq!(index.num_subscriptions(), 5);
+        let summaries = index.summaries();
+        let temporal = summaries
+            .iter()
+            .find(|(k, _, _)| k.kind == CycleKind::Temporal)
+            .unwrap();
+        assert_eq!((temporal.1, temporal.2), (2, 3), "2 groups over 3 subs");
+
+        // Unsubscribing one sharer keeps the group; removing the last member
+        // drops the group, and the cohort once it empties.
+        assert!(engine.unsubscribe(a));
+        assert_eq!(engine.subscription_index().num_groups(), 4);
+        assert!(engine.unsubscribe(b));
+        assert_eq!(engine.subscription_index().num_groups(), 3);
+        assert!(engine.unsubscribe(c));
+        assert_eq!(engine.subscription_index().num_cohorts(), 2);
+        assert!(engine.unsubscribe(d));
+        assert!(engine.unsubscribe(e));
+        assert_eq!(engine.subscription_index().num_cohorts(), 0);
+        assert!(!engine.unsubscribe(a), "ids are gone for good");
+    }
+
+    #[test]
+    fn cohort_gate_matches_the_naive_per_subscription_checks() {
+        let simple = CohortKey {
+            kind: CycleKind::Simple,
+            include_self_loops: false,
+        };
+        let loops = CohortKey {
+            kind: CycleKind::Simple,
+            include_self_loops: true,
+        };
+        let temporal = CohortKey {
+            kind: CycleKind::Temporal,
+            include_self_loops: false,
+        };
+        // Self-loops (len 1) only pass the opted-in simple cohort.
+        assert!(!simple.admits(1, true));
+        assert!(loops.admits(1, true));
+        assert!(!temporal.admits(1, true));
+        // Non-strict candidates only pass simple cohorts.
+        assert!(simple.admits(3, false));
+        assert!(loops.admits(3, false));
+        assert!(!temporal.admits(3, false));
+        assert!(temporal.admits(3, true));
+    }
+
+    /// Replays one deterministic stream (rings of several spans, lengths and
+    /// a self-loop) through both fan-out strategies and asserts per-query,
+    /// per-batch byte-identical reports plus the indexed dispatcher doing
+    /// strictly less checking work than the linear loop.
+    #[test]
+    fn indexed_fan_out_matches_naive_loop_batch_by_batch() {
+        let edges = [
+            e(0, 1, 1),
+            e(1, 2, 2),
+            e(2, 0, 3),
+            e(2, 3, 4),
+            e(3, 2, 5),
+            e(0, 2, 6),
+            e(2, 1, 7),
+            e(1, 0, 8),
+            e(3, 3, 9),
+            e(1, 3, 10),
+            e(3, 0, 11),
+            e(0, 1, 12),
+        ];
+        let portfolio = [
+            StreamingQuery::temporal(1_000),
+            StreamingQuery::temporal(4),
+            StreamingQuery::simple(1_000).include_self_loops(true),
+            StreamingQuery::simple(6).max_len(2),
+            StreamingQuery::temporal(4), // duplicate profile: one group
+        ];
+        for threads in [1usize, 4] {
+            let mut naive = MultiStreamingEngine::with_threads(1_000, threads)
+                .unwrap()
+                .with_fan_out(FanOutStrategy::Naive);
+            let mut indexed = MultiStreamingEngine::with_threads(1_000, threads).unwrap();
+            assert_eq!(naive.fan_out_strategy(), FanOutStrategy::Naive);
+            assert_eq!(indexed.fan_out_strategy(), FanOutStrategy::Indexed);
+            let ids: Vec<QueryId> = portfolio
+                .iter()
+                .map(|q| {
+                    let id = naive.subscribe(q.clone()).unwrap();
+                    assert_eq!(indexed.subscribe(q.clone()).unwrap(), id);
+                    id
+                })
+                .collect();
+            assert!(indexed.subscription_index().num_groups() < portfolio.len());
+            for chunk in edges.chunks(3) {
+                let rn = naive.ingest(chunk).unwrap();
+                let ri = indexed.ingest(chunk).unwrap();
+                assert_eq!(rn.candidates, ri.candidates);
+                assert_eq!(rn.fan_out.strategy, FanOutStrategy::Naive);
+                assert_eq!(ri.fan_out.strategy, FanOutStrategy::Indexed);
+                assert!(
+                    ri.fan_out.checks <= rn.fan_out.checks,
+                    "the index can never check more than the linear loop"
+                );
+                for id in &ids {
+                    let a = rn.report(*id).unwrap();
+                    let b = ri.report(*id).unwrap();
+                    assert_eq!(a.cycles_found, b.cycles_found, "query {id}");
+                    let mut ca: Vec<StreamCycle> =
+                        a.cycles.iter().map(StreamCycle::canonicalize).collect();
+                    let mut cb: Vec<StreamCycle> =
+                        b.cycles.iter().map(StreamCycle::canonicalize).collect();
+                    ca.sort_by(|x, y| x.edges.cmp(&y.edges));
+                    cb.sort_by(|x, y| x.edges.cmp(&y.edges));
+                    assert_eq!(ca, cb, "query {id}");
+                }
+                // Per-cohort accounting is internally consistent: offered
+                // never exceeds candidates, accepted is delivered work.
+                for cohort in &ri.fan_out.cohorts {
+                    assert!(cohort.offered <= ri.candidates);
+                    let delivered: u64 = ids
+                        .iter()
+                        .zip(&portfolio)
+                        .filter(|(_, q)| CohortKey::of(q) == cohort.key)
+                        .map(|(id, _)| ri.report(*id).unwrap().cycles_found)
+                        .sum();
+                    assert_eq!(cohort.accepted, delivered, "cohort {}", cohort.key);
+                }
+            }
+            for id in &ids {
+                assert_eq!(naive.total_cycles(*id), indexed.total_cycles(*id));
+            }
+        }
+    }
+
+    /// A portfolio at the [`PARALLEL_FAN_OUT_SUBS`] threshold must take the
+    /// deferred parallel dispatch path — and still report exactly what the
+    /// naive loop reports, with per-cohort dispatch latency recorded.
+    #[test]
+    fn large_portfolio_dispatches_in_parallel_with_identical_results() {
+        let build = |strategy: FanOutStrategy| {
+            let mut engine = MultiStreamingEngine::with_threads(1_000, 4)
+                .unwrap()
+                .with_fan_out(strategy);
+            for i in 0..PARALLEL_FAN_OUT_SUBS {
+                // A handful of distinct profiles, repeated: realistic
+                // portfolio shape and a stable group count.
+                let delta = 1_000 - (i % 8) as Timestamp * 100;
+                let q = match i % 3 {
+                    0 => StreamingQuery::temporal(delta),
+                    1 => StreamingQuery::temporal(delta).max_len(4),
+                    _ => StreamingQuery::simple(delta).max_len(5),
+                };
+                engine.subscribe(q).unwrap();
+            }
+            engine
+        };
+        let mut naive = build(FanOutStrategy::Naive);
+        let mut indexed = build(FanOutStrategy::Indexed);
+        assert_eq!(indexed.subscription_index().num_subscriptions(), 64);
+        assert!(indexed.subscription_index().num_groups() <= 24);
+
+        let edges = [
+            e(0, 1, 1),
+            e(1, 2, 2),
+            e(2, 0, 3),
+            e(0, 2, 4),
+            e(2, 1, 5),
+            e(1, 0, 6),
+            e(2, 3, 7),
+            e(3, 2, 8),
+        ];
+        let mut saw_parallel = false;
+        for chunk in edges.chunks(4) {
+            let rn = naive.ingest(chunk).unwrap();
+            let ri = indexed.ingest(chunk).unwrap();
+            if ri.candidates > 0 {
+                assert!(ri.fan_out.parallel, "64 subs must defer to the pool");
+                saw_parallel = true;
+                assert!(ri.fan_out.checks < rn.fan_out.checks);
+            }
+            for (a, b) in rn.reports.iter().zip(&ri.reports) {
+                assert_eq!(a.query, b.query);
+                assert_eq!(a.cycles_found, b.cycles_found, "query {}", a.query);
+            }
+        }
+        assert!(saw_parallel, "the stream must close cycles");
+        // Deferred batches record per-cohort dispatch latency.
+        let (key, _, _) = indexed.subscription_index().summaries()[0];
+        let latency = indexed
+            .cohort_latency(key)
+            .expect("parallel batches recorded cohort latency");
+        assert!(latency.count() > 0);
+        assert!(
+            naive.cohort_latency(key).is_none(),
+            "the naive loop has no cohort accounting"
+        );
     }
 
     #[test]

@@ -6,6 +6,12 @@
 //! before falling back to branch stealing. [`DynamicCounter`] is that shared
 //! claim counter, and [`parallel_for_dynamic`] is the convenience wrapper on
 //! top of it.
+//!
+//! The same primitive also drives stages that are not graph searches at all:
+//! the multi-query streaming layer fans candidate cycles out to large
+//! subscription portfolios as one dynamically-claimed `(cohort,
+//! candidate-chunk)` task per index — the paper's copyable-unit discipline
+//! applied to dispatch rather than recursion.
 
 use crate::pool::ThreadPool;
 use std::ops::Range;

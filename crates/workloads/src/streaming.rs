@@ -15,8 +15,8 @@
 //! seconds-scale configuration for CI smoke runs.
 
 use pce_core::{
-    CollectMode, Granularity, LatencyStats, MultiStreamingEngine, QueryId, RunStats,
-    StreamingEngine, StreamingError, StreamingQuery,
+    CollectMode, FanOutStrategy, Granularity, LatencyStats, MultiStreamingEngine, QueryId,
+    RunStats, StreamingEngine, StreamingError, StreamingQuery,
 };
 use pce_graph::generators::{self, transaction_rings, TransactionRingConfig};
 use pce_graph::{TemporalEdge, TemporalGraph, Timestamp};
@@ -385,6 +385,32 @@ pub fn mixed_portfolio(k: usize, delta: Timestamp) -> Vec<StreamingQuery> {
         .collect()
 }
 
+/// A subscription-scale standing-query portfolio: `k` queries drawn from a
+/// fixed pool of 16 distinct constraint *profiles* (cycle kind × window
+/// divisor × length bound, cycling deterministically), the "millions of
+/// users, a handful of alert profiles" shape. Because the profile pool is
+/// fixed, the [`SubscriptionIndex`](pce_core::SubscriptionIndex) collapses
+/// any `k >= 16` portfolio to the same 16 constraint groups — per-candidate
+/// dispatch work stays **constant** as the subscriber count grows, which is
+/// exactly what `streaming_bench`'s `fan_out` section measures against the
+/// `O(k)` naive loop.
+pub fn large_portfolio(k: usize, delta: Timestamp) -> Vec<StreamingQuery> {
+    (0..k)
+        .map(|i| {
+            let profile = i % 16;
+            // Residues mod 3/4/5 are jointly unique for profile < 16, so the
+            // pool really contains 16 distinct constraint profiles.
+            let d = (delta / (1 << (profile % 4))).max(1);
+            let max_len = 3 + profile % 5;
+            let q = match profile % 3 {
+                0 | 1 => StreamingQuery::temporal(d),
+                _ => StreamingQuery::simple(d),
+            };
+            q.max_len(max_len).collect(CollectMode::Count)
+        })
+        .collect()
+}
+
 /// Configuration of the **multi-tenant** fraud-detection scenario: one
 /// transaction stream serving a portfolio of concurrent standing queries
 /// through a single [`MultiStreamingEngine`] ingest pass.
@@ -402,6 +428,9 @@ pub struct MultiTenantConfig {
     pub subscriptions: usize,
     /// How the shared delta pass is split across workers.
     pub granularity: Granularity,
+    /// How candidates are routed to subscriptions (indexed by default; the
+    /// naive loop is the differential/benchmark baseline).
+    pub strategy: FanOutStrategy,
 }
 
 impl Default for MultiTenantConfig {
@@ -414,6 +443,7 @@ impl Default for MultiTenantConfig {
             window_delta: base.window_delta,
             subscriptions: 4,
             granularity: Granularity::CoarseGrained,
+            strategy: FanOutStrategy::Indexed,
         }
     }
 }
@@ -429,12 +459,19 @@ impl MultiTenantConfig {
             window_delta: base.window_delta,
             subscriptions: 4,
             granularity: Granularity::CoarseGrained,
+            strategy: FanOutStrategy::Indexed,
         }
     }
 
     /// The same scenario with a different portfolio size.
     pub fn with_subscriptions(mut self, k: usize) -> Self {
         self.subscriptions = k;
+        self
+    }
+
+    /// The same scenario with a different fan-out strategy.
+    pub fn with_strategy(mut self, strategy: FanOutStrategy) -> Self {
+        self.strategy = strategy;
         self
     }
 
@@ -470,6 +507,12 @@ pub struct MultiTenantReport {
     /// Candidate cycles the shared passes discovered before per-query
     /// filtering, summed over all batches.
     pub candidates: u64,
+    /// Subscription-constraint checks the fan-out performed across all
+    /// batches (see [`pce_core::FanOutReport::checks`]) — the deterministic
+    /// dispatch-cost measure compared across strategies.
+    pub fan_out_checks: u64,
+    /// Batches whose fan-out ran as deferred parallel tasks on the pool.
+    pub parallel_batches: usize,
     /// End-to-end wall-clock seconds for the whole replay.
     pub wall_secs: f64,
 }
@@ -501,7 +544,8 @@ pub fn run_multi_tenant(
     let (graph, _planted) = transaction_rings(cfg.ring);
     let batches = replay_batches(&graph, cfg.batch_edges);
     let mut engine = MultiStreamingEngine::with_threads(cfg.retention, threads)?
-        .with_granularity(cfg.granularity);
+        .with_granularity(cfg.granularity)
+        .with_fan_out(cfg.strategy);
     let ids: Vec<QueryId> = cfg
         .portfolio()
         .into_iter()
@@ -510,8 +554,13 @@ pub fn run_multi_tenant(
 
     let start = std::time::Instant::now();
     let mut candidates = 0u64;
+    let mut fan_out_checks = 0u64;
+    let mut parallel_batches = 0usize;
     for batch in &batches {
-        candidates += engine.ingest(batch)?.candidates;
+        let report = engine.ingest(batch)?;
+        candidates += report.candidates;
+        fan_out_checks += report.fan_out.checks;
+        parallel_batches += usize::from(report.fan_out.parallel);
     }
     let wall_secs = start.elapsed().as_secs_f64();
 
@@ -535,6 +584,139 @@ pub fn run_multi_tenant(
         tenants,
         total_edges: engine.graph().total_ingested(),
         candidates,
+        fan_out_checks,
+        parallel_batches,
+        wall_secs,
+    })
+}
+
+/// Configuration of the **fan-out scaling** scenario: one shared
+/// [`MultiStreamingEngine`] serving a [`large_portfolio`] of subscription-
+/// scale size, replayed once per [`FanOutStrategy`] so the dispatch cost of
+/// the constraint index can be compared against the naive per-candidate loop
+/// on the *same* stream and portfolio.
+#[derive(Debug, Clone)]
+pub struct FanOutScaleConfig {
+    /// The synthetic transaction dataset replayed for every subscription.
+    pub ring: TransactionRingConfig,
+    /// Number of edges per ingest batch.
+    pub batch_edges: usize,
+    /// Sliding-window retention span (must cover the widest profile window).
+    pub retention: Timestamp,
+    /// Base enumeration window δ the portfolio profiles divide down from.
+    pub window_delta: Timestamp,
+    /// Number of subscriptions ([`large_portfolio`] of this size).
+    pub subscriptions: usize,
+}
+
+impl Default for FanOutScaleConfig {
+    fn default() -> Self {
+        let base = StreamScenarioConfig::default();
+        Self {
+            ring: base.ring,
+            batch_edges: base.batch_edges,
+            retention: base.retention,
+            window_delta: base.window_delta,
+            subscriptions: 256,
+        }
+    }
+}
+
+impl FanOutScaleConfig {
+    /// A seconds-scale configuration for CI smoke runs.
+    pub fn smoke() -> Self {
+        let base = StreamScenarioConfig::smoke();
+        Self {
+            ring: base.ring,
+            batch_edges: base.batch_edges,
+            retention: base.retention,
+            window_delta: base.window_delta,
+            subscriptions: 256,
+        }
+    }
+
+    /// The same scenario at a different portfolio size.
+    pub fn with_subscriptions(mut self, k: usize) -> Self {
+        self.subscriptions = k;
+        self
+    }
+
+    /// The portfolio this configuration subscribes.
+    pub fn portfolio(&self) -> Vec<StreamingQuery> {
+        large_portfolio(self.subscriptions, self.window_delta)
+    }
+}
+
+/// The result of one fan-out scaling run (one strategy over one portfolio).
+#[derive(Debug, Clone)]
+pub struct FanOutScaleReport {
+    /// Worker threads the shared pass (and any deferred dispatch) used.
+    pub threads: usize,
+    /// The strategy that dispatched every batch.
+    pub strategy: FanOutStrategy,
+    /// Portfolio size.
+    pub subscriptions: usize,
+    /// Distinct constraint groups the index collapsed the portfolio to.
+    pub groups: usize,
+    /// Candidate cycles the shared passes discovered (identical across
+    /// strategies and across portfolio sizes `>= 16`: the profile pool fixes
+    /// the loosest-constraint shared pass).
+    pub candidates: u64,
+    /// Subscription-constraint checks performed across the replay — the
+    /// deterministic dispatch-cost measure.
+    pub fan_out_checks: u64,
+    /// Batches whose fan-out ran as deferred parallel tasks.
+    pub parallel_batches: usize,
+    /// Per-subscription lifetime cycle totals, in subscription order (must
+    /// be identical across strategies — asserted by `streaming_bench`).
+    pub per_query_cycles: Vec<u64>,
+    /// End-to-end wall-clock seconds for the whole replay.
+    pub wall_secs: f64,
+}
+
+/// Runs the fan-out scaling scenario: subscribes the [`large_portfolio`],
+/// replays the transaction stream through one [`MultiStreamingEngine`] using
+/// `strategy`, and reports dispatch cost plus per-query totals.
+pub fn run_fan_out_scale(
+    cfg: &FanOutScaleConfig,
+    threads: usize,
+    strategy: FanOutStrategy,
+) -> Result<FanOutScaleReport, StreamingError> {
+    let (graph, _planted) = transaction_rings(cfg.ring);
+    let batches = replay_batches(&graph, cfg.batch_edges);
+    let mut engine =
+        MultiStreamingEngine::with_threads(cfg.retention, threads)?.with_fan_out(strategy);
+    let ids: Vec<QueryId> = cfg
+        .portfolio()
+        .into_iter()
+        .map(|q| engine.subscribe(q))
+        .collect::<Result<_, _>>()?;
+    let groups = engine.subscription_index().num_groups();
+
+    let start = std::time::Instant::now();
+    let mut candidates = 0u64;
+    let mut fan_out_checks = 0u64;
+    let mut parallel_batches = 0usize;
+    for batch in &batches {
+        let report = engine.ingest(batch)?;
+        candidates += report.candidates;
+        fan_out_checks += report.fan_out.checks;
+        parallel_batches += usize::from(report.fan_out.parallel);
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    Ok(FanOutScaleReport {
+        threads,
+        strategy,
+        subscriptions: cfg.subscriptions,
+        groups,
+        candidates,
+        fan_out_checks,
+        parallel_batches,
+        per_query_cycles: ids
+            .iter()
+            .map(|&id| engine.total_cycles(id).expect("subscribed"))
+            .collect(),
         wall_secs,
     })
 }
@@ -678,6 +860,47 @@ mod tests {
             assert_eq!(a.cycles, b.cycles, "query {}", a.query);
         }
         assert_eq!(seq.total_cycles(), par.total_cycles());
+    }
+
+    #[test]
+    fn large_portfolio_cycles_sixteen_distinct_profiles() {
+        let p = large_portfolio(64, 1_000);
+        assert_eq!(p.len(), 64);
+        let distinct: std::collections::HashSet<_> = p
+            .iter()
+            .map(|q| {
+                (
+                    q.kind(),
+                    q.window_delta(),
+                    q.max_len_bound(),
+                    q.includes_self_loops(),
+                )
+            })
+            .collect();
+        assert_eq!(distinct.len(), 16, "the profile pool holds 16 profiles");
+        assert_eq!(p[0], p[16], "subscriptions past the pool repeat it");
+        assert!(p.iter().all(|q| q.window_delta() <= 1_000));
+    }
+
+    #[test]
+    fn fan_out_strategies_agree_and_the_index_dispatches_less() {
+        let cfg = FanOutScaleConfig::smoke().with_subscriptions(64);
+        let naive = run_fan_out_scale(&cfg, 2, FanOutStrategy::Naive).unwrap();
+        let indexed = run_fan_out_scale(&cfg, 2, FanOutStrategy::Indexed).unwrap();
+        assert_eq!(naive.per_query_cycles, indexed.per_query_cycles);
+        assert_eq!(naive.candidates, indexed.candidates);
+        assert_eq!(indexed.groups, 16, "64 subs collapse to the profile pool");
+        assert!(
+            indexed.fan_out_checks < naive.fan_out_checks,
+            "indexed {} vs naive {}",
+            indexed.fan_out_checks,
+            naive.fan_out_checks
+        );
+        // 64 subscriptions on a 2-thread engine take the deferred path.
+        assert!(indexed.parallel_batches > 0);
+        assert_eq!(naive.parallel_batches, 0);
+        // The planted rings reach someone in the portfolio.
+        assert!(indexed.per_query_cycles.iter().sum::<u64>() > 0);
     }
 
     #[test]

@@ -71,10 +71,16 @@ fn main() {
         "subscribed {} tenants; shared pass runs at the widest window",
         engine.num_subscriptions()
     );
+    // The constraint index routing candidates to tenants: cohorts bucket by
+    // (kind, self-loops), groups deduplicate full constraint profiles.
+    for (key, groups, subs) in engine.subscription_index().summaries() {
+        println!("  cohort {key}: {subs} subscription(s) across {groups} constraint group(s)");
+    }
 
     // Replay the history in hourly batches (edges are already time-sorted).
     let batch_edges = (history.num_edges() / (30 * 24)).max(1);
     let mut alerts = 0u64;
+    let mut fan_out_checks = 0u64;
     let batches: Vec<&[TemporalEdge]> = history.edges().chunks(batch_edges).collect();
     let mid = batches.len() / 2;
     for (i, batch) in batches.iter().enumerate() {
@@ -85,6 +91,7 @@ fn main() {
             println!("-- realtime-desk unsubscribed after batch {i} --");
         }
         let report = engine.ingest(batch).expect("in-order batch");
+        fan_out_checks += report.fan_out.checks;
         if let Some(r) = report.report(compliance) {
             for ring in &r.cycles {
                 alerts += 1;
@@ -117,9 +124,12 @@ fn main() {
         }
     }
     println!(
-        "\n{} batches, {} live edges in the final window, {} edges ingested exactly once",
+        "\n{} batches, {} live edges in the final window, {} edges ingested exactly once, \
+         {} fan-out constraint checks ({:?} dispatch)",
         engine.batches(),
         engine.graph().live_edges().len(),
         engine.graph().total_ingested(),
+        fan_out_checks,
+        engine.fan_out_strategy(),
     );
 }

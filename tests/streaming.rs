@@ -15,6 +15,7 @@ use parallel_cycle_enumeration::graph::generators::{
     hub_burst, hub_burst_cycle_count, power_law_temporal, uniform_temporal, RandomTemporalConfig,
 };
 use parallel_cycle_enumeration::prelude::*;
+use parallel_cycle_enumeration::workloads::streaming::large_portfolio;
 
 /// Replays prepared ingest batches through a streaming engine, returning the
 /// canonicalised union of all per-batch results plus the engine (for its
@@ -458,6 +459,108 @@ fn multi_query_sweep_matches_independent_engines() {
         }
     }
     assert!(cycles_seen > 0, "the sweep must actually exercise cycles");
+}
+
+/// The fan-out property sweep (the tentpole's differential harness): a
+/// [`MultiStreamingEngine`] dispatching through the constraint-indexed
+/// [`SubscriptionIndex`] must report, **per query and per batch**,
+/// byte-identical canonicalised cycles to the same engine running the naive
+/// per-candidate loop — across seeded portfolios of K ∈ {4, 16, 64}
+/// heterogeneous subscriptions ([`large_portfolio`]'s 16-profile pool, in
+/// [`CollectMode::Collect`] so the cycles themselves are compared), shared
+/// pass granularities {sequential, coarse, fine}, threads {1, 4} and
+/// retentions with and without mid-stream expiry. At K = 64 with threads = 4
+/// the sweep also exercises the deferred parallel dispatch path. Base seed
+/// from `PCE_SWEEP_SEED` (echoed by CI; every assertion message carries the
+/// seed).
+#[test]
+fn fan_out_index_sweep_is_byte_identical_to_naive_loop() {
+    let base = sweep_seed();
+    let mut cycles_seen = 0usize;
+    let mut parallel_batches = 0usize;
+    for seed in base..base + 2 {
+        for k in [4usize, 16, 64] {
+            let portfolio: Vec<StreamingQuery> = large_portfolio(k, 25)
+                .into_iter()
+                .map(|q| q.collect(CollectMode::Collect))
+                .collect();
+            // One retention without expiry, one that forces it mid-stream.
+            for retention in [10_000i64, 40] {
+                let batches = sweep_stream(seed, 9);
+                for granularity in [
+                    Granularity::Sequential,
+                    Granularity::CoarseGrained,
+                    Granularity::FineGrained,
+                ] {
+                    for threads in [1usize, 4] {
+                        let label = format!(
+                            "seed {seed} k {k} retention {retention} {granularity:?} \
+                             threads {threads}"
+                        );
+                        let mut engines: Vec<MultiStreamingEngine> =
+                            [FanOutStrategy::Naive, FanOutStrategy::Indexed]
+                                .into_iter()
+                                .map(|strategy| {
+                                    let mut engine =
+                                        MultiStreamingEngine::with_threads(retention, threads)
+                                            .expect("valid retention")
+                                            .with_granularity(granularity)
+                                            .with_fan_out(strategy);
+                                    for q in &portfolio {
+                                        engine.subscribe(q.clone()).expect("valid subscription");
+                                    }
+                                    engine
+                                })
+                                .collect();
+                        let ids: Vec<QueryId> =
+                            engines[0].subscriptions().map(|(id, _)| id).collect();
+                        for (b, batch) in batches.iter().enumerate() {
+                            let [naive, indexed] = &mut engines[..] else {
+                                unreachable!("two strategies");
+                            };
+                            let rn = naive.ingest(batch).expect("in-order replay");
+                            let ri = indexed.ingest(batch).expect("in-order replay");
+                            assert_eq!(rn.candidates, ri.candidates, "{label} batch {b}");
+                            assert!(
+                                ri.fan_out.checks <= rn.fan_out.checks,
+                                "{label} batch {b}: the index can never check more than \
+                                 the linear loop"
+                            );
+                            parallel_batches += usize::from(ri.fan_out.parallel);
+                            for id in &ids {
+                                let a = rn.report(*id).expect("subscribed");
+                                let c = ri.report(*id).expect("subscribed");
+                                assert_eq!(
+                                    a.cycles_found, c.cycles_found,
+                                    "{label} query {id} batch {b}"
+                                );
+                                assert_eq!(
+                                    sort_canonical(&a.cycles),
+                                    sort_canonical(&c.cycles),
+                                    "{label} query {id} batch {b}"
+                                );
+                                cycles_seen += a.cycles.len();
+                            }
+                        }
+                        // Lifetime totals agree too (stable attribution).
+                        for id in &ids {
+                            assert_eq!(
+                                engines[0].total_cycles(*id),
+                                engines[1].total_cycles(*id),
+                                "{label} query {id}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert!(cycles_seen > 0, "the sweep must actually exercise cycles");
+    assert!(
+        parallel_batches > 0,
+        "the K = 64, threads = 4 configurations must exercise the deferred \
+         parallel dispatch path"
+    );
 }
 
 /// The regression mirror of `fine_johnson`'s multi-worker assertion, at the
