@@ -17,6 +17,14 @@
 //! cycle totals match exactly and that the shared cost grows sublinearly
 //! (4 subscriptions must cost well under 4× a single-query engine).
 //!
+//! The **durability** section measures what crash-safety costs: the same
+//! portfolio replayed through a plain in-memory engine and through the
+//! logged `pce_store::DurableMultiStreamingEngine` on both store backends
+//! (in-memory and filesystem), plus the wall-clock of a full
+//! `pce_store::recover` restart over the store the run left behind. The
+//! scenario itself asserts the durable and recovered engines report exactly
+//! what the plain engine reports.
+//!
 //! The **fan_out** section measures the subscription-scale dispatch layer: a
 //! 64/256/1024-subscription portfolio drawn from a fixed 16-profile pool,
 //! served once with the naive per-candidate loop and once with the
@@ -42,6 +50,7 @@
 //! perf trajectory can be tracked across PRs without scraping stdout.
 
 use pce_core::{FanOutStrategy, Granularity};
+use pce_workloads::durability::{run_durability, DurabilityConfig, StoreBackend};
 use pce_workloads::streaming::{
     run_fan_out_scale, run_hub_burst, run_independent_portfolio, run_multi_tenant,
     run_stream_scenario, FanOutScaleConfig, HubBurstConfig, MultiTenantConfig,
@@ -500,6 +509,96 @@ fn fan_out_section(smoke: bool, threads: usize, log: &mut JsonLog) {
     );
 }
 
+/// The durability section: logged vs in-memory ingest overhead and recovery
+/// time, on both store backends. The scenario asserts report equivalence
+/// internally; the gate here is on the bookkeeping shape (every batch
+/// accounted for, durable storage actually exercised), not on wall time.
+fn durability_section(smoke: bool, threads: usize, log: &mut JsonLog) {
+    let cfg = if smoke {
+        DurabilityConfig::smoke()
+    } else {
+        DurabilityConfig::default()
+    };
+    println!(
+        "\ndurability ({}, {} threads, {} subscriptions): plain vs logged ingest \
+         plus full crash recovery, per store backend",
+        if smoke { "smoke" } else { "full" },
+        threads,
+        cfg.subscriptions,
+    );
+    println!(
+        "{:>7} {:>10} {:>10} {:>9} {:>11} {:>9} {:>9} {:>9} {:>10} {:>8}",
+        "backend",
+        "plain ms",
+        "logged ms",
+        "overhead",
+        "recover ms",
+        "replayed",
+        "hydrated",
+        "skipped",
+        "log KiB",
+        "ckpts"
+    );
+    let mut reference_cycles: Option<u64> = None;
+    for backend in [StoreBackend::Memory, StoreBackend::Fs] {
+        let report = run_durability(&cfg, threads, backend).expect("valid durability config");
+        println!(
+            "{:>7} {:>10.3} {:>10.3} {:>9.2} {:>11.3} {:>9} {:>9} {:>9} {:>10.1} {:>8}",
+            backend.label(),
+            report.plain_secs * 1e3,
+            report.durable_secs * 1e3,
+            report.overhead(),
+            report.recovery_secs * 1e3,
+            report.replayed_batches,
+            report.hydrated_batches,
+            report.skipped_batches,
+            report.log_bytes as f64 / 1024.0,
+            report.checkpoints,
+        );
+        log.push(
+            "durability",
+            vec![
+                ("backend", backend.label().into()),
+                ("threads", threads.into()),
+                ("subs", cfg.subscriptions.into()),
+                ("batches", report.batches.into()),
+                ("plain_ms", (report.plain_secs * 1e3).into()),
+                ("logged_ms", (report.durable_secs * 1e3).into()),
+                ("overhead", report.overhead().into()),
+                ("recovery_ms", (report.recovery_secs * 1e3).into()),
+                ("replayed_batches", report.replayed_batches.into()),
+                ("hydrated_batches", report.hydrated_batches.into()),
+                ("skipped_batches", report.skipped_batches.into()),
+                ("log_bytes", report.log_bytes.into()),
+                ("segments", report.segments.into()),
+                ("checkpoints", report.checkpoints.into()),
+                ("cycles", report.total_cycles.into()),
+            ],
+        );
+        assert_eq!(
+            report.replayed_batches + report.hydrated_batches + report.skipped_batches,
+            report.batches,
+            "recovery must account for every logged batch"
+        );
+        assert!(
+            report.log_bytes > 0 && report.checkpoints > 0,
+            "the durable leg must actually write segments and checkpoints"
+        );
+        match reference_cycles {
+            None => reference_cycles = Some(report.total_cycles),
+            Some(expected) => assert_eq!(
+                report.total_cycles, expected,
+                "cycle totals diverged across store backends"
+            ),
+        }
+    }
+    println!(
+        "ok: durable and recovered engines match the plain engine on both backends \
+         ({} cycles)",
+        reference_cycles.unwrap_or(0),
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -540,10 +639,16 @@ fn main() {
     let max_threads = *thread_counts.last().expect("non-empty thread counts");
 
     // Section selectors: with none given, every section runs; naming any
-    // subset (`streaming`, `hub_burst`, `multi_query`, `fan_out`) runs only
-    // those. Unknown positional tokens are an error, not a silent run-all —
+    // subset (`streaming`, `hub_burst`, `multi_query`, `fan_out`,
+    // `durability`) runs only those. Unknown positional tokens are an error, not a silent run-all —
     // a typoed section name in CI must fail fast, not change the gate.
-    const SECTIONS: [&str; 4] = ["streaming", "hub_burst", "multi_query", "fan_out"];
+    const SECTIONS: [&str; 5] = [
+        "streaming",
+        "hub_burst",
+        "multi_query",
+        "fan_out",
+        "durability",
+    ];
     let mut selected: Vec<&str> = Vec::new();
     for (i, arg) in args.iter().enumerate() {
         if arg.starts_with("--") || value_indices.contains(&i) {
@@ -573,6 +678,9 @@ fn main() {
     }
     if runs("fan_out") {
         fan_out_section(smoke, max_threads, &mut log);
+    }
+    if runs("durability") {
+        durability_section(smoke, max_threads, &mut log);
     }
 
     if let Some(path) = json_path {

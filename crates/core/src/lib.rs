@@ -87,7 +87,7 @@ pub use options::{SimpleCycleOptions, TemporalCycleOptions};
 pub use streaming::{
     BatchReport, CohortBatchStats, CohortKey, FanOutReport, FanOutStrategy, MultiBatchReport,
     MultiStreamingEngine, QueryId, StreamCycle, StreamingEngine, StreamingError, StreamingQuery,
-    SubscriptionIndex,
+    SubscriptionIndex, SubscriptionSnapshot,
 };
 
 // Re-export the substrate crates so downstream users can depend on `pce-core`

@@ -108,6 +108,16 @@ pub enum StreamingError {
         /// The configured retention span.
         retention: Timestamp,
     },
+    /// A [`restore_subscription`](MultiStreamingEngine::restore_subscription)
+    /// call presented an id at or below one this engine already issued —
+    /// restores must replay a checkpointed registry in ascending-id order
+    /// onto an engine that has not subscribed on its own.
+    RestoreIdCollision {
+        /// The rejected id.
+        id: QueryId,
+        /// The smallest id this engine would accept.
+        next_id: u64,
+    },
 }
 
 impl std::fmt::Display for StreamingError {
@@ -119,6 +129,11 @@ impl std::fmt::Display for StreamingError {
                 f,
                 "window delta {delta} exceeds retention {retention}: cycles would expire \
                  before their closing edge arrives"
+            ),
+            StreamingError::RestoreIdCollision { id, next_id } => write!(
+                f,
+                "restored subscription id {id} collides with issued ids \
+                 (smallest acceptable is {next_id})"
             ),
         }
     }
@@ -338,6 +353,15 @@ impl QueryId {
     /// The raw id value (stable, monotonically assigned).
     pub fn as_u64(self) -> u64 {
         self.0
+    }
+
+    /// Rebuilds an id from its raw value, for durability layers re-hydrating
+    /// a checkpointed subscription registry. The engine still enforces id
+    /// discipline: [`MultiStreamingEngine::restore_subscription`] rejects ids
+    /// that would break monotonicity, so a decoded id cannot collide with a
+    /// live one.
+    pub fn from_raw(raw: u64) -> Self {
+        QueryId(raw)
     }
 }
 
@@ -684,6 +708,24 @@ struct Subscription {
     query: StreamingQuery,
     total_cycles: u64,
     latency: LatencyStats,
+}
+
+/// A point-in-time copy of one subscription's durable state: its id, its
+/// standing query, and the lifetime total of cycles reported to it.
+///
+/// This is exactly what a checkpoint must capture to resurrect the
+/// subscription after a restart —
+/// [`MultiStreamingEngine::restore_subscription`] accepts the same three
+/// fields. Latency percentiles are deliberately absent: they are
+/// observability, not state, and restart fresh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubscriptionSnapshot {
+    /// The subscription's stable id.
+    pub id: QueryId,
+    /// The standing query, as subscribed.
+    pub query: StreamingQuery,
+    /// Lifetime total of cycles reported to this subscription.
+    pub total_cycles: u64,
 }
 
 /// The parameters of the **one** shared enumeration pass a batch runs for all
@@ -1688,6 +1730,99 @@ impl MultiStreamingEngine {
     /// The active subscriptions, in subscription order.
     pub fn subscriptions(&self) -> impl Iterator<Item = (QueryId, &StreamingQuery)> {
         self.subs.iter().map(|s| (s.id, &s.query))
+    }
+
+    /// A point-in-time snapshot of every subscription's durable state — id,
+    /// query, lifetime cycle total — in subscription (ascending-id) order.
+    /// This is the registry a checkpoint persists; feeding each entry back
+    /// through [`restore_subscription`](Self::restore_subscription) on a
+    /// fresh engine reproduces the registry exactly.
+    pub fn subscription_snapshots(&self) -> Vec<SubscriptionSnapshot> {
+        self.subs
+            .iter()
+            .map(|s| SubscriptionSnapshot {
+                id: s.id,
+                query: s.query.clone(),
+                total_cycles: s.total_cycles,
+            })
+            .collect()
+    }
+
+    /// Re-registers a checkpointed subscription under its original id with
+    /// its lifetime cycle total, for recovery paths rebuilding an engine from
+    /// persistent state.
+    ///
+    /// The same validation as [`subscribe`](Self::subscribe) applies, plus an
+    /// id-discipline check: `snapshot.id` must be at least the next id this
+    /// engine would assign — i.e. greater than every id ever issued — so
+    /// restores must replay the registry in ascending-id order, typically
+    /// onto a fresh engine. This preserves the two invariants the
+    /// engine relies on (`subs` sorted by id; ids never reused) and keeps
+    /// post-recovery [`subscribe`](Self::subscribe) calls collision-free:
+    /// `next_id` is bumped past the restored id. Latency percentiles restart
+    /// fresh — they are observability, not durable state.
+    ///
+    /// Fails with [`StreamingError::Query`] on an invalid query,
+    /// [`StreamingError::RetentionTooSmall`] when the query's window δ
+    /// exceeds the engine's retention, and
+    /// [`StreamingError::RestoreIdCollision`] when the id would break
+    /// monotonicity.
+    pub fn restore_subscription(
+        &mut self,
+        snapshot: SubscriptionSnapshot,
+    ) -> Result<QueryId, StreamingError> {
+        snapshot.query.validate()?;
+        if snapshot.query.window_delta > self.retention {
+            return Err(StreamingError::RetentionTooSmall {
+                delta: snapshot.query.window_delta,
+                retention: self.retention,
+            });
+        }
+        if snapshot.id.0 < self.next_id {
+            return Err(StreamingError::RestoreIdCollision {
+                id: snapshot.id,
+                next_id: self.next_id,
+            });
+        }
+        self.next_id = snapshot.id.0 + 1;
+        self.index.insert(snapshot.id, &snapshot.query);
+        self.subs.push(Subscription {
+            id: snapshot.id,
+            query: snapshot.query,
+            total_cycles: snapshot.total_cycles,
+            latency: LatencyStats::new(),
+        });
+        Ok(snapshot.id)
+    }
+
+    /// Aligns the engine's batch counter with a resumed stream so that
+    /// post-recovery [`BatchReport::batch`] indices continue the original
+    /// numbering instead of restarting at zero. Recovery calls this after
+    /// hydrating the window and before replaying logged batches.
+    pub fn resume_at_batch(&mut self, batch: u64) {
+        self.batches = batch;
+    }
+
+    /// The id the next [`subscribe`](Self::subscribe) call would be assigned.
+    /// Checkpoints persist this so that ids stay never-reused **across
+    /// restarts** even when the highest id ever issued was unsubscribed
+    /// before the checkpoint (restoring the live registry alone would let it
+    /// be handed out again).
+    pub fn next_query_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Raises the next-id floor to at least `next_id` (never lowers it).
+    /// Recovery calls this with the checkpointed
+    /// [`next_query_id`](Self::next_query_id) after restoring the registry.
+    pub fn advance_query_ids(&mut self, next_id: u64) {
+        self.next_id = self.next_id.max(next_id);
+    }
+
+    /// The engine-wide granularity of the shared delta pass (set by
+    /// [`with_granularity`](Self::with_granularity)).
+    pub fn granularity(&self) -> Granularity {
+        self.granularity
     }
 
     /// Number of active subscriptions.
@@ -2779,5 +2914,112 @@ mod tests {
                 Some(expected) => assert_eq!(&per_batch, expected, "{granularity:?}"),
             }
         }
+    }
+
+    #[test]
+    fn subscription_snapshots_track_churn() {
+        let mut engine = MultiStreamingEngine::with_threads(1_000, 1).unwrap();
+        assert!(engine.subscription_snapshots().is_empty());
+
+        let a = engine.subscribe(StreamingQuery::temporal(100)).unwrap();
+        let b = engine.subscribe(StreamingQuery::simple(200)).unwrap();
+        let c = engine
+            .subscribe(StreamingQuery::simple(15).max_len(4))
+            .unwrap();
+        let snaps = engine.subscription_snapshots();
+        assert_eq!(
+            snaps.iter().map(|s| s.id).collect::<Vec<_>>(),
+            vec![a, b, c]
+        );
+        assert!(snaps.iter().all(|s| s.total_cycles == 0));
+        assert_eq!(snaps[1].query, StreamingQuery::simple(200));
+
+        // A reported cycle shows up in the owning snapshot's lifetime total.
+        engine.ingest(&[e(0, 1, 10), e(1, 2, 20)]).unwrap();
+        engine.ingest(&[e(2, 0, 30)]).unwrap();
+        let snaps = engine.subscription_snapshots();
+        assert_eq!(snaps[0].total_cycles, 1, "temporal δ=100 sees the ring");
+        assert_eq!(snaps[1].total_cycles, 1, "simple δ=200 sees the ring");
+        assert_eq!(
+            snaps[2].total_cycles, 0,
+            "δ=15 is narrower than the 20-tick span"
+        );
+
+        // Unsubscribe drops the entry; ids of survivors are untouched; a
+        // fresh subscribe never reuses the dropped id.
+        assert!(engine.unsubscribe(b));
+        let snaps = engine.subscription_snapshots();
+        assert_eq!(snaps.iter().map(|s| s.id).collect::<Vec<_>>(), vec![a, c]);
+        let d = engine.subscribe(StreamingQuery::temporal(300)).unwrap();
+        assert!(d > c && d > b);
+        let snaps = engine.subscription_snapshots();
+        assert_eq!(snaps.last().unwrap().id, d);
+        assert_eq!(snaps.last().unwrap().total_cycles, 0);
+    }
+
+    #[test]
+    fn restore_subscription_rebuilds_registry_and_enforces_monotonicity() {
+        // Build a registry with history, snapshot it, resurrect it on a
+        // fresh engine, and check the restored engine reports identically.
+        let mut original = MultiStreamingEngine::with_threads(1_000, 1).unwrap();
+        let a = original.subscribe(StreamingQuery::temporal(100)).unwrap();
+        original.subscribe(StreamingQuery::simple(200)).unwrap();
+        let warmup = [e(0, 1, 10), e(1, 2, 20), e(2, 0, 30)];
+        for chunk in warmup.chunks(2) {
+            original.ingest(chunk).unwrap();
+        }
+        let snaps = original.subscription_snapshots();
+
+        let mut restored = MultiStreamingEngine::with_threads(1_000, 1).unwrap();
+        // Hydrate the window exactly as recovery does: ingest with no
+        // subscriptions, then restore the registry and align the counter.
+        for chunk in warmup.chunks(2) {
+            restored.ingest(chunk).unwrap();
+        }
+        restored.resume_at_batch(original.batches());
+        for snap in snaps {
+            let id = restored.restore_subscription(snap).unwrap();
+            assert_eq!(
+                restored.total_cycles(id),
+                original.total_cycles(id),
+                "lifetime totals survive the round trip"
+            );
+        }
+        assert_eq!(restored.batches(), original.batches());
+
+        // Both engines see the same next batch identically.
+        let next = [e(0, 2, 40), e(2, 1, 50), e(1, 0, 60)];
+        let r_orig = original.ingest(&next).unwrap();
+        let r_rest = restored.ingest(&next).unwrap();
+        assert_eq!(r_orig.batch, r_rest.batch);
+        for (o, r) in r_orig.reports.iter().zip(r_rest.reports.iter()) {
+            assert_eq!(o.query, r.query);
+            assert_eq!(o.cycles_found, r.cycles_found);
+        }
+
+        // New ids keep ascending past the restored registry.
+        let fresh = restored.subscribe(StreamingQuery::temporal(10)).unwrap();
+        assert!(fresh.as_u64() > a.as_u64() + 1);
+
+        // Restoring below the issued-id floor is a typed error.
+        let stale = SubscriptionSnapshot {
+            id: QueryId::from_raw(1),
+            query: StreamingQuery::temporal(10),
+            total_cycles: 0,
+        };
+        assert!(matches!(
+            restored.restore_subscription(stale),
+            Err(StreamingError::RestoreIdCollision { .. })
+        ));
+        // Validation still applies to the query itself.
+        let too_wide = SubscriptionSnapshot {
+            id: QueryId::from_raw(10_000),
+            query: StreamingQuery::temporal(5_000),
+            total_cycles: 0,
+        };
+        assert!(matches!(
+            restored.restore_subscription(too_wide),
+            Err(StreamingError::RetentionTooSmall { .. })
+        ));
     }
 }

@@ -1,0 +1,288 @@
+//! Storage backends: the [`SegmentStore`] trait and its two implementations.
+//!
+//! The layering imitates pijul's changestore: all durability logic
+//! ([`SegmentLog`](crate::SegmentLog), [`Checkpoint`](crate::Checkpoint),
+//! [`recover`](crate::recover)) is written once against this narrow trait,
+//! and a backend only has to move bytes. [`MemoryStore`] keeps everything in
+//! maps (tests, crash simulation); [`FsStore`] keeps one file per segment and
+//! per checkpoint in a directory (production).
+
+use crate::StoreError;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// The narrow interface the durability layer writes against.
+///
+/// Segments are append-only byte sequences named by a dense id (`0, 1, …`);
+/// checkpoints are small immutable blobs named by a monotone sequence
+/// number. Both namespaces are independent. Implementations must make
+/// [`write_checkpoint`](Self::write_checkpoint) atomic — a reader never
+/// observes a half-written checkpoint (recovery tolerates a *corrupt* one,
+/// but atomicity keeps the newest valid checkpoint as fresh as possible).
+pub trait SegmentStore {
+    /// Ids of all segments present, ascending.
+    fn segment_ids(&self) -> Result<Vec<u64>, StoreError>;
+    /// Reads a whole segment.
+    fn read_segment(&self, id: u64) -> Result<Vec<u8>, StoreError>;
+    /// Appends `bytes` to segment `id`, creating it when absent.
+    fn append_segment(&mut self, id: u64, bytes: &[u8]) -> Result<(), StoreError>;
+    /// Truncates segment `id` to `len` bytes (drops a torn tail).
+    fn truncate_segment(&mut self, id: u64, len: u64) -> Result<(), StoreError>;
+    /// Removes segment `id` entirely (used when recovery discards a logged
+    /// suffix that was never acknowledged).
+    fn remove_segment(&mut self, id: u64) -> Result<(), StoreError>;
+    /// Sequence numbers of all checkpoints present, ascending.
+    fn checkpoint_seqs(&self) -> Result<Vec<u64>, StoreError>;
+    /// Reads a whole checkpoint blob.
+    fn read_checkpoint(&self, seq: u64) -> Result<Vec<u8>, StoreError>;
+    /// Atomically writes a checkpoint blob under `seq`.
+    fn write_checkpoint(&mut self, seq: u64, bytes: &[u8]) -> Result<(), StoreError>;
+}
+
+/// An in-memory [`SegmentStore`]: segments and checkpoints in `BTreeMap`s.
+///
+/// The test backend — cloning one mid-stream snapshots "the bytes that made
+/// it to disk", and byte-precise crash cuts are plain vector truncations.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryStore {
+    segments: BTreeMap<u64, Vec<u8>>,
+    checkpoints: BTreeMap<u64, Vec<u8>>,
+}
+
+impl MemoryStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes across all segments (log size).
+    pub fn log_bytes(&self) -> u64 {
+        self.segments.values().map(|s| s.len() as u64).sum()
+    }
+}
+
+impl SegmentStore for MemoryStore {
+    fn segment_ids(&self) -> Result<Vec<u64>, StoreError> {
+        Ok(self.segments.keys().copied().collect())
+    }
+
+    fn read_segment(&self, id: u64) -> Result<Vec<u8>, StoreError> {
+        self.segments.get(&id).cloned().ok_or(StoreError::Corrupt {
+            segment: id,
+            offset: 0,
+            detail: "segment not found",
+        })
+    }
+
+    fn append_segment(&mut self, id: u64, bytes: &[u8]) -> Result<(), StoreError> {
+        self.segments
+            .entry(id)
+            .or_default()
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn truncate_segment(&mut self, id: u64, len: u64) -> Result<(), StoreError> {
+        match self.segments.get_mut(&id) {
+            Some(seg) => {
+                seg.truncate(len as usize);
+                Ok(())
+            }
+            None => Err(StoreError::Corrupt {
+                segment: id,
+                offset: 0,
+                detail: "segment not found",
+            }),
+        }
+    }
+
+    fn remove_segment(&mut self, id: u64) -> Result<(), StoreError> {
+        self.segments.remove(&id);
+        Ok(())
+    }
+
+    fn checkpoint_seqs(&self) -> Result<Vec<u64>, StoreError> {
+        Ok(self.checkpoints.keys().copied().collect())
+    }
+
+    fn read_checkpoint(&self, seq: u64) -> Result<Vec<u8>, StoreError> {
+        self.checkpoints
+            .get(&seq)
+            .cloned()
+            .ok_or(StoreError::NoCheckpoint)
+    }
+
+    fn write_checkpoint(&mut self, seq: u64, bytes: &[u8]) -> Result<(), StoreError> {
+        self.checkpoints.insert(seq, bytes.to_vec());
+        Ok(())
+    }
+}
+
+/// A filesystem [`SegmentStore`]: one directory holding
+/// `segment-NNNNNNNN.seg` and `checkpoint-NNNNNNNN.ckp` files.
+///
+/// Segments are opened in append mode per write; checkpoints are written to
+/// a temporary file and renamed into place, so a crash during a checkpoint
+/// write leaves the previous checkpoints untouched and at worst an orphan
+/// temp file (ignored by the name filters). With
+/// [`with_sync`](Self::with_sync) every append and checkpoint is `fsync`ed
+/// before returning — the full durability guarantee, at the cost the
+/// `durability` bench section measures.
+#[derive(Debug)]
+pub struct FsStore {
+    dir: PathBuf,
+    sync: bool,
+}
+
+impl FsStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    pub fn open<P: AsRef<Path>>(dir: P) -> Result<Self, StoreError> {
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir: dir.as_ref().to_path_buf(),
+            sync: false,
+        })
+    }
+
+    /// Enables `fsync` on every append and checkpoint write.
+    pub fn with_sync(mut self, sync: bool) -> Self {
+        self.sync = sync;
+        self
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn segment_path(&self, id: u64) -> PathBuf {
+        self.dir.join(format!("segment-{id:08}.seg"))
+    }
+
+    fn checkpoint_path(&self, seq: u64) -> PathBuf {
+        self.dir.join(format!("checkpoint-{seq:08}.ckp"))
+    }
+
+    fn list(&self, prefix: &str, suffix: &str) -> Result<Vec<u64>, StoreError> {
+        let mut ids = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(stem) = name
+                .strip_prefix(prefix)
+                .and_then(|rest| rest.strip_suffix(suffix))
+            {
+                if let Ok(id) = stem.parse::<u64>() {
+                    ids.push(id);
+                }
+            }
+        }
+        ids.sort_unstable();
+        Ok(ids)
+    }
+}
+
+impl SegmentStore for FsStore {
+    fn segment_ids(&self) -> Result<Vec<u64>, StoreError> {
+        self.list("segment-", ".seg")
+    }
+
+    fn read_segment(&self, id: u64) -> Result<Vec<u8>, StoreError> {
+        Ok(std::fs::read(self.segment_path(id))?)
+    }
+
+    fn append_segment(&mut self, id: u64, bytes: &[u8]) -> Result<(), StoreError> {
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.segment_path(id))?;
+        file.write_all(bytes)?;
+        if self.sync {
+            file.sync_all()?;
+        }
+        Ok(())
+    }
+
+    fn truncate_segment(&mut self, id: u64, len: u64) -> Result<(), StoreError> {
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(self.segment_path(id))?;
+        file.set_len(len)?;
+        if self.sync {
+            file.sync_all()?;
+        }
+        Ok(())
+    }
+
+    fn remove_segment(&mut self, id: u64) -> Result<(), StoreError> {
+        match std::fs::remove_file(self.segment_path(id)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn checkpoint_seqs(&self) -> Result<Vec<u64>, StoreError> {
+        self.list("checkpoint-", ".ckp")
+    }
+
+    fn read_checkpoint(&self, seq: u64) -> Result<Vec<u8>, StoreError> {
+        Ok(std::fs::read(self.checkpoint_path(seq))?)
+    }
+
+    fn write_checkpoint(&mut self, seq: u64, bytes: &[u8]) -> Result<(), StoreError> {
+        let tmp = self.dir.join(format!("checkpoint-{seq:08}.tmp"));
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(bytes)?;
+            if self.sync {
+                file.sync_all()?;
+            }
+        }
+        std::fs::rename(&tmp, self.checkpoint_path(seq))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<S: SegmentStore>(store: &mut S) {
+        assert!(store.segment_ids().unwrap().is_empty());
+        store.append_segment(0, b"hello ").unwrap();
+        store.append_segment(0, b"world").unwrap();
+        store.append_segment(1, b"next").unwrap();
+        assert_eq!(store.segment_ids().unwrap(), vec![0, 1]);
+        assert_eq!(store.read_segment(0).unwrap(), b"hello world");
+        store.truncate_segment(0, 5).unwrap();
+        assert_eq!(store.read_segment(0).unwrap(), b"hello");
+        store.remove_segment(1).unwrap();
+        assert_eq!(store.segment_ids().unwrap(), vec![0]);
+
+        assert!(store.checkpoint_seqs().unwrap().is_empty());
+        store.write_checkpoint(3, b"ckp3").unwrap();
+        store.write_checkpoint(7, b"ckp7").unwrap();
+        assert_eq!(store.checkpoint_seqs().unwrap(), vec![3, 7]);
+        assert_eq!(store.read_checkpoint(7).unwrap(), b"ckp7");
+    }
+
+    #[test]
+    fn memory_store_contract() {
+        exercise(&mut MemoryStore::new());
+    }
+
+    #[test]
+    fn fs_store_contract() {
+        let dir = std::env::temp_dir().join(format!(
+            "pce_store_backend_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut store = FsStore::open(&dir).unwrap().with_sync(true);
+        exercise(&mut store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

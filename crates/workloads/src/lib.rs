@@ -17,16 +17,21 @@
 //! The [`streaming`] module adds the suite's first continuous-traffic
 //! scenario: a transaction stream replayed as timed batches through the
 //! incremental [`StreamingEngine`](pce_core::StreamingEngine), measuring
-//! sustained ingest throughput and per-batch detection latency.
+//! sustained ingest throughput and per-batch detection latency. The
+//! [`durability`] module measures what making that stream crash-safe costs:
+//! logged-versus-plain ingest overhead and recovery time through
+//! [`pce_store`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod datasets;
+pub mod durability;
 pub mod experiment;
 pub mod streaming;
 
 pub use datasets::{dataset, dataset_suite, scaling_suite, DatasetId, DatasetSpec, WorkloadGraph};
+pub use durability::{run_durability, DurabilityConfig, DurabilityReport, StoreBackend};
 pub use experiment::{ExperimentConfig, MeasuredRow, ResultTable};
 pub use streaming::{
     mixed_portfolio, replay_batches, run_independent_portfolio, run_multi_tenant,

@@ -13,6 +13,8 @@
 //! * [`graph`] (`pce-graph`) — temporal graph substrate, generators, IO.
 //! * [`sched`] (`pce-sched`) — work-stealing thread pool and steal registry.
 //! * [`core`](mod@core) (`pce-core`) — the enumeration algorithms.
+//! * [`store`] (`pce-store`) — durability: segment log, checkpoints, replay
+//!   recovery for the streaming engines.
 //! * [`workloads`] (`pce-workloads`) — the synthetic dataset suite used by the
 //!   benchmark harness.
 //!
@@ -53,6 +55,7 @@
 pub use pce_core as core;
 pub use pce_graph as graph;
 pub use pce_sched as sched;
+pub use pce_store as store;
 pub use pce_workloads as workloads;
 
 /// Convenience re-exports of the most commonly used types.
@@ -63,12 +66,16 @@ pub mod prelude {
         Engine, EnumerationError, EnumerationResult, FanOutReport, FanOutStrategy, FirstKSink,
         Granularity, LatencyStats, MultiBatchReport, MultiStreamingEngine, Query, QueryId,
         RunStats, SimpleCycleOptions, StreamCycle, StreamingEngine, StreamingError, StreamingQuery,
-        SubscriptionIndex, TemporalCycleOptions, WorkMetrics,
+        SubscriptionIndex, SubscriptionSnapshot, TemporalCycleOptions, WorkMetrics,
     };
     pub use pce_graph::{
         generators, DeltaBatch, GraphBuilder, GraphStats, GraphView, SlidingWindowGraph,
         StreamError, TemporalEdge, TemporalGraph, TimeWindow,
     };
     pub use pce_sched::{ThreadPool, WorkerMetrics};
+    pub use pce_store::{
+        recover, Checkpoint, DurableConfig, DurableMultiStreamingEngine, FsStore, MemoryStore,
+        RecoveryReport, SegmentLog, SegmentStore, StoreError,
+    };
     pub use pce_workloads::{dataset, dataset_suite, DatasetId};
 }

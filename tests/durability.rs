@@ -1,0 +1,447 @@
+//! Crash-recovery equivalence: the durability layer must make a restart
+//! invisible in the per-query reports.
+//!
+//! The sweep runs a seeded multi-subscription stream (with mid-stream
+//! subscription churn, segment rotations and cadence checkpoints) through a
+//! [`DurableMultiStreamingEngine`], then simulates a crash at **every byte**
+//! of the segment log — every record boundary and every mid-record torn
+//! write — recovers, finishes the stream, and asserts that the replayed +
+//! continued per-query reports are byte-identical to the uninterrupted run,
+//! and that the final registry (ids, queries, lifetime totals) and window
+//! match exactly. Both store backends are swept.
+//!
+//! The crash model: a cut at byte `c` keeps the prefix `[0, c)` of the log's
+//! global append order (segments in id order) and exactly the checkpoints
+//! written while the log was ≤ `c` bytes — the states a real crash can leave
+//! behind under append-then-checkpoint write ordering.
+//!
+//! The base seed comes from `PCE_SWEEP_SEED` (CI passes one per run and
+//! echoes it), so any red run replays locally.
+
+use parallel_cycle_enumeration::core::testing::{random_temporal_stream, StreamSpec};
+use parallel_cycle_enumeration::prelude::*;
+
+const RETENTION: i64 = 40;
+
+fn sweep_seed() -> u64 {
+    std::env::var("PCE_SWEEP_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5_000)
+}
+
+fn sweep_stream(seed: u64, batch_edges: usize) -> Vec<Vec<TemporalEdge>> {
+    random_temporal_stream(
+        seed,
+        &StreamSpec {
+            num_vertices: 18,
+            num_edges: 100,
+            batch_edges,
+            duplicate_ts: 0.15,
+            burstiness: 0.1,
+            out_of_order: true,
+        },
+    )
+}
+
+fn sort_canonical(cycles: &[StreamCycle]) -> Vec<StreamCycle> {
+    let mut canon: Vec<StreamCycle> = cycles.iter().map(StreamCycle::canonicalize).collect();
+    canon.sort_by(|a, b| a.edges.cmp(&b.edges));
+    canon
+}
+
+/// The deterministic projection of one batch's multi-query report: per query
+/// (in subscription order) its id, count, and canonicalised cycles. Replay
+/// equivalence means these are byte-identical; wall-clock fields and graph
+/// lifetime counters are explicitly not part of the contract.
+type Projection = Vec<(u64, u64, Vec<StreamCycle>)>;
+
+fn project(report: &MultiBatchReport) -> Projection {
+    report
+        .reports
+        .iter()
+        .map(|r| {
+            assert_eq!(r.batch, report.batch);
+            (r.query.as_u64(), r.cycles_found, sort_canonical(&r.cycles))
+        })
+        .collect()
+}
+
+/// One step of the reference run, with the log size after it — the "crash
+/// clock" deciding whether the op happened before a given cut.
+enum Op {
+    Subscribe { query: StreamingQuery, id: QueryId },
+    Ingest { batch: usize },
+}
+
+struct OpRecord {
+    op: Op,
+    log_bytes_after: u64,
+}
+
+/// Everything the sweep compares against, captured from one uninterrupted
+/// durable run.
+struct Reference {
+    batches: Vec<Vec<TemporalEdge>>,
+    ops: Vec<OpRecord>,
+    /// Projection of the reference report of batch `k`.
+    reports: Vec<Projection>,
+    /// `(seq, log bytes when written)` for every checkpoint.
+    checkpoint_bytes: Vec<(u64, u64)>,
+    /// Global byte offsets where a record ends (record boundaries).
+    record_ends: Vec<u64>,
+    store: MemoryStore,
+    final_snaps: Vec<SubscriptionSnapshot>,
+    final_live_edges: Vec<TemporalEdge>,
+    final_watermark: i64,
+}
+
+fn reference_run(cfg: &DurableConfig) -> Reference {
+    let batches = sweep_stream(sweep_seed(), 12);
+    let mut engine = DurableMultiStreamingEngine::create(MemoryStore::new(), RETENTION, cfg)
+        .expect("create durable engine");
+
+    let mut ops = Vec::new();
+    let mut reports = Vec::new();
+    let mut checkpoint_bytes: Vec<(u64, u64)> = vec![(0, 0)];
+    let mut record_ends = Vec::new();
+    let mut seen_ckpts = 1usize;
+
+    let record_new_checkpoints = |engine: &DurableMultiStreamingEngine<MemoryStore>,
+                                  seen: &mut usize,
+                                  out: &mut Vec<(u64, u64)>| {
+        let seqs = engine.log().store().checkpoint_seqs().unwrap();
+        for &seq in &seqs[*seen..] {
+            out.push((seq, engine.log().total_bytes()));
+        }
+        *seen = seqs.len();
+    };
+
+    let subscribe = |engine: &mut DurableMultiStreamingEngine<MemoryStore>,
+                     ops: &mut Vec<OpRecord>,
+                     seen: &mut usize,
+                     ckpts: &mut Vec<(u64, u64)>,
+                     query: StreamingQuery| {
+        let id = engine.subscribe(query.clone()).expect("subscribe");
+        record_new_checkpoints(engine, seen, ckpts);
+        ops.push(OpRecord {
+            op: Op::Subscribe { query, id },
+            log_bytes_after: engine.log().total_bytes(),
+        });
+    };
+
+    subscribe(
+        &mut engine,
+        &mut ops,
+        &mut seen_ckpts,
+        &mut checkpoint_bytes,
+        StreamingQuery::temporal(RETENTION),
+    );
+    subscribe(
+        &mut engine,
+        &mut ops,
+        &mut seen_ckpts,
+        &mut checkpoint_bytes,
+        StreamingQuery::simple(25).max_len(5),
+    );
+
+    for (k, batch) in batches.iter().enumerate() {
+        if k == 3 {
+            // Mid-stream churn: a registry checkpoint between rotations.
+            subscribe(
+                &mut engine,
+                &mut ops,
+                &mut seen_ckpts,
+                &mut checkpoint_bytes,
+                StreamingQuery::temporal(15).collect(CollectMode::Count),
+            );
+        }
+        let report = engine.ingest(batch).expect("in-order ingest");
+        assert_eq!(report.batch, k as u64);
+        record_new_checkpoints(&engine, &mut seen_ckpts, &mut checkpoint_bytes);
+        record_ends.push(engine.log().total_bytes());
+        reports.push(project(&report));
+        ops.push(OpRecord {
+            op: Op::Ingest { batch: k },
+            log_bytes_after: engine.log().total_bytes(),
+        });
+    }
+
+    assert!(
+        engine.segments_rotated() > 0,
+        "sweep must exercise segment rotation (shrink segment_bytes)"
+    );
+    assert!(
+        engine.checkpoints_written() > 4,
+        "sweep must exercise churn + rotation + cadence checkpoints"
+    );
+
+    let final_snaps = engine.engine().subscription_snapshots();
+    let final_live_edges = engine.engine().graph().live_edges().to_vec();
+    let final_watermark = engine.engine().graph().watermark();
+    Reference {
+        batches,
+        ops,
+        reports,
+        checkpoint_bytes,
+        record_ends,
+        store: engine.into_store(),
+        final_snaps,
+        final_live_edges,
+        final_watermark,
+    }
+}
+
+/// Builds the store a crash at byte `cut` leaves behind, into `empty`.
+fn cut_store<S: SegmentStore>(reference: &Reference, cut: u64, empty: &mut S) {
+    let mut consumed = 0u64;
+    for id in reference.store.segment_ids().unwrap() {
+        let bytes = reference.store.read_segment(id).unwrap();
+        if consumed >= cut {
+            break;
+        }
+        let keep = ((cut - consumed) as usize).min(bytes.len());
+        empty.append_segment(id, &bytes[..keep]).unwrap();
+        consumed += bytes.len() as u64;
+    }
+    for &(seq, at) in &reference.checkpoint_bytes {
+        if at <= cut {
+            let bytes = reference.store.read_checkpoint(seq).unwrap();
+            empty.write_checkpoint(seq, &bytes).unwrap();
+        }
+    }
+}
+
+/// Recovers from `store`, finishes the stream, and asserts byte-identical
+/// reports and final state. Returns the recovery info for sweep-level
+/// coverage assertions.
+fn recover_and_finish<S: SegmentStore>(
+    reference: &Reference,
+    cut: u64,
+    store: S,
+    cfg: &DurableConfig,
+) -> RecoveryReport {
+    let (mut engine, info) = recover(store, cfg).expect("recovery must always succeed");
+
+    // How many batches the cut log fully holds, and where its last intact
+    // record boundary lies.
+    let full_batches = reference
+        .record_ends
+        .iter()
+        .filter(|&&end| end <= cut)
+        .count() as u64;
+    let last_boundary = reference
+        .record_ends
+        .iter()
+        .copied()
+        .filter(|&end| end <= cut)
+        .max()
+        .unwrap_or(0);
+
+    assert_eq!(
+        info.truncated_bytes,
+        cut - last_boundary,
+        "cut {cut}: torn tail is everything past the last record boundary"
+    );
+    assert_eq!(info.dropped_batches, 0, "cut {cut}");
+    assert!(info.checkpoint_batches <= full_batches, "cut {cut}");
+    assert_eq!(
+        info.replayed.len() as u64,
+        full_batches - info.checkpoint_batches,
+        "cut {cut}: replay covers checkpoint → end of intact log"
+    );
+    for replayed in &info.replayed {
+        assert_eq!(
+            project(replayed),
+            reference.reports[replayed.batch as usize],
+            "cut {cut}: replayed batch {} diverged (seed {})",
+            replayed.batch,
+            sweep_seed()
+        );
+    }
+
+    // Finish the stream: redo every op the crash wiped out, in order.
+    for op in &reference.ops {
+        match &op.op {
+            Op::Subscribe { query, id } => {
+                if op.log_bytes_after <= cut {
+                    assert!(
+                        engine.engine().subscriptions().any(|(sid, _)| sid == *id),
+                        "cut {cut}: durable subscription {id} missing after recovery"
+                    );
+                } else {
+                    let redone = engine.subscribe(query.clone()).expect("re-subscribe");
+                    assert_eq!(
+                        redone, *id,
+                        "cut {cut}: persisted next-id must reproduce the original id"
+                    );
+                }
+            }
+            Op::Ingest { batch } => {
+                if (*batch as u64) < full_batches {
+                    continue;
+                }
+                let report = engine
+                    .ingest(&reference.batches[*batch])
+                    .expect("continued ingest");
+                assert_eq!(report.batch, *batch as u64, "cut {cut}");
+                assert_eq!(
+                    project(&report),
+                    reference.reports[*batch],
+                    "cut {cut}: continued batch {batch} diverged (seed {})",
+                    sweep_seed()
+                );
+            }
+        }
+    }
+
+    assert_eq!(
+        engine.engine().subscription_snapshots(),
+        reference.final_snaps,
+        "cut {cut}: final registry (ids, queries, lifetime totals)"
+    );
+    assert_eq!(
+        engine.engine().graph().live_edges(),
+        &reference.final_live_edges[..],
+        "cut {cut}: final window contents"
+    );
+    assert_eq!(
+        engine.engine().graph().watermark(),
+        reference.final_watermark,
+        "cut {cut}"
+    );
+    info
+}
+
+fn sweep_cfg() -> DurableConfig {
+    DurableConfig {
+        // Small segments force rotations mid-sweep; a cadence checkpoint
+        // every 3 batches lands checkpoints away from rotation boundaries.
+        segment_bytes: 256,
+        checkpoint_every_batches: 3,
+        threads: 1,
+        ..DurableConfig::default()
+    }
+}
+
+/// Every byte of the log is a crash point — MemoryStore backend.
+#[test]
+fn crash_sweep_every_cut_point_memory() {
+    let cfg = sweep_cfg();
+    let reference = reference_run(&cfg);
+    let total = reference.store.log_bytes();
+    let mut torn_cuts = 0u64;
+    let mut mid_checkpoint_coverage = false;
+    for cut in 0..=total {
+        let mut store = MemoryStore::new();
+        cut_store(&reference, cut, &mut store);
+        let info = recover_and_finish(&reference, cut, store, &cfg);
+        if info.truncated_bytes > 0 {
+            torn_cuts += 1;
+        }
+        if info.checkpoint_seq > 0 && info.checkpoint_batches > 0 {
+            mid_checkpoint_coverage = true;
+        }
+    }
+    assert!(torn_cuts > 0, "sweep must include torn-tail cuts");
+    assert!(
+        mid_checkpoint_coverage,
+        "sweep must recover from mid-stream checkpoints, not only checkpoint 0"
+    );
+}
+
+/// The same sweep over the filesystem backend — every record boundary and
+/// every mid-record torn write (plus the empty store), against real files,
+/// truncations and renames.
+#[test]
+fn crash_sweep_record_boundaries_and_torn_writes_fs() {
+    let cfg = sweep_cfg();
+    let reference = reference_run(&cfg);
+    let base = std::env::temp_dir().join(format!(
+        "pce_durability_sweep_{}_{}",
+        std::process::id(),
+        sweep_seed()
+    ));
+    std::fs::remove_dir_all(&base).ok();
+
+    let mut cuts: Vec<u64> = vec![0];
+    let mut prev = 0u64;
+    for &end in &reference.record_ends {
+        // A torn write inside the record (past its header) and the clean
+        // boundary after it.
+        cuts.push(prev + (end - prev) / 2);
+        cuts.push(end.saturating_sub(1));
+        cuts.push(end);
+        prev = end;
+    }
+    for (i, &cut) in cuts.iter().enumerate() {
+        let dir = base.join(format!("cut-{i}"));
+        let mut store = FsStore::open(&dir).expect("fs store");
+        cut_store(&reference, cut, &mut store);
+        recover_and_finish(&reference, cut, store, &cfg);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// The uninterrupted durable engine must itself be invisible relative to a
+/// plain in-memory engine: logging is an implementation detail of ingest.
+#[test]
+fn durable_ingest_matches_plain_engine() {
+    let cfg = sweep_cfg();
+    let batches = sweep_stream(sweep_seed() ^ 0xD0_D0, 9);
+    let mut plain = MultiStreamingEngine::with_threads(RETENTION, 1).unwrap();
+    let mut durable =
+        DurableMultiStreamingEngine::create(MemoryStore::new(), RETENTION, &cfg).unwrap();
+    let queries = [
+        StreamingQuery::temporal(RETENTION),
+        StreamingQuery::simple(20),
+    ];
+    for q in &queries {
+        let a = plain.subscribe(q.clone()).unwrap();
+        let b = durable.subscribe(q.clone()).unwrap();
+        assert_eq!(a, b);
+    }
+    for batch in &batches {
+        let a = plain.ingest(batch).unwrap();
+        let b = durable.ingest(batch).unwrap();
+        assert_eq!(project(&a), project(&b));
+    }
+    assert_eq!(
+        plain.subscription_snapshots(),
+        durable.engine().subscription_snapshots()
+    );
+}
+
+/// A rejected batch (out-of-order) must leave the log exactly as it was:
+/// log-then-apply rolls the record back, and recovery of that store replays
+/// only acknowledged batches.
+#[test]
+fn rejected_batch_is_rolled_back_from_the_log() {
+    let cfg = sweep_cfg();
+    let mut durable =
+        DurableMultiStreamingEngine::create(MemoryStore::new(), RETENTION, &cfg).unwrap();
+    let q = durable
+        .subscribe(StreamingQuery::temporal(RETENTION))
+        .unwrap();
+    durable
+        .ingest(&[TemporalEdge::new(0, 1, 100), TemporalEdge::new(1, 2, 110)])
+        .unwrap();
+    let bytes_before = durable.log().total_bytes();
+    let err = durable
+        .ingest(&[TemporalEdge::new(2, 0, 50)])
+        .expect_err("below watermark");
+    assert!(matches!(
+        err,
+        StoreError::Streaming(StreamingError::Stream(_))
+    ));
+    assert_eq!(durable.log().total_bytes(), bytes_before);
+
+    // The ring still closes afterwards, and survives recovery.
+    let report = durable.ingest(&[TemporalEdge::new(2, 0, 120)]).unwrap();
+    assert_eq!(report.report(q).unwrap().cycles_found, 1);
+    let (recovered, info) = recover(durable.into_store(), &cfg).unwrap();
+    assert_eq!(info.dropped_batches, 0);
+    assert_eq!(recovered.engine().total_cycles(q), Some(1));
+    assert_eq!(recovered.engine().batches(), 2);
+}
