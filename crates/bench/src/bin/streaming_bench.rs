@@ -17,6 +17,14 @@
 //! cycle totals match exactly and that the shared cost grows sublinearly
 //! (4 subscriptions must cost well under 4× a single-query engine).
 //!
+//! The **predicate** section measures predicate pushdown: attribute-filtered
+//! portfolios over the AML layering-chain and labelled-intrusion streams,
+//! replayed with the portfolio's predicate union pushed into the shared pass
+//! and again with all attribute filtering at fan-out. It asserts — on
+//! deterministic counters — that both runs report byte-identical per-query
+//! results while pushdown strictly shrinks union-member, constraint-check
+//! and candidate counts.
+//!
 //! The **durability** section measures what crash-safety costs: the same
 //! portfolio replayed through a plain in-memory engine and through the
 //! logged `pce_store::DurableMultiStreamingEngine` on both store backends
@@ -51,6 +59,7 @@
 
 use pce_core::{FanOutStrategy, Granularity};
 use pce_workloads::durability::{run_durability, DurabilityConfig, StoreBackend};
+use pce_workloads::predicate::{run_predicate_comparison, PredicateScenarioConfig};
 use pce_workloads::streaming::{
     run_fan_out_scale, run_hub_burst, run_independent_portfolio, run_multi_tenant,
     run_stream_scenario, FanOutScaleConfig, HubBurstConfig, MultiTenantConfig,
@@ -509,6 +518,117 @@ fn fan_out_section(smoke: bool, threads: usize, log: &mut JsonLog) {
     );
 }
 
+/// The predicate-pushdown section: attribute-filtered portfolios over the
+/// AML layering-chain and labelled-intrusion streams, each replayed with the
+/// portfolio's predicate union pushed into the shared pass and again with
+/// every attribute check deferred to fan-out. Gates (all on deterministic
+/// counters, so CI cannot flake on timing): byte-identical per-query
+/// reports, and strictly smaller union-member / constraint-check /
+/// candidate counters under pushdown.
+fn predicate_section(smoke: bool, thread_counts: &[usize], log: &mut JsonLog) {
+    let scenarios = if smoke {
+        [
+            PredicateScenarioConfig::aml_smoke(),
+            PredicateScenarioConfig::intrusion_smoke(),
+        ]
+    } else {
+        [
+            PredicateScenarioConfig::aml_full(),
+            PredicateScenarioConfig::intrusion_full(),
+        ]
+    };
+    println!(
+        "\npredicate pushdown ({}): shared-pass predicate union vs filter-at-fan-out",
+        if smoke { "smoke" } else { "full" },
+    );
+    println!(
+        "{:>18} {:>7} {:>11} {:>11} {:>11} {:>11} {:>9} {:>9} {:>8}",
+        "scenario",
+        "threads",
+        "push union",
+        "post union",
+        "push chks",
+        "post chks",
+        "push ms",
+        "post ms",
+        "cycles"
+    );
+    for cfg in &scenarios {
+        let name = cfg.scenario.name();
+        let mut reference: Option<Vec<u64>> = None;
+        for &threads in thread_counts {
+            let cmp = run_predicate_comparison(cfg, threads).expect("valid predicate scenario");
+            // Correctness: pushdown must not change what any subscription
+            // sees — cycle totals and the collected cycles themselves.
+            assert!(
+                cmp.reports_identical(),
+                "{name}: pushdown changed per-query reports at {threads} threads \
+                 ({:?} vs {:?})",
+                cmp.push.per_query_cycles,
+                cmp.post.per_query_cycles,
+            );
+            // Performance, on deterministic counters: pushdown does strictly
+            // less traversal (union members), dispatch (constraint checks)
+            // and candidate work.
+            assert!(
+                cmp.pushdown_strictly_cheaper(),
+                "{name}: pushdown must strictly shrink the work counters at {threads} \
+                 threads (union {} vs {}, checks {} vs {}, candidates {} vs {})",
+                cmp.push.union_members,
+                cmp.post.union_members,
+                cmp.push.fan_out_checks,
+                cmp.post.fan_out_checks,
+                cmp.push.candidates,
+                cmp.post.candidates,
+            );
+            // The deterministic counters must also be thread-count
+            // independent — assert against the first thread count's run.
+            match &reference {
+                None => reference = Some(cmp.push.per_query_cycles.clone()),
+                Some(expected) => assert_eq!(
+                    &cmp.push.per_query_cycles, expected,
+                    "{name}: per-query totals diverged across thread counts"
+                ),
+            }
+            println!(
+                "{:>18} {:>7} {:>11} {:>11} {:>11} {:>11} {:>9.3} {:>9.3} {:>8}",
+                name,
+                threads,
+                cmp.push.union_members,
+                cmp.post.union_members,
+                cmp.push.fan_out_checks,
+                cmp.post.fan_out_checks,
+                cmp.push.wall_secs * 1e3,
+                cmp.post.wall_secs * 1e3,
+                cmp.push.per_query_cycles.iter().sum::<u64>(),
+            );
+            log.push(
+                "predicate",
+                vec![
+                    ("scenario", name.into()),
+                    ("threads", threads.into()),
+                    ("push_union_members", cmp.push.union_members.into()),
+                    ("post_union_members", cmp.post.union_members.into()),
+                    ("push_checks", cmp.push.fan_out_checks.into()),
+                    ("post_checks", cmp.post.fan_out_checks.into()),
+                    ("push_candidates", cmp.push.candidates.into()),
+                    ("post_candidates", cmp.post.candidates.into()),
+                    ("push_ms", (cmp.push.wall_secs * 1e3).into()),
+                    ("post_ms", (cmp.post.wall_secs * 1e3).into()),
+                    (
+                        "cycles",
+                        cmp.push.per_query_cycles.iter().sum::<u64>().into(),
+                    ),
+                ],
+            );
+        }
+    }
+    println!(
+        "ok: pushdown reports byte-identical to filter-at-fan-out with strictly \
+         smaller union/check/candidate counters, on both scenarios"
+    );
+}
+
 /// The durability section: logged vs in-memory ingest overhead and recovery
 /// time, on both store backends. The scenario asserts report equivalence
 /// internally; the gate here is on the bookkeeping shape (every batch
@@ -640,13 +760,15 @@ fn main() {
 
     // Section selectors: with none given, every section runs; naming any
     // subset (`streaming`, `hub_burst`, `multi_query`, `fan_out`,
-    // `durability`) runs only those. Unknown positional tokens are an error, not a silent run-all —
-    // a typoed section name in CI must fail fast, not change the gate.
-    const SECTIONS: [&str; 5] = [
+    // `predicate`, `durability`) runs only those. Unknown positional tokens
+    // are an error, not a silent run-all — a typoed section name in CI must
+    // fail fast, not change the gate.
+    const SECTIONS: [&str; 6] = [
         "streaming",
         "hub_burst",
         "multi_query",
         "fan_out",
+        "predicate",
         "durability",
     ];
     let mut selected: Vec<&str> = Vec::new();
@@ -678,6 +800,9 @@ fn main() {
     }
     if runs("fan_out") {
         fan_out_section(smoke, max_threads, &mut log);
+    }
+    if runs("predicate") {
+        predicate_section(smoke, thread_counts, &mut log);
     }
     if runs("durability") {
         durability_section(smoke, max_threads, &mut log);

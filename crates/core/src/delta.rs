@@ -56,6 +56,18 @@
 //! binary-search, so the per-cycle re-check costs `O(distinct constraint
 //! profiles)` rather than `O(subscriptions)`.
 //!
+//! # Predicate pushdown
+//!
+//! Every driver takes an [`EdgePredicate`] (amount interval + label filter)
+//! that is evaluated *during* traversal: a rejected edge is skipped by the
+//! union passes and by path extension alike, so it never enters scratch
+//! state or spawns work. Since a subscription requires **all** cycle edges
+//! to satisfy its predicate, the streaming engine pushes the *union* of its
+//! subscriptions' predicates into this shared pass (see
+//! [`crate::streaming`]) and re-checks exact per-subscription predicates at
+//! fan-out. Pass [`EdgePredicate::pass_all`] for unfiltered enumeration —
+//! that case is detected once per root and adds no per-edge work.
+//!
 //! # The `floor` parameter
 //!
 //! Every entry point takes a `floor` timestamp: roots below it are skipped
@@ -75,7 +87,7 @@ use crate::union::{UnionQuery, UnionView};
 use crate::util::{fx_set, FxHashSet};
 use crate::{Algorithm, Granularity};
 use pce_graph::reach::CycleUnionWorkspace;
-use pce_graph::{EdgeId, GraphView, TimeWindow, Timestamp, VertexId};
+use pce_graph::{EdgeId, EdgePredicate, GraphView, TimeWindow, Timestamp, VertexId};
 use pce_sched::{DynamicCounter, Scope, ThreadPool, WorkerCtx};
 use std::ops::Range;
 use std::sync::Arc;
@@ -93,6 +105,11 @@ struct DeltaSearch<'a, G: ?Sized, S> {
     /// The root's tail `u` — reaching it closes a cycle.
     target: VertexId,
     max_len: Option<usize>,
+    /// Attribute predicate every cycle edge must satisfy.
+    predicate: &'a EdgePredicate,
+    /// Cached `predicate.is_pass_all()` — skips the attribute lookup on the
+    /// unfiltered hot path.
+    pred_all: bool,
     path: Vec<VertexId>,
     path_edges: Vec<EdgeId>,
     on_path: FxHashSet<VertexId>,
@@ -102,6 +119,13 @@ impl<G: GraphView + ?Sized, S: CycleSink> DeltaSearch<'_, G, S> {
     #[inline]
     fn len_ok(&self, len: usize) -> bool {
         self.max_len.map(|m| len <= m).unwrap_or(true)
+    }
+
+    /// Does the attributed edge behind `id` satisfy the predicate? (Attrs
+    /// live on the edge record, not the adjacency entry.)
+    #[inline]
+    fn pred_ok(&self, id: EdgeId) -> bool {
+        self.pred_all || self.predicate.accepts(&self.graph.edge(id))
     }
 
     /// Emits the cycle `path ∪ {entry, root}` where `entry` steps onto the
@@ -125,7 +149,7 @@ impl<G: GraphView + ?Sized, S: CycleSink> DeltaSearch<'_, G, S> {
                 return;
             }
             self.metrics.edge_visit(self.worker);
-            if entry.edge >= self.root {
+            if entry.edge >= self.root || !self.pred_ok(entry.edge) {
                 continue;
             }
             let w = entry.neighbor;
@@ -161,6 +185,9 @@ impl<G: GraphView + ?Sized, S: CycleSink> DeltaSearch<'_, G, S> {
                 return;
             }
             self.metrics.edge_visit(self.worker);
+            if !self.pred_ok(entry.edge) {
+                continue;
+            }
             let w = entry.neighbor;
             if w == self.target {
                 if self.len_ok(self.path_edges.len() + 2) {
@@ -194,6 +221,7 @@ pub(crate) fn delta_simple_root<G: GraphView + ?Sized, S: CycleSink>(
     root: EdgeId,
     floor: Timestamp,
     opts: &SimpleCycleOptions,
+    predicate: &EdgePredicate,
     scratch: &mut RootScratch,
     sink: &HaltingSink<'_, S>,
     metrics: &WorkMetrics,
@@ -203,6 +231,11 @@ pub(crate) fn delta_simple_root<G: GraphView + ?Sized, S: CycleSink>(
     if e.ts < floor {
         // A batch that straddles the retention span can contain edges that
         // expired the moment they arrived; they close nothing.
+        return;
+    }
+    // The root edge is part of every cycle it closes, so it must satisfy the
+    // predicate itself.
+    if !predicate.is_pass_all() && !predicate.accepts(&e) {
         return;
     }
     if e.src == e.dst {
@@ -216,7 +249,11 @@ pub(crate) fn delta_simple_root<G: GraphView + ?Sized, S: CycleSink>(
     // of its edges have ts >= t0 - δ; clamp at the stream floor.
     let start = e.ts.saturating_sub(opts.effective_delta()).max(floor);
     let window = TimeWindow::new(start, e.ts);
-    if !scratch.union.compute_simple_before(graph, root, window) {
+    let reachable = scratch
+        .union
+        .compute_simple_before(graph, root, window, predicate);
+    metrics.union_members(worker, scratch.union.union_size() as u64);
+    if !reachable {
         return;
     }
     let mut on_path = fx_set();
@@ -231,6 +268,8 @@ pub(crate) fn delta_simple_root<G: GraphView + ?Sized, S: CycleSink>(
         root,
         target: e.src,
         max_len: opts.max_len,
+        predicate,
+        pred_all: predicate.is_pass_all(),
         path: vec![e.dst],
         path_edges: Vec::new(),
         on_path,
@@ -246,6 +285,7 @@ pub(crate) fn delta_temporal_root<G: GraphView + ?Sized, S: CycleSink>(
     root: EdgeId,
     floor: Timestamp,
     opts: &TemporalCycleOptions,
+    predicate: &EdgePredicate,
     scratch: &mut RootScratch,
     sink: &HaltingSink<'_, S>,
     metrics: &WorkMetrics,
@@ -255,11 +295,19 @@ pub(crate) fn delta_temporal_root<G: GraphView + ?Sized, S: CycleSink>(
     if e.ts < floor || e.src == e.dst {
         return;
     }
+    // The root edge is part of every cycle it closes.
+    if !predicate.is_pass_all() && !predicate.accepts(&e) {
+        return;
+    }
     metrics.root_processed(worker);
     // The cycle's first edge anchors its window: first_ts >= t0 - δ.
     let start = e.ts.saturating_sub(opts.window_delta).max(floor);
     let window = TimeWindow::new(start, e.ts);
-    if !scratch.union.compute_temporal_before(graph, root, window) {
+    let reachable = scratch
+        .union
+        .compute_temporal_before(graph, root, window, predicate);
+    metrics.union_members(worker, scratch.union.union_size() as u64);
+    if !reachable {
         return;
     }
     let mut on_path = fx_set();
@@ -274,6 +322,8 @@ pub(crate) fn delta_temporal_root<G: GraphView + ?Sized, S: CycleSink>(
         root,
         target: e.src,
         max_len: opts.max_len,
+        predicate,
+        pred_all: predicate.is_pass_all(),
         path: vec![e.dst],
         path_edges: Vec::new(),
         on_path,
@@ -287,15 +337,21 @@ pub(crate) fn delta_temporal_root<G: GraphView + ?Sized, S: CycleSink>(
 /// (typically the id range of the newest ingest batch). Allocates fresh
 /// scratch; high-frequency callers should use
 /// [`delta_simple_with_scratch`] to reuse one scratch across runs.
+///
+/// `predicate` is evaluated *during* traversal (union passes and path
+/// extension alike), so rejected edges never enter the search state — pass
+/// [`EdgePredicate::pass_all`] for unfiltered enumeration. Every driver
+/// below takes the same parameter with the same meaning.
 pub fn delta_simple<G: GraphView + ?Sized, S: CycleSink>(
     graph: &G,
     roots: Range<EdgeId>,
     floor: Timestamp,
     opts: &SimpleCycleOptions,
+    predicate: &EdgePredicate,
     sink: &S,
 ) -> RunStats {
     let mut scratch = RootScratch::new(graph.num_vertices());
-    delta_simple_with_scratch(graph, roots, floor, opts, sink, &mut scratch)
+    delta_simple_with_scratch(graph, roots, floor, opts, predicate, sink, &mut scratch)
 }
 
 /// [`delta_simple`] with caller-owned scratch: the streaming engine's
@@ -307,6 +363,7 @@ pub fn delta_simple_with_scratch<G: GraphView + ?Sized, S: CycleSink>(
     roots: Range<EdgeId>,
     floor: Timestamp,
     opts: &SimpleCycleOptions,
+    predicate: &EdgePredicate,
     sink: &S,
     scratch: &mut RootScratch,
 ) -> RunStats {
@@ -317,7 +374,9 @@ pub fn delta_simple_with_scratch<G: GraphView + ?Sized, S: CycleSink>(
             if sink.stopped() {
                 break;
             }
-            delta_simple_root(graph, root, floor, opts, scratch, &sink, &metrics, 0);
+            delta_simple_root(
+                graph, root, floor, opts, predicate, scratch, &sink, &metrics, 0,
+            );
         }
     })
     .tagged(Algorithm::Johnson, Granularity::Sequential)
@@ -331,10 +390,11 @@ pub fn delta_temporal<G: GraphView + ?Sized, S: CycleSink>(
     roots: Range<EdgeId>,
     floor: Timestamp,
     opts: &TemporalCycleOptions,
+    predicate: &EdgePredicate,
     sink: &S,
 ) -> RunStats {
     let mut scratch = RootScratch::new(graph.num_vertices());
-    delta_temporal_with_scratch(graph, roots, floor, opts, sink, &mut scratch)
+    delta_temporal_with_scratch(graph, roots, floor, opts, predicate, sink, &mut scratch)
 }
 
 /// [`delta_temporal`] with caller-owned scratch (see
@@ -344,6 +404,7 @@ pub fn delta_temporal_with_scratch<G: GraphView + ?Sized, S: CycleSink>(
     roots: Range<EdgeId>,
     floor: Timestamp,
     opts: &TemporalCycleOptions,
+    predicate: &EdgePredicate,
     sink: &S,
     scratch: &mut RootScratch,
 ) -> RunStats {
@@ -354,7 +415,9 @@ pub fn delta_temporal_with_scratch<G: GraphView + ?Sized, S: CycleSink>(
             if sink.stopped() {
                 break;
             }
-            delta_temporal_root(graph, root, floor, opts, scratch, &sink, &metrics, 0);
+            delta_temporal_root(
+                graph, root, floor, opts, predicate, scratch, &sink, &metrics, 0,
+            );
         }
     })
     .tagged(Algorithm::Johnson, Granularity::Sequential)
@@ -433,11 +496,21 @@ pub fn delta_simple_parallel<G: GraphView + ?Sized, S: CycleSink>(
     roots: Range<EdgeId>,
     floor: Timestamp,
     opts: &SimpleCycleOptions,
+    predicate: &EdgePredicate,
     sink: &S,
     pool: &ThreadPool,
 ) -> RunStats {
     let mut scratches = fresh_scratches(graph, pool);
-    delta_simple_parallel_with_scratch(graph, roots, floor, opts, sink, pool, &mut scratches)
+    delta_simple_parallel_with_scratch(
+        graph,
+        roots,
+        floor,
+        opts,
+        predicate,
+        sink,
+        pool,
+        &mut scratches,
+    )
 }
 
 /// [`delta_simple_parallel`] with caller-owned per-worker scratches (at
@@ -449,6 +522,7 @@ pub fn delta_simple_parallel_with_scratch<G: GraphView + ?Sized, S: CycleSink>(
     roots: Range<EdgeId>,
     floor: Timestamp,
     opts: &SimpleCycleOptions,
+    predicate: &EdgePredicate,
     sink: &S,
     pool: &ThreadPool,
     scratches: &mut [RootScratch],
@@ -459,7 +533,9 @@ pub fn delta_simple_parallel_with_scratch<G: GraphView + ?Sized, S: CycleSink>(
         pool,
         scratches,
         |root, scratch, sink, metrics, worker| {
-            delta_simple_root(graph, root, floor, opts, scratch, sink, metrics, worker)
+            delta_simple_root(
+                graph, root, floor, opts, predicate, scratch, sink, metrics, worker,
+            )
         },
     )
 }
@@ -472,11 +548,21 @@ pub fn delta_temporal_parallel<G: GraphView + ?Sized, S: CycleSink>(
     roots: Range<EdgeId>,
     floor: Timestamp,
     opts: &TemporalCycleOptions,
+    predicate: &EdgePredicate,
     sink: &S,
     pool: &ThreadPool,
 ) -> RunStats {
     let mut scratches = fresh_scratches(graph, pool);
-    delta_temporal_parallel_with_scratch(graph, roots, floor, opts, sink, pool, &mut scratches)
+    delta_temporal_parallel_with_scratch(
+        graph,
+        roots,
+        floor,
+        opts,
+        predicate,
+        sink,
+        pool,
+        &mut scratches,
+    )
 }
 
 /// [`delta_temporal_parallel`] with caller-owned per-worker scratches (see
@@ -487,6 +573,7 @@ pub fn delta_temporal_parallel_with_scratch<G: GraphView + ?Sized, S: CycleSink>
     roots: Range<EdgeId>,
     floor: Timestamp,
     opts: &TemporalCycleOptions,
+    predicate: &EdgePredicate,
     sink: &S,
     pool: &ThreadPool,
     scratches: &mut [RootScratch],
@@ -497,7 +584,9 @@ pub fn delta_temporal_parallel_with_scratch<G: GraphView + ?Sized, S: CycleSink>
         pool,
         scratches,
         |root, scratch, sink, metrics, worker| {
-            delta_temporal_root(graph, root, floor, opts, scratch, sink, metrics, worker)
+            delta_temporal_root(
+                graph, root, floor, opts, predicate, scratch, sink, metrics, worker,
+            )
         },
     )
 }
@@ -526,6 +615,10 @@ struct FineDeltaShared<'a, G: ?Sized, S> {
     sink: &'a HaltingSink<'a, S>,
     metrics: &'a WorkMetrics,
     mode: FineDeltaMode<'a>,
+    /// Attribute predicate every cycle edge must satisfy.
+    predicate: &'a EdgePredicate,
+    /// Cached `predicate.is_pass_all()`.
+    pred_all: bool,
 }
 
 /// One copyable recursion level of a fine-grained delta search: extend the
@@ -595,6 +688,9 @@ fn execute_fine_delta<'scope, G: GraphView + ?Sized, S: CycleSink>(
             // `t_last < t0` (ids refine timestamp order).
             continue;
         }
+        if !shared.pred_all && !shared.predicate.accepts(&shared.graph.edge(entry.edge)) {
+            continue;
+        }
         let w = entry.neighbor;
         if w == task.target {
             if shared.mode.len_ok(task.path_edges.len() + 2) {
@@ -658,6 +754,10 @@ fn prepare_fine_root<G: GraphView + ?Sized, S: CycleSink>(
     if e.ts < floor {
         return None;
     }
+    // The root edge is part of every cycle it closes.
+    if !shared.pred_all && !shared.predicate.accepts(&e) {
+        return None;
+    }
     let (window, t_last, arrival, union) = match shared.mode {
         FineDeltaMode::Simple(opts) => {
             if e.src == e.dst {
@@ -669,10 +769,14 @@ fn prepare_fine_root<G: GraphView + ?Sized, S: CycleSink>(
             shared.metrics.root_processed(worker);
             let start = e.ts.saturating_sub(opts.effective_delta()).max(floor);
             let window = TimeWindow::new(start, e.ts);
-            if !scratch
-                .union
-                .compute_simple_before(shared.graph, root, window)
-            {
+            let reachable =
+                scratch
+                    .union
+                    .compute_simple_before(shared.graph, root, window, shared.predicate);
+            shared
+                .metrics
+                .union_members(worker, scratch.union.union_size() as u64);
+            if !reachable {
                 return None;
             }
             let union = Arc::new(UnionView::from_simple(&scratch.union));
@@ -685,10 +789,14 @@ fn prepare_fine_root<G: GraphView + ?Sized, S: CycleSink>(
             shared.metrics.root_processed(worker);
             let start = e.ts.saturating_sub(opts.window_delta).max(floor);
             let window = TimeWindow::new(start, e.ts);
-            if !scratch
-                .union
-                .compute_temporal_before(shared.graph, root, window)
-            {
+            let reachable =
+                scratch
+                    .union
+                    .compute_temporal_before(shared.graph, root, window, shared.predicate);
+            shared
+                .metrics
+                .union_members(worker, scratch.union.union_size() as u64);
+            if !reachable {
                 return None;
             }
             let union = Arc::new(UnionView::from_temporal(&scratch.union));
@@ -725,11 +833,13 @@ fn prepare_fine_root<G: GraphView + ?Sized, S: CycleSink>(
 /// pool's work-stealing deques — a batch whose cycles all hang off one hot
 /// root still engages every worker (§5/§7 of the paper, applied to the
 /// max-edge-rooted backward search).
+#[allow(clippy::too_many_arguments)] // the parallel driver signature + predicate
 fn run_delta_fine<G: GraphView + ?Sized, S: CycleSink>(
     graph: &G,
     roots: Range<EdgeId>,
     floor: Timestamp,
     mode: FineDeltaMode<'_>,
+    predicate: &EdgePredicate,
     sink: &S,
     pool: &ThreadPool,
     scratches: &mut [RootScratch],
@@ -749,6 +859,8 @@ fn run_delta_fine<G: GraphView + ?Sized, S: CycleSink>(
         sink: &sink,
         metrics: &metrics,
         mode,
+        predicate,
+        pred_all: predicate.is_pass_all(),
     };
 
     pool.scope(|scope| {
@@ -792,11 +904,21 @@ pub fn delta_simple_fine<G: GraphView + ?Sized, S: CycleSink>(
     roots: Range<EdgeId>,
     floor: Timestamp,
     opts: &SimpleCycleOptions,
+    predicate: &EdgePredicate,
     sink: &S,
     pool: &ThreadPool,
 ) -> RunStats {
     let mut scratches = fresh_scratches(graph, pool);
-    delta_simple_fine_with_scratch(graph, roots, floor, opts, sink, pool, &mut scratches)
+    delta_simple_fine_with_scratch(
+        graph,
+        roots,
+        floor,
+        opts,
+        predicate,
+        sink,
+        pool,
+        &mut scratches,
+    )
 }
 
 /// [`delta_simple_fine`] with caller-owned per-worker scratches (at least
@@ -807,6 +929,7 @@ pub fn delta_simple_fine_with_scratch<G: GraphView + ?Sized, S: CycleSink>(
     roots: Range<EdgeId>,
     floor: Timestamp,
     opts: &SimpleCycleOptions,
+    predicate: &EdgePredicate,
     sink: &S,
     pool: &ThreadPool,
     scratches: &mut [RootScratch],
@@ -816,6 +939,7 @@ pub fn delta_simple_fine_with_scratch<G: GraphView + ?Sized, S: CycleSink>(
         roots,
         floor,
         FineDeltaMode::Simple(opts),
+        predicate,
         sink,
         pool,
         scratches,
@@ -830,11 +954,21 @@ pub fn delta_temporal_fine<G: GraphView + ?Sized, S: CycleSink>(
     roots: Range<EdgeId>,
     floor: Timestamp,
     opts: &TemporalCycleOptions,
+    predicate: &EdgePredicate,
     sink: &S,
     pool: &ThreadPool,
 ) -> RunStats {
     let mut scratches = fresh_scratches(graph, pool);
-    delta_temporal_fine_with_scratch(graph, roots, floor, opts, sink, pool, &mut scratches)
+    delta_temporal_fine_with_scratch(
+        graph,
+        roots,
+        floor,
+        opts,
+        predicate,
+        sink,
+        pool,
+        &mut scratches,
+    )
 }
 
 /// [`delta_temporal_fine`] with caller-owned per-worker scratches (see
@@ -845,6 +979,7 @@ pub fn delta_temporal_fine_with_scratch<G: GraphView + ?Sized, S: CycleSink>(
     roots: Range<EdgeId>,
     floor: Timestamp,
     opts: &TemporalCycleOptions,
+    predicate: &EdgePredicate,
     sink: &S,
     pool: &ThreadPool,
     scratches: &mut [RootScratch],
@@ -854,6 +989,7 @@ pub fn delta_temporal_fine_with_scratch<G: GraphView + ?Sized, S: CycleSink>(
         roots,
         floor,
         FineDeltaMode::Temporal(opts),
+        predicate,
         sink,
         pool,
         scratches,
@@ -892,7 +1028,14 @@ mod tests {
                 johnson_simple(&g, &opts, &fwd);
                 assert_eq!(fwd.canonical_cycles(), oracle, "seed {seed} delta {delta}");
                 let bwd = CollectingSink::new();
-                delta_simple(&g, all_roots(&g), Timestamp::MIN, &opts, &bwd);
+                delta_simple(
+                    &g,
+                    all_roots(&g),
+                    Timestamp::MIN,
+                    &opts,
+                    &EdgePredicate::pass_all(),
+                    &bwd,
+                );
                 assert_eq!(bwd.canonical_cycles(), oracle, "seed {seed} delta {delta}");
             }
         }
@@ -914,7 +1057,14 @@ mod tests {
                 temporal_simple(&g, &opts, &fwd);
                 assert_eq!(fwd.canonical_cycles(), oracle, "seed {seed} delta {delta}");
                 let bwd = CollectingSink::new();
-                delta_temporal(&g, all_roots(&g), Timestamp::MIN, &opts, &bwd);
+                delta_temporal(
+                    &g,
+                    all_roots(&g),
+                    Timestamp::MIN,
+                    &opts,
+                    &EdgePredicate::pass_all(),
+                    &bwd,
+                );
                 assert_eq!(bwd.canonical_cycles(), oracle, "seed {seed} delta {delta}");
             }
         }
@@ -934,6 +1084,7 @@ mod tests {
             all_roots(&g),
             Timestamp::MIN,
             &SimpleCycleOptions::unconstrained(),
+            &EdgePredicate::pass_all(),
             &all,
         );
         assert_eq!(all.count(), 2);
@@ -946,6 +1097,7 @@ mod tests {
             all_roots(&g),
             Timestamp::MIN,
             &SimpleCycleOptions::unconstrained().max_len(2),
+            &EdgePredicate::pass_all(),
             &short,
         );
         assert_eq!(short.count(), 1);
@@ -964,6 +1116,7 @@ mod tests {
             all_roots(&g),
             Timestamp::MIN,
             &SimpleCycleOptions::unconstrained(),
+            &EdgePredicate::pass_all(),
             &without,
         );
         assert_eq!(without.count(), 1);
@@ -973,6 +1126,7 @@ mod tests {
             all_roots(&g),
             Timestamp::MIN,
             &SimpleCycleOptions::unconstrained().include_self_loops(true),
+            &EdgePredicate::pass_all(),
             &with,
         );
         assert_eq!(with.count(), 2);
@@ -992,6 +1146,7 @@ mod tests {
             all_roots(&g),
             Timestamp::MIN,
             &SimpleCycleOptions::unconstrained(),
+            &EdgePredicate::pass_all(),
             &open,
         );
         assert_eq!(open.count(), 1);
@@ -1001,6 +1156,7 @@ mod tests {
             all_roots(&g),
             3,
             &SimpleCycleOptions::unconstrained(),
+            &EdgePredicate::pass_all(),
             &floored,
         );
         assert_eq!(floored.count(), 0, "expired first hop breaks the cycle");
@@ -1011,6 +1167,7 @@ mod tests {
             all_roots(&g),
             11,
             &TemporalCycleOptions::with_window(100),
+            &EdgePredicate::pass_all(),
             &t,
         );
         assert_eq!(t.count(), 0);
@@ -1027,22 +1184,44 @@ mod tests {
         let pool = ThreadPool::new(4);
         let simple_opts = SimpleCycleOptions::with_window(20);
         let seq = CollectingSink::new();
-        delta_simple(&g, all_roots(&g), Timestamp::MIN, &simple_opts, &seq);
+        delta_simple(
+            &g,
+            all_roots(&g),
+            Timestamp::MIN,
+            &simple_opts,
+            &EdgePredicate::pass_all(),
+            &seq,
+        );
         let par = CollectingSink::new();
-        let stats =
-            delta_simple_parallel(&g, all_roots(&g), Timestamp::MIN, &simple_opts, &par, &pool);
+        let stats = delta_simple_parallel(
+            &g,
+            all_roots(&g),
+            Timestamp::MIN,
+            &simple_opts,
+            &EdgePredicate::pass_all(),
+            &par,
+            &pool,
+        );
         assert_eq!(seq.canonical_cycles(), par.canonical_cycles());
         assert_eq!(stats.threads, 4);
 
         let temporal_opts = TemporalCycleOptions::with_window(25);
         let seq = CollectingSink::new();
-        delta_temporal(&g, all_roots(&g), Timestamp::MIN, &temporal_opts, &seq);
+        delta_temporal(
+            &g,
+            all_roots(&g),
+            Timestamp::MIN,
+            &temporal_opts,
+            &EdgePredicate::pass_all(),
+            &seq,
+        );
         let par = CollectingSink::new();
         delta_temporal_parallel(
             &g,
             all_roots(&g),
             Timestamp::MIN,
             &temporal_opts,
+            &EdgePredicate::pass_all(),
             &par,
             &pool,
         );
@@ -1060,13 +1239,21 @@ mod tests {
         let pool = ThreadPool::new(4);
         let simple_opts = SimpleCycleOptions::with_window(20);
         let seq = CollectingSink::new();
-        delta_simple(&g, all_roots(&g), Timestamp::MIN, &simple_opts, &seq);
+        delta_simple(
+            &g,
+            all_roots(&g),
+            Timestamp::MIN,
+            &simple_opts,
+            &EdgePredicate::pass_all(),
+            &seq,
+        );
         let fine = CollectingSink::new();
         let stats = delta_simple_fine(
             &g,
             all_roots(&g),
             Timestamp::MIN,
             &simple_opts,
+            &EdgePredicate::pass_all(),
             &fine,
             &pool,
         );
@@ -1076,13 +1263,21 @@ mod tests {
 
         let temporal_opts = TemporalCycleOptions::with_window(25).max_len(4);
         let seq = CollectingSink::new();
-        delta_temporal(&g, all_roots(&g), Timestamp::MIN, &temporal_opts, &seq);
+        delta_temporal(
+            &g,
+            all_roots(&g),
+            Timestamp::MIN,
+            &temporal_opts,
+            &EdgePredicate::pass_all(),
+            &seq,
+        );
         let fine = CollectingSink::new();
         delta_temporal_fine(
             &g,
             all_roots(&g),
             Timestamp::MIN,
             &temporal_opts,
+            &EdgePredicate::pass_all(),
             &fine,
             &pool,
         );
@@ -1100,7 +1295,14 @@ mod tests {
         let opts = TemporalCycleOptions::with_window(30);
         for floor in [Timestamp::MIN, 20] {
             let reference = CollectingSink::new();
-            delta_temporal(&g, all_roots(&g), floor, &opts, &reference);
+            delta_temporal(
+                &g,
+                all_roots(&g),
+                floor,
+                &opts,
+                &EdgePredicate::pass_all(),
+                &reference,
+            );
             for threads in [1, 2, 4] {
                 let sink = CollectingSink::new();
                 delta_temporal_fine(
@@ -1108,6 +1310,7 @@ mod tests {
                     all_roots(&g),
                     floor,
                     &opts,
+                    &EdgePredicate::pass_all(),
                     &sink,
                     &ThreadPool::new(threads),
                 );
@@ -1134,6 +1337,7 @@ mod tests {
             all_roots(&g),
             Timestamp::MIN,
             &SimpleCycleOptions::unconstrained().include_self_loops(true),
+            &EdgePredicate::pass_all(),
             &with,
             &pool,
         );
@@ -1146,6 +1350,7 @@ mod tests {
             all_roots(&g),
             Timestamp::MIN,
             &SimpleCycleOptions::unconstrained(),
+            &EdgePredicate::pass_all(),
             &sink,
             &pool,
         );
@@ -1167,6 +1372,7 @@ mod tests {
             all_roots(&g),
             Timestamp::MIN,
             &opts,
+            &EdgePredicate::pass_all(),
             &sink,
             &ThreadPool::new(4),
         );
@@ -1202,6 +1408,7 @@ mod tests {
             all_roots(&g),
             Timestamp::MIN,
             &TemporalCycleOptions::with_window(1_000),
+            &EdgePredicate::pass_all(),
             &sink,
             &ThreadPool::new(4),
         );
@@ -1224,6 +1431,7 @@ mod tests {
             2..3,
             Timestamp::MIN,
             &SimpleCycleOptions::unconstrained(),
+            &EdgePredicate::pass_all(),
             &sink,
         );
         let cycles = sink.into_cycles();
@@ -1240,6 +1448,7 @@ mod tests {
             all_roots(&g),
             Timestamp::MIN,
             &SimpleCycleOptions::unconstrained(),
+            &EdgePredicate::pass_all(),
             &sink,
         );
         assert_eq!(sink.into_cycles().len(), 3);

@@ -138,6 +138,14 @@ pub enum EnumerationError {
         /// The OS error message.
         reason: String,
     },
+    /// The query's edge predicate is unsatisfiable — it would reject every
+    /// edge (empty amount interval or empty label allow-list), so the query
+    /// could never report a cycle. Always a caller mistake; refused up front.
+    InvalidPredicate {
+        /// Why the predicate is unsatisfiable (from
+        /// [`pce_graph::EdgePredicate::validate`]).
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for EnumerationError {
@@ -164,6 +172,9 @@ impl std::fmt::Display for EnumerationError {
             ),
             EnumerationError::SpawnFailed { reason } => {
                 write!(f, "failed to spawn enumeration thread: {reason}")
+            }
+            EnumerationError::InvalidPredicate { reason } => {
+                write!(f, "unsatisfiable edge predicate: {reason}")
             }
         }
     }

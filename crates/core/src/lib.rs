@@ -90,6 +90,10 @@ pub use streaming::{
     SubscriptionIndex, SubscriptionSnapshot,
 };
 
+// Predicate types surface in the streaming API (`StreamingQuery::predicate`,
+// `CohortKey::predicate`), so re-export them at the root alongside it.
+pub use pce_graph::{EdgePredicate, LabelFilter};
+
 // Re-export the substrate crates so downstream users can depend on `pce-core`
 // alone.
 pub use pce_graph as graph;

@@ -23,6 +23,7 @@ struct WorkerBlock {
     steal_events: AtomicU64,
     unblock_ops: AtomicU64,
     roots_processed: AtomicU64,
+    union_members: AtomicU64,
     busy_nanos: AtomicU64,
 }
 
@@ -109,6 +110,16 @@ impl WorkMetrics {
             .fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records the size of one root's cycle-union. The per-run total is a
+    /// deterministic measure of how much state the union passes admitted —
+    /// the counter predicate pushdown is expected to shrink.
+    #[inline]
+    pub fn union_members(&self, worker: usize, n: u64) {
+        self.slot(worker)
+            .union_members
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Adds busy wall-clock time for a worker.
     #[inline]
     pub fn add_busy(&self, worker: usize, time: Duration) {
@@ -130,6 +141,7 @@ impl WorkMetrics {
                     steal_events: w.steal_events.load(Ordering::Relaxed),
                     unblock_ops: w.unblock_ops.load(Ordering::Relaxed),
                     roots_processed: w.roots_processed.load(Ordering::Relaxed),
+                    union_members: w.union_members.load(Ordering::Relaxed),
                     busy_nanos: w.busy_nanos.load(Ordering::Relaxed),
                 })
                 .collect(),
@@ -152,6 +164,8 @@ pub struct WorkerWork {
     pub unblock_ops: u64,
     /// Root edges processed.
     pub roots_processed: u64,
+    /// Summed cycle-union sizes over processed roots.
+    pub union_members: u64,
     /// Busy wall-clock nanoseconds.
     pub busy_nanos: u64,
 }
@@ -192,6 +206,14 @@ impl WorkSnapshot {
     /// Total root edges processed.
     pub fn total_roots(&self) -> u64 {
         self.workers.iter().map(|w| w.roots_processed).sum()
+    }
+
+    /// Total cycle-union members summed over all processed roots. A
+    /// deterministic, thread-count-independent proxy for how much search
+    /// state the union passes admitted; predicate pushdown strictly shrinks
+    /// it whenever a predicate rejects any edge on a union path.
+    pub fn total_union_members(&self) -> u64 {
+        self.workers.iter().map(|w| w.union_members).sum()
     }
 
     /// Per-worker busy time in seconds (the series plotted in Figure 1).
@@ -341,9 +363,12 @@ mod tests {
         m.steal_event(2);
         m.unblock_op(0);
         m.root_processed(0);
+        m.union_members(0, 3);
+        m.union_members(2, 4);
         m.add_busy(1, Duration::from_millis(2));
         let s = m.snapshot();
         assert_eq!(s.total_edge_visits(), 12);
+        assert_eq!(s.total_union_members(), 7);
         assert_eq!(s.total_recursive_calls(), 1);
         assert_eq!(s.total_copies(), 1);
         assert_eq!(s.total_steals(), 1);

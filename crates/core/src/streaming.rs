@@ -51,17 +51,21 @@
 //! [`StreamingQuery`]s (each gets a stable [`QueryId`]), and every
 //! [`ingest`](MultiStreamingEngine::ingest) pays **one** append/expiry pass,
 //! **one** delta root scan and **one** per-root backward union/pruning pass —
-//! at the widest subscribed window — then routes each candidate cycle to the
-//! subscriptions that accept it before fanning results out to per-query
-//! [`BatchReport`]s. Routing uses a constraint-indexed [`SubscriptionIndex`]
-//! by default ([`FanOutStrategy::Indexed`]): subscriptions are bucketed into
-//! `(kind, self-loops)` cohorts and deduplicated into `(δ, max_len)`
-//! constraint groups, so per-candidate dispatch cost scales with *distinct
-//! constraint profiles* rather than with the subscriber count, and large
-//! portfolios dispatch as parallel tasks on the engine's pool. The per-query
-//! outputs are byte-identical to dedicated engines — and to the naive
-//! per-candidate loop ([`FanOutStrategy::Naive`]) — proven by the
-//! differential harnesses in `tests/streaming.rs`.
+//! at the widest subscribed window and the *union* of the subscribed
+//! [`EdgePredicate`]s (pushed into traversal, so attribute-rejected edges
+//! never enter the cycle unions — see
+//! [`MultiStreamingEngine::with_pushdown`]) — then routes each candidate
+//! cycle to the subscriptions that accept it before fanning results out to
+//! per-query [`BatchReport`]s. Routing uses a constraint-indexed
+//! [`SubscriptionIndex`] by default ([`FanOutStrategy::Indexed`]):
+//! subscriptions are bucketed into `(kind, self-loops, predicate-profile)`
+//! cohorts and deduplicated into `(δ, max_len)` constraint groups, so
+//! per-candidate dispatch cost scales with *distinct constraint profiles*
+//! rather than with the subscriber count, and large portfolios dispatch as
+//! parallel tasks on the engine's pool. The per-query outputs are
+//! byte-identical to dedicated engines — and to the naive per-candidate loop
+//! ([`FanOutStrategy::Naive`]) — proven by the differential harnesses in
+//! `tests/streaming.rs`.
 //!
 //! # Relation to [`Engine::stream`]
 //!
@@ -85,7 +89,10 @@ use crate::seq::RootScratch;
 use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
 use pce_graph::stream::{SlidingWindowGraph, StreamError};
-use pce_graph::{EdgeId, GraphView, TemporalEdge, TemporalGraph, TimeWindow, Timestamp, VertexId};
+use pce_graph::{
+    Amount, EdgeId, EdgePredicate, GraphView, Label, TemporalEdge, TemporalGraph, TimeWindow,
+    Timestamp, VertexId,
+};
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -164,6 +171,7 @@ pub struct StreamingQuery {
     max_len: Option<usize>,
     include_self_loops: bool,
     collect: CollectMode,
+    predicate: EdgePredicate,
 }
 
 impl StreamingQuery {
@@ -180,6 +188,7 @@ impl StreamingQuery {
             max_len: None,
             include_self_loops: false,
             collect: CollectMode::Collect,
+            predicate: EdgePredicate::pass_all(),
         }
     }
 
@@ -239,6 +248,19 @@ impl StreamingQuery {
         self
     }
 
+    /// Constrains reported cycles to edges accepted by `predicate`: **every**
+    /// edge of a reported cycle must pass the attribute check (amount
+    /// interval, label filter). The predicate is *pushed down* into the
+    /// enumeration — rejected edges never enter the per-root cycle union and
+    /// never extend a path — so a selective predicate shrinks the searched
+    /// subgraph, it does not just filter reports. Defaults to
+    /// [`EdgePredicate::pass_all`] (no attribute constraint, no per-edge
+    /// overhead).
+    pub fn predicate(mut self, predicate: EdgePredicate) -> Self {
+        self.predicate = predicate;
+        self
+    }
+
     /// The cycle kind this query asks about.
     pub fn kind(&self) -> CycleKind {
         self.kind
@@ -270,6 +292,13 @@ impl StreamingQuery {
         self.collect
     }
 
+    /// The edge predicate every reported cycle's edges must satisfy
+    /// ([`EdgePredicate::pass_all`] unless [`StreamingQuery::predicate`] set
+    /// one).
+    pub fn edge_predicate(&self) -> &EdgePredicate {
+        &self.predicate
+    }
+
     /// Checks the query for values that can never return anything and for
     /// combinations that have no implementation, mirroring
     /// [`Query::validate`](crate::Query::validate). Called when the
@@ -288,6 +317,11 @@ impl StreamingQuery {
             // Strictly increasing timestamps leave no room for a length-1
             // cycle; refuse instead of silently dropping the flag.
             return Err(EnumerationError::SelfLoopsUnsupported);
+        }
+        if let Err(reason) = self.predicate.validate() {
+            // An unsatisfiable predicate (empty amount interval, empty
+            // allow-list) rejects every edge and can never report anything.
+            return Err(EnumerationError::InvalidPredicate { reason });
         }
         Ok(())
     }
@@ -624,6 +658,7 @@ fn run_delta<S: crate::cycle::CycleSink>(
     floor: Timestamp,
     granularity: Granularity,
 ) -> RunStats {
+    let predicate = &query.predicate;
     match query.kind {
         CycleKind::Simple => {
             let opts = SimpleCycleOptions {
@@ -632,14 +667,21 @@ fn run_delta<S: crate::cycle::CycleSink>(
                 include_self_loops: query.include_self_loops,
             };
             match granularity {
-                Granularity::Sequential => {
-                    delta_simple_with_scratch(graph, roots, floor, &opts, sink, &mut scratches[0])
-                }
+                Granularity::Sequential => delta_simple_with_scratch(
+                    graph,
+                    roots,
+                    floor,
+                    &opts,
+                    predicate,
+                    sink,
+                    &mut scratches[0],
+                ),
                 Granularity::CoarseGrained => delta_simple_parallel_with_scratch(
                     graph,
                     roots,
                     floor,
                     &opts,
+                    predicate,
                     sink,
                     engine.pool(),
                     scratches,
@@ -649,6 +691,7 @@ fn run_delta<S: crate::cycle::CycleSink>(
                     roots,
                     floor,
                     &opts,
+                    predicate,
                     sink,
                     engine.pool(),
                     scratches,
@@ -661,14 +704,21 @@ fn run_delta<S: crate::cycle::CycleSink>(
                 max_len: query.max_len,
             };
             match granularity {
-                Granularity::Sequential => {
-                    delta_temporal_with_scratch(graph, roots, floor, &opts, sink, &mut scratches[0])
-                }
+                Granularity::Sequential => delta_temporal_with_scratch(
+                    graph,
+                    roots,
+                    floor,
+                    &opts,
+                    predicate,
+                    sink,
+                    &mut scratches[0],
+                ),
                 Granularity::CoarseGrained => delta_temporal_parallel_with_scratch(
                     graph,
                     roots,
                     floor,
                     &opts,
+                    predicate,
                     sink,
                     engine.pool(),
                     scratches,
@@ -678,6 +728,7 @@ fn run_delta<S: crate::cycle::CycleSink>(
                     roots,
                     floor,
                     &opts,
+                    predicate,
                     sink,
                     engine.pool(),
                     scratches,
@@ -731,7 +782,7 @@ pub struct SubscriptionSnapshot {
 /// The parameters of the **one** shared enumeration pass a batch runs for all
 /// subscriptions: the loosest constraint on every axis, so each query's
 /// result set is a filterable subset of what the pass discovers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct SharedPass {
     /// [`CycleKind::Simple`] as soon as any subscription asks for simple
     /// cycles (every temporal cycle is also a vertex-simple cycle rooted at
@@ -746,6 +797,15 @@ struct SharedPass {
     max_len: Option<usize>,
     /// Whether any simple subscription wants self-loops reported.
     include_self_loops: bool,
+    /// The [`EdgePredicate::union`] of every subscription's predicate — the
+    /// weakest predicate implied by the whole portfolio. Pushing it into the
+    /// shared pass is sound by the same argument as the other axes, in
+    /// reverse: the union *rejects* an edge only when **every** subscription
+    /// rejects it, and each subscription requires all edges of a cycle to
+    /// pass, so a cycle containing a union-rejected edge is unreportable by
+    /// anyone. Exact per-subscription predicates are re-checked at fan-out
+    /// (they may be strictly narrower than the union).
+    predicate: EdgePredicate,
 }
 
 impl SharedPass {
@@ -758,6 +818,7 @@ impl SharedPass {
             delta: first.query.window_delta,
             max_len: first.query.max_len,
             include_self_loops: false,
+            predicate: first.query.predicate.clone(),
         };
         for sub in subs {
             let q = &sub.query;
@@ -770,6 +831,7 @@ impl SharedPass {
                 (Some(a), Some(b)) => Some(a.max(b)),
                 _ => None,
             };
+            pass.predicate = pass.predicate.union(&q.predicate);
         }
         Some(pass)
     }
@@ -783,6 +845,7 @@ impl SharedPass {
             max_len: self.max_len,
             include_self_loops: self.include_self_loops,
             collect: CollectMode::Collect,
+            predicate: self.predicate.clone(),
         }
     }
 }
@@ -822,15 +885,24 @@ const FAN_OUT_CHUNK: usize = 128;
 const LEN_UNBOUNDED: usize = usize::MAX;
 
 /// The cohort key of the [`SubscriptionIndex`]: subscriptions that share the
-/// same *kind-level* acceptance semantics. Within a cohort, acceptance of a
-/// candidate is monotone in the remaining two constraints (window δ and
-/// `max_len`), which is what makes the sorted-frontier dispatch sound.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// same *kind-level* acceptance semantics **and** the same predicate profile.
+/// Within a cohort, acceptance of a candidate is monotone in the remaining
+/// two constraints (window δ and `max_len`), which is what makes the
+/// sorted-frontier dispatch sound; the predicate is part of the key rather
+/// than the frontier because attribute acceptance is not ordered along any
+/// single axis, but subscriptions sharing a profile — the common case for
+/// templated alerting rules — pay its check **once per cohort** instead of
+/// once per subscription.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CohortKey {
     /// Cycle kind every subscription in the cohort asks for.
     pub kind: CycleKind,
     /// Whether the cohort's subscriptions report length-1 cycles.
     pub include_self_loops: bool,
+    /// The exact edge predicate every subscription in the cohort evaluates
+    /// (pass-all for unfiltered subscriptions). Because cohort members share
+    /// it exactly, the cohort-level check *is* the per-subscription check.
+    pub predicate: EdgePredicate,
 }
 
 impl CohortKey {
@@ -838,24 +910,42 @@ impl CohortKey {
         Self {
             kind: query.kind,
             include_self_loops: query.include_self_loops,
+            predicate: query.predicate.clone(),
         }
     }
 
-    /// Whether a candidate of this shape can be accepted by *any* member of
-    /// the cohort — the kind-level gate the per-subscription loop of the
-    /// naive dispatcher evaluates per subscription, evaluated once per
-    /// cohort here.
-    fn admits(&self, len: usize, strictly_increasing: bool) -> bool {
-        if len == 1 {
+    /// The kind-level half of [`admits`](Self::admits): whether a candidate
+    /// of this shape passes the cohort's structural gate (cycle kind,
+    /// self-loop policy, strictness), before any attribute predicate runs.
+    fn admits_structure(&self, shape: &CandidateShape) -> bool {
+        if shape.len == 1 {
             // Temporal queries never report self-loops (strictly increasing
             // timestamps leave no room for one) and simple queries only when
             // asked — both exactly as the naive per-subscription checks.
-            return self.kind == CycleKind::Simple && self.include_self_loops;
+            if !(self.kind == CycleKind::Simple && self.include_self_loops) {
+                return false;
+            }
+        } else if self.kind == CycleKind::Temporal && !shape.strict {
+            return false;
         }
-        match self.kind {
-            CycleKind::Temporal => strictly_increasing,
-            CycleKind::Simple => true,
-        }
+        true
+    }
+
+    /// Whether a candidate of this shape can be accepted by *any* member of
+    /// the cohort — the kind-level and predicate gate the per-subscription
+    /// loop of the naive dispatcher evaluates per subscription, evaluated
+    /// once per cohort here. (Because cohort members share their predicate
+    /// exactly, the cohort-level predicate check *is* the exact
+    /// per-subscription predicate check, paid once per cohort.) The
+    /// dispatcher itself runs the two halves separately so it can count the
+    /// predicate evaluation; this combined form is the differential-test
+    /// oracle.
+    #[cfg(test)]
+    fn admits(&self, shape: &CandidateShape) -> bool {
+        self.admits_structure(shape)
+            && self
+                .predicate
+                .accepts_shape(shape.min_amount, shape.max_amount, &shape.labels)
     }
 }
 
@@ -866,10 +956,14 @@ impl std::fmt::Display for CohortKey {
             CycleKind::Temporal => "temporal",
         };
         if self.include_self_loops {
-            write!(f, "{kind}+self-loops")
+            write!(f, "{kind}+self-loops")?;
         } else {
-            write!(f, "{kind}")
+            write!(f, "{kind}")?;
         }
+        if !self.predicate.is_pass_all() {
+            write!(f, " [{}]", self.predicate)?;
+        }
+        Ok(())
     }
 }
 
@@ -989,7 +1083,7 @@ impl SubscriptionIndex {
     pub fn summaries(&self) -> Vec<(CohortKey, usize, usize)> {
         self.cohorts
             .iter()
-            .map(|c| (c.key, c.groups.len(), c.subscriptions()))
+            .map(|c| (c.key.clone(), c.groups.len(), c.subscriptions()))
             .collect()
     }
 
@@ -1116,59 +1210,101 @@ impl CohortCounters {
     }
 }
 
-/// Derives the per-candidate predicates every dispatcher needs, once: the
-/// candidate's time-span (root timestamp minus minimum timestamp — the delta
-/// searches report path edges in traversal order with the root, maximum,
-/// edge last), its length, and whether its timestamps strictly increase.
-fn candidate_shape(graph: &SlidingWindowGraph, edges: &[EdgeId]) -> (Timestamp, usize, bool) {
-    let root_ts = GraphView::edge(graph, *edges.last().expect("cycles have edges")).ts;
-    let mut min_ts = root_ts;
-    let mut strictly_increasing = true;
-    let mut prev: Option<Timestamp> = None;
-    for &e in edges {
-        let ts = GraphView::edge(graph, e).ts;
-        min_ts = min_ts.min(ts);
-        if let Some(p) = prev {
-            strictly_increasing &= p < ts;
-        }
-        prev = Some(ts);
-    }
-    (
-        root_ts.saturating_sub(min_ts),
-        edges.len(),
-        strictly_increasing,
-    )
+/// The per-candidate summary every dispatcher needs, computed once per
+/// candidate: the structural shape (time-span, length, strictness) plus the
+/// attribute shape ([`EdgePredicate::accepts_shape`] re-checks exact
+/// per-subscription predicates against it without re-walking the edges).
+#[derive(Debug)]
+struct CandidateShape {
+    /// Root timestamp minus minimum timestamp (the delta searches report
+    /// path edges in traversal order with the root, maximum, edge last).
+    span: Timestamp,
+    /// Number of edges.
+    len: usize,
+    /// Whether timestamps strictly increase in traversal order.
+    strict: bool,
+    /// The smallest edge amount in the candidate.
+    min_amount: Amount,
+    /// The largest edge amount in the candidate.
+    max_amount: Amount,
+    /// The distinct edge labels, sorted (cycles are short, so this stays
+    /// tiny; dedup keeps repeated-label rings to one filter probe each).
+    labels: Vec<Label>,
 }
 
-/// Dispatches one candidate into one cohort: gate once, binary-search the
+/// Derives the [`CandidateShape`] of one candidate cycle.
+fn candidate_shape(graph: &SlidingWindowGraph, edges: &[EdgeId]) -> CandidateShape {
+    let root_ts = GraphView::edge(graph, *edges.last().expect("cycles have edges")).ts;
+    let mut min_ts = root_ts;
+    let mut strict = true;
+    let mut prev: Option<Timestamp> = None;
+    let mut min_amount = Amount::MAX;
+    let mut max_amount = Amount::MIN;
+    let mut labels: Vec<Label> = Vec::with_capacity(edges.len());
+    for &e in edges {
+        let edge = GraphView::edge(graph, e);
+        min_ts = min_ts.min(edge.ts);
+        if let Some(p) = prev {
+            strict &= p < edge.ts;
+        }
+        prev = Some(edge.ts);
+        min_amount = min_amount.min(edge.amount);
+        max_amount = max_amount.max(edge.amount);
+        labels.push(edge.label);
+    }
+    labels.sort_unstable();
+    labels.dedup();
+    CandidateShape {
+        span: root_ts.saturating_sub(min_ts),
+        len: edges.len(),
+        strict,
+        min_amount,
+        max_amount,
+        labels,
+    }
+}
+
+/// Dispatches one candidate into one cohort: gate once (kind, strictness,
+/// self-loops, the cohort's exact predicate), binary-search the
 /// `(delta, max_len)` frontier, then visit only the surviving groups. The
 /// shared helper of the inline sink and the parallel dispatch tasks.
-#[allow(clippy::too_many_arguments)] // private hot-path helper over one candidate
 #[inline]
 fn dispatch_into_cohort(
     cohort: &Cohort,
     accums: &[GroupAccum],
     counters: &CohortCounters,
-    span: Timestamp,
-    len: usize,
-    strict: bool,
+    shape: &CandidateShape,
     vertices: &[VertexId],
     edges: &[EdgeId],
 ) {
-    if !cohort.key.admits(len, strict) {
+    if !cohort.key.admits_structure(shape) {
         return;
+    }
+    // The cohort-level predicate evaluation is a real constraint check the
+    // dispatcher pays per structurally-admissible candidate (once per
+    // cohort, since members share the predicate exactly) — count it, except
+    // for pass-all cohorts where there is nothing to evaluate.
+    if !cohort.key.predicate.is_pass_all() {
+        counters.checks.fetch_add(1, Ordering::Relaxed);
+        if !cohort
+            .key
+            .predicate
+            .accepts_shape(shape.min_amount, shape.max_amount, &shape.labels)
+        {
+            return;
+        }
     }
     counters.offered.fetch_add(1, Ordering::Relaxed);
     // Acceptance on the window axis is monotone: exactly the groups with
     // `delta >= span` remain, and they form the sorted suffix starting here.
-    let start = cohort.groups.partition_point(|g| g.delta < span);
-    if start == cohort.groups.len() || cohort.suffix_max_len[start] < len {
+    let start = cohort.groups.partition_point(|g| g.delta < shape.span);
+    if start == cohort.groups.len() || cohort.suffix_max_len[start] < shape.len {
         return;
     }
     let mut checks = 0u64;
     for (offset, group) in cohort.groups[start..].iter().enumerate() {
         checks += 1;
-        if group.max_len < len {
+        if group.max_len < shape.len {
             continue;
         }
         let accum = &accums[start + offset];
@@ -1233,22 +1369,30 @@ impl CycleSink for FanOutSink<'_> {
         self.candidates.fetch_add(1, Ordering::Relaxed);
         self.checks
             .fetch_add(self.subs.len() as u64, Ordering::Relaxed);
-        let (span, len, strictly_increasing) = candidate_shape(self.graph, edges);
+        let shape = candidate_shape(self.graph, edges);
         for (sub, accum) in self.subs.iter().zip(&self.accums) {
             let q = &sub.query;
-            if len == 1 && !(q.kind == CycleKind::Simple && q.include_self_loops) {
+            if shape.len == 1 && !(q.kind == CycleKind::Simple && q.include_self_loops) {
                 continue;
             }
-            if q.kind == CycleKind::Temporal && !strictly_increasing {
+            if q.kind == CycleKind::Temporal && !shape.strict {
                 continue;
             }
-            if span > q.window_delta {
+            if shape.span > q.window_delta {
                 continue;
             }
             if let Some(m) = q.max_len {
-                if len > m {
+                if shape.len > m {
                     continue;
                 }
+            }
+            // The exact per-subscription predicate: the shared pass only
+            // enforced the portfolio union, which may be strictly weaker.
+            if !q
+                .predicate
+                .accepts_shape(shape.min_amount, shape.max_amount, &shape.labels)
+            {
+                continue;
             }
             accum.count.fetch_add(1, Ordering::Relaxed);
             if q.collect == CollectMode::Collect {
@@ -1281,15 +1425,13 @@ struct IndexedFanOutSink<'a> {
 impl CycleSink for IndexedFanOutSink<'_> {
     fn push(&self, vertices: &[VertexId], edges: &[EdgeId]) -> ControlFlow<()> {
         self.candidates.fetch_add(1, Ordering::Relaxed);
-        let (span, len, strict) = candidate_shape(self.graph, edges);
+        let shape = candidate_shape(self.graph, edges);
         for (ci, cohort) in self.index.cohorts.iter().enumerate() {
             dispatch_into_cohort(
                 cohort,
                 &self.accums[ci],
                 &self.counters[ci],
-                span,
-                len,
-                strict,
+                &shape,
                 vertices,
                 edges,
             );
@@ -1309,9 +1451,7 @@ impl CycleSink for IndexedFanOutSink<'_> {
 struct BufferedCandidate {
     vertices: Vec<VertexId>,
     edges: Vec<EdgeId>,
-    span: Timestamp,
-    len: usize,
-    strict: bool,
+    shape: CandidateShape,
 }
 
 /// Returns a stable per-thread shard index in `0..n`: each thread that ever
@@ -1366,15 +1506,13 @@ impl<'a> BufferingFanOutSink<'a> {
 
 impl CycleSink for BufferingFanOutSink<'_> {
     fn push(&self, vertices: &[VertexId], edges: &[EdgeId]) -> ControlFlow<()> {
-        let (span, len, strict) = candidate_shape(self.graph, edges);
+        let shape = candidate_shape(self.graph, edges);
         self.shards[thread_shard(self.shards.len())]
             .lock()
             .push(BufferedCandidate {
                 vertices: vertices.to_vec(),
                 edges: edges.to_vec(),
-                span,
-                len,
-                strict,
+                shape,
             });
         ControlFlow::Continue(())
     }
@@ -1417,9 +1555,7 @@ fn dispatch_deferred(
                 cohort,
                 &accums[ci],
                 &counters[ci],
-                cand.span,
-                cand.len,
-                cand.strict,
+                &cand.shape,
                 &cand.vertices,
                 &cand.edges,
             );
@@ -1464,9 +1600,11 @@ pub struct FanOutReport {
     /// the pool (large portfolios) instead of inline inside the shared pass.
     pub parallel: bool,
     /// Subscription-constraint checks performed: `subscriptions × candidates`
-    /// for the naive loop; examined constraint *groups* for the index. The
-    /// deterministic cost measure `streaming_bench`'s `fan_out` section
-    /// compares across strategies and portfolio sizes.
+    /// for the naive loop; cohort-level predicate evaluations (for cohorts
+    /// that constrain attributes) plus examined constraint *groups* for the
+    /// index. The deterministic cost measure `streaming_bench`'s `fan_out`
+    /// and `predicate` sections compare across strategies and pushdown
+    /// settings.
     pub checks: u64,
     /// Wall-clock seconds of the deferred dispatch phase (0 when dispatch
     /// ran inline; inline dispatch is part of
@@ -1602,6 +1740,12 @@ pub struct MultiStreamingEngine {
     /// whose fan-out ran as deferred parallel tasks (inline dispatch is not
     /// separable from the shared pass, so it records nothing here).
     cohort_latency: Vec<(CohortKey, LatencyStats)>,
+    /// Whether the portfolio's predicate union is pushed into the shared
+    /// pass (the default). Off, the pass runs pass-all and predicates are
+    /// only enforced at fan-out — the reference configuration the pushdown
+    /// differential tests and `streaming_bench`'s `predicate` section
+    /// compare against (reports must be byte-identical either way).
+    pushdown: bool,
     next_id: u64,
     scratches: Vec<RootScratch>,
     batches: u64,
@@ -1634,6 +1778,7 @@ impl MultiStreamingEngine {
             subs: Vec::new(),
             index: SubscriptionIndex::new(),
             cohort_latency: Vec::new(),
+            pushdown: true,
             next_id: QueryId::SOLO.0 + 1,
             scratches: Vec::new(),
             batches: 0,
@@ -1663,6 +1808,25 @@ impl MultiStreamingEngine {
         self.strategy
     }
 
+    /// Enables or disables predicate pushdown (on by default). On, the
+    /// shared pass evaluates the portfolio's [`EdgePredicate::union`] during
+    /// traversal, so attribute-rejected edges never enter the per-root cycle
+    /// union or extend a path; off, the pass runs unfiltered and predicates
+    /// are enforced only by the exact per-subscription re-check at fan-out.
+    /// Per-query reports are **byte-identical** either way (the union rejects
+    /// an edge only when every subscription does) — the off position exists
+    /// as the differential oracle and benchmark baseline.
+    pub fn with_pushdown(mut self, on: bool) -> Self {
+        self.pushdown = on;
+        self
+    }
+
+    /// Whether the shared pass pushes the portfolio's predicate union down
+    /// into traversal (see [`with_pushdown`](Self::with_pushdown)).
+    pub fn pushdown_enabled(&self) -> bool {
+        self.pushdown
+    }
+
     /// The constraint index over the current subscriptions (read-only — the
     /// engine maintains it incrementally across subscribe/unsubscribe).
     pub fn subscription_index(&self) -> &SubscriptionIndex {
@@ -1674,10 +1838,10 @@ impl MultiStreamingEngine {
     /// [`FanOutReport::parallel`]; inline dispatch is folded into the shared
     /// pass and records nothing here). `None` when no such batch has run for
     /// that cohort.
-    pub fn cohort_latency(&self, key: CohortKey) -> Option<&LatencyStats> {
+    pub fn cohort_latency(&self, key: &CohortKey) -> Option<&LatencyStats> {
         self.cohort_latency
             .iter()
-            .find(|(k, _)| *k == key)
+            .find(|(k, _)| k == key)
             .map(|(_, l)| l)
     }
 
@@ -1887,7 +2051,12 @@ impl MultiStreamingEngine {
                 RunStats::default(),
                 FanOutReport::empty(self.strategy),
             ),
-            Some(pass) => {
+            Some(mut pass) => {
+                if !self.pushdown {
+                    // The oracle configuration: enumerate unfiltered, rely
+                    // on the fan-out re-checks alone.
+                    pass.predicate = EdgePredicate::pass_all();
+                }
                 let granularity = self.effective_granularity(delta.roots.len());
                 let want = if granularity == Granularity::Sequential {
                     1
@@ -2030,7 +2199,7 @@ impl MultiStreamingEngine {
                             .iter()
                             .zip(&counters)
                             .map(|(c, k)| CohortBatchStats {
-                                key: c.key,
+                                key: c.key.clone(),
                                 subscriptions: c.subscriptions(),
                                 groups: c.groups.len(),
                                 offered: k.offered.load(Ordering::Relaxed),
@@ -2061,7 +2230,7 @@ impl MultiStreamingEngine {
                     None => {
                         let mut latency = LatencyStats::new();
                         latency.record(c.busy_secs);
-                        self.cohort_latency.push((c.key, latency));
+                        self.cohort_latency.push((c.key.clone(), latency));
                     }
                 }
             }
@@ -2126,10 +2295,20 @@ impl MultiStreamingEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pce_graph::GraphBuilder;
+    use pce_graph::{GraphBuilder, LabelFilter};
 
     fn e(src: VertexId, dst: VertexId, ts: Timestamp) -> TemporalEdge {
         TemporalEdge::new(src, dst, ts)
+    }
+
+    fn ea(
+        src: VertexId,
+        dst: VertexId,
+        ts: Timestamp,
+        amount: Amount,
+        label: Label,
+    ) -> TemporalEdge {
+        TemporalEdge::with_attrs(src, dst, ts, amount, label)
     }
 
     #[test]
@@ -2437,6 +2616,26 @@ mod tests {
                 retention: 100
             })
         ));
+        // An unsatisfiable predicate is refused up front, like every other
+        // can-never-match query shape.
+        assert!(matches!(
+            engine.subscribe(
+                StreamingQuery::temporal(10)
+                    .predicate(EdgePredicate::pass_all().min_amount(5).max_amount(4)),
+            ),
+            Err(StreamingError::Query(
+                EnumerationError::InvalidPredicate { .. }
+            ))
+        ));
+        assert!(matches!(
+            engine.subscribe(
+                StreamingQuery::temporal(10)
+                    .predicate(EdgePredicate::pass_all().labels(LabelFilter::allow(Vec::new()))),
+            ),
+            Err(StreamingError::Query(
+                EnumerationError::InvalidPredicate { .. }
+            ))
+        ));
         assert_eq!(engine.num_subscriptions(), 0);
         let id = engine.subscribe(StreamingQuery::temporal(100)).unwrap();
         assert_eq!(engine.num_subscriptions(), 1);
@@ -2470,6 +2669,11 @@ mod tests {
             StreamingQuery::temporal(4),
             StreamingQuery::simple(1_000).include_self_loops(true),
             StreamingQuery::simple(6).max_len(2),
+            // Predicate-bearing member: deny-list that the stream's
+            // unattributed (label 0) edges all pass, so the predicate path
+            // is exercised end to end without changing what is reportable.
+            StreamingQuery::temporal(1_000)
+                .predicate(EdgePredicate::pass_all().labels(LabelFilter::deny(vec![9]))),
         ];
         for threads in [1, 4] {
             let mut multi = MultiStreamingEngine::with_threads(retention, threads).unwrap();
@@ -2537,6 +2741,30 @@ mod tests {
         assert_eq!(pass.delta, 50);
         assert_eq!(pass.max_len, None);
         assert!(pass.include_self_loops);
+        assert!(
+            pass.predicate.is_pass_all(),
+            "unfiltered portfolios keep the zero-cost pass-all predicate"
+        );
+
+        // The predicate axis takes the union (amount hull, label-filter
+        // union): the weakest predicate implied by every subscription.
+        let pass = SharedPass::covering(&subs(&[
+            StreamingQuery::temporal(10)
+                .predicate(EdgePredicate::pass_all().min_amount(100).max_amount(500)),
+            StreamingQuery::temporal(10)
+                .predicate(EdgePredicate::pass_all().min_amount(50).max_amount(200)),
+        ]))
+        .unwrap();
+        assert_eq!(pass.predicate.amount_min(), 50);
+        assert_eq!(pass.predicate.amount_max(), 500);
+        // One unfiltered subscription widens the union to pass-all.
+        let pass = SharedPass::covering(&subs(&[
+            StreamingQuery::temporal(10)
+                .predicate(EdgePredicate::pass_all().labels(LabelFilter::allow(vec![1]))),
+            StreamingQuery::temporal(10),
+        ]))
+        .unwrap();
+        assert!(pass.predicate.is_pass_all());
     }
 
     #[test]
@@ -2706,29 +2934,169 @@ mod tests {
         assert!(!engine.unsubscribe(a), "ids are gone for good");
     }
 
+    /// A [`CandidateShape`] with the given structure and pass-all-compatible
+    /// attributes (amount 0, label 0 — what unattributed edges carry).
+    fn shape(len: usize, strict: bool) -> CandidateShape {
+        CandidateShape {
+            span: 0,
+            len,
+            strict,
+            min_amount: 0,
+            max_amount: 0,
+            labels: vec![0],
+        }
+    }
+
+    #[test]
+    fn predicate_profiles_key_separate_cohorts() {
+        let mut engine = MultiStreamingEngine::with_threads(1_000, 1).unwrap();
+        let p = EdgePredicate::pass_all().min_amount(100);
+        let a = engine.subscribe(StreamingQuery::temporal(100)).unwrap();
+        let b = engine
+            .subscribe(StreamingQuery::temporal(100).predicate(p.clone()))
+            .unwrap();
+        let c = engine
+            .subscribe(StreamingQuery::temporal(200).predicate(p.clone()))
+            .unwrap();
+        let index = engine.subscription_index();
+        assert_eq!(
+            index.num_cohorts(),
+            2,
+            "same kind, distinct predicate profiles → distinct cohorts"
+        );
+        assert_eq!(index.num_groups(), 3, "(δ, max_len) still dedups inside");
+        let summaries = index.summaries();
+        assert!(
+            summaries
+                .iter()
+                .any(|(k, _, _)| k.to_string().contains("amount[100..")),
+            "cohort display names the predicate profile"
+        );
+        // Sharing the full profile (predicate included) shares the group.
+        let d = engine
+            .subscribe(StreamingQuery::temporal(200).predicate(p.clone()))
+            .unwrap();
+        assert_eq!(engine.subscription_index().num_groups(), 3);
+        for id in [a, b, c, d] {
+            assert!(engine.unsubscribe(id));
+        }
+        assert_eq!(engine.subscription_index().num_cohorts(), 0);
+    }
+
+    /// The pushdown differential oracle: the same attributed stream and
+    /// predicate portfolio, ingested with pushdown on and off, must produce
+    /// byte-identical per-query reports — while the pushdown side admits
+    /// strictly fewer union members and discovers no more candidates.
+    #[test]
+    fn predicate_pushdown_matches_post_filter_and_shrinks_unions() {
+        // A cheap ring over {0,1,2} (amount 10, label 1) interleaved with an
+        // expensive ring over {3,4} (amounts 600–1000, label 7).
+        let batches: Vec<Vec<TemporalEdge>> = vec![
+            vec![ea(0, 1, 1, 10, 1), ea(3, 4, 2, 1_000, 7)],
+            vec![ea(1, 2, 3, 10, 1), ea(4, 3, 4, 600, 7)],
+            vec![ea(2, 0, 5, 10, 1)],
+        ];
+        // Both subscriptions constrain the amount floor, so the portfolio
+        // union keeps min_amount 200 (the hull of 500 and 200) and the cheap
+        // ring's amount-10 edges are union-rejected during the shared pass.
+        let portfolio = [
+            StreamingQuery::simple(1_000).predicate(EdgePredicate::pass_all().min_amount(500)),
+            StreamingQuery::simple(1_000).predicate(
+                EdgePredicate::pass_all()
+                    .min_amount(200)
+                    .labels(LabelFilter::allow(vec![7])),
+            ),
+        ];
+        for strategy in [FanOutStrategy::Naive, FanOutStrategy::Indexed] {
+            let mut push = MultiStreamingEngine::with_threads(1_000, 1)
+                .unwrap()
+                .with_fan_out(strategy);
+            let mut post = MultiStreamingEngine::with_threads(1_000, 1)
+                .unwrap()
+                .with_fan_out(strategy)
+                .with_pushdown(false);
+            assert!(push.pushdown_enabled());
+            assert!(!post.pushdown_enabled());
+            let ids: Vec<QueryId> = portfolio
+                .iter()
+                .map(|q| {
+                    let id = push.subscribe(q.clone()).unwrap();
+                    assert_eq!(post.subscribe(q.clone()).unwrap(), id);
+                    id
+                })
+                .collect();
+            let (mut push_union, mut post_union) = (0u64, 0u64);
+            let mut cycles_seen = 0u64;
+            for batch in &batches {
+                let rp = push.ingest(batch).unwrap();
+                let rq = post.ingest(batch).unwrap();
+                push_union += rp.stats.work.total_union_members();
+                post_union += rq.stats.work.total_union_members();
+                assert!(
+                    rp.candidates <= rq.candidates,
+                    "pushdown can only discover fewer candidates"
+                );
+                for id in &ids {
+                    let a = rp.report(*id).unwrap();
+                    let b = rq.report(*id).unwrap();
+                    assert_eq!(a.cycles_found, b.cycles_found, "query {id}");
+                    let mut ca: Vec<StreamCycle> =
+                        a.cycles.iter().map(StreamCycle::canonicalize).collect();
+                    let mut cb: Vec<StreamCycle> =
+                        b.cycles.iter().map(StreamCycle::canonicalize).collect();
+                    ca.sort_by(|x, y| x.edges.cmp(&y.edges));
+                    cb.sort_by(|x, y| x.edges.cmp(&y.edges));
+                    assert_eq!(ca, cb, "query {id}");
+                    cycles_seen += a.cycles_found;
+                }
+            }
+            assert!(cycles_seen > 0, "the expensive ring must be reported");
+            assert!(
+                push_union < post_union,
+                "pushdown must strictly shrink the union passes \
+                 ({push_union} vs {post_union})"
+            );
+        }
+    }
+
     #[test]
     fn cohort_gate_matches_the_naive_per_subscription_checks() {
         let simple = CohortKey {
             kind: CycleKind::Simple,
             include_self_loops: false,
+            predicate: EdgePredicate::pass_all(),
         };
         let loops = CohortKey {
             kind: CycleKind::Simple,
             include_self_loops: true,
+            predicate: EdgePredicate::pass_all(),
         };
         let temporal = CohortKey {
             kind: CycleKind::Temporal,
             include_self_loops: false,
+            predicate: EdgePredicate::pass_all(),
         };
         // Self-loops (len 1) only pass the opted-in simple cohort.
-        assert!(!simple.admits(1, true));
-        assert!(loops.admits(1, true));
-        assert!(!temporal.admits(1, true));
+        assert!(!simple.admits(&shape(1, true)));
+        assert!(loops.admits(&shape(1, true)));
+        assert!(!temporal.admits(&shape(1, true)));
         // Non-strict candidates only pass simple cohorts.
-        assert!(simple.admits(3, false));
-        assert!(loops.admits(3, false));
-        assert!(!temporal.admits(3, false));
-        assert!(temporal.admits(3, true));
+        assert!(simple.admits(&shape(3, false)));
+        assert!(loops.admits(&shape(3, false)));
+        assert!(!temporal.admits(&shape(3, false)));
+        assert!(temporal.admits(&shape(3, true)));
+        // A predicate-bearing cohort additionally gates on the attribute
+        // shape, exactly as the naive per-subscription check does.
+        let fenced = CohortKey {
+            kind: CycleKind::Simple,
+            include_self_loops: false,
+            predicate: EdgePredicate::pass_all().min_amount(100),
+        };
+        assert!(!fenced.admits(&shape(3, true)), "amount 0 < min 100");
+        let mut rich = shape(3, true);
+        rich.min_amount = 100;
+        rich.max_amount = 250;
+        assert!(fenced.admits(&rich));
     }
 
     /// Replays one deterministic stream (rings of several spans, lengths and
@@ -2868,13 +3236,18 @@ mod tests {
         }
         assert!(saw_parallel, "the stream must close cycles");
         // Deferred batches record per-cohort dispatch latency.
-        let (key, _, _) = indexed.subscription_index().summaries()[0];
+        let (key, _, _) = indexed
+            .subscription_index()
+            .summaries()
+            .into_iter()
+            .next()
+            .unwrap();
         let latency = indexed
-            .cohort_latency(key)
+            .cohort_latency(&key)
             .expect("parallel batches recorded cohort latency");
         assert!(latency.count() > 0);
         assert!(
-            naive.cohort_latency(key).is_none(),
+            naive.cohort_latency(&key).is_none(),
             "the naive loop has no cohort accounting"
         );
     }

@@ -6,8 +6,8 @@ use crate::types::{TemporalEdge, Timestamp, VertexId};
 /// Accumulates edges and produces an immutable [`TemporalGraph`].
 ///
 /// The builder accepts edges in any order; [`GraphBuilder::build`] sorts them
-/// by `(timestamp, source, destination)` and assigns dense edge ids in that
-/// order. The vertex count is the maximum of any explicitly requested count
+/// by `(timestamp, source, destination)` (attributes break remaining ties)
+/// and assigns dense edge ids in that order. The vertex count is the maximum of any explicitly requested count
 /// (see [`GraphBuilder::with_vertices`]) and `max endpoint + 1`.
 ///
 /// # Example
@@ -70,6 +70,11 @@ impl GraphBuilder {
         self.edges.push(TemporalEdge::new(src, dst, ts));
     }
 
+    /// Adds a fully-specified edge (including attributes) in place.
+    pub fn push_attr_edge(&mut self, edge: TemporalEdge) {
+        self.edges.push(edge);
+    }
+
     /// Adds every edge from an iterator.
     #[must_use]
     pub fn extend_edges<I>(mut self, edges: I) -> Self
@@ -102,7 +107,9 @@ impl GraphBuilder {
             .max()
             .unwrap_or(0);
         let n = min_vertices.max(max_endpoint);
-        edges.sort_unstable_by_key(|e| (e.ts, e.src, e.dst));
+        // Full edge order (attributes break ties) so graphs built from
+        // attribute-distinct parallel edges are deterministic.
+        edges.sort_unstable();
         TemporalGraph::from_parts(n, edges)
     }
 }

@@ -19,12 +19,19 @@
 //!   imbalance of Figure 1.
 //! * [`transaction_rings`] — a "financial transaction" generator that plants
 //!   temporal cycles (money-laundering rings) into background traffic.
+//! * [`layering_chains`] — attribute-bearing AML generator: long
+//!   high-amount layering rings hidden in low-amount retail noise; the
+//!   workload where an amount predicate prunes the shared pass.
+//! * [`labeled_intrusion`] — attribute-bearing lateral-movement generator:
+//!   beacon loops on one protocol label inside multi-protocol noise; the
+//!   workload where a label predicate prunes the shared pass.
 //! * [`complete_digraph`], [`directed_path`], [`directed_cycle`] — small
 //!   structured helpers used throughout the tests.
 
 use crate::builder::GraphBuilder;
+use crate::predicate::{EdgePredicate, LabelFilter};
 use crate::temporal::TemporalGraph;
-use crate::types::{Timestamp, VertexId};
+use crate::types::{Amount, Label, TemporalEdge, Timestamp, VertexId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -387,6 +394,295 @@ pub fn transaction_rings(cfg: TransactionRingConfig) -> (TemporalGraph, usize) {
     (builder.build(), cfg.num_rings)
 }
 
+/// Configuration for [`layering_chains`].
+#[derive(Debug, Clone, Copy)]
+pub struct LayeringChainConfig {
+    /// Number of accounts (vertices).
+    pub num_accounts: usize,
+    /// Number of background (retail noise) transactions.
+    pub background_edges: usize,
+    /// Number of planted layering chains (each a temporal cycle).
+    pub num_chains: usize,
+    /// Minimum and maximum chain length in hops — layering chains are
+    /// *long* (many hops through mule accounts), unlike classic rings.
+    pub chain_len: (usize, usize),
+    /// Total time span of the dataset.
+    pub time_span: Timestamp,
+    /// Maximum time span of a single chain (so chains fit in a window).
+    pub chain_span: Timestamp,
+    /// Amount of the chain's first hop; each later hop skims a little off,
+    /// so amounts are monotone non-increasing along the chain.
+    pub base_amount: Amount,
+    /// Maximum skim per hop. Every chain hop stays at or above
+    /// [`alert_floor`](Self::alert_floor).
+    pub skim_per_hop: Amount,
+    /// Upper bound on background transaction amounts — strictly below the
+    /// alert floor, so an amount predicate rejects all background traffic.
+    pub background_amount_max: Amount,
+    /// Number of planted *decoy* rings: structurally identical cycles whose
+    /// amounts stay below the alert floor. They are real temporal cycles the
+    /// pass-all shared pass must discover — and the alert predicates must
+    /// reject — so they pin down the strict candidate gap between the
+    /// pushdown and filter-at-fan-out runs.
+    pub num_decoys: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LayeringChainConfig {
+    fn default() -> Self {
+        Self {
+            num_accounts: 1_000,
+            background_edges: 10_000,
+            num_chains: 20,
+            chain_len: (6, 10),
+            time_span: 1_000_000,
+            chain_span: 20_000,
+            base_amount: 100_000,
+            skim_per_hop: 500,
+            background_amount_max: 50_000,
+            num_decoys: 20,
+            seed: 42,
+        }
+    }
+}
+
+impl LayeringChainConfig {
+    /// The smallest amount any planted chain hop can carry:
+    /// `base_amount − max_len · skim_per_hop`.
+    pub fn alert_floor(&self) -> Amount {
+        self.base_amount - self.chain_len.1 as Amount * self.skim_per_hop
+    }
+
+    /// The predicate an AML alert would subscribe with: amounts at or above
+    /// the [`alert_floor`](Self::alert_floor). Accepts every planted chain
+    /// hop and (by construction) no background transaction.
+    pub fn alert_predicate(&self) -> EdgePredicate {
+        EdgePredicate::pass_all().min_amount(self.alert_floor())
+    }
+}
+
+/// The wire-transfer label every [`layering_chains`] hop carries.
+pub const LAYERING_WIRE_LABEL: Label = 2;
+
+/// Generates an anti-money-laundering *layering* dataset: long planted
+/// chains `a_0 → a_1 → … → a_k → a_0` of large, monotone non-increasing
+/// amounts (the classic structuring pattern — a sum moves through mule
+/// accounts, each hop skimming a fee) buried in high-volume low-amount
+/// retail noise.
+///
+/// Every chain hop carries an amount of at least
+/// [`LayeringChainConfig::alert_floor`] and the [`LAYERING_WIRE_LABEL`];
+/// every background transaction carries an amount of at most
+/// `background_amount_max` (strictly below the floor) and a non-wire label.
+/// [`LayeringChainConfig::alert_predicate`] therefore accepts exactly the
+/// planted traffic — the workload where predicate pushdown removes the
+/// (dominant) background from the shared enumeration pass entirely.
+///
+/// Returns the graph and the number of planted chains.
+pub fn layering_chains(cfg: LayeringChainConfig) -> (TemporalGraph, usize) {
+    assert!(cfg.num_accounts > cfg.chain_len.1.max(2));
+    assert!(cfg.chain_len.0 >= 2 && cfg.chain_len.0 <= cfg.chain_len.1);
+    assert!(
+        cfg.base_amount > cfg.chain_len.1 as Amount * cfg.skim_per_hop,
+        "base amount must survive the worst-case total skim"
+    );
+    assert!(
+        cfg.background_amount_max < cfg.alert_floor(),
+        "background amounts must stay below the alert floor"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut builder = GraphBuilder::with_vertices(cfg.num_accounts);
+
+    // Retail noise: skewed endpoints, small amounts, non-wire labels.
+    for _ in 0..cfg.background_edges {
+        let src = skewed_vertex(&mut rng, cfg.num_accounts);
+        let mut dst = skewed_vertex(&mut rng, cfg.num_accounts);
+        while dst == src {
+            dst = skewed_vertex(&mut rng, cfg.num_accounts);
+        }
+        let ts = rng.gen_range(0..=cfg.time_span);
+        let amount = rng.gen_range(1..=cfg.background_amount_max);
+        let label = [0u16, 1, 3][rng.gen_range(0..3usize)];
+        builder.push_attr_edge(TemporalEdge::with_attrs(src, dst, ts, amount, label));
+    }
+
+    // Planted layering chains, then low-amount decoy rings: the same ring
+    // shape, but every decoy hop stays below the alert floor (and off the
+    // wire label), so only a pass-all pass can close them.
+    for chain in 0..cfg.num_chains + cfg.num_decoys {
+        let decoy = chain >= cfg.num_chains;
+        let len = rng.gen_range(cfg.chain_len.0..=cfg.chain_len.1);
+        let mut accounts: Vec<VertexId> = Vec::with_capacity(len);
+        while accounts.len() < len {
+            let a = rng.gen_range(0..cfg.num_accounts) as VertexId;
+            if !accounts.contains(&a) {
+                accounts.push(a);
+            }
+        }
+        let start = rng.gen_range(0..=(cfg.time_span - cfg.chain_span).max(1));
+        let mut ts = start;
+        let step = (cfg.chain_span / len as Timestamp).max(1);
+        let mut amount = cfg.base_amount;
+        for i in 0..len {
+            let src = accounts[i];
+            let dst = accounts[(i + 1) % len];
+            ts += rng.gen_range(1..=step);
+            if decoy {
+                builder.push_attr_edge(TemporalEdge::with_attrs(
+                    src,
+                    dst,
+                    ts,
+                    rng.gen_range(1..=cfg.background_amount_max),
+                    0,
+                ));
+            } else {
+                builder.push_attr_edge(TemporalEdge::with_attrs(
+                    src,
+                    dst,
+                    ts,
+                    amount,
+                    LAYERING_WIRE_LABEL,
+                ));
+                amount -= rng.gen_range(0..=cfg.skim_per_hop);
+            }
+        }
+    }
+
+    (builder.build(), cfg.num_chains)
+}
+
+/// Configuration for [`labeled_intrusion`].
+#[derive(Debug, Clone, Copy)]
+pub struct LabeledIntrusionConfig {
+    /// Number of hosts (vertices).
+    pub num_hosts: usize,
+    /// Number of background (benign multi-protocol) flows.
+    pub background_edges: usize,
+    /// Number of planted beacon loops (each a temporal cycle on the
+    /// suspicious protocol).
+    pub num_beacons: usize,
+    /// Minimum and maximum loop length in hops.
+    pub loop_len: (usize, usize),
+    /// Total time span of the dataset.
+    pub time_span: Timestamp,
+    /// Maximum time span of a single loop.
+    pub loop_span: Timestamp,
+    /// The protocol label every planted loop edge carries; background flows
+    /// never use it.
+    pub suspicious_label: Label,
+    /// Background flows draw labels from `0..num_labels` (skipping the
+    /// suspicious one).
+    pub num_labels: Label,
+    /// Number of planted *decoy* loops: the same loop shape on a benign
+    /// label — real temporal cycles only a pass-all shared pass discovers,
+    /// pinning down the strict candidate gap between the pushdown and
+    /// filter-at-fan-out runs.
+    pub num_decoys: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LabeledIntrusionConfig {
+    fn default() -> Self {
+        Self {
+            num_hosts: 500,
+            background_edges: 10_000,
+            num_beacons: 25,
+            loop_len: (3, 6),
+            time_span: 1_000_000,
+            loop_span: 10_000,
+            suspicious_label: 7,
+            num_labels: 8,
+            num_decoys: 25,
+            seed: 42,
+        }
+    }
+}
+
+impl LabeledIntrusionConfig {
+    /// The predicate an intrusion alert would subscribe with: only flows on
+    /// the suspicious protocol. Accepts every planted loop edge and (by
+    /// construction) no background flow.
+    pub fn alert_predicate(&self) -> EdgePredicate {
+        EdgePredicate::pass_all().labels(LabelFilter::allow(vec![self.suspicious_label]))
+    }
+}
+
+/// Generates a labelled network-flow dataset with planted lateral-movement
+/// loops: every loop edge carries `suspicious_label` (say, an uncommon
+/// remote-admin protocol) while benign background flows spread over the
+/// other labels.
+///
+/// [`LabeledIntrusionConfig::alert_predicate`] accepts exactly the planted
+/// traffic — the workload where a *label* predicate (rather than an amount
+/// interval) lets the shared pass skip the background entirely.
+///
+/// Returns the graph and the number of planted loops.
+pub fn labeled_intrusion(cfg: LabeledIntrusionConfig) -> (TemporalGraph, usize) {
+    assert!(cfg.num_hosts > cfg.loop_len.1.max(2));
+    assert!(cfg.loop_len.0 >= 2 && cfg.loop_len.0 <= cfg.loop_len.1);
+    assert!(cfg.num_labels >= 2, "need at least one benign label");
+    assert!(
+        cfg.suspicious_label < cfg.num_labels,
+        "the suspicious label must be inside the label alphabet"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut builder = GraphBuilder::with_vertices(cfg.num_hosts);
+
+    // Benign flows: every label except the suspicious one.
+    for _ in 0..cfg.background_edges {
+        let src = skewed_vertex(&mut rng, cfg.num_hosts);
+        let mut dst = skewed_vertex(&mut rng, cfg.num_hosts);
+        while dst == src {
+            dst = skewed_vertex(&mut rng, cfg.num_hosts);
+        }
+        let ts = rng.gen_range(0..=cfg.time_span);
+        let amount = rng.gen_range(1..=1_500);
+        let mut label = rng.gen_range(0..(cfg.num_labels - 1) as u32) as Label;
+        if label >= cfg.suspicious_label {
+            label += 1;
+        }
+        builder.push_attr_edge(TemporalEdge::with_attrs(src, dst, ts, amount, label));
+    }
+
+    // Planted beacon loops on the suspicious protocol, then decoy loops on
+    // a benign label.
+    let decoy_label = if cfg.suspicious_label == 0 { 1 } else { 0 };
+    for beacon in 0..cfg.num_beacons + cfg.num_decoys {
+        let decoy = beacon >= cfg.num_beacons;
+        let len = rng.gen_range(cfg.loop_len.0..=cfg.loop_len.1);
+        let mut hosts: Vec<VertexId> = Vec::with_capacity(len);
+        while hosts.len() < len {
+            let h = rng.gen_range(0..cfg.num_hosts) as VertexId;
+            if !hosts.contains(&h) {
+                hosts.push(h);
+            }
+        }
+        let start = rng.gen_range(0..=(cfg.time_span - cfg.loop_span).max(1));
+        let mut ts = start;
+        let step = (cfg.loop_span / len as Timestamp).max(1);
+        for i in 0..len {
+            let src = hosts[i];
+            let dst = hosts[(i + 1) % len];
+            ts += rng.gen_range(1..=step);
+            builder.push_attr_edge(TemporalEdge::with_attrs(
+                src,
+                dst,
+                ts,
+                rng.gen_range(1..=1_500),
+                if decoy {
+                    decoy_label
+                } else {
+                    cfg.suspicious_label
+                },
+            ));
+        }
+    }
+
+    (builder.build(), cfg.num_beacons)
+}
+
 fn skewed_vertex(rng: &mut StdRng, n: usize) -> VertexId {
     // Squaring a uniform variate biases towards low ids, giving a few
     // high-degree "hub" accounts.
@@ -506,6 +802,59 @@ mod tests {
         assert!(
             top10 * 5 > total,
             "expected heavy-tailed degrees, top10={top10} total={total}"
+        );
+    }
+
+    #[test]
+    fn layering_chains_separate_cleanly_on_amount() {
+        let cfg = LayeringChainConfig {
+            num_accounts: 200,
+            background_edges: 1_000,
+            num_chains: 4,
+            chain_len: (6, 8),
+            ..LayeringChainConfig::default()
+        };
+        let (g, planted) = layering_chains(cfg);
+        assert_eq!(planted, 4);
+        let pred = cfg.alert_predicate();
+        let alerted = g.edges().iter().filter(|e| pred.accepts(e)).count();
+        let chain_hops: usize = g
+            .edges()
+            .iter()
+            .filter(|e| e.label == LAYERING_WIRE_LABEL)
+            .count();
+        // The predicate accepts exactly the planted hops: amounts are
+        // monotone within each chain and never drop below the floor, while
+        // background amounts never reach it.
+        assert!((4 * 6..=4 * 8).contains(&chain_hops));
+        assert_eq!(alerted, chain_hops);
+        // Determinism.
+        let (h, _) = layering_chains(cfg);
+        assert_eq!(g.edges(), h.edges());
+    }
+
+    #[test]
+    fn labeled_intrusion_separates_cleanly_on_label() {
+        let cfg = LabeledIntrusionConfig {
+            num_hosts: 100,
+            background_edges: 800,
+            num_beacons: 3,
+            loop_len: (3, 5),
+            ..LabeledIntrusionConfig::default()
+        };
+        let (g, planted) = labeled_intrusion(cfg);
+        assert_eq!(planted, 3);
+        let pred = cfg.alert_predicate();
+        let alerted = g.edges().iter().filter(|e| pred.accepts(e)).count();
+        // Only the planted loops carry the suspicious label.
+        assert!((3 * 3..=3 * 5).contains(&alerted));
+        assert!(g.edges().iter().all(|e| e.label < cfg.num_labels));
+        assert_eq!(
+            alerted,
+            g.edges()
+                .iter()
+                .filter(|e| e.label == cfg.suspicious_label)
+                .count()
         );
     }
 

@@ -2,13 +2,23 @@
 //! encoding.
 //!
 //! The text format is the one used by the SNAP temporal datasets the paper
-//! evaluates on: one edge per line, `src dst timestamp`, whitespace separated.
-//! Comment lines starting with `#` (SNAP convention) or `%` (Konect
-//! convention) are ignored, as are blank lines. Lines with fewer than two or
-//! more than three fields are rejected with [`IoError::Parse`] — a trailing
-//! extra token almost always means the file is in a different schema (e.g.
-//! weighted edges), and silently dropping it would load wrong data. Vertex ids
-//! are remapped to a dense `0..n` range in first-appearance order.
+//! evaluates on: one edge per line, whitespace separated,
+//!
+//! ```text
+//! src dst [timestamp [amount [label]]]
+//! ```
+//!
+//! with a missing timestamp defaulting to `0`. Columns 4 and 5 are the
+//! optional attribute payload: `amount` (a non-negative integer, `u64`) and
+//! `label` (a small category id, `u16`); both default to `0` when absent, so
+//! classic 3-column files load unchanged. Comment lines starting with `#`
+//! (SNAP convention) or `%` (Konect convention) are ignored, as are blank
+//! lines. Lines with fewer than two or more than five fields are rejected
+//! with [`IoError::Parse`] — a trailing extra token almost always means the
+//! file is in a different schema, and silently dropping it would load wrong
+//! data. Unparsable numeric fields report the 1-based column index and the
+//! offending token in the error. Vertex ids are remapped to a dense `0..n`
+//! range in first-appearance order.
 //!
 //! The binary format ([`encode_batch`] / [`decode_batch`]) is the stable
 //! on-disk representation of an ingest batch used by the `pce-store` segment
@@ -17,11 +27,16 @@
 //!
 //! ```text
 //! magic  b"PCEB"                      4 bytes
-//! version u16 LE (= 1)                2 bytes
+//! version u16 LE (= 2)                2 bytes
 //! count   u32 LE                      4 bytes
-//! edges   count × (src u32 LE, dst u32 LE, ts i64 LE)   16 bytes each
+//! edges   count × (src u32 LE, dst u32 LE, ts i64 LE,
+//!                  amount u64 LE, label u16 LE)         26 bytes each
 //! crc32   u32 LE over everything above                  4 bytes
 //! ```
+//!
+//! Version 1 — identical except edges are 16 bytes (`src, dst, ts` only) —
+//! still decodes; its edges carry zero attributes. Encoding always writes
+//! the current version.
 //!
 //! Any corruption — a single flipped bit anywhere, a truncated tail, trailing
 //! garbage — decodes to a typed [`IoError`], never a panic and never silently
@@ -30,7 +45,7 @@
 
 use crate::builder::GraphBuilder;
 use crate::temporal::TemporalGraph;
-use crate::types::{TemporalEdge, Timestamp, VertexId};
+use crate::types::{Amount, Label, TemporalEdge, Timestamp, VertexId};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
@@ -40,12 +55,20 @@ use std::path::Path;
 pub enum IoError {
     /// Underlying IO failure.
     Io(std::io::Error),
-    /// A line could not be parsed; carries the 1-based line number and text.
+    /// A line could not be parsed; carries the 1-based line number and text,
+    /// and — when the failure is attributable to one field — the 1-based
+    /// column index and the offending token.
     Parse {
         /// 1-based line number of the offending line.
         line: usize,
         /// The offending line's content.
         content: String,
+        /// 1-based whitespace-separated field index of the offending token,
+        /// when the failure is attributable to one field.
+        column: Option<usize>,
+        /// The offending token, when the failure is attributable to one
+        /// field.
+        value: Option<String>,
     },
     /// A binary batch declared a format version this build cannot decode.
     UnsupportedVersion {
@@ -73,8 +96,17 @@ impl std::fmt::Display for IoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             IoError::Io(e) => write!(f, "io error: {e}"),
-            IoError::Parse { line, content } => {
-                write!(f, "parse error at line {line}: {content:?}")
+            IoError::Parse {
+                line,
+                content,
+                column,
+                value,
+            } => {
+                write!(f, "parse error at line {line}")?;
+                if let (Some(col), Some(val)) = (column, value) {
+                    write!(f, ", column {col} (value {val:?})")?;
+                }
+                write!(f, ": {content:?}")
             }
             IoError::UnsupportedVersion { version } => {
                 write!(f, "unsupported batch format version {version}")
@@ -98,12 +130,12 @@ impl From<std::io::Error> for IoError {
 }
 
 /// Reads a temporal edge list from any reader. Lines are
-/// `src dst [timestamp]`; a missing timestamp defaults to `0`, and any field
-/// beyond the third is rejected with [`IoError::Parse`] (see the [module
-/// docs](self) for the full format, including the `#`/`%` comment prefixes).
-/// Original vertex labels (arbitrary non-negative integers) are remapped to
-/// dense ids; the mapping is returned alongside the graph as
-/// `original_label_of[dense_id]`.
+/// `src dst [timestamp [amount [label]]]`; a missing timestamp defaults to
+/// `0`, missing attribute columns default to `0`, and any field beyond the
+/// fifth is rejected with [`IoError::Parse`] (see the [module docs](self) for
+/// the full format, including the `#`/`%` comment prefixes). Original vertex
+/// labels (arbitrary non-negative integers) are remapped to dense ids; the
+/// mapping is returned alongside the graph as `original_label_of[dense_id]`.
 pub fn read_edge_list_from<R: Read>(reader: R) -> Result<(TemporalGraph, Vec<u64>), IoError> {
     let reader = BufReader::new(reader);
     let mut remap: HashMap<u64, VertexId> = HashMap::new();
@@ -128,30 +160,41 @@ pub fn read_edge_list_from<R: Read>(reader: R) -> Result<(TemporalGraph, Vec<u64
         let parse_err = || IoError::Parse {
             line: idx + 1,
             content: trimmed.to_string(),
+            column: None,
+            value: None,
         };
-        let src: u64 = parts
-            .next()
-            .ok_or_else(parse_err)?
-            .parse()
-            .map_err(|_| parse_err())?;
-        let dst: u64 = parts
-            .next()
-            .ok_or_else(parse_err)?
-            .parse()
-            .map_err(|_| parse_err())?;
+        let col_err = |col: usize, val: &str| IoError::Parse {
+            line: idx + 1,
+            content: trimmed.to_string(),
+            column: Some(col),
+            value: Some(val.to_string()),
+        };
+        let src_tok = parts.next().ok_or_else(parse_err)?;
+        let src: u64 = src_tok.parse().map_err(|_| col_err(1, src_tok))?;
+        let dst_tok = parts.next().ok_or_else(parse_err)?;
+        let dst: u64 = dst_tok.parse().map_err(|_| col_err(2, dst_tok))?;
         let ts: Timestamp = match parts.next() {
-            Some(t) => t.parse().map_err(|_| parse_err())?,
+            Some(t) => t.parse().map_err(|_| col_err(3, t))?,
             None => 0,
         };
-        // Extra fields mean the line is not `src dst [timestamp]` — reject
-        // instead of silently dropping data (the file is probably in a
-        // different schema, e.g. weighted or labelled edges).
-        if parts.next().is_some() {
-            return Err(parse_err());
+        // Optional attribute columns: amount (u64), then label (u16).
+        let amount: Amount = match parts.next() {
+            Some(t) => t.parse().map_err(|_| col_err(4, t))?,
+            None => 0,
+        };
+        let label: Label = match parts.next() {
+            Some(t) => t.parse().map_err(|_| col_err(5, t))?,
+            None => 0,
+        };
+        // Extra fields mean the line is not `src dst [ts [amount [label]]]`
+        // — reject instead of silently dropping data (the file is probably
+        // in a different schema).
+        if let Some(extra) = parts.next() {
+            return Err(col_err(6, extra));
         }
         let s = dense(src, &mut labels, &mut remap);
         let d = dense(dst, &mut labels, &mut remap);
-        builder.push_edge(s, d, ts);
+        builder.push_attr_edge(TemporalEdge::with_attrs(s, d, ts, amount, label));
     }
     Ok((builder.build(), labels))
 }
@@ -162,10 +205,22 @@ pub fn read_edge_list<P: AsRef<Path>>(path: P) -> Result<(TemporalGraph, Vec<u64
     read_edge_list_from(file)
 }
 
-/// Writes a graph as a temporal edge list (`src dst ts` per line, dense ids).
+/// Writes a graph as a temporal edge list (`src dst ts [amount [label]]` per
+/// line, dense ids). Attribute columns are emitted only when non-zero, so
+/// un-attributed graphs round-trip through the classic 3-column format.
 pub fn write_edge_list_to<W: Write>(graph: &TemporalGraph, mut writer: W) -> std::io::Result<()> {
     for e in graph.edges() {
-        writeln!(writer, "{} {} {}", e.src, e.dst, e.ts)?;
+        if e.label != 0 {
+            writeln!(
+                writer,
+                "{} {} {} {} {}",
+                e.src, e.dst, e.ts, e.amount, e.label
+            )?;
+        } else if e.amount != 0 {
+            writeln!(writer, "{} {} {} {}", e.src, e.dst, e.ts, e.amount)?;
+        } else {
+            writeln!(writer, "{} {} {}", e.src, e.dst, e.ts)?;
+        }
     }
     Ok(())
 }
@@ -185,11 +240,20 @@ pub const BATCH_MAGIC: [u8; 4] = *b"PCEB";
 
 /// Current binary batch format version. Bump on any layout change; decoders
 /// reject unknown versions with [`IoError::UnsupportedVersion`] instead of
-/// guessing.
-pub const BATCH_FORMAT_VERSION: u16 = 1;
+/// guessing. Version 1 (attribute-less 16-byte edges) still decodes.
+pub const BATCH_FORMAT_VERSION: u16 = 2;
 
-/// Fixed size of one encoded edge: `src u32 + dst u32 + ts i64`, all LE.
-pub const EDGE_ENCODED_LEN: usize = 16;
+/// The legacy attribute-less format version, still accepted by
+/// [`decode_batch`] (edges decode with `amount == 0, label == 0`).
+pub const BATCH_FORMAT_VERSION_V1: u16 = 1;
+
+/// Fixed size of one encoded edge in the current (v2) format:
+/// `src u32 + dst u32 + ts i64 + amount u64 + label u16`, all LE.
+pub const EDGE_ENCODED_LEN: usize = 26;
+
+/// Fixed size of one encoded edge in the legacy v1 format:
+/// `src u32 + dst u32 + ts i64`, all LE.
+pub const EDGE_ENCODED_LEN_V1: usize = 16;
 
 const BATCH_HEADER_LEN: usize = 4 + 2 + 4; // magic + version + count
 const BATCH_CRC_LEN: usize = 4;
@@ -225,9 +289,15 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     crc ^ 0xFFFF_FFFF
 }
 
-/// Exact encoded size of a batch of `count` edges, including header and CRC.
+/// Exact encoded size of a batch of `count` edges in the **current** format,
+/// including header and CRC.
 pub fn encoded_batch_len(count: usize) -> usize {
     BATCH_HEADER_LEN + count * EDGE_ENCODED_LEN + BATCH_CRC_LEN
+}
+
+/// Exact encoded size of a batch of `count` edges in the legacy v1 format.
+pub fn encoded_batch_len_v1(count: usize) -> usize {
+    BATCH_HEADER_LEN + count * EDGE_ENCODED_LEN_V1 + BATCH_CRC_LEN
 }
 
 /// Encodes a batch of edges into the self-checking binary format described in
@@ -249,6 +319,8 @@ pub fn encode_batch(edges: &[TemporalEdge]) -> Vec<u8> {
         buf.extend_from_slice(&e.src.to_le_bytes());
         buf.extend_from_slice(&e.dst.to_le_bytes());
         buf.extend_from_slice(&e.ts.to_le_bytes());
+        buf.extend_from_slice(&e.amount.to_le_bytes());
+        buf.extend_from_slice(&e.label.to_le_bytes());
     }
     let crc = crc32(&buf);
     buf.extend_from_slice(&crc.to_le_bytes());
@@ -259,7 +331,9 @@ fn read_u32(bytes: &[u8], offset: usize) -> u32 {
     u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap())
 }
 
-/// Decodes a binary batch previously produced by [`encode_batch`].
+/// Decodes a binary batch previously produced by [`encode_batch`] — in the
+/// current format or the legacy v1 format (whose edges decode with zero
+/// attributes).
 ///
 /// The slice must contain exactly one batch: truncation, trailing bytes, a
 /// bad magic, an unknown version, or any checksum mismatch all yield a typed
@@ -279,20 +353,25 @@ pub fn decode_batch(bytes: &[u8]) -> Result<Vec<TemporalEdge>, IoError> {
         });
     }
     let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
-    if version != BATCH_FORMAT_VERSION {
-        // Distinguish "honest future format" from a bit flip: the CRC covers
-        // the version field, so a flipped version fails the checksum below.
-        let body_len = bytes.len() - BATCH_CRC_LEN;
-        if crc32(&bytes[..body_len]) == read_u32(bytes, body_len) {
-            return Err(IoError::UnsupportedVersion { version });
+    let edge_len = match version {
+        BATCH_FORMAT_VERSION_V1 => EDGE_ENCODED_LEN_V1,
+        BATCH_FORMAT_VERSION => EDGE_ENCODED_LEN,
+        _ => {
+            // Distinguish "honest future format" from a bit flip: the CRC
+            // covers the version field, so a flipped version fails the
+            // checksum below.
+            let body_len = bytes.len() - BATCH_CRC_LEN;
+            if crc32(&bytes[..body_len]) == read_u32(bytes, body_len) {
+                return Err(IoError::UnsupportedVersion { version });
+            }
+            return Err(IoError::Corrupt {
+                offset: 4,
+                detail: "version field fails checksum",
+            });
         }
-        return Err(IoError::Corrupt {
-            offset: 4,
-            detail: "version field fails checksum",
-        });
-    }
+    };
     let count = read_u32(bytes, 6) as usize;
-    let needed = encoded_batch_len(count);
+    let needed = BATCH_HEADER_LEN + count * edge_len + BATCH_CRC_LEN;
     if bytes.len() < needed {
         return Err(IoError::Truncated {
             needed,
@@ -319,8 +398,16 @@ pub fn decode_batch(bytes: &[u8]) -> Result<Vec<TemporalEdge>, IoError> {
         let src = read_u32(bytes, off);
         let dst = read_u32(bytes, off + 4);
         let ts = i64::from_le_bytes(bytes[off + 8..off + 16].try_into().unwrap());
-        edges.push(TemporalEdge { src, dst, ts });
-        off += EDGE_ENCODED_LEN;
+        let (amount, label) = if version == BATCH_FORMAT_VERSION {
+            (
+                u64::from_le_bytes(bytes[off + 16..off + 24].try_into().unwrap()),
+                u16::from_le_bytes(bytes[off + 24..off + 26].try_into().unwrap()),
+            )
+        } else {
+            (0, 0)
+        };
+        edges.push(TemporalEdge::with_attrs(src, dst, ts, amount, label));
+        off += edge_len;
     }
     Ok(edges)
 }
@@ -360,19 +447,67 @@ mod tests {
 
     #[test]
     fn rejects_lines_with_extra_fields() {
-        // Regression: `1 2 3 4` used to silently drop the trailing `4`.
-        let text = "1 2 3\n1 2 3 4\n";
+        // Columns beyond the fifth mean an unknown schema — reject, and name
+        // the first surplus token.
+        let text = "1 2 3\n1 2 3 4 5 6\n";
         let err = read_edge_list_from(text.as_bytes()).unwrap_err();
         match err {
-            IoError::Parse { line, content } => {
+            IoError::Parse {
+                line,
+                content,
+                column,
+                value,
+            } => {
                 assert_eq!(line, 2);
-                assert_eq!(content, "1 2 3 4");
+                assert_eq!(content, "1 2 3 4 5 6");
+                assert_eq!(column, Some(6));
+                assert_eq!(value.as_deref(), Some("6"));
             }
             other => panic!("expected parse error, got {other}"),
         }
-        // Weighted-style files are rejected on their first edge line.
+    }
+
+    #[test]
+    fn parses_attribute_columns() {
+        let text = "1 2 3\n2 3 4 500\n3 1 5 750 7\n";
+        let (g, _) = read_edge_list_from(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!((g.edge(0).amount, g.edge(0).label), (0, 0));
+        assert_eq!((g.edge(1).amount, g.edge(1).label), (500, 0));
+        assert_eq!((g.edge(2).amount, g.edge(2).label), (750, 7));
+    }
+
+    #[test]
+    fn attribute_parse_errors_report_column_and_value() {
+        // A float amount (weighted-schema file) names column 4.
         let weighted = "# weighted\n5 7 100 0.25\n";
-        assert!(read_edge_list_from(weighted.as_bytes()).is_err());
+        match read_edge_list_from(weighted.as_bytes()).unwrap_err() {
+            IoError::Parse {
+                line,
+                column,
+                value,
+                ..
+            } => {
+                assert_eq!(line, 2);
+                assert_eq!(column, Some(4));
+                assert_eq!(value.as_deref(), Some("0.25"));
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+        // An out-of-range label names column 5 (u16 overflow).
+        let big_label = "5 7 100 10 99999\n";
+        match read_edge_list_from(big_label.as_bytes()).unwrap_err() {
+            IoError::Parse { column, value, .. } => {
+                assert_eq!(column, Some(5));
+                assert_eq!(value.as_deref(), Some("99999"));
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+        // A negative amount names column 4 and renders in Display.
+        let negative = "5 7 100 -3\n";
+        let err = read_edge_list_from(negative.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("column 4"));
+        assert!(err.to_string().contains("-3"));
     }
 
     #[test]
@@ -390,6 +525,19 @@ mod tests {
         let (g2, _) = read_edge_list_from(buf.as_slice()).unwrap();
         assert_eq!(g2.num_vertices(), g.num_vertices());
         assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(g2.edges(), g.edges());
+    }
+
+    #[test]
+    fn attributed_edges_roundtrip_through_text() {
+        let mut b = GraphBuilder::new();
+        b.push_attr_edge(TemporalEdge::with_attrs(0, 1, 10, 500, 0));
+        b.push_attr_edge(TemporalEdge::with_attrs(1, 2, 20, 0, 3));
+        b.push_attr_edge(TemporalEdge::with_attrs(2, 0, 30, 0, 0));
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_edge_list_to(&g, &mut buf).unwrap();
+        let (g2, _) = read_edge_list_from(buf.as_slice()).unwrap();
         assert_eq!(g2.edges(), g.edges());
     }
 
@@ -430,10 +578,14 @@ mod tests {
 
     fn random_batch(rng: &mut SplitMix, n: usize) -> Vec<TemporalEdge> {
         (0..n)
-            .map(|_| TemporalEdge {
-                src: (rng.next() % 1000) as u32,
-                dst: (rng.next() % 1000) as u32,
-                ts: (rng.next() % 1_000_000) as i64 - 500_000,
+            .map(|_| {
+                TemporalEdge::with_attrs(
+                    (rng.next() % 1000) as u32,
+                    (rng.next() % 1000) as u32,
+                    (rng.next() % 1_000_000) as i64 - 500_000,
+                    rng.next() % 100_000,
+                    (rng.next() % 16) as u16,
+                )
             })
             .collect()
     }
@@ -449,16 +601,8 @@ mod tests {
         }
         // Extreme field values survive the trip.
         let extremes = vec![
-            TemporalEdge {
-                src: 0,
-                dst: u32::MAX,
-                ts: i64::MIN,
-            },
-            TemporalEdge {
-                src: u32::MAX,
-                dst: 0,
-                ts: i64::MAX,
-            },
+            TemporalEdge::with_attrs(0, u32::MAX, i64::MIN, 0, u16::MAX),
+            TemporalEdge::with_attrs(u32::MAX, 0, i64::MAX, u64::MAX, 0),
         ];
         assert_eq!(decode_batch(&encode_batch(&extremes)).unwrap(), extremes);
     }
@@ -519,23 +663,83 @@ mod tests {
     fn future_version_is_typed() {
         // An honestly versioned batch from a future build (valid CRC) is
         // UnsupportedVersion, not Corrupt.
-        let edges = [TemporalEdge {
-            src: 1,
-            dst: 2,
-            ts: 3,
-        }];
+        let e = TemporalEdge::with_attrs(1, 2, 3, 4, 5);
         let mut buf = Vec::new();
         buf.extend_from_slice(&BATCH_MAGIC);
-        buf.extend_from_slice(&2u16.to_le_bytes());
+        buf.extend_from_slice(&3u16.to_le_bytes());
         buf.extend_from_slice(&1u32.to_le_bytes());
-        buf.extend_from_slice(&edges[0].src.to_le_bytes());
-        buf.extend_from_slice(&edges[0].dst.to_le_bytes());
-        buf.extend_from_slice(&edges[0].ts.to_le_bytes());
+        buf.extend_from_slice(&e.src.to_le_bytes());
+        buf.extend_from_slice(&e.dst.to_le_bytes());
+        buf.extend_from_slice(&e.ts.to_le_bytes());
+        buf.extend_from_slice(&e.amount.to_le_bytes());
+        buf.extend_from_slice(&e.label.to_le_bytes());
         let crc = crc32(&buf);
         buf.extend_from_slice(&crc.to_le_bytes());
         match decode_batch(&buf) {
-            Err(IoError::UnsupportedVersion { version }) => assert_eq!(version, 2),
+            Err(IoError::UnsupportedVersion { version }) => assert_eq!(version, 3),
             other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    /// Hand-encodes a batch in the legacy v1 layout (16-byte edges, no
+    /// attributes) — what a pre-attribute build would have written.
+    fn encode_batch_v1(edges: &[TemporalEdge]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(encoded_batch_len_v1(edges.len()));
+        buf.extend_from_slice(&BATCH_MAGIC);
+        buf.extend_from_slice(&BATCH_FORMAT_VERSION_V1.to_le_bytes());
+        buf.extend_from_slice(&(edges.len() as u32).to_le_bytes());
+        for e in edges {
+            buf.extend_from_slice(&e.src.to_le_bytes());
+            buf.extend_from_slice(&e.dst.to_le_bytes());
+            buf.extend_from_slice(&e.ts.to_le_bytes());
+        }
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    #[test]
+    fn v1_batches_decode_with_default_attributes() {
+        let mut rng = SplitMix(sweep_seed() ^ 0x0111);
+        // Strip attributes so the v1 re-encoding is the ground truth.
+        let edges: Vec<TemporalEdge> = random_batch(&mut rng, 32)
+            .into_iter()
+            .map(|e| TemporalEdge::new(e.src, e.dst, e.ts))
+            .collect();
+        let v1 = encode_batch_v1(&edges);
+        assert_eq!(v1.len(), encoded_batch_len_v1(edges.len()));
+        let decoded = decode_batch(&v1).unwrap();
+        assert_eq!(decoded, edges);
+        assert!(decoded.iter().all(|e| e.amount == 0 && e.label == 0));
+        // The current encoding of the same edges is v2 and larger.
+        assert!(encode_batch(&edges).len() > v1.len());
+    }
+
+    #[test]
+    fn corruption_sweep_v1_bit_flips_and_truncations() {
+        // The legacy decoder path gets the same safety sweep as the current
+        // one: no flip or truncation may decode.
+        let mut rng = SplitMix(sweep_seed() ^ 0x1F1B);
+        let edges: Vec<TemporalEdge> = random_batch(&mut rng, 12)
+            .into_iter()
+            .map(|e| TemporalEdge::new(e.src, e.dst, e.ts))
+            .collect();
+        let clean = encode_batch_v1(&edges);
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut bad = clean.clone();
+                bad[byte] ^= 1u8 << bit;
+                let err = decode_batch(&bad).expect_err("v1 flip must not decode");
+                match err {
+                    IoError::Corrupt { .. }
+                    | IoError::Truncated { .. }
+                    | IoError::UnsupportedVersion { .. } => {}
+                    other => panic!("unexpected error kind: {other}"),
+                }
+            }
+        }
+        for len in 0..clean.len() {
+            assert!(decode_batch(&clean[..len]).is_err());
         }
     }
 

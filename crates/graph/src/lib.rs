@@ -21,6 +21,9 @@
 //!   3a, 4a and 5a, plus random temporal graph generators (uniform, power-law,
 //!   transaction-like) that stand in for the paper's dataset suite.
 //! * [`io`] — plain-text temporal edge-list reading/writing.
+//! * [`predicate`] — attribute predicates ([`EdgePredicate`]) evaluated
+//!   during traversal so rejected edges never enter a search, plus the
+//!   predicate-union algebra behind multi-query pushdown.
 //! * [`view`] — the [`GraphView`] access trait shared by static and streaming
 //!   graphs; [`stream`] — the incrementally-maintained [`SlidingWindowGraph`]
 //!   behind the streaming enumeration subsystem.
@@ -35,6 +38,7 @@
 pub mod builder;
 pub mod generators;
 pub mod io;
+pub mod predicate;
 pub mod reach;
 pub mod scc;
 pub mod stats;
@@ -45,9 +49,10 @@ pub mod view;
 pub mod window;
 
 pub use builder::GraphBuilder;
+pub use predicate::{EdgePredicate, LabelFilter};
 pub use stats::GraphStats;
 pub use stream::{DeltaBatch, SlidingWindowGraph, StreamError};
 pub use temporal::{AdjEntry, TemporalGraph};
-pub use types::{EdgeId, TemporalEdge, Timestamp, VertexId};
+pub use types::{Amount, EdgeId, Label, TemporalEdge, Timestamp, VertexId};
 pub use view::GraphView;
 pub use window::TimeWindow;

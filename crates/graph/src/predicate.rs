@@ -1,0 +1,413 @@
+//! Edge predicates: attribute constraints evaluated *during* traversal.
+//!
+//! The paper's central lever is shrinking the searched subgraph before path
+//! expansion. An [`EdgePredicate`] extends that idea from structural
+//! constraints (time windows, hop bounds) to the attribute payload of
+//! [`TemporalEdge`]: an amount interval plus a label allow/deny set. The
+//! enumeration passes evaluate the predicate on every edge they would
+//! otherwise admit, so rejected edges never enter the cycle union, never
+//! seed a root, and never extend a path.
+//!
+//! ## Predicate union
+//!
+//! Multi-query dispatch pushes one *shared* predicate down for a whole
+//! portfolio: the [`EdgePredicate::union`] of all subscription predicates.
+//! The union is the weakest predicate implied by every subscription — it
+//! accepts an edge iff **at least one** subscription accepts it, i.e. it
+//! rejects an edge only when *every* subscription rejects it. Since each
+//! subscription requires all edges of a reported cycle to pass its own
+//! predicate, a cycle containing a union-rejected edge is unreportable by
+//! every subscription, so evaluating the union inside the shared pass never
+//! suppresses a reportable cycle. Exact per-subscription predicates are
+//! re-checked at fan-out (see `pce-core::streaming`).
+
+use crate::types::{Amount, Label, TemporalEdge};
+use std::fmt;
+use std::sync::Arc;
+
+/// Label constraint of an [`EdgePredicate`]: pass-all, an allow-list, or a
+/// deny-list. Allow/deny sets are kept sorted and deduplicated so that
+/// membership is a binary search and structurally equal filters compare and
+/// hash equal (predicate-profile cohort keys rely on this).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub enum LabelFilter {
+    /// Every label passes.
+    #[default]
+    Any,
+    /// Only the listed labels pass (sorted, deduplicated).
+    Allow(Arc<[Label]>),
+    /// Every label except the listed ones passes (sorted, deduplicated).
+    Deny(Arc<[Label]>),
+}
+
+fn sorted_set(mut labels: Vec<Label>) -> Arc<[Label]> {
+    labels.sort_unstable();
+    labels.dedup();
+    labels.into()
+}
+
+impl LabelFilter {
+    /// An allow-list filter (sorted and deduplicated; an empty list rejects
+    /// every edge and fails [`EdgePredicate::validate`]).
+    pub fn allow(labels: impl Into<Vec<Label>>) -> Self {
+        LabelFilter::Allow(sorted_set(labels.into()))
+    }
+
+    /// A deny-list filter (sorted and deduplicated; an empty list normalises
+    /// to [`LabelFilter::Any`]).
+    pub fn deny(labels: impl Into<Vec<Label>>) -> Self {
+        let set = sorted_set(labels.into());
+        if set.is_empty() {
+            LabelFilter::Any
+        } else {
+            LabelFilter::Deny(set)
+        }
+    }
+
+    /// Does `label` pass this filter?
+    #[inline]
+    pub fn accepts(&self, label: Label) -> bool {
+        match self {
+            LabelFilter::Any => true,
+            LabelFilter::Allow(set) => set.binary_search(&label).is_ok(),
+            LabelFilter::Deny(set) => set.binary_search(&label).is_err(),
+        }
+    }
+
+    /// The weakest filter implied by both operands: accepts a label iff at
+    /// least one operand accepts it.
+    pub fn union(&self, other: &LabelFilter) -> LabelFilter {
+        use LabelFilter::*;
+        match (self, other) {
+            (Any, _) | (_, Any) => Any,
+            (Allow(a), Allow(b)) => {
+                let mut merged: Vec<Label> = a.iter().chain(b.iter()).copied().collect();
+                merged.sort_unstable();
+                merged.dedup();
+                Allow(merged.into())
+            }
+            // deny(A) ∪ deny(B) accepts x iff x ∉ A or x ∉ B, i.e. x ∉ A∩B.
+            (Deny(a), Deny(b)) => {
+                let inter: Vec<Label> = a
+                    .iter()
+                    .copied()
+                    .filter(|l| b.binary_search(l).is_ok())
+                    .collect();
+                if inter.is_empty() {
+                    Any
+                } else {
+                    Deny(inter.into())
+                }
+            }
+            // allow(A) ∪ deny(B) accepts x iff x ∈ A or x ∉ B, i.e. x ∉ B∖A.
+            (Allow(a), Deny(b)) | (Deny(b), Allow(a)) => {
+                let diff: Vec<Label> = b
+                    .iter()
+                    .copied()
+                    .filter(|l| a.binary_search(l).is_err())
+                    .collect();
+                if diff.is_empty() {
+                    Any
+                } else {
+                    Deny(diff.into())
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for LabelFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn list(f: &mut fmt::Formatter<'_>, set: &[Label]) -> fmt::Result {
+            for (i, l) in set.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{l}")?;
+            }
+            Ok(())
+        }
+        match self {
+            LabelFilter::Any => write!(f, "any"),
+            LabelFilter::Allow(set) => {
+                write!(f, "allow{{")?;
+                list(f, set)?;
+                write!(f, "}}")
+            }
+            LabelFilter::Deny(set) => {
+                write!(f, "deny{{")?;
+                list(f, set)?;
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// An attribute constraint on edges: an inclusive amount interval plus a
+/// [`LabelFilter`]. The default predicate passes every edge.
+///
+/// Cheap to clone (the label set is behind an `Arc`), `Eq + Hash` so distinct
+/// predicate *profiles* can key dispatch cohorts.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EdgePredicate {
+    min_amount: Amount,
+    max_amount: Amount,
+    labels: LabelFilter,
+}
+
+impl Default for EdgePredicate {
+    fn default() -> Self {
+        Self::pass_all()
+    }
+}
+
+impl EdgePredicate {
+    /// The predicate that accepts every edge.
+    pub fn pass_all() -> Self {
+        Self {
+            min_amount: 0,
+            max_amount: Amount::MAX,
+            labels: LabelFilter::Any,
+        }
+    }
+
+    /// Requires `amount >= min` (builder-style).
+    #[must_use]
+    pub fn min_amount(mut self, min: Amount) -> Self {
+        self.min_amount = min;
+        self
+    }
+
+    /// Requires `amount <= max` (builder-style).
+    #[must_use]
+    pub fn max_amount(mut self, max: Amount) -> Self {
+        self.max_amount = max;
+        self
+    }
+
+    /// Replaces the label filter (builder-style).
+    #[must_use]
+    pub fn labels(mut self, filter: LabelFilter) -> Self {
+        self.labels = filter;
+        self
+    }
+
+    /// The inclusive amount lower bound.
+    #[inline]
+    pub fn amount_min(&self) -> Amount {
+        self.min_amount
+    }
+
+    /// The inclusive amount upper bound.
+    #[inline]
+    pub fn amount_max(&self) -> Amount {
+        self.max_amount
+    }
+
+    /// The label filter.
+    #[inline]
+    pub fn label_filter(&self) -> &LabelFilter {
+        &self.labels
+    }
+
+    /// `true` iff this predicate accepts every possible edge, in which case
+    /// the enumeration passes skip attribute checks entirely.
+    #[inline]
+    pub fn is_pass_all(&self) -> bool {
+        self.min_amount == 0 && self.max_amount == Amount::MAX && self.labels == LabelFilter::Any
+    }
+
+    /// Checks the predicate is satisfiable: a reversed amount interval or an
+    /// empty allow-list rejects every edge, which is always a caller mistake.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.min_amount > self.max_amount {
+            return Err("predicate amount interval is empty (min > max)");
+        }
+        if matches!(&self.labels, LabelFilter::Allow(set) if set.is_empty()) {
+            return Err("predicate label allow-list is empty");
+        }
+        Ok(())
+    }
+
+    /// Does `edge` pass this predicate?
+    #[inline]
+    pub fn accepts(&self, edge: &TemporalEdge) -> bool {
+        self.accepts_attrs(edge.amount, edge.label)
+    }
+
+    /// Does an edge with the given attributes pass this predicate?
+    #[inline]
+    pub fn accepts_attrs(&self, amount: Amount, label: Label) -> bool {
+        amount >= self.min_amount && amount <= self.max_amount && self.labels.accepts(label)
+    }
+
+    /// Shape-level check used at fan-out: given the amount range
+    /// `[min_amount : max_amount]` and the distinct labels of a candidate
+    /// cycle's edges, does **every** edge of the candidate pass? Equivalent
+    /// to re-running [`Self::accepts`] over all edges, but on the compact
+    /// per-candidate summary the dispatcher already computes.
+    #[inline]
+    pub fn accepts_shape(&self, min_amount: Amount, max_amount: Amount, labels: &[Label]) -> bool {
+        min_amount >= self.min_amount
+            && max_amount <= self.max_amount
+            && labels.iter().all(|&l| self.labels.accepts(l))
+    }
+
+    /// The weakest predicate implied by both operands: accepts an edge iff at
+    /// least one operand accepts it (the component-wise relaxation — amount
+    /// interval hull, label-filter union — which may accept strictly more
+    /// than the exact disjunction; soundness only needs "rejects ⇒ both
+    /// reject"). This is what a shared multi-query pass pushes down.
+    pub fn union(&self, other: &EdgePredicate) -> EdgePredicate {
+        EdgePredicate {
+            min_amount: self.min_amount.min(other.min_amount),
+            max_amount: self.max_amount.max(other.max_amount),
+            labels: self.labels.union(&other.labels),
+        }
+    }
+}
+
+impl fmt::Display for EdgePredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_pass_all() {
+            return write!(f, "pass-all");
+        }
+        write!(f, "amount[{}..", self.min_amount)?;
+        if self.max_amount == Amount::MAX {
+            write!(f, "max]")?;
+        } else {
+            write!(f, "{}]", self.max_amount)?;
+        }
+        write!(f, " labels={}", self.labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_all_accepts_everything() {
+        let p = EdgePredicate::pass_all();
+        assert!(p.is_pass_all());
+        assert!(p.validate().is_ok());
+        assert!(p.accepts(&TemporalEdge::new(0, 1, 5)));
+        assert!(p.accepts(&TemporalEdge::with_attrs(0, 1, 5, Amount::MAX, Label::MAX)));
+        assert_eq!(p.to_string(), "pass-all");
+    }
+
+    #[test]
+    fn amount_interval_is_inclusive() {
+        let p = EdgePredicate::pass_all().min_amount(10).max_amount(20);
+        assert!(!p.is_pass_all());
+        assert!(!p.accepts_attrs(9, 0));
+        assert!(p.accepts_attrs(10, 0));
+        assert!(p.accepts_attrs(20, 0));
+        assert!(!p.accepts_attrs(21, 0));
+    }
+
+    #[test]
+    fn label_filters_sort_dedup_and_match() {
+        let allow = LabelFilter::allow(vec![3, 1, 3, 2]);
+        assert_eq!(allow, LabelFilter::allow(vec![1, 2, 3]));
+        assert!(allow.accepts(2));
+        assert!(!allow.accepts(4));
+        let deny = LabelFilter::deny(vec![5, 5]);
+        assert!(deny.accepts(4));
+        assert!(!deny.accepts(5));
+        // Empty deny-list normalises to Any.
+        assert_eq!(LabelFilter::deny(Vec::new()), LabelFilter::Any);
+        assert_eq!(allow.to_string(), "allow{1,2,3}");
+        assert_eq!(deny.to_string(), "deny{5}");
+    }
+
+    #[test]
+    fn validation_rejects_unsatisfiable_predicates() {
+        assert!(EdgePredicate::pass_all()
+            .min_amount(5)
+            .max_amount(4)
+            .validate()
+            .is_err());
+        assert!(EdgePredicate::pass_all()
+            .labels(LabelFilter::allow(Vec::new()))
+            .validate()
+            .is_err());
+        assert!(EdgePredicate::pass_all()
+            .labels(LabelFilter::deny(Vec::new()))
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn union_takes_the_amount_hull() {
+        let a = EdgePredicate::pass_all().min_amount(10).max_amount(100);
+        let b = EdgePredicate::pass_all().min_amount(50).max_amount(200);
+        let u = a.union(&b);
+        assert_eq!(u.amount_min(), 10);
+        assert_eq!(u.amount_max(), 200);
+    }
+
+    /// Brute-force the union soundness contract over every filter pairing:
+    /// the union accepts a label iff at least one operand does.
+    #[test]
+    fn label_union_is_exact_over_all_pairings() {
+        let filters = [
+            LabelFilter::Any,
+            LabelFilter::allow(vec![1, 2]),
+            LabelFilter::allow(vec![2, 3]),
+            LabelFilter::deny(vec![1, 2]),
+            LabelFilter::deny(vec![2, 3]),
+        ];
+        for a in &filters {
+            for b in &filters {
+                let u = a.union(b);
+                for label in 0..6 {
+                    assert_eq!(
+                        u.accepts(label),
+                        a.accepts(label) || b.accepts(label),
+                        "{a} ∪ {b} at label {label}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn union_special_cases() {
+        // deny ∪ deny with disjoint sets accepts everything.
+        let u = LabelFilter::deny(vec![1]).union(&LabelFilter::deny(vec![2]));
+        assert_eq!(u, LabelFilter::Any);
+        // allow ∪ deny where the allow covers the denies accepts everything.
+        let u = LabelFilter::allow(vec![1, 2]).union(&LabelFilter::deny(vec![1, 2]));
+        assert_eq!(u, LabelFilter::Any);
+        // Otherwise the surviving denies remain.
+        let u = LabelFilter::allow(vec![1]).union(&LabelFilter::deny(vec![1, 2]));
+        assert_eq!(u, LabelFilter::deny(vec![2]));
+    }
+
+    #[test]
+    fn shape_check_matches_edgewise_evaluation() {
+        let p = EdgePredicate::pass_all()
+            .min_amount(10)
+            .max_amount(100)
+            .labels(LabelFilter::allow(vec![1, 2]));
+        // All edges within bounds and labels allowed.
+        assert!(p.accepts_shape(10, 100, &[1, 2]));
+        // One edge below the minimum amount.
+        assert!(!p.accepts_shape(5, 50, &[1]));
+        // One edge above the maximum amount.
+        assert!(!p.accepts_shape(20, 200, &[1]));
+        // A disallowed label anywhere in the cycle.
+        assert!(!p.accepts_shape(20, 50, &[1, 3]));
+    }
+
+    #[test]
+    fn predicates_hash_by_profile() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(EdgePredicate::pass_all().labels(LabelFilter::allow(vec![2, 1])));
+        set.insert(EdgePredicate::pass_all().labels(LabelFilter::allow(vec![1, 2, 2])));
+        set.insert(EdgePredicate::pass_all().min_amount(1));
+        assert_eq!(set.len(), 2);
+    }
+}

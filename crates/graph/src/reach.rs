@@ -24,6 +24,7 @@
 //! uses epoch-stamping instead of clearing, so the per-root cost is
 //! `O(vertices touched + edges touched)`.
 
+use crate::predicate::EdgePredicate;
 use crate::temporal::TemporalGraph;
 use crate::types::{EdgeId, Timestamp, VertexId};
 use crate::view::GraphView;
@@ -277,18 +278,27 @@ impl CycleUnionWorkspace {
     /// `O(num_vertices)`, which matters on streams with many small-union
     /// roots per batch. The fine-grained delta drivers consume the members
     /// list to snapshot a [`UnionView`](`Self::union_members`) per root.
+    ///
+    /// `predicate` filters admissible edges by attribute: an edge rejected by
+    /// the predicate never enters the BFS, so the union already reflects the
+    /// pushdown. Pass [`EdgePredicate::pass_all`] for unfiltered enumeration
+    /// (the pass-all case is detected once and adds no per-edge work).
     pub fn compute_simple_before<G: GraphView + ?Sized>(
         &mut self,
         graph: &G,
         root: EdgeId,
         window: TimeWindow,
+        predicate: &EdgePredicate,
     ) -> bool {
         self.bump_epoch();
         let e = graph.edge(root);
         let (u, w) = (e.src, e.dst);
+        let pass_all = predicate.is_pass_all();
 
         // The windowed accessors enforce the timestamp bounds, so the only
-        // extra admissibility condition is "before the root" on ids.
+        // extra admissibility conditions are "before the root" on ids and the
+        // attribute predicate (attributes live on the edge record, not the
+        // adjacency entry, hence the `graph.edge` lookup on the slow path).
         epoch_bfs(
             graph,
             window,
@@ -297,7 +307,7 @@ impl CycleUnionWorkspace {
             &mut self.fwd_epoch,
             &mut self.queue,
             Direction::Forward,
-            |entry| entry.edge < root,
+            |entry| entry.edge < root && (pass_all || predicate.accepts(&graph.edge(entry.edge))),
         );
         // The queue now holds exactly the forward-reachable vertices; keep
         // them as union candidates before the backward BFS reuses the buffer.
@@ -311,7 +321,7 @@ impl CycleUnionWorkspace {
             &mut self.bwd_epoch,
             &mut self.queue,
             Direction::Backward,
-            |entry| entry.edge < root,
+            |entry| entry.edge < root && (pass_all || predicate.accepts(&graph.edge(entry.edge))),
         );
         self.retain_backward_reachable_members();
 
@@ -336,15 +346,20 @@ impl CycleUnionWorkspace {
     /// gathered during the traversal (each vertex is recorded when its
     /// forward stamp is first set, then filtered by the backward stamp), so
     /// the per-root cost stays proportional to what the passes touch.
+    ///
+    /// `predicate` filters admissible edges by attribute, exactly as in
+    /// [`Self::compute_simple_before`].
     pub fn compute_temporal_before<G: GraphView + ?Sized>(
         &mut self,
         graph: &G,
         root: EdgeId,
         window: TimeWindow,
+        predicate: &EdgePredicate,
     ) -> bool {
         self.bump_epoch();
         let e0 = graph.edge(root);
         let (u, w, t0) = (e0.src, e0.dst, e0.ts);
+        let pass_all = predicate.is_pass_all();
         // Path edges live in [window.start : t0 - 1]; this also keeps every
         // scanned id strictly below the root (ids refine timestamp order).
         let scan = TimeWindow::new(window.start, t0.saturating_sub(1));
@@ -358,6 +373,9 @@ impl CycleUnionWorkspace {
         self.union_members.push(w);
         for id in ids.clone() {
             let e = graph.edge(id);
+            if !pass_all && !predicate.accepts(&e) {
+                continue;
+            }
             let su = e.src as usize;
             if self.fwd_epoch[su] == self.epoch && self.earliest[su] < e.ts {
                 let sd = e.dst as usize;
@@ -377,6 +395,9 @@ impl CycleUnionWorkspace {
         self.bwd_epoch[u as usize] = self.epoch;
         for id in ids.rev() {
             let e = graph.edge(id);
+            if !pass_all && !predicate.accepts(&e) {
+                continue;
+            }
             let sd = e.dst as usize;
             if self.bwd_epoch[sd] == self.epoch && self.latest_dep[sd] > e.ts {
                 let su = e.src as usize;
@@ -656,7 +677,12 @@ mod tests {
             .build();
         let mut ws = CycleUnionWorkspace::new(g.num_vertices());
         let root = 2; // the t=3 edge 2→0
-        assert!(ws.compute_simple_before(&g, root, TimeWindow::new(0, 3)));
+        assert!(ws.compute_simple_before(
+            &g,
+            root,
+            TimeWindow::new(0, 3),
+            &EdgePredicate::pass_all()
+        ));
         assert!(ws.in_union(0) && ws.in_union(1) && ws.in_union(2));
         // The members list is gathered during the pass itself (O(touched),
         // not O(num_vertices)), so snapshots cost nothing extra.
@@ -664,7 +690,12 @@ mod tests {
         members.sort_unstable();
         assert_eq!(members, vec![0, 1, 2]);
         // A window floor above the earlier edges empties the union.
-        assert!(!ws.compute_simple_before(&g, root, TimeWindow::new(2, 3)));
+        assert!(!ws.compute_simple_before(
+            &g,
+            root,
+            TimeWindow::new(2, 3),
+            &EdgePredicate::pass_all()
+        ));
         assert_eq!(ws.union_size(), 0);
     }
 
@@ -677,9 +708,14 @@ mod tests {
             .add_edge(1, 0, 5)
             .build();
         let mut ws = CycleUnionWorkspace::new(g.num_vertices());
-        assert!(!ws.compute_simple_before(&g, 0, TimeWindow::new(0, 1)));
+        assert!(!ws.compute_simple_before(
+            &g,
+            0,
+            TimeWindow::new(0, 1),
+            &EdgePredicate::pass_all()
+        ));
         // Rooting the later edge instead finds the 2-cycle.
-        assert!(ws.compute_simple_before(&g, 1, TimeWindow::new(0, 5)));
+        assert!(ws.compute_simple_before(&g, 1, TimeWindow::new(0, 5), &EdgePredicate::pass_all()));
     }
 
     #[test]
@@ -693,7 +729,12 @@ mod tests {
             .build();
         let mut ws = CycleUnionWorkspace::new(g.num_vertices());
         let root = 2; // 2→0 at t=5
-        assert!(ws.compute_temporal_before(&g, root, TimeWindow::new(0, 5)));
+        assert!(ws.compute_temporal_before(
+            &g,
+            root,
+            TimeWindow::new(0, 5),
+            &EdgePredicate::pass_all()
+        ));
         assert!(ws.in_union(0) && ws.in_union(1) && ws.in_union(2));
         // Members are gathered during the pass, mirroring the simple case.
         let mut members = ws.union_members().to_vec();
@@ -705,7 +746,12 @@ mod tests {
         assert!(ws.can_close_after(1, 2));
         assert!(!ws.can_close_after(1, 3));
         // A floor above t=1 removes the only first hop.
-        assert!(!ws.compute_temporal_before(&g, root, TimeWindow::new(2, 5)));
+        assert!(!ws.compute_temporal_before(
+            &g,
+            root,
+            TimeWindow::new(2, 5),
+            &EdgePredicate::pass_all()
+        ));
     }
 
     #[test]
@@ -723,7 +769,12 @@ mod tests {
             .find(|(_, e)| e.src == 2 && e.dst == 0)
             .unwrap()
             .0;
-        assert!(!ws.compute_temporal_before(&g, root, TimeWindow::new(0, 5)));
+        assert!(!ws.compute_temporal_before(
+            &g,
+            root,
+            TimeWindow::new(0, 5),
+            &EdgePredicate::pass_all()
+        ));
         // Equal timestamps do not chain either: an edge at exactly t0 cannot
         // be part of the path below a t0 root.
         let g = GraphBuilder::new()
@@ -731,7 +782,54 @@ mod tests {
             .add_edge(1, 0, 5)
             .build();
         let mut ws = CycleUnionWorkspace::new(g.num_vertices());
-        assert!(!ws.compute_temporal_before(&g, 1, TimeWindow::new(0, 5)));
+        assert!(!ws.compute_temporal_before(
+            &g,
+            1,
+            TimeWindow::new(0, 5),
+            &EdgePredicate::pass_all()
+        ));
+    }
+
+    #[test]
+    fn predicates_filter_union_passes() {
+        use crate::predicate::LabelFilter;
+        use crate::types::TemporalEdge;
+        // Two disjoint return paths from 1 to 0: a cheap one (amounts 10)
+        // through vertex 2 and an expensive one (amounts 1000) through 3.
+        // Rooting the closing edge 0→1? No — root is the max edge 3→0 below.
+        let mut b = GraphBuilder::new();
+        b.push_attr_edge(TemporalEdge::with_attrs(0, 1, 1, 1000, 7));
+        b.push_attr_edge(TemporalEdge::with_attrs(1, 2, 2, 10, 1));
+        b.push_attr_edge(TemporalEdge::with_attrs(1, 3, 2, 1000, 7));
+        b.push_attr_edge(TemporalEdge::with_attrs(2, 0, 3, 10, 1));
+        b.push_attr_edge(TemporalEdge::with_attrs(3, 0, 3, 1000, 7));
+        let g = b.build();
+        let root = g
+            .edge_ids()
+            .find(|(_, e)| e.src == 3 && e.dst == 0)
+            .unwrap()
+            .0;
+        let mut ws = CycleUnionWorkspace::new(g.num_vertices());
+        // Unfiltered: both middle vertices are in the union.
+        assert!(ws.compute_simple_before(
+            &g,
+            root,
+            TimeWindow::new(0, 3),
+            &EdgePredicate::pass_all()
+        ));
+        assert!(ws.in_union(2) && ws.in_union(3));
+        // Amount floor 100 prunes the cheap path through 2 from the union.
+        let big = EdgePredicate::pass_all().min_amount(100);
+        assert!(ws.compute_simple_before(&g, root, TimeWindow::new(0, 3), &big));
+        assert!(!ws.in_union(2) && ws.in_union(3));
+        // A label allow-list that rejects every path edge empties the union.
+        let none = EdgePredicate::pass_all().labels(LabelFilter::allow([9]));
+        assert!(!ws.compute_simple_before(&g, root, TimeWindow::new(0, 3), &none));
+        assert_eq!(ws.union_size(), 0);
+        // Temporal mirror: amount floor keeps only the expensive chain.
+        assert!(ws.compute_temporal_before(&g, root, TimeWindow::new(0, 3), &big));
+        assert!(!ws.in_union(2) && ws.in_union(3));
+        assert!(!ws.compute_temporal_before(&g, root, TimeWindow::new(0, 3), &none));
     }
 
     #[test]

@@ -252,7 +252,9 @@ impl SlidingWindowGraph {
         }
 
         let mut sorted: Vec<TemporalEdge> = batch.to_vec();
-        sorted.sort_unstable_by_key(|e| (e.ts, e.src, e.dst));
+        // Full edge order (attributes break ties) keeps intra-batch id
+        // assignment deterministic for attribute-distinct parallel edges.
+        sorted.sort_unstable();
 
         let max_endpoint = sorted
             .iter()

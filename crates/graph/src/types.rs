@@ -23,7 +23,22 @@ pub type EdgeId = u32;
 /// use timestamp `0` for every edge.
 pub type Timestamp = i64;
 
-/// A directed temporal edge `src → dst` annotated with a timestamp.
+/// Monetary (or generic weight) attribute of an edge. `0` means "no amount" —
+/// the default for un-attributed datasets — and is accepted by every
+/// pass-all predicate.
+pub type Amount = u64;
+
+/// Categorical edge label (transfer type, protocol, event class, ...). `0` is
+/// the default label for un-attributed datasets.
+pub type Label = u16;
+
+/// A directed temporal edge `src → dst` annotated with a timestamp and a
+/// compact attribute payload (an [`Amount`] and a categorical [`Label`]).
+///
+/// Attributes default to zero — un-attributed datasets, v1 binary batches and
+/// 3-column text files all decode to `amount == 0, label == 0` — and are what
+/// [`EdgePredicate`](crate::predicate::EdgePredicate)s evaluate during
+/// traversal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct TemporalEdge {
     /// Source vertex of the edge.
@@ -32,13 +47,41 @@ pub struct TemporalEdge {
     pub dst: VertexId,
     /// Timestamp of the edge.
     pub ts: Timestamp,
+    /// Amount attribute (0 when the dataset carries none).
+    pub amount: Amount,
+    /// Categorical label attribute (0 when the dataset carries none).
+    pub label: Label,
 }
 
 impl TemporalEdge {
-    /// Creates a new temporal edge.
+    /// Creates a new temporal edge with zero attributes.
     #[inline]
     pub fn new(src: VertexId, dst: VertexId, ts: Timestamp) -> Self {
-        Self { src, dst, ts }
+        Self {
+            src,
+            dst,
+            ts,
+            amount: 0,
+            label: 0,
+        }
+    }
+
+    /// Creates a new temporal edge carrying an amount and a label.
+    #[inline]
+    pub fn with_attrs(
+        src: VertexId,
+        dst: VertexId,
+        ts: Timestamp,
+        amount: Amount,
+        label: Label,
+    ) -> Self {
+        Self {
+            src,
+            dst,
+            ts,
+            amount,
+            label,
+        }
     }
 
     /// Returns `true` if this edge is a self-loop (`src == dst`). Self-loops
@@ -51,24 +94,31 @@ impl TemporalEdge {
 
 impl From<(VertexId, VertexId, Timestamp)> for TemporalEdge {
     fn from((src, dst, ts): (VertexId, VertexId, Timestamp)) -> Self {
-        Self { src, dst, ts }
+        Self::new(src, dst, ts)
     }
 }
 
 impl From<(VertexId, VertexId)> for TemporalEdge {
     fn from((src, dst): (VertexId, VertexId)) -> Self {
-        Self { src, dst, ts: 0 }
+        Self::new(src, dst, 0)
     }
 }
 
-/// Edges order by `(ts, src, dst)` — the same order in which
+/// Edges order by `(ts, src, dst, amount, label)` — the same order in which
 /// [`crate::GraphBuilder`] assigns dense edge ids, so sorting a slice of
-/// edges reproduces a builder-built graph's id order. (A streaming
-/// [`SlidingWindowGraph`](crate::stream::SlidingWindowGraph) orders
-/// equal-timestamp edges across batches by arrival instead.)
+/// edges reproduces a builder-built graph's id order. Attributes are
+/// tie-breakers only, keeping the id order a refinement of timestamp order.
+/// (A streaming [`SlidingWindowGraph`](crate::stream::SlidingWindowGraph)
+/// orders equal-timestamp edges across batches by arrival instead.)
 impl Ord for TemporalEdge {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.ts, self.src, self.dst).cmp(&(other.ts, other.src, other.dst))
+        (self.ts, self.src, self.dst, self.amount, self.label).cmp(&(
+            other.ts,
+            other.src,
+            other.dst,
+            other.amount,
+            other.label,
+        ))
     }
 }
 
@@ -98,6 +148,22 @@ mod tests {
         assert_eq!(e, TemporalEdge::new(1, 2, 7));
         let e: TemporalEdge = (4u32, 5u32).into();
         assert_eq!(e, TemporalEdge::new(4, 5, 0));
+    }
+
+    #[test]
+    fn attrs_default_to_zero_and_are_ordering_tiebreakers() {
+        let plain = TemporalEdge::new(1, 2, 3);
+        assert_eq!(plain.amount, 0);
+        assert_eq!(plain.label, 0);
+        let rich = TemporalEdge::with_attrs(1, 2, 3, 500, 7);
+        assert_eq!(rich.amount, 500);
+        assert_eq!(rich.label, 7);
+        assert_ne!(plain, rich);
+        // (ts, src, dst) still dominates; attributes only break ties.
+        assert!(plain < rich);
+        assert!(rich < TemporalEdge::new(1, 2, 4));
+        let via_tuple: TemporalEdge = (1u32, 2u32, 3i64).into();
+        assert_eq!(via_tuple, plain);
     }
 
     #[test]

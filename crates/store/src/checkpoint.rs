@@ -11,6 +11,9 @@
 //! * the full subscription registry: each query, its stable id, its lifetime
 //!   cycle total, plus the next id to issue (ids stay never-reused across
 //!   restarts even when the highest id was unsubscribed before the crash).
+//!   Since format v2 each record also carries the query's edge predicate
+//!   (amount interval plus label filter), so restored portfolios rebuild the
+//!   same predicate union and cohort profiles the live engine had.
 //!
 //! The binary layout is hand-rolled like the batch encoding — magic
 //! `b"PCEC"`, version, fixed-width LE fields, and a trailing CRC32 over
@@ -18,17 +21,24 @@
 //! typed error and recovery falls back to the previous one.
 
 use pce_core::{
-    CollectMode, CycleKind, FanOutStrategy, Granularity, QueryId, StreamingQuery,
-    SubscriptionSnapshot,
+    CollectMode, CycleKind, EdgePredicate, FanOutStrategy, Granularity, LabelFilter, QueryId,
+    StreamingQuery, SubscriptionSnapshot,
 };
 use pce_graph::io::{crc32, IoError};
-use pce_graph::Timestamp;
+use pce_graph::{Label, Timestamp};
 
 /// Magic prefix of every checkpoint blob: `b"PCEC"`.
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"PCEC";
 
-/// Current checkpoint format version.
-pub const CHECKPOINT_FORMAT_VERSION: u16 = 1;
+/// Current checkpoint format version. Version 2 appends each subscription's
+/// [`EdgePredicate`] (amount interval + label filter) to its registry record;
+/// version-1 checkpoints still decode, with every query given the pass-all
+/// predicate — exactly what those queries meant when they were written.
+pub const CHECKPOINT_FORMAT_VERSION: u16 = 2;
+
+/// The previous checkpoint format: identical through the registry header,
+/// per-subscription records without the trailing predicate fields.
+pub const CHECKPOINT_FORMAT_V1: u16 = 1;
 
 /// The durable snapshot of a [`MultiStreamingEngine`]'s replayable state.
 /// See the [module docs](self) for what is (and is not) captured.
@@ -80,6 +90,30 @@ fn granularity_from(b: u8, offset: usize) -> Result<Granularity, IoError> {
     }
 }
 
+fn encode_labels(buf: &mut Vec<u8>, set: &[Label]) {
+    buf.extend_from_slice(&(set.len() as u32).to_le_bytes());
+    for label in set {
+        buf.extend_from_slice(&label.to_le_bytes());
+    }
+}
+
+fn decode_labels(cur: &mut Cursor<'_>) -> Result<Vec<Label>, IoError> {
+    let count = u32::from_le_bytes(cur.take(4)?.try_into().unwrap()) as usize;
+    // Bound the count by the remaining bytes before allocating.
+    let avail = cur.bytes.len().saturating_sub(4).saturating_sub(cur.offset);
+    if count * 2 > avail {
+        return Err(IoError::Truncated {
+            needed: cur.offset + count * 2 + 4,
+            have: cur.bytes.len(),
+        });
+    }
+    let mut labels = Vec::with_capacity(count);
+    for _ in 0..count {
+        labels.push(cur.u16()?);
+    }
+    Ok(labels)
+}
+
 impl Checkpoint {
     /// Serialises the checkpoint (see the [module docs](self) for layout).
     pub fn encode(&self) -> Vec<u8> {
@@ -115,6 +149,23 @@ impl Checkpoint {
                 CollectMode::Collect => 1,
             });
             buf.extend_from_slice(&sub.total_cycles.to_le_bytes());
+            // v2: the query's edge predicate. Amount hull first, then the
+            // label filter as a tag byte; Allow/Deny carry a counted,
+            // ascending label list (Any carries nothing).
+            let pred = q.edge_predicate();
+            buf.extend_from_slice(&pred.amount_min().to_le_bytes());
+            buf.extend_from_slice(&pred.amount_max().to_le_bytes());
+            match pred.label_filter() {
+                LabelFilter::Any => buf.push(0),
+                LabelFilter::Allow(set) => {
+                    buf.push(1);
+                    encode_labels(&mut buf, set);
+                }
+                LabelFilter::Deny(set) => {
+                    buf.push(2);
+                    encode_labels(&mut buf, set);
+                }
+            }
         }
         let crc = crc32(&buf);
         buf.extend_from_slice(&crc.to_le_bytes());
@@ -150,9 +201,10 @@ impl Checkpoint {
             });
         }
         let version = u16::from_le_bytes(cur.take(2)?.try_into().unwrap());
-        if version != CHECKPOINT_FORMAT_VERSION {
+        if version != CHECKPOINT_FORMAT_VERSION && version != CHECKPOINT_FORMAT_V1 {
             return Err(IoError::UnsupportedVersion { version });
         }
+        let with_predicates = version == CHECKPOINT_FORMAT_VERSION;
         let seq = cur.u64()?;
         let batches = cur.u64()?;
         let watermark = cur.i64()?;
@@ -171,8 +223,16 @@ impl Checkpoint {
         };
         let next_query_id = cur.u64()?;
         let nsubs = u32::from_le_bytes(cur.take(4)?.try_into().unwrap()) as usize;
-        // Bound the count by the remaining bytes before allocating.
-        let per_sub = 8 + 1 + 1 + 8 + 8 + 1 + 1 + 8;
+        // Bound the count by the remaining bytes before allocating. v2
+        // records are variable-length (label lists), so use the minimum
+        // record size: the v1 fixed fields plus the amount hull and the
+        // label-filter tag byte.
+        let v1_sub = 8 + 1 + 1 + 8 + 8 + 1 + 1 + 8;
+        let per_sub = if with_predicates {
+            v1_sub + 8 + 8 + 1
+        } else {
+            v1_sub
+        };
         if bytes.len() - cur.offset < nsubs * per_sub {
             return Err(IoError::Truncated {
                 needed: cur.offset + nsubs * per_sub + 4,
@@ -215,6 +275,29 @@ impl Checkpoint {
             if self_loops {
                 query = query.include_self_loops(true);
             }
+            if with_predicates {
+                let amount_min = cur.u64()?;
+                let amount_max = cur.u64()?;
+                let filter = match cur.u8()? {
+                    0 => LabelFilter::Any,
+                    1 => LabelFilter::allow(decode_labels(&mut cur)?),
+                    2 => LabelFilter::deny(decode_labels(&mut cur)?),
+                    _ => {
+                        return Err(IoError::Corrupt {
+                            offset: cur.offset - 1,
+                            detail: "unknown label-filter tag",
+                        })
+                    }
+                };
+                query = query.predicate(
+                    EdgePredicate::pass_all()
+                        .min_amount(amount_min)
+                        .max_amount(amount_max)
+                        .labels(filter),
+                );
+            }
+            // v1 records carry no predicate: those queries predate the
+            // attribute columns, so pass-all is exactly what they meant.
             subscriptions.push(SubscriptionSnapshot {
                 id,
                 query,
@@ -265,6 +348,10 @@ impl<'a> Cursor<'a> {
         Ok(self.take(1)?[0])
     }
 
+    fn u16(&mut self) -> Result<u16, IoError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
     fn u64(&mut self) -> Result<u64, IoError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
@@ -291,7 +378,11 @@ mod tests {
             subscriptions: vec![
                 SubscriptionSnapshot {
                     id: QueryId::from_raw(1),
-                    query: StreamingQuery::temporal(250).max_len(6),
+                    query: StreamingQuery::temporal(250).max_len(6).predicate(
+                        EdgePredicate::pass_all()
+                            .min_amount(100)
+                            .labels(LabelFilter::allow(vec![2, 7])),
+                    ),
                     total_cycles: 17,
                 },
                 SubscriptionSnapshot {
@@ -317,6 +408,84 @@ mod tests {
         fresh.watermark = Timestamp::MIN;
         fresh.subscriptions.clear();
         assert_eq!(Checkpoint::decode(&fresh.encode()).unwrap(), fresh);
+
+        // Deny-list filters and bounded amount intervals survive too.
+        let mut denied = sample();
+        denied.subscriptions[1].query = StreamingQuery::simple(300).predicate(
+            EdgePredicate::pass_all()
+                .max_amount(5_000)
+                .labels(LabelFilter::deny(vec![0, 3, 9])),
+        );
+        assert_eq!(Checkpoint::decode(&denied.encode()).unwrap(), denied);
+    }
+
+    /// Re-encodes a checkpoint in the v1 layout: same header, registry
+    /// records without the trailing predicate fields. Mirrors what the
+    /// encoder produced before the attribute columns existed.
+    fn encode_v1(ckpt: &Checkpoint) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&CHECKPOINT_MAGIC);
+        buf.extend_from_slice(&CHECKPOINT_FORMAT_V1.to_le_bytes());
+        buf.extend_from_slice(&ckpt.seq.to_le_bytes());
+        buf.extend_from_slice(&ckpt.batches.to_le_bytes());
+        buf.extend_from_slice(&ckpt.watermark.to_le_bytes());
+        buf.extend_from_slice(&ckpt.retention.to_le_bytes());
+        buf.extend_from_slice(&ckpt.compaction_base.to_le_bytes());
+        buf.push(granularity_byte(ckpt.granularity));
+        buf.push(match ckpt.strategy {
+            FanOutStrategy::Naive => 0,
+            FanOutStrategy::Indexed => 1,
+        });
+        buf.extend_from_slice(&ckpt.next_query_id.to_le_bytes());
+        buf.extend_from_slice(&(ckpt.subscriptions.len() as u32).to_le_bytes());
+        for sub in &ckpt.subscriptions {
+            let q = &sub.query;
+            buf.extend_from_slice(&sub.id.as_u64().to_le_bytes());
+            buf.push(match q.kind() {
+                CycleKind::Simple => 0,
+                CycleKind::Temporal => 1,
+            });
+            buf.push(granularity_byte(q.requested_granularity()));
+            buf.extend_from_slice(&q.window_delta().to_le_bytes());
+            let max_len = q.max_len_bound().map_or(u64::MAX, |n| n as u64);
+            buf.extend_from_slice(&max_len.to_le_bytes());
+            buf.push(q.includes_self_loops() as u8);
+            buf.push(match q.collect_mode() {
+                CollectMode::Count => 0,
+                CollectMode::Collect => 1,
+            });
+            buf.extend_from_slice(&sub.total_cycles.to_le_bytes());
+        }
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    #[test]
+    fn v1_checkpoints_decode_with_pass_all_predicates() {
+        // A v1 checkpoint has no predicate fields; decoding must succeed and
+        // give every restored query the pass-all predicate.
+        let mut expected = sample();
+        for sub in &mut expected.subscriptions {
+            let q = sub.query.clone();
+            sub.query = q.predicate(EdgePredicate::pass_all());
+        }
+        let v1_bytes = encode_v1(&expected);
+        let decoded = Checkpoint::decode(&v1_bytes).unwrap();
+        assert_eq!(decoded, expected);
+        for sub in &decoded.subscriptions {
+            assert!(sub.query.edge_predicate().is_pass_all());
+        }
+
+        // The corruption guarantees hold for the legacy format too.
+        for byte in 0..v1_bytes.len() {
+            let mut bad = v1_bytes.clone();
+            bad[byte] ^= 1;
+            assert!(Checkpoint::decode(&bad).is_err(), "flip at {byte} decoded");
+        }
+        for len in 0..v1_bytes.len() {
+            assert!(Checkpoint::decode(&v1_bytes[..len]).is_err());
+        }
     }
 
     #[test]

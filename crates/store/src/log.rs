@@ -312,7 +312,7 @@ mod tests {
     use crate::MemoryStore;
 
     fn e(src: u32, dst: u32, ts: i64) -> TemporalEdge {
-        TemporalEdge { src, dst, ts }
+        TemporalEdge::new(src, dst, ts)
     }
 
     #[test]

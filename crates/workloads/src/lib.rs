@@ -20,7 +20,11 @@
 //! sustained ingest throughput and per-batch detection latency. The
 //! [`durability`] module measures what making that stream crash-safe costs:
 //! logged-versus-plain ingest overhead and recovery time through
-//! [`pce_store`].
+//! [`pce_store`]. The [`predicate`] module replays attribute-bearing
+//! streams (AML layering chains, labelled intrusion loops) through
+//! predicate-filtered portfolios twice — predicate union pushed into the
+//! shared pass versus filter-at-fan-out — and checks that the reports are
+//! byte-identical while the pushdown run does strictly less work.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -28,11 +32,16 @@
 pub mod datasets;
 pub mod durability;
 pub mod experiment;
+pub mod predicate;
 pub mod streaming;
 
 pub use datasets::{dataset, dataset_suite, scaling_suite, DatasetId, DatasetSpec, WorkloadGraph};
 pub use durability::{run_durability, DurabilityConfig, DurabilityReport, StoreBackend};
 pub use experiment::{ExperimentConfig, MeasuredRow, ResultTable};
+pub use predicate::{
+    run_predicate_comparison, run_predicate_scenario, PredicateComparison, PredicateRunReport,
+    PredicateScenario, PredicateScenarioConfig,
+};
 pub use streaming::{
     mixed_portfolio, replay_batches, run_independent_portfolio, run_multi_tenant,
     run_stream_scenario, MultiTenantConfig, MultiTenantReport, StreamBatchRow,

@@ -1,0 +1,415 @@
+//! The **predicate pushdown** scenarios: attribute-filtered standing-query
+//! portfolios over attribute-bearing streams, replayed twice through the
+//! same [`MultiStreamingEngine`] configuration — once with the portfolio's
+//! predicate union pushed into the shared delta pass (the default), once
+//! with pushdown disabled so every attribute check happens at fan-out.
+//!
+//! The two runs must produce **byte-identical per-query reports** (fan-out
+//! re-checks each subscription's exact predicate either way — pushdown only
+//! removes candidates *no* subscription could accept), while the pushdown
+//! run must do strictly less work: fewer union members on the reachability
+//! frontiers and fewer subscription-constraint checks. Both are
+//! deterministic counters, so the `predicate` section of `streaming_bench`
+//! asserts the inequality on every run, at every thread count.
+//!
+//! Two datasets exercise the two predicate dimensions:
+//!
+//! * [`PredicateScenario::AmlLayering`] — [`layering_chains`]: long
+//!   amount-monotone laundering chains above an amount floor, buried in
+//!   low-amount retail noise; the portfolio's amount intervals prune.
+//! * [`PredicateScenario::LabeledIntrusion`] — [`labeled_intrusion`]:
+//!   beacon loops on one protocol label inside multi-protocol noise; the
+//!   portfolio's label filters prune.
+
+use pce_core::{
+    CollectMode, EdgePredicate, FanOutStrategy, Granularity, MultiStreamingEngine, QueryId,
+    StreamCycle, StreamingError, StreamingQuery,
+};
+use pce_graph::generators::{
+    labeled_intrusion, layering_chains, LabeledIntrusionConfig, LayeringChainConfig,
+};
+use pce_graph::Timestamp;
+
+use crate::streaming::replay_batches;
+
+/// Which attribute-filtered dataset a predicate run replays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredicateScenario {
+    /// Anti-money-laundering layering chains: the portfolio prunes on
+    /// **amount** intervals.
+    AmlLayering,
+    /// Labelled lateral-movement loops: the portfolio prunes on **label**
+    /// filters.
+    LabeledIntrusion,
+}
+
+impl PredicateScenario {
+    /// Short stable name used in benchmark JSON keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            PredicateScenario::AmlLayering => "aml_layering",
+            PredicateScenario::LabeledIntrusion => "labeled_intrusion",
+        }
+    }
+}
+
+/// Configuration of one predicate-pushdown run.
+#[derive(Debug, Clone, Copy)]
+pub struct PredicateScenarioConfig {
+    /// The dataset and predicate dimension being exercised.
+    pub scenario: PredicateScenario,
+    /// The AML dataset (used when `scenario` is `AmlLayering`).
+    pub aml: LayeringChainConfig,
+    /// The intrusion dataset (used when `scenario` is `LabeledIntrusion`).
+    pub intrusion: LabeledIntrusionConfig,
+    /// Number of edges per ingest batch.
+    pub batch_edges: usize,
+    /// Sliding-window retention span.
+    pub retention: Timestamp,
+    /// How the shared delta pass is split across workers.
+    pub granularity: Granularity,
+    /// How candidates are routed to subscriptions.
+    pub strategy: FanOutStrategy,
+}
+
+impl PredicateScenarioConfig {
+    /// A seconds-scale AML configuration for CI smoke runs.
+    pub fn aml_smoke() -> Self {
+        Self {
+            scenario: PredicateScenario::AmlLayering,
+            aml: LayeringChainConfig {
+                num_accounts: 300,
+                background_edges: 3_000,
+                num_chains: 8,
+                chain_len: (6, 9),
+                time_span: 60_000,
+                chain_span: 4_000,
+                base_amount: 100_000,
+                skim_per_hop: 500,
+                background_amount_max: 50_000,
+                num_decoys: 8,
+                seed: 11,
+            },
+            intrusion: LabeledIntrusionConfig::default(),
+            batch_edges: 300,
+            retention: 12_000,
+            granularity: Granularity::CoarseGrained,
+            strategy: FanOutStrategy::Indexed,
+        }
+    }
+
+    /// A seconds-scale intrusion configuration for CI smoke runs.
+    pub fn intrusion_smoke() -> Self {
+        Self {
+            scenario: PredicateScenario::LabeledIntrusion,
+            aml: LayeringChainConfig::default(),
+            intrusion: LabeledIntrusionConfig {
+                num_hosts: 200,
+                background_edges: 3_000,
+                num_beacons: 10,
+                loop_len: (3, 5),
+                time_span: 60_000,
+                loop_span: 3_000,
+                suspicious_label: 7,
+                num_labels: 8,
+                num_decoys: 10,
+                seed: 13,
+            },
+            batch_edges: 300,
+            retention: 12_000,
+            granularity: Granularity::CoarseGrained,
+            strategy: FanOutStrategy::Indexed,
+        }
+    }
+
+    /// The full-scale AML configuration of the benchmark binary.
+    pub fn aml_full() -> Self {
+        Self {
+            scenario: PredicateScenario::AmlLayering,
+            aml: LayeringChainConfig::default(),
+            intrusion: LabeledIntrusionConfig::default(),
+            batch_edges: 2_000,
+            retention: 60_000,
+            granularity: Granularity::CoarseGrained,
+            strategy: FanOutStrategy::Indexed,
+        }
+    }
+
+    /// The full-scale intrusion configuration of the benchmark binary.
+    pub fn intrusion_full() -> Self {
+        Self {
+            scenario: PredicateScenario::LabeledIntrusion,
+            aml: LayeringChainConfig::default(),
+            intrusion: LabeledIntrusionConfig::default(),
+            batch_edges: 2_000,
+            retention: 60_000,
+            granularity: Granularity::CoarseGrained,
+            strategy: FanOutStrategy::Indexed,
+        }
+    }
+
+    /// The same scenario at a different delta-pass granularity.
+    pub fn with_granularity(mut self, granularity: Granularity) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
+    /// The same scenario with a different fan-out strategy.
+    pub fn with_strategy(mut self, strategy: FanOutStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The predicate-bearing standing-query portfolio this configuration
+    /// subscribes. Every member constrains the pruning attribute (amounts
+    /// for AML, labels for intrusion) so the portfolio's predicate union is
+    /// *not* pass-all — the precondition for pushdown to prune anything.
+    pub fn portfolio(&self) -> Vec<StreamingQuery> {
+        match self.scenario {
+            PredicateScenario::AmlLayering => {
+                let cfg = &self.aml;
+                let delta = cfg.chain_span;
+                vec![
+                    // The AML desk: full layering chains above the floor.
+                    StreamingQuery::temporal(delta)
+                        .max_len(cfg.chain_len.1)
+                        .predicate(cfg.alert_predicate())
+                        .collect(CollectMode::Collect),
+                    // A stricter desk: only the chains' high-amount head
+                    // hops; tighter floor, shorter chains.
+                    StreamingQuery::temporal(delta)
+                        .max_len(cfg.chain_len.1.saturating_sub(2).max(2))
+                        .predicate(
+                            EdgePredicate::pass_all()
+                                .min_amount(cfg.alert_floor() + 2 * cfg.skim_per_hop),
+                        )
+                        .collect(CollectMode::Collect),
+                ]
+            }
+            PredicateScenario::LabeledIntrusion => {
+                let cfg = &self.intrusion;
+                let delta = cfg.loop_span;
+                vec![
+                    // The hunt team: any beacon loop on the protocol.
+                    StreamingQuery::temporal(delta)
+                        .max_len(cfg.loop_len.1)
+                        .predicate(cfg.alert_predicate())
+                        .collect(CollectMode::Collect),
+                    // The triage queue: short loops only, same protocol.
+                    StreamingQuery::temporal(delta)
+                        .max_len(cfg.loop_len.0)
+                        .predicate(cfg.alert_predicate())
+                        .collect(CollectMode::Collect),
+                ]
+            }
+        }
+    }
+
+    fn batches(&self) -> Vec<Vec<pce_graph::TemporalEdge>> {
+        let graph = match self.scenario {
+            PredicateScenario::AmlLayering => layering_chains(self.aml).0,
+            PredicateScenario::LabeledIntrusion => labeled_intrusion(self.intrusion).0,
+        };
+        replay_batches(&graph, self.batch_edges)
+    }
+}
+
+/// The measurements of one predicate run (one pushdown setting).
+#[derive(Debug, Clone)]
+pub struct PredicateRunReport {
+    /// Whether the shared pass traversed with the portfolio's predicate
+    /// union (`true`) or pass-all (`false`, filter-at-fan-out baseline).
+    pub pushdown: bool,
+    /// Worker threads the shared pass used.
+    pub threads: usize,
+    /// Candidate cycles the shared passes discovered across the replay.
+    pub candidates: u64,
+    /// Union-pass members accumulated across every delta root — the
+    /// deterministic traversal-work counter pushdown must shrink.
+    pub union_members: u64,
+    /// Subscription-constraint checks the fan-out performed — the
+    /// deterministic dispatch-cost counter pushdown must shrink.
+    pub fan_out_checks: u64,
+    /// Lifetime cycle totals per subscription, in subscription order.
+    pub per_query_cycles: Vec<u64>,
+    /// Every subscription's reported cycles across the replay, canonicalised
+    /// and sorted — the byte-comparable artefact the pushdown-vs-post-filter
+    /// oracle checks.
+    pub per_query_reports: Vec<Vec<StreamCycle>>,
+    /// End-to-end wall-clock seconds for the replay.
+    pub wall_secs: f64,
+}
+
+/// Runs one predicate scenario at the given thread count and pushdown
+/// setting: subscribes the portfolio, replays the attribute-bearing stream
+/// through one [`MultiStreamingEngine`], and collects the deterministic
+/// work/dispatch counters plus every per-query report.
+pub fn run_predicate_scenario(
+    cfg: &PredicateScenarioConfig,
+    threads: usize,
+    pushdown: bool,
+) -> Result<PredicateRunReport, StreamingError> {
+    let batches = cfg.batches();
+    let mut engine = MultiStreamingEngine::with_threads(cfg.retention, threads)?
+        .with_granularity(cfg.granularity)
+        .with_fan_out(cfg.strategy)
+        .with_pushdown(pushdown);
+    let ids: Vec<QueryId> = cfg
+        .portfolio()
+        .into_iter()
+        .map(|q| engine.subscribe(q))
+        .collect::<Result<_, _>>()?;
+
+    let start = std::time::Instant::now();
+    let mut candidates = 0u64;
+    let mut union_members = 0u64;
+    let mut fan_out_checks = 0u64;
+    let mut per_query_reports: Vec<Vec<StreamCycle>> = vec![Vec::new(); ids.len()];
+    for batch in &batches {
+        let report = engine.ingest(batch)?;
+        candidates += report.candidates;
+        union_members += report.stats.work.total_union_members();
+        fan_out_checks += report.fan_out.checks;
+        for (slot, id) in per_query_reports.iter_mut().zip(&ids) {
+            if let Some(r) = report.report(*id) {
+                slot.extend(r.cycles.iter().map(StreamCycle::canonicalize));
+            }
+        }
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+    for slot in &mut per_query_reports {
+        slot.sort_by(|a, b| a.edges.cmp(&b.edges));
+    }
+
+    Ok(PredicateRunReport {
+        pushdown,
+        threads,
+        candidates,
+        union_members,
+        fan_out_checks,
+        per_query_cycles: ids
+            .iter()
+            .map(|&id| engine.total_cycles(id).expect("subscribed"))
+            .collect(),
+        per_query_reports,
+        wall_secs,
+    })
+}
+
+/// The pushdown-vs-post-filter differential: both runs over the same stream
+/// and portfolio.
+#[derive(Debug, Clone)]
+pub struct PredicateComparison {
+    /// The run with the predicate union pushed into the shared pass.
+    pub push: PredicateRunReport,
+    /// The filter-at-fan-out baseline (pushdown disabled).
+    pub post: PredicateRunReport,
+}
+
+impl PredicateComparison {
+    /// `true` when both runs reported byte-identical cycles to every
+    /// subscription — the correctness half of the pushdown claim.
+    pub fn reports_identical(&self) -> bool {
+        self.push.per_query_cycles == self.post.per_query_cycles
+            && self.push.per_query_reports == self.post.per_query_reports
+    }
+
+    /// `true` when pushdown did strictly less traversal *and* dispatch work
+    /// — the performance half of the pushdown claim, on deterministic
+    /// counters. All three gaps are strict: both datasets plant decoy
+    /// cycles only the pass-all baseline discovers, so the baseline always
+    /// pays extra candidates and extra fan-out checks for them.
+    pub fn pushdown_strictly_cheaper(&self) -> bool {
+        self.push.union_members < self.post.union_members
+            && self.push.fan_out_checks < self.post.fan_out_checks
+            && self.push.candidates < self.post.candidates
+    }
+}
+
+/// Runs one predicate scenario twice — pushdown on, then off — and returns
+/// both reports for the differential oracle.
+pub fn run_predicate_comparison(
+    cfg: &PredicateScenarioConfig,
+    threads: usize,
+) -> Result<PredicateComparison, StreamingError> {
+    Ok(PredicateComparison {
+        push: run_predicate_scenario(cfg, threads, true)?,
+        post: run_predicate_scenario(cfg, threads, false)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(cfg: &PredicateScenarioConfig, threads: usize) -> PredicateComparison {
+        let cmp = run_predicate_comparison(cfg, threads).expect("valid scenario");
+        assert!(
+            cmp.reports_identical(),
+            "pushdown changed the reports: {:?} vs {:?}",
+            cmp.push.per_query_cycles,
+            cmp.post.per_query_cycles
+        );
+        assert!(
+            cmp.pushdown_strictly_cheaper(),
+            "pushdown did not prune: union {} vs {}, checks {} vs {}",
+            cmp.push.union_members,
+            cmp.post.union_members,
+            cmp.push.fan_out_checks,
+            cmp.post.fan_out_checks
+        );
+        cmp
+    }
+
+    #[test]
+    fn aml_pushdown_prunes_and_agrees() {
+        let cfg = PredicateScenarioConfig::aml_smoke();
+        let cmp = check(&cfg, 2);
+        // The desk subscribed to full chains must see every planted chain.
+        assert!(
+            cmp.push.per_query_cycles[0] >= cfg.aml.num_chains as u64,
+            "found {} chains, planted {}",
+            cmp.push.per_query_cycles[0],
+            cfg.aml.num_chains
+        );
+    }
+
+    #[test]
+    fn intrusion_pushdown_prunes_and_agrees() {
+        let cfg = PredicateScenarioConfig::intrusion_smoke();
+        let cmp = check(&cfg, 2);
+        assert!(
+            cmp.push.per_query_cycles[0] >= cfg.intrusion.num_beacons as u64,
+            "found {} loops, planted {}",
+            cmp.push.per_query_cycles[0],
+            cfg.intrusion.num_beacons
+        );
+    }
+
+    #[test]
+    fn pushdown_counters_are_thread_count_independent() {
+        let cfg = PredicateScenarioConfig::aml_smoke();
+        let a = run_predicate_scenario(&cfg, 1, true).unwrap();
+        let b = run_predicate_scenario(&cfg, 4, true).unwrap();
+        assert_eq!(a.union_members, b.union_members);
+        assert_eq!(a.candidates, b.candidates);
+        assert_eq!(a.per_query_cycles, b.per_query_cycles);
+        assert_eq!(a.per_query_reports, b.per_query_reports);
+    }
+
+    #[test]
+    fn granularities_and_strategies_agree_under_pushdown() {
+        let base = PredicateScenarioConfig::intrusion_smoke();
+        let reference = run_predicate_scenario(&base, 2, true).unwrap();
+        for granularity in [Granularity::Sequential, Granularity::FineGrained] {
+            for strategy in [FanOutStrategy::Naive, FanOutStrategy::Indexed] {
+                let cfg = base.with_granularity(granularity).with_strategy(strategy);
+                let run = run_predicate_scenario(&cfg, 2, true).unwrap();
+                assert_eq!(
+                    run.per_query_reports, reference.per_query_reports,
+                    "{granularity:?}/{strategy:?} diverged"
+                );
+            }
+        }
+    }
+}

@@ -2,11 +2,14 @@
 //!
 //! `streaming_fraud` serves **one** standing query; this example is the
 //! production shape above it — several teams watch the *same* stream with
-//! different questions (windows, cycle kinds, hop bounds), and a single
-//! `MultiStreamingEngine` serves all of them from **one** ingest pass per
-//! batch: one append/expiry, one delta root scan, one per-root pruning pass
-//! at the widest subscribed window, then per-query filtering. Each team gets
-//! its own attributed reports and latency percentiles by `QueryId`.
+//! different questions (windows, cycle kinds, hop bounds, attribute
+//! filters), and a single `MultiStreamingEngine` serves all of them from
+//! **one** ingest pass per batch: one append/expiry, one delta root scan,
+//! one per-root pruning pass at the widest subscribed window, then per-query
+//! filtering. Each team gets its own attributed reports and latency
+//! percentiles by `QueryId`. The AML desk's subscription carries an
+//! `EdgePredicate` — only rings built entirely from large transfers — which
+//! gets its own fan-out cohort keyed by the predicate profile.
 //!
 //! Run with:
 //! ```text
@@ -35,11 +38,19 @@ fn main() {
     };
     let (history, planted) = transaction_rings(cfg);
     println!(
-        "replaying {} transactions over {} accounts ({} planted rings) to 3 tenants",
+        "replaying {} transactions over {} accounts ({} planted rings) to 4 tenants",
         history.num_edges(),
         cfg.num_accounts,
         planted
     );
+
+    // The generator emits bare (src, dst, ts) transfers; stamp each with a
+    // deterministic amount so the AML desk's amount filter has something to
+    // bite on. Amounts land roughly uniformly in 1..=100_000.
+    let stamp = |e: &TemporalEdge| {
+        let mix = u64::from(e.src) * 31 + u64::from(e.dst) * 7 + (e.ts as u64) * 13 + 5;
+        TemporalEdge::with_attrs(e.src, e.dst, e.ts, (mix * 997) % 100_000 + 1, 0)
+    };
 
     // One week of retention covers every tenant's window.
     let retention = 7 * 24 * 3600;
@@ -62,17 +73,32 @@ fn main() {
                 .collect(CollectMode::Count),
         )
         .expect("valid query");
+    // The AML desk: the compliance window, but only rings built entirely
+    // from large transfers. The predicate is *pushed down* into the shared
+    // pass — small transfers every tenant filters out would never even be
+    // traversed — but here the unfiltered tenants keep the pass at pass-all,
+    // so the predicate acts at fan-out, one evaluation per cohort.
+    let aml = engine
+        .subscribe(
+            StreamingQuery::temporal(24 * 3600)
+                .max_len(8)
+                .predicate(EdgePredicate::pass_all().min_amount(60_000)),
+        )
+        .expect("valid query");
     let tenants = [
         (compliance, "compliance"),
         (realtime, "realtime-desk"),
         (analytics, "analytics"),
+        (aml, "aml-desk"),
     ];
     println!(
         "subscribed {} tenants; shared pass runs at the widest window",
         engine.num_subscriptions()
     );
     // The constraint index routing candidates to tenants: cohorts bucket by
-    // (kind, self-loops), groups deduplicate full constraint profiles.
+    // (kind, self-loops, predicate profile) — the AML desk's amount filter
+    // shows up in its cohort key below — and groups deduplicate full
+    // constraint profiles within each cohort.
     for (key, groups, subs) in engine.subscription_index().summaries() {
         println!("  cohort {key}: {subs} subscription(s) across {groups} constraint group(s)");
     }
@@ -81,7 +107,11 @@ fn main() {
     let batch_edges = (history.num_edges() / (30 * 24)).max(1);
     let mut alerts = 0u64;
     let mut fan_out_checks = 0u64;
-    let batches: Vec<&[TemporalEdge]> = history.edges().chunks(batch_edges).collect();
+    let batches: Vec<Vec<TemporalEdge>> = history
+        .edges()
+        .chunks(batch_edges)
+        .map(|chunk| chunk.iter().map(&stamp).collect())
+        .collect();
     let mid = batches.len() / 2;
     for (i, batch) in batches.iter().enumerate() {
         // Halfway through the month the real-time desk stands down: later
@@ -123,6 +153,13 @@ fn main() {
             _ => println!("  {name:>14} ({id}): unsubscribed"),
         }
     }
+    let watched = engine.total_cycles(compliance).unwrap_or(0);
+    let large = engine.total_cycles(aml).unwrap_or(0);
+    assert!(large <= watched, "the predicate only ever narrows a report");
+    println!(
+        "  the aml-desk's {large} rings are exactly the compliance team's {watched} \
+         whose every hop moved at least 60 000"
+    );
     println!(
         "\n{} batches, {} live edges in the final window, {} edges ingested exactly once, \
          {} fan-out constraint checks ({:?} dispatch)",

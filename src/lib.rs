@@ -69,8 +69,8 @@ pub mod prelude {
         SubscriptionIndex, SubscriptionSnapshot, TemporalCycleOptions, WorkMetrics,
     };
     pub use pce_graph::{
-        generators, DeltaBatch, GraphBuilder, GraphStats, GraphView, SlidingWindowGraph,
-        StreamError, TemporalEdge, TemporalGraph, TimeWindow,
+        generators, DeltaBatch, EdgePredicate, GraphBuilder, GraphStats, GraphView, LabelFilter,
+        SlidingWindowGraph, StreamError, TemporalEdge, TemporalGraph, TimeWindow,
     };
     pub use pce_sched::{ThreadPool, WorkerMetrics};
     pub use pce_store::{

@@ -1,8 +1,9 @@
 //! Crash-recovery equivalence: the durability layer must make a restart
 //! invisible in the per-query reports.
 //!
-//! The sweep runs a seeded multi-subscription stream (with mid-stream
-//! subscription churn, segment rotations and cadence checkpoints) through a
+//! The sweep runs a seeded multi-subscription stream (attributed edges,
+//! predicate-bearing subscriptions, mid-stream subscription churn, segment
+//! rotations and cadence checkpoints) through a
 //! [`DurableMultiStreamingEngine`], then simulates a crash at **every byte**
 //! of the segment log — every record boundary and every mid-record torn
 //! write — recovers, finishes the stream, and asserts that the replayed +
@@ -42,6 +43,32 @@ fn sweep_stream(seed: u64, batch_edges: usize) -> Vec<Vec<TemporalEdge>> {
             out_of_order: true,
         },
     )
+}
+
+/// Deterministically attributes the sweep stream (same mixing as the
+/// streaming sweep): amounts roughly uniform in `0..100_000`, labels in
+/// `0..8`, derived from each edge's endpoints and timestamp — so the
+/// predicate-bearing subscriptions below have attributes to filter on and
+/// every crash cut replays the identical attributed stream.
+fn attribute_stream(batches: &[Vec<TemporalEdge>]) -> Vec<Vec<TemporalEdge>> {
+    batches
+        .iter()
+        .map(|batch| {
+            batch
+                .iter()
+                .map(|e| {
+                    let mix = u64::from(e.src) * 31 + u64::from(e.dst) * 7 + (e.ts as u64) * 13 + 5;
+                    TemporalEdge::with_attrs(
+                        e.src,
+                        e.dst,
+                        e.ts,
+                        (mix * 997) % 100_000,
+                        ((mix >> 3) % 8) as u16,
+                    )
+                })
+                .collect()
+        })
+        .collect()
 }
 
 fn sort_canonical(cycles: &[StreamCycle]) -> Vec<StreamCycle> {
@@ -97,7 +124,7 @@ struct Reference {
 }
 
 fn reference_run(cfg: &DurableConfig) -> Reference {
-    let batches = sweep_stream(sweep_seed(), 12);
+    let batches = attribute_stream(&sweep_stream(sweep_seed(), 12));
     let mut engine = DurableMultiStreamingEngine::create(MemoryStore::new(), RETENTION, cfg)
         .expect("create durable engine");
 
@@ -142,18 +169,28 @@ fn reference_run(cfg: &DurableConfig) -> Reference {
         &mut ops,
         &mut seen_ckpts,
         &mut checkpoint_bytes,
-        StreamingQuery::simple(25).max_len(5),
+        // A predicate-bearing subscription in the sweep itself: its amount
+        // floor and label deny-list must survive every crash cut (format v2
+        // serialises them), or the recovered reports diverge.
+        StreamingQuery::simple(25).max_len(5).predicate(
+            EdgePredicate::pass_all()
+                .min_amount(20_000)
+                .labels(LabelFilter::deny(vec![0])),
+        ),
     );
 
     for (k, batch) in batches.iter().enumerate() {
         if k == 3 {
-            // Mid-stream churn: a registry checkpoint between rotations.
+            // Mid-stream churn: a registry checkpoint between rotations —
+            // this late subscription also carries a predicate profile.
             subscribe(
                 &mut engine,
                 &mut ops,
                 &mut seen_ckpts,
                 &mut checkpoint_bytes,
-                StreamingQuery::temporal(15).collect(CollectMode::Count),
+                StreamingQuery::temporal(15)
+                    .collect(CollectMode::Count)
+                    .predicate(EdgePredicate::pass_all().min_amount(50_000)),
             );
         }
         let report = engine.ingest(batch).expect("in-order ingest");
@@ -389,13 +426,14 @@ fn crash_sweep_record_boundaries_and_torn_writes_fs() {
 #[test]
 fn durable_ingest_matches_plain_engine() {
     let cfg = sweep_cfg();
-    let batches = sweep_stream(sweep_seed() ^ 0xD0_D0, 9);
+    let batches = attribute_stream(&sweep_stream(sweep_seed() ^ 0xD0_D0, 9));
     let mut plain = MultiStreamingEngine::with_threads(RETENTION, 1).unwrap();
     let mut durable =
         DurableMultiStreamingEngine::create(MemoryStore::new(), RETENTION, &cfg).unwrap();
     let queries = [
         StreamingQuery::temporal(RETENTION),
-        StreamingQuery::simple(20),
+        StreamingQuery::simple(20)
+            .predicate(EdgePredicate::pass_all().labels(LabelFilter::allow(vec![1, 2, 5]))),
     ];
     for q in &queries {
         let a = plain.subscribe(q.clone()).unwrap();
@@ -444,4 +482,159 @@ fn rejected_batch_is_rolled_back_from_the_log() {
     assert_eq!(info.dropped_batches, 0);
     assert_eq!(recovered.engine().total_cycles(q), Some(1));
     assert_eq!(recovered.engine().batches(), 2);
+}
+
+/// Re-encodes a checkpoint in the **v1** on-disk format: identical through
+/// the registry header, per-subscription records without the trailing
+/// predicate fields. Only meaningful for pass-all registries (v1 could not
+/// express anything else).
+fn encode_v1(ck: &Checkpoint) -> Vec<u8> {
+    use parallel_cycle_enumeration::graph::io::crc32;
+    let mut buf = Vec::new();
+    buf.extend_from_slice(b"PCEC");
+    buf.extend_from_slice(&1u16.to_le_bytes());
+    buf.extend_from_slice(&ck.seq.to_le_bytes());
+    buf.extend_from_slice(&ck.batches.to_le_bytes());
+    buf.extend_from_slice(&ck.watermark.to_le_bytes());
+    buf.extend_from_slice(&ck.retention.to_le_bytes());
+    buf.extend_from_slice(&ck.compaction_base.to_le_bytes());
+    buf.push(match ck.granularity {
+        Granularity::Sequential => 0,
+        Granularity::CoarseGrained => 1,
+        Granularity::FineGrained => 2,
+    });
+    buf.push(match ck.strategy {
+        FanOutStrategy::Naive => 0,
+        FanOutStrategy::Indexed => 1,
+    });
+    buf.extend_from_slice(&ck.next_query_id.to_le_bytes());
+    buf.extend_from_slice(&(ck.subscriptions.len() as u32).to_le_bytes());
+    for sub in &ck.subscriptions {
+        let q = &sub.query;
+        assert!(
+            q.edge_predicate().is_pass_all(),
+            "v1 cannot express a non-trivial predicate"
+        );
+        buf.extend_from_slice(&sub.id.as_u64().to_le_bytes());
+        buf.push(match q.kind() {
+            CycleKind::Simple => 0,
+            CycleKind::Temporal => 1,
+        });
+        buf.push(match q.requested_granularity() {
+            Granularity::Sequential => 0,
+            Granularity::CoarseGrained => 1,
+            Granularity::FineGrained => 2,
+        });
+        buf.extend_from_slice(&q.window_delta().to_le_bytes());
+        let max_len = q.max_len_bound().map_or(u64::MAX, |n| n as u64);
+        buf.extend_from_slice(&max_len.to_le_bytes());
+        buf.push(q.includes_self_loops() as u8);
+        buf.push(match q.collect_mode() {
+            CollectMode::Count => 0,
+            CollectMode::Collect => 1,
+        });
+        buf.extend_from_slice(&sub.total_cycles.to_le_bytes());
+    }
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// A store whose newest checkpoint was written by the previous release (v1:
+/// no predicate fields) must recover with every query given the pass-all
+/// predicate, keep serving byte-identical reports, accept predicate-bearing
+/// subscriptions after the upgrade, and roundtrip them through the **next**
+/// crash in the current format.
+#[test]
+fn v1_checkpoint_store_upgrades_through_recovery() {
+    let cfg = DurableConfig {
+        // No cadence checkpoints: the hand-planted v1 checkpoint must be the
+        // newest one recovery sees.
+        checkpoint_every_batches: u64::MAX,
+        threads: 1,
+        ..DurableConfig::default()
+    };
+    let batches = attribute_stream(&sweep_stream(sweep_seed() ^ 0x0171, 10));
+    let split = batches.len() / 2;
+
+    // The pre-upgrade run: pass-all subscriptions only (all v1 could hold),
+    // shadowed by a plain in-memory twin for the reference reports.
+    let mut durable =
+        DurableMultiStreamingEngine::create(MemoryStore::new(), RETENTION, &cfg).unwrap();
+    let mut plain = MultiStreamingEngine::with_threads(RETENTION, 1).unwrap();
+    for q in [
+        StreamingQuery::temporal(RETENTION),
+        StreamingQuery::simple(25).max_len(5),
+    ] {
+        let a = durable.subscribe(q.clone()).unwrap();
+        let b = plain.subscribe(q).unwrap();
+        assert_eq!(a, b);
+    }
+    for batch in &batches[..split] {
+        let a = durable.ingest(batch).unwrap();
+        let b = plain.ingest(batch).unwrap();
+        assert_eq!(project(&a), project(&b));
+    }
+    durable.checkpoint_now().unwrap();
+
+    // Downgrade the newest checkpoint to the v1 format, as if the file had
+    // been written before the upgrade: re-encode the decoded checkpoint
+    // without its predicate fields, one sequence number ahead so recovery
+    // must pick it.
+    let seq = *durable
+        .log()
+        .store()
+        .checkpoint_seqs()
+        .unwrap()
+        .last()
+        .unwrap();
+    let mut store = durable.into_store();
+    let mut ck = Checkpoint::decode(&store.read_checkpoint(seq).unwrap()).unwrap();
+    ck.seq += 1;
+    store.write_checkpoint(ck.seq, &encode_v1(&ck)).unwrap();
+
+    // Recovery: every restored query carries the pass-all predicate — which
+    // is exactly what those v1 queries meant — and the stream continues
+    // byte-identically.
+    let (mut recovered, info) = recover(store, &cfg).unwrap();
+    assert_eq!(info.checkpoint_seq, ck.seq, "the v1 checkpoint is newest");
+    assert_eq!(info.dropped_batches, 0);
+    for (_, q) in recovered.engine().subscriptions() {
+        assert!(
+            q.edge_predicate().is_pass_all(),
+            "v1 records decode to pass-all predicates"
+        );
+    }
+    assert_eq!(
+        recovered.engine().subscription_snapshots(),
+        plain.subscription_snapshots(),
+        "the upgraded registry matches the uninterrupted twin"
+    );
+
+    // Post-upgrade, a predicate-bearing subscription joins both engines …
+    let pred = EdgePredicate::pass_all()
+        .min_amount(30_000)
+        .labels(LabelFilter::deny(vec![0, 7]));
+    let a = recovered
+        .subscribe(StreamingQuery::temporal(20).predicate(pred.clone()))
+        .unwrap();
+    let b = plain
+        .subscribe(StreamingQuery::temporal(20).predicate(pred))
+        .unwrap();
+    assert_eq!(a, b, "persisted next-id survives the v1 upgrade");
+    for batch in &batches[split..] {
+        let x = recovered.ingest(batch).unwrap();
+        let y = plain.ingest(batch).unwrap();
+        assert_eq!(project(&x), project(&y));
+    }
+
+    // … and survives the *next* crash via the current (v2) format.
+    recovered.checkpoint_now().unwrap();
+    let expected = recovered.engine().subscription_snapshots();
+    let (after, _) = recover(recovered.into_store(), &cfg).unwrap();
+    assert_eq!(
+        after.engine().subscription_snapshots(),
+        expected,
+        "predicates roundtrip through the post-upgrade checkpoint"
+    );
 }

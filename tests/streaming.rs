@@ -3,7 +3,11 @@
 //! final window — for simple and temporal cycles, across seeds, batch sizes
 //! (including batches that straddle window expiry), one-shot
 //! algorithm/granularity combinations, streaming delta granularities and
-//! streaming thread counts.
+//! streaming thread counts. The predicate sweep extends the fan-out harness
+//! with attribute-filtered subscriptions: every fan-out strategy × pushdown
+//! setting must report byte-identically to dedicated per-query engines, while
+//! pushing the predicate union into the shared pass does strictly less
+//! union-building work than filtering at fan-out.
 //!
 //! The seeded sweep takes its base seed from the `PCE_SWEEP_SEED` environment
 //! variable (CI passes one per run and echoes it), so a failure in a CI log
@@ -560,6 +564,189 @@ fn fan_out_index_sweep_is_byte_identical_to_naive_loop() {
         parallel_batches > 0,
         "the K = 64, threads = 4 configurations must exercise the deferred \
          parallel dispatch path"
+    );
+}
+
+/// Deterministically attributes the sweep stream: amounts and labels are
+/// derived from each edge's endpoints and timestamp, so every configuration
+/// replays the same attributed stream regardless of batching or threads.
+/// Amounts land roughly uniformly in `0..100_000`; labels in `0..8`.
+fn attribute_stream(batches: &[Vec<TemporalEdge>]) -> Vec<Vec<TemporalEdge>> {
+    batches
+        .iter()
+        .map(|batch| {
+            batch
+                .iter()
+                .map(|e| {
+                    let mix = u64::from(e.src) * 31 + u64::from(e.dst) * 7 + (e.ts as u64) * 13 + 5;
+                    TemporalEdge::with_attrs(
+                        e.src,
+                        e.dst,
+                        e.ts,
+                        (mix * 997) % 100_000,
+                        ((mix >> 3) % 8) as u16,
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The predicate-bearing portfolio for the fan-out sweep. Every member
+/// carries a minimum-amount bound, so the portfolio's predicate *union*
+/// (amount floor 40 000) genuinely rejects a large slice of the attributed
+/// stream and pushdown has something to prune; the label filters and amount
+/// intervals differ per subscription, so fan-out must still apply each exact
+/// predicate. All in [`CollectMode::Collect`] so the cycles themselves are
+/// compared.
+fn predicate_portfolio() -> Vec<StreamingQuery> {
+    vec![
+        StreamingQuery::temporal(25).predicate(EdgePredicate::pass_all().min_amount(60_000)),
+        StreamingQuery::simple(12).max_len(4).predicate(
+            EdgePredicate::pass_all()
+                .min_amount(45_000)
+                .labels(LabelFilter::allow(vec![2, 5])),
+        ),
+        StreamingQuery::temporal(8).max_len(3).predicate(
+            EdgePredicate::pass_all()
+                .min_amount(50_000)
+                .max_amount(90_000),
+        ),
+        StreamingQuery::simple(30).predicate(
+            EdgePredicate::pass_all()
+                .min_amount(40_000)
+                .labels(LabelFilter::deny(vec![0])),
+        ),
+    ]
+    .into_iter()
+    .map(|q| q.collect(CollectMode::Collect))
+    .collect()
+}
+
+/// The predicate extension of the fan-out sweep: a portfolio of
+/// attribute-filtered subscriptions replayed through every fan-out strategy
+/// {Naive, Indexed} × pushdown setting {on, off} must report, **per query and
+/// per batch**, byte-identical canonicalised cycles to dedicated single-query
+/// engines — across granularities {sequential, coarse, fine}, threads {1, 4}
+/// and retentions with and without mid-stream expiry. The pushdown runs must
+/// never build larger edge unions than their filter-at-fan-out twins, and
+/// across the whole sweep they must build strictly smaller ones. Base seed
+/// from `PCE_SWEEP_SEED` (echoed by CI; every assertion message carries the
+/// seed).
+#[test]
+fn predicate_sweep_is_byte_identical_across_strategies_and_pushdown() {
+    let base = sweep_seed();
+    let portfolio = predicate_portfolio();
+    let mut cycles_seen = 0usize;
+    let mut push_union_total = 0u64;
+    let mut post_union_total = 0u64;
+    for seed in base..base + 2 {
+        for retention in [10_000i64, 40] {
+            let batches = attribute_stream(&sweep_stream(seed, 9));
+            for granularity in [
+                Granularity::Sequential,
+                Granularity::CoarseGrained,
+                Granularity::FineGrained,
+            ] {
+                for threads in [1usize, 4] {
+                    let label = format!(
+                        "seed {seed} retention {retention} {granularity:?} threads {threads}"
+                    );
+                    // Four shared engines: every strategy × pushdown setting.
+                    let configs = [
+                        (FanOutStrategy::Naive, true),
+                        (FanOutStrategy::Naive, false),
+                        (FanOutStrategy::Indexed, true),
+                        (FanOutStrategy::Indexed, false),
+                    ];
+                    let mut engines: Vec<MultiStreamingEngine> = configs
+                        .iter()
+                        .map(|&(strategy, pushdown)| {
+                            let mut engine = MultiStreamingEngine::with_threads(retention, threads)
+                                .expect("valid retention")
+                                .with_granularity(granularity)
+                                .with_fan_out(strategy)
+                                .with_pushdown(pushdown);
+                            for q in &portfolio {
+                                engine.subscribe(q.clone()).expect("valid subscription");
+                            }
+                            engine
+                        })
+                        .collect();
+                    let ids: Vec<QueryId> = engines[0].subscriptions().map(|(id, _)| id).collect();
+                    // The independent oracle: one dedicated engine per query,
+                    // each applying its own predicate through the single-query
+                    // pushdown path.
+                    let mut dedicated: Vec<StreamingEngine> = portfolio
+                        .iter()
+                        .map(|q| {
+                            StreamingEngine::with_threads(
+                                retention,
+                                q.clone().granularity(granularity),
+                                threads,
+                            )
+                            .expect("valid streaming config")
+                        })
+                        .collect();
+                    let mut union_members = [0u64; 4];
+                    for (b, batch) in batches.iter().enumerate() {
+                        let reports: Vec<MultiBatchReport> = engines
+                            .iter_mut()
+                            .map(|e| e.ingest(batch).expect("in-order replay"))
+                            .collect();
+                        for (m, report) in union_members.iter_mut().zip(&reports) {
+                            *m += report.stats.work.total_union_members();
+                        }
+                        for (id, engine) in ids.iter().zip(&mut dedicated) {
+                            let own = engine.ingest(batch).expect("in-order replay");
+                            let own_cycles = sort_canonical(&own.cycles);
+                            for (&(strategy, pushdown), report) in configs.iter().zip(&reports) {
+                                let fanned = report.report(*id).expect("subscribed");
+                                assert_eq!(
+                                    fanned.cycles_found, own.cycles_found,
+                                    "{label} {strategy:?} pushdown {pushdown} query {id} \
+                                     batch {b}"
+                                );
+                                assert_eq!(
+                                    sort_canonical(&fanned.cycles),
+                                    own_cycles,
+                                    "{label} {strategy:?} pushdown {pushdown} query {id} \
+                                     batch {b}"
+                                );
+                            }
+                            cycles_seen += own.cycles.len();
+                        }
+                    }
+                    // Pushdown never builds a larger union than its
+                    // filter-at-fan-out twin (same strategy, same stream) …
+                    for (push, post) in [(0usize, 1usize), (2, 3)] {
+                        assert!(
+                            union_members[push] <= union_members[post],
+                            "{label}: pushdown built a larger union \
+                             ({} vs {})",
+                            union_members[push],
+                            union_members[post]
+                        );
+                        push_union_total += union_members[push];
+                        post_union_total += union_members[post];
+                    }
+                    // Lifetime totals agree across all four configurations.
+                    for id in &ids {
+                        let totals: Vec<_> = engines.iter().map(|e| e.total_cycles(*id)).collect();
+                        assert!(
+                            totals.windows(2).all(|w| w[0] == w[1]),
+                            "{label} query {id}: lifetime totals diverged {totals:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    assert!(cycles_seen > 0, "the sweep must actually exercise cycles");
+    // … and across the whole sweep the pruning must actually bite.
+    assert!(
+        push_union_total < post_union_total,
+        "pushdown never pruned anything: {push_union_total} vs {post_union_total}"
     );
 }
 
