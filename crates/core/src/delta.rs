@@ -80,16 +80,17 @@
 //! been physically dropped.
 
 use crate::cycle::{CycleSink, HaltingSink};
-use crate::metrics::{RunStats, WorkMetrics};
+use crate::metrics::{RunStats, ShardStats, WorkMetrics};
 use crate::options::{SimpleCycleOptions, TemporalCycleOptions};
 use crate::seq::{timed_run, RootScratch};
 use crate::union::{UnionQuery, UnionView};
 use crate::util::{fx_set, FxHashSet};
 use crate::{Algorithm, Granularity};
 use pce_graph::reach::CycleUnionWorkspace;
-use pce_graph::{EdgeId, EdgePredicate, GraphView, TimeWindow, Timestamp, VertexId};
+use pce_graph::{EdgeId, EdgePredicate, GraphView, ShardSpec, TimeWindow, Timestamp, VertexId};
 use pce_sched::{DynamicCounter, Scope, ThreadPool, WorkerCtx};
 use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -580,6 +581,206 @@ pub fn delta_temporal_parallel_with_scratch<G: GraphView + ?Sized, S: CycleSink>
 ) -> RunStats {
     run_delta_parallel(
         roots,
+        sink,
+        pool,
+        scratches,
+        |root, scratch, sink, metrics, worker| {
+            delta_temporal_root(
+                graph, root, floor, opts, predicate, scratch, sink, metrics, worker,
+            )
+        },
+    )
+}
+
+/// A sink adaptor attributing accepted cycles to one shard: forwards every
+/// push to the shared inner sink and bumps the shard's counter. The counter
+/// assumes a non-halting inner sink (the streaming engine's counting and
+/// collecting sinks never return `Break`); under an early-stopping sink the
+/// per-shard attribution may over-count by in-flight pushes, exactly like
+/// the global count across workers.
+struct ShardCountingSink<'a, S> {
+    inner: &'a S,
+    cycles: &'a AtomicU64,
+}
+
+impl<S: CycleSink> CycleSink for ShardCountingSink<'_, S> {
+    fn push(&self, vertices: &[VertexId], edges: &[EdgeId]) -> std::ops::ControlFlow<()> {
+        self.cycles.fetch_add(1, Ordering::Relaxed);
+        self.inner.push(vertices, edges)
+    }
+
+    fn count(&self) -> u64 {
+        self.inner.count()
+    }
+}
+
+/// The sharded delta driver: the root range is partitioned by *shard
+/// ownership of the root's source vertex* ([`ShardSpec::owner`]), workers
+/// claim whole shards from a dynamic counter, and every claimed shard sweeps
+/// the batch's roots sequentially in ascending id order, skipping roots it
+/// does not own. Ownership partitions the roots, so together the shards
+/// process every root exactly once — and because a cycle is reported only by
+/// the search rooted at its maximum `(ts, id)` edge, a cycle whose path
+/// crosses shard boundaries is still reported exactly once, by the shard
+/// owning that closing edge. Cross-shard paths need no messaging: the
+/// backward union/search passes read sibling shards' adjacency directly
+/// (immutable between appends), which is the shared-memory form of the
+/// boundary-frontier exchange.
+///
+/// Per-shard cycle/root attribution is returned in [`RunStats::shards`].
+/// The granularity tag stays `Sequential`: each root still runs the
+/// sequential per-root search — sharding parallelises *across* shards, not
+/// inside a root (the coarse- and fine-grained drivers already decompose
+/// below shard level, so they ignore sharding).
+#[allow(clippy::too_many_arguments)] // the parallel driver signature + spec
+fn run_delta_sharded<G, S, F>(
+    graph: &G,
+    roots: Range<EdgeId>,
+    spec: ShardSpec,
+    sink: &S,
+    pool: &ThreadPool,
+    scratches: &mut [RootScratch],
+    per_root: F,
+) -> RunStats
+where
+    G: GraphView + ?Sized,
+    S: CycleSink,
+    F: for<'h> Fn(
+            EdgeId,
+            &mut RootScratch,
+            &HaltingSink<'h, ShardCountingSink<'h, S>>,
+            &WorkMetrics,
+            usize,
+        ) + Sync,
+{
+    let threads = pool.num_threads();
+    assert!(
+        scratches.len() >= threads,
+        "need one scratch per pool worker"
+    );
+    let nshards = spec.shards();
+    let metrics = WorkMetrics::new(threads);
+    let start = Instant::now();
+    let counter = DynamicCounter::new(nshards, 1);
+    let shard_cycles: Vec<AtomicU64> = (0..nshards).map(|_| AtomicU64::new(0)).collect();
+    let shard_roots: Vec<AtomicU64> = (0..nshards).map(|_| AtomicU64::new(0)).collect();
+    // A sink's Break latches per shard (each shard wraps its own
+    // HaltingSink); this flag propagates the stop to shards other workers
+    // are sweeping.
+    let stop = AtomicBool::new(false);
+
+    pool.scope(|scope| {
+        for scratch in scratches[..threads.min(nshards)].iter_mut() {
+            let counter = &counter;
+            let metrics = &metrics;
+            let per_root = &per_root;
+            let shard_cycles = &shard_cycles;
+            let shard_roots = &shard_roots;
+            let stop = &stop;
+            let roots = roots.clone();
+            scope.spawn(move |_, ctx| {
+                let worker = ctx.worker_id();
+                while let Some(s) = counter.next() {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    let shard_sink = ShardCountingSink {
+                        inner: sink,
+                        cycles: &shard_cycles[s],
+                    };
+                    let halting = HaltingSink::new(&shard_sink);
+                    let mut owned = 0u64;
+                    for root in roots.clone() {
+                        if halting.stopped() || stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        if spec.owner(graph.edge(root).src) != s {
+                            continue;
+                        }
+                        owned += 1;
+                        per_root(root, scratch, &halting, metrics, worker);
+                    }
+                    shard_roots[s].store(owned, Ordering::Relaxed);
+                    if halting.stopped() {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                    metrics.add_busy(worker, t0.elapsed());
+                }
+            });
+        }
+    });
+
+    let shards = shard_roots
+        .iter()
+        .zip(shard_cycles.iter())
+        .enumerate()
+        .map(|(shard, (r, c))| ShardStats {
+            shard,
+            roots: r.load(Ordering::Relaxed),
+            cycles: c.load(Ordering::Relaxed),
+        })
+        .collect();
+    RunStats {
+        cycles: sink.count(),
+        wall_secs: start.elapsed().as_secs_f64(),
+        work: metrics.snapshot(),
+        threads,
+        shards,
+        ..RunStats::default()
+    }
+    .tagged(Algorithm::Johnson, Granularity::Sequential)
+}
+
+/// Sharded simple-cycle delta enumeration with caller-owned per-worker
+/// scratches: one parallel task per shard, roots partitioned by
+/// [`ShardSpec::owner`] of the root's source vertex. Results are identical
+/// to every other driver; see the [module docs](self).
+#[allow(clippy::too_many_arguments)] // the parallel driver signature + spec
+pub fn delta_simple_sharded_with_scratch<G: GraphView + ?Sized, S: CycleSink>(
+    graph: &G,
+    roots: Range<EdgeId>,
+    floor: Timestamp,
+    spec: ShardSpec,
+    opts: &SimpleCycleOptions,
+    predicate: &EdgePredicate,
+    sink: &S,
+    pool: &ThreadPool,
+    scratches: &mut [RootScratch],
+) -> RunStats {
+    run_delta_sharded(
+        graph,
+        roots,
+        spec,
+        sink,
+        pool,
+        scratches,
+        |root, scratch, sink, metrics, worker| {
+            delta_simple_root(
+                graph, root, floor, opts, predicate, scratch, sink, metrics, worker,
+            )
+        },
+    )
+}
+
+/// Sharded temporal-cycle delta enumeration (see
+/// [`delta_simple_sharded_with_scratch`]).
+#[allow(clippy::too_many_arguments)] // the parallel driver signature + spec
+pub fn delta_temporal_sharded_with_scratch<G: GraphView + ?Sized, S: CycleSink>(
+    graph: &G,
+    roots: Range<EdgeId>,
+    floor: Timestamp,
+    spec: ShardSpec,
+    opts: &TemporalCycleOptions,
+    predicate: &EdgePredicate,
+    sink: &S,
+    pool: &ThreadPool,
+    scratches: &mut [RootScratch],
+) -> RunStats {
+    run_delta_sharded(
+        graph,
+        roots,
+        spec,
         sink,
         pool,
         scratches,

@@ -82,17 +82,18 @@ pub use engine::{
     Algorithm, CollectMode, CycleKind, CycleStream, Engine, EnumerationError, EnumerationResult,
     Granularity, Query,
 };
-pub use metrics::{LatencyStats, RunStats, WorkMetrics, WorkSnapshot, WorkerWork};
+pub use metrics::{LatencyStats, RunStats, ShardStats, WorkMetrics, WorkSnapshot, WorkerWork};
 pub use options::{SimpleCycleOptions, TemporalCycleOptions};
 pub use streaming::{
     BatchReport, CohortBatchStats, CohortKey, FanOutReport, FanOutStrategy, MultiBatchReport,
     MultiStreamingEngine, QueryId, StreamCycle, StreamingEngine, StreamingError, StreamingQuery,
-    SubscriptionIndex, SubscriptionSnapshot,
+    SubscriptionIndex, SubscriptionSnapshot, PARALLEL_FAN_OUT_SUBS,
 };
 
-// Predicate types surface in the streaming API (`StreamingQuery::predicate`,
-// `CohortKey::predicate`), so re-export them at the root alongside it.
-pub use pce_graph::{EdgePredicate, LabelFilter};
+// Predicate and sharding types surface in the streaming API
+// (`StreamingQuery::predicate`, `CohortKey::predicate`,
+// `StreamingQuery::shards`), so re-export them at the root alongside it.
+pub use pce_graph::{EdgePredicate, LabelFilter, ShardSpec};
 
 // Re-export the substrate crates so downstream users can depend on `pce-core`
 // alone.

@@ -282,16 +282,23 @@ impl LatencyStats {
     }
 
     /// Latency percentile (`p` clamped to `0.0..=1.0`) in seconds, by
-    /// nearest-rank over the sorted samples (0 with no samples). Sorts a copy
-    /// of the samples per call — a reporting-time operation, not one for the
-    /// per-batch hot path.
+    /// nearest-rank over the sorted samples (0 with no samples): the value at
+    /// rank `⌈p·n⌉` (1-based), so p95 over 20 samples is the 19th smallest,
+    /// never an interpolated or rounded-down rank. Sorting uses
+    /// [`f64::total_cmp`], so a NaN sample (e.g. from a poisoned timer)
+    /// sorts to the end instead of panicking. Sorts a copy of the samples
+    /// per call — a reporting-time operation, not one for the per-batch hot
+    /// path.
     pub fn percentile_secs(&self, p: f64) -> f64 {
         if self.samples.is_empty() {
             return 0.0;
         }
         let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        let idx = ((sorted.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let idx = ((p.clamp(0.0, 1.0) * n as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(n - 1);
         sorted[idx]
     }
 
@@ -306,6 +313,22 @@ impl LatencyStats {
     pub fn total_secs(&self) -> f64 {
         self.samples.iter().sum()
     }
+}
+
+/// Per-shard attribution of one sharded delta pass: which slice of the
+/// batch's roots a shard owned and how many cycles closed there. The shard
+/// that owns a cycle's maximum-edge root reports it, so summing `cycles`
+/// over all shards equals the run's total — cross-shard paths are attributed
+/// to the shard of their closing edge, never double-counted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Shard index in `0..shards`.
+    pub shard: usize,
+    /// Batch roots whose source vertex this shard owns.
+    pub roots: u64,
+    /// Cycles closed by this shard's roots (including cross-shard cycles —
+    /// the closing edge decides ownership).
+    pub cycles: u64,
 }
 
 /// The result summary returned by every enumerator: cycle count, wall-clock
@@ -327,6 +350,11 @@ pub struct RunStats {
     /// The granularity that effectively executed (see
     /// [`RunStats::algorithm`]).
     pub granularity: Option<Granularity>,
+    /// Per-shard root/cycle attribution. Empty for unsharded runs (every
+    /// driver except the sharded streaming pass); one entry per shard,
+    /// indexed by shard id, when a [`ShardSpec`](pce_graph::ShardSpec) with
+    /// `shards > 1` drove the pass.
+    pub shards: Vec<ShardStats>,
 }
 
 impl RunStats {
@@ -436,6 +464,53 @@ mod tests {
         assert!((l.total_secs() - 1.5).abs() < 1e-12);
         // Out-of-range percentiles clamp instead of panicking.
         assert_eq!(l.percentile_secs(7.0), l.max_secs());
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank_on_ten_samples() {
+        // Regression: the rank used to be `round((n-1)·p)`, which is neither
+        // nearest-rank nor monotone in n. Pin the nearest-rank values: rank
+        // ⌈p·n⌉ (1-based) over the sorted samples.
+        let mut l = LatencyStats::new();
+        for i in 1..=10 {
+            l.record(i as f64 / 10.0);
+        }
+        // p95 of 10 samples: rank ⌈9.5⌉ = 10 → the maximum.
+        assert!((l.percentile_secs(0.95) - 1.0).abs() < 1e-12);
+        // p50 of 10 samples: rank ⌈5.0⌉ = 5 → 0.5 (the old rounding picked
+        // rank 6 = 0.6).
+        assert!((l.percentile_secs(0.50) - 0.5).abs() < 1e-12);
+        // p10: rank ⌈1.0⌉ = 1 → the minimum.
+        assert!((l.percentile_secs(0.10) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank_on_twenty_samples() {
+        let mut l = LatencyStats::new();
+        for i in 1..=20 {
+            l.record(i as f64 / 20.0);
+        }
+        // p95 of 20 samples: rank ⌈19.0⌉ = 19 → 0.95, not the maximum.
+        assert!((l.percentile_secs(0.95) - 0.95).abs() < 1e-12);
+        // p99: rank ⌈19.8⌉ = 20 → the maximum.
+        assert!((l.percentile_secs(0.99) - 1.0).abs() < 1e-12);
+        // p50: rank ⌈10.0⌉ = 10 → 0.5.
+        assert!((l.percentile_secs(0.50) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_survives_nan_sample() {
+        // Regression: `partial_cmp(..).expect(..)` panicked if any sample was
+        // NaN (e.g. a poisoned timer). `total_cmp` sorts NaN after every
+        // finite value instead.
+        let mut l = LatencyStats::new();
+        l.record(0.2);
+        l.record(f64::NAN);
+        l.record(0.1);
+        assert!((l.percentile_secs(0.0) - 0.1).abs() < 1e-12);
+        assert!((l.percentile_secs(0.5) - 0.2).abs() < 1e-12);
+        // The NaN occupies the top rank; asking for it must not panic.
+        assert!(l.percentile_secs(1.0).is_nan());
     }
 
     #[test]

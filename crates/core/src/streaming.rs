@@ -78,8 +78,9 @@
 
 use crate::cycle::{CollectingSink, CountingSink, Cycle, CycleSink};
 use crate::delta::{
-    delta_simple_fine_with_scratch, delta_simple_parallel_with_scratch, delta_simple_with_scratch,
-    delta_temporal_fine_with_scratch, delta_temporal_parallel_with_scratch,
+    delta_simple_fine_with_scratch, delta_simple_parallel_with_scratch,
+    delta_simple_sharded_with_scratch, delta_simple_with_scratch, delta_temporal_fine_with_scratch,
+    delta_temporal_parallel_with_scratch, delta_temporal_sharded_with_scratch,
     delta_temporal_with_scratch,
 };
 use crate::engine::{CollectMode, CycleKind, Engine, EnumerationError, Granularity};
@@ -90,8 +91,8 @@ use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
 use pce_graph::stream::{SlidingWindowGraph, StreamError};
 use pce_graph::{
-    Amount, EdgeId, EdgePredicate, GraphView, Label, TemporalEdge, TemporalGraph, TimeWindow,
-    Timestamp, VertexId,
+    Amount, EdgeId, EdgePredicate, GraphView, Label, ShardSpec, TemporalEdge, TemporalGraph,
+    TimeWindow, Timestamp, VertexId,
 };
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -172,6 +173,7 @@ pub struct StreamingQuery {
     include_self_loops: bool,
     collect: CollectMode,
     predicate: EdgePredicate,
+    shards: ShardSpec,
 }
 
 impl StreamingQuery {
@@ -189,6 +191,7 @@ impl StreamingQuery {
             include_self_loops: false,
             collect: CollectMode::Collect,
             predicate: EdgePredicate::pass_all(),
+            shards: ShardSpec::single(),
         }
     }
 
@@ -297,6 +300,23 @@ impl StreamingQuery {
     /// one).
     pub fn edge_predicate(&self) -> &EdgePredicate {
         &self.predicate
+    }
+
+    /// Partitions the engine's sliding-window ingest (and, for
+    /// [`Granularity::Sequential`] queries on a multi-threaded engine, the
+    /// per-batch delta pass) across `spec` shards — see
+    /// [`ShardSpec`] and the sharding section of the [module docs](self).
+    /// Purely a parallelism knob: reported cycles are byte-identical for
+    /// every shard count. Defaults to [`ShardSpec::single`] (today's
+    /// unsharded path, exactly).
+    pub fn shards(mut self, spec: ShardSpec) -> Self {
+        self.shards = spec;
+        self
+    }
+
+    /// The shard layout this query asks its [`StreamingEngine`] to run with.
+    pub fn shard_spec(&self) -> ShardSpec {
+        self.shards
     }
 
     /// Checks the query for values that can never return anything and for
@@ -494,9 +514,10 @@ impl StreamingEngine {
                 retention,
             });
         }
+        let shards = query.shards;
         Ok(Self {
             engine: Engine::with_threads(threads),
-            graph: SlidingWindowGraph::new(retention),
+            graph: SlidingWindowGraph::with_shards(retention, shards),
             query,
             scratches: Vec::new(),
             batches: 0,
@@ -511,7 +532,9 @@ impl StreamingEngine {
     /// the stream — fully intact.
     pub fn ingest(&mut self, batch: &[TemporalEdge]) -> Result<BatchReport, StreamingError> {
         let t0 = Instant::now();
-        let delta = self.graph.append_batch(batch)?;
+        let pool = (self.engine.threads() > 1 && !self.graph.shard_spec().is_single())
+            .then(|| self.engine.pool().as_ref());
+        let delta = self.graph.append_batch_on(batch, pool)?;
         let ingest_secs = t0.elapsed().as_secs_f64();
 
         // No floor: `window_delta <= retention` (enforced at construction)
@@ -524,7 +547,20 @@ impl StreamingEngine {
         // arrives, no matter how the stream is chopped.
         let floor = Timestamp::MIN;
         let granularity = self.effective_granularity(delta.roots.len());
-        let want = if granularity == Granularity::Sequential {
+        // A Sequential-granularity query on a sharded, multi-threaded engine
+        // runs the delta pass shard-parallel: each shard owns the roots whose
+        // source vertex it stores, so the per-root sequential searches spread
+        // across the pool without changing what is reported (see
+        // `delta::run_delta_sharded`). Coarse/fine granularities already
+        // decompose below shard level and ignore the shard layout here.
+        let sharded = (self.query.granularity == Granularity::Sequential
+            && self.engine.threads() > 1
+            && !self.graph.shard_spec().is_single()
+            && !delta.roots.is_empty())
+        .then(|| self.graph.shard_spec());
+        let want = if sharded.is_some() {
+            self.engine.threads()
+        } else if granularity == Granularity::Sequential {
             1
         } else {
             self.engine.threads()
@@ -548,6 +584,7 @@ impl StreamingEngine {
                     delta.roots.clone(),
                     floor,
                     granularity,
+                    sharded,
                 );
                 let resolved = sink
                     .into_cycles()
@@ -567,6 +604,7 @@ impl StreamingEngine {
                     delta.roots.clone(),
                     floor,
                     granularity,
+                    sharded,
                 );
                 (Vec::new(), stats)
             }
@@ -644,9 +682,12 @@ impl StreamingEngine {
 
 /// Dispatches one delta run (free function so the engine can lend out its
 /// graph immutably and its scratches mutably at the same time). Sequential
-/// runs reuse `scratches[0]`; parallel runs — coarse (one task per root) or
-/// fine (stealable recursion-level tasks) — hand each pool worker its own
-/// persistent scratch. No allocation on the hot path either way.
+/// runs reuse `scratches[0]` — unless `sharded` is set, in which case the
+/// per-root sequential searches are spread shard-parallel across the pool
+/// (one task per shard, roots owned by their closing edge's source vertex).
+/// Parallel runs — coarse (one task per root) or fine (stealable
+/// recursion-level tasks) — hand each pool worker its own persistent
+/// scratch. No allocation on the hot path either way.
 #[allow(clippy::too_many_arguments)] // private dispatcher over engine fields
 fn run_delta<S: crate::cycle::CycleSink>(
     query: &StreamingQuery,
@@ -657,6 +698,7 @@ fn run_delta<S: crate::cycle::CycleSink>(
     roots: std::ops::Range<pce_graph::EdgeId>,
     floor: Timestamp,
     granularity: Granularity,
+    sharded: Option<ShardSpec>,
 ) -> RunStats {
     let predicate = &query.predicate;
     match query.kind {
@@ -667,15 +709,28 @@ fn run_delta<S: crate::cycle::CycleSink>(
                 include_self_loops: query.include_self_loops,
             };
             match granularity {
-                Granularity::Sequential => delta_simple_with_scratch(
-                    graph,
-                    roots,
-                    floor,
-                    &opts,
-                    predicate,
-                    sink,
-                    &mut scratches[0],
-                ),
+                Granularity::Sequential => match sharded {
+                    Some(spec) => delta_simple_sharded_with_scratch(
+                        graph,
+                        roots,
+                        floor,
+                        spec,
+                        &opts,
+                        predicate,
+                        sink,
+                        engine.pool(),
+                        scratches,
+                    ),
+                    None => delta_simple_with_scratch(
+                        graph,
+                        roots,
+                        floor,
+                        &opts,
+                        predicate,
+                        sink,
+                        &mut scratches[0],
+                    ),
+                },
                 Granularity::CoarseGrained => delta_simple_parallel_with_scratch(
                     graph,
                     roots,
@@ -704,15 +759,28 @@ fn run_delta<S: crate::cycle::CycleSink>(
                 max_len: query.max_len,
             };
             match granularity {
-                Granularity::Sequential => delta_temporal_with_scratch(
-                    graph,
-                    roots,
-                    floor,
-                    &opts,
-                    predicate,
-                    sink,
-                    &mut scratches[0],
-                ),
+                Granularity::Sequential => match sharded {
+                    Some(spec) => delta_temporal_sharded_with_scratch(
+                        graph,
+                        roots,
+                        floor,
+                        spec,
+                        &opts,
+                        predicate,
+                        sink,
+                        engine.pool(),
+                        scratches,
+                    ),
+                    None => delta_temporal_with_scratch(
+                        graph,
+                        roots,
+                        floor,
+                        &opts,
+                        predicate,
+                        sink,
+                        &mut scratches[0],
+                    ),
+                },
                 Granularity::CoarseGrained => delta_temporal_parallel_with_scratch(
                     graph,
                     roots,
@@ -837,6 +905,8 @@ impl SharedPass {
     }
 
     /// The pass as a standing query, for the shared [`run_delta`] dispatcher.
+    /// The `shards` field is a placeholder: the multi engine's shard layout
+    /// lives on the engine itself, and is handed to [`run_delta`] separately.
     fn as_query(&self, granularity: Granularity) -> StreamingQuery {
         StreamingQuery {
             kind: self.kind,
@@ -846,6 +916,7 @@ impl SharedPass {
             include_self_loops: self.include_self_loops,
             collect: CollectMode::Collect,
             predicate: self.predicate.clone(),
+            shards: ShardSpec::single(),
         }
     }
 }
@@ -870,10 +941,12 @@ pub enum FanOutStrategy {
     Indexed,
 }
 
-/// Portfolio size from which the indexed strategy defers dispatch and runs it
-/// as parallel `(cohort, candidate-chunk)` tasks on the engine's pool. Below
-/// it, per-candidate inline dispatch is cheaper than buffering candidates.
-const PARALLEL_FAN_OUT_SUBS: usize = 64;
+/// Default portfolio size from which the indexed strategy defers dispatch and
+/// runs it as parallel `(cohort, candidate-chunk)` tasks on the engine's
+/// pool. Below it, per-candidate inline dispatch is cheaper than buffering
+/// candidates. Override per engine with
+/// [`MultiStreamingEngine::with_parallel_fan_out_threshold`].
+pub const PARALLEL_FAN_OUT_SUBS: usize = 64;
 
 /// Candidates per parallel dispatch task: the copyable unit of fan-out work,
 /// sized so a task amortises its scheduling cost but a skewed batch still
@@ -1746,6 +1819,11 @@ pub struct MultiStreamingEngine {
     /// differential tests and `streaming_bench`'s `predicate` section
     /// compare against (reports must be byte-identical either way).
     pushdown: bool,
+    /// Portfolio size from which indexed fan-out defers dispatch into
+    /// parallel tasks (see [`with_parallel_fan_out_threshold`]
+    /// (Self::with_parallel_fan_out_threshold)). Defaults to
+    /// [`PARALLEL_FAN_OUT_SUBS`].
+    fan_out_threshold: usize,
     next_id: u64,
     scratches: Vec<RootScratch>,
     batches: u64,
@@ -1779,10 +1857,54 @@ impl MultiStreamingEngine {
             index: SubscriptionIndex::new(),
             cohort_latency: Vec::new(),
             pushdown: true,
+            fan_out_threshold: PARALLEL_FAN_OUT_SUBS,
             next_id: QueryId::SOLO.0 + 1,
             scratches: Vec::new(),
             batches: 0,
         })
+    }
+
+    /// Partitions the engine's sliding-window ingest (and, for
+    /// [`Granularity::Sequential`] passes on a multi-threaded engine, the
+    /// shared delta pass) across `spec` shards. Purely a parallelism knob:
+    /// per-query reports are byte-identical for every shard count, and a
+    /// subscription query's own [`StreamingQuery::shards`] setting is
+    /// ignored here — the engine-level layout governs the shared graph.
+    ///
+    /// Must be called before the first batch is ingested (the shard layout
+    /// determines how the window's adjacency is stored).
+    ///
+    /// # Panics
+    /// Panics if any batch has already been ingested.
+    pub fn with_shards(mut self, spec: ShardSpec) -> Self {
+        assert_eq!(
+            self.batches, 0,
+            "shard layout must be chosen before the first batch"
+        );
+        self.graph = SlidingWindowGraph::with_shards(self.retention, spec);
+        self
+    }
+
+    /// The shard layout of the engine's sliding-window graph.
+    pub fn shard_spec(&self) -> ShardSpec {
+        self.graph.shard_spec()
+    }
+
+    /// Sets the portfolio size from which [`FanOutStrategy::Indexed`] defers
+    /// dispatch and runs it as parallel `(cohort, candidate-chunk)` tasks on
+    /// the engine's pool (defaults to [`PARALLEL_FAN_OUT_SUBS`] = 64). Below
+    /// the threshold, per-candidate inline dispatch skips the buffering of
+    /// candidates entirely. Tuning it trades dispatch latency against task
+    /// overhead; reports are byte-identical at every setting.
+    pub fn with_parallel_fan_out_threshold(mut self, subs: usize) -> Self {
+        self.fan_out_threshold = subs;
+        self
+    }
+
+    /// The portfolio size from which indexed fan-out goes parallel (see
+    /// [`with_parallel_fan_out_threshold`](Self::with_parallel_fan_out_threshold)).
+    pub fn parallel_fan_out_threshold(&self) -> usize {
+        self.fan_out_threshold
     }
 
     /// Selects how the shared delta pass is split across workers (the same
@@ -2040,7 +2162,9 @@ impl MultiStreamingEngine {
     /// [`subscribe`](Self::subscribe) for the exact semantics).
     pub fn ingest(&mut self, batch: &[TemporalEdge]) -> Result<MultiBatchReport, StreamingError> {
         let t0 = Instant::now();
-        let delta = self.graph.append_batch(batch)?;
+        let pool = (self.engine.threads() > 1 && !self.graph.shard_spec().is_single())
+            .then(|| self.engine.pool().as_ref());
+        let delta = self.graph.append_batch_on(batch, pool)?;
         let ingest_secs = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
@@ -2058,7 +2182,18 @@ impl MultiStreamingEngine {
                     pass.predicate = EdgePredicate::pass_all();
                 }
                 let granularity = self.effective_granularity(delta.roots.len());
-                let want = if granularity == Granularity::Sequential {
+                // Sequential-granularity engines with a sharded graph run
+                // the shared pass shard-parallel (see `StreamingEngine::
+                // ingest` — the same engagement rule applies here, keyed on
+                // the engine-wide granularity).
+                let sharded = (self.granularity == Granularity::Sequential
+                    && self.engine.threads() > 1
+                    && !self.graph.shard_spec().is_single()
+                    && !delta.roots.is_empty())
+                .then(|| self.graph.shard_spec());
+                let want = if sharded.is_some() {
+                    self.engine.threads()
+                } else if granularity == Granularity::Sequential {
                     1
                 } else {
                     self.engine.threads()
@@ -2082,6 +2217,7 @@ impl MultiStreamingEngine {
                             delta.roots.clone(),
                             Timestamp::MIN,
                             granularity,
+                            sharded,
                         );
                         let candidates = sink.candidates.load(Ordering::Relaxed);
                         // Resolve ids to concrete edges *now*: dense ids are
@@ -2115,7 +2251,7 @@ impl MultiStreamingEngine {
                         // below the threshold, inline dispatch inside the
                         // pass avoids buffering the candidates.
                         let deferred =
-                            self.engine.threads() > 1 && self.subs.len() >= PARALLEL_FAN_OUT_SUBS;
+                            self.engine.threads() > 1 && self.subs.len() >= self.fan_out_threshold;
                         let (stats, candidates, fan_out_secs, parallel) = if deferred {
                             let sink = BufferingFanOutSink::new(&self.graph, self.engine.threads());
                             let stats = run_delta(
@@ -2127,6 +2263,7 @@ impl MultiStreamingEngine {
                                 delta.roots.clone(),
                                 Timestamp::MIN,
                                 granularity,
+                                sharded,
                             );
                             let buffered = sink.into_candidates();
                             let t_fan = Instant::now();
@@ -2160,6 +2297,7 @@ impl MultiStreamingEngine {
                                 delta.roots.clone(),
                                 Timestamp::MIN,
                                 granularity,
+                                sharded,
                             );
                             let candidates = sink.candidates.load(Ordering::Relaxed);
                             (stats, candidates, 0.0, false)

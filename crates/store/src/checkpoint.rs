@@ -22,7 +22,7 @@
 
 use pce_core::{
     CollectMode, CycleKind, EdgePredicate, FanOutStrategy, Granularity, LabelFilter, QueryId,
-    StreamingQuery, SubscriptionSnapshot,
+    ShardSpec, StreamingQuery, SubscriptionSnapshot,
 };
 use pce_graph::io::{crc32, IoError};
 use pce_graph::{Label, Timestamp};
@@ -30,14 +30,21 @@ use pce_graph::{Label, Timestamp};
 /// Magic prefix of every checkpoint blob: `b"PCEC"`.
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"PCEC";
 
-/// Current checkpoint format version. Version 2 appends each subscription's
-/// [`EdgePredicate`] (amount interval + label filter) to its registry record;
-/// version-1 checkpoints still decode, with every query given the pass-all
-/// predicate — exactly what those queries meant when they were written.
-pub const CHECKPOINT_FORMAT_VERSION: u16 = 2;
+/// Current checkpoint format version. Version 3 records the engine's
+/// [`ShardSpec`] (ingest shard layout) after the next-query-id field and each
+/// subscription query's own shard setting after its predicate; earlier
+/// versions still decode, with every shard count restored as 1 — exactly the
+/// unsharded engine those checkpoints described. Version 2 appended each
+/// subscription's [`EdgePredicate`] (amount interval + label filter) to its
+/// registry record; version-1 checkpoints decode with every query given the
+/// pass-all predicate.
+pub const CHECKPOINT_FORMAT_VERSION: u16 = 3;
 
-/// The previous checkpoint format: identical through the registry header,
-/// per-subscription records without the trailing predicate fields.
+/// The v2 checkpoint format: predicates present, no shard fields.
+pub const CHECKPOINT_FORMAT_V2: u16 = 2;
+
+/// The original checkpoint format: identical through the registry header,
+/// per-subscription records without predicate or shard fields.
 pub const CHECKPOINT_FORMAT_V1: u16 = 1;
 
 /// The durable snapshot of a [`MultiStreamingEngine`]'s replayable state.
@@ -66,6 +73,9 @@ pub struct Checkpoint {
     pub strategy: FanOutStrategy,
     /// The id the engine would assign to its next subscription.
     pub next_query_id: u64,
+    /// The engine's ingest shard layout ([`ShardSpec::single`] for
+    /// checkpoints written before format v3 — those engines were unsharded).
+    pub shards: ShardSpec,
     /// The live registry, in ascending-id order.
     pub subscriptions: Vec<SubscriptionSnapshot>,
 }
@@ -131,6 +141,8 @@ impl Checkpoint {
             FanOutStrategy::Indexed => 1,
         });
         buf.extend_from_slice(&self.next_query_id.to_le_bytes());
+        // v3: the engine's ingest shard layout.
+        buf.extend_from_slice(&(self.shards.shards() as u32).to_le_bytes());
         buf.extend_from_slice(&(self.subscriptions.len() as u32).to_le_bytes());
         for sub in &self.subscriptions {
             let q = &sub.query;
@@ -166,6 +178,9 @@ impl Checkpoint {
                     encode_labels(&mut buf, set);
                 }
             }
+            // v3: the query's own shard setting, so restored snapshots
+            // compare equal to the live registry field-for-field.
+            buf.extend_from_slice(&(q.shard_spec().shards() as u32).to_le_bytes());
         }
         let crc = crc32(&buf);
         buf.extend_from_slice(&crc.to_le_bytes());
@@ -201,10 +216,14 @@ impl Checkpoint {
             });
         }
         let version = u16::from_le_bytes(cur.take(2)?.try_into().unwrap());
-        if version != CHECKPOINT_FORMAT_VERSION && version != CHECKPOINT_FORMAT_V1 {
+        if version != CHECKPOINT_FORMAT_VERSION
+            && version != CHECKPOINT_FORMAT_V2
+            && version != CHECKPOINT_FORMAT_V1
+        {
             return Err(IoError::UnsupportedVersion { version });
         }
-        let with_predicates = version == CHECKPOINT_FORMAT_VERSION;
+        let with_predicates = version >= CHECKPOINT_FORMAT_V2;
+        let with_shards = version >= CHECKPOINT_FORMAT_VERSION;
         let seq = cur.u64()?;
         let batches = cur.u64()?;
         let watermark = cur.i64()?;
@@ -222,16 +241,22 @@ impl Checkpoint {
             }
         };
         let next_query_id = cur.u64()?;
-        let nsubs = u32::from_le_bytes(cur.take(4)?.try_into().unwrap()) as usize;
-        // Bound the count by the remaining bytes before allocating. v2
-        // records are variable-length (label lists), so use the minimum
-        // record size: the v1 fixed fields plus the amount hull and the
-        // label-filter tag byte.
-        let v1_sub = 8 + 1 + 1 + 8 + 8 + 1 + 1 + 8;
-        let per_sub = if with_predicates {
-            v1_sub + 8 + 8 + 1
+        let shards = if with_shards {
+            decode_shards(&mut cur)?
         } else {
-            v1_sub
+            // Pre-v3 checkpoints described unsharded engines.
+            ShardSpec::single()
+        };
+        let nsubs = u32::from_le_bytes(cur.take(4)?.try_into().unwrap()) as usize;
+        // Bound the count by the remaining bytes before allocating. v2+
+        // records are variable-length (label lists), so use the minimum
+        // record size: the v1 fixed fields, plus the amount hull and the
+        // label-filter tag byte (v2+), plus the shard count (v3+).
+        let v1_sub = 8 + 1 + 1 + 8 + 8 + 1 + 1 + 8;
+        let per_sub = match (with_predicates, with_shards) {
+            (true, true) => v1_sub + 8 + 8 + 1 + 4,
+            (true, false) => v1_sub + 8 + 8 + 1,
+            _ => v1_sub,
         };
         if bytes.len() - cur.offset < nsubs * per_sub {
             return Err(IoError::Truncated {
@@ -298,6 +323,11 @@ impl Checkpoint {
             }
             // v1 records carry no predicate: those queries predate the
             // attribute columns, so pass-all is exactly what they meant.
+            if with_shards {
+                query = query.shards(decode_shards(&mut cur)?);
+            }
+            // Pre-v3 records carry no shard setting: single() (the builder
+            // default) is exactly what those queries ran with.
             subscriptions.push(SubscriptionSnapshot {
                 id,
                 query,
@@ -319,9 +349,23 @@ impl Checkpoint {
             granularity,
             strategy,
             next_query_id,
+            shards,
             subscriptions,
         })
     }
+}
+
+/// Decodes a v3 shard count: a u32 that must be at least 1 (a zero-shard
+/// layout cannot exist, so it can only be corruption).
+fn decode_shards(cur: &mut Cursor<'_>) -> Result<ShardSpec, IoError> {
+    let n = u32::from_le_bytes(cur.take(4)?.try_into().unwrap());
+    if n == 0 {
+        return Err(IoError::Corrupt {
+            offset: cur.offset - 4,
+            detail: "zero shard count",
+        });
+    }
+    Ok(ShardSpec::new(n as usize))
 }
 
 struct Cursor<'a> {
@@ -375,14 +419,18 @@ mod tests {
             granularity: Granularity::FineGrained,
             strategy: FanOutStrategy::Indexed,
             next_query_id: 9,
+            shards: ShardSpec::new(4),
             subscriptions: vec![
                 SubscriptionSnapshot {
                     id: QueryId::from_raw(1),
-                    query: StreamingQuery::temporal(250).max_len(6).predicate(
-                        EdgePredicate::pass_all()
-                            .min_amount(100)
-                            .labels(LabelFilter::allow(vec![2, 7])),
-                    ),
+                    query: StreamingQuery::temporal(250)
+                        .max_len(6)
+                        .shards(ShardSpec::new(2))
+                        .predicate(
+                            EdgePredicate::pass_all()
+                                .min_amount(100)
+                                .labels(LabelFilter::allow(vec![2, 7])),
+                        ),
                     total_cycles: 17,
                 },
                 SubscriptionSnapshot {
@@ -461,14 +509,119 @@ mod tests {
         buf
     }
 
+    /// Re-encodes a checkpoint in the v2 layout: predicates present, no
+    /// shard fields. Mirrors what the encoder produced before sharding.
+    fn encode_v2(ckpt: &Checkpoint) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&CHECKPOINT_MAGIC);
+        buf.extend_from_slice(&CHECKPOINT_FORMAT_V2.to_le_bytes());
+        buf.extend_from_slice(&ckpt.seq.to_le_bytes());
+        buf.extend_from_slice(&ckpt.batches.to_le_bytes());
+        buf.extend_from_slice(&ckpt.watermark.to_le_bytes());
+        buf.extend_from_slice(&ckpt.retention.to_le_bytes());
+        buf.extend_from_slice(&ckpt.compaction_base.to_le_bytes());
+        buf.push(granularity_byte(ckpt.granularity));
+        buf.push(match ckpt.strategy {
+            FanOutStrategy::Naive => 0,
+            FanOutStrategy::Indexed => 1,
+        });
+        buf.extend_from_slice(&ckpt.next_query_id.to_le_bytes());
+        buf.extend_from_slice(&(ckpt.subscriptions.len() as u32).to_le_bytes());
+        for sub in &ckpt.subscriptions {
+            let q = &sub.query;
+            buf.extend_from_slice(&sub.id.as_u64().to_le_bytes());
+            buf.push(match q.kind() {
+                CycleKind::Simple => 0,
+                CycleKind::Temporal => 1,
+            });
+            buf.push(granularity_byte(q.requested_granularity()));
+            buf.extend_from_slice(&q.window_delta().to_le_bytes());
+            let max_len = q.max_len_bound().map_or(u64::MAX, |n| n as u64);
+            buf.extend_from_slice(&max_len.to_le_bytes());
+            buf.push(q.includes_self_loops() as u8);
+            buf.push(match q.collect_mode() {
+                CollectMode::Count => 0,
+                CollectMode::Collect => 1,
+            });
+            buf.extend_from_slice(&sub.total_cycles.to_le_bytes());
+            let pred = q.edge_predicate();
+            buf.extend_from_slice(&pred.amount_min().to_le_bytes());
+            buf.extend_from_slice(&pred.amount_max().to_le_bytes());
+            match pred.label_filter() {
+                LabelFilter::Any => buf.push(0),
+                LabelFilter::Allow(set) => {
+                    buf.push(1);
+                    encode_labels(&mut buf, set);
+                }
+                LabelFilter::Deny(set) => {
+                    buf.push(2);
+                    encode_labels(&mut buf, set);
+                }
+            }
+        }
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    #[test]
+    fn v2_checkpoints_decode_as_single_shard() {
+        // A v2 checkpoint has no shard fields; decoding must succeed with the
+        // engine and every restored query reporting a single-shard layout —
+        // exactly the unsharded engine the checkpoint described.
+        let mut expected = sample();
+        expected.shards = ShardSpec::single();
+        for sub in &mut expected.subscriptions {
+            sub.query = sub.query.clone().shards(ShardSpec::single());
+        }
+        let v2_bytes = encode_v2(&expected);
+        let decoded = Checkpoint::decode(&v2_bytes).unwrap();
+        assert_eq!(decoded, expected);
+        assert!(decoded.shards.is_single());
+
+        // The corruption guarantees hold for the legacy format too.
+        for byte in 0..v2_bytes.len() {
+            let mut bad = v2_bytes.clone();
+            bad[byte] ^= 1;
+            assert!(Checkpoint::decode(&bad).is_err(), "flip at {byte} decoded");
+        }
+        for len in 0..v2_bytes.len() {
+            assert!(Checkpoint::decode(&v2_bytes[..len]).is_err());
+        }
+    }
+
+    #[test]
+    fn zero_shard_count_is_corrupt() {
+        // A checksum-valid v3 blob with a zero shard count must be rejected
+        // (ShardSpec::new(0) would panic downstream otherwise).
+        let mut ckpt = sample();
+        ckpt.subscriptions.clear();
+        let mut bytes = ckpt.encode();
+        let body_len = bytes.len() - 4;
+        // Engine shard count sits right after next_query_id:
+        // magic(4) + version(2) + 5×u64/i64(40) + 2 bytes + u64(8) = 54.
+        let at = 4 + 2 + 40 + 2 + 8;
+        bytes[at..at + 4].copy_from_slice(&0u32.to_le_bytes());
+        let crc = crc32(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&crc.to_le_bytes());
+        match Checkpoint::decode(&bytes) {
+            Err(IoError::Corrupt { detail, .. }) => assert_eq!(detail, "zero shard count"),
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+    }
+
     #[test]
     fn v1_checkpoints_decode_with_pass_all_predicates() {
         // A v1 checkpoint has no predicate fields; decoding must succeed and
-        // give every restored query the pass-all predicate.
+        // give every restored query the pass-all predicate (and, since v3,
+        // a single-shard layout).
         let mut expected = sample();
+        expected.shards = ShardSpec::single();
         for sub in &mut expected.subscriptions {
             let q = sub.query.clone();
-            sub.query = q.predicate(EdgePredicate::pass_all());
+            sub.query = q
+                .predicate(EdgePredicate::pass_all())
+                .shards(ShardSpec::single());
         }
         let v1_bytes = encode_v1(&expected);
         let decoded = Checkpoint::decode(&v1_bytes).unwrap();

@@ -96,6 +96,10 @@ pub enum StoreError {
     /// No checkpoint in the store is usable (none present, none decodes, or
     /// every candidate references batches beyond what the log holds).
     NoCheckpoint,
+    /// [`SegmentLog::rollback_last`] was called with no rollback-able append:
+    /// before any append, twice for the same append, or after the record's
+    /// segment was sealed by a rotation or truncation.
+    RollbackWithoutAppend,
     /// The wrapped streaming engine rejected an operation (invalid query,
     /// retention too small, out-of-order batch).
     Streaming(StreamingError),
@@ -112,6 +116,9 @@ impl std::fmt::Display for StoreError {
                 detail,
             } => write!(f, "segment {segment} corrupt at byte {offset}: {detail}"),
             StoreError::NoCheckpoint => write!(f, "no usable checkpoint in store"),
+            StoreError::RollbackWithoutAppend => {
+                write!(f, "rollback_last without a rollback-able append")
+            }
             StoreError::Streaming(e) => write!(f, "streaming error during recovery: {e}"),
         }
     }

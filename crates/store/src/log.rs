@@ -181,11 +181,17 @@ impl<S: SegmentStore> SegmentLog<S> {
     /// Undoes the most recent [`append`](Self::append) — the log-then-apply
     /// ingest path calls this when the engine rejects the batch after it was
     /// logged, so an unacknowledged batch never survives in the log.
+    ///
+    /// Exactly one rollback is available per append: calling this twice in a
+    /// row, before any append, or after a [`rotate`](Self::rotate) /
+    /// [`truncate_from`](Self::truncate_from) (both of which seal the
+    /// record's segment) fails with [`StoreError::RollbackWithoutAppend`]
+    /// and leaves the log untouched.
     pub fn rollback_last(&mut self) -> Result<(), StoreError> {
         let (segment, prev_len) = self
             .last_append
             .take()
-            .expect("rollback_last without a preceding append");
+            .ok_or(StoreError::RollbackWithoutAppend)?;
         self.store.truncate_segment(segment, prev_len)?;
         self.total_bytes -= self.current_len - prev_len;
         self.current_len = prev_len;
@@ -382,6 +388,41 @@ mod tests {
         let (_, scan) = SegmentLog::open(log.into_store(), u64::MAX).unwrap();
         assert_eq!(scan.batches.len(), 2);
         assert_eq!(scan.batches[1].1, vec![e(1, 0, 2)]);
+    }
+
+    #[test]
+    fn rollback_without_append_errors_instead_of_panicking() {
+        // Regression: both calls below used to hit
+        // `.expect("rollback_last without a preceding append")`.
+        let mut log = SegmentLog::create(MemoryStore::new(), u64::MAX).unwrap();
+
+        // Before any append.
+        assert!(matches!(
+            log.rollback_last(),
+            Err(StoreError::RollbackWithoutAppend)
+        ));
+
+        // Double rollback: the first succeeds, the second errors and leaves
+        // the log state untouched.
+        log.append(0, &[e(0, 1, 1)]).unwrap();
+        log.rollback_last().unwrap();
+        let bytes = log.total_bytes();
+        assert!(matches!(
+            log.rollback_last(),
+            Err(StoreError::RollbackWithoutAppend)
+        ));
+        assert_eq!(log.total_bytes(), bytes);
+        assert_eq!(log.next_batch(), 0);
+
+        // A rotation seals the segment: the pre-rotation append is no longer
+        // rollback-able.
+        log.append(0, &[e(0, 1, 1)]).unwrap();
+        log.rotate();
+        assert!(matches!(
+            log.rollback_last(),
+            Err(StoreError::RollbackWithoutAppend)
+        ));
+        assert_eq!(log.next_batch(), 1);
     }
 
     #[test]

@@ -67,8 +67,10 @@ pub struct RecoveryReport {
 /// algorithm and its guarantees.
 ///
 /// The engine-behaviour configuration (retention, granularity, fan-out
-/// strategy) comes from the checkpoint; `cfg` supplies only the operational
-/// knobs (threads, segment size, checkpoint cadence).
+/// strategy, shard layout) comes from the checkpoint; `cfg` supplies only
+/// the operational knobs (threads, segment size, checkpoint cadence).
+/// Checkpoints written before format v3 carry no shard layout and recover
+/// as a single shard — the unsharded engine they described.
 ///
 /// Fails with [`StoreError::NoCheckpoint`] when the store holds no usable
 /// checkpoint and [`StoreError::Corrupt`] when a segment is damaged anywhere
@@ -104,7 +106,8 @@ pub fn recover<S: SegmentStore>(
 
     let mut engine = MultiStreamingEngine::with_threads(ckpt.retention, cfg.threads)?
         .with_granularity(ckpt.granularity)
-        .with_fan_out(ckpt.strategy);
+        .with_fan_out(ckpt.strategy)
+        .with_shards(ckpt.shards);
 
     // Hydration: rebuild the window as of the checkpoint. Zero
     // subscriptions → pure append/expiry, no enumeration.

@@ -98,10 +98,11 @@ fn main() {
         engine.total_cycles(),
         planted
     );
+    let window = g.window().expect("live transactions remain");
     println!(
         "window now [{} : {}] holding {} live transactions",
-        g.window().start,
-        g.window().end,
+        window.start,
+        window.end,
         g.live_edges().len()
     );
 

@@ -70,7 +70,7 @@ pub mod prelude {
     };
     pub use pce_graph::{
         generators, DeltaBatch, EdgePredicate, GraphBuilder, GraphStats, GraphView, LabelFilter,
-        SlidingWindowGraph, StreamError, TemporalEdge, TemporalGraph, TimeWindow,
+        ShardSpec, SlidingWindowGraph, StreamError, TemporalEdge, TemporalGraph, TimeWindow,
     };
     pub use pce_sched::{ThreadPool, WorkerMetrics};
     pub use pce_store::{

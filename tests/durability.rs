@@ -540,6 +540,171 @@ fn encode_v1(ck: &Checkpoint) -> Vec<u8> {
     buf
 }
 
+/// Re-encodes a checkpoint in the **v2** on-disk format: v1 plus the
+/// per-subscription predicate fields, but no shard layout anywhere — neither
+/// the engine-level field nor the per-query one existed before v3.
+fn encode_v2(ck: &Checkpoint) -> Vec<u8> {
+    use parallel_cycle_enumeration::graph::io::crc32;
+    let mut buf = Vec::new();
+    buf.extend_from_slice(b"PCEC");
+    buf.extend_from_slice(&2u16.to_le_bytes());
+    buf.extend_from_slice(&ck.seq.to_le_bytes());
+    buf.extend_from_slice(&ck.batches.to_le_bytes());
+    buf.extend_from_slice(&ck.watermark.to_le_bytes());
+    buf.extend_from_slice(&ck.retention.to_le_bytes());
+    buf.extend_from_slice(&ck.compaction_base.to_le_bytes());
+    buf.push(match ck.granularity {
+        Granularity::Sequential => 0,
+        Granularity::CoarseGrained => 1,
+        Granularity::FineGrained => 2,
+    });
+    buf.push(match ck.strategy {
+        FanOutStrategy::Naive => 0,
+        FanOutStrategy::Indexed => 1,
+    });
+    buf.extend_from_slice(&ck.next_query_id.to_le_bytes());
+    buf.extend_from_slice(&(ck.subscriptions.len() as u32).to_le_bytes());
+    for sub in &ck.subscriptions {
+        let q = &sub.query;
+        buf.extend_from_slice(&sub.id.as_u64().to_le_bytes());
+        buf.push(match q.kind() {
+            CycleKind::Simple => 0,
+            CycleKind::Temporal => 1,
+        });
+        buf.push(match q.requested_granularity() {
+            Granularity::Sequential => 0,
+            Granularity::CoarseGrained => 1,
+            Granularity::FineGrained => 2,
+        });
+        buf.extend_from_slice(&q.window_delta().to_le_bytes());
+        let max_len = q.max_len_bound().map_or(u64::MAX, |n| n as u64);
+        buf.extend_from_slice(&max_len.to_le_bytes());
+        buf.push(q.includes_self_loops() as u8);
+        buf.push(match q.collect_mode() {
+            CollectMode::Count => 0,
+            CollectMode::Collect => 1,
+        });
+        buf.extend_from_slice(&sub.total_cycles.to_le_bytes());
+        let pred = q.edge_predicate();
+        buf.extend_from_slice(&pred.amount_min().to_le_bytes());
+        buf.extend_from_slice(&pred.amount_max().to_le_bytes());
+        let labels = |buf: &mut Vec<u8>, set: &[u16]| {
+            buf.extend_from_slice(&(set.len() as u32).to_le_bytes());
+            for label in set {
+                buf.extend_from_slice(&label.to_le_bytes());
+            }
+        };
+        match pred.label_filter() {
+            LabelFilter::Any => buf.push(0),
+            LabelFilter::Allow(set) => {
+                buf.push(1);
+                labels(&mut buf, set);
+            }
+            LabelFilter::Deny(set) => {
+                buf.push(2);
+                labels(&mut buf, set);
+            }
+        }
+    }
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// A store whose newest checkpoint predates the sharded window (v2: predicate
+/// fields, no shard layout) must recover as the single-shard engine it
+/// described — `S = 1` at the engine and on every restored query — keep
+/// serving byte-identical reports, and roundtrip through the **next** crash
+/// in the current v3 format.
+#[test]
+fn v2_checkpoint_store_recovers_as_single_shard() {
+    let cfg = DurableConfig {
+        // No cadence checkpoints: the hand-planted v2 checkpoint must be the
+        // newest one recovery sees.
+        checkpoint_every_batches: u64::MAX,
+        threads: 1,
+        ..DurableConfig::default()
+    };
+    let batches = attribute_stream(&sweep_stream(sweep_seed() ^ 0x02F0, 10));
+    let split = batches.len() / 2;
+
+    // The pre-upgrade run, shadowed by a plain in-memory twin for the
+    // reference reports. Predicate-bearing subscriptions: v2 holds them.
+    let mut durable =
+        DurableMultiStreamingEngine::create(MemoryStore::new(), RETENTION, &cfg).unwrap();
+    let mut plain = MultiStreamingEngine::with_threads(RETENTION, 1).unwrap();
+    for q in [
+        StreamingQuery::temporal(RETENTION),
+        StreamingQuery::simple(25).max_len(5).predicate(
+            EdgePredicate::pass_all()
+                .min_amount(20_000)
+                .labels(LabelFilter::deny(vec![0])),
+        ),
+    ] {
+        let a = durable.subscribe(q.clone()).unwrap();
+        let b = plain.subscribe(q).unwrap();
+        assert_eq!(a, b);
+    }
+    for batch in &batches[..split] {
+        let a = durable.ingest(batch).unwrap();
+        let b = plain.ingest(batch).unwrap();
+        assert_eq!(project(&a), project(&b));
+    }
+    durable.checkpoint_now().unwrap();
+
+    // Downgrade the newest checkpoint to the v2 format, one sequence number
+    // ahead so recovery must pick it.
+    let seq = *durable
+        .log()
+        .store()
+        .checkpoint_seqs()
+        .unwrap()
+        .last()
+        .unwrap();
+    let mut store = durable.into_store();
+    let mut ck = Checkpoint::decode(&store.read_checkpoint(seq).unwrap()).unwrap();
+    ck.seq += 1;
+    store.write_checkpoint(ck.seq, &encode_v2(&ck)).unwrap();
+
+    // Recovery: no shard layout in the checkpoint means the unsharded engine
+    // it described — S = 1 everywhere — and the stream continues
+    // byte-identically, predicates intact.
+    let (mut recovered, info) = recover(store, &cfg).unwrap();
+    assert_eq!(info.checkpoint_seq, ck.seq, "the v2 checkpoint is newest");
+    assert_eq!(info.dropped_batches, 0);
+    assert!(
+        recovered.engine().shard_spec().is_single(),
+        "pre-v3 checkpoints recover as a single shard"
+    );
+    for (_, q) in recovered.engine().subscriptions() {
+        assert!(
+            q.shard_spec().is_single(),
+            "v2 records decode to single-shard queries"
+        );
+    }
+    assert_eq!(
+        recovered.engine().subscription_snapshots(),
+        plain.subscription_snapshots(),
+        "the upgraded registry matches the uninterrupted twin"
+    );
+    for batch in &batches[split..] {
+        let x = recovered.ingest(batch).unwrap();
+        let y = plain.ingest(batch).unwrap();
+        assert_eq!(project(&x), project(&y));
+    }
+
+    // … and survives the *next* crash via the current (v3) format.
+    recovered.checkpoint_now().unwrap();
+    let expected = recovered.engine().subscription_snapshots();
+    let (after, _) = recover(recovered.into_store(), &cfg).unwrap();
+    assert!(after.engine().shard_spec().is_single());
+    assert_eq!(
+        after.engine().subscription_snapshots(),
+        expected,
+        "the registry roundtrips through the post-upgrade checkpoint"
+    );
+}
+
 /// A store whose newest checkpoint was written by the previous release (v1:
 /// no predicate fields) must recover with every query given the pass-all
 /// predicate, keep serving byte-identical reports, accept predicate-bearing
@@ -628,7 +793,7 @@ fn v1_checkpoint_store_upgrades_through_recovery() {
         assert_eq!(project(&x), project(&y));
     }
 
-    // … and survives the *next* crash via the current (v2) format.
+    // … and survives the *next* crash via the current format.
     recovered.checkpoint_now().unwrap();
     let expected = recovered.engine().subscription_snapshots();
     let (after, _) = recover(recovered.into_store(), &cfg).unwrap();
