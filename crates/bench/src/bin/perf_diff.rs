@@ -16,6 +16,9 @@
 //!
 //! * **Timing keys** (`*_ms`, `*_secs`, `*per_sec`, `overhead`) — soft: a
 //!   warning when the fresh value exceeds 1.5× baseline, never a failure.
+//! * **Scheduling-event keys** (`steals`, `assists`, `joins`,
+//!   `busy_workers`, `*_events`) — soft, same threshold: which worker stole
+//!   or joined what is a race outcome, not deterministic work.
 //! * **Identity and correctness keys** (strings, booleans, and the numeric
 //!   keys `threads`, `subs`, `groups`, `batches`, `cycles`, `candidates`,
 //!   `replayed_batches`, `hydrated_batches`, `skipped_batches`, `segments`,
@@ -228,6 +231,13 @@ fn is_timing(key: &str) -> bool {
     key.ends_with("_ms") || key.ends_with("_secs") || key.ends_with("per_sec") || key == "overhead"
 }
 
+/// Scheduling-event keys: how often workers stole, joined or assisted is a
+/// race outcome that varies run to run even at fixed seeds and thread counts,
+/// so these never gate — soft-warned like wall clock.
+fn is_scheduling(key: &str) -> bool {
+    matches!(key, "steals" | "assists" | "joins" | "busy_workers") || key.ends_with("_events")
+}
+
 /// Numeric keys where any drift (either direction) is a hard failure:
 /// configuration identity and correctness counts.
 fn is_exact(key: &str) -> bool {
@@ -277,6 +287,12 @@ fn compare_rows(section: &str, index: usize, base: &Json, fresh: &Json, out: &mu
                     if *f > *b * 1.5 && *f - *b > 1e-9 {
                         out.warnings.push(format!(
                             "{at}: {f} vs baseline {b} (>1.5x; wall-clock, not gating)"
+                        ));
+                    }
+                } else if is_scheduling(key) {
+                    if *f > *b * 1.5 && *f - *b > 1e-9 {
+                        out.warnings.push(format!(
+                            "{at}: {f} vs baseline {b} (>1.5x; scheduling-dependent, not gating)"
                         ));
                     }
                 } else if is_exact(key) {

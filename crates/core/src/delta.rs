@@ -34,6 +34,14 @@
 //!   even a single-root burst engages all workers. The per-root pruning state
 //!   is snapshot into a shared `UnionView` once and read-only thereafter.
 //!
+//! A fourth driver pair ([`delta_simple_assist`] / [`delta_temporal_assist`])
+//! runs the *same* fine-grained decomposition under work-**assisting**
+//! scheduling: instead of boxing each branch as a stealable task, idle
+//! workers join per-level [`WorkAssistingLoop`]s in place (one packed atomic
+//! per level — see `run_delta_fine_assist`). Reports and deterministic work
+//! counters are identical to the stealing driver's, which makes the two
+//! mutual differential oracles.
+//!
 //! Everything here is generic over [`GraphView`], so the same code serves the
 //! immutable [`TemporalGraph`](pce_graph::TemporalGraph) and the streaming
 //! [`SlidingWindowGraph`](pce_graph::stream::SlidingWindowGraph).
@@ -86,11 +94,12 @@ use crate::seq::{timed_run, RootScratch};
 use crate::union::{UnionQuery, UnionView};
 use crate::util::{fx_set, FxHashSet};
 use crate::{Algorithm, Granularity};
+use parking_lot::Mutex;
 use pce_graph::reach::CycleUnionWorkspace;
 use pce_graph::{EdgeId, EdgePredicate, GraphView, ShardSpec, TimeWindow, Timestamp, VertexId};
-use pce_sched::{DynamicCounter, Scope, ThreadPool, WorkerCtx};
+use pce_sched::{DynamicCounter, Scope, ThreadPool, WorkAssistingLoop, WorkerCtx};
 use std::ops::Range;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -847,29 +856,21 @@ struct FineDeltaTask {
     spawned_by: usize,
 }
 
-/// Runs one task: scans the admissible out-edges of the path tip, reports the
-/// cycles it closes and spawns a child task per continuable branch. Children
-/// go onto the executing worker's LIFO deque, so a lone busy worker keeps the
-/// sequential depth-first order while idle workers steal the shallowest —
-/// largest — subtrees.
-fn execute_fine_delta<'scope, G: GraphView + ?Sized, S: CycleSink>(
-    shared: &'scope FineDeltaShared<'scope, G, S>,
-    mut task: FineDeltaTask,
-    scope: &Scope<'scope>,
-    ctx: &WorkerCtx<'_>,
+/// Expands one task: scans the admissible out-edges of the path tip, reports
+/// the cycles it closes and hands every continuable branch to `emit` as a
+/// fresh child task (stamped `spawned_by: worker`). The expansion — and its
+/// per-task metrics: one recursive call, one edge visit per scanned entry,
+/// one copy per emitted child — is shared verbatim by the two fine-grained
+/// schedulers, which differ only in where children go: the *stealing* driver
+/// spawns them onto the worker's deque, the *assisting* driver collects them
+/// into the next frontier level. That shared body is what makes the two
+/// strategies differentially comparable counter-for-counter.
+fn expand_fine_task<G: GraphView + ?Sized, S: CycleSink>(
+    shared: &FineDeltaShared<'_, G, S>,
+    task: &mut FineDeltaTask,
+    worker: usize,
+    mut emit: impl FnMut(FineDeltaTask),
 ) {
-    // A task scheduled after the sink stopped the run returns immediately
-    // (and spawns nothing), so the scope drains quickly.
-    if shared.sink.stopped() {
-        return;
-    }
-    let worker = ctx.worker_id();
-    if worker != task.spawned_by {
-        // The pool's deques did the actual theft; record it here, where the
-        // migrated task starts executing.
-        shared.metrics.steal_event(worker);
-    }
-    let start = Instant::now();
     shared.metrics.recursive_call(worker);
     let v = *task.path.last().expect("path never empty");
     let (window, temporal) = match shared.mode {
@@ -922,7 +923,7 @@ fn execute_fine_delta<'scope, G: GraphView + ?Sized, S: CycleSink>(
         child_path.push(w);
         child_edges.push(entry.edge);
         child_on_path.insert(w);
-        let child = FineDeltaTask {
+        emit(FineDeltaTask {
             root: task.root,
             target: task.target,
             window: task.window,
@@ -933,11 +934,37 @@ fn execute_fine_delta<'scope, G: GraphView + ?Sized, S: CycleSink>(
             path_edges: child_edges,
             on_path: child_on_path,
             spawned_by: worker,
-        };
+        });
+    }
+}
+
+/// Runs one task under the *stealing* scheduler: children are spawned onto
+/// the executing worker's LIFO deque, so a lone busy worker keeps the
+/// sequential depth-first order while idle workers steal the shallowest —
+/// largest — subtrees.
+fn execute_fine_delta<'scope, G: GraphView + ?Sized, S: CycleSink>(
+    shared: &'scope FineDeltaShared<'scope, G, S>,
+    mut task: FineDeltaTask,
+    scope: &Scope<'scope>,
+    ctx: &WorkerCtx<'_>,
+) {
+    // A task scheduled after the sink stopped the run returns immediately
+    // (and spawns nothing), so the scope drains quickly.
+    if shared.sink.stopped() {
+        return;
+    }
+    let worker = ctx.worker_id();
+    if worker != task.spawned_by {
+        // The pool's deques did the actual theft; record it here, where the
+        // migrated task starts executing.
+        shared.metrics.steal_event(worker);
+    }
+    let start = Instant::now();
+    expand_fine_task(shared, &mut task, worker, |child| {
         ctx.spawn(scope, move |scope, ctx| {
             execute_fine_delta(shared, child, scope, ctx);
         });
-    }
+    });
     shared.metrics.add_busy(worker, start.elapsed());
 }
 
@@ -1096,6 +1123,233 @@ fn run_delta_fine<G: GraphView + ?Sized, S: CycleSink>(
     .tagged(Algorithm::Johnson, Granularity::FineGrained)
 }
 
+/// One frontier level of the work-assisting fine driver: the branch tasks to
+/// expand, the packed claim loop idle workers join, and the bucket the next
+/// level is gathered from. Each task slot is claimed exactly once through the
+/// loop; the mutex-wrapped `Option` only arbitrates ownership transfer, never
+/// contended work.
+struct AssistLevel {
+    tasks: Vec<Mutex<Option<FineDeltaTask>>>,
+    claims: WorkAssistingLoop,
+    next: Mutex<Vec<FineDeltaTask>>,
+}
+
+impl AssistLevel {
+    fn new(frontier: Vec<FineDeltaTask>) -> Self {
+        let claims = WorkAssistingLoop::new(frontier.len(), 1);
+        Self {
+            tasks: frontier.into_iter().map(|t| Mutex::new(Some(t))).collect(),
+            claims,
+            next: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// How the work-assisting driver's participants find the current level: the
+/// coordinator publishes each level under the mutex and bumps `epoch`;
+/// helpers spin on the epoch (yielding, so a 1-core machine still makes
+/// progress) and join whatever is published. `done` releases the helpers when
+/// the last frontier drains — set through a drop guard, so a panicking
+/// coordinator cannot wedge them.
+struct AssistCoordination {
+    epoch: AtomicUsize,
+    done: AtomicBool,
+    current: Mutex<Option<Arc<AssistLevel>>>,
+}
+
+/// Sets the coordination `done` flag on drop (including unwinds).
+struct DoneGuard<'a>(&'a AtomicBool);
+
+impl Drop for DoneGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(true, Ordering::Release);
+    }
+}
+
+/// Joins one level's claim loop and expands every task it wins, collecting
+/// children locally and appending them to the level's output bucket once —
+/// the per-root branch expansion of the assisting scheduler. Records one
+/// `join` per entered loop and one `assist` when the loop was already being
+/// run by another worker (the assisting analogue of a steal).
+fn assist_level<G: GraphView + ?Sized, S: CycleSink>(
+    shared: &FineDeltaShared<'_, G, S>,
+    level: &AssistLevel,
+    worker: usize,
+) {
+    let Some(guard) = level.claims.try_join() else {
+        return;
+    };
+    shared.metrics.join_event(worker);
+    if guard.assisted() {
+        shared.metrics.assist_event(worker);
+    }
+    let mut children = Vec::new();
+    while let Some(i) = guard.next() {
+        if shared.sink.stopped() {
+            // Keep claiming so the loop exhausts and `is_complete` fires —
+            // each drained claim is one compare-exchange, no work.
+            continue;
+        }
+        let Some(mut task) = level.tasks[i].lock().take() else {
+            continue;
+        };
+        let t0 = Instant::now();
+        expand_fine_task(shared, &mut task, worker, |child| children.push(child));
+        shared.metrics.add_busy(worker, t0.elapsed());
+    }
+    if !children.is_empty() {
+        level.next.lock().append(&mut children);
+    }
+}
+
+/// The work-assisting fine-grained delta driver: the same root preparation
+/// and branch expansion as [`run_delta_fine`], scheduled through packed-atomic
+/// [`WorkAssistingLoop`]s instead of boxed tasks on the stealing deques.
+///
+/// The run is level-synchronous: all participants first claim root edges
+/// cooperatively from one assisting loop (each preparing roots into its own
+/// scratch), then the coordinator — the first spawned participant — publishes
+/// the prepared tasks as frontier level 0 and republishes each level's
+/// children as the next, while the remaining participants spin on the epoch
+/// and join every published loop in place. Joining, claiming and completion
+/// detection are all single operations on each loop's packed word, so no
+/// barriers or parked tasks are needed; a worker that arrives mid-level
+/// simply joins it (recorded as an `assist`).
+///
+/// Trade-off vs. the stealing driver: no per-branch `Job` allocation or deque
+/// round-trip, but the frontier is breadth-first, so peak memory is bounded
+/// by the widest recursion level rather than the search depth. Reported
+/// cycles and the deterministic work counters (edge visits, recursive calls,
+/// copies, union members, roots) are identical to the stealing driver's —
+/// only the steal/join/assist scheduling counters differ — which is what the
+/// differential sweeps assert.
+#[allow(clippy::too_many_arguments)] // the parallel driver signature + predicate
+fn run_delta_fine_assist<G: GraphView + ?Sized, S: CycleSink>(
+    graph: &G,
+    roots: Range<EdgeId>,
+    floor: Timestamp,
+    mode: FineDeltaMode<'_>,
+    predicate: &EdgePredicate,
+    sink: &S,
+    pool: &ThreadPool,
+    scratches: &mut [RootScratch],
+) -> RunStats {
+    let threads = pool.num_threads();
+    assert!(
+        scratches.len() >= threads,
+        "need one scratch per pool worker"
+    );
+    let metrics = WorkMetrics::new(threads);
+    let start = Instant::now();
+    let base = roots.start;
+    let sink = HaltingSink::new(sink);
+    let shared = FineDeltaShared {
+        graph,
+        sink: &sink,
+        metrics: &metrics,
+        mode,
+        predicate,
+        pred_all: predicate.is_pass_all(),
+    };
+    let root_claims = WorkAssistingLoop::new(roots.len(), 1);
+    let root_out: Mutex<Vec<FineDeltaTask>> = Mutex::new(Vec::new());
+    let coord = AssistCoordination {
+        epoch: AtomicUsize::new(0),
+        done: AtomicBool::new(false),
+        current: Mutex::new(None),
+    };
+
+    pool.scope(|scope| {
+        for (slot, scratch) in scratches[..threads].iter_mut().enumerate() {
+            let shared = &shared;
+            let root_claims = &root_claims;
+            let root_out = &root_out;
+            let coord = &coord;
+            scope.spawn(move |_, ctx| {
+                let worker = ctx.worker_id();
+                // Phase 1: every participant joins the root-claim loop and
+                // prepares roots into its own scratch.
+                if let Some(guard) = root_claims.try_join() {
+                    shared.metrics.join_event(worker);
+                    if guard.assisted() {
+                        shared.metrics.assist_event(worker);
+                    }
+                    let mut prepared = Vec::new();
+                    while let Some(i) = guard.next() {
+                        if shared.sink.stopped() {
+                            continue; // drain claims so the loop exhausts
+                        }
+                        let prep = Instant::now();
+                        let task =
+                            prepare_fine_root(shared, base + i as EdgeId, floor, scratch, worker);
+                        shared.metrics.add_busy(worker, prep.elapsed());
+                        if let Some(task) = task {
+                            prepared.push(task);
+                        }
+                    }
+                    if !prepared.is_empty() {
+                        root_out.lock().append(&mut prepared);
+                    }
+                }
+                if slot == 0 {
+                    // Phase 2, coordinator: wait for the root loop to drain
+                    // (single packed load — exhausted and everyone left),
+                    // then publish one assisting loop per frontier level,
+                    // working each level itself.
+                    let _done = DoneGuard(&coord.done);
+                    while !root_claims.is_complete() {
+                        std::hint::spin_loop();
+                        std::thread::yield_now();
+                    }
+                    let mut frontier = std::mem::take(&mut *root_out.lock());
+                    while !frontier.is_empty() && !shared.sink.stopped() {
+                        let level = Arc::new(AssistLevel::new(frontier));
+                        *coord.current.lock() = Some(Arc::clone(&level));
+                        coord.epoch.fetch_add(1, Ordering::Release);
+                        assist_level(shared, &level, worker);
+                        while !level.claims.is_complete() {
+                            std::hint::spin_loop();
+                            std::thread::yield_now();
+                        }
+                        frontier = std::mem::take(&mut *level.next.lock());
+                    }
+                } else {
+                    // Phase 2, helper: assist every published level until the
+                    // coordinator declares the run finished. A joined loop is
+                    // drained to exhaustion before re-checking the epoch, so
+                    // a helper is either working or one load away from it.
+                    let mut seen = 0;
+                    loop {
+                        if coord.done.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let epoch = coord.epoch.load(Ordering::Acquire);
+                        if epoch == seen {
+                            std::hint::spin_loop();
+                            std::thread::yield_now();
+                            continue;
+                        }
+                        seen = epoch;
+                        let level = coord.current.lock().clone();
+                        if let Some(level) = level {
+                            assist_level(shared, &level, worker);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    RunStats {
+        cycles: sink.count(),
+        wall_secs: start.elapsed().as_secs_f64(),
+        work: metrics.snapshot(),
+        threads,
+        ..RunStats::default()
+    }
+    .tagged(Algorithm::Johnson, Granularity::FineGrained)
+}
+
 /// Fine-grained parallel simple-cycle delta enumeration: recursion-level
 /// tasks stolen mid-search (the paper's signature decomposition applied to
 /// the backward, max-edge-rooted search). Allocates fresh per-worker scratch;
@@ -1186,6 +1440,107 @@ pub fn delta_temporal_fine_with_scratch<G: GraphView + ?Sized, S: CycleSink>(
     scratches: &mut [RootScratch],
 ) -> RunStats {
     run_delta_fine(
+        graph,
+        roots,
+        floor,
+        FineDeltaMode::Temporal(opts),
+        predicate,
+        sink,
+        pool,
+        scratches,
+    )
+}
+
+/// Work-assisting simple-cycle delta enumeration: the same enumeration as
+/// [`delta_simple_fine`] scheduled through [`WorkAssistingLoop`]s (see
+/// `run_delta_fine_assist`). Allocates fresh per-worker scratch;
+/// high-frequency callers should use [`delta_simple_assist_with_scratch`].
+pub fn delta_simple_assist<G: GraphView + ?Sized, S: CycleSink>(
+    graph: &G,
+    roots: Range<EdgeId>,
+    floor: Timestamp,
+    opts: &SimpleCycleOptions,
+    predicate: &EdgePredicate,
+    sink: &S,
+    pool: &ThreadPool,
+) -> RunStats {
+    let mut scratches = fresh_scratches(graph, pool);
+    delta_simple_assist_with_scratch(
+        graph,
+        roots,
+        floor,
+        opts,
+        predicate,
+        sink,
+        pool,
+        &mut scratches,
+    )
+}
+
+/// [`delta_simple_assist`] with caller-owned per-worker scratches (at least
+/// `pool.num_threads()` of them, each covering `graph.num_vertices()`).
+#[allow(clippy::too_many_arguments)] // the parallel driver signature + scratches
+pub fn delta_simple_assist_with_scratch<G: GraphView + ?Sized, S: CycleSink>(
+    graph: &G,
+    roots: Range<EdgeId>,
+    floor: Timestamp,
+    opts: &SimpleCycleOptions,
+    predicate: &EdgePredicate,
+    sink: &S,
+    pool: &ThreadPool,
+    scratches: &mut [RootScratch],
+) -> RunStats {
+    run_delta_fine_assist(
+        graph,
+        roots,
+        floor,
+        FineDeltaMode::Simple(opts),
+        predicate,
+        sink,
+        pool,
+        scratches,
+    )
+}
+
+/// Work-assisting temporal-cycle delta enumeration (see
+/// [`delta_simple_assist`]). Allocates fresh per-worker scratch;
+/// high-frequency callers should use [`delta_temporal_assist_with_scratch`].
+pub fn delta_temporal_assist<G: GraphView + ?Sized, S: CycleSink>(
+    graph: &G,
+    roots: Range<EdgeId>,
+    floor: Timestamp,
+    opts: &TemporalCycleOptions,
+    predicate: &EdgePredicate,
+    sink: &S,
+    pool: &ThreadPool,
+) -> RunStats {
+    let mut scratches = fresh_scratches(graph, pool);
+    delta_temporal_assist_with_scratch(
+        graph,
+        roots,
+        floor,
+        opts,
+        predicate,
+        sink,
+        pool,
+        &mut scratches,
+    )
+}
+
+/// [`delta_temporal_assist`] with caller-owned per-worker scratches (see
+/// [`delta_simple_assist_with_scratch`]).
+#[allow(clippy::too_many_arguments)] // the parallel driver signature + scratches
+pub fn delta_temporal_assist_with_scratch<G: GraphView + ?Sized, S: CycleSink>(
+    graph: &G,
+    roots: Range<EdgeId>,
+    floor: Timestamp,
+    opts: &TemporalCycleOptions,
+    predicate: &EdgePredicate,
+    sink: &S,
+    pool: &ThreadPool,
+    scratches: &mut [RootScratch],
+) -> RunStats {
+    run_delta_fine_assist(
         graph,
         roots,
         floor,
@@ -1614,6 +1969,210 @@ mod tests {
             &ThreadPool::new(4),
         );
         assert_eq!(sink.count(), expected);
+    }
+
+    /// The work-assisting driver is a drop-in replacement for the stealing
+    /// one: identical reported cycles at every thread count, identical
+    /// deterministic work counters (it runs the same expansion body), and
+    /// join events instead of steal events.
+    #[test]
+    fn assist_matches_sequential_and_steal_counters() {
+        for (seed, delta) in [(1_401, 20), (1_402, 35)] {
+            let g = generators::uniform_temporal(RandomTemporalConfig {
+                num_vertices: 18,
+                num_edges: 90,
+                time_span: 60,
+                seed,
+            });
+            let simple_opts = SimpleCycleOptions::with_window(delta);
+            let seq = CollectingSink::new();
+            delta_simple(
+                &g,
+                all_roots(&g),
+                Timestamp::MIN,
+                &simple_opts,
+                &EdgePredicate::pass_all(),
+                &seq,
+            );
+            for threads in [1, 2, 4] {
+                let pool = ThreadPool::new(threads);
+                let steal = CollectingSink::new();
+                let steal_stats = delta_simple_fine(
+                    &g,
+                    all_roots(&g),
+                    Timestamp::MIN,
+                    &simple_opts,
+                    &EdgePredicate::pass_all(),
+                    &steal,
+                    &pool,
+                );
+                let assist = CollectingSink::new();
+                let assist_stats = delta_simple_assist(
+                    &g,
+                    all_roots(&g),
+                    Timestamp::MIN,
+                    &simple_opts,
+                    &EdgePredicate::pass_all(),
+                    &assist,
+                    &pool,
+                );
+                assert_eq!(
+                    seq.canonical_cycles(),
+                    assist.canonical_cycles(),
+                    "seed {seed} threads {threads}"
+                );
+                assert_eq!(steal.canonical_cycles(), assist.canonical_cycles());
+                // Same expansion body => identical deterministic counters.
+                assert_eq!(
+                    steal_stats.work.total_edge_visits(),
+                    assist_stats.work.total_edge_visits()
+                );
+                assert_eq!(
+                    steal_stats.work.total_recursive_calls(),
+                    assist_stats.work.total_recursive_calls()
+                );
+                assert_eq!(
+                    steal_stats.work.total_copies(),
+                    assist_stats.work.total_copies()
+                );
+                assert_eq!(
+                    steal_stats.work.total_union_members(),
+                    assist_stats.work.total_union_members()
+                );
+                assert_eq!(
+                    steal_stats.work.total_roots(),
+                    assist_stats.work.total_roots()
+                );
+                // Only the scheduling counters differ in kind.
+                assert_eq!(assist_stats.work.total_steals(), 0);
+                assert!(assist_stats.work.total_joins() > 0);
+                assert_eq!(steal_stats.work.total_joins(), 0);
+            }
+
+            let temporal_opts = TemporalCycleOptions::with_window(delta);
+            let seq = CollectingSink::new();
+            delta_temporal(
+                &g,
+                all_roots(&g),
+                Timestamp::MIN,
+                &temporal_opts,
+                &EdgePredicate::pass_all(),
+                &seq,
+            );
+            for threads in [1, 4] {
+                let assist = CollectingSink::new();
+                delta_temporal_assist(
+                    &g,
+                    all_roots(&g),
+                    Timestamp::MIN,
+                    &temporal_opts,
+                    &EdgePredicate::pass_all(),
+                    &assist,
+                    &ThreadPool::new(threads),
+                );
+                assert_eq!(
+                    seq.canonical_cycles(),
+                    assist.canonical_cycles(),
+                    "temporal seed {seed} threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn assist_respects_floor_early_stop_and_self_loops() {
+        let g = GraphBuilder::new()
+            .add_edge(0, 0, 1)
+            .add_edge(0, 1, 2)
+            .add_edge(1, 0, 3)
+            .build();
+        let pool = ThreadPool::new(2);
+        let with = CountingSink::new();
+        delta_simple_assist(
+            &g,
+            all_roots(&g),
+            Timestamp::MIN,
+            &SimpleCycleOptions::unconstrained().include_self_loops(true),
+            &EdgePredicate::pass_all(),
+            &with,
+            &pool,
+        );
+        assert_eq!(with.count(), 2);
+        let floored = CountingSink::new();
+        delta_simple_assist(
+            &g,
+            all_roots(&g),
+            3,
+            &SimpleCycleOptions::unconstrained(),
+            &EdgePredicate::pass_all(),
+            &floored,
+            &pool,
+        );
+        assert_eq!(floored.count(), 0, "both cycle-closing hops are expired");
+
+        // Early termination: the sink stops the run, and drained claim loops
+        // must still let the scope finish (no wedged coordinator).
+        let g = generators::fig4a_exponential_cycles(12);
+        let sink = crate::cycle::FirstKSink::new(3);
+        delta_simple_assist(
+            &g,
+            all_roots(&g),
+            Timestamp::MIN,
+            &SimpleCycleOptions::unconstrained(),
+            &EdgePredicate::pass_all(),
+            &sink,
+            &pool,
+        );
+        assert_eq!(sink.into_cycles().len(), 3);
+    }
+
+    /// The assisting analogue of `hub_burst_work_is_spread_across_workers`:
+    /// where the stealing driver records steals on the single-root burst, the
+    /// assisting driver must record assists (a second worker joining an
+    /// active claim loop). Requires real parallelism, so it is skipped on a
+    /// 1-core executor; joining hub workers race real work, so a handful of
+    /// attempts are allowed before declaring the scheduler broken.
+    #[test]
+    fn hub_burst_assisting_records_assists() {
+        let g = generators::hub_burst(2, 13);
+        let expected = generators::hub_burst_cycle_count(2, 13);
+        let opts = SimpleCycleOptions::unconstrained();
+        if pce_sched::available_parallelism() < 2 {
+            // Still check correctness single-threaded before skipping.
+            let sink = CountingSink::new();
+            delta_simple_assist(
+                &g,
+                all_roots(&g),
+                Timestamp::MIN,
+                &opts,
+                &EdgePredicate::pass_all(),
+                &sink,
+                &ThreadPool::new(4),
+            );
+            assert_eq!(sink.count(), expected);
+            eprintln!("skipping assist-spread assertion: single-core executor");
+            return;
+        }
+        let mut last_assists = 0;
+        for attempt in 0..5 {
+            let sink = CountingSink::new();
+            let stats = delta_simple_assist(
+                &g,
+                all_roots(&g),
+                Timestamp::MIN,
+                &opts,
+                &EdgePredicate::pass_all(),
+                &sink,
+                &ThreadPool::new(4),
+            );
+            assert_eq!(sink.count(), expected, "attempt {attempt}");
+            assert_eq!(stats.work.total_steals(), 0);
+            last_assists = stats.work.total_assists();
+            if last_assists > 0 {
+                return;
+            }
+        }
+        panic!("no assists recorded in 5 hub-burst runs (last={last_assists})");
     }
 
     #[test]

@@ -193,27 +193,45 @@ mod tests {
 
     #[test]
     fn fig4a_exponential_cycles_spread_across_workers() {
+        // Deflaked: on a 1-core executor the OS may legally run the whole
+        // search on one worker before any other thread wakes, so the spread
+        // assertion only holds with real parallelism — verify the count and
+        // skip the spread check there. On a multicore, a worker can still
+        // occasionally drain the task tree before a sibling steals (the
+        // search cannot host a rendezvous without changing the algorithm), so
+        // the spread assertion gets a handful of attempts; the cycle count is
+        // asserted on every run.
         let g = generators::fig4a_exponential_cycles(12);
-        let sink = CountingSink::new();
-        let stats = fine_read_tarjan_simple(
-            &g,
-            &SimpleCycleOptions::unconstrained(),
-            &sink,
-            &ThreadPool::new(4),
-        );
-        assert_eq!(sink.count(), generators::fig4a_cycle_count(12));
-        // With 1024 cycles behind a single root edge, fine-grained tasks must
-        // have run on more than one worker.
-        let active_workers = stats
-            .work
-            .workers
-            .iter()
-            .filter(|w| w.recursive_calls > 0)
-            .count();
-        assert!(
-            active_workers > 1,
-            "expected multiple workers to execute tasks, got {active_workers}"
-        );
+        let expected = generators::fig4a_cycle_count(12);
+        let single_core = pce_sched::available_parallelism() < 2;
+        let attempts = if single_core { 1 } else { 5 };
+        let mut last_active = 0;
+        for attempt in 0..attempts {
+            let sink = CountingSink::new();
+            let stats = fine_read_tarjan_simple(
+                &g,
+                &SimpleCycleOptions::unconstrained(),
+                &sink,
+                &ThreadPool::new(4),
+            );
+            assert_eq!(sink.count(), expected, "attempt {attempt}");
+            // With 1024 cycles behind a single root edge, fine-grained tasks
+            // should spread across workers.
+            last_active = stats
+                .work
+                .workers
+                .iter()
+                .filter(|w| w.recursive_calls > 0)
+                .count();
+            if last_active > 1 {
+                return;
+            }
+        }
+        if single_core {
+            eprintln!("skipping worker-spread assertion: single-core executor");
+            return;
+        }
+        panic!("expected multiple workers to execute tasks in {attempts} runs, got {last_active}");
     }
 
     #[test]

@@ -78,12 +78,13 @@
 
 use crate::cycle::{CollectingSink, CountingSink, Cycle, CycleSink};
 use crate::delta::{
-    delta_simple_fine_with_scratch, delta_simple_parallel_with_scratch,
-    delta_simple_sharded_with_scratch, delta_simple_with_scratch, delta_temporal_fine_with_scratch,
-    delta_temporal_parallel_with_scratch, delta_temporal_sharded_with_scratch,
-    delta_temporal_with_scratch,
+    delta_simple_assist_with_scratch, delta_simple_fine_with_scratch,
+    delta_simple_parallel_with_scratch, delta_simple_sharded_with_scratch,
+    delta_simple_with_scratch, delta_temporal_assist_with_scratch,
+    delta_temporal_fine_with_scratch, delta_temporal_parallel_with_scratch,
+    delta_temporal_sharded_with_scratch, delta_temporal_with_scratch,
 };
-use crate::engine::{CollectMode, CycleKind, Engine, EnumerationError, Granularity};
+use crate::engine::{CollectMode, CycleKind, Engine, EnumerationError, Granularity, SchedStrategy};
 use crate::metrics::{LatencyStats, RunStats};
 use crate::options::{SimpleCycleOptions, TemporalCycleOptions};
 use crate::seq::RootScratch;
@@ -168,6 +169,7 @@ impl From<EnumerationError> for StreamingError {
 pub struct StreamingQuery {
     kind: CycleKind,
     granularity: Granularity,
+    sched: SchedStrategy,
     window_delta: Timestamp,
     max_len: Option<usize>,
     include_self_loops: bool,
@@ -186,6 +188,7 @@ impl StreamingQuery {
         Self {
             kind: CycleKind::Simple,
             granularity: Granularity::CoarseGrained,
+            sched: SchedStrategy::default(),
             window_delta: delta,
             max_len: None,
             include_self_loops: false,
@@ -220,6 +223,22 @@ impl StreamingQuery {
     /// per-batch [`RunStats`] record what effectively executed.
     pub fn granularity(mut self, granularity: Granularity) -> Self {
         self.granularity = granularity;
+        self
+    }
+
+    /// Selects how idle workers engage the batch's fine-grained delta pass:
+    /// work-[`Stealing`](SchedStrategy::Stealing) (the default — each branch
+    /// is a boxed task on the pool's deques) or
+    /// work-[`Assisting`](SchedStrategy::Assisting) (branches are claimed
+    /// from per-level packed-atomic loops that idle workers join in place).
+    ///
+    /// Only consulted for [`Granularity::FineGrained`] on a multi-threaded
+    /// engine; other granularities ignore it. Reported cycles are
+    /// byte-identical either way — the strategy is a scheduling knob, which
+    /// is also why it is **not** persisted in durable checkpoints: a replay
+    /// under either strategy reconstructs the same state.
+    pub fn sched(mut self, strategy: SchedStrategy) -> Self {
+        self.sched = strategy;
         self
     }
 
@@ -273,6 +292,12 @@ impl StreamingQuery {
     /// batch may degrade to sequential — see [`StreamingQuery::granularity`]).
     pub fn requested_granularity(&self) -> Granularity {
         self.granularity
+    }
+
+    /// The scheduling strategy fine-grained passes run under (see
+    /// [`StreamingQuery::sched`]).
+    pub fn sched_strategy(&self) -> SchedStrategy {
+        self.sched
     }
 
     /// The enumeration window size δ.
@@ -741,16 +766,28 @@ fn run_delta<S: crate::cycle::CycleSink>(
                     engine.pool(),
                     scratches,
                 ),
-                Granularity::FineGrained => delta_simple_fine_with_scratch(
-                    graph,
-                    roots,
-                    floor,
-                    &opts,
-                    predicate,
-                    sink,
-                    engine.pool(),
-                    scratches,
-                ),
+                Granularity::FineGrained => match query.sched {
+                    SchedStrategy::Stealing => delta_simple_fine_with_scratch(
+                        graph,
+                        roots,
+                        floor,
+                        &opts,
+                        predicate,
+                        sink,
+                        engine.pool(),
+                        scratches,
+                    ),
+                    SchedStrategy::Assisting => delta_simple_assist_with_scratch(
+                        graph,
+                        roots,
+                        floor,
+                        &opts,
+                        predicate,
+                        sink,
+                        engine.pool(),
+                        scratches,
+                    ),
+                },
             }
         }
         CycleKind::Temporal => {
@@ -791,16 +828,28 @@ fn run_delta<S: crate::cycle::CycleSink>(
                     engine.pool(),
                     scratches,
                 ),
-                Granularity::FineGrained => delta_temporal_fine_with_scratch(
-                    graph,
-                    roots,
-                    floor,
-                    &opts,
-                    predicate,
-                    sink,
-                    engine.pool(),
-                    scratches,
-                ),
+                Granularity::FineGrained => match query.sched {
+                    SchedStrategy::Stealing => delta_temporal_fine_with_scratch(
+                        graph,
+                        roots,
+                        floor,
+                        &opts,
+                        predicate,
+                        sink,
+                        engine.pool(),
+                        scratches,
+                    ),
+                    SchedStrategy::Assisting => delta_temporal_assist_with_scratch(
+                        graph,
+                        roots,
+                        floor,
+                        &opts,
+                        predicate,
+                        sink,
+                        engine.pool(),
+                        scratches,
+                    ),
+                },
             }
         }
     }
@@ -907,10 +956,11 @@ impl SharedPass {
     /// The pass as a standing query, for the shared [`run_delta`] dispatcher.
     /// The `shards` field is a placeholder: the multi engine's shard layout
     /// lives on the engine itself, and is handed to [`run_delta`] separately.
-    fn as_query(&self, granularity: Granularity) -> StreamingQuery {
+    fn as_query(&self, granularity: Granularity, sched: SchedStrategy) -> StreamingQuery {
         StreamingQuery {
             kind: self.kind,
             granularity,
+            sched,
             window_delta: self.delta,
             max_len: self.max_len,
             include_self_loops: self.include_self_loops,
@@ -1604,19 +1654,25 @@ impl CycleSink for BufferingFanOutSink<'_> {
 /// dispatch. Tasks of one cohort share that cohort's group accumulators
 /// (atomic counts, mutex-guarded cycle lists), and each task adds its busy
 /// time to its cohort's counters so per-cohort dispatch cost stays visible.
+///
+/// Under [`SchedStrategy::Assisting`] the same task grid is claimed from one
+/// [`pce_sched::WorkAssistingLoop`] instead of a [`pce_sched::DynamicCounter`]
+/// behind scope tasks, and the returned stats carry the loop's join/assist
+/// counts (always zero for the stealing dispatcher).
 fn dispatch_deferred(
     pool: &pce_sched::ThreadPool,
+    sched: SchedStrategy,
     index: &SubscriptionIndex,
     candidates: &[BufferedCandidate],
     accums: &[Vec<GroupAccum>],
     counters: &[CohortCounters],
-) {
+) -> pce_sched::AssistingForStats {
     let chunks = candidates.len().div_ceil(FAN_OUT_CHUNK);
     let cohorts = index.cohorts.len();
     if chunks == 0 || cohorts == 0 {
-        return;
+        return pce_sched::AssistingForStats::default();
     }
-    pce_sched::parallel_for_dynamic(pool, chunks * cohorts, 1, |_worker, task| {
+    let body = |_worker: usize, task: usize| {
         let ci = task / chunks;
         let chunk_idx = task % chunks;
         let start = chunk_idx * FAN_OUT_CHUNK;
@@ -1636,7 +1692,14 @@ fn dispatch_deferred(
         counters[ci]
             .busy_nanos
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-    });
+    };
+    match sched {
+        SchedStrategy::Stealing => {
+            pce_sched::parallel_for_dynamic(pool, chunks * cohorts, 1, body);
+            pce_sched::AssistingForStats::default()
+        }
+        SchedStrategy::Assisting => pce_sched::work_assisting_for(pool, chunks * cohorts, 1, body),
+    }
 }
 
 /// Per-cohort accounting of one batch's fan-out (indexed strategy only — the
@@ -1683,6 +1746,13 @@ pub struct FanOutReport {
     /// ran inline; inline dispatch is part of
     /// [`MultiBatchReport::enumerate_secs`] either way).
     pub fan_out_secs: f64,
+    /// Workers that joined the deferred dispatch's work-assisting loop
+    /// (nonzero only when the engine runs [`SchedStrategy::Assisting`] and
+    /// the batch dispatched deferred; the stealing dispatcher reports 0).
+    pub joins: u64,
+    /// Joins that engaged an already-active loop — the assisting analogue of
+    /// a steal (subset of [`FanOutReport::joins`]).
+    pub assists: u64,
     /// Per-cohort accounting rows (empty for the naive strategy).
     pub cohorts: Vec<CohortBatchStats>,
 }
@@ -1694,6 +1764,8 @@ impl FanOutReport {
             parallel: false,
             checks: 0,
             fan_out_secs: 0.0,
+            joins: 0,
+            assists: 0,
             cohorts: Vec::new(),
         }
     }
@@ -1803,6 +1875,7 @@ pub struct MultiStreamingEngine {
     graph: SlidingWindowGraph,
     retention: Timestamp,
     granularity: Granularity,
+    sched: SchedStrategy,
     strategy: FanOutStrategy,
     subs: Vec<Subscription>,
     /// The constraint index over `subs`, maintained incrementally by
@@ -1852,6 +1925,7 @@ impl MultiStreamingEngine {
             graph: SlidingWindowGraph::new(retention),
             retention,
             granularity: Granularity::CoarseGrained,
+            sched: SchedStrategy::default(),
             strategy: FanOutStrategy::default(),
             subs: Vec::new(),
             index: SubscriptionIndex::new(),
@@ -1914,6 +1988,23 @@ impl MultiStreamingEngine {
     pub fn with_granularity(mut self, granularity: Granularity) -> Self {
         self.granularity = granularity;
         self
+    }
+
+    /// Selects how idle workers engage the shared pass's fine-grained delta
+    /// run *and* the deferred parallel fan-out (the same knob as
+    /// [`StreamingQuery::sched`], but engine-wide): work-stealing boxed tasks
+    /// (the default) or packed-atomic work-assisting loops. Per-query reports
+    /// are byte-identical either way — each strategy is the other's
+    /// differential oracle — and the setting is not part of durable
+    /// checkpoints.
+    pub fn with_sched(mut self, sched: SchedStrategy) -> Self {
+        self.sched = sched;
+        self
+    }
+
+    /// The active scheduling strategy (see [`with_sched`](Self::with_sched)).
+    pub fn sched_strategy(&self) -> SchedStrategy {
+        self.sched
     }
 
     /// Selects how candidates of the shared pass are routed to subscriptions
@@ -2204,7 +2295,7 @@ impl MultiStreamingEngine {
                 for scratch in &mut self.scratches {
                     scratch.ensure_vertices(self.graph.num_vertices());
                 }
-                let pass_query = pass.as_query(granularity);
+                let pass_query = pass.as_query(granularity, self.sched);
                 match self.strategy {
                     FanOutStrategy::Naive => {
                         let sink = FanOutSink::new(&self.graph, &self.subs);
@@ -2239,6 +2330,8 @@ impl MultiStreamingEngine {
                             parallel: false,
                             checks: sink.checks.load(Ordering::Relaxed),
                             fan_out_secs: 0.0,
+                            joins: 0,
+                            assists: 0,
                             cohorts: Vec::new(),
                         };
                         (per_query, candidates, stats, fan_out)
@@ -2252,56 +2345,66 @@ impl MultiStreamingEngine {
                         // pass avoids buffering the candidates.
                         let deferred =
                             self.engine.threads() > 1 && self.subs.len() >= self.fan_out_threshold;
-                        let (stats, candidates, fan_out_secs, parallel) = if deferred {
-                            let sink = BufferingFanOutSink::new(&self.graph, self.engine.threads());
-                            let stats = run_delta(
-                                &pass_query,
-                                &self.engine,
-                                &self.graph,
-                                &mut self.scratches,
-                                &sink,
-                                delta.roots.clone(),
-                                Timestamp::MIN,
-                                granularity,
-                                sharded,
-                            );
-                            let buffered = sink.into_candidates();
-                            let t_fan = Instant::now();
-                            dispatch_deferred(
-                                self.engine.pool(),
-                                &self.index,
-                                &buffered,
-                                &accums,
-                                &counters,
-                            );
-                            (
-                                stats,
-                                buffered.len() as u64,
-                                t_fan.elapsed().as_secs_f64(),
-                                !buffered.is_empty(),
-                            )
-                        } else {
-                            let sink = IndexedFanOutSink {
-                                graph: &self.graph,
-                                index: &self.index,
-                                accums: &accums,
-                                counters: &counters,
-                                candidates: AtomicU64::new(0),
+                        let (stats, candidates, fan_out_secs, parallel, dispatch_stats) =
+                            if deferred {
+                                let sink =
+                                    BufferingFanOutSink::new(&self.graph, self.engine.threads());
+                                let stats = run_delta(
+                                    &pass_query,
+                                    &self.engine,
+                                    &self.graph,
+                                    &mut self.scratches,
+                                    &sink,
+                                    delta.roots.clone(),
+                                    Timestamp::MIN,
+                                    granularity,
+                                    sharded,
+                                );
+                                let buffered = sink.into_candidates();
+                                let t_fan = Instant::now();
+                                let dispatch_stats = dispatch_deferred(
+                                    self.engine.pool(),
+                                    self.sched,
+                                    &self.index,
+                                    &buffered,
+                                    &accums,
+                                    &counters,
+                                );
+                                (
+                                    stats,
+                                    buffered.len() as u64,
+                                    t_fan.elapsed().as_secs_f64(),
+                                    !buffered.is_empty(),
+                                    dispatch_stats,
+                                )
+                            } else {
+                                let sink = IndexedFanOutSink {
+                                    graph: &self.graph,
+                                    index: &self.index,
+                                    accums: &accums,
+                                    counters: &counters,
+                                    candidates: AtomicU64::new(0),
+                                };
+                                let stats = run_delta(
+                                    &pass_query,
+                                    &self.engine,
+                                    &self.graph,
+                                    &mut self.scratches,
+                                    &sink,
+                                    delta.roots.clone(),
+                                    Timestamp::MIN,
+                                    granularity,
+                                    sharded,
+                                );
+                                let candidates = sink.candidates.load(Ordering::Relaxed);
+                                (
+                                    stats,
+                                    candidates,
+                                    0.0,
+                                    false,
+                                    pce_sched::AssistingForStats::default(),
+                                )
                             };
-                            let stats = run_delta(
-                                &pass_query,
-                                &self.engine,
-                                &self.graph,
-                                &mut self.scratches,
-                                &sink,
-                                delta.roots.clone(),
-                                Timestamp::MIN,
-                                granularity,
-                                sharded,
-                            );
-                            let candidates = sink.candidates.load(Ordering::Relaxed);
-                            (stats, candidates, 0.0, false)
-                        };
                         // Distribute group results to members: one resolution
                         // per group, cloned only into collecting members.
                         let mut per_query: Vec<(u64, Vec<StreamCycle>)> =
@@ -2351,6 +2454,8 @@ impl MultiStreamingEngine {
                             parallel,
                             checks: cohorts.iter().map(|c| c.checks).sum(),
                             fan_out_secs,
+                            joins: dispatch_stats.joins,
+                            assists: dispatch_stats.assists,
                             cohorts,
                         };
                         (per_query, candidates, stats, fan_out)

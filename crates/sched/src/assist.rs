@@ -1,0 +1,385 @@
+//! Work-assisting loops: the alternative to boxed-task work-stealing.
+//!
+//! The pool's fine-grained paths parallelise by boxing every recursion level
+//! as a `Job` and letting idle workers steal it off a crossbeam deque. For
+//! flat data-parallel loops — claiming root edges, expanding one frontier of
+//! branch tasks, dispatching `(cohort, candidate-chunk)` fan-out work — that
+//! round-trip is pure overhead: the work items already live in an indexable
+//! range, so an idle worker only needs to *join the loop in place*.
+//!
+//! [`WorkAssistingLoop`] is that primitive: **one packed [`AtomicU64`]**
+//! carrying the claim index in the low 32 bits and the joined-worker count in
+//! the high 32 bits. Joining, claiming and leaving are all single CAS/RMW
+//! operations on the same word, which gives the two properties the scheme
+//! needs:
+//!
+//! * a worker can join mid-flight iff work remains (`try_join` refuses once
+//!   the index reaches the length — no join/exhaustion race), and
+//! * completion is a single load: the loop is done exactly when the index is
+//!   exhausted **and** the joined count is back to zero, so a coordinator can
+//!   wait for stragglers without barriers, condvars or task parking.
+//!
+//! The claim index advances with a *bounded* compare-exchange — it never
+//! moves past the length, so a long-spinning caller can neither wrap the
+//! counter nor be handed a duplicate index (the overflow hazard the original
+//! `fetch_add`-based [`DynamicCounter`](crate::DynamicCounter) had).
+//!
+//! [`work_assisting_for`] is the drop-in counterpart of
+//! [`parallel_for_dynamic`](crate::parallel_for_dynamic) built on the loop,
+//! reporting how many workers joined and how many of those joins *assisted*
+//! an already-running loop — the counts the streaming layer surfaces next to
+//! its steal metrics.
+
+use crate::pool::ThreadPool;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// High-bits unit: one joined worker.
+const COUNT_ONE: u64 = 1 << 32;
+/// Mask of the low 32 claim-index bits.
+const INDEX_MASK: u64 = COUNT_ONE - 1;
+
+/// A data-parallel loop over `0..len` that idle workers join in place.
+///
+/// All coordination state is one packed [`AtomicU64`]: claim index in the low
+/// 32 bits, joined-worker count in the high 32 bits. Workers enter with
+/// [`WorkAssistingLoop::try_join`] (refused once the range is exhausted),
+/// claim chunks through the returned [`AssistGuard`], and leave when the
+/// guard drops; [`WorkAssistingLoop::is_complete`] observes both halves of
+/// the word at once, so "every index claimed *and* every participant gone"
+/// is a single load.
+///
+/// ```
+/// use pce_sched::WorkAssistingLoop;
+///
+/// let laps = WorkAssistingLoop::new(10, 3);
+/// let mut seen = Vec::new();
+/// let guard = laps.try_join().expect("work remains");
+/// while let Some(range) = guard.next_chunk() {
+///     seen.extend(range);
+/// }
+/// drop(guard);
+/// assert_eq!(seen, (0..10).collect::<Vec<_>>());
+/// assert!(laps.is_complete());
+/// assert!(laps.try_join().is_none(), "an exhausted loop refuses joiners");
+/// ```
+#[derive(Debug)]
+pub struct WorkAssistingLoop {
+    /// `(joined workers << 32) | claim index`; the index saturates at `len`.
+    state: AtomicU64,
+    len: u64,
+    chunk: u64,
+}
+
+impl WorkAssistingLoop {
+    /// Creates a loop over `0..len` handing out chunks of `chunk` indices
+    /// (clamped to at least 1).
+    ///
+    /// # Panics
+    /// Panics if `len` does not fit the packed word's 32 index bits.
+    pub fn new(len: usize, chunk: usize) -> Self {
+        assert!(
+            len <= u32::MAX as usize,
+            "work-assisting loop length must fit 32 packed bits"
+        );
+        Self {
+            state: AtomicU64::new(0),
+            len: len as u64,
+            chunk: (chunk.max(1) as u64).min(u32::MAX as u64),
+        }
+    }
+
+    /// Joins the loop, or returns `None` when every index has already been
+    /// claimed — joining an exhausted loop is always refused, so a recorded
+    /// join implies unclaimed work existed at join time. Dropping the
+    /// returned guard leaves the loop.
+    pub fn try_join(&self) -> Option<AssistGuard<'_>> {
+        let mut state = self.state.load(Ordering::Acquire);
+        loop {
+            if state & INDEX_MASK >= self.len {
+                return None;
+            }
+            match self.state.compare_exchange_weak(
+                state,
+                state + COUNT_ONE,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    return Some(AssistGuard {
+                        laps: self,
+                        assisted: (state >> 32) > 0,
+                    })
+                }
+                Err(cur) => state = cur,
+            }
+        }
+    }
+
+    /// Joins the loop and drains it with `body` (called once per claimed
+    /// chunk), leaving when no work remains. Returns `Some(assisted)` when
+    /// the worker joined — `assisted` is `true` when another worker was
+    /// already inside the loop — and `None` when the loop was exhausted.
+    pub fn assist<F: FnMut(Range<usize>)>(&self, mut body: F) -> Option<bool> {
+        let guard = self.try_join()?;
+        let assisted = guard.assisted();
+        while let Some(range) = guard.next_chunk() {
+            body(range);
+        }
+        Some(assisted)
+    }
+
+    /// Total number of indices.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Returns `true` when the loop covers an empty range.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns `true` once every index has been claimed (workers may still be
+    /// executing their final chunks — see [`WorkAssistingLoop::is_complete`]).
+    pub fn exhausted(&self) -> bool {
+        self.state.load(Ordering::Acquire) & INDEX_MASK >= self.len
+    }
+
+    /// Returns `true` when every index has been claimed **and** every joined
+    /// worker has left: the loop's work is finished, including stragglers.
+    pub fn is_complete(&self) -> bool {
+        let state = self.state.load(Ordering::Acquire);
+        state & INDEX_MASK >= self.len && state >> 32 == 0
+    }
+
+    /// Number of workers currently inside the loop.
+    pub fn workers_joined(&self) -> usize {
+        (self.state.load(Ordering::Acquire) >> 32) as usize
+    }
+}
+
+/// A joined worker's handle on a [`WorkAssistingLoop`]: claims chunks until
+/// the range is exhausted; dropping it leaves the loop (also on unwind, so a
+/// panicking participant cannot wedge [`WorkAssistingLoop::is_complete`]).
+#[derive(Debug)]
+pub struct AssistGuard<'a> {
+    laps: &'a WorkAssistingLoop,
+    assisted: bool,
+}
+
+impl AssistGuard<'_> {
+    /// `true` when another worker was already inside the loop at join time —
+    /// this join *assisted* an active loop rather than opening a fresh one.
+    pub fn assisted(&self) -> bool {
+        self.assisted
+    }
+
+    /// Claims the next chunk of indices, or `None` when the range is
+    /// exhausted. The claim is a bounded compare-exchange: the packed index
+    /// saturates at the loop length, so hammering an exhausted loop can never
+    /// wrap it or hand out duplicates.
+    pub fn next_chunk(&self) -> Option<Range<usize>> {
+        let laps = self.laps;
+        let mut state = laps.state.load(Ordering::Acquire);
+        loop {
+            let idx = state & INDEX_MASK;
+            if idx >= laps.len {
+                return None;
+            }
+            let end = (idx + laps.chunk).min(laps.len);
+            let next = (state & !INDEX_MASK) | end;
+            match laps
+                .state
+                .compare_exchange_weak(state, next, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return Some(idx as usize..end as usize),
+                Err(cur) => state = cur,
+            }
+        }
+    }
+
+    /// Claims a single index, or `None` when the range is exhausted. Only
+    /// meaningful for loops created with `chunk == 1`.
+    pub fn next(&self) -> Option<usize> {
+        self.next_chunk().map(|r| r.start)
+    }
+}
+
+impl Drop for AssistGuard<'_> {
+    fn drop(&mut self) {
+        self.laps.state.fetch_sub(COUNT_ONE, Ordering::AcqRel);
+    }
+}
+
+/// Aggregate join accounting of one [`work_assisting_for`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AssistingForStats {
+    /// Workers that joined the loop (claimed at least the right to claim).
+    pub joins: u64,
+    /// Joins that entered a loop another worker was already running — the
+    /// work-assisting counterpart of a successful steal.
+    pub assists: u64,
+}
+
+/// Runs `body(worker_id, index)` for every index in `0..len` through one
+/// [`WorkAssistingLoop`] on the pool: the drop-in counterpart of
+/// [`parallel_for_dynamic`](crate::parallel_for_dynamic) that claims through
+/// the packed atomic instead of spawning per-chunk claims over a separate
+/// counter, and reports how many workers joined/assisted.
+pub fn work_assisting_for<F>(
+    pool: &ThreadPool,
+    len: usize,
+    chunk: usize,
+    body: F,
+) -> AssistingForStats
+where
+    F: Fn(usize, usize) + Send + Sync,
+{
+    if len == 0 {
+        return AssistingForStats::default();
+    }
+    let laps = WorkAssistingLoop::new(len, chunk);
+    let joins = AtomicU64::new(0);
+    let assists = AtomicU64::new(0);
+    {
+        let laps = &laps;
+        let joins = &joins;
+        let assists = &assists;
+        let body = &body;
+        pool.scope(|scope| {
+            for _ in 0..pool.num_threads() {
+                scope.spawn(move |_, ctx| {
+                    if let Some(assisted) = laps.assist(|range| {
+                        for index in range {
+                            body(ctx.worker_id(), index);
+                        }
+                    }) {
+                        joins.fetch_add(1, Ordering::Relaxed);
+                        if assisted {
+                            assists.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+    }
+    debug_assert!(laps.is_complete());
+    AssistingForStats {
+        joins: joins.load(Ordering::Relaxed),
+        assists: assists.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn single_worker_drains_every_index_once() {
+        let laps = WorkAssistingLoop::new(100, 7);
+        let mut seen = [false; 100];
+        let guard = laps.try_join().expect("fresh loop accepts a joiner");
+        assert!(!guard.assisted());
+        while let Some(range) = guard.next_chunk() {
+            for i in range {
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        drop(guard);
+        assert!(seen.iter().all(|&b| b));
+        assert!(laps.is_complete());
+    }
+
+    #[test]
+    fn empty_loop_refuses_joiners_and_is_complete() {
+        let laps = WorkAssistingLoop::new(0, 4);
+        assert!(laps.is_empty());
+        assert!(laps.try_join().is_none());
+        assert!(laps.is_complete());
+        assert_eq!(laps.workers_joined(), 0);
+    }
+
+    #[test]
+    fn exhausted_loop_stays_exhausted_under_hammering() {
+        // Regression shape shared with `DynamicCounter`: claims past the end
+        // must not advance the packed index, so no amount of post-exhaustion
+        // hammering can wrap it back into the valid range.
+        let laps = WorkAssistingLoop::new(3, 1);
+        let guard = laps.try_join().unwrap();
+        while guard.next().is_some() {}
+        for _ in 0..100_000 {
+            assert!(guard.next_chunk().is_none());
+            assert!(laps.exhausted());
+        }
+        drop(guard);
+        assert!(laps.try_join().is_none());
+        assert!(laps.is_complete());
+    }
+
+    #[test]
+    fn second_joiner_is_an_assist() {
+        let laps = WorkAssistingLoop::new(10, 1);
+        let first = laps.try_join().unwrap();
+        assert!(!first.assisted());
+        let second = laps.try_join().unwrap();
+        assert!(second.assisted(), "a join into an active loop assists it");
+        assert_eq!(laps.workers_joined(), 2);
+        drop(second);
+        drop(first);
+        assert_eq!(laps.workers_joined(), 0);
+        assert!(!laps.is_complete(), "indices remain unclaimed");
+    }
+
+    #[test]
+    fn assist_entry_point_reports_join_kind() {
+        let laps = WorkAssistingLoop::new(5, 2);
+        let held = laps.try_join().unwrap();
+        let mut seen = Vec::new();
+        assert_eq!(laps.assist(|r| seen.extend(r)), Some(true));
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        drop(held);
+        assert_eq!(laps.assist(|_| {}), None, "exhausted loop refuses assist");
+        assert!(laps.is_complete());
+    }
+
+    #[test]
+    fn work_assisting_for_visits_every_index_exactly_once() {
+        let pool = ThreadPool::new(4);
+        let n = 10_000;
+        let marks: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let stats = work_assisting_for(&pool, n, 16, |_, i| {
+            marks[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(marks.iter().all(|m| m.load(Ordering::Relaxed) == 1));
+        assert!(stats.joins >= 1, "someone must have run the loop");
+        assert!(stats.assists < stats.joins, "the opener never assists");
+    }
+
+    #[test]
+    fn work_assisting_for_with_zero_items_is_a_noop() {
+        let pool = ThreadPool::new(2);
+        let stats = work_assisting_for(&pool, 0, 8, |_, _| panic!("must not be called"));
+        assert_eq!(stats, AssistingForStats::default());
+    }
+
+    #[test]
+    fn concurrent_joiners_claim_disjoint_chunks() {
+        let laps = WorkAssistingLoop::new(5_000, 3);
+        let claimed: Vec<AtomicU64> = (0..5_000).map(|_| AtomicU64::new(0)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    laps.assist(|range| {
+                        for i in range {
+                            claimed[i].fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                });
+            }
+        });
+        assert!(claimed.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        assert!(laps.is_complete());
+    }
+}

@@ -41,12 +41,25 @@ impl DynamicCounter {
 
     /// Claims the next chunk of indices, or `None` when the range is
     /// exhausted.
+    ///
+    /// The claim is a *bounded* compare-exchange: the counter saturates at
+    /// `len` instead of `fetch_add`ing past it, so a caller spinning on an
+    /// exhausted counter can never wrap `usize` and be handed duplicate
+    /// indices, no matter how long it hammers.
     pub fn next_chunk(&self) -> Option<Range<usize>> {
-        let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
-        if start >= self.len {
-            None
-        } else {
-            Some(start..(start + self.chunk).min(self.len))
+        let mut start = self.next.load(Ordering::Relaxed);
+        loop {
+            if start >= self.len {
+                return None;
+            }
+            let end = start.saturating_add(self.chunk).min(self.len);
+            match self
+                .next
+                .compare_exchange_weak(start, end, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return Some(start..end),
+                Err(cur) => start = cur,
+            }
         }
     }
 
@@ -137,6 +150,43 @@ mod tests {
     }
 
     #[test]
+    fn exhausted_counter_stays_exhausted_under_hammering() {
+        // Regression: `next_chunk` used to `fetch_add` unconditionally, so a
+        // long-spinning caller on an exhausted counter kept advancing `next`
+        // — far enough and it wraps `usize`, lands back inside `0..len`, and
+        // hands out duplicate indices. The bounded compare-exchange claim
+        // saturates at `len` instead: hammer it and `exhausted()` must hold.
+        let c = DynamicCounter::new(3, 1);
+        while c.next().is_some() {}
+        assert!(c.exhausted());
+        for _ in 0..1_000_000 {
+            assert!(c.next_chunk().is_none());
+        }
+        assert!(c.exhausted());
+        // The same must hold when concurrent spinners hammer it together.
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100_000 {
+                        assert!(c.next_chunk().is_none());
+                    }
+                });
+            }
+        });
+        assert!(c.exhausted());
+    }
+
+    #[test]
+    fn chunk_claims_never_overflow_near_usize_max() {
+        // A chunk that would arithmetically overflow `start + chunk` must
+        // still hand out the tail chunk (saturating), not panic or wrap.
+        let c = DynamicCounter::new(5, usize::MAX);
+        assert_eq!(c.next_chunk(), Some(0..5));
+        assert!(c.next_chunk().is_none());
+        assert!(c.exhausted());
+    }
+
+    #[test]
     fn parallel_for_visits_every_index_exactly_once() {
         let pool = ThreadPool::new(4);
         let n = 10_000;
@@ -149,13 +199,32 @@ mod tests {
 
     #[test]
     fn parallel_for_uses_multiple_workers_for_skewed_items() {
+        // Deflaked: the old version made every 16th item "heavy" and hoped a
+        // second worker woke up before the first drained all 64 items — on a
+        // 1-core machine the OS gives no such guarantee. Instead, the first
+        // item is a rendezvous: it blocks (yielding) until a *different*
+        // worker has claimed an item, which the pool does guarantee — the
+        // other scope tasks sit in the injector, every worker thread is live,
+        // and the counter still has 63 items for them to claim. The deadline
+        // turns a genuine scheduler bug into a loud failure, not a hang.
         let pool = ThreadPool::new(4);
         let used: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
         parallel_for_dynamic(&pool, 64, 1, |worker, i| {
             used[worker].fetch_add(1, Ordering::Relaxed);
-            // Make some items much heavier than others.
-            if i % 16 == 0 {
-                std::hint::black_box((0..200_000u64).sum::<u64>());
+            if i == 0 {
+                while used
+                    .iter()
+                    .filter(|u| u.load(Ordering::Relaxed) > 0)
+                    .count()
+                    < 2
+                {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "no second worker claimed an item within 30s"
+                    );
+                    std::thread::yield_now();
+                }
             }
         });
         let workers_used = used

@@ -65,8 +65,8 @@ pub mod prelude {
         CollectingSink, CountingSink, Cycle, CycleEnumerator, CycleKind, CycleSink, CycleStream,
         Engine, EnumerationError, EnumerationResult, FanOutReport, FanOutStrategy, FirstKSink,
         Granularity, LatencyStats, MultiBatchReport, MultiStreamingEngine, Query, QueryId,
-        RunStats, SimpleCycleOptions, StreamCycle, StreamingEngine, StreamingError, StreamingQuery,
-        SubscriptionIndex, SubscriptionSnapshot, TemporalCycleOptions, WorkMetrics,
+        RunStats, SchedStrategy, SimpleCycleOptions, StreamCycle, StreamingEngine, StreamingError,
+        StreamingQuery, SubscriptionIndex, SubscriptionSnapshot, TemporalCycleOptions, WorkMetrics,
     };
     pub use pce_graph::{
         generators, DeltaBatch, EdgePredicate, GraphBuilder, GraphStats, GraphView, LabelFilter,

@@ -377,6 +377,182 @@ fn granularity_sweep_is_byte_identical_to_one_shot() {
     assert!(cycles_seen > 0, "the sweep must actually exercise cycles");
 }
 
+/// The scheduling-strategy differential sweep: at [`Granularity::FineGrained`]
+/// the work-stealing and work-assisting drivers must report **byte-identical**
+/// cycles per batch *and* agree on every deterministic work counter (edge
+/// visits, recursive calls, copies, union members, roots) — only the
+/// steal/join/assist scheduling counters may differ. Seeded streams × threads
+/// {1, 4} × batch sizes including expiry-straddling ones, for both cycle
+/// kinds. Base seed from `PCE_SWEEP_SEED` (echoed by CI; every assertion
+/// message carries the seed).
+#[test]
+fn sched_strategy_sweep_is_byte_identical() {
+    let base = sweep_seed();
+    let mut cycles_seen = 0usize;
+    for seed in base..base + 2 {
+        let delta = 25;
+        for retention in [10_000i64, 40] {
+            for (label, query) in [
+                ("simple", StreamingQuery::simple(delta).max_len(5)),
+                ("temporal", StreamingQuery::temporal(delta)),
+            ] {
+                for batch_edges in [1usize, 9, 45] {
+                    let batches = sweep_stream(seed, batch_edges);
+                    for threads in [1usize, 4] {
+                        let ctx = format!(
+                            "seed {seed} {label} retention {retention} batch {batch_edges} \
+                             threads {threads}"
+                        );
+                        let mut steal = StreamingEngine::with_threads(
+                            retention,
+                            query
+                                .clone()
+                                .granularity(Granularity::FineGrained)
+                                .sched(SchedStrategy::Stealing),
+                            threads,
+                        )
+                        .expect("valid streaming config");
+                        let mut assist = StreamingEngine::with_threads(
+                            retention,
+                            query
+                                .clone()
+                                .granularity(Granularity::FineGrained)
+                                .sched(SchedStrategy::Assisting),
+                            threads,
+                        )
+                        .expect("valid streaming config");
+                        let mut assist_joined = 0u64;
+                        for (b, batch) in batches.iter().enumerate() {
+                            let sr = steal.ingest(batch).expect("in-order replay");
+                            let ar = assist.ingest(batch).expect("in-order replay");
+                            assert_eq!(
+                                sort_canonical(&sr.cycles),
+                                sort_canonical(&ar.cycles),
+                                "{ctx} batch index {b}"
+                            );
+                            assert_eq!(sr.cycles_found, ar.cycles_found, "{ctx} batch index {b}");
+                            // Same expansion body => identical deterministic
+                            // counters, whatever the schedule did.
+                            assert_eq!(
+                                sr.stats.work.total_edge_visits(),
+                                ar.stats.work.total_edge_visits(),
+                                "{ctx} batch index {b}"
+                            );
+                            assert_eq!(
+                                sr.stats.work.total_recursive_calls(),
+                                ar.stats.work.total_recursive_calls(),
+                                "{ctx} batch index {b}"
+                            );
+                            assert_eq!(
+                                sr.stats.work.total_copies(),
+                                ar.stats.work.total_copies(),
+                                "{ctx} batch index {b}"
+                            );
+                            assert_eq!(
+                                sr.stats.work.total_union_members(),
+                                ar.stats.work.total_union_members(),
+                                "{ctx} batch index {b}"
+                            );
+                            assert_eq!(
+                                sr.stats.work.total_roots(),
+                                ar.stats.work.total_roots(),
+                                "{ctx} batch index {b}"
+                            );
+                            // The assisting driver never steals; the stealing
+                            // driver never joins.
+                            assert_eq!(ar.stats.work.total_steals(), 0, "{ctx} batch index {b}");
+                            assert_eq!(sr.stats.work.total_joins(), 0, "{ctx} batch index {b}");
+                            assist_joined += ar.stats.work.total_joins();
+                            cycles_seen += ar.cycles.len();
+                        }
+                        if threads > 1 {
+                            // Fine-grained multi-threaded batches with roots
+                            // ran the assisting driver, which records a join
+                            // per participating worker per run.
+                            assert!(assist_joined > 0, "{ctx}: no joins recorded");
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert!(cycles_seen > 0, "the sweep must actually exercise cycles");
+}
+
+/// The multi-engine leg of the strategy sweep: a [`MultiStreamingEngine`]
+/// under [`SchedStrategy::Assisting`] — which routes both the shared
+/// fine-grained pass *and* the deferred `(cohort, candidate-chunk)` fan-out
+/// through work-assisting loops — must report per query and per batch
+/// byte-identically to the same portfolio under the default stealing
+/// strategy, and its deferred dispatch must record loop joins.
+#[test]
+fn multi_engine_sched_strategy_matches_stealing() {
+    let base = sweep_seed();
+    let portfolio = [
+        StreamingQuery::temporal(25),
+        StreamingQuery::simple(12).max_len(4),
+        StreamingQuery::temporal(8).max_len(3),
+        StreamingQuery::simple(30).include_self_loops(true),
+    ];
+    let mut cycles_seen = 0usize;
+    for seed in base..base + 2 {
+        for batch_edges in [9usize, 45] {
+            let batches = sweep_stream(seed, batch_edges);
+            let ctx = format!("seed {seed} batch {batch_edges}");
+            let threads = 4;
+            let build = |sched: SchedStrategy| {
+                let mut multi = MultiStreamingEngine::with_threads(10_000, threads)
+                    .expect("valid retention")
+                    .with_granularity(Granularity::FineGrained)
+                    .with_sched(sched)
+                    // Portfolio of 4 >= threshold 2: every batch with
+                    // candidates exercises the deferred parallel fan-out.
+                    .with_parallel_fan_out_threshold(2);
+                let ids: Vec<QueryId> = portfolio
+                    .iter()
+                    .map(|q| multi.subscribe(q.clone()).expect("valid subscription"))
+                    .collect();
+                (multi, ids)
+            };
+            let (mut steal, steal_ids) = build(SchedStrategy::Stealing);
+            let (mut assist, assist_ids) = build(SchedStrategy::Assisting);
+            assert_eq!(steal_ids, assist_ids);
+            let mut fan_out_joins = 0u64;
+            let mut deferred_candidates = 0u64;
+            for (b, batch) in batches.iter().enumerate() {
+                let sr = steal.ingest(batch).expect("in-order replay");
+                let ar = assist.ingest(batch).expect("in-order replay");
+                assert_eq!(sr.fan_out.joins, 0, "{ctx} batch index {b}");
+                if ar.fan_out.parallel {
+                    deferred_candidates += ar.candidates;
+                    fan_out_joins += ar.fan_out.joins;
+                }
+                for id in &steal_ids {
+                    let s = sr.report(*id).expect("subscribed");
+                    let a = ar.report(*id).expect("subscribed");
+                    assert_eq!(
+                        sort_canonical(&s.cycles),
+                        sort_canonical(&a.cycles),
+                        "{ctx} query {id} batch index {b}"
+                    );
+                    assert_eq!(
+                        s.cycles_found, a.cycles_found,
+                        "{ctx} query {id} batch index {b}"
+                    );
+                    cycles_seen += a.cycles.len();
+                }
+            }
+            if deferred_candidates > 0 {
+                assert!(
+                    fan_out_joins > 0,
+                    "{ctx}: deferred assisting dispatch recorded no joins"
+                );
+            }
+        }
+    }
+    assert!(cycles_seen > 0, "the sweep must actually exercise cycles");
+}
+
 /// The multi-query differential sweep (the tentpole's harness): one
 /// [`MultiStreamingEngine`] with K ∈ {2, 4} heterogeneous subscriptions —
 /// different kinds, windows, length bounds and self-loop flags — must report,
