@@ -24,12 +24,15 @@
 //! (4 subscriptions must cost well under 4× a single-query engine).
 //!
 //! The **predicate** section measures predicate pushdown: attribute-filtered
-//! portfolios over the AML layering-chain and labelled-intrusion streams,
-//! replayed with the portfolio's predicate union pushed into the shared pass
-//! and again with all attribute filtering at fan-out. It asserts — on
-//! deterministic counters — that both runs report byte-identical per-query
-//! results while pushdown strictly shrinks union-member, constraint-check
-//! and candidate counts.
+//! portfolios over the AML layering-chain, labelled-intrusion and
+//! monotone-layering streams, replayed with the portfolio's predicate union
+//! pushed into the shared pass and again with all attribute filtering at
+//! fan-out. It asserts — on deterministic counters — that both runs report
+//! byte-identical per-query results while pushdown strictly shrinks
+//! union-member, constraint-check and candidate counts; on the
+//! monotone-layering rows (whose decoy rings defeat any per-edge predicate)
+//! it further requires the aggregate and positional prune counters to be
+//! positive under pushdown and zero under the pass-all baseline.
 //!
 //! The **durability** section measures what crash-safety costs: the same
 //! portfolio replayed through a plain in-memory engine and through the
@@ -638,22 +641,27 @@ fn fan_out_section(smoke: bool, threads: usize, log: &mut JsonLog) {
 }
 
 /// The predicate-pushdown section: attribute-filtered portfolios over the
-/// AML layering-chain and labelled-intrusion streams, each replayed with the
-/// portfolio's predicate union pushed into the shared pass and again with
-/// every attribute check deferred to fan-out. Gates (all on deterministic
-/// counters, so CI cannot flake on timing): byte-identical per-query
-/// reports, and strictly smaller union-member / constraint-check /
-/// candidate counters under pushdown.
+/// AML layering-chain, labelled-intrusion and monotone-layering streams,
+/// each replayed with the portfolio's predicate union pushed into the
+/// shared pass and again with every attribute check deferred to fan-out.
+/// Gates (all on deterministic counters, so CI cannot flake on timing):
+/// byte-identical per-query reports, strictly smaller union-member /
+/// constraint-check / candidate counters under pushdown, and — on the
+/// monotone-layering scenario, whose decoys defeat any per-edge predicate —
+/// aggregate and positional prune counters that are positive under pushdown
+/// and zero under the pass-all baseline.
 fn predicate_section(smoke: bool, thread_counts: &[usize], log: &mut JsonLog) {
     let scenarios = if smoke {
         [
             PredicateScenarioConfig::aml_smoke(),
             PredicateScenarioConfig::intrusion_smoke(),
+            PredicateScenarioConfig::monotone_smoke(),
         ]
     } else {
         [
             PredicateScenarioConfig::aml_full(),
             PredicateScenarioConfig::intrusion_full(),
+            PredicateScenarioConfig::monotone_full(),
         ]
     };
     println!(
@@ -661,19 +669,22 @@ fn predicate_section(smoke: bool, thread_counts: &[usize], log: &mut JsonLog) {
         if smoke { "smoke" } else { "full" },
     );
     println!(
-        "{:>18} {:>7} {:>11} {:>11} {:>11} {:>11} {:>9} {:>9} {:>8}",
+        "{:>18} {:>7} {:>11} {:>11} {:>11} {:>11} {:>10} {:>10} {:>9} {:>9} {:>8}",
         "scenario",
         "threads",
         "push union",
         "post union",
         "push chks",
         "post chks",
+        "agg prune",
+        "pos prune",
         "push ms",
         "post ms",
         "cycles"
     );
     for cfg in &scenarios {
         let name = cfg.scenario.name();
+        let aggregates = name == "monotone_layering";
         let mut reference: Option<Vec<u64>> = None;
         for &threads in thread_counts {
             let cmp = run_predicate_comparison(cfg, threads).expect("valid predicate scenario");
@@ -700,6 +711,27 @@ fn predicate_section(smoke: bool, thread_counts: &[usize], log: &mut JsonLog) {
                 cmp.push.candidates,
                 cmp.post.candidates,
             );
+            // The monotone-layering decoys are built to defeat per-edge
+            // predicates, so its gap must come from the extended classes:
+            // partial paths abandoned on the aggregate bounds and root
+            // candidates rejected on the closing-edge floor — neither of
+            // which the pass-all baseline ever records.
+            if aggregates {
+                assert!(
+                    cmp.aggregate_pushdown_active(),
+                    "{name}: aggregate pushdown must prune at {threads} threads \
+                     (push {} vs post {})",
+                    cmp.push.aggregate_prunes,
+                    cmp.post.aggregate_prunes,
+                );
+                assert!(
+                    cmp.positional_pushdown_active(),
+                    "{name}: positional pushdown must prune at {threads} threads \
+                     (push {} vs post {})",
+                    cmp.push.positional_prunes,
+                    cmp.post.positional_prunes,
+                );
+            }
             // The deterministic counters must also be thread-count
             // independent — assert against the first thread count's run.
             match &reference {
@@ -710,13 +742,15 @@ fn predicate_section(smoke: bool, thread_counts: &[usize], log: &mut JsonLog) {
                 ),
             }
             println!(
-                "{:>18} {:>7} {:>11} {:>11} {:>11} {:>11} {:>9.3} {:>9.3} {:>8}",
+                "{:>18} {:>7} {:>11} {:>11} {:>11} {:>11} {:>10} {:>10} {:>9.3} {:>9.3} {:>8}",
                 name,
                 threads,
                 cmp.push.union_members,
                 cmp.post.union_members,
                 cmp.push.fan_out_checks,
                 cmp.post.fan_out_checks,
+                cmp.push.aggregate_prunes,
+                cmp.push.positional_prunes,
                 cmp.push.wall_secs * 1e3,
                 cmp.post.wall_secs * 1e3,
                 cmp.push.per_query_cycles.iter().sum::<u64>(),
@@ -732,6 +766,11 @@ fn predicate_section(smoke: bool, thread_counts: &[usize], log: &mut JsonLog) {
                     ("post_checks", cmp.post.fan_out_checks.into()),
                     ("push_candidates", cmp.push.candidates.into()),
                     ("post_candidates", cmp.post.candidates.into()),
+                    ("push_aggregate_prunes", cmp.push.aggregate_prunes.into()),
+                    ("push_positional_prunes", cmp.push.positional_prunes.into()),
+                    ("push_vertex_prunes", cmp.push.vertex_prunes.into()),
+                    ("post_aggregate_prunes", cmp.post.aggregate_prunes.into()),
+                    ("post_positional_prunes", cmp.post.positional_prunes.into()),
                     ("push_ms", (cmp.push.wall_secs * 1e3).into()),
                     ("post_ms", (cmp.post.wall_secs * 1e3).into()),
                     (
@@ -744,7 +783,7 @@ fn predicate_section(smoke: bool, thread_counts: &[usize], log: &mut JsonLog) {
     }
     println!(
         "ok: pushdown reports byte-identical to filter-at-fan-out with strictly \
-         smaller union/check/candidate counters, on both scenarios"
+         smaller union/check/candidate counters, on all three scenarios"
     );
 }
 

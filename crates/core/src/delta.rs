@@ -66,14 +66,38 @@
 //!
 //! # Predicate pushdown
 //!
-//! Every driver takes an [`EdgePredicate`] (amount interval + label filter)
-//! that is evaluated *during* traversal: a rejected edge is skipped by the
-//! union passes and by path extension alike, so it never enters scratch
-//! state or spawns work. Since a subscription requires **all** cycle edges
-//! to satisfy its predicate, the streaming engine pushes the *union* of its
-//! subscriptions' predicates into this shared pass (see
+//! Every driver takes a [`CyclePredicate`] whose components are evaluated as
+//! early as soundness allows:
+//!
+//! * the **per-edge** part (amount interval + label filter) is evaluated
+//!   *during* traversal: a rejected edge is skipped by the union passes and
+//!   by path extension alike, so it never enters scratch state or spawns
+//!   work;
+//! * the **vertex filter** prunes the same way — a denied vertex is skipped
+//!   by the union passes, by path extension, and by root preparation (both
+//!   root endpoints are cycle vertices);
+//! * the **aggregate** constraints prune via monotone partial bounds: edge
+//!   amounts are non-negative, so a partial path whose running total (root
+//!   edge included) already exceeds `total_amount_max` can never complete a
+//!   satisfying cycle, and under strict amount monotonicity a hop that fails
+//!   to escalate past the previous one — or that reaches the closing root's
+//!   amount — cuts the branch. The non-monotone parts (the total *minimum*,
+//!   which later hops could still reach) are re-checked exactly when a cycle
+//!   closes;
+//! * **positional** constraints are checked the moment their position is
+//!   determined: `FromStart(k)` when the path holds exactly `k` edges (the
+//!   prefix is fixed, so the index is final) and `FromEnd(0)` at root
+//!   preparation (the root *is* the last reported edge); the remaining
+//!   `FromEnd` positions are only decidable — and are checked — at close.
+//!
+//! Each pruned branch is recorded in the deterministic work counters
+//! (`aggregate_prunes`, `positional_prunes`, `vertex_prunes` — see
+//! [`crate::metrics::WorkSnapshot`]), which the differential sweeps compare
+//! against post-filtered runs. Since a subscription requires its whole
+//! predicate on every reported cycle, the streaming engine pushes the *union
+//! hull* of its subscriptions' predicates into this shared pass (see
 //! [`crate::streaming`]) and re-checks exact per-subscription predicates at
-//! fan-out. Pass [`EdgePredicate::pass_all`] for unfiltered enumeration —
+//! fan-out. Pass [`CyclePredicate::pass_all`] for unfiltered enumeration —
 //! that case is detected once per root and adds no per-edge work.
 //!
 //! # The `floor` parameter
@@ -96,12 +120,166 @@ use crate::util::{fx_set, FxHashSet};
 use crate::{Algorithm, Granularity};
 use parking_lot::Mutex;
 use pce_graph::reach::CycleUnionWorkspace;
-use pce_graph::{EdgeId, EdgePredicate, GraphView, ShardSpec, TimeWindow, Timestamp, VertexId};
+use pce_graph::{
+    Amount, CyclePredicate, EdgeId, GraphView, Position, ShardSpec, TemporalEdge, TimeWindow,
+    Timestamp, VertexFilter, VertexId,
+};
 use pce_sched::{DynamicCounter, Scope, ThreadPool, WorkAssistingLoop, WorkerCtx};
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Predicate-derived pushdown flags, computed once per run (or per root) and
+/// copied into the search state — the sequential [`DeltaSearch`] and the
+/// fine-grained [`FineDeltaShared`] cache the same set, so both granularities
+/// take identical per-edge fast paths.
+#[derive(Clone, Copy)]
+struct Pushdown {
+    /// `predicate.edge_predicate().is_pass_all()` — skips the attribute
+    /// lookup on the unfiltered hot path.
+    pred_all: bool,
+    /// Does any pushed-down check need the edge record at all?
+    attrs_needed: bool,
+    /// `predicate.has_cycle_constraints()` — gates the exact whole-cycle
+    /// re-check at close time.
+    cycle_check: bool,
+    /// Is there a finite total-amount ceiling to prune on?
+    check_total: bool,
+    /// `predicate.requires_monotone()`.
+    monotone: bool,
+    /// Any `FromStart` positional constraints to check on the fixed prefix?
+    has_from_start: bool,
+    /// `*predicate.vertex_filter() == VertexFilter::Any`.
+    vf_any: bool,
+}
+
+impl Pushdown {
+    fn of(predicate: &CyclePredicate) -> Self {
+        let pred_all = predicate.edge_predicate().is_pass_all();
+        let check_total = predicate.total_amount_max() != Amount::MAX;
+        let monotone = predicate.requires_monotone();
+        let has_from_start = predicate
+            .positions()
+            .any(|(p, _)| matches!(p, Position::FromStart(_)));
+        Self {
+            pred_all,
+            attrs_needed: !pred_all || check_total || monotone || has_from_start,
+            cycle_check: predicate.has_cycle_constraints(),
+            check_total,
+            monotone,
+            has_from_start,
+            vf_any: *predicate.vertex_filter() == VertexFilter::Any,
+        }
+    }
+}
+
+/// Root-edge admission shared by every per-root driver: the pushed-down
+/// predicate parts decidable from the root edge alone. The root is part of
+/// every cycle it closes, so it must satisfy the per-edge predicate, the
+/// vertex filter on both endpoints, any constraint pinned at `FromEnd(0)`
+/// (the root *is* the last reported edge), and leave room under the
+/// total-amount ceiling. Records the matching prune counter and returns
+/// `false` when the root can close nothing.
+fn admit_root(
+    e: &TemporalEdge,
+    predicate: &CyclePredicate,
+    metrics: &WorkMetrics,
+    worker: usize,
+) -> bool {
+    let edge_pred = predicate.edge_predicate();
+    if !edge_pred.is_pass_all() && !edge_pred.accepts(e) {
+        return false;
+    }
+    let vf = predicate.vertex_filter();
+    if *vf != VertexFilter::Any && (!vf.accepts(e.src) || !vf.accepts(e.dst)) {
+        metrics.vertex_prune(worker);
+        return false;
+    }
+    if let Some(p) = predicate.from_end_at(0) {
+        if !p.accepts(e) {
+            metrics.positional_prune(worker);
+            return false;
+        }
+    }
+    if e.amount > predicate.total_amount_max() {
+        metrics.aggregate_prune(worker);
+        return false;
+    }
+    true
+}
+
+/// Per-edge admission shared verbatim by the sequential search and the
+/// fine-grained task expansion: evaluates the pushed-down predicate parts
+/// decidable from the candidate edge and the fixed path prefix — the
+/// per-edge attribute predicate, the monotone aggregate bounds (running
+/// total vs. ceiling, strict amount escalation below the root's amount), and
+/// the `FromStart(prefix_len)` positional constraint (the prefix is fixed,
+/// so the candidate's index is final). Returns the running total and amount
+/// the extended path would carry, or `None` when the branch is pruned (with
+/// the matching counter recorded). `last_amount` is meaningful iff
+/// `prefix_len > 0`.
+#[inline]
+#[allow(clippy::too_many_arguments)] // the mirrored per-edge hot path
+fn admit_edge<G: GraphView + ?Sized>(
+    graph: &G,
+    predicate: &CyclePredicate,
+    push: Pushdown,
+    id: EdgeId,
+    prefix_len: usize,
+    root_amount: Amount,
+    sum: Amount,
+    last_amount: Amount,
+    metrics: &WorkMetrics,
+    worker: usize,
+) -> Option<(Amount, Amount)> {
+    if !push.attrs_needed {
+        return Some((sum, 0));
+    }
+    let e = graph.edge(id);
+    if !push.pred_all && !predicate.edge_predicate().accepts(&e) {
+        return None;
+    }
+    if push.monotone && (e.amount >= root_amount || (prefix_len > 0 && e.amount <= last_amount)) {
+        // Amounts must strictly escalate along the reported order and the
+        // closing root edge is the largest of all, so a non-escalating hop —
+        // or one at/above the root's amount — can never be completed.
+        metrics.aggregate_prune(worker);
+        return None;
+    }
+    let sum = sum.saturating_add(e.amount);
+    if push.check_total && sum > predicate.total_amount_max() {
+        // Amounts are non-negative: a partial total above the ceiling stays
+        // above it.
+        metrics.aggregate_prune(worker);
+        return None;
+    }
+    if push.has_from_start {
+        if let Some(p) = predicate.from_start_at(prefix_len as u32) {
+            if !p.accepts(&e) {
+                metrics.positional_prune(worker);
+                return None;
+            }
+        }
+    }
+    Some((sum, e.amount))
+}
+
+/// The exact [`CyclePredicate::accepts_cycle_edges`] re-check at close time,
+/// over the assembled edge-id buffer. Vertex membership is already enforced
+/// during expansion, so only the edge-sequence parts are re-checked — this is
+/// where the non-monotone constraints (total minimum, `FromEnd(i >= 1)`
+/// positions) are decided.
+fn cycle_accepted<G: GraphView + ?Sized>(
+    graph: &G,
+    predicate: &CyclePredicate,
+    edge_buf: &mut Vec<TemporalEdge>,
+    path_edges: &[EdgeId],
+) -> bool {
+    edge_buf.clear();
+    edge_buf.extend(path_edges.iter().map(|&id| graph.edge(id)));
+    predicate.accepts_cycle_edges(edge_buf)
+}
 
 /// Shared state of one max-rooted backwards search.
 struct DeltaSearch<'a, G: ?Sized, S> {
@@ -115,14 +293,23 @@ struct DeltaSearch<'a, G: ?Sized, S> {
     /// The root's tail `u` — reaching it closes a cycle.
     target: VertexId,
     max_len: Option<usize>,
-    /// Attribute predicate every cycle edge must satisfy.
-    predicate: &'a EdgePredicate,
-    /// Cached `predicate.is_pass_all()` — skips the attribute lookup on the
-    /// unfiltered hot path.
-    pred_all: bool,
+    /// Whole-cycle predicate pushed into this search.
+    predicate: &'a CyclePredicate,
+    /// Cached pushdown flags (see [`Pushdown`]).
+    push: Pushdown,
+    /// Amount of the root edge — under monotonicity every path edge must
+    /// stay strictly below it.
+    root_amount: Amount,
+    /// Running saturating total of the root and all path edges.
+    sum: Amount,
+    /// Amount of the last path edge (meaningful iff `path_edges` is
+    /// non-empty).
+    last_amount: Amount,
     path: Vec<VertexId>,
     path_edges: Vec<EdgeId>,
     on_path: FxHashSet<VertexId>,
+    /// Scratch for the close-time whole-cycle re-check.
+    edge_buf: Vec<TemporalEdge>,
 }
 
 impl<G: GraphView + ?Sized, S: CycleSink> DeltaSearch<'_, G, S> {
@@ -131,20 +318,23 @@ impl<G: GraphView + ?Sized, S: CycleSink> DeltaSearch<'_, G, S> {
         self.max_len.map(|m| len <= m).unwrap_or(true)
     }
 
-    /// Does the attributed edge behind `id` satisfy the predicate? (Attrs
-    /// live on the edge record, not the adjacency entry.)
-    #[inline]
-    fn pred_ok(&self, id: EdgeId) -> bool {
-        self.pred_all || self.predicate.accepts(&self.graph.edge(id))
-    }
-
     /// Emits the cycle `path ∪ {entry, root}` where `entry` steps onto the
-    /// target.
+    /// target — after the exact whole-cycle re-check when the predicate
+    /// carries cycle-level constraints.
     fn close(&mut self, entry_edge: EdgeId) {
         self.path.push(self.target);
         self.path_edges.push(entry_edge);
         self.path_edges.push(self.root);
-        self.sink.push(&self.path, &self.path_edges);
+        if !self.push.cycle_check
+            || cycle_accepted(
+                self.graph,
+                self.predicate,
+                &mut self.edge_buf,
+                &self.path_edges,
+            )
+        {
+            self.sink.push(&self.path, &self.path_edges);
+        }
         self.path_edges.pop();
         self.path_edges.pop();
         self.path.pop();
@@ -159,14 +349,32 @@ impl<G: GraphView + ?Sized, S: CycleSink> DeltaSearch<'_, G, S> {
                 return;
             }
             self.metrics.edge_visit(self.worker);
-            if entry.edge >= self.root || !self.pred_ok(entry.edge) {
+            if entry.edge >= self.root {
                 continue;
             }
+            let Some((sum, amount)) = admit_edge(
+                self.graph,
+                self.predicate,
+                self.push,
+                entry.edge,
+                self.path_edges.len(),
+                self.root_amount,
+                self.sum,
+                self.last_amount,
+                self.metrics,
+                self.worker,
+            ) else {
+                continue;
+            };
             let w = entry.neighbor;
             if w == self.target {
                 if self.len_ok(self.path_edges.len() + 2) {
                     self.close(entry.edge);
                 }
+                continue;
+            }
+            if !self.push.vf_any && !self.predicate.vertex_filter().accepts(w) {
+                self.metrics.vertex_prune(self.worker);
                 continue;
             }
             if self.on_path.contains(&w)
@@ -178,7 +386,12 @@ impl<G: GraphView + ?Sized, S: CycleSink> DeltaSearch<'_, G, S> {
             self.path.push(w);
             self.path_edges.push(entry.edge);
             self.on_path.insert(w);
+            let (prev_sum, prev_last) = (self.sum, self.last_amount);
+            self.sum = sum;
+            self.last_amount = amount;
             self.extend_simple(w, window);
+            self.sum = prev_sum;
+            self.last_amount = prev_last;
             self.on_path.remove(&w);
             self.path_edges.pop();
             self.path.pop();
@@ -195,14 +408,29 @@ impl<G: GraphView + ?Sized, S: CycleSink> DeltaSearch<'_, G, S> {
                 return;
             }
             self.metrics.edge_visit(self.worker);
-            if !self.pred_ok(entry.edge) {
+            let Some((sum, amount)) = admit_edge(
+                self.graph,
+                self.predicate,
+                self.push,
+                entry.edge,
+                self.path_edges.len(),
+                self.root_amount,
+                self.sum,
+                self.last_amount,
+                self.metrics,
+                self.worker,
+            ) else {
                 continue;
-            }
+            };
             let w = entry.neighbor;
             if w == self.target {
                 if self.len_ok(self.path_edges.len() + 2) {
                     self.close(entry.edge);
                 }
+                continue;
+            }
+            if !self.push.vf_any && !self.predicate.vertex_filter().accepts(w) {
+                self.metrics.vertex_prune(self.worker);
                 continue;
             }
             if self.on_path.contains(&w)
@@ -215,7 +443,12 @@ impl<G: GraphView + ?Sized, S: CycleSink> DeltaSearch<'_, G, S> {
             self.path.push(w);
             self.path_edges.push(entry.edge);
             self.on_path.insert(w);
+            let (prev_sum, prev_last) = (self.sum, self.last_amount);
+            self.sum = sum;
+            self.last_amount = amount;
             self.extend_temporal(w, entry.ts, t_last);
+            self.sum = prev_sum;
+            self.last_amount = prev_last;
             self.on_path.remove(&w);
             self.path_edges.pop();
             self.path.pop();
@@ -231,7 +464,7 @@ pub(crate) fn delta_simple_root<G: GraphView + ?Sized, S: CycleSink>(
     root: EdgeId,
     floor: Timestamp,
     opts: &SimpleCycleOptions,
-    predicate: &EdgePredicate,
+    predicate: &CyclePredicate,
     scratch: &mut RootScratch,
     sink: &HaltingSink<'_, S>,
     metrics: &WorkMetrics,
@@ -243,13 +476,15 @@ pub(crate) fn delta_simple_root<G: GraphView + ?Sized, S: CycleSink>(
         // expired the moment they arrived; they close nothing.
         return;
     }
-    // The root edge is part of every cycle it closes, so it must satisfy the
-    // predicate itself.
-    if !predicate.is_pass_all() && !predicate.accepts(&e) {
+    let push = Pushdown::of(predicate);
+    if !admit_root(&e, predicate, metrics, worker) {
         return;
     }
     if e.src == e.dst {
-        if opts.include_self_loops && opts.len_ok(1) {
+        if opts.include_self_loops
+            && opts.len_ok(1)
+            && (!push.cycle_check || predicate.accepts_cycle_edges(std::slice::from_ref(&e)))
+        {
             sink.push(&[e.src], &[root]);
         }
         return;
@@ -279,10 +514,14 @@ pub(crate) fn delta_simple_root<G: GraphView + ?Sized, S: CycleSink>(
         target: e.src,
         max_len: opts.max_len,
         predicate,
-        pred_all: predicate.is_pass_all(),
+        push,
+        root_amount: e.amount,
+        sum: e.amount,
+        last_amount: 0,
         path: vec![e.dst],
         path_edges: Vec::new(),
         on_path,
+        edge_buf: Vec::new(),
     };
     search.extend_simple(e.dst, window);
 }
@@ -295,7 +534,7 @@ pub(crate) fn delta_temporal_root<G: GraphView + ?Sized, S: CycleSink>(
     root: EdgeId,
     floor: Timestamp,
     opts: &TemporalCycleOptions,
-    predicate: &EdgePredicate,
+    predicate: &CyclePredicate,
     scratch: &mut RootScratch,
     sink: &HaltingSink<'_, S>,
     metrics: &WorkMetrics,
@@ -305,8 +544,7 @@ pub(crate) fn delta_temporal_root<G: GraphView + ?Sized, S: CycleSink>(
     if e.ts < floor || e.src == e.dst {
         return;
     }
-    // The root edge is part of every cycle it closes.
-    if !predicate.is_pass_all() && !predicate.accepts(&e) {
+    if !admit_root(&e, predicate, metrics, worker) {
         return;
     }
     metrics.root_processed(worker);
@@ -333,10 +571,14 @@ pub(crate) fn delta_temporal_root<G: GraphView + ?Sized, S: CycleSink>(
         target: e.src,
         max_len: opts.max_len,
         predicate,
-        pred_all: predicate.is_pass_all(),
+        push: Pushdown::of(predicate),
+        root_amount: e.amount,
+        sum: e.amount,
+        last_amount: 0,
         path: vec![e.dst],
         path_edges: Vec::new(),
         on_path,
+        edge_buf: Vec::new(),
     };
     // Seeding the arrival one below the window start admits exactly first
     // hops with ts >= start; path timestamps stay strictly below t0.
@@ -348,16 +590,17 @@ pub(crate) fn delta_temporal_root<G: GraphView + ?Sized, S: CycleSink>(
 /// scratch; high-frequency callers should use
 /// [`delta_simple_with_scratch`] to reuse one scratch across runs.
 ///
-/// `predicate` is evaluated *during* traversal (union passes and path
-/// extension alike), so rejected edges never enter the search state — pass
-/// [`EdgePredicate::pass_all`] for unfiltered enumeration. Every driver
+/// `predicate` is pushed into the traversal (union passes, path extension
+/// and aggregate partial bounds alike; see the [module docs](self)), so
+/// pruned branches never enter the search state — pass
+/// [`CyclePredicate::pass_all`] for unfiltered enumeration. Every driver
 /// below takes the same parameter with the same meaning.
 pub fn delta_simple<G: GraphView + ?Sized, S: CycleSink>(
     graph: &G,
     roots: Range<EdgeId>,
     floor: Timestamp,
     opts: &SimpleCycleOptions,
-    predicate: &EdgePredicate,
+    predicate: &CyclePredicate,
     sink: &S,
 ) -> RunStats {
     let mut scratch = RootScratch::new(graph.num_vertices());
@@ -373,7 +616,7 @@ pub fn delta_simple_with_scratch<G: GraphView + ?Sized, S: CycleSink>(
     roots: Range<EdgeId>,
     floor: Timestamp,
     opts: &SimpleCycleOptions,
-    predicate: &EdgePredicate,
+    predicate: &CyclePredicate,
     sink: &S,
     scratch: &mut RootScratch,
 ) -> RunStats {
@@ -400,7 +643,7 @@ pub fn delta_temporal<G: GraphView + ?Sized, S: CycleSink>(
     roots: Range<EdgeId>,
     floor: Timestamp,
     opts: &TemporalCycleOptions,
-    predicate: &EdgePredicate,
+    predicate: &CyclePredicate,
     sink: &S,
 ) -> RunStats {
     let mut scratch = RootScratch::new(graph.num_vertices());
@@ -414,7 +657,7 @@ pub fn delta_temporal_with_scratch<G: GraphView + ?Sized, S: CycleSink>(
     roots: Range<EdgeId>,
     floor: Timestamp,
     opts: &TemporalCycleOptions,
-    predicate: &EdgePredicate,
+    predicate: &CyclePredicate,
     sink: &S,
     scratch: &mut RootScratch,
 ) -> RunStats {
@@ -506,7 +749,7 @@ pub fn delta_simple_parallel<G: GraphView + ?Sized, S: CycleSink>(
     roots: Range<EdgeId>,
     floor: Timestamp,
     opts: &SimpleCycleOptions,
-    predicate: &EdgePredicate,
+    predicate: &CyclePredicate,
     sink: &S,
     pool: &ThreadPool,
 ) -> RunStats {
@@ -532,7 +775,7 @@ pub fn delta_simple_parallel_with_scratch<G: GraphView + ?Sized, S: CycleSink>(
     roots: Range<EdgeId>,
     floor: Timestamp,
     opts: &SimpleCycleOptions,
-    predicate: &EdgePredicate,
+    predicate: &CyclePredicate,
     sink: &S,
     pool: &ThreadPool,
     scratches: &mut [RootScratch],
@@ -558,7 +801,7 @@ pub fn delta_temporal_parallel<G: GraphView + ?Sized, S: CycleSink>(
     roots: Range<EdgeId>,
     floor: Timestamp,
     opts: &TemporalCycleOptions,
-    predicate: &EdgePredicate,
+    predicate: &CyclePredicate,
     sink: &S,
     pool: &ThreadPool,
 ) -> RunStats {
@@ -583,7 +826,7 @@ pub fn delta_temporal_parallel_with_scratch<G: GraphView + ?Sized, S: CycleSink>
     roots: Range<EdgeId>,
     floor: Timestamp,
     opts: &TemporalCycleOptions,
-    predicate: &EdgePredicate,
+    predicate: &CyclePredicate,
     sink: &S,
     pool: &ThreadPool,
     scratches: &mut [RootScratch],
@@ -752,7 +995,7 @@ pub fn delta_simple_sharded_with_scratch<G: GraphView + ?Sized, S: CycleSink>(
     floor: Timestamp,
     spec: ShardSpec,
     opts: &SimpleCycleOptions,
-    predicate: &EdgePredicate,
+    predicate: &CyclePredicate,
     sink: &S,
     pool: &ThreadPool,
     scratches: &mut [RootScratch],
@@ -781,7 +1024,7 @@ pub fn delta_temporal_sharded_with_scratch<G: GraphView + ?Sized, S: CycleSink>(
     floor: Timestamp,
     spec: ShardSpec,
     opts: &TemporalCycleOptions,
-    predicate: &EdgePredicate,
+    predicate: &CyclePredicate,
     sink: &S,
     pool: &ThreadPool,
     scratches: &mut [RootScratch],
@@ -825,10 +1068,10 @@ struct FineDeltaShared<'a, G: ?Sized, S> {
     sink: &'a HaltingSink<'a, S>,
     metrics: &'a WorkMetrics,
     mode: FineDeltaMode<'a>,
-    /// Attribute predicate every cycle edge must satisfy.
-    predicate: &'a EdgePredicate,
-    /// Cached `predicate.is_pass_all()`.
-    pred_all: bool,
+    /// Whole-cycle predicate pushed into every task of the run.
+    predicate: &'a CyclePredicate,
+    /// Cached pushdown flags (see [`Pushdown`]).
+    push: Pushdown,
 }
 
 /// One copyable recursion level of a fine-grained delta search: extend the
@@ -848,6 +1091,14 @@ struct FineDeltaTask {
     t_last: Timestamp,
     /// Temporal: arrival time at the tip (the next edge must be later).
     arrival: Timestamp,
+    /// Amount of the root edge — under monotonicity every path edge must
+    /// stay strictly below it.
+    root_amount: Amount,
+    /// Running saturating total of the root and all path edges.
+    sum: Amount,
+    /// Amount of the last path edge (meaningful iff `path_edges` is
+    /// non-empty).
+    last_amount: Amount,
     union: Arc<UnionView>,
     path: Vec<VertexId>,
     path_edges: Vec<EdgeId>,
@@ -880,6 +1131,7 @@ fn expand_fine_task<G: GraphView + ?Sized, S: CycleSink>(
             true,
         ),
     };
+    let mut edge_buf = Vec::new();
     for &entry in shared.graph.out_edges_in_window(v, window) {
         if shared.sink.stopped() {
             break;
@@ -890,9 +1142,20 @@ fn expand_fine_task<G: GraphView + ?Sized, S: CycleSink>(
             // `t_last < t0` (ids refine timestamp order).
             continue;
         }
-        if !shared.pred_all && !shared.predicate.accepts(&shared.graph.edge(entry.edge)) {
+        let Some((sum, amount)) = admit_edge(
+            shared.graph,
+            shared.predicate,
+            shared.push,
+            entry.edge,
+            task.path_edges.len(),
+            task.root_amount,
+            task.sum,
+            task.last_amount,
+            shared.metrics,
+            worker,
+        ) else {
             continue;
-        }
+        };
         let w = entry.neighbor;
         if w == task.target {
             if shared.mode.len_ok(task.path_edges.len() + 2) {
@@ -901,11 +1164,24 @@ fn expand_fine_task<G: GraphView + ?Sized, S: CycleSink>(
                 task.path.push(task.target);
                 task.path_edges.push(entry.edge);
                 task.path_edges.push(task.root);
-                shared.sink.push(&task.path, &task.path_edges);
+                if !shared.push.cycle_check
+                    || cycle_accepted(
+                        shared.graph,
+                        shared.predicate,
+                        &mut edge_buf,
+                        &task.path_edges,
+                    )
+                {
+                    shared.sink.push(&task.path, &task.path_edges);
+                }
                 task.path_edges.pop();
                 task.path_edges.pop();
                 task.path.pop();
             }
+            continue;
+        }
+        if !shared.push.vf_any && !shared.predicate.vertex_filter().accepts(w) {
+            shared.metrics.vertex_prune(worker);
             continue;
         }
         if task.on_path.contains(&w)
@@ -929,6 +1205,9 @@ fn expand_fine_task<G: GraphView + ?Sized, S: CycleSink>(
             window: task.window,
             t_last: task.t_last,
             arrival: entry.ts,
+            root_amount: task.root_amount,
+            sum,
+            last_amount: amount,
             union: Arc::clone(&task.union),
             path: child_path,
             path_edges: child_edges,
@@ -983,13 +1262,19 @@ fn prepare_fine_root<G: GraphView + ?Sized, S: CycleSink>(
         return None;
     }
     // The root edge is part of every cycle it closes.
-    if !shared.pred_all && !shared.predicate.accepts(&e) {
+    if !admit_root(&e, shared.predicate, shared.metrics, worker) {
         return None;
     }
     let (window, t_last, arrival, union) = match shared.mode {
         FineDeltaMode::Simple(opts) => {
             if e.src == e.dst {
-                if opts.include_self_loops && opts.len_ok(1) {
+                if opts.include_self_loops
+                    && opts.len_ok(1)
+                    && (!shared.push.cycle_check
+                        || shared
+                            .predicate
+                            .accepts_cycle_edges(std::slice::from_ref(&e)))
+                {
                     shared.sink.push(&[e.src], &[root]);
                 }
                 return None;
@@ -1047,6 +1332,9 @@ fn prepare_fine_root<G: GraphView + ?Sized, S: CycleSink>(
         window,
         t_last,
         arrival,
+        root_amount: e.amount,
+        sum: e.amount,
+        last_amount: 0,
         union,
         path: vec![e.dst],
         path_edges: Vec::new(),
@@ -1067,7 +1355,7 @@ fn run_delta_fine<G: GraphView + ?Sized, S: CycleSink>(
     roots: Range<EdgeId>,
     floor: Timestamp,
     mode: FineDeltaMode<'_>,
-    predicate: &EdgePredicate,
+    predicate: &CyclePredicate,
     sink: &S,
     pool: &ThreadPool,
     scratches: &mut [RootScratch],
@@ -1088,7 +1376,7 @@ fn run_delta_fine<G: GraphView + ?Sized, S: CycleSink>(
         metrics: &metrics,
         mode,
         predicate,
-        pred_all: predicate.is_pass_all(),
+        push: Pushdown::of(predicate),
     };
 
     pool.scope(|scope| {
@@ -1229,7 +1517,7 @@ fn run_delta_fine_assist<G: GraphView + ?Sized, S: CycleSink>(
     roots: Range<EdgeId>,
     floor: Timestamp,
     mode: FineDeltaMode<'_>,
-    predicate: &EdgePredicate,
+    predicate: &CyclePredicate,
     sink: &S,
     pool: &ThreadPool,
     scratches: &mut [RootScratch],
@@ -1249,7 +1537,7 @@ fn run_delta_fine_assist<G: GraphView + ?Sized, S: CycleSink>(
         metrics: &metrics,
         mode,
         predicate,
-        pred_all: predicate.is_pass_all(),
+        push: Pushdown::of(predicate),
     };
     let root_claims = WorkAssistingLoop::new(roots.len(), 1);
     let root_out: Mutex<Vec<FineDeltaTask>> = Mutex::new(Vec::new());
@@ -1359,7 +1647,7 @@ pub fn delta_simple_fine<G: GraphView + ?Sized, S: CycleSink>(
     roots: Range<EdgeId>,
     floor: Timestamp,
     opts: &SimpleCycleOptions,
-    predicate: &EdgePredicate,
+    predicate: &CyclePredicate,
     sink: &S,
     pool: &ThreadPool,
 ) -> RunStats {
@@ -1384,7 +1672,7 @@ pub fn delta_simple_fine_with_scratch<G: GraphView + ?Sized, S: CycleSink>(
     roots: Range<EdgeId>,
     floor: Timestamp,
     opts: &SimpleCycleOptions,
-    predicate: &EdgePredicate,
+    predicate: &CyclePredicate,
     sink: &S,
     pool: &ThreadPool,
     scratches: &mut [RootScratch],
@@ -1409,7 +1697,7 @@ pub fn delta_temporal_fine<G: GraphView + ?Sized, S: CycleSink>(
     roots: Range<EdgeId>,
     floor: Timestamp,
     opts: &TemporalCycleOptions,
-    predicate: &EdgePredicate,
+    predicate: &CyclePredicate,
     sink: &S,
     pool: &ThreadPool,
 ) -> RunStats {
@@ -1434,7 +1722,7 @@ pub fn delta_temporal_fine_with_scratch<G: GraphView + ?Sized, S: CycleSink>(
     roots: Range<EdgeId>,
     floor: Timestamp,
     opts: &TemporalCycleOptions,
-    predicate: &EdgePredicate,
+    predicate: &CyclePredicate,
     sink: &S,
     pool: &ThreadPool,
     scratches: &mut [RootScratch],
@@ -1460,7 +1748,7 @@ pub fn delta_simple_assist<G: GraphView + ?Sized, S: CycleSink>(
     roots: Range<EdgeId>,
     floor: Timestamp,
     opts: &SimpleCycleOptions,
-    predicate: &EdgePredicate,
+    predicate: &CyclePredicate,
     sink: &S,
     pool: &ThreadPool,
 ) -> RunStats {
@@ -1485,7 +1773,7 @@ pub fn delta_simple_assist_with_scratch<G: GraphView + ?Sized, S: CycleSink>(
     roots: Range<EdgeId>,
     floor: Timestamp,
     opts: &SimpleCycleOptions,
-    predicate: &EdgePredicate,
+    predicate: &CyclePredicate,
     sink: &S,
     pool: &ThreadPool,
     scratches: &mut [RootScratch],
@@ -1510,7 +1798,7 @@ pub fn delta_temporal_assist<G: GraphView + ?Sized, S: CycleSink>(
     roots: Range<EdgeId>,
     floor: Timestamp,
     opts: &TemporalCycleOptions,
-    predicate: &EdgePredicate,
+    predicate: &CyclePredicate,
     sink: &S,
     pool: &ThreadPool,
 ) -> RunStats {
@@ -1535,7 +1823,7 @@ pub fn delta_temporal_assist_with_scratch<G: GraphView + ?Sized, S: CycleSink>(
     roots: Range<EdgeId>,
     floor: Timestamp,
     opts: &TemporalCycleOptions,
-    predicate: &EdgePredicate,
+    predicate: &CyclePredicate,
     sink: &S,
     pool: &ThreadPool,
     scratches: &mut [RootScratch],
@@ -1589,7 +1877,7 @@ mod tests {
                     all_roots(&g),
                     Timestamp::MIN,
                     &opts,
-                    &EdgePredicate::pass_all(),
+                    &CyclePredicate::pass_all(),
                     &bwd,
                 );
                 assert_eq!(bwd.canonical_cycles(), oracle, "seed {seed} delta {delta}");
@@ -1618,7 +1906,7 @@ mod tests {
                     all_roots(&g),
                     Timestamp::MIN,
                     &opts,
-                    &EdgePredicate::pass_all(),
+                    &CyclePredicate::pass_all(),
                     &bwd,
                 );
                 assert_eq!(bwd.canonical_cycles(), oracle, "seed {seed} delta {delta}");
@@ -1640,7 +1928,7 @@ mod tests {
             all_roots(&g),
             Timestamp::MIN,
             &SimpleCycleOptions::unconstrained(),
-            &EdgePredicate::pass_all(),
+            &CyclePredicate::pass_all(),
             &all,
         );
         assert_eq!(all.count(), 2);
@@ -1653,7 +1941,7 @@ mod tests {
             all_roots(&g),
             Timestamp::MIN,
             &SimpleCycleOptions::unconstrained().max_len(2),
-            &EdgePredicate::pass_all(),
+            &CyclePredicate::pass_all(),
             &short,
         );
         assert_eq!(short.count(), 1);
@@ -1672,7 +1960,7 @@ mod tests {
             all_roots(&g),
             Timestamp::MIN,
             &SimpleCycleOptions::unconstrained(),
-            &EdgePredicate::pass_all(),
+            &CyclePredicate::pass_all(),
             &without,
         );
         assert_eq!(without.count(), 1);
@@ -1682,7 +1970,7 @@ mod tests {
             all_roots(&g),
             Timestamp::MIN,
             &SimpleCycleOptions::unconstrained().include_self_loops(true),
-            &EdgePredicate::pass_all(),
+            &CyclePredicate::pass_all(),
             &with,
         );
         assert_eq!(with.count(), 2);
@@ -1702,7 +1990,7 @@ mod tests {
             all_roots(&g),
             Timestamp::MIN,
             &SimpleCycleOptions::unconstrained(),
-            &EdgePredicate::pass_all(),
+            &CyclePredicate::pass_all(),
             &open,
         );
         assert_eq!(open.count(), 1);
@@ -1712,7 +2000,7 @@ mod tests {
             all_roots(&g),
             3,
             &SimpleCycleOptions::unconstrained(),
-            &EdgePredicate::pass_all(),
+            &CyclePredicate::pass_all(),
             &floored,
         );
         assert_eq!(floored.count(), 0, "expired first hop breaks the cycle");
@@ -1723,7 +2011,7 @@ mod tests {
             all_roots(&g),
             11,
             &TemporalCycleOptions::with_window(100),
-            &EdgePredicate::pass_all(),
+            &CyclePredicate::pass_all(),
             &t,
         );
         assert_eq!(t.count(), 0);
@@ -1745,7 +2033,7 @@ mod tests {
             all_roots(&g),
             Timestamp::MIN,
             &simple_opts,
-            &EdgePredicate::pass_all(),
+            &CyclePredicate::pass_all(),
             &seq,
         );
         let par = CollectingSink::new();
@@ -1754,7 +2042,7 @@ mod tests {
             all_roots(&g),
             Timestamp::MIN,
             &simple_opts,
-            &EdgePredicate::pass_all(),
+            &CyclePredicate::pass_all(),
             &par,
             &pool,
         );
@@ -1768,7 +2056,7 @@ mod tests {
             all_roots(&g),
             Timestamp::MIN,
             &temporal_opts,
-            &EdgePredicate::pass_all(),
+            &CyclePredicate::pass_all(),
             &seq,
         );
         let par = CollectingSink::new();
@@ -1777,7 +2065,7 @@ mod tests {
             all_roots(&g),
             Timestamp::MIN,
             &temporal_opts,
-            &EdgePredicate::pass_all(),
+            &CyclePredicate::pass_all(),
             &par,
             &pool,
         );
@@ -1800,7 +2088,7 @@ mod tests {
             all_roots(&g),
             Timestamp::MIN,
             &simple_opts,
-            &EdgePredicate::pass_all(),
+            &CyclePredicate::pass_all(),
             &seq,
         );
         let fine = CollectingSink::new();
@@ -1809,7 +2097,7 @@ mod tests {
             all_roots(&g),
             Timestamp::MIN,
             &simple_opts,
-            &EdgePredicate::pass_all(),
+            &CyclePredicate::pass_all(),
             &fine,
             &pool,
         );
@@ -1824,7 +2112,7 @@ mod tests {
             all_roots(&g),
             Timestamp::MIN,
             &temporal_opts,
-            &EdgePredicate::pass_all(),
+            &CyclePredicate::pass_all(),
             &seq,
         );
         let fine = CollectingSink::new();
@@ -1833,7 +2121,7 @@ mod tests {
             all_roots(&g),
             Timestamp::MIN,
             &temporal_opts,
-            &EdgePredicate::pass_all(),
+            &CyclePredicate::pass_all(),
             &fine,
             &pool,
         );
@@ -1856,7 +2144,7 @@ mod tests {
                 all_roots(&g),
                 floor,
                 &opts,
-                &EdgePredicate::pass_all(),
+                &CyclePredicate::pass_all(),
                 &reference,
             );
             for threads in [1, 2, 4] {
@@ -1866,7 +2154,7 @@ mod tests {
                     all_roots(&g),
                     floor,
                     &opts,
-                    &EdgePredicate::pass_all(),
+                    &CyclePredicate::pass_all(),
                     &sink,
                     &ThreadPool::new(threads),
                 );
@@ -1893,7 +2181,7 @@ mod tests {
             all_roots(&g),
             Timestamp::MIN,
             &SimpleCycleOptions::unconstrained().include_self_loops(true),
-            &EdgePredicate::pass_all(),
+            &CyclePredicate::pass_all(),
             &with,
             &pool,
         );
@@ -1906,7 +2194,7 @@ mod tests {
             all_roots(&g),
             Timestamp::MIN,
             &SimpleCycleOptions::unconstrained(),
-            &EdgePredicate::pass_all(),
+            &CyclePredicate::pass_all(),
             &sink,
             &pool,
         );
@@ -1928,7 +2216,7 @@ mod tests {
             all_roots(&g),
             Timestamp::MIN,
             &opts,
-            &EdgePredicate::pass_all(),
+            &CyclePredicate::pass_all(),
             &sink,
             &ThreadPool::new(4),
         );
@@ -1964,7 +2252,7 @@ mod tests {
             all_roots(&g),
             Timestamp::MIN,
             &TemporalCycleOptions::with_window(1_000),
-            &EdgePredicate::pass_all(),
+            &CyclePredicate::pass_all(),
             &sink,
             &ThreadPool::new(4),
         );
@@ -1991,7 +2279,7 @@ mod tests {
                 all_roots(&g),
                 Timestamp::MIN,
                 &simple_opts,
-                &EdgePredicate::pass_all(),
+                &CyclePredicate::pass_all(),
                 &seq,
             );
             for threads in [1, 2, 4] {
@@ -2002,7 +2290,7 @@ mod tests {
                     all_roots(&g),
                     Timestamp::MIN,
                     &simple_opts,
-                    &EdgePredicate::pass_all(),
+                    &CyclePredicate::pass_all(),
                     &steal,
                     &pool,
                 );
@@ -2012,7 +2300,7 @@ mod tests {
                     all_roots(&g),
                     Timestamp::MIN,
                     &simple_opts,
-                    &EdgePredicate::pass_all(),
+                    &CyclePredicate::pass_all(),
                     &assist,
                     &pool,
                 );
@@ -2056,7 +2344,7 @@ mod tests {
                 all_roots(&g),
                 Timestamp::MIN,
                 &temporal_opts,
-                &EdgePredicate::pass_all(),
+                &CyclePredicate::pass_all(),
                 &seq,
             );
             for threads in [1, 4] {
@@ -2066,7 +2354,7 @@ mod tests {
                     all_roots(&g),
                     Timestamp::MIN,
                     &temporal_opts,
-                    &EdgePredicate::pass_all(),
+                    &CyclePredicate::pass_all(),
                     &assist,
                     &ThreadPool::new(threads),
                 );
@@ -2093,7 +2381,7 @@ mod tests {
             all_roots(&g),
             Timestamp::MIN,
             &SimpleCycleOptions::unconstrained().include_self_loops(true),
-            &EdgePredicate::pass_all(),
+            &CyclePredicate::pass_all(),
             &with,
             &pool,
         );
@@ -2104,7 +2392,7 @@ mod tests {
             all_roots(&g),
             3,
             &SimpleCycleOptions::unconstrained(),
-            &EdgePredicate::pass_all(),
+            &CyclePredicate::pass_all(),
             &floored,
             &pool,
         );
@@ -2119,7 +2407,7 @@ mod tests {
             all_roots(&g),
             Timestamp::MIN,
             &SimpleCycleOptions::unconstrained(),
-            &EdgePredicate::pass_all(),
+            &CyclePredicate::pass_all(),
             &sink,
             &pool,
         );
@@ -2145,7 +2433,7 @@ mod tests {
                 all_roots(&g),
                 Timestamp::MIN,
                 &opts,
-                &EdgePredicate::pass_all(),
+                &CyclePredicate::pass_all(),
                 &sink,
                 &ThreadPool::new(4),
             );
@@ -2161,7 +2449,7 @@ mod tests {
                 all_roots(&g),
                 Timestamp::MIN,
                 &opts,
-                &EdgePredicate::pass_all(),
+                &CyclePredicate::pass_all(),
                 &sink,
                 &ThreadPool::new(4),
             );
@@ -2191,7 +2479,7 @@ mod tests {
             2..3,
             Timestamp::MIN,
             &SimpleCycleOptions::unconstrained(),
-            &EdgePredicate::pass_all(),
+            &CyclePredicate::pass_all(),
             &sink,
         );
         let cycles = sink.into_cycles();
@@ -2208,9 +2496,214 @@ mod tests {
             all_roots(&g),
             Timestamp::MIN,
             &SimpleCycleOptions::unconstrained(),
-            &EdgePredicate::pass_all(),
+            &CyclePredicate::pass_all(),
             &sink,
         );
         assert_eq!(sink.into_cycles().len(), 3);
+    }
+
+    /// Canonical post-filter baseline: pass-all enumeration re-checked per
+    /// cycle with the exact predicate over the reported (max-edge-last)
+    /// order.
+    fn post_filtered(
+        g: &TemporalGraph,
+        cycles: Vec<crate::cycle::Cycle>,
+        p: &CyclePredicate,
+    ) -> Vec<crate::cycle::Cycle> {
+        crate::testing::canonicalized(cycles.into_iter().filter(|c| {
+            let edges: Vec<TemporalEdge> = c.edges.iter().map(|&id| g.edge(id)).collect();
+            p.accepts_cycle(&edges, &c.vertices)
+        }))
+    }
+
+    /// Hand-sized graph exercising every predicate class end to end: two
+    /// 3-cycles share the closing max edge `2→0` but differ in their middle
+    /// vertex, labels and amounts, so each predicate class separates them a
+    /// different way. Every pushed predicate must report exactly the
+    /// post-filtered pass-all results, and the classes whose bounds are
+    /// decidable early must record their prune counters.
+    #[test]
+    fn cycle_predicate_pushdown_matches_post_filter() {
+        use pce_graph::{EdgePredicate, LabelFilter};
+        let mut b = GraphBuilder::new();
+        for (src, dst, ts, amount, label) in [
+            (0, 1, 1, 5, 1),
+            (1, 2, 2, 6, 1),
+            (0, 3, 1, 4, 2),
+            (3, 2, 2, 5, 2),
+            (2, 0, 3, 7, 9),
+        ] {
+            b.push_attr_edge(TemporalEdge::with_attrs(src, dst, ts, amount, label));
+        }
+        let g = b.build();
+        let opts = SimpleCycleOptions::unconstrained();
+        let all = CollectingSink::new();
+        delta_simple(
+            &g,
+            all_roots(&g),
+            Timestamp::MIN,
+            &opts,
+            &CyclePredicate::pass_all(),
+            &all,
+        );
+        let raw = all.into_cycles();
+        assert_eq!(raw.len(), 2, "both 3-cycles close at the 2→0 root");
+
+        // (predicate, expected survivors, which prune counter must fire;
+        // None = the constraint is only decidable at close).
+        let wire2 = EdgePredicate::pass_all().labels(LabelFilter::allow(vec![2]));
+        let cases: Vec<(CyclePredicate, usize, Option<&str>)> = vec![
+            (
+                CyclePredicate::pass_all().vertices(VertexFilter::deny(vec![3])),
+                1,
+                Some("vertex"),
+            ),
+            (
+                CyclePredicate::pass_all().at(Position::FromStart(0), wire2.clone()),
+                1,
+                Some("positional"),
+            ),
+            (
+                CyclePredicate::pass_all().at(Position::FromEnd(1), wire2.clone()),
+                1,
+                None,
+            ),
+            (
+                CyclePredicate::pass_all().at(
+                    Position::FromEnd(0),
+                    EdgePredicate::pass_all().min_amount(8),
+                ),
+                0,
+                Some("positional"),
+            ),
+            // Totals: 5+6+7 = 18 and 4+5+7 = 16.
+            (
+                CyclePredicate::pass_all().total_max(17),
+                1,
+                Some("aggregate"),
+            ),
+            (CyclePredicate::pass_all().total_min(17), 1, None),
+            // 5,6,7 escalates strictly; 4,5,7 does too — deny label 1 to
+            // leave one, then break it with a per-edge amount cap instead.
+            (CyclePredicate::pass_all().monotone_amounts(true), 2, None),
+            (
+                CyclePredicate::pass_all().total_max(5),
+                0,
+                Some("aggregate"),
+            ),
+        ];
+        for (i, (p, expect, counter)) in cases.iter().enumerate() {
+            let expected = post_filtered(&g, raw.clone(), p);
+            assert_eq!(expected.len(), *expect, "case {i}: oracle cardinality");
+            let sink = CollectingSink::new();
+            let stats = delta_simple(&g, all_roots(&g), Timestamp::MIN, &opts, p, &sink);
+            assert_eq!(sink.canonical_cycles(), expected, "case {i}: pushdown");
+            match counter {
+                Some("vertex") => assert!(stats.work.total_vertex_prunes() > 0, "case {i}"),
+                Some("positional") => {
+                    assert!(stats.work.total_positional_prunes() > 0, "case {i}")
+                }
+                Some("aggregate") => {
+                    assert!(stats.work.total_aggregate_prunes() > 0, "case {i}")
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// The monotone-layering workload separates signal from decoys *only*
+    /// through the aggregate constraints; every driver granularity must
+    /// agree with the post-filtered baseline, record identical prune
+    /// counters, and prune strictly more than zero branches.
+    #[test]
+    fn aggregate_pushdown_is_identical_across_granularities() {
+        use pce_graph::generators::MonotoneLayeringConfig;
+        let cfg = MonotoneLayeringConfig {
+            num_accounts: 150,
+            background_edges: 900,
+            num_chains: 5,
+            num_decoys: 6,
+            seed: 777,
+            ..MonotoneLayeringConfig::default()
+        };
+        let predicate = cfg.alert_predicate();
+        let window = cfg.chain_span;
+        let (g, planted) = generators::monotone_layering(cfg);
+        assert!(planted > 0);
+        let opts = TemporalCycleOptions::with_window(window);
+
+        let all = CollectingSink::new();
+        delta_temporal(
+            &g,
+            all_roots(&g),
+            Timestamp::MIN,
+            &opts,
+            &CyclePredicate::pass_all(),
+            &all,
+        );
+        let expected = post_filtered(&g, all.into_cycles(), &predicate);
+        assert_eq!(expected.len(), planted, "only the planted chains survive");
+
+        let seq = CollectingSink::new();
+        let seq_stats = delta_temporal(&g, all_roots(&g), Timestamp::MIN, &opts, &predicate, &seq);
+        assert_eq!(seq.canonical_cycles(), expected);
+        assert!(
+            seq_stats.work.total_aggregate_prunes() > 0,
+            "decoys must be pruned mid-path, not post-filtered"
+        );
+
+        let pool = ThreadPool::new(4);
+        let mut scratches = fresh_scratches(&g, &pool);
+        let coarse = CollectingSink::new();
+        let coarse_stats = delta_temporal_parallel_with_scratch(
+            &g,
+            all_roots(&g),
+            Timestamp::MIN,
+            &opts,
+            &predicate,
+            &coarse,
+            &pool,
+            &mut scratches,
+        );
+        assert_eq!(coarse.canonical_cycles(), expected);
+        let fine = CollectingSink::new();
+        let fine_stats = delta_temporal_fine(
+            &g,
+            all_roots(&g),
+            Timestamp::MIN,
+            &opts,
+            &predicate,
+            &fine,
+            &pool,
+        );
+        assert_eq!(fine.canonical_cycles(), expected);
+        let assist = CollectingSink::new();
+        let assist_stats = delta_temporal_assist(
+            &g,
+            all_roots(&g),
+            Timestamp::MIN,
+            &opts,
+            &predicate,
+            &assist,
+            &pool,
+        );
+        assert_eq!(assist.canonical_cycles(), expected);
+
+        // The prune counters are data-deterministic: identical across every
+        // granularity and scheduling strategy.
+        for stats in [&coarse_stats, &fine_stats, &assist_stats] {
+            assert_eq!(
+                stats.work.total_aggregate_prunes(),
+                seq_stats.work.total_aggregate_prunes()
+            );
+            assert_eq!(
+                stats.work.total_positional_prunes(),
+                seq_stats.work.total_positional_prunes()
+            );
+            assert_eq!(
+                stats.work.total_vertex_prunes(),
+                seq_stats.work.total_vertex_prunes()
+            );
+        }
     }
 }

@@ -91,9 +91,12 @@ pub use streaming::{
 };
 
 // Predicate and sharding types surface in the streaming API
-// (`StreamingQuery::predicate`, `CohortKey::predicate`,
-// `StreamingQuery::shards`), so re-export them at the root alongside it.
-pub use pce_graph::{EdgePredicate, LabelFilter, ShardSpec};
+// (`StreamingQuery::predicate`, `StreamingQuery::cycle_predicate`,
+// `CohortKey::predicate`, `StreamingQuery::shards`), so re-export them at
+// the root alongside it.
+pub use pce_graph::{
+    CyclePredicate, EdgePredicate, LabelFilter, Position, ShardSpec, VertexFilter,
+};
 
 // Re-export the substrate crates so downstream users can depend on `pce-core`
 // alone.

@@ -26,6 +26,9 @@ struct WorkerBlock {
     unblock_ops: AtomicU64,
     roots_processed: AtomicU64,
     union_members: AtomicU64,
+    aggregate_prunes: AtomicU64,
+    positional_prunes: AtomicU64,
+    vertex_prunes: AtomicU64,
     busy_nanos: AtomicU64,
 }
 
@@ -142,6 +145,36 @@ impl WorkMetrics {
             .fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records one partial path pruned by an *aggregate* bound of the pushed
+    /// cycle predicate: the running total exceeded the maximum, or a hop
+    /// broke required amount-monotonicity. Deterministic per configuration
+    /// (pruning happens at fixed points of the traversal, independent of
+    /// scheduling).
+    #[inline]
+    pub fn aggregate_prune(&self, worker: usize) {
+        self.slot(worker)
+            .aggregate_prunes
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one partial path pruned by a *positional* edge constraint
+    /// (the edge placed at a fixed `FromStart` index failed it).
+    #[inline]
+    pub fn positional_prune(&self, worker: usize) {
+        self.slot(worker)
+            .positional_prunes
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one expansion pruned by the vertex allow/deny filter of the
+    /// pushed cycle predicate.
+    #[inline]
+    pub fn vertex_prune(&self, worker: usize) {
+        self.slot(worker)
+            .vertex_prunes
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Adds busy wall-clock time for a worker.
     #[inline]
     pub fn add_busy(&self, worker: usize, time: Duration) {
@@ -166,6 +199,9 @@ impl WorkMetrics {
                     unblock_ops: w.unblock_ops.load(Ordering::Relaxed),
                     roots_processed: w.roots_processed.load(Ordering::Relaxed),
                     union_members: w.union_members.load(Ordering::Relaxed),
+                    aggregate_prunes: w.aggregate_prunes.load(Ordering::Relaxed),
+                    positional_prunes: w.positional_prunes.load(Ordering::Relaxed),
+                    vertex_prunes: w.vertex_prunes.load(Ordering::Relaxed),
                     busy_nanos: w.busy_nanos.load(Ordering::Relaxed),
                 })
                 .collect(),
@@ -195,6 +231,13 @@ pub struct WorkerWork {
     pub roots_processed: u64,
     /// Summed cycle-union sizes over processed roots.
     pub union_members: u64,
+    /// Partial paths pruned by aggregate bounds (running total above the
+    /// maximum, or a broken monotone chain).
+    pub aggregate_prunes: u64,
+    /// Partial paths pruned by a positional (`FromStart`) edge constraint.
+    pub positional_prunes: u64,
+    /// Expansions pruned by the vertex allow/deny filter.
+    pub vertex_prunes: u64,
     /// Busy wall-clock nanoseconds.
     pub busy_nanos: u64,
 }
@@ -255,6 +298,28 @@ impl WorkSnapshot {
     /// it whenever a predicate rejects any edge on a union path.
     pub fn total_union_members(&self) -> u64 {
         self.workers.iter().map(|w| w.union_members).sum()
+    }
+
+    /// Total partial paths pruned by aggregate bounds. Deterministic per
+    /// configuration and identical across scheduling strategies (the prune
+    /// points are fixed in the traversal), so differential tests may compare
+    /// it exactly. The counter moves the *opposite* way of
+    /// [`WorkSnapshot::total_union_members`]: a post-filter run pushes no
+    /// predicate down and records zero prunes, while its
+    /// `union_members`/`edge_visits` stay at least as large as the pushdown
+    /// run's.
+    pub fn total_aggregate_prunes(&self) -> u64 {
+        self.workers.iter().map(|w| w.aggregate_prunes).sum()
+    }
+
+    /// Total partial paths pruned by positional constraints.
+    pub fn total_positional_prunes(&self) -> u64 {
+        self.workers.iter().map(|w| w.positional_prunes).sum()
+    }
+
+    /// Total expansions pruned by the vertex filter.
+    pub fn total_vertex_prunes(&self) -> u64 {
+        self.workers.iter().map(|w| w.vertex_prunes).sum()
     }
 
     /// Per-worker busy time in seconds (the series plotted in Figure 1).
@@ -437,10 +502,17 @@ mod tests {
         m.root_processed(0);
         m.union_members(0, 3);
         m.union_members(2, 4);
+        m.aggregate_prune(0);
+        m.aggregate_prune(1);
+        m.positional_prune(2);
+        m.vertex_prune(0);
         m.add_busy(1, Duration::from_millis(2));
         let s = m.snapshot();
         assert_eq!(s.total_edge_visits(), 12);
         assert_eq!(s.total_union_members(), 7);
+        assert_eq!(s.total_aggregate_prunes(), 2);
+        assert_eq!(s.total_positional_prunes(), 1);
+        assert_eq!(s.total_vertex_prunes(), 1);
         assert_eq!(s.total_recursive_calls(), 1);
         assert_eq!(s.total_copies(), 1);
         assert_eq!(s.total_steals(), 1);

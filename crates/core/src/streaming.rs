@@ -51,9 +51,11 @@
 //! [`StreamingQuery`]s (each gets a stable [`QueryId`]), and every
 //! [`ingest`](MultiStreamingEngine::ingest) pays **one** append/expiry pass,
 //! **one** delta root scan and **one** per-root backward union/pruning pass —
-//! at the widest subscribed window and the *union* of the subscribed
-//! [`EdgePredicate`]s (pushed into traversal, so attribute-rejected edges
-//! never enter the cycle unions — see
+//! at the widest subscribed window and the *union hull* of the subscribed
+//! [`CyclePredicate`]s (per-edge constraints union, aggregate bounds loosen
+//! to the widest interval, positional constraints to per-position unions,
+//! vertex sets to set-union — pushed into traversal, so rejected edges never
+//! enter the cycle unions; see
 //! [`MultiStreamingEngine::with_pushdown`]) — then routes each candidate
 //! cycle to the subscriptions that accept it before fanning results out to
 //! per-query [`BatchReport`]s. Routing uses a constraint-indexed
@@ -92,8 +94,8 @@ use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
 use pce_graph::stream::{SlidingWindowGraph, StreamError};
 use pce_graph::{
-    Amount, EdgeId, EdgePredicate, GraphView, Label, ShardSpec, TemporalEdge, TemporalGraph,
-    TimeWindow, Timestamp, VertexId,
+    Amount, CyclePredicate, EdgeId, EdgePredicate, GraphView, Label, ShardSpec, TemporalEdge,
+    TemporalGraph, TimeWindow, Timestamp, VertexFilter, VertexId,
 };
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -174,7 +176,7 @@ pub struct StreamingQuery {
     max_len: Option<usize>,
     include_self_loops: bool,
     collect: CollectMode,
-    predicate: EdgePredicate,
+    predicate: CyclePredicate,
     shards: ShardSpec,
 }
 
@@ -193,7 +195,7 @@ impl StreamingQuery {
             max_len: None,
             include_self_loops: false,
             collect: CollectMode::Collect,
-            predicate: EdgePredicate::pass_all(),
+            predicate: CyclePredicate::pass_all(),
             shards: ShardSpec::single(),
         }
     }
@@ -278,7 +280,25 @@ impl StreamingQuery {
     /// subgraph, it does not just filter reports. Defaults to
     /// [`EdgePredicate::pass_all`] (no attribute constraint, no per-edge
     /// overhead).
+    ///
+    /// Shorthand for [`cycle_predicate`](Self::cycle_predicate) with a
+    /// predicate whose only constraint is per-edge; it **replaces** the whole
+    /// predicate, cycle-level constraints included.
     pub fn predicate(mut self, predicate: EdgePredicate) -> Self {
+        self.predicate = predicate.into();
+        self
+    }
+
+    /// Constrains reported cycles by a full [`CyclePredicate`]: per-edge
+    /// attribute checks plus cycle-level constraints — a total-amount
+    /// interval, strict amount monotonicity along the path, position-indexed
+    /// edge predicates and a vertex allow/deny set. Like the per-edge check,
+    /// every component that admits a sound partial test is pushed into the
+    /// traversal itself (see [`crate::delta`]); constraints only decidable on
+    /// the complete cycle (the total-amount floor, positions indexed from the
+    /// closing edge) are re-checked exactly when a cycle closes. Replaces any
+    /// previously set predicate.
+    pub fn cycle_predicate(mut self, predicate: CyclePredicate) -> Self {
         self.predicate = predicate;
         self
     }
@@ -322,8 +342,17 @@ impl StreamingQuery {
 
     /// The edge predicate every reported cycle's edges must satisfy
     /// ([`EdgePredicate::pass_all`] unless [`StreamingQuery::predicate`] set
-    /// one).
+    /// one) — the per-edge component of
+    /// [`extended_predicate`](Self::extended_predicate).
     pub fn edge_predicate(&self) -> &EdgePredicate {
+        self.predicate.edge_predicate()
+    }
+
+    /// The full cycle predicate this query evaluates: the per-edge component
+    /// of [`edge_predicate`](Self::edge_predicate) plus any cycle-level
+    /// constraints set via [`cycle_predicate`](Self::cycle_predicate)
+    /// ([`CyclePredicate::pass_all`] when none were).
+    pub fn extended_predicate(&self) -> &CyclePredicate {
         &self.predicate
     }
 
@@ -365,7 +394,8 @@ impl StreamingQuery {
         }
         if let Err(reason) = self.predicate.validate() {
             // An unsatisfiable predicate (empty amount interval, empty
-            // allow-list) rejects every edge and can never report anything.
+            // allow-list, inverted total-amount bounds) rejects every cycle
+            // and can never report anything.
             return Err(EnumerationError::InvalidPredicate { reason });
         }
         Ok(())
@@ -914,15 +944,19 @@ struct SharedPass {
     max_len: Option<usize>,
     /// Whether any simple subscription wants self-loops reported.
     include_self_loops: bool,
-    /// The [`EdgePredicate::union`] of every subscription's predicate — the
-    /// weakest predicate implied by the whole portfolio. Pushing it into the
-    /// shared pass is sound by the same argument as the other axes, in
-    /// reverse: the union *rejects* an edge only when **every** subscription
-    /// rejects it, and each subscription requires all edges of a cycle to
-    /// pass, so a cycle containing a union-rejected edge is unreportable by
-    /// anyone. Exact per-subscription predicates are re-checked at fan-out
-    /// (they may be strictly narrower than the union).
-    predicate: EdgePredicate,
+    /// The [`CyclePredicate::union`] hull of every subscription's predicate —
+    /// the weakest predicate implied by the whole portfolio. Pushing it into
+    /// the shared pass is sound by the same argument as the other axes, in
+    /// reverse: the hull *rejects* a cycle only when **every** subscription
+    /// rejects it. Per-edge constraints union, total-amount bounds loosen to
+    /// the widest interval, monotonicity survives only when every
+    /// subscription demands it, positional constraints keep only positions
+    /// every subscription constrains (as per-position unions), and vertex
+    /// sets take the set-union — each axis individually the loosest member,
+    /// so the hull admits a superset of every subscription's cycles. Exact
+    /// per-subscription predicates are re-checked at fan-out (they may be
+    /// strictly narrower than the hull).
+    predicate: CyclePredicate,
 }
 
 impl SharedPass {
@@ -1022,10 +1056,12 @@ pub struct CohortKey {
     pub kind: CycleKind,
     /// Whether the cohort's subscriptions report length-1 cycles.
     pub include_self_loops: bool,
-    /// The exact edge predicate every subscription in the cohort evaluates
-    /// (pass-all for unfiltered subscriptions). Because cohort members share
-    /// it exactly, the cohort-level check *is* the per-subscription check.
-    pub predicate: EdgePredicate,
+    /// The exact cycle predicate every subscription in the cohort evaluates
+    /// (pass-all for unfiltered subscriptions) — per-edge constraints plus
+    /// any aggregate, positional and vertex-set constraints. Because cohort
+    /// members share it exactly, the cohort-level check *is* the
+    /// per-subscription check.
+    pub predicate: CyclePredicate,
 }
 
 impl CohortKey {
@@ -1064,11 +1100,9 @@ impl CohortKey {
     /// predicate evaluation; this combined form is the differential-test
     /// oracle.
     #[cfg(test)]
-    fn admits(&self, shape: &CandidateShape) -> bool {
+    fn admits(&self, shape: &CandidateShape, vertices: &[VertexId]) -> bool {
         self.admits_structure(shape)
-            && self
-                .predicate
-                .accepts_shape(shape.min_amount, shape.max_amount, &shape.labels)
+            && predicate_accepts_candidate(&self.predicate, shape, vertices)
     }
 }
 
@@ -1353,6 +1387,12 @@ struct CandidateShape {
     /// The distinct edge labels, sorted (cycles are short, so this stays
     /// tiny; dedup keeps repeated-label rings to one filter probe each).
     labels: Vec<Label>,
+    /// The resolved edges in reported order (path edges in traversal order,
+    /// the root — maximum — edge last): exactly the order
+    /// [`CyclePredicate::accepts_cycle`] is defined over, so predicates with
+    /// cycle-level constraints re-check candidates without another id
+    /// resolution pass.
+    edge_attrs: Vec<TemporalEdge>,
 }
 
 /// Derives the [`CandidateShape`] of one candidate cycle.
@@ -1364,6 +1404,7 @@ fn candidate_shape(graph: &SlidingWindowGraph, edges: &[EdgeId]) -> CandidateSha
     let mut min_amount = Amount::MAX;
     let mut max_amount = Amount::MIN;
     let mut labels: Vec<Label> = Vec::with_capacity(edges.len());
+    let mut edge_attrs: Vec<TemporalEdge> = Vec::with_capacity(edges.len());
     for &e in edges {
         let edge = GraphView::edge(graph, e);
         min_ts = min_ts.min(edge.ts);
@@ -1374,6 +1415,7 @@ fn candidate_shape(graph: &SlidingWindowGraph, edges: &[EdgeId]) -> CandidateSha
         min_amount = min_amount.min(edge.amount);
         max_amount = max_amount.max(edge.amount);
         labels.push(edge.label);
+        edge_attrs.push(edge);
     }
     labels.sort_unstable();
     labels.dedup();
@@ -1384,6 +1426,28 @@ fn candidate_shape(graph: &SlidingWindowGraph, edges: &[EdgeId]) -> CandidateSha
         min_amount,
         max_amount,
         labels,
+        edge_attrs,
+    }
+}
+
+/// The exact predicate evaluation every dispatcher shares. A pure per-edge
+/// predicate is decided from the precomputed attribute shape (amount hull and
+/// deduplicated labels — no per-edge walk); a predicate carrying cycle-level
+/// constraints (total-amount interval, monotonicity, positional constraints)
+/// or a vertex filter re-checks the resolved edge sequence and vertex list
+/// exactly. Candidates arrive in reported order with the maximum edge last —
+/// the order [`CyclePredicate::accepts_cycle`] is defined over.
+fn predicate_accepts_candidate(
+    predicate: &CyclePredicate,
+    shape: &CandidateShape,
+    vertices: &[VertexId],
+) -> bool {
+    if predicate.has_cycle_constraints() || *predicate.vertex_filter() != VertexFilter::Any {
+        predicate.accepts_cycle(&shape.edge_attrs, vertices)
+    } else {
+        predicate
+            .edge_predicate()
+            .accepts_shape(shape.min_amount, shape.max_amount, &shape.labels)
     }
 }
 
@@ -1409,11 +1473,7 @@ fn dispatch_into_cohort(
     // for pass-all cohorts where there is nothing to evaluate.
     if !cohort.key.predicate.is_pass_all() {
         counters.checks.fetch_add(1, Ordering::Relaxed);
-        if !cohort
-            .key
-            .predicate
-            .accepts_shape(shape.min_amount, shape.max_amount, &shape.labels)
-        {
+        if !predicate_accepts_candidate(&cohort.key.predicate, shape, vertices) {
             return;
         }
     }
@@ -1509,12 +1569,10 @@ impl CycleSink for FanOutSink<'_> {
                     continue;
                 }
             }
-            // The exact per-subscription predicate: the shared pass only
-            // enforced the portfolio union, which may be strictly weaker.
-            if !q
-                .predicate
-                .accepts_shape(shape.min_amount, shape.max_amount, &shape.labels)
-            {
+            // The exact per-subscription predicate (per-edge, aggregate,
+            // positional and vertex constraints): the shared pass only
+            // enforced the portfolio hull, which may be strictly weaker.
+            if !predicate_accepts_candidate(&q.predicate, &shape, vertices) {
                 continue;
             }
             accum.count.fetch_add(1, Ordering::Relaxed);
@@ -2270,7 +2328,7 @@ impl MultiStreamingEngine {
                 if !self.pushdown {
                     // The oracle configuration: enumerate unfiltered, rely
                     // on the fan-out re-checks alone.
-                    pass.predicate = EdgePredicate::pass_all();
+                    pass.predicate = CyclePredicate::pass_all();
                 }
                 let granularity = self.effective_granularity(delta.roots.len());
                 // Sequential-granularity engines with a sharded graph run
@@ -2998,12 +3056,51 @@ mod tests {
                 .predicate(EdgePredicate::pass_all().min_amount(50).max_amount(200)),
         ]))
         .unwrap();
-        assert_eq!(pass.predicate.amount_min(), 50);
-        assert_eq!(pass.predicate.amount_max(), 500);
+        assert_eq!(pass.predicate.edge_predicate().amount_min(), 50);
+        assert_eq!(pass.predicate.edge_predicate().amount_max(), 500);
         // One unfiltered subscription widens the union to pass-all.
         let pass = SharedPass::covering(&subs(&[
             StreamingQuery::temporal(10)
                 .predicate(EdgePredicate::pass_all().labels(LabelFilter::allow(vec![1]))),
+            StreamingQuery::temporal(10),
+        ]))
+        .unwrap();
+        assert!(pass.predicate.is_pass_all());
+
+        // Extended constraints take the sound hull: total bounds widen to
+        // the loosest interval, monotonicity survives only when unanimous,
+        // vertex deny-sets intersect.
+        let pass = SharedPass::covering(&subs(&[
+            StreamingQuery::temporal(10).cycle_predicate(
+                CyclePredicate::pass_all()
+                    .total_min(100)
+                    .total_max(500)
+                    .monotone_amounts(true)
+                    .vertices(VertexFilter::deny(vec![3, 4])),
+            ),
+            StreamingQuery::temporal(10).cycle_predicate(
+                CyclePredicate::pass_all()
+                    .total_min(50)
+                    .total_max(900)
+                    .vertices(VertexFilter::deny(vec![4, 5])),
+            ),
+        ]))
+        .unwrap();
+        assert_eq!(pass.predicate.total_amount_min(), 50);
+        assert_eq!(pass.predicate.total_amount_max(), 900);
+        assert!(
+            !pass.predicate.requires_monotone(),
+            "one non-monotone subscription drops the shared monotone prune"
+        );
+        assert_eq!(
+            *pass.predicate.vertex_filter(),
+            VertexFilter::deny(vec![4]),
+            "only vertices denied by every subscription stay denied"
+        );
+        // One subscription without extended constraints loosens the hull all
+        // the way back to pass-all on those axes.
+        let pass = SharedPass::covering(&subs(&[
+            StreamingQuery::temporal(10).cycle_predicate(CyclePredicate::pass_all().total_max(500)),
             StreamingQuery::temporal(10),
         ]))
         .unwrap();
@@ -3187,6 +3284,15 @@ mod tests {
             min_amount: 0,
             max_amount: 0,
             labels: vec![0],
+            edge_attrs: (0..len)
+                .map(|i| {
+                    TemporalEdge::new(
+                        (i % 2) as VertexId,
+                        ((i + 1) % 2) as VertexId,
+                        i as Timestamp,
+                    )
+                })
+                .collect(),
         }
     }
 
@@ -3302,44 +3408,134 @@ mod tests {
         }
     }
 
+    /// Extended predicates (aggregates, positions, vertex sets) through the
+    /// multi-query engine: every fan-out strategy, with pushdown on and off,
+    /// must report byte-identically to each query's own dedicated engine —
+    /// and the portfolio must actually separate the three planted rings.
+    #[test]
+    fn extended_predicates_fan_out_exactly_like_dedicated_engines() {
+        // Ring A (0→1→2→0): amounts 10,20,30 — monotone, total 60.
+        // Ring B (3→4→3): amounts 500,400 — non-monotone, total 900.
+        // Ring C (5→6→5): amounts 50,60 — monotone, total 110, touches 6.
+        let batches: Vec<Vec<TemporalEdge>> = vec![
+            vec![ea(0, 1, 1, 10, 1), ea(1, 2, 2, 20, 1)],
+            vec![ea(2, 0, 3, 30, 1), ea(3, 4, 4, 500, 2)],
+            vec![ea(4, 3, 5, 400, 2), ea(5, 6, 6, 50, 1)],
+            vec![ea(6, 5, 7, 60, 1)],
+        ];
+        let portfolio = [
+            // Monotone amounts → rings A and C.
+            StreamingQuery::temporal(1_000)
+                .cycle_predicate(CyclePredicate::pass_all().monotone_amounts(true)),
+            // Total-amount floor → ring B only.
+            StreamingQuery::temporal(1_000)
+                .cycle_predicate(CyclePredicate::pass_all().total_min(200)),
+            // Vertex deny-set → rings A and B (C passes through vertex 6).
+            StreamingQuery::temporal(1_000)
+                .cycle_predicate(CyclePredicate::pass_all().vertices(VertexFilter::deny(vec![6]))),
+            // Closing-edge amount floor → ring B only (closing amounts are
+            // 30, 400 and 60).
+            StreamingQuery::temporal(1_000).cycle_predicate(CyclePredicate::pass_all().at(
+                pce_graph::Position::FromEnd(0),
+                EdgePredicate::pass_all().min_amount(100),
+            )),
+        ];
+        let expected_totals = [2u64, 1, 2, 1];
+        for threads in [1usize, 4] {
+            let dedicated: Vec<Vec<Vec<StreamCycle>>> = portfolio
+                .iter()
+                .map(|q| dedicated_per_batch(&batches, 1_000, q.clone(), threads))
+                .collect();
+            for strategy in [FanOutStrategy::Naive, FanOutStrategy::Indexed] {
+                for pushdown in [true, false] {
+                    let mut multi = MultiStreamingEngine::with_threads(1_000, threads)
+                        .unwrap()
+                        .with_fan_out(strategy)
+                        .with_pushdown(pushdown);
+                    let ids: Vec<QueryId> = portfolio
+                        .iter()
+                        .map(|q| multi.subscribe(q.clone()).unwrap())
+                        .collect();
+                    for (bi, batch) in batches.iter().enumerate() {
+                        let report = multi.ingest(batch).unwrap();
+                        for (qi, id) in ids.iter().enumerate() {
+                            let r = report.report(*id).unwrap();
+                            let mut cycles: Vec<StreamCycle> =
+                                r.cycles.iter().map(StreamCycle::canonicalize).collect();
+                            cycles.sort_by(|a, b| a.edges.cmp(&b.edges));
+                            assert_eq!(
+                                cycles, dedicated[qi][bi],
+                                "query {qi} batch {bi} {strategy:?} pushdown={pushdown} \
+                                 threads {threads}"
+                            );
+                        }
+                    }
+                    for (id, want) in ids.iter().zip(expected_totals) {
+                        assert_eq!(multi.total_cycles(*id), Some(want));
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn cohort_gate_matches_the_naive_per_subscription_checks() {
+        let verts = [0, 1, 0];
         let simple = CohortKey {
             kind: CycleKind::Simple,
             include_self_loops: false,
-            predicate: EdgePredicate::pass_all(),
+            predicate: CyclePredicate::pass_all(),
         };
         let loops = CohortKey {
             kind: CycleKind::Simple,
             include_self_loops: true,
-            predicate: EdgePredicate::pass_all(),
+            predicate: CyclePredicate::pass_all(),
         };
         let temporal = CohortKey {
             kind: CycleKind::Temporal,
             include_self_loops: false,
-            predicate: EdgePredicate::pass_all(),
+            predicate: CyclePredicate::pass_all(),
         };
         // Self-loops (len 1) only pass the opted-in simple cohort.
-        assert!(!simple.admits(&shape(1, true)));
-        assert!(loops.admits(&shape(1, true)));
-        assert!(!temporal.admits(&shape(1, true)));
+        assert!(!simple.admits(&shape(1, true), &verts[..1]));
+        assert!(loops.admits(&shape(1, true), &verts[..1]));
+        assert!(!temporal.admits(&shape(1, true), &verts[..1]));
         // Non-strict candidates only pass simple cohorts.
-        assert!(simple.admits(&shape(3, false)));
-        assert!(loops.admits(&shape(3, false)));
-        assert!(!temporal.admits(&shape(3, false)));
-        assert!(temporal.admits(&shape(3, true)));
+        assert!(simple.admits(&shape(3, false), &verts));
+        assert!(loops.admits(&shape(3, false), &verts));
+        assert!(!temporal.admits(&shape(3, false), &verts));
+        assert!(temporal.admits(&shape(3, true), &verts));
         // A predicate-bearing cohort additionally gates on the attribute
         // shape, exactly as the naive per-subscription check does.
         let fenced = CohortKey {
             kind: CycleKind::Simple,
             include_self_loops: false,
-            predicate: EdgePredicate::pass_all().min_amount(100),
+            predicate: EdgePredicate::pass_all().min_amount(100).into(),
         };
-        assert!(!fenced.admits(&shape(3, true)), "amount 0 < min 100");
+        assert!(
+            !fenced.admits(&shape(3, true), &verts),
+            "amount 0 < min 100"
+        );
         let mut rich = shape(3, true);
         rich.min_amount = 100;
         rich.max_amount = 250;
-        assert!(fenced.admits(&rich));
+        assert!(fenced.admits(&rich, &verts));
+        // Cycle-level constraints re-check the resolved edge sequence
+        // exactly: the total of three amount-0 edges misses a 100 floor, and
+        // a denied vertex on the path rejects regardless of attributes.
+        let total = CohortKey {
+            kind: CycleKind::Simple,
+            include_self_loops: false,
+            predicate: CyclePredicate::pass_all().total_min(100),
+        };
+        assert!(!total.admits(&shape(3, true), &verts), "total 0 < min 100");
+        let denied = CohortKey {
+            kind: CycleKind::Simple,
+            include_self_loops: false,
+            predicate: CyclePredicate::pass_all().vertices(VertexFilter::deny(vec![1])),
+        };
+        assert!(!denied.admits(&shape(3, true), &verts));
+        assert!(denied.admits(&shape(3, true), &[0, 2, 3]));
     }
 
     /// Replays one deterministic stream (rings of several spans, lengths and

@@ -26,7 +26,7 @@
 use crate::cycle::{CollectingSink, Cycle};
 use crate::options::SimpleCycleOptions;
 use crate::seq::tiernan::tiernan_simple;
-use pce_graph::{GraphBuilder, TemporalEdge, TemporalGraph, Timestamp};
+use pce_graph::{CyclePredicate, GraphBuilder, TemporalEdge, TemporalGraph, Timestamp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -80,6 +80,42 @@ pub fn oracle_temporal(graph: &TemporalGraph, delta: Timestamp) -> Vec<Cycle> {
         }
     }
     canonicalized(result)
+}
+
+/// Post-filters oracle cycles through the **exact** predicate semantics: the
+/// zero-pruning differential baseline for every predicate class (per-edge,
+/// aggregate, positional, vertex-set). Feed it the output of
+/// [`oracle_simple`] or [`oracle_temporal`] — or any cycle set in any
+/// rotation — and compare the survivors against a pushdown-enabled
+/// enumeration of the same query.
+///
+/// Positional constraints are defined over *reported* order (path edges in
+/// traversal order, the maximum edge last), while oracle cycles arrive
+/// canonicalised (rotated to their minimum edge id). Edge ids refine
+/// timestamp order, so the maximum edge id **is** the maximum `(ts, id)`
+/// edge every delta search roots at; each cycle is re-rotated so that edge
+/// comes last before [`CyclePredicate::accepts_cycle`] runs. The result is
+/// canonicalised again, ready for byte-identical comparison.
+pub fn oracle_with_predicates(
+    graph: &TemporalGraph,
+    cycles: impl IntoIterator<Item = Cycle>,
+    predicate: &CyclePredicate,
+) -> Vec<Cycle> {
+    let survivors = cycles.into_iter().filter(|c| {
+        let k = c.edges.len();
+        let root = (0..k)
+            .max_by_key(|&i| c.edges[i])
+            .expect("cycles have edges");
+        // Rotate so the maximum (root) edge is last: index `root` moves to
+        // position k-1, i.e. everything shifts left by root+1.
+        let shift = (root + 1) % k;
+        let edges: Vec<TemporalEdge> = (0..k)
+            .map(|i| graph.edge(c.edges[(shift + i) % k]))
+            .collect();
+        let vertices: Vec<_> = (0..k).map(|i| c.vertices[(shift + i) % k]).collect();
+        predicate.accepts_cycle(&edges, &vertices)
+    });
+    canonicalized(survivors)
 }
 
 /// Builds a temporal multigraph from raw `(src, dst, ts)` triples, wrapping
@@ -319,6 +355,64 @@ mod tests {
         assert!(ordered
             .iter()
             .all(|b| b.windows(2).all(|w| w[0].ts <= w[1].ts)));
+    }
+
+    #[test]
+    fn predicate_oracle_filters_each_predicate_class() {
+        use pce_graph::{EdgePredicate, LabelFilter, Position, VertexFilter};
+        // Two triangles sharing the closing max edge 2→0 (amount 7):
+        //   A: 0→1→2→0, amounts 5,6,7 (total 18), labels 1,1,9
+        //   B: 0→3→2→0, amounts 4,5,7 (total 16), labels 2,2,9
+        let mut b = GraphBuilder::new();
+        for &(s, d, t, a, l) in &[
+            (0u32, 1u32, 1i64, 5u64, 1u16),
+            (1, 2, 2, 6, 1),
+            (0, 3, 1, 4, 2),
+            (3, 2, 2, 5, 2),
+            (2, 0, 3, 7, 9),
+        ] {
+            b.push_attr_edge(TemporalEdge::with_attrs(s, d, t, a, l));
+        }
+        let g = b.build();
+        let all = oracle_simple(&g, &SimpleCycleOptions::with_window(100));
+        assert_eq!(all.len(), 2);
+
+        let keep = |p: CyclePredicate| oracle_with_predicates(&g, all.clone(), &p);
+        assert_eq!(keep(CyclePredicate::pass_all()), all);
+        assert_eq!(keep(CyclePredicate::pass_all().total_max(17)).len(), 1);
+        assert_eq!(keep(CyclePredicate::pass_all().total_min(17)).len(), 1);
+        assert_eq!(
+            keep(CyclePredicate::pass_all().monotone_amounts(true)).len(),
+            2,
+            "both triangles have strictly increasing amounts in reported order"
+        );
+        assert_eq!(
+            keep(CyclePredicate::pass_all().vertices(VertexFilter::deny(vec![3]))).len(),
+            1
+        );
+        assert_eq!(
+            keep(CyclePredicate::pass_all().at(
+                Position::FromStart(0),
+                EdgePredicate::pass_all().labels(LabelFilter::allow(vec![2])),
+            ))
+            .len(),
+            1,
+            "only B's first path edge carries label 2"
+        );
+        assert_eq!(
+            keep(CyclePredicate::pass_all().at(
+                Position::FromEnd(0),
+                EdgePredicate::pass_all().min_amount(7),
+            ))
+            .len(),
+            2,
+            "the shared closing max edge (amount 7) satisfies both"
+        );
+        assert!(keep(CyclePredicate::pass_all().at(
+            Position::FromEnd(0),
+            EdgePredicate::pass_all().min_amount(8)
+        ))
+        .is_empty());
     }
 
     #[test]

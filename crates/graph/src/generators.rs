@@ -22,6 +22,11 @@
 //! * [`layering_chains`] — attribute-bearing AML generator: long
 //!   high-amount layering rings hidden in low-amount retail noise; the
 //!   workload where an amount predicate prunes the shared pass.
+//! * [`monotone_layering`] — aggregate-predicate AML generator: planted
+//!   chains whose amounts *strictly escalate* hop over hop with totals in a
+//!   known band, surrounded by decoys that pass every per-edge test but
+//!   break monotonicity or overshoot the total band; the workload where only
+//!   aggregate cycle predicates separate signal from decoys.
 //! * [`labeled_intrusion`] — attribute-bearing lateral-movement generator:
 //!   beacon loops on one protocol label inside multi-protocol noise; the
 //!   workload where a label predicate prunes the shared pass.
@@ -29,7 +34,7 @@
 //!   structured helpers used throughout the tests.
 
 use crate::builder::GraphBuilder;
-use crate::predicate::{EdgePredicate, LabelFilter};
+use crate::predicate::{CyclePredicate, EdgePredicate, LabelFilter};
 use crate::temporal::TemporalGraph;
 use crate::types::{Amount, Label, TemporalEdge, Timestamp, VertexId};
 use rand::rngs::StdRng;
@@ -552,6 +557,185 @@ pub fn layering_chains(cfg: LayeringChainConfig) -> (TemporalGraph, usize) {
     (builder.build(), cfg.num_chains)
 }
 
+/// Configuration for [`monotone_layering`].
+#[derive(Debug, Clone, Copy)]
+pub struct MonotoneLayeringConfig {
+    /// Number of accounts (vertices).
+    pub num_accounts: usize,
+    /// Number of background (retail noise) transactions, all strictly below
+    /// [`alert_floor`](Self::alert_floor).
+    pub background_edges: usize,
+    /// Number of planted escalation chains (each a temporal cycle whose
+    /// amounts strictly increase hop over hop).
+    pub num_chains: usize,
+    /// Minimum and maximum chain length in hops.
+    pub chain_len: (usize, usize),
+    /// Total time span of the dataset.
+    pub time_span: Timestamp,
+    /// Maximum time span of a single chain (so chains fit in a window).
+    pub chain_span: Timestamp,
+    /// Base amount: hop `i` (1-based) of a planted chain carries
+    /// `base_amount + i · step`, so every hop is at least
+    /// [`alert_floor`](Self::alert_floor) and the chain strictly escalates.
+    pub base_amount: Amount,
+    /// Per-chain strict increment range (each chain draws one step).
+    pub step: (Amount, Amount),
+    /// Number of planted *decoy* rings, split evenly between the two kinds a
+    /// per-edge predicate cannot reject: **shuffled** decoys reuse a valid
+    /// escalation's amounts with two adjacent hops swapped (total in band,
+    /// monotonicity broken) and **overshoot** decoys escalate cleanly at
+    /// [`overshoot_multiplier`](Self::overshoot_multiplier)`· base_amount`
+    /// (monotone, total above the band).
+    pub num_decoys: usize,
+    /// Amount multiplier for overshoot decoys. Validated by the generator to
+    /// push every overshoot total strictly above
+    /// [`alert_total_max`](Self::alert_total_max).
+    pub overshoot_multiplier: Amount,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MonotoneLayeringConfig {
+    fn default() -> Self {
+        Self {
+            num_accounts: 1_000,
+            background_edges: 10_000,
+            num_chains: 20,
+            chain_len: (4, 7),
+            time_span: 1_000_000,
+            chain_span: 20_000,
+            base_amount: 100_000,
+            step: (100, 400),
+            num_decoys: 20,
+            overshoot_multiplier: 16,
+            seed: 42,
+        }
+    }
+}
+
+impl MonotoneLayeringConfig {
+    /// The smallest amount any planted (or decoy) hop can carry:
+    /// `base_amount + step.0`.
+    pub fn alert_floor(&self) -> Amount {
+        self.base_amount + self.step.0
+    }
+
+    fn total(len: usize, base: Amount, step: Amount) -> Amount {
+        let l = len as Amount;
+        l * base + step * l * (l + 1) / 2
+    }
+
+    /// The smallest total any planted chain can carry.
+    pub fn alert_total_min(&self) -> Amount {
+        Self::total(self.chain_len.0, self.base_amount, self.step.0)
+    }
+
+    /// The largest total any planted chain can carry.
+    pub fn alert_total_max(&self) -> Amount {
+        Self::total(self.chain_len.1, self.base_amount, self.step.1)
+    }
+
+    /// The aggregate predicate an AML alert would subscribe with: per-hop
+    /// amounts at or above the [`alert_floor`](Self::alert_floor), amounts
+    /// strictly escalating, and a total inside
+    /// `[alert_total_min : alert_total_max]`. Accepts exactly the planted
+    /// chains: background fails the per-edge floor, shuffled decoys fail
+    /// monotonicity, overshoot decoys fail the total band.
+    pub fn alert_predicate(&self) -> CyclePredicate {
+        CyclePredicate::pass_all()
+            .edge(EdgePredicate::pass_all().min_amount(self.alert_floor()))
+            .monotone_amounts(true)
+            .total_min(self.alert_total_min())
+            .total_max(self.alert_total_max())
+    }
+}
+
+/// Generates the *monotone layering* AML dataset: planted escalation chains
+/// `a_0 → a_1 → … → a_{k-1} → a_0` whose amounts strictly increase hop over
+/// hop (each mule forwards the prior hop plus a margin — the closing maximum
+/// edge carries the largest amount) with totals in a known band, buried in
+/// low-amount retail noise **and** surrounded by decoy rings built to defeat
+/// any per-edge predicate: shuffled decoys carry a valid escalation's
+/// amounts out of order (total in band, monotonicity broken), overshoot
+/// decoys escalate cleanly but total far above the band. Only the aggregate
+/// parts of a [`CyclePredicate`] — monotonicity and the total interval —
+/// separate signal from decoys, which is exactly what makes this the
+/// pushdown-counter workload for aggregate predicates.
+///
+/// Every chain and decoy hop carries [`LAYERING_WIRE_LABEL`]; background
+/// stays below [`MonotoneLayeringConfig::alert_floor`] on non-wire labels.
+///
+/// Returns the graph and the number of planted (signal) chains.
+pub fn monotone_layering(cfg: MonotoneLayeringConfig) -> (TemporalGraph, usize) {
+    assert!(cfg.num_accounts > cfg.chain_len.1.max(2));
+    assert!(cfg.chain_len.0 >= 3 && cfg.chain_len.0 <= cfg.chain_len.1);
+    assert!(cfg.step.0 >= 1 && cfg.step.0 <= cfg.step.1);
+    assert!(
+        cfg.chain_len.0 as Amount * cfg.overshoot_multiplier * cfg.base_amount
+            > cfg.alert_total_max(),
+        "overshoot decoys must total strictly above the alert band"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut builder = GraphBuilder::with_vertices(cfg.num_accounts);
+
+    // Retail noise: skewed endpoints, sub-floor amounts, non-wire labels.
+    for _ in 0..cfg.background_edges {
+        let src = skewed_vertex(&mut rng, cfg.num_accounts);
+        let mut dst = skewed_vertex(&mut rng, cfg.num_accounts);
+        while dst == src {
+            dst = skewed_vertex(&mut rng, cfg.num_accounts);
+        }
+        let ts = rng.gen_range(0..=cfg.time_span);
+        let amount = rng.gen_range(1..cfg.alert_floor());
+        let label = [0u16, 1, 3][rng.gen_range(0..3usize)];
+        builder.push_attr_edge(TemporalEdge::with_attrs(src, dst, ts, amount, label));
+    }
+
+    // Planted escalations, then the two decoy kinds (alternating).
+    for chain in 0..cfg.num_chains + cfg.num_decoys {
+        let decoy = chain >= cfg.num_chains;
+        let shuffled = decoy && (chain - cfg.num_chains).is_multiple_of(2);
+        let len = rng.gen_range(cfg.chain_len.0..=cfg.chain_len.1);
+        let step = rng.gen_range(cfg.step.0..=cfg.step.1);
+        let base = if decoy && !shuffled {
+            cfg.base_amount * cfg.overshoot_multiplier
+        } else {
+            cfg.base_amount
+        };
+        let mut amounts: Vec<Amount> = (1..=len as Amount).map(|i| base + i * step).collect();
+        if shuffled {
+            // Swap two adjacent interior hops: total unchanged, strict
+            // escalation broken somewhere before the closing edge.
+            let at = rng.gen_range(0..len - 2);
+            amounts.swap(at, at + 1);
+        }
+        let mut accounts: Vec<VertexId> = Vec::with_capacity(len);
+        while accounts.len() < len {
+            let a = rng.gen_range(0..cfg.num_accounts) as VertexId;
+            if !accounts.contains(&a) {
+                accounts.push(a);
+            }
+        }
+        let start = rng.gen_range(0..=(cfg.time_span - cfg.chain_span).max(1));
+        let mut ts = start;
+        let hop_step = (cfg.chain_span / len as Timestamp).max(1);
+        for (i, &amount) in amounts.iter().enumerate() {
+            let src = accounts[i];
+            let dst = accounts[(i + 1) % len];
+            ts += rng.gen_range(1..=hop_step);
+            builder.push_attr_edge(TemporalEdge::with_attrs(
+                src,
+                dst,
+                ts,
+                amount,
+                LAYERING_WIRE_LABEL,
+            ));
+        }
+    }
+
+    (builder.build(), cfg.num_chains)
+}
+
 /// Configuration for [`labeled_intrusion`].
 #[derive(Debug, Clone, Copy)]
 pub struct LabeledIntrusionConfig {
@@ -830,6 +1014,41 @@ mod tests {
         assert_eq!(alerted, chain_hops);
         // Determinism.
         let (h, _) = layering_chains(cfg);
+        assert_eq!(g.edges(), h.edges());
+    }
+
+    #[test]
+    fn monotone_layering_separates_only_on_aggregates() {
+        let cfg = MonotoneLayeringConfig {
+            num_accounts: 200,
+            background_edges: 1_000,
+            num_chains: 4,
+            num_decoys: 4,
+            ..MonotoneLayeringConfig::default()
+        };
+        let (g, planted) = monotone_layering(cfg);
+        assert_eq!(planted, 4);
+        let pred = cfg.alert_predicate();
+        assert!(pred.validate().is_ok());
+        assert!(pred.requires_monotone());
+        // Every wire-labelled hop — planted chains *and* both decoy kinds —
+        // passes the per-edge part of the alert predicate; no background
+        // transaction does. Per-edge pruning alone cannot tell them apart.
+        let edge_part = pred.edge_predicate();
+        for e in g.edges() {
+            assert_eq!(e.label == LAYERING_WIRE_LABEL, edge_part.accepts(e));
+        }
+        let wire_hops = g
+            .edges()
+            .iter()
+            .filter(|e| e.label == LAYERING_WIRE_LABEL)
+            .count();
+        assert!(
+            (8 * cfg.chain_len.0..=8 * cfg.chain_len.1).contains(&wire_hops),
+            "wire hops {wire_hops}"
+        );
+        // Determinism.
+        let (h, _) = monotone_layering(cfg);
         assert_eq!(g.edges(), h.edges());
     }
 

@@ -52,7 +52,7 @@ pub mod view;
 pub mod window;
 
 pub use builder::GraphBuilder;
-pub use predicate::{EdgePredicate, LabelFilter};
+pub use predicate::{CyclePredicate, EdgePredicate, LabelFilter, Position, VertexFilter};
 pub use stats::GraphStats;
 pub use stream::{DeltaBatch, ShardSpec, SlidingWindowGraph, StreamError};
 pub use temporal::{AdjEntry, TemporalGraph};

@@ -1,4 +1,5 @@
-//! Edge predicates: attribute constraints evaluated *during* traversal.
+//! Edge and cycle predicates: attribute constraints evaluated *during*
+//! traversal.
 //!
 //! The paper's central lever is shrinking the searched subgraph before path
 //! expansion. An [`EdgePredicate`] extends that idea from structural
@@ -8,20 +9,35 @@
 //! otherwise admit, so rejected edges never enter the cycle union, never
 //! seed a root, and never extend a path.
 //!
+//! A [`CyclePredicate`] lifts the algebra from single edges to whole cycles:
+//!
+//! * **aggregate constraints** — an inclusive interval on the *total* amount
+//!   of the cycle, and strict amount-monotonicity along the path;
+//! * **positional constraints** — an [`EdgePredicate`] pinned to one cycle
+//!   [`Position`] (counted from the start of the reported edge order or from
+//!   its end, where `FromEnd(0)` is the closing maximum edge);
+//! * **vertex constraints** — a [`VertexFilter`] allow/deny set that every
+//!   cycle vertex must pass.
+//!
+//! Max-edge rooting (the delta drivers report every cycle's edges in
+//! traversal order with the maximum `(ts, id)` edge *last*) is what makes
+//! positions well defined: [`CyclePredicate::accepts_cycle`] is specified
+//! against exactly that order.
+//!
 //! ## Predicate union
 //!
 //! Multi-query dispatch pushes one *shared* predicate down for a whole
-//! portfolio: the [`EdgePredicate::union`] of all subscription predicates.
-//! The union is the weakest predicate implied by every subscription — it
-//! accepts an edge iff **at least one** subscription accepts it, i.e. it
-//! rejects an edge only when *every* subscription rejects it. Since each
-//! subscription requires all edges of a reported cycle to pass its own
-//! predicate, a cycle containing a union-rejected edge is unreportable by
-//! every subscription, so evaluating the union inside the shared pass never
-//! suppresses a reportable cycle. Exact per-subscription predicates are
-//! re-checked at fan-out (see `pce-core::streaming`).
+//! portfolio: the [`EdgePredicate::union`] / [`CyclePredicate::union`] of all
+//! subscription predicates. The union is the weakest predicate implied by
+//! every subscription — it accepts a cycle iff **at least one** subscription
+//! might accept it, i.e. it rejects only when *every* subscription rejects.
+//! Aggregates loosen to the widest interval hull, monotonicity survives only
+//! when every operand demands it, positional constraints survive only at
+//! positions every operand constrains (loosened to the per-position edge
+//! union), and vertex sets take the set-union. Exact per-subscription
+//! predicates are re-checked at fan-out (see `pce-core::streaming`).
 
-use crate::types::{Amount, Label, TemporalEdge};
+use crate::types::{Amount, Label, TemporalEdge, VertexId};
 use std::fmt;
 use std::sync::Arc;
 
@@ -282,6 +298,512 @@ impl fmt::Display for EdgePredicate {
     }
 }
 
+/// Position of one edge inside a reported cycle.
+///
+/// The delta drivers report every cycle's edges in traversal order with the
+/// maximum `(ts, id)` edge last, so `FromStart(0)` is the first hop after
+/// the closing edge (for temporal cycles: the earliest edge), `FromEnd(0)`
+/// is the closing maximum edge itself, and `FromEnd(1)` is the hop adjacent
+/// to it. A positional constraint is *vacuously satisfied* by any cycle too
+/// short to have that position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Position {
+    /// `FromStart(i)`: the `i`-th edge of the reported order (0-based).
+    FromStart(u32),
+    /// `FromEnd(i)`: the `i`-th edge counted backwards from the closing
+    /// maximum edge (`FromEnd(0)` is the maximum edge itself).
+    FromEnd(u32),
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Position::FromStart(i) => write!(f, "start+{i}"),
+            Position::FromEnd(i) => write!(f, "end-{i}"),
+        }
+    }
+}
+
+/// Vertex constraint of a [`CyclePredicate`]: pass-all, an allow-list, or a
+/// deny-list over vertex ids, with the same algebra as [`LabelFilter`].
+/// Every vertex of a reported cycle must pass. Allow/deny sets are kept
+/// sorted and deduplicated so membership is a binary search and structurally
+/// equal filters compare and hash equal.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub enum VertexFilter {
+    /// Every vertex passes.
+    #[default]
+    Any,
+    /// Only the listed vertices pass (sorted, deduplicated).
+    Allow(Arc<[VertexId]>),
+    /// Every vertex except the listed ones passes (sorted, deduplicated).
+    Deny(Arc<[VertexId]>),
+}
+
+fn sorted_vertex_set(mut vs: Vec<VertexId>) -> Arc<[VertexId]> {
+    vs.sort_unstable();
+    vs.dedup();
+    vs.into()
+}
+
+impl VertexFilter {
+    /// An allow-list filter (sorted and deduplicated; an empty list rejects
+    /// every cycle and fails [`CyclePredicate::validate`]).
+    pub fn allow(vertices: impl Into<Vec<VertexId>>) -> Self {
+        VertexFilter::Allow(sorted_vertex_set(vertices.into()))
+    }
+
+    /// A deny-list filter (sorted and deduplicated; an empty list normalises
+    /// to [`VertexFilter::Any`]).
+    pub fn deny(vertices: impl Into<Vec<VertexId>>) -> Self {
+        let set = sorted_vertex_set(vertices.into());
+        if set.is_empty() {
+            VertexFilter::Any
+        } else {
+            VertexFilter::Deny(set)
+        }
+    }
+
+    /// Does `vertex` pass this filter?
+    #[inline]
+    pub fn accepts(&self, vertex: VertexId) -> bool {
+        match self {
+            VertexFilter::Any => true,
+            VertexFilter::Allow(set) => set.binary_search(&vertex).is_ok(),
+            VertexFilter::Deny(set) => set.binary_search(&vertex).is_err(),
+        }
+    }
+
+    /// The weakest filter implied by both operands: accepts a vertex iff at
+    /// least one operand accepts it. Mirrors [`LabelFilter::union`].
+    pub fn union(&self, other: &VertexFilter) -> VertexFilter {
+        use VertexFilter::*;
+        match (self, other) {
+            (Any, _) | (_, Any) => Any,
+            (Allow(a), Allow(b)) => {
+                let mut merged: Vec<VertexId> = a.iter().chain(b.iter()).copied().collect();
+                merged.sort_unstable();
+                merged.dedup();
+                Allow(merged.into())
+            }
+            // deny(A) ∪ deny(B) accepts x iff x ∉ A∩B.
+            (Deny(a), Deny(b)) => {
+                let inter: Vec<VertexId> = a
+                    .iter()
+                    .copied()
+                    .filter(|v| b.binary_search(v).is_ok())
+                    .collect();
+                if inter.is_empty() {
+                    Any
+                } else {
+                    Deny(inter.into())
+                }
+            }
+            // allow(A) ∪ deny(B) accepts x iff x ∉ B∖A.
+            (Allow(a), Deny(b)) | (Deny(b), Allow(a)) => {
+                let diff: Vec<VertexId> = b
+                    .iter()
+                    .copied()
+                    .filter(|v| a.binary_search(v).is_err())
+                    .collect();
+                if diff.is_empty() {
+                    Any
+                } else {
+                    Deny(diff.into())
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for VertexFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn list(f: &mut fmt::Formatter<'_>, set: &[VertexId]) -> fmt::Result {
+            for (i, v) in set.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{v}")?;
+            }
+            Ok(())
+        }
+        match self {
+            VertexFilter::Any => write!(f, "any"),
+            VertexFilter::Allow(set) => {
+                write!(f, "allow{{")?;
+                list(f, set)?;
+                write!(f, "}}")
+            }
+            VertexFilter::Deny(set) => {
+                write!(f, "deny{{")?;
+                list(f, set)?;
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// A whole-cycle constraint: a per-edge [`EdgePredicate`] applied to every
+/// edge, an inclusive interval on the cycle's *total* amount, optional strict
+/// amount-monotonicity along the reported edge order, per-[`Position`] edge
+/// constraints, and a [`VertexFilter`] applied to every cycle vertex.
+///
+/// The default predicate accepts every cycle. Cheap to clone (shared sets
+/// live behind `Arc`s), `Eq + Hash` so distinct predicate *profiles* can key
+/// dispatch cohorts.
+///
+/// ## Which parts may prune partial paths
+///
+/// The delta drivers prune during traversal using only *monotone partial
+/// bounds* — conditions that, once true of a partial path, stay true of every
+/// completion:
+///
+/// * running total already above [`Self::total_max`] (sums only grow);
+/// * a hop that breaks strict monotonicity, or whose amount is not strictly
+///   below the closing root edge's amount (the chain must keep increasing
+///   through positions up to the root);
+/// * a vertex rejected by the [`VertexFilter`];
+/// * a `FromStart(i)` constraint failed by the edge placed at index `i`
+///   (the prefix is fixed, so that index is the edge's final position).
+///
+/// Everything else — the total *lower* bound, `FromEnd(i)` constraints for
+/// `i ≥ 1`, and the exact per-subscription re-check in multi-query dispatch —
+/// waits for cycle completion ([`Self::accepts_cycle`]) or fan-out.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CyclePredicate {
+    edge: EdgePredicate,
+    total_min: Amount,
+    total_max: Amount,
+    monotone: bool,
+    from_start: Arc<[(u32, EdgePredicate)]>,
+    from_end: Arc<[(u32, EdgePredicate)]>,
+    vertices: VertexFilter,
+}
+
+impl Default for CyclePredicate {
+    fn default() -> Self {
+        Self::pass_all()
+    }
+}
+
+impl From<EdgePredicate> for CyclePredicate {
+    fn from(edge: EdgePredicate) -> Self {
+        CyclePredicate::pass_all().edge(edge)
+    }
+}
+
+fn upsert_position(
+    positions: &Arc<[(u32, EdgePredicate)]>,
+    index: u32,
+    predicate: EdgePredicate,
+) -> Arc<[(u32, EdgePredicate)]> {
+    let mut list: Vec<(u32, EdgePredicate)> = positions.to_vec();
+    list.retain(|(i, _)| *i != index);
+    // A pass-all positional constraint is vacuous everywhere, so it
+    // normalises away (union presence rules depend on this).
+    if !predicate.is_pass_all() {
+        list.push((index, predicate));
+    }
+    list.sort_by_key(|(i, _)| *i);
+    list.into()
+}
+
+impl CyclePredicate {
+    /// The predicate that accepts every cycle.
+    pub fn pass_all() -> Self {
+        Self {
+            edge: EdgePredicate::pass_all(),
+            total_min: 0,
+            total_max: Amount::MAX,
+            monotone: false,
+            from_start: Arc::from([]),
+            from_end: Arc::from([]),
+            vertices: VertexFilter::Any,
+        }
+    }
+
+    /// Replaces the per-edge predicate applied to every cycle edge
+    /// (builder-style).
+    #[must_use]
+    pub fn edge(mut self, edge: EdgePredicate) -> Self {
+        self.edge = edge;
+        self
+    }
+
+    /// Requires the cycle's total amount (saturating sum over all edges) to
+    /// be at least `min` (builder-style).
+    #[must_use]
+    pub fn total_min(mut self, min: Amount) -> Self {
+        self.total_min = min;
+        self
+    }
+
+    /// Requires the cycle's total amount to be at most `max` (builder-style).
+    #[must_use]
+    pub fn total_max(mut self, max: Amount) -> Self {
+        self.total_max = max;
+        self
+    }
+
+    /// Requires edge amounts to *strictly increase* along the reported edge
+    /// order, closing maximum edge included (builder-style).
+    #[must_use]
+    pub fn monotone_amounts(mut self, required: bool) -> Self {
+        self.monotone = required;
+        self
+    }
+
+    /// Pins `predicate` to one cycle [`Position`] (builder-style; replaces
+    /// any previous constraint at the same position; a pass-all predicate
+    /// removes the constraint). Cycles too short to have the position pass
+    /// vacuously.
+    #[must_use]
+    pub fn at(mut self, position: Position, predicate: EdgePredicate) -> Self {
+        match position {
+            Position::FromStart(i) => {
+                self.from_start = upsert_position(&self.from_start, i, predicate);
+            }
+            Position::FromEnd(i) => {
+                self.from_end = upsert_position(&self.from_end, i, predicate);
+            }
+        }
+        self
+    }
+
+    /// Replaces the vertex filter every cycle vertex must pass
+    /// (builder-style).
+    #[must_use]
+    pub fn vertices(mut self, filter: VertexFilter) -> Self {
+        self.vertices = filter;
+        self
+    }
+
+    /// The per-edge predicate applied to every cycle edge.
+    #[inline]
+    pub fn edge_predicate(&self) -> &EdgePredicate {
+        &self.edge
+    }
+
+    /// The inclusive lower bound on the cycle's total amount.
+    #[inline]
+    pub fn total_amount_min(&self) -> Amount {
+        self.total_min
+    }
+
+    /// The inclusive upper bound on the cycle's total amount.
+    #[inline]
+    pub fn total_amount_max(&self) -> Amount {
+        self.total_max
+    }
+
+    /// Does this predicate require strictly increasing edge amounts?
+    #[inline]
+    pub fn requires_monotone(&self) -> bool {
+        self.monotone
+    }
+
+    /// The vertex filter every cycle vertex must pass.
+    #[inline]
+    pub fn vertex_filter(&self) -> &VertexFilter {
+        &self.vertices
+    }
+
+    /// All positional constraints, `FromStart` entries first, each list
+    /// sorted by index.
+    pub fn positions(&self) -> impl Iterator<Item = (Position, &EdgePredicate)> {
+        self.from_start
+            .iter()
+            .map(|(i, p)| (Position::FromStart(*i), p))
+            .chain(
+                self.from_end
+                    .iter()
+                    .map(|(i, p)| (Position::FromEnd(*i), p)),
+            )
+    }
+
+    /// The constraint pinned at `FromStart(index)`, if any.
+    #[inline]
+    pub fn from_start_at(&self, index: u32) -> Option<&EdgePredicate> {
+        self.from_start
+            .binary_search_by_key(&index, |(i, _)| *i)
+            .ok()
+            .map(|at| &self.from_start[at].1)
+    }
+
+    /// The constraint pinned at `FromEnd(index)`, if any.
+    #[inline]
+    pub fn from_end_at(&self, index: u32) -> Option<&EdgePredicate> {
+        self.from_end
+            .binary_search_by_key(&index, |(i, _)| *i)
+            .ok()
+            .map(|at| &self.from_end[at].1)
+    }
+
+    /// `true` iff this predicate accepts every possible cycle, in which case
+    /// the enumeration passes skip all cycle-level checks.
+    #[inline]
+    pub fn is_pass_all(&self) -> bool {
+        self.edge.is_pass_all()
+            && !self.has_cycle_constraints()
+            && self.vertices == VertexFilter::Any
+    }
+
+    /// `true` iff any constraint beyond the per-edge predicate and the vertex
+    /// filter is present (total interval, monotonicity, positions) — the
+    /// parts that need whole-cycle state at close / fan-out.
+    #[inline]
+    pub fn has_cycle_constraints(&self) -> bool {
+        self.total_min != 0
+            || self.total_max != Amount::MAX
+            || self.monotone
+            || !self.from_start.is_empty()
+            || !self.from_end.is_empty()
+    }
+
+    /// Checks the predicate is satisfiable: every component must be, and an
+    /// empty total interval or vertex allow-list is always a caller mistake.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        self.edge.validate()?;
+        if self.total_min > self.total_max {
+            return Err("predicate total-amount interval is empty (min > max)");
+        }
+        for (_, p) in self.from_start.iter().chain(self.from_end.iter()) {
+            p.validate()?;
+        }
+        if matches!(&self.vertices, VertexFilter::Allow(set) if set.is_empty()) {
+            return Err("predicate vertex allow-list is empty");
+        }
+        Ok(())
+    }
+
+    /// The cycle's total amount under this algebra: the saturating sum of the
+    /// edge amounts (one definition shared by pruning, fan-out and oracles).
+    pub fn cycle_total(edges: &[TemporalEdge]) -> Amount {
+        edges
+            .iter()
+            .fold(0, |s: Amount, e| s.saturating_add(e.amount))
+    }
+
+    /// Are the edge amounts strictly increasing in the given order?
+    pub fn amounts_strictly_increase(edges: &[TemporalEdge]) -> bool {
+        edges.windows(2).all(|w| w[0].amount < w[1].amount)
+    }
+
+    /// Exact whole-cycle check over the edge sequence only (per-edge
+    /// predicate, total interval, monotonicity, positions). `edges` must be
+    /// in reported order: traversal order with the maximum `(ts, id)` edge
+    /// **last** — positions and monotonicity are defined against that order.
+    pub fn accepts_cycle_edges(&self, edges: &[TemporalEdge]) -> bool {
+        if !self.edge.is_pass_all() && !edges.iter().all(|e| self.edge.accepts(e)) {
+            return false;
+        }
+        if self.total_min != 0 || self.total_max != Amount::MAX {
+            let total = Self::cycle_total(edges);
+            if total < self.total_min || total > self.total_max {
+                return false;
+            }
+        }
+        if self.monotone && !Self::amounts_strictly_increase(edges) {
+            return false;
+        }
+        let len = edges.len();
+        for (i, p) in self.from_start.iter() {
+            if let Some(e) = edges.get(*i as usize) {
+                if !p.accepts(e) {
+                    return false;
+                }
+            }
+        }
+        for (i, p) in self.from_end.iter() {
+            let i = *i as usize;
+            if i < len && !p.accepts(&edges[len - 1 - i]) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Exact whole-cycle check: [`Self::accepts_cycle_edges`] plus the vertex
+    /// filter over every cycle vertex. `edges` must have the maximum
+    /// `(ts, id)` edge last; `vertices` are the cycle's vertices in any
+    /// order.
+    pub fn accepts_cycle(&self, edges: &[TemporalEdge], vertices: &[VertexId]) -> bool {
+        (self.vertices == VertexFilter::Any || vertices.iter().all(|&v| self.vertices.accepts(v)))
+            && self.accepts_cycle_edges(edges)
+    }
+
+    /// The weakest predicate implied by both operands — the hull a shared
+    /// multi-query pass pushes down. Accepts every cycle either operand
+    /// accepts (may accept strictly more; soundness only needs "hull rejects
+    /// ⇒ both reject"): per-edge and vertex parts take their filter unions,
+    /// the total interval takes the hull, monotonicity survives only when
+    /// **both** operands require it, and a positional constraint survives
+    /// only at positions **both** operands constrain (loosened to the edge
+    /// union there) — a position only one operand constrains is
+    /// unconstrained in the hull, because the other operand may accept a
+    /// cycle failing it.
+    pub fn union(&self, other: &CyclePredicate) -> CyclePredicate {
+        fn position_hull(
+            a: &[(u32, EdgePredicate)],
+            b: &[(u32, EdgePredicate)],
+        ) -> Arc<[(u32, EdgePredicate)]> {
+            let mut out = Vec::new();
+            for (i, pa) in a {
+                if let Ok(at) = b.binary_search_by_key(i, |(j, _)| *j) {
+                    let u = pa.union(&b[at].1);
+                    if !u.is_pass_all() {
+                        out.push((*i, u));
+                    }
+                }
+            }
+            out.into()
+        }
+        CyclePredicate {
+            edge: self.edge.union(&other.edge),
+            total_min: self.total_min.min(other.total_min),
+            total_max: self.total_max.max(other.total_max),
+            monotone: self.monotone && other.monotone,
+            from_start: position_hull(&self.from_start, &other.from_start),
+            from_end: position_hull(&self.from_end, &other.from_end),
+            vertices: self.vertices.union(&other.vertices),
+        }
+    }
+}
+
+impl fmt::Display for CyclePredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_pass_all() {
+            return write!(f, "pass-all");
+        }
+        let mut sep = "";
+        if !self.edge.is_pass_all() {
+            write!(f, "edge({})", self.edge)?;
+            sep = " ";
+        }
+        if self.total_min != 0 || self.total_max != Amount::MAX {
+            write!(f, "{sep}total[{}..", self.total_min)?;
+            if self.total_max == Amount::MAX {
+                write!(f, "max]")?;
+            } else {
+                write!(f, "{}]", self.total_max)?;
+            }
+            sep = " ";
+        }
+        if self.monotone {
+            write!(f, "{sep}monotone")?;
+            sep = " ";
+        }
+        for (pos, p) in self.positions() {
+            write!(f, "{sep}@{pos}({p})")?;
+            sep = " ";
+        }
+        if self.vertices != VertexFilter::Any {
+            write!(f, "{sep}vertices={}", self.vertices)?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -409,5 +931,269 @@ mod tests {
         set.insert(EdgePredicate::pass_all().labels(LabelFilter::allow(vec![1, 2, 2])));
         set.insert(EdgePredicate::pass_all().min_amount(1));
         assert_eq!(set.len(), 2);
+    }
+
+    /// A 3-cycle in reported order (max edge last): amounts 10, 20, 30 on
+    /// vertices 0 → 1 → 2 → 0.
+    fn sample_cycle() -> (Vec<TemporalEdge>, Vec<u32>) {
+        (
+            vec![
+                TemporalEdge::with_attrs(0, 1, 1, 10, 1),
+                TemporalEdge::with_attrs(1, 2, 2, 20, 2),
+                TemporalEdge::with_attrs(2, 0, 3, 30, 3),
+            ],
+            vec![0, 1, 2],
+        )
+    }
+
+    #[test]
+    fn cycle_pass_all_and_validation() {
+        let p = CyclePredicate::pass_all();
+        assert!(p.is_pass_all());
+        assert!(!p.has_cycle_constraints());
+        assert!(p.validate().is_ok());
+        let (edges, vertices) = sample_cycle();
+        assert!(p.accepts_cycle(&edges, &vertices));
+        assert_eq!(p.to_string(), "pass-all");
+
+        assert!(CyclePredicate::pass_all()
+            .total_min(5)
+            .total_max(4)
+            .validate()
+            .is_err());
+        assert!(CyclePredicate::pass_all()
+            .vertices(VertexFilter::allow(Vec::new()))
+            .validate()
+            .is_err());
+        assert!(CyclePredicate::pass_all()
+            .at(
+                Position::FromEnd(0),
+                EdgePredicate::pass_all().min_amount(5).max_amount(4)
+            )
+            .validate()
+            .is_err());
+        // An unsatisfiable edge part propagates.
+        assert!(CyclePredicate::pass_all()
+            .edge(EdgePredicate::pass_all().min_amount(5).max_amount(4))
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn total_interval_is_inclusive_and_saturating() {
+        let (edges, vertices) = sample_cycle(); // total 60
+        let p = CyclePredicate::pass_all().total_min(60).total_max(60);
+        assert!(p.accepts_cycle(&edges, &vertices));
+        assert!(!CyclePredicate::pass_all()
+            .total_min(61)
+            .accepts_cycle(&edges, &vertices));
+        assert!(!CyclePredicate::pass_all()
+            .total_max(59)
+            .accepts_cycle(&edges, &vertices));
+        // Saturating sum: two MAX amounts do not wrap to a small total.
+        let huge = vec![
+            TemporalEdge::with_attrs(0, 1, 1, Amount::MAX, 0),
+            TemporalEdge::with_attrs(1, 0, 2, Amount::MAX, 0),
+        ];
+        assert_eq!(CyclePredicate::cycle_total(&huge), Amount::MAX);
+        assert!(!CyclePredicate::pass_all()
+            .total_max(Amount::MAX - 1)
+            .accepts_cycle_edges(&huge));
+    }
+
+    #[test]
+    fn monotonicity_checks_the_reported_order() {
+        let (edges, vertices) = sample_cycle(); // 10 < 20 < 30
+        let p = CyclePredicate::pass_all().monotone_amounts(true);
+        assert!(p.accepts_cycle(&edges, &vertices));
+        let mut broken = edges.clone();
+        broken[1].amount = 10; // 10, 10, 30: not strict
+        assert!(!p.accepts_cycle_edges(&broken));
+        broken[1].amount = 5; // 10, 5, 30: decreasing hop
+        assert!(!p.accepts_cycle_edges(&broken));
+    }
+
+    #[test]
+    fn positions_index_from_both_ends_and_pass_vacuously() {
+        let (edges, vertices) = sample_cycle();
+        let first_small = CyclePredicate::pass_all().at(
+            Position::FromStart(0),
+            EdgePredicate::pass_all().max_amount(10),
+        );
+        assert!(first_small.accepts_cycle(&edges, &vertices));
+        let first_big = CyclePredicate::pass_all().at(
+            Position::FromStart(0),
+            EdgePredicate::pass_all().min_amount(11),
+        );
+        assert!(!first_big.accepts_cycle(&edges, &vertices));
+        // FromEnd(0) is the closing maximum edge (amount 30 here).
+        let close_big = CyclePredicate::pass_all().at(
+            Position::FromEnd(0),
+            EdgePredicate::pass_all().min_amount(30),
+        );
+        assert!(close_big.accepts_cycle(&edges, &vertices));
+        let adjacent = CyclePredicate::pass_all().at(
+            Position::FromEnd(1),
+            EdgePredicate::pass_all().min_amount(21),
+        );
+        assert!(!adjacent.accepts_cycle(&edges, &vertices));
+        // A position beyond the cycle length is vacuously satisfied.
+        let beyond = CyclePredicate::pass_all().at(
+            Position::FromStart(9),
+            EdgePredicate::pass_all().min_amount(1_000_000),
+        );
+        assert!(beyond.accepts_cycle(&edges, &vertices));
+        // Re-pinning replaces; a pass-all constraint normalises away.
+        let replaced = first_big
+            .clone()
+            .at(Position::FromStart(0), EdgePredicate::pass_all());
+        assert!(replaced.is_pass_all());
+    }
+
+    #[test]
+    fn vertex_filters_match_label_filter_algebra() {
+        let allow = VertexFilter::allow(vec![2, 0, 2, 1]);
+        assert_eq!(allow, VertexFilter::allow(vec![0, 1, 2]));
+        assert!(allow.accepts(1));
+        assert!(!allow.accepts(7));
+        assert_eq!(VertexFilter::deny(Vec::new()), VertexFilter::Any);
+        let (edges, vertices) = sample_cycle();
+        assert!(CyclePredicate::pass_all()
+            .vertices(allow)
+            .accepts_cycle(&edges, &vertices));
+        assert!(!CyclePredicate::pass_all()
+            .vertices(VertexFilter::deny(vec![1]))
+            .accepts_cycle(&edges, &vertices));
+    }
+
+    /// Brute-force the vertex union soundness contract over every pairing.
+    #[test]
+    fn vertex_union_is_exact_over_all_pairings() {
+        let filters = [
+            VertexFilter::Any,
+            VertexFilter::allow(vec![1, 2]),
+            VertexFilter::allow(vec![2, 3]),
+            VertexFilter::deny(vec![1, 2]),
+            VertexFilter::deny(vec![2, 3]),
+        ];
+        for a in &filters {
+            for b in &filters {
+                let u = a.union(b);
+                for v in 0..6 {
+                    assert_eq!(
+                        u.accepts(v),
+                        a.accepts(v) || b.accepts(v),
+                        "{a} ∪ {b} at vertex {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The hull contract on whole cycles: anything either operand accepts,
+    /// the union accepts — checked over a small portfolio and cycle zoo.
+    #[test]
+    fn cycle_union_is_a_sound_hull() {
+        let (edges, vertices) = sample_cycle();
+        let mut broken = edges.clone();
+        broken[1].amount = 5;
+        let cycles: Vec<(&[TemporalEdge], &[u32])> =
+            vec![(&edges, &vertices), (&broken, &vertices)];
+        let preds = [
+            CyclePredicate::pass_all().total_min(50).total_max(70),
+            CyclePredicate::pass_all().monotone_amounts(true),
+            CyclePredicate::pass_all()
+                .at(
+                    Position::FromStart(0),
+                    EdgePredicate::pass_all().max_amount(10),
+                )
+                .at(
+                    Position::FromEnd(0),
+                    EdgePredicate::pass_all().min_amount(30),
+                ),
+            CyclePredicate::pass_all().vertices(VertexFilter::allow(vec![0, 1, 2])),
+            CyclePredicate::from(EdgePredicate::pass_all().min_amount(6)),
+        ];
+        for a in &preds {
+            for b in &preds {
+                let u = a.union(b);
+                for (es, vs) in &cycles {
+                    if a.accepts_cycle(es, vs) || b.accepts_cycle(es, vs) {
+                        assert!(
+                            u.accepts_cycle(es, vs),
+                            "hull must accept what {a} or {b} does"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_union_components() {
+        let a = CyclePredicate::pass_all()
+            .total_min(10)
+            .total_max(100)
+            .monotone_amounts(true)
+            .at(
+                Position::FromStart(0),
+                EdgePredicate::pass_all().max_amount(10),
+            )
+            .at(
+                Position::FromEnd(1),
+                EdgePredicate::pass_all().min_amount(5),
+            );
+        let b = CyclePredicate::pass_all()
+            .total_min(50)
+            .total_max(200)
+            .monotone_amounts(true)
+            .at(
+                Position::FromStart(0),
+                EdgePredicate::pass_all().max_amount(20),
+            );
+        let u = a.union(&b);
+        assert_eq!(u.total_amount_min(), 10);
+        assert_eq!(u.total_amount_max(), 200);
+        assert!(u.requires_monotone());
+        // FromStart(0) survives (both constrain it) as the edge union;
+        // FromEnd(1) drops (only one operand constrains it).
+        assert_eq!(
+            u.from_start_at(0),
+            Some(&EdgePredicate::pass_all().max_amount(20))
+        );
+        assert!(u.from_end_at(1).is_none());
+        // Monotone drops as soon as one operand does not require it.
+        assert!(!a.union(&CyclePredicate::pass_all()).requires_monotone());
+        assert!(a.union(&CyclePredicate::pass_all()).is_pass_all());
+    }
+
+    #[test]
+    fn cycle_predicate_display_and_hash() {
+        use std::collections::HashSet;
+        let p = CyclePredicate::pass_all()
+            .total_min(100)
+            .monotone_amounts(true)
+            .at(
+                Position::FromEnd(0),
+                EdgePredicate::pass_all().min_amount(5),
+            )
+            .vertices(VertexFilter::deny(vec![9]));
+        let shown = p.to_string();
+        assert!(shown.contains("total[100..max]"), "{shown}");
+        assert!(shown.contains("monotone"), "{shown}");
+        assert!(shown.contains("@end-0"), "{shown}");
+        assert!(shown.contains("vertices=deny{9}"), "{shown}");
+        let mut set = HashSet::new();
+        set.insert(p.clone());
+        set.insert(p.clone());
+        set.insert(CyclePredicate::pass_all());
+        assert_eq!(set.len(), 2);
+        // From<EdgePredicate> keeps the edge part only.
+        let from: CyclePredicate = EdgePredicate::pass_all().min_amount(3).into();
+        assert_eq!(
+            from.edge_predicate(),
+            &EdgePredicate::pass_all().min_amount(3)
+        );
+        assert!(!from.has_cycle_constraints());
     }
 }

@@ -24,7 +24,7 @@
 //! uses epoch-stamping instead of clearing, so the per-root cost is
 //! `O(vertices touched + edges touched)`.
 
-use crate::predicate::EdgePredicate;
+use crate::predicate::{CyclePredicate, VertexFilter};
 use crate::temporal::TemporalGraph;
 use crate::types::{EdgeId, Timestamp, VertexId};
 use crate::view::GraphView;
@@ -279,21 +279,27 @@ impl CycleUnionWorkspace {
     /// roots per batch. The fine-grained delta drivers consume the members
     /// list to snapshot a [`UnionView`](`Self::union_members`) per root.
     ///
-    /// `predicate` filters admissible edges by attribute: an edge rejected by
-    /// the predicate never enters the BFS, so the union already reflects the
-    /// pushdown. Pass [`EdgePredicate::pass_all`] for unfiltered enumeration
-    /// (the pass-all case is detected once and adds no per-edge work).
+    /// `predicate` filters admissible edges and vertices by attribute: an
+    /// edge rejected by the predicate's per-edge part — or a vertex rejected
+    /// by its [`VertexFilter`] — never enters the BFS, so the union already
+    /// reflects the pushdown (the predicate's aggregate and positional parts
+    /// cannot prune a reachability pass and are ignored here). Pass
+    /// [`CyclePredicate::pass_all`] for unfiltered enumeration (the pass-all
+    /// case is detected once and adds no per-edge work).
     pub fn compute_simple_before<G: GraphView + ?Sized>(
         &mut self,
         graph: &G,
         root: EdgeId,
         window: TimeWindow,
-        predicate: &EdgePredicate,
+        predicate: &CyclePredicate,
     ) -> bool {
         self.bump_epoch();
         let e = graph.edge(root);
         let (u, w) = (e.src, e.dst);
-        let pass_all = predicate.is_pass_all();
+        let edge_pred = predicate.edge_predicate();
+        let pass_all = edge_pred.is_pass_all();
+        let vf = predicate.vertex_filter();
+        let vf_any = *vf == VertexFilter::Any;
 
         // The windowed accessors enforce the timestamp bounds, so the only
         // extra admissibility conditions are "before the root" on ids and the
@@ -307,7 +313,11 @@ impl CycleUnionWorkspace {
             &mut self.fwd_epoch,
             &mut self.queue,
             Direction::Forward,
-            |entry| entry.edge < root && (pass_all || predicate.accepts(&graph.edge(entry.edge))),
+            |entry| {
+                entry.edge < root
+                    && (vf_any || vf.accepts(entry.neighbor))
+                    && (pass_all || edge_pred.accepts(&graph.edge(entry.edge)))
+            },
         );
         // The queue now holds exactly the forward-reachable vertices; keep
         // them as union candidates before the backward BFS reuses the buffer.
@@ -321,7 +331,11 @@ impl CycleUnionWorkspace {
             &mut self.bwd_epoch,
             &mut self.queue,
             Direction::Backward,
-            |entry| entry.edge < root && (pass_all || predicate.accepts(&graph.edge(entry.edge))),
+            |entry| {
+                entry.edge < root
+                    && (vf_any || vf.accepts(entry.neighbor))
+                    && (pass_all || edge_pred.accepts(&graph.edge(entry.edge)))
+            },
         );
         self.retain_backward_reachable_members();
 
@@ -347,19 +361,22 @@ impl CycleUnionWorkspace {
     /// forward stamp is first set, then filtered by the backward stamp), so
     /// the per-root cost stays proportional to what the passes touch.
     ///
-    /// `predicate` filters admissible edges by attribute, exactly as in
-    /// [`Self::compute_simple_before`].
+    /// `predicate` filters admissible edges and vertices by attribute,
+    /// exactly as in [`Self::compute_simple_before`].
     pub fn compute_temporal_before<G: GraphView + ?Sized>(
         &mut self,
         graph: &G,
         root: EdgeId,
         window: TimeWindow,
-        predicate: &EdgePredicate,
+        predicate: &CyclePredicate,
     ) -> bool {
         self.bump_epoch();
         let e0 = graph.edge(root);
         let (u, w, t0) = (e0.src, e0.dst, e0.ts);
-        let pass_all = predicate.is_pass_all();
+        let edge_pred = predicate.edge_predicate();
+        let pass_all = edge_pred.is_pass_all();
+        let vf = predicate.vertex_filter();
+        let vf_any = *vf == VertexFilter::Any;
         // Path edges live in [window.start : t0 - 1]; this also keeps every
         // scanned id strictly below the root (ids refine timestamp order).
         let scan = TimeWindow::new(window.start, t0.saturating_sub(1));
@@ -373,7 +390,10 @@ impl CycleUnionWorkspace {
         self.union_members.push(w);
         for id in ids.clone() {
             let e = graph.edge(id);
-            if !pass_all && !predicate.accepts(&e) {
+            if !pass_all && !edge_pred.accepts(&e) {
+                continue;
+            }
+            if !vf_any && !vf.accepts(e.dst) {
                 continue;
             }
             let su = e.src as usize;
@@ -395,7 +415,10 @@ impl CycleUnionWorkspace {
         self.bwd_epoch[u as usize] = self.epoch;
         for id in ids.rev() {
             let e = graph.edge(id);
-            if !pass_all && !predicate.accepts(&e) {
+            if !pass_all && !edge_pred.accepts(&e) {
+                continue;
+            }
+            if !vf_any && !vf.accepts(e.src) {
                 continue;
             }
             let sd = e.dst as usize;
@@ -681,7 +704,7 @@ mod tests {
             &g,
             root,
             TimeWindow::new(0, 3),
-            &EdgePredicate::pass_all()
+            &CyclePredicate::pass_all()
         ));
         assert!(ws.in_union(0) && ws.in_union(1) && ws.in_union(2));
         // The members list is gathered during the pass itself (O(touched),
@@ -694,7 +717,7 @@ mod tests {
             &g,
             root,
             TimeWindow::new(2, 3),
-            &EdgePredicate::pass_all()
+            &CyclePredicate::pass_all()
         ));
         assert_eq!(ws.union_size(), 0);
     }
@@ -712,10 +735,15 @@ mod tests {
             &g,
             0,
             TimeWindow::new(0, 1),
-            &EdgePredicate::pass_all()
+            &CyclePredicate::pass_all()
         ));
         // Rooting the later edge instead finds the 2-cycle.
-        assert!(ws.compute_simple_before(&g, 1, TimeWindow::new(0, 5), &EdgePredicate::pass_all()));
+        assert!(ws.compute_simple_before(
+            &g,
+            1,
+            TimeWindow::new(0, 5),
+            &CyclePredicate::pass_all()
+        ));
     }
 
     #[test]
@@ -733,7 +761,7 @@ mod tests {
             &g,
             root,
             TimeWindow::new(0, 5),
-            &EdgePredicate::pass_all()
+            &CyclePredicate::pass_all()
         ));
         assert!(ws.in_union(0) && ws.in_union(1) && ws.in_union(2));
         // Members are gathered during the pass, mirroring the simple case.
@@ -750,7 +778,7 @@ mod tests {
             &g,
             root,
             TimeWindow::new(2, 5),
-            &EdgePredicate::pass_all()
+            &CyclePredicate::pass_all()
         ));
     }
 
@@ -773,7 +801,7 @@ mod tests {
             &g,
             root,
             TimeWindow::new(0, 5),
-            &EdgePredicate::pass_all()
+            &CyclePredicate::pass_all()
         ));
         // Equal timestamps do not chain either: an edge at exactly t0 cannot
         // be part of the path below a t0 root.
@@ -786,13 +814,13 @@ mod tests {
             &g,
             1,
             TimeWindow::new(0, 5),
-            &EdgePredicate::pass_all()
+            &CyclePredicate::pass_all()
         ));
     }
 
     #[test]
     fn predicates_filter_union_passes() {
-        use crate::predicate::LabelFilter;
+        use crate::predicate::{EdgePredicate, LabelFilter};
         use crate::types::TemporalEdge;
         // Two disjoint return paths from 1 to 0: a cheap one (amounts 10)
         // through vertex 2 and an expensive one (amounts 1000) through 3.
@@ -815,21 +843,52 @@ mod tests {
             &g,
             root,
             TimeWindow::new(0, 3),
-            &EdgePredicate::pass_all()
+            &CyclePredicate::pass_all()
         ));
         assert!(ws.in_union(2) && ws.in_union(3));
         // Amount floor 100 prunes the cheap path through 2 from the union.
-        let big = EdgePredicate::pass_all().min_amount(100);
+        let big = CyclePredicate::from(EdgePredicate::pass_all().min_amount(100));
         assert!(ws.compute_simple_before(&g, root, TimeWindow::new(0, 3), &big));
         assert!(!ws.in_union(2) && ws.in_union(3));
         // A label allow-list that rejects every path edge empties the union.
-        let none = EdgePredicate::pass_all().labels(LabelFilter::allow([9]));
+        let none = CyclePredicate::from(EdgePredicate::pass_all().labels(LabelFilter::allow([9])));
         assert!(!ws.compute_simple_before(&g, root, TimeWindow::new(0, 3), &none));
         assert_eq!(ws.union_size(), 0);
         // Temporal mirror: amount floor keeps only the expensive chain.
         assert!(ws.compute_temporal_before(&g, root, TimeWindow::new(0, 3), &big));
         assert!(!ws.in_union(2) && ws.in_union(3));
         assert!(!ws.compute_temporal_before(&g, root, TimeWindow::new(0, 3), &none));
+    }
+
+    #[test]
+    fn vertex_filters_prune_union_passes() {
+        use crate::predicate::VertexFilter;
+        // Two disjoint return paths from 1 to 0, through vertex 2 or 3.
+        let g = GraphBuilder::new()
+            .add_edge(0, 1, 1)
+            .add_edge(1, 2, 2)
+            .add_edge(1, 3, 2)
+            .add_edge(2, 0, 3)
+            .add_edge(3, 0, 3)
+            .add_edge(0, 1, 4) // the max root edge closing both cycles
+            .build();
+        let root = g.edge_ids().find(|(_, e)| e.ts == 4).unwrap().0;
+        let mut ws = CycleUnionWorkspace::new(g.num_vertices());
+        let all = CyclePredicate::pass_all();
+        // Root u→w = 0→1 at t=4: the backward union walks w=1 → … → u=0.
+        assert!(ws.compute_simple_before(&g, root, TimeWindow::new(0, 4), &all));
+        assert!(ws.in_union(2) && ws.in_union(3));
+        // Denying vertex 2 removes the path through it from the union.
+        let deny2 = CyclePredicate::pass_all().vertices(VertexFilter::deny(vec![2]));
+        assert!(ws.compute_simple_before(&g, root, TimeWindow::new(0, 4), &deny2));
+        assert!(!ws.in_union(2) && ws.in_union(3));
+        // An allow-list without either middle vertex empties the union.
+        let narrow = CyclePredicate::pass_all().vertices(VertexFilter::allow(vec![0, 1]));
+        assert!(!ws.compute_simple_before(&g, root, TimeWindow::new(0, 4), &narrow));
+        // Temporal mirror.
+        assert!(ws.compute_temporal_before(&g, root, TimeWindow::new(0, 4), &deny2));
+        assert!(!ws.in_union(2) && ws.in_union(3));
+        assert!(!ws.compute_temporal_before(&g, root, TimeWindow::new(0, 4), &narrow));
     }
 
     #[test]

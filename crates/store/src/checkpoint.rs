@@ -13,7 +13,11 @@
 //!   restarts even when the highest id was unsubscribed before the crash).
 //!   Since format v2 each record also carries the query's edge predicate
 //!   (amount interval plus label filter), so restored portfolios rebuild the
-//!   same predicate union and cohort profiles the live engine had.
+//!   same predicate union and cohort profiles the live engine had. Format v4
+//!   extends each record with the query's full [`CyclePredicate`]: the
+//!   total-amount interval, the monotone-amounts flag, the position-pinned
+//!   edge constraints, and the vertex filter — so restored portfolios prune
+//!   and fan out exactly like the live engine did.
 //!
 //! The binary layout is hand-rolled like the batch encoding — magic
 //! `b"PCEC"`, version, fixed-width LE fields, and a trailing CRC32 over
@@ -21,24 +25,33 @@
 //! typed error and recovery falls back to the previous one.
 
 use pce_core::{
-    CollectMode, CycleKind, EdgePredicate, FanOutStrategy, Granularity, LabelFilter, QueryId,
-    ShardSpec, StreamingQuery, SubscriptionSnapshot,
+    CollectMode, CycleKind, CyclePredicate, EdgePredicate, FanOutStrategy, Granularity,
+    LabelFilter, Position, QueryId, ShardSpec, StreamingQuery, SubscriptionSnapshot, VertexFilter,
 };
 use pce_graph::io::{crc32, IoError};
-use pce_graph::{Label, Timestamp};
+use pce_graph::{Label, Timestamp, VertexId};
 
 /// Magic prefix of every checkpoint blob: `b"PCEC"`.
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"PCEC";
 
-/// Current checkpoint format version. Version 3 records the engine's
-/// [`ShardSpec`] (ingest shard layout) after the next-query-id field and each
-/// subscription query's own shard setting after its predicate; earlier
-/// versions still decode, with every shard count restored as 1 — exactly the
-/// unsharded engine those checkpoints described. Version 2 appended each
-/// subscription's [`EdgePredicate`] (amount interval + label filter) to its
-/// registry record; version-1 checkpoints decode with every query given the
-/// pass-all predicate.
-pub const CHECKPOINT_FORMAT_VERSION: u16 = 3;
+/// Current checkpoint format version. Version 4 appends each subscription's
+/// extended [`CyclePredicate`] record — total-amount interval, monotone
+/// flag, positional edge constraints, vertex filter — after its shard
+/// setting; pre-v4 queries could only express per-edge constraints, so
+/// earlier versions decode with every extended component restored pass-all
+/// (exactly the predicate those queries ran with). Version 3 records the
+/// engine's [`ShardSpec`] (ingest shard layout) after the next-query-id
+/// field and each subscription query's own shard setting after its
+/// predicate; earlier versions still decode, with every shard count restored
+/// as 1 — exactly the unsharded engine those checkpoints described. Version
+/// 2 appended each subscription's [`EdgePredicate`] (amount interval + label
+/// filter) to its registry record; version-1 checkpoints decode with every
+/// query given the pass-all predicate.
+pub const CHECKPOINT_FORMAT_VERSION: u16 = 4;
+
+/// The v3 checkpoint format: shard fields present, no extended-predicate
+/// records.
+pub const CHECKPOINT_FORMAT_V3: u16 = 3;
 
 /// The v2 checkpoint format: predicates present, no shard fields.
 pub const CHECKPOINT_FORMAT_V2: u16 = 2;
@@ -124,6 +137,178 @@ fn decode_labels(cur: &mut Cursor<'_>) -> Result<Vec<Label>, IoError> {
     Ok(labels)
 }
 
+/// Encodes one [`EdgePredicate`]: amount hull first, then the label filter
+/// as a tag byte; Allow/Deny carry a counted, ascending label list (Any
+/// carries nothing). Shared between the per-edge predicate (v2 field) and
+/// the v4 positional records.
+fn encode_edge_predicate(buf: &mut Vec<u8>, pred: &EdgePredicate) {
+    buf.extend_from_slice(&pred.amount_min().to_le_bytes());
+    buf.extend_from_slice(&pred.amount_max().to_le_bytes());
+    match pred.label_filter() {
+        LabelFilter::Any => buf.push(0),
+        LabelFilter::Allow(set) => {
+            buf.push(1);
+            encode_labels(buf, set);
+        }
+        LabelFilter::Deny(set) => {
+            buf.push(2);
+            encode_labels(buf, set);
+        }
+    }
+}
+
+fn decode_edge_predicate(cur: &mut Cursor<'_>) -> Result<EdgePredicate, IoError> {
+    let amount_min = cur.u64()?;
+    let amount_max = cur.u64()?;
+    let filter = match cur.u8()? {
+        0 => LabelFilter::Any,
+        1 => LabelFilter::allow(decode_labels(cur)?),
+        2 => LabelFilter::deny(decode_labels(cur)?),
+        _ => {
+            return Err(IoError::Corrupt {
+                offset: cur.offset - 1,
+                detail: "unknown label-filter tag",
+            })
+        }
+    };
+    Ok(EdgePredicate::pass_all()
+        .min_amount(amount_min)
+        .max_amount(amount_max)
+        .labels(filter))
+}
+
+/// Encodes one positional-constraint list of a [`CyclePredicate`]: a counted
+/// sequence of `(u32 position index, edge-predicate record)` pairs in
+/// ascending index order.
+fn encode_positions(buf: &mut Vec<u8>, positions: &[(u32, &EdgePredicate)]) {
+    buf.extend_from_slice(&(positions.len() as u32).to_le_bytes());
+    for (index, pred) in positions {
+        buf.extend_from_slice(&index.to_le_bytes());
+        encode_edge_predicate(buf, pred);
+    }
+}
+
+fn decode_positions(cur: &mut Cursor<'_>) -> Result<Vec<(u32, EdgePredicate)>, IoError> {
+    let count = u32::from_le_bytes(cur.take(4)?.try_into().unwrap()) as usize;
+    // Bound the count by the remaining bytes before allocating. The minimum
+    // entry is the index plus an Any-filter edge predicate: 4 + 8 + 8 + 1.
+    let avail = cur.bytes.len().saturating_sub(4).saturating_sub(cur.offset);
+    if count * 21 > avail {
+        return Err(IoError::Truncated {
+            needed: cur.offset + count * 21 + 4,
+            have: cur.bytes.len(),
+        });
+    }
+    let mut positions = Vec::with_capacity(count);
+    for _ in 0..count {
+        let index = u32::from_le_bytes(cur.take(4)?.try_into().unwrap());
+        positions.push((index, decode_edge_predicate(cur)?));
+    }
+    Ok(positions)
+}
+
+fn encode_vertex_filter(buf: &mut Vec<u8>, filter: &VertexFilter) {
+    let set: &[VertexId] = match filter {
+        VertexFilter::Any => {
+            buf.push(0);
+            return;
+        }
+        VertexFilter::Allow(set) => {
+            buf.push(1);
+            set
+        }
+        VertexFilter::Deny(set) => {
+            buf.push(2);
+            set
+        }
+    };
+    buf.extend_from_slice(&(set.len() as u32).to_le_bytes());
+    for vertex in set {
+        buf.extend_from_slice(&vertex.to_le_bytes());
+    }
+}
+
+fn decode_vertex_filter(cur: &mut Cursor<'_>) -> Result<VertexFilter, IoError> {
+    let tag = cur.u8()?;
+    if tag == 0 {
+        return Ok(VertexFilter::Any);
+    }
+    if tag > 2 {
+        return Err(IoError::Corrupt {
+            offset: cur.offset - 1,
+            detail: "unknown vertex-filter tag",
+        });
+    }
+    let count = u32::from_le_bytes(cur.take(4)?.try_into().unwrap()) as usize;
+    // Bound the count by the remaining bytes before allocating.
+    let avail = cur.bytes.len().saturating_sub(4).saturating_sub(cur.offset);
+    if count * 4 > avail {
+        return Err(IoError::Truncated {
+            needed: cur.offset + count * 4 + 4,
+            have: cur.bytes.len(),
+        });
+    }
+    let mut vertices = Vec::with_capacity(count);
+    for _ in 0..count {
+        vertices.push(u32::from_le_bytes(cur.take(4)?.try_into().unwrap()));
+    }
+    Ok(match tag {
+        1 => VertexFilter::allow(vertices),
+        _ => VertexFilter::deny(vertices),
+    })
+}
+
+/// Encodes the v4 extended-predicate record: the cycle-level components of a
+/// [`CyclePredicate`] beyond the per-edge predicate (which v2 already
+/// stores).
+fn encode_extended_predicate(buf: &mut Vec<u8>, pred: &CyclePredicate) {
+    buf.extend_from_slice(&pred.total_amount_min().to_le_bytes());
+    buf.extend_from_slice(&pred.total_amount_max().to_le_bytes());
+    buf.push(pred.requires_monotone() as u8);
+    let mut from_start = Vec::new();
+    let mut from_end = Vec::new();
+    for (position, edge) in pred.positions() {
+        match position {
+            Position::FromStart(i) => from_start.push((i, edge)),
+            Position::FromEnd(i) => from_end.push((i, edge)),
+        }
+    }
+    encode_positions(buf, &from_start);
+    encode_positions(buf, &from_end);
+    encode_vertex_filter(buf, pred.vertex_filter());
+}
+
+/// Decodes the v4 extended-predicate record onto `base` (the cycle predicate
+/// carrying the already-decoded per-edge predicate).
+fn decode_extended_predicate(
+    cur: &mut Cursor<'_>,
+    base: CyclePredicate,
+) -> Result<CyclePredicate, IoError> {
+    let total_min = cur.u64()?;
+    let total_max = cur.u64()?;
+    let monotone = match cur.u8()? {
+        0 => false,
+        1 => true,
+        _ => {
+            return Err(IoError::Corrupt {
+                offset: cur.offset - 1,
+                detail: "unknown monotone-flag byte",
+            })
+        }
+    };
+    let mut pred = base
+        .total_min(total_min)
+        .total_max(total_max)
+        .monotone_amounts(monotone);
+    for (index, edge) in decode_positions(cur)? {
+        pred = pred.at(Position::FromStart(index), edge);
+    }
+    for (index, edge) in decode_positions(cur)? {
+        pred = pred.at(Position::FromEnd(index), edge);
+    }
+    Ok(pred.vertices(decode_vertex_filter(cur)?))
+}
+
 impl Checkpoint {
     /// Serialises the checkpoint (see the [module docs](self) for layout).
     pub fn encode(&self) -> Vec<u8> {
@@ -164,23 +349,13 @@ impl Checkpoint {
             // v2: the query's edge predicate. Amount hull first, then the
             // label filter as a tag byte; Allow/Deny carry a counted,
             // ascending label list (Any carries nothing).
-            let pred = q.edge_predicate();
-            buf.extend_from_slice(&pred.amount_min().to_le_bytes());
-            buf.extend_from_slice(&pred.amount_max().to_le_bytes());
-            match pred.label_filter() {
-                LabelFilter::Any => buf.push(0),
-                LabelFilter::Allow(set) => {
-                    buf.push(1);
-                    encode_labels(&mut buf, set);
-                }
-                LabelFilter::Deny(set) => {
-                    buf.push(2);
-                    encode_labels(&mut buf, set);
-                }
-            }
+            encode_edge_predicate(&mut buf, q.edge_predicate());
             // v3: the query's own shard setting, so restored snapshots
             // compare equal to the live registry field-for-field.
             buf.extend_from_slice(&(q.shard_spec().shards() as u32).to_le_bytes());
+            // v4: the extended cycle-predicate record (total interval,
+            // monotone flag, positional constraints, vertex filter).
+            encode_extended_predicate(&mut buf, q.extended_predicate());
         }
         let crc = crc32(&buf);
         buf.extend_from_slice(&crc.to_le_bytes());
@@ -216,14 +391,12 @@ impl Checkpoint {
             });
         }
         let version = u16::from_le_bytes(cur.take(2)?.try_into().unwrap());
-        if version != CHECKPOINT_FORMAT_VERSION
-            && version != CHECKPOINT_FORMAT_V2
-            && version != CHECKPOINT_FORMAT_V1
-        {
+        if !(CHECKPOINT_FORMAT_V1..=CHECKPOINT_FORMAT_VERSION).contains(&version) {
             return Err(IoError::UnsupportedVersion { version });
         }
         let with_predicates = version >= CHECKPOINT_FORMAT_V2;
-        let with_shards = version >= CHECKPOINT_FORMAT_VERSION;
+        let with_shards = version >= CHECKPOINT_FORMAT_V3;
+        let with_extended = version >= CHECKPOINT_FORMAT_VERSION;
         let seq = cur.u64()?;
         let batches = cur.u64()?;
         let watermark = cur.i64()?;
@@ -251,13 +424,20 @@ impl Checkpoint {
         // Bound the count by the remaining bytes before allocating. v2+
         // records are variable-length (label lists), so use the minimum
         // record size: the v1 fixed fields, plus the amount hull and the
-        // label-filter tag byte (v2+), plus the shard count (v3+).
+        // label-filter tag byte (v2+), plus the shard count (v3+), plus the
+        // minimum extended record — total interval, monotone flag, two empty
+        // position lists, Any vertex filter (v4+).
         let v1_sub = 8 + 1 + 1 + 8 + 8 + 1 + 1 + 8;
-        let per_sub = match (with_predicates, with_shards) {
-            (true, true) => v1_sub + 8 + 8 + 1 + 4,
-            (true, false) => v1_sub + 8 + 8 + 1,
-            _ => v1_sub,
-        };
+        let mut per_sub = v1_sub;
+        if with_predicates {
+            per_sub += 8 + 8 + 1;
+        }
+        if with_shards {
+            per_sub += 4;
+        }
+        if with_extended {
+            per_sub += 8 + 8 + 1 + 4 + 4 + 1;
+        }
         if bytes.len() - cur.offset < nsubs * per_sub {
             return Err(IoError::Truncated {
                 needed: cur.offset + nsubs * per_sub + 4,
@@ -300,34 +480,27 @@ impl Checkpoint {
             if self_loops {
                 query = query.include_self_loops(true);
             }
-            if with_predicates {
-                let amount_min = cur.u64()?;
-                let amount_max = cur.u64()?;
-                let filter = match cur.u8()? {
-                    0 => LabelFilter::Any,
-                    1 => LabelFilter::allow(decode_labels(&mut cur)?),
-                    2 => LabelFilter::deny(decode_labels(&mut cur)?),
-                    _ => {
-                        return Err(IoError::Corrupt {
-                            offset: cur.offset - 1,
-                            detail: "unknown label-filter tag",
-                        })
-                    }
-                };
-                query = query.predicate(
-                    EdgePredicate::pass_all()
-                        .min_amount(amount_min)
-                        .max_amount(amount_max)
-                        .labels(filter),
-                );
-            }
-            // v1 records carry no predicate: those queries predate the
-            // attribute columns, so pass-all is exactly what they meant.
+            let edge_pred = if with_predicates {
+                decode_edge_predicate(&mut cur)?
+            } else {
+                // v1 records carry no predicate: those queries predate the
+                // attribute columns, so pass-all is exactly what they meant.
+                EdgePredicate::pass_all()
+            };
             if with_shards {
                 query = query.shards(decode_shards(&mut cur)?);
             }
             // Pre-v3 records carry no shard setting: single() (the builder
             // default) is exactly what those queries ran with.
+            if with_extended {
+                let base = CyclePredicate::pass_all().edge(edge_pred);
+                query = query.cycle_predicate(decode_extended_predicate(&mut cur, base)?);
+            } else {
+                // Pre-v4 queries could only express per-edge constraints, so
+                // pass-all extended components are exactly what they ran
+                // with.
+                query = query.predicate(edge_pred);
+            }
             subscriptions.push(SubscriptionSnapshot {
                 id,
                 query,
@@ -426,10 +599,25 @@ mod tests {
                     query: StreamingQuery::temporal(250)
                         .max_len(6)
                         .shards(ShardSpec::new(2))
-                        .predicate(
-                            EdgePredicate::pass_all()
-                                .min_amount(100)
-                                .labels(LabelFilter::allow(vec![2, 7])),
+                        .cycle_predicate(
+                            CyclePredicate::pass_all()
+                                .edge(
+                                    EdgePredicate::pass_all()
+                                        .min_amount(100)
+                                        .labels(LabelFilter::allow(vec![2, 7])),
+                                )
+                                .total_min(250)
+                                .total_max(10_000)
+                                .monotone_amounts(true)
+                                .at(
+                                    Position::FromStart(0),
+                                    EdgePredicate::pass_all().min_amount(5),
+                                )
+                                .at(
+                                    Position::FromEnd(1),
+                                    EdgePredicate::pass_all().labels(LabelFilter::deny(vec![9])),
+                                )
+                                .vertices(VertexFilter::deny(vec![3, 8])),
                         ),
                     total_cycles: 17,
                 },
@@ -564,15 +752,100 @@ mod tests {
         buf
     }
 
+    /// Re-encodes a checkpoint in the v3 layout: predicates and shard fields
+    /// present, no extended-predicate records. Mirrors what the encoder
+    /// produced before the cycle-predicate algebra existed.
+    fn encode_v3(ckpt: &Checkpoint) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&CHECKPOINT_MAGIC);
+        buf.extend_from_slice(&CHECKPOINT_FORMAT_V3.to_le_bytes());
+        buf.extend_from_slice(&ckpt.seq.to_le_bytes());
+        buf.extend_from_slice(&ckpt.batches.to_le_bytes());
+        buf.extend_from_slice(&ckpt.watermark.to_le_bytes());
+        buf.extend_from_slice(&ckpt.retention.to_le_bytes());
+        buf.extend_from_slice(&ckpt.compaction_base.to_le_bytes());
+        buf.push(granularity_byte(ckpt.granularity));
+        buf.push(match ckpt.strategy {
+            FanOutStrategy::Naive => 0,
+            FanOutStrategy::Indexed => 1,
+        });
+        buf.extend_from_slice(&ckpt.next_query_id.to_le_bytes());
+        buf.extend_from_slice(&(ckpt.shards.shards() as u32).to_le_bytes());
+        buf.extend_from_slice(&(ckpt.subscriptions.len() as u32).to_le_bytes());
+        for sub in &ckpt.subscriptions {
+            let q = &sub.query;
+            buf.extend_from_slice(&sub.id.as_u64().to_le_bytes());
+            buf.push(match q.kind() {
+                CycleKind::Simple => 0,
+                CycleKind::Temporal => 1,
+            });
+            buf.push(granularity_byte(q.requested_granularity()));
+            buf.extend_from_slice(&q.window_delta().to_le_bytes());
+            let max_len = q.max_len_bound().map_or(u64::MAX, |n| n as u64);
+            buf.extend_from_slice(&max_len.to_le_bytes());
+            buf.push(q.includes_self_loops() as u8);
+            buf.push(match q.collect_mode() {
+                CollectMode::Count => 0,
+                CollectMode::Collect => 1,
+            });
+            buf.extend_from_slice(&sub.total_cycles.to_le_bytes());
+            encode_edge_predicate(&mut buf, q.edge_predicate());
+            buf.extend_from_slice(&(q.shard_spec().shards() as u32).to_le_bytes());
+        }
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    #[test]
+    fn v3_checkpoints_decode_with_pass_all_extended_predicates() {
+        // A v3 checkpoint has no extended-predicate records; decoding must
+        // succeed with every restored query keeping its edge predicate and
+        // shard setting but reporting pass-all extended components — exactly
+        // the constraints those queries could express.
+        let mut expected = sample();
+        for sub in &mut expected.subscriptions {
+            let edge = sub.query.edge_predicate().clone();
+            sub.query = sub.query.clone().predicate(edge);
+        }
+        let v3_bytes = encode_v3(&expected);
+        let decoded = Checkpoint::decode(&v3_bytes).unwrap();
+        assert_eq!(decoded, expected);
+        for sub in &decoded.subscriptions {
+            let pred = sub.query.extended_predicate();
+            assert!(!pred.has_cycle_constraints());
+            assert_eq!(*pred.vertex_filter(), VertexFilter::Any);
+        }
+        // The shard layout still round-trips from v3 records.
+        assert_eq!(decoded.shards, ShardSpec::new(4));
+
+        // The corruption guarantees hold for the legacy format too.
+        for byte in 0..v3_bytes.len() {
+            let mut bad = v3_bytes.clone();
+            bad[byte] ^= 1;
+            assert!(Checkpoint::decode(&bad).is_err(), "flip at {byte} decoded");
+        }
+        for len in 0..v3_bytes.len() {
+            assert!(Checkpoint::decode(&v3_bytes[..len]).is_err());
+        }
+    }
+
     #[test]
     fn v2_checkpoints_decode_as_single_shard() {
         // A v2 checkpoint has no shard fields; decoding must succeed with the
         // engine and every restored query reporting a single-shard layout —
-        // exactly the unsharded engine the checkpoint described.
+        // exactly the unsharded engine the checkpoint described. (Extended
+        // predicate components drop to pass-all too: v2 queries could only
+        // express per-edge constraints.)
         let mut expected = sample();
         expected.shards = ShardSpec::single();
         for sub in &mut expected.subscriptions {
-            sub.query = sub.query.clone().shards(ShardSpec::single());
+            let edge = sub.query.edge_predicate().clone();
+            sub.query = sub
+                .query
+                .clone()
+                .predicate(edge)
+                .shards(ShardSpec::single());
         }
         let v2_bytes = encode_v2(&expected);
         let decoded = Checkpoint::decode(&v2_bytes).unwrap();

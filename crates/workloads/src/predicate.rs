@@ -12,7 +12,7 @@
 //! deterministic counters, so the `predicate` section of `streaming_bench`
 //! asserts the inequality on every run, at every thread count.
 //!
-//! Two datasets exercise the two predicate dimensions:
+//! Three datasets exercise the predicate dimensions:
 //!
 //! * [`PredicateScenario::AmlLayering`] — [`layering_chains`]: long
 //!   amount-monotone laundering chains above an amount floor, buried in
@@ -20,13 +20,21 @@
 //! * [`PredicateScenario::LabeledIntrusion`] — [`labeled_intrusion`]:
 //!   beacon loops on one protocol label inside multi-protocol noise; the
 //!   portfolio's label filters prune.
+//! * [`PredicateScenario::MonotoneLayering`] — [`monotone_layering`]:
+//!   escalation chains whose decoys defeat every per-edge predicate
+//!   (shuffled amounts break monotonicity with the same totals, overshoot
+//!   rings escalate cleanly above the total band); only the portfolio's
+//!   **aggregate** constraints — monotone partial bounds and the running
+//!   total ceiling — prune, so the run's `aggregate_prunes` counter isolates
+//!   the new pushdown class.
 
 use pce_core::{
-    CollectMode, EdgePredicate, FanOutStrategy, Granularity, MultiStreamingEngine, QueryId,
-    StreamCycle, StreamingError, StreamingQuery,
+    CollectMode, CyclePredicate, EdgePredicate, FanOutStrategy, Granularity, MultiStreamingEngine,
+    Position, QueryId, StreamCycle, StreamingError, StreamingQuery,
 };
 use pce_graph::generators::{
-    labeled_intrusion, layering_chains, LabeledIntrusionConfig, LayeringChainConfig,
+    labeled_intrusion, layering_chains, monotone_layering, LabeledIntrusionConfig,
+    LayeringChainConfig, MonotoneLayeringConfig,
 };
 use pce_graph::Timestamp;
 
@@ -41,6 +49,10 @@ pub enum PredicateScenario {
     /// Labelled lateral-movement loops: the portfolio prunes on **label**
     /// filters.
     LabeledIntrusion,
+    /// Amount-escalation laundering chains with per-edge-proof decoys: the
+    /// portfolio prunes on **aggregate** constraints (monotone partial
+    /// bounds, running-total ceiling) and positional floors.
+    MonotoneLayering,
 }
 
 impl PredicateScenario {
@@ -49,6 +61,7 @@ impl PredicateScenario {
         match self {
             PredicateScenario::AmlLayering => "aml_layering",
             PredicateScenario::LabeledIntrusion => "labeled_intrusion",
+            PredicateScenario::MonotoneLayering => "monotone_layering",
         }
     }
 }
@@ -62,6 +75,9 @@ pub struct PredicateScenarioConfig {
     pub aml: LayeringChainConfig,
     /// The intrusion dataset (used when `scenario` is `LabeledIntrusion`).
     pub intrusion: LabeledIntrusionConfig,
+    /// The aggregate-predicate dataset (used when `scenario` is
+    /// `MonotoneLayering`).
+    pub monotone: MonotoneLayeringConfig,
     /// Number of edges per ingest batch.
     pub batch_edges: usize,
     /// Sliding-window retention span.
@@ -91,6 +107,7 @@ impl PredicateScenarioConfig {
                 seed: 11,
             },
             intrusion: LabeledIntrusionConfig::default(),
+            monotone: MonotoneLayeringConfig::default(),
             batch_edges: 300,
             retention: 12_000,
             granularity: Granularity::CoarseGrained,
@@ -115,6 +132,7 @@ impl PredicateScenarioConfig {
                 num_decoys: 10,
                 seed: 13,
             },
+            monotone: MonotoneLayeringConfig::default(),
             batch_edges: 300,
             retention: 12_000,
             granularity: Granularity::CoarseGrained,
@@ -128,6 +146,7 @@ impl PredicateScenarioConfig {
             scenario: PredicateScenario::AmlLayering,
             aml: LayeringChainConfig::default(),
             intrusion: LabeledIntrusionConfig::default(),
+            monotone: MonotoneLayeringConfig::default(),
             batch_edges: 2_000,
             retention: 60_000,
             granularity: Granularity::CoarseGrained,
@@ -141,6 +160,48 @@ impl PredicateScenarioConfig {
             scenario: PredicateScenario::LabeledIntrusion,
             aml: LayeringChainConfig::default(),
             intrusion: LabeledIntrusionConfig::default(),
+            monotone: MonotoneLayeringConfig::default(),
+            batch_edges: 2_000,
+            retention: 60_000,
+            granularity: Granularity::CoarseGrained,
+            strategy: FanOutStrategy::Indexed,
+        }
+    }
+
+    /// A seconds-scale monotone-layering configuration for CI smoke runs.
+    pub fn monotone_smoke() -> Self {
+        Self {
+            scenario: PredicateScenario::MonotoneLayering,
+            aml: LayeringChainConfig::default(),
+            intrusion: LabeledIntrusionConfig::default(),
+            monotone: MonotoneLayeringConfig {
+                num_accounts: 300,
+                background_edges: 3_000,
+                num_chains: 8,
+                chain_len: (4, 6),
+                time_span: 60_000,
+                chain_span: 4_000,
+                base_amount: 100_000,
+                step: (100, 400),
+                num_decoys: 10,
+                overshoot_multiplier: 16,
+                seed: 17,
+            },
+            batch_edges: 300,
+            retention: 12_000,
+            granularity: Granularity::CoarseGrained,
+            strategy: FanOutStrategy::Indexed,
+        }
+    }
+
+    /// The full-scale monotone-layering configuration of the benchmark
+    /// binary.
+    pub fn monotone_full() -> Self {
+        Self {
+            scenario: PredicateScenario::MonotoneLayering,
+            aml: LayeringChainConfig::default(),
+            intrusion: LabeledIntrusionConfig::default(),
+            monotone: MonotoneLayeringConfig::default(),
             batch_edges: 2_000,
             retention: 60_000,
             granularity: Granularity::CoarseGrained,
@@ -162,8 +223,9 @@ impl PredicateScenarioConfig {
 
     /// The predicate-bearing standing-query portfolio this configuration
     /// subscribes. Every member constrains the pruning attribute (amounts
-    /// for AML, labels for intrusion) so the portfolio's predicate union is
-    /// *not* pass-all — the precondition for pushdown to prune anything.
+    /// for AML, labels for intrusion, aggregates for monotone layering) so
+    /// the portfolio's predicate union is *not* pass-all — the precondition
+    /// for pushdown to prune anything.
     pub fn portfolio(&self) -> Vec<StreamingQuery> {
         match self.scenario {
             PredicateScenario::AmlLayering => {
@@ -202,6 +264,47 @@ impl PredicateScenarioConfig {
                         .collect(CollectMode::Collect),
                 ]
             }
+            PredicateScenario::MonotoneLayering => {
+                let cfg = &self.monotone;
+                let delta = cfg.chain_span;
+                // Every planted or decoy chain closes on its largest hop —
+                // hop `len` carries `base + len·step`, and `len ≥ 4` — so a
+                // closing-edge floor of `base + 2·step.0` keeps all of them
+                // while pruning, at root admission, the early chain hops
+                // (`base + 1·step` for small steps) that the per-edge floor
+                // alone admits. Both members carry it, so the union hull
+                // keeps the positional constraint alongside the aggregates.
+                let closing_floor = cfg.base_amount + 2 * cfg.step.0;
+                vec![
+                    // The AML desk: the exact escalation signature —
+                    // per-hop floor, strict escalation, total in band.
+                    StreamingQuery::temporal(delta)
+                        .max_len(cfg.chain_len.1)
+                        .cycle_predicate(cfg.alert_predicate().at(
+                            Position::FromEnd(0),
+                            EdgePredicate::pass_all().min_amount(closing_floor),
+                        ))
+                        .collect(CollectMode::Collect),
+                    // The escalation watch: any monotone ring above the
+                    // floor that reaches the band's total floor — no cap, so
+                    // it also surfaces overshoot decoys. Both members keep
+                    // the monotone flag and a total bound, so the shared
+                    // pass's union hull still prunes on aggregates.
+                    StreamingQuery::temporal(delta)
+                        .max_len(cfg.chain_len.1)
+                        .cycle_predicate(
+                            CyclePredicate::pass_all()
+                                .edge(EdgePredicate::pass_all().min_amount(cfg.alert_floor()))
+                                .monotone_amounts(true)
+                                .total_min(cfg.alert_total_min())
+                                .at(
+                                    Position::FromEnd(0),
+                                    EdgePredicate::pass_all().min_amount(closing_floor),
+                                ),
+                        )
+                        .collect(CollectMode::Collect),
+                ]
+            }
         }
     }
 
@@ -209,6 +312,7 @@ impl PredicateScenarioConfig {
         let graph = match self.scenario {
             PredicateScenario::AmlLayering => layering_chains(self.aml).0,
             PredicateScenario::LabeledIntrusion => labeled_intrusion(self.intrusion).0,
+            PredicateScenario::MonotoneLayering => monotone_layering(self.monotone).0,
         };
         replay_batches(&graph, self.batch_edges)
     }
@@ -230,6 +334,17 @@ pub struct PredicateRunReport {
     /// Subscription-constraint checks the fan-out performed — the
     /// deterministic dispatch-cost counter pushdown must shrink.
     pub fan_out_checks: u64,
+    /// Partial paths abandoned by the aggregate bounds (running-total
+    /// ceiling, broken monotonicity) during the shared pass. Deterministic;
+    /// zero when the pushed-down union carries no aggregate constraints
+    /// (and always zero for the post-filter baseline).
+    pub aggregate_prunes: u64,
+    /// Expansions rejected by position-pinned edge constraints during the
+    /// shared pass. Deterministic; zero without positional pushdown.
+    pub positional_prunes: u64,
+    /// Expansions rejected by the vertex allow/deny filter during the
+    /// shared pass. Deterministic; zero without a vertex filter.
+    pub vertex_prunes: u64,
     /// Lifetime cycle totals per subscription, in subscription order.
     pub per_query_cycles: Vec<u64>,
     /// Every subscription's reported cycles across the replay, canonicalised
@@ -264,12 +379,18 @@ pub fn run_predicate_scenario(
     let mut candidates = 0u64;
     let mut union_members = 0u64;
     let mut fan_out_checks = 0u64;
+    let mut aggregate_prunes = 0u64;
+    let mut positional_prunes = 0u64;
+    let mut vertex_prunes = 0u64;
     let mut per_query_reports: Vec<Vec<StreamCycle>> = vec![Vec::new(); ids.len()];
     for batch in &batches {
         let report = engine.ingest(batch)?;
         candidates += report.candidates;
         union_members += report.stats.work.total_union_members();
         fan_out_checks += report.fan_out.checks;
+        aggregate_prunes += report.stats.work.total_aggregate_prunes();
+        positional_prunes += report.stats.work.total_positional_prunes();
+        vertex_prunes += report.stats.work.total_vertex_prunes();
         for (slot, id) in per_query_reports.iter_mut().zip(&ids) {
             if let Some(r) = report.report(*id) {
                 slot.extend(r.cycles.iter().map(StreamCycle::canonicalize));
@@ -287,6 +408,9 @@ pub fn run_predicate_scenario(
         candidates,
         union_members,
         fan_out_checks,
+        aggregate_prunes,
+        positional_prunes,
+        vertex_prunes,
         per_query_cycles: ids
             .iter()
             .map(|&id| engine.total_cycles(id).expect("subscribed"))
@@ -323,6 +447,26 @@ impl PredicateComparison {
         self.push.union_members < self.post.union_members
             && self.push.fan_out_checks < self.post.fan_out_checks
             && self.push.candidates < self.post.candidates
+    }
+
+    /// `true` when the pushdown run abandoned at least one partial path on
+    /// the aggregate bounds while the post-filter baseline (which traverses
+    /// with pass-all) pruned nothing — the witness that the *aggregate*
+    /// predicate class, not just the per-edge union, did the work. Only
+    /// meaningful on scenarios whose portfolio hull keeps aggregate
+    /// constraints (e.g. [`PredicateScenario::MonotoneLayering`]).
+    pub fn aggregate_pushdown_active(&self) -> bool {
+        self.push.aggregate_prunes > 0 && self.post.aggregate_prunes == 0
+    }
+
+    /// The positional twin of
+    /// [`aggregate_pushdown_active`](Self::aggregate_pushdown_active): the
+    /// pushdown run rejected at least one root candidate on a
+    /// position-pinned constraint (e.g. a `FromEnd(0)` closing-edge floor)
+    /// while the pass-all baseline pruned nothing. Only meaningful on
+    /// scenarios whose portfolio hull keeps a positional constraint.
+    pub fn positional_pushdown_active(&self) -> bool {
+        self.push.positional_prunes > 0 && self.post.positional_prunes == 0
     }
 }
 
@@ -384,6 +528,50 @@ mod tests {
             cmp.push.per_query_cycles[0],
             cfg.intrusion.num_beacons
         );
+    }
+
+    #[test]
+    fn monotone_pushdown_prunes_on_aggregates_and_agrees() {
+        let cfg = PredicateScenarioConfig::monotone_smoke();
+        let cmp = check(&cfg, 2);
+        // The desk subscribed to the exact signature must see every planted
+        // escalation chain.
+        assert!(
+            cmp.push.per_query_cycles[0] >= cfg.monotone.num_chains as u64,
+            "found {} chains, planted {}",
+            cmp.push.per_query_cycles[0],
+            cfg.monotone.num_chains
+        );
+        // The decoys are built to defeat per-edge predicates, so the strict
+        // gap must come from the aggregate bounds: the pushdown run
+        // abandons partial paths on monotonicity / the total ceiling, the
+        // pass-all baseline never does.
+        assert!(
+            cmp.aggregate_pushdown_active(),
+            "aggregate prunes: push {} vs post {}",
+            cmp.push.aggregate_prunes,
+            cmp.post.aggregate_prunes
+        );
+        // The closing-edge floor sits above the per-edge floor, so early
+        // chain hops survive edge admission yet fail as root candidates —
+        // positional pruning the pass-all baseline never performs.
+        assert!(
+            cmp.positional_pushdown_active(),
+            "positional prunes: push {} vs post {}",
+            cmp.push.positional_prunes,
+            cmp.post.positional_prunes
+        );
+    }
+
+    #[test]
+    fn monotone_prune_counters_are_thread_count_independent() {
+        let cfg = PredicateScenarioConfig::monotone_smoke();
+        let a = run_predicate_scenario(&cfg, 1, true).unwrap();
+        let b = run_predicate_scenario(&cfg, 4, true).unwrap();
+        assert_eq!(a.aggregate_prunes, b.aggregate_prunes);
+        assert_eq!(a.positional_prunes, b.positional_prunes);
+        assert_eq!(a.vertex_prunes, b.vertex_prunes);
+        assert_eq!(a.per_query_reports, b.per_query_reports);
     }
 
     #[test]

@@ -69,8 +69,9 @@ pub mod prelude {
         StreamingQuery, SubscriptionIndex, SubscriptionSnapshot, TemporalCycleOptions, WorkMetrics,
     };
     pub use pce_graph::{
-        generators, DeltaBatch, EdgePredicate, GraphBuilder, GraphStats, GraphView, LabelFilter,
-        ShardSpec, SlidingWindowGraph, StreamError, TemporalEdge, TemporalGraph, TimeWindow,
+        generators, CyclePredicate, DeltaBatch, EdgePredicate, GraphBuilder, GraphStats, GraphView,
+        LabelFilter, Position, ShardSpec, SlidingWindowGraph, StreamError, TemporalEdge,
+        TemporalGraph, TimeWindow, VertexFilter,
     };
     pub use pce_sched::{ThreadPool, WorkerMetrics};
     pub use pce_store::{

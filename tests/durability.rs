@@ -182,7 +182,9 @@ fn reference_run(cfg: &DurableConfig) -> Reference {
     for (k, batch) in batches.iter().enumerate() {
         if k == 3 {
             // Mid-stream churn: a registry checkpoint between rotations —
-            // this late subscription also carries a predicate profile.
+            // this late subscription carries a full extended-predicate
+            // profile (total floor + vertex deny-list), so every crash cut
+            // also proves the v4 checkpoint fields replay exactly.
             subscribe(
                 &mut engine,
                 &mut ops,
@@ -190,7 +192,12 @@ fn reference_run(cfg: &DurableConfig) -> Reference {
                 &mut checkpoint_bytes,
                 StreamingQuery::temporal(15)
                     .collect(CollectMode::Count)
-                    .predicate(EdgePredicate::pass_all().min_amount(50_000)),
+                    .cycle_predicate(
+                        CyclePredicate::pass_all()
+                            .edge(EdgePredicate::pass_all().min_amount(50_000))
+                            .total_min(120_000)
+                            .vertices(VertexFilter::deny(vec![17])),
+                    ),
             );
         }
         let report = engine.ingest(batch).expect("in-order ingest");
@@ -801,5 +808,277 @@ fn v1_checkpoint_store_upgrades_through_recovery() {
         after.engine().subscription_snapshots(),
         expected,
         "predicates roundtrip through the post-upgrade checkpoint"
+    );
+}
+
+/// Re-encodes a checkpoint in the **v3** on-disk format: predicate and shard
+/// fields present, no extended-predicate records — the layout the encoder
+/// produced before the cycle-predicate algebra existed. Only meaningful for
+/// registries whose extended components are pass-all (all v3 could express).
+fn encode_v3(ck: &Checkpoint) -> Vec<u8> {
+    use parallel_cycle_enumeration::graph::io::crc32;
+    let mut buf = Vec::new();
+    buf.extend_from_slice(b"PCEC");
+    buf.extend_from_slice(&3u16.to_le_bytes());
+    buf.extend_from_slice(&ck.seq.to_le_bytes());
+    buf.extend_from_slice(&ck.batches.to_le_bytes());
+    buf.extend_from_slice(&ck.watermark.to_le_bytes());
+    buf.extend_from_slice(&ck.retention.to_le_bytes());
+    buf.extend_from_slice(&ck.compaction_base.to_le_bytes());
+    buf.push(match ck.granularity {
+        Granularity::Sequential => 0,
+        Granularity::CoarseGrained => 1,
+        Granularity::FineGrained => 2,
+    });
+    buf.push(match ck.strategy {
+        FanOutStrategy::Naive => 0,
+        FanOutStrategy::Indexed => 1,
+    });
+    buf.extend_from_slice(&ck.next_query_id.to_le_bytes());
+    buf.extend_from_slice(&(ck.shards.shards() as u32).to_le_bytes());
+    buf.extend_from_slice(&(ck.subscriptions.len() as u32).to_le_bytes());
+    for sub in &ck.subscriptions {
+        let q = &sub.query;
+        let ext = q.extended_predicate();
+        assert!(
+            !ext.has_cycle_constraints() && *ext.vertex_filter() == VertexFilter::Any,
+            "v3 cannot express extended cycle constraints"
+        );
+        buf.extend_from_slice(&sub.id.as_u64().to_le_bytes());
+        buf.push(match q.kind() {
+            CycleKind::Simple => 0,
+            CycleKind::Temporal => 1,
+        });
+        buf.push(match q.requested_granularity() {
+            Granularity::Sequential => 0,
+            Granularity::CoarseGrained => 1,
+            Granularity::FineGrained => 2,
+        });
+        buf.extend_from_slice(&q.window_delta().to_le_bytes());
+        let max_len = q.max_len_bound().map_or(u64::MAX, |n| n as u64);
+        buf.extend_from_slice(&max_len.to_le_bytes());
+        buf.push(q.includes_self_loops() as u8);
+        buf.push(match q.collect_mode() {
+            CollectMode::Count => 0,
+            CollectMode::Collect => 1,
+        });
+        buf.extend_from_slice(&sub.total_cycles.to_le_bytes());
+        let pred = q.edge_predicate();
+        buf.extend_from_slice(&pred.amount_min().to_le_bytes());
+        buf.extend_from_slice(&pred.amount_max().to_le_bytes());
+        let labels = |buf: &mut Vec<u8>, set: &[u16]| {
+            buf.extend_from_slice(&(set.len() as u32).to_le_bytes());
+            for label in set {
+                buf.extend_from_slice(&label.to_le_bytes());
+            }
+        };
+        match pred.label_filter() {
+            LabelFilter::Any => buf.push(0),
+            LabelFilter::Allow(set) => {
+                buf.push(1);
+                labels(&mut buf, set);
+            }
+            LabelFilter::Deny(set) => {
+                buf.push(2);
+                labels(&mut buf, set);
+            }
+        }
+        buf.extend_from_slice(&(q.shard_spec().shards() as u32).to_le_bytes());
+    }
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// A store whose newest checkpoint predates the cycle-predicate algebra (v3:
+/// edge predicates and shard fields, no extended records) must recover with
+/// every query's extended components pass-all — exactly the constraints
+/// those queries could express — keep serving byte-identical reports, accept
+/// a subscription with aggregate/positional/vertex constraints after the
+/// upgrade, and roundtrip it through the **next** crash in the current (v4)
+/// format.
+#[test]
+fn v3_checkpoint_store_upgrades_through_recovery() {
+    let cfg = DurableConfig {
+        // No cadence checkpoints: the hand-planted v3 checkpoint must be the
+        // newest one recovery sees.
+        checkpoint_every_batches: u64::MAX,
+        threads: 1,
+        ..DurableConfig::default()
+    };
+    let batches = attribute_stream(&sweep_stream(sweep_seed() ^ 0x03F4, 10));
+    let split = batches.len() / 2;
+
+    // The pre-upgrade run: edge-predicate subscriptions only (all v3 could
+    // hold), shadowed by a plain in-memory twin for the reference reports.
+    let mut durable =
+        DurableMultiStreamingEngine::create(MemoryStore::new(), RETENTION, &cfg).unwrap();
+    let mut plain = MultiStreamingEngine::with_threads(RETENTION, 1).unwrap();
+    for q in [
+        StreamingQuery::temporal(RETENTION),
+        StreamingQuery::simple(25).max_len(5).predicate(
+            EdgePredicate::pass_all()
+                .min_amount(20_000)
+                .labels(LabelFilter::deny(vec![0])),
+        ),
+    ] {
+        let a = durable.subscribe(q.clone()).unwrap();
+        let b = plain.subscribe(q).unwrap();
+        assert_eq!(a, b);
+    }
+    for batch in &batches[..split] {
+        let a = durable.ingest(batch).unwrap();
+        let b = plain.ingest(batch).unwrap();
+        assert_eq!(project(&a), project(&b));
+    }
+    durable.checkpoint_now().unwrap();
+
+    // Downgrade the newest checkpoint to the v3 format, one sequence number
+    // ahead so recovery must pick it.
+    let seq = *durable
+        .log()
+        .store()
+        .checkpoint_seqs()
+        .unwrap()
+        .last()
+        .unwrap();
+    let mut store = durable.into_store();
+    let mut ck = Checkpoint::decode(&store.read_checkpoint(seq).unwrap()).unwrap();
+    ck.seq += 1;
+    store.write_checkpoint(ck.seq, &encode_v3(&ck)).unwrap();
+
+    // Recovery: no extended records in the checkpoint means pass-all
+    // extended components — the edge predicates themselves survive — and
+    // the stream continues byte-identically.
+    let (mut recovered, info) = recover(store, &cfg).unwrap();
+    assert_eq!(info.checkpoint_seq, ck.seq, "the v3 checkpoint is newest");
+    assert_eq!(info.dropped_batches, 0);
+    for (_, q) in recovered.engine().subscriptions() {
+        let ext = q.extended_predicate();
+        assert!(
+            !ext.has_cycle_constraints(),
+            "v3 records decode with pass-all aggregate/positional components"
+        );
+        assert_eq!(*ext.vertex_filter(), VertexFilter::Any);
+    }
+    assert_eq!(
+        recovered.engine().subscription_snapshots(),
+        plain.subscription_snapshots(),
+        "the upgraded registry matches the uninterrupted twin"
+    );
+
+    // Post-upgrade, a subscription with the full extended algebra joins both
+    // engines …
+    let cp = CyclePredicate::pass_all()
+        .edge(EdgePredicate::pass_all().min_amount(10_000))
+        .total_min(60_000)
+        .monotone_amounts(true)
+        .at(
+            Position::FromEnd(0),
+            EdgePredicate::pass_all().min_amount(20_000),
+        )
+        .vertices(VertexFilter::deny(vec![3]));
+    let a = recovered
+        .subscribe(StreamingQuery::temporal(20).cycle_predicate(cp.clone()))
+        .unwrap();
+    let b = plain
+        .subscribe(StreamingQuery::temporal(20).cycle_predicate(cp.clone()))
+        .unwrap();
+    assert_eq!(a, b, "persisted next-id survives the v3 upgrade");
+    for batch in &batches[split..] {
+        let x = recovered.ingest(batch).unwrap();
+        let y = plain.ingest(batch).unwrap();
+        assert_eq!(project(&x), project(&y));
+    }
+
+    // … and survives the *next* crash via the current (v4) format, extended
+    // components intact.
+    recovered.checkpoint_now().unwrap();
+    let expected = recovered.engine().subscription_snapshots();
+    let (after, _) = recover(recovered.into_store(), &cfg).unwrap();
+    assert_eq!(
+        after.engine().subscription_snapshots(),
+        expected,
+        "extended predicates roundtrip through the post-upgrade checkpoint"
+    );
+    let restored = after
+        .engine()
+        .subscriptions()
+        .find(|(id, _)| *id == a)
+        .map(|(_, q)| q.extended_predicate().clone())
+        .expect("extended subscription survives recovery");
+    assert_eq!(restored, cp, "v4 records carry the full extended predicate");
+}
+
+/// Every single-bit flip and every truncation of a real v4 checkpoint (one
+/// whose registry carries aggregate, positional, and vertex constraints)
+/// must decode to a typed error — never a panic, never a silent
+/// misinterpretation.
+#[test]
+fn v4_checkpoint_corruption_is_typed_never_panics() {
+    let cfg = DurableConfig {
+        checkpoint_every_batches: u64::MAX,
+        threads: 1,
+        ..DurableConfig::default()
+    };
+    let mut durable =
+        DurableMultiStreamingEngine::create(MemoryStore::new(), RETENTION, &cfg).unwrap();
+    durable
+        .subscribe(
+            StreamingQuery::temporal(RETENTION).cycle_predicate(
+                CyclePredicate::pass_all()
+                    .edge(EdgePredicate::pass_all().labels(LabelFilter::allow(vec![1, 4])))
+                    .total_min(5_000)
+                    .total_max(250_000)
+                    .monotone_amounts(true)
+                    .at(
+                        Position::FromStart(0),
+                        EdgePredicate::pass_all().min_amount(100),
+                    )
+                    .at(
+                        Position::FromEnd(1),
+                        EdgePredicate::pass_all().labels(LabelFilter::deny(vec![6])),
+                    )
+                    .vertices(VertexFilter::allow(vec![0, 1, 2, 3, 4, 5])),
+            ),
+        )
+        .unwrap();
+    durable
+        .ingest(&[
+            TemporalEdge::with_attrs(0, 1, 10, 6_000, 1),
+            TemporalEdge::with_attrs(1, 2, 20, 7_000, 4),
+        ])
+        .unwrap();
+    durable.checkpoint_now().unwrap();
+
+    let store = durable.into_store();
+    let seq = *store.checkpoint_seqs().unwrap().last().unwrap();
+    let bytes = store.read_checkpoint(seq).unwrap();
+    assert_eq!(
+        Checkpoint::decode(&bytes).unwrap().subscriptions.len(),
+        1,
+        "the pristine blob decodes"
+    );
+    for byte in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut bad = bytes.clone();
+            bad[byte] ^= 1 << bit;
+            assert!(
+                Checkpoint::decode(&bad).is_err(),
+                "flip at {byte}.{bit} decoded"
+            );
+        }
+    }
+    for len in 0..bytes.len() {
+        assert!(
+            Checkpoint::decode(&bytes[..len]).is_err(),
+            "truncation to {len} decoded"
+        );
+    }
+    let mut padded = bytes.clone();
+    padded.push(0x5A);
+    assert!(
+        Checkpoint::decode(&padded).is_err(),
+        "trailing byte decoded"
     );
 }

@@ -16,7 +16,9 @@
 //! is reproducible locally with the same value; every assertion message
 //! carries the seed.
 
-use parallel_cycle_enumeration::core::testing::{random_temporal_stream, StreamSpec};
+use parallel_cycle_enumeration::core::testing::{
+    oracle_with_predicates, random_temporal_stream, StreamSpec,
+};
 use parallel_cycle_enumeration::graph::generators::{
     hub_burst, hub_burst_cycle_count, power_law_temporal, uniform_temporal, RandomTemporalConfig,
 };
@@ -1064,6 +1066,331 @@ fn predicate_sweep_is_byte_identical_across_strategies_and_pushdown() {
     assert!(
         push_union_total < post_union_total,
         "pushdown never pruned anything: {push_union_total} vs {post_union_total}"
+    );
+}
+
+/// One member of the extended-predicate portfolio: the streaming query, its
+/// structural one-shot twin (same kind/window/length bound, **no**
+/// predicate — the zero-pruning enumeration the brute-force oracle
+/// post-filters), and the exact predicate the oracle applies.
+struct ExtendedMember {
+    name: &'static str,
+    streaming: StreamingQuery,
+    one_shot: Query,
+    predicate: CyclePredicate,
+}
+
+/// The heterogeneous extended-predicate portfolio: aggregate intervals,
+/// strict monotonicity, position-pinned constraints and vertex deny-sets,
+/// mixed with plain edge predicates. Every member shares four hull
+/// dimensions — an amount floor, a finite total ceiling, a `FromEnd(0)`
+/// floor and the denied vertex 7 — so the portfolio's union hull keeps a
+/// constraint in *each* pushdown class and the pushdown runs record
+/// aggregate, positional and vertex prunes; the dimensions that differ per
+/// member (monotonicity, `FromStart(0)`, the extra denied vertices) loosen
+/// out of the hull and are only enforced by the exact fan-out re-check.
+fn extended_portfolio() -> Vec<ExtendedMember> {
+    let aggregate_interval = CyclePredicate::pass_all()
+        .edge(EdgePredicate::pass_all().min_amount(10_000))
+        .total_min(40_000)
+        .total_max(120_000)
+        .at(
+            Position::FromEnd(0),
+            EdgePredicate::pass_all().min_amount(20_000),
+        )
+        .vertices(VertexFilter::deny(vec![3, 7]));
+    let monotone = CyclePredicate::pass_all()
+        .edge(
+            EdgePredicate::pass_all()
+                .min_amount(5_000)
+                .labels(LabelFilter::allow(vec![2, 5])),
+        )
+        .total_max(110_000)
+        .monotone_amounts(true)
+        .at(
+            Position::FromEnd(0),
+            EdgePredicate::pass_all().min_amount(15_000),
+        )
+        .vertices(VertexFilter::deny(vec![7]));
+    let positional = CyclePredicate::pass_all()
+        .edge(
+            EdgePredicate::pass_all()
+                .min_amount(8_000)
+                .max_amount(80_000),
+        )
+        .total_min(30_000)
+        .total_max(115_000)
+        .at(
+            Position::FromEnd(0),
+            EdgePredicate::pass_all().min_amount(10_000),
+        )
+        .at(
+            Position::FromStart(0),
+            EdgePredicate::pass_all().labels(LabelFilter::deny(vec![0])),
+        )
+        .vertices(VertexFilter::deny(vec![7, 11]));
+    let edge_heavy = CyclePredicate::pass_all()
+        .edge(
+            EdgePredicate::pass_all()
+                .min_amount(6_000)
+                .labels(LabelFilter::deny(vec![0])),
+        )
+        .total_max(120_000)
+        .at(
+            Position::FromEnd(0),
+            EdgePredicate::pass_all().min_amount(12_000),
+        )
+        .vertices(VertexFilter::deny(vec![2, 7]));
+    vec![
+        ExtendedMember {
+            name: "aggregate-interval",
+            streaming: StreamingQuery::temporal(25).cycle_predicate(aggregate_interval.clone()),
+            one_shot: Query::temporal().window(25),
+            predicate: aggregate_interval,
+        },
+        ExtendedMember {
+            name: "monotone",
+            streaming: StreamingQuery::simple(12)
+                .max_len(4)
+                .cycle_predicate(monotone.clone()),
+            one_shot: Query::simple().window(12).max_len(4),
+            predicate: monotone,
+        },
+        ExtendedMember {
+            name: "positional",
+            streaming: StreamingQuery::temporal(8)
+                .max_len(3)
+                .cycle_predicate(positional.clone()),
+            one_shot: Query::temporal().window(8).max_len(3),
+            predicate: positional,
+        },
+        ExtendedMember {
+            name: "edge-heavy",
+            streaming: StreamingQuery::simple(30).cycle_predicate(edge_heavy.clone()),
+            one_shot: Query::simple().window(30),
+            predicate: edge_heavy,
+        },
+    ]
+    .into_iter()
+    .map(|m| ExtendedMember {
+        streaming: m.streaming.collect(CollectMode::Collect),
+        ..m
+    })
+    .collect()
+}
+
+/// The extended-predicate property sweep (the tentpole's differential
+/// harness): the heterogeneous portfolio of [`extended_portfolio`] replayed
+/// through a [`MultiStreamingEngine`] must report, **per query and per
+/// batch**, byte-identical canonicalised cycles to dedicated single-query
+/// engines — across granularities {sequential, coarse, fine} × threads
+/// {1, 4} × [`SchedStrategy`] × pushdown {on, off} × retentions with and
+/// without mid-stream expiry — and, at end of stream, each query's
+/// window-surviving union must equal a **zero-pruning brute-force oracle**:
+/// a pass-all one-shot enumeration of the final snapshot post-filtered
+/// through the exact predicate by [`oracle_with_predicates`]. The
+/// deterministic prune counters are asserted three ways: the pushdown run
+/// never builds a larger union than its post-filter twin per configuration
+/// (strictly smaller summed sweep-wide), the post-filter runs record zero
+/// extended prunes (a pass-all hull has nothing to prune against), and the
+/// pushdown prune counters depend only on the data — identical across
+/// granularity, threads and scheduling strategy — and each class
+/// (aggregate, positional, vertex) fires somewhere in the sweep. Base seed
+/// from `PCE_SWEEP_SEED` (echoed by CI; every assertion message carries the
+/// seed).
+#[test]
+fn extended_predicate_sweep_is_byte_identical() {
+    let base = sweep_seed();
+    let portfolio = extended_portfolio();
+    let mut cycles_seen = 0usize;
+    let mut push_union_total = 0u64;
+    let mut post_union_total = 0u64;
+    let mut push_prunes_total = [0u64; 3];
+    let mut prune_fingerprints: std::collections::HashMap<(u64, i64), [u64; 3]> =
+        std::collections::HashMap::new();
+    for seed in base..base + 2 {
+        for retention in [10_000i64, 40] {
+            let batches = attribute_stream(&sweep_stream(seed, 9));
+            for granularity in [
+                Granularity::Sequential,
+                Granularity::CoarseGrained,
+                Granularity::FineGrained,
+            ] {
+                for threads in [1usize, 4] {
+                    for sched in [SchedStrategy::Stealing, SchedStrategy::Assisting] {
+                        let label = format!(
+                            "seed {seed} retention {retention} {granularity:?} threads \
+                             {threads} {sched:?}"
+                        );
+                        // Two shared engines: pushdown on and off.
+                        let mut engines: Vec<MultiStreamingEngine> = [true, false]
+                            .into_iter()
+                            .map(|pushdown| {
+                                let mut engine =
+                                    MultiStreamingEngine::with_threads(retention, threads)
+                                        .expect("valid retention")
+                                        .with_granularity(granularity)
+                                        .with_sched(sched)
+                                        .with_pushdown(pushdown);
+                                for m in &portfolio {
+                                    engine
+                                        .subscribe(m.streaming.clone())
+                                        .expect("valid subscription");
+                                }
+                                engine
+                            })
+                            .collect();
+                        let ids: Vec<QueryId> =
+                            engines[0].subscriptions().map(|(id, _)| id).collect();
+                        // The dedicated baseline: one single-query engine per
+                        // member, each pruning with its own exact predicate.
+                        let mut dedicated: Vec<StreamingEngine> = portfolio
+                            .iter()
+                            .map(|m| {
+                                StreamingEngine::with_threads(
+                                    retention,
+                                    m.streaming.clone().granularity(granularity).sched(sched),
+                                    threads,
+                                )
+                                .expect("valid streaming config")
+                            })
+                            .collect();
+                        let mut unions: Vec<Vec<StreamCycle>> = vec![Vec::new(); portfolio.len()];
+                        let mut union_members = [0u64; 2];
+                        let mut prunes = [[0u64; 3]; 2];
+                        for (b, batch) in batches.iter().enumerate() {
+                            let reports: Vec<MultiBatchReport> = engines
+                                .iter_mut()
+                                .map(|e| e.ingest(batch).expect("in-order replay"))
+                                .collect();
+                            for ((members, per_class), report) in union_members
+                                .iter_mut()
+                                .zip(prunes.iter_mut())
+                                .zip(&reports)
+                            {
+                                *members += report.stats.work.total_union_members();
+                                per_class[0] += report.stats.work.total_aggregate_prunes();
+                                per_class[1] += report.stats.work.total_positional_prunes();
+                                per_class[2] += report.stats.work.total_vertex_prunes();
+                            }
+                            for ((id, engine), (member, union)) in ids
+                                .iter()
+                                .zip(&mut dedicated)
+                                .zip(portfolio.iter().zip(&mut unions))
+                            {
+                                let own = engine.ingest(batch).expect("in-order replay");
+                                let own_cycles = sort_canonical(&own.cycles);
+                                for (pushdown, report) in [true, false].into_iter().zip(&reports) {
+                                    let fanned = report.report(*id).expect("subscribed");
+                                    assert_eq!(
+                                        fanned.cycles_found, own.cycles_found,
+                                        "{label} {} pushdown {pushdown} batch {b}",
+                                        member.name
+                                    );
+                                    assert_eq!(
+                                        sort_canonical(&fanned.cycles),
+                                        own_cycles,
+                                        "{label} {} pushdown {pushdown} batch {b}",
+                                        member.name
+                                    );
+                                }
+                                union.extend(own.cycles.iter().map(StreamCycle::canonicalize));
+                                cycles_seen += own.cycles.len();
+                            }
+                        }
+                        // The zero-pruning oracle: per member, enumerate the
+                        // final snapshot with **no** predicate at all, then
+                        // post-filter through the exact predicate. The
+                        // window-surviving streamed union must match it byte
+                        // for byte.
+                        for ((member, union), engine) in
+                            portfolio.iter().zip(&unions).zip(&dedicated)
+                        {
+                            let window = engine.graph().window().expect("live edges remain");
+                            let snapshot = engine.snapshot();
+                            let run = Engine::with_threads(2)
+                                .run(
+                                    &member
+                                        .one_shot
+                                        .clone()
+                                        .algorithm(Algorithm::Johnson)
+                                        .granularity(Granularity::Sequential)
+                                        .collect(CollectMode::Collect),
+                                    &snapshot,
+                                )
+                                .expect("valid one-shot query");
+                            let mut oracle: Vec<StreamCycle> = oracle_with_predicates(
+                                &snapshot,
+                                run.cycles.expect("collected"),
+                                &member.predicate,
+                            )
+                            .iter()
+                            .map(|c| {
+                                StreamCycle {
+                                    vertices: c.vertices.clone(),
+                                    edges: c.edges.iter().map(|&id| snapshot.edge(id)).collect(),
+                                }
+                                .canonicalize()
+                            })
+                            .collect();
+                            oracle.sort_by(|a, b| a.edges.cmp(&b.edges));
+                            let mut survivors: Vec<StreamCycle> = union
+                                .iter()
+                                .filter(|c| c.edges.iter().all(|e| window.contains(e.ts)))
+                                .cloned()
+                                .collect();
+                            survivors.sort_by(|a, b| a.edges.cmp(&b.edges));
+                            assert_eq!(
+                                survivors, oracle,
+                                "{label} {}: streamed union diverged from the zero-pruning \
+                                 oracle",
+                                member.name
+                            );
+                        }
+                        // Pushdown never builds a larger union than its
+                        // post-filter twin …
+                        assert!(
+                            union_members[0] <= union_members[1],
+                            "{label}: pushdown built a larger union ({} vs {})",
+                            union_members[0],
+                            union_members[1]
+                        );
+                        push_union_total += union_members[0];
+                        post_union_total += union_members[1];
+                        // … the post-filter run (pass-all hull) records no
+                        // extended prunes …
+                        assert_eq!(
+                            prunes[1],
+                            [0, 0, 0],
+                            "{label}: a pass-all shared pass pruned on extended constraints"
+                        );
+                        // … and the pushdown prune counters depend only on
+                        // the data, not the schedule.
+                        for (total, n) in push_prunes_total.iter_mut().zip(prunes[0]) {
+                            *total += n;
+                        }
+                        let fingerprint = prune_fingerprints
+                            .entry((seed, retention))
+                            .or_insert(prunes[0]);
+                        assert_eq!(
+                            *fingerprint, prunes[0],
+                            "{label}: prune counters changed with the schedule"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    assert!(cycles_seen > 0, "the sweep must actually exercise cycles");
+    assert!(
+        push_union_total < post_union_total,
+        "pushdown never pruned anything: {push_union_total} vs {post_union_total}"
+    );
+    let [aggregate, positional, vertex] = push_prunes_total;
+    assert!(
+        aggregate > 0 && positional > 0 && vertex > 0,
+        "every extended pushdown class must fire somewhere in the sweep \
+         (aggregate {aggregate}, positional {positional}, vertex {vertex})"
     );
 }
 
